@@ -1,0 +1,214 @@
+//! Asynchronous FedAsync (Xie et al. 2019).
+
+use std::any::Any;
+
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+/// FedAsync configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedAsyncConfig {
+    /// Fixed client learning rate.
+    pub client_lr: f32,
+    /// Server mixing rate `η` (paper §5.1: 0.6).
+    pub eta: f32,
+    /// Polynomial staleness exponent `α` (paper §5.1: 0.5).
+    pub alpha: f32,
+    /// CPU cost of one aggregation (paper Tab. 3: 2 ms).
+    pub agg_cost: SimTime,
+}
+
+impl FedAsyncConfig {
+    /// The paper's settings.
+    pub fn paper_defaults() -> Self {
+        Self {
+            client_lr: 0.05,
+            eta: 0.6,
+            alpha: 0.5,
+            agg_cost: SimTime::from_millis(2),
+        }
+    }
+
+    /// Overrides the client learning rate (builder style).
+    pub fn with_client_lr(mut self, lr: f32) -> Self {
+        self.client_lr = lr;
+        self
+    }
+}
+
+/// The single FedAsync server.
+///
+/// Every client update is integrated immediately on arrival:
+/// `W ← W + η · s(τ) · (W_k − W)` with `s(τ) = (1 + τ)^(−α)` where `τ` is
+/// the number of server updates since the client's model version was sent
+/// out (Eq. 3 with FedAsync's polynomial staleness function). The fresh
+/// model goes straight back to the client, so clients never idle — but a
+/// single busy server can queue up (paper Fig. 9).
+pub struct FedAsyncServer {
+    clients: Vec<NodeId>,
+    params: ParamVec,
+    cfg: FedAsyncConfig,
+    version: u64,
+}
+
+impl FedAsyncServer {
+    /// Creates the server with its client set and initial model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn new(clients: Vec<NodeId>, init_params: ParamVec, cfg: FedAsyncConfig) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        Self {
+            clients,
+            params: init_params,
+            cfg,
+            version: 0,
+        }
+    }
+
+    /// The current global model.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// Number of updates integrated (the global model version `t`).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl Node<FlMsg> for FedAsyncServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        for &client in &self.clients {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.version as f64,
+                    lr: self.cfg.client_lr,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let FlMsg::ClientUpdate { params, age, .. } = msg else {
+            debug_assert!(false, "unexpected message {msg:?}");
+            return;
+        };
+        env.busy(self.cfg.agg_cost);
+        let tau = (self.version as f64 - age).max(0.0) as f32;
+        let s = (1.0 + tau).powf(-self.cfg.alpha);
+        self.params.lerp_toward(&params, self.cfg.eta * s);
+        self.version += 1;
+        env.add_counter("updates.processed", 1);
+        env.send(
+            from,
+            FlMsg::ModelToClient {
+                params: self.params.clone(),
+                age: self.version as f64,
+                lr: self.cfg.client_lr,
+            },
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spyker_core::client::FlClient;
+    use spyker_core::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    fn build(delays_ms: &[u64]) -> Simulation<FlMsg> {
+        build_net(delays_ms, NetworkConfig::aws())
+    }
+
+    fn build_net(delays_ms: &[u64], net: NetworkConfig) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(net, 1);
+        let clients: Vec<NodeId> = (1..=delays_ms.len()).collect();
+        let server = FedAsyncServer::new(
+            clients,
+            ParamVec::zeros(1),
+            FedAsyncConfig::paper_defaults().with_client_lr(0.5),
+        );
+        sim.add_node(Box::new(server), Region::Hongkong);
+        for (i, &d) in delays_ms.iter().enumerate() {
+            sim.add_node(
+                Box::new(FlClient::new(
+                    0,
+                    Box::new(MeanTargetTrainer::new(vec![i as f32], 10)),
+                    1,
+                    SimTime::from_millis(d),
+                )),
+                Region::ALL[i % 4],
+            );
+        }
+        sim
+    }
+
+    fn server(sim: &Simulation<FlMsg>) -> &FedAsyncServer {
+        sim.node(0)
+            .as_any()
+            .downcast_ref::<FedAsyncServer>()
+            .unwrap()
+    }
+
+    #[test]
+    fn processes_updates_immediately_no_round_barrier() {
+        // A 2 s straggler must not block the fast clients.
+        let mut sim = build(&[50, 50, 50, 2000]);
+        sim.run(SimTime::from_secs(10));
+        let s = server(&sim);
+        // Fast clients alone produce far more than 4 rounds worth.
+        assert!(s.version() > 100, "only {} updates", s.version());
+    }
+
+    #[test]
+    fn model_tracks_a_compromise_of_client_targets_on_a_flat_network() {
+        let mut sim = build_net(
+            &[150, 150, 150, 150],
+            NetworkConfig::uniform_all(SimTime::from_millis(20)),
+        );
+        sim.run(SimTime::from_secs(30));
+        let v = server(&sim).params().as_slice()[0];
+        // Equal-speed, equal-latency clients with targets 0..3: the model
+        // stays near the mean 1.5.
+        assert!((v - 1.5).abs() < 0.7, "model at {v}");
+    }
+
+    #[test]
+    fn geo_distributed_latency_biases_fedasync_toward_near_clients() {
+        // With the AWS latency matrix and the server in Hong Kong, the
+        // Hong Kong client (target 0) produces updates ~2.7x faster than
+        // the far clients, dragging the model below the global mean — the
+        // fast-client bias the paper's Fig. 10 documents (and that
+        // Spyker's learning-rate decay counters).
+        let mut sim = build(&[150, 150, 150, 150]);
+        sim.run(SimTime::from_secs(30));
+        let v = server(&sim).params().as_slice()[0];
+        assert!(v < 1.2, "expected a low-target bias, model at {v}");
+    }
+
+    #[test]
+    fn staler_updates_move_the_model_less() {
+        // Directly exercise the weighting: version 10 vs update age 0.
+        let mut fresh = FedAsyncServer::new(vec![1], ParamVec::zeros(1), FedAsyncConfig::paper_defaults());
+        fresh.version = 10;
+        let tau = (fresh.version as f64 - 0.0) as f32;
+        let s_stale = (1.0 + tau).powf(-fresh.cfg.alpha);
+        let s_fresh = (1.0f32).powf(-fresh.cfg.alpha);
+        assert!(s_stale < s_fresh);
+        assert!((s_stale - (11.0f32).powf(-0.5)).abs() < 1e-6);
+    }
+}

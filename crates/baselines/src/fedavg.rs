@@ -1,0 +1,301 @@
+//! Synchronous FedAvg (McMahan et al. 2017).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+/// FedAvg configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FedAvgConfig {
+    /// Fixed client learning rate.
+    pub client_lr: f32,
+    /// CPU cost of one round aggregation (paper Tab. 3: 15 ms).
+    pub agg_cost: SimTime,
+    /// Fraction of clients selected each round (`C` in McMahan et al.;
+    /// the paper's emulation uses full participation, `1.0`).
+    pub participation: f32,
+}
+
+impl FedAvgConfig {
+    /// The paper's settings: client lr 0.05, 15 ms aggregation.
+    pub fn paper_defaults() -> Self {
+        Self {
+            client_lr: 0.05,
+            agg_cost: SimTime::from_millis(15),
+            participation: 1.0,
+        }
+    }
+
+    /// Overrides the client learning rate (builder style).
+    pub fn with_client_lr(mut self, lr: f32) -> Self {
+        self.client_lr = lr;
+        self
+    }
+
+    /// Overrides the per-round participation fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < c <= 1`.
+    pub fn with_participation(mut self, c: f32) -> Self {
+        assert!(c > 0.0 && c <= 1.0, "participation must be in (0, 1]");
+        self.participation = c;
+        self
+    }
+}
+
+/// The single FedAvg server.
+///
+/// Each round the server sends the global model to every client, waits for
+/// *all* updates (full participation, as in the paper's emulation), then
+/// replaces the global model with the data-size weighted mean (Eq. 2). The
+/// round duration is therefore dictated by the slowest client — the exact
+/// bottleneck Fig. 1 of the paper illustrates.
+pub struct FedAvgServer {
+    clients: Vec<NodeId>,
+    params: ParamVec,
+    cfg: FedAvgConfig,
+    round: u64,
+    // BTreeMap: aggregation iterates values, and f32 summation order must
+    // be deterministic for reproducible runs.
+    received: BTreeMap<NodeId, (ParamVec, usize)>,
+    /// Clients selected for the current round.
+    selected: Vec<NodeId>,
+    rng: StdRng,
+}
+
+impl FedAvgServer {
+    /// Creates the server with its client set and initial model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn new(clients: Vec<NodeId>, init_params: ParamVec, cfg: FedAvgConfig) -> Self {
+        Self::with_seed(clients, init_params, cfg, 0)
+    }
+
+    /// [`FedAvgServer::new`] with an explicit selection seed (only matters
+    /// when `participation < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn with_seed(
+        clients: Vec<NodeId>,
+        init_params: ParamVec,
+        cfg: FedAvgConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        Self {
+            clients,
+            params: init_params,
+            cfg,
+            round: 0,
+            received: BTreeMap::new(),
+            selected: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xfed_a_f6_0f_5eed),
+        }
+    }
+
+    /// The current global model.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// Completed rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Selects this round's participants (all clients at `participation =
+    /// 1`, otherwise a seeded sample) and sends them the global model.
+    fn broadcast_round(&mut self, env: &mut dyn Env<FlMsg>) {
+        let k = ((self.clients.len() as f32 * self.cfg.participation).ceil() as usize)
+            .clamp(1, self.clients.len());
+        self.selected = if k == self.clients.len() {
+            self.clients.clone()
+        } else {
+            let mut pool = self.clients.clone();
+            pool.shuffle(&mut self.rng);
+            pool.truncate(k);
+            pool
+        };
+        for &client in &self.selected {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.round as f64,
+                    lr: self.cfg.client_lr,
+                },
+            );
+        }
+    }
+}
+
+impl Node<FlMsg> for FedAvgServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.broadcast_round(env);
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let FlMsg::ClientUpdate {
+            params,
+            num_samples,
+            ..
+        } = msg
+        else {
+            debug_assert!(false, "unexpected message {msg:?}");
+            return;
+        };
+        if !self.selected.contains(&from) {
+            debug_assert!(false, "update from unselected client {from}");
+            return;
+        }
+        self.received.insert(from, (params, num_samples));
+        if self.received.len() < self.selected.len() {
+            return;
+        }
+        // Round complete: Eq. 2 aggregation.
+        env.busy(self.cfg.agg_cost);
+        let items: Vec<(&ParamVec, f64)> = self
+            .received
+            .values()
+            .map(|(p, n)| (p, *n as f64))
+            .collect();
+        self.params = ParamVec::weighted_mean(&items);
+        let processed = self.received.len() as u64;
+        self.received.clear();
+        self.round += 1;
+        // One "round" integrates one update from every selected client.
+        env.add_counter("updates.processed", processed);
+        env.add_counter("rounds", 1);
+        self.broadcast_round(env);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spyker_core::client::FlClient;
+    use spyker_core::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    fn build(delays_ms: &[u64]) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        let clients: Vec<NodeId> = (1..=delays_ms.len()).collect();
+        let server = FedAvgServer::new(
+            clients.clone(),
+            ParamVec::zeros(1),
+            FedAvgConfig::paper_defaults().with_client_lr(0.5),
+        );
+        sim.add_node(Box::new(server), Region::Hongkong);
+        for (i, &d) in delays_ms.iter().enumerate() {
+            let target = i as f32;
+            sim.add_node(
+                Box::new(FlClient::new(
+                    0,
+                    Box::new(MeanTargetTrainer::new(vec![target], 10)),
+                    1,
+                    SimTime::from_millis(d),
+                )),
+                Region::ALL[i % 4],
+            );
+        }
+        sim
+    }
+
+    fn server(sim: &Simulation<FlMsg>) -> &FedAvgServer {
+        sim.node(0).as_any().downcast_ref::<FedAvgServer>().unwrap()
+    }
+
+    #[test]
+    fn completes_rounds_and_converges_to_weighted_mean() {
+        let mut sim = build(&[150, 150, 150, 150]);
+        sim.run(SimTime::from_secs(30));
+        let s = server(&sim);
+        assert!(s.round() > 10, "only {} rounds", s.round());
+        // Equal data sizes: converges to the mean target 1.5.
+        let v = s.params().as_slice()[0];
+        assert!((v - 1.5).abs() < 0.05, "converged to {v}");
+    }
+
+    #[test]
+    fn round_duration_is_dictated_by_the_slowest_client() {
+        // One client takes 2 s; rounds cannot complete faster than that.
+        let mut sim = build(&[10, 10, 10, 2000]);
+        sim.run(SimTime::from_secs(10));
+        let s = server(&sim);
+        assert!(
+            s.round() <= 5,
+            "rounds too fast for a 2 s straggler: {}",
+            s.round()
+        );
+    }
+
+    #[test]
+    fn partial_participation_samples_a_subset_each_round() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        let n = 8;
+        let clients: Vec<NodeId> = (1..=n).collect();
+        let srv = FedAvgServer::new(
+            clients,
+            ParamVec::zeros(1),
+            FedAvgConfig::paper_defaults()
+                .with_client_lr(0.5)
+                .with_participation(0.5),
+        );
+        sim.add_node(Box::new(srv), Region::Hongkong);
+        for i in 0..n {
+            sim.add_node(
+                Box::new(FlClient::new(
+                    0,
+                    Box::new(MeanTargetTrainer::new(vec![i as f32], 10)),
+                    1,
+                    SimTime::from_millis(150),
+                )),
+                Region::ALL[i % 4],
+            );
+        }
+        sim.run(SimTime::from_secs(20));
+        let rounds = sim.metrics().counter("rounds");
+        let updates = sim.metrics().counter("updates.processed");
+        assert!(rounds > 5);
+        // Half participation: 4 updates per round, not 8.
+        assert_eq!(updates, rounds * 4);
+        // With targets 0..8 sampled uniformly, the model still tracks a
+        // central compromise.
+        let v = server(&sim).params().as_slice()[0];
+        assert!((v - 3.5).abs() < 1.5, "model at {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "participation must be in (0, 1]")]
+    fn participation_zero_is_rejected() {
+        let _ = FedAvgConfig::paper_defaults().with_participation(0.0);
+    }
+
+    #[test]
+    fn counters_track_rounds_and_updates() {
+        let mut sim = build(&[100, 100]);
+        sim.run(SimTime::from_secs(5));
+        let rounds = sim.metrics().counter("rounds");
+        assert!(rounds > 0);
+        assert_eq!(sim.metrics().counter("updates.processed"), rounds * 2);
+    }
+}

@@ -1,0 +1,321 @@
+//! Hierarchical FedAvg (HierFAVG, Liu et al. 2020 / Abad et al. 2020).
+//!
+//! Edge servers run synchronous FedAvg rounds with their own clients; every
+//! `edge_rounds_per_cloud` rounds each edge sends its model to the cloud
+//! server, which waits for *all* edges, averages, and sends the global
+//! model back. While waiting for the cloud, an edge does not start new
+//! client rounds — the synchronous top level is exactly what makes
+//! HierFAVG slow across geo-distributed regions (paper §2.3).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+/// HierFAVG configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierFavgConfig {
+    /// Fixed client learning rate.
+    pub client_lr: f32,
+    /// CPU cost of one aggregation at an edge or the cloud (Tab. 3: 15 ms).
+    pub agg_cost: SimTime,
+    /// Edge rounds between two cloud aggregations (κ₂).
+    pub edge_rounds_per_cloud: u64,
+}
+
+impl HierFavgConfig {
+    /// The paper's settings with κ₂ = 2.
+    pub fn paper_defaults() -> Self {
+        Self {
+            client_lr: 0.05,
+            agg_cost: SimTime::from_millis(15),
+            edge_rounds_per_cloud: 2,
+        }
+    }
+
+    /// Overrides the client learning rate (builder style).
+    pub fn with_client_lr(mut self, lr: f32) -> Self {
+        self.client_lr = lr;
+        self
+    }
+}
+
+/// An edge server: synchronous FedAvg over its clients, periodic upload to
+/// the cloud.
+pub struct EdgeServer {
+    cloud: NodeId,
+    clients: Vec<NodeId>,
+    params: ParamVec,
+    cfg: HierFavgConfig,
+    round: u64,
+    rounds_since_cloud: u64,
+    cloud_round: u64,
+    waiting_for_cloud: bool,
+    received: BTreeMap<NodeId, (ParamVec, usize)>,
+    total_samples: usize,
+}
+
+impl EdgeServer {
+    /// Creates an edge server reporting to `cloud`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn new(
+        cloud: NodeId,
+        clients: Vec<NodeId>,
+        init_params: ParamVec,
+        cfg: HierFavgConfig,
+    ) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        Self {
+            cloud,
+            clients,
+            params: init_params,
+            cfg,
+            round: 0,
+            rounds_since_cloud: 0,
+            cloud_round: 0,
+            waiting_for_cloud: false,
+            received: BTreeMap::new(),
+            total_samples: 0,
+        }
+    }
+
+    /// The edge's current model.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// Completed edge rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn broadcast_round(&self, env: &mut dyn Env<FlMsg>) {
+        for &client in &self.clients {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.round as f64,
+                    lr: self.cfg.client_lr,
+                },
+            );
+        }
+    }
+}
+
+impl Node<FlMsg> for EdgeServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.broadcast_round(env);
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        match msg {
+            FlMsg::ClientUpdate {
+                params,
+                num_samples,
+                ..
+            } => {
+                self.received.insert(from, (params, num_samples));
+                if self.received.len() < self.clients.len() {
+                    return;
+                }
+                env.busy(self.cfg.agg_cost);
+                let items: Vec<(&ParamVec, f64)> = self
+                    .received
+                    .values()
+                    .map(|(p, n)| (p, *n as f64))
+                    .collect();
+                self.total_samples = self.received.values().map(|(_, n)| n).sum();
+                self.params = ParamVec::weighted_mean(&items);
+                self.received.clear();
+                self.round += 1;
+                self.rounds_since_cloud += 1;
+                env.add_counter("updates.processed", self.clients.len() as u64);
+                env.add_counter("rounds", 1);
+                if self.rounds_since_cloud >= self.cfg.edge_rounds_per_cloud {
+                    // Upload to the cloud and pause client rounds.
+                    self.waiting_for_cloud = true;
+                    self.rounds_since_cloud = 0;
+                    env.send(
+                        self.cloud,
+                        FlMsg::HierModel {
+                            params: self.params.clone(),
+                            round: self.cloud_round,
+                            weight: self.total_samples as f64,
+                        },
+                    );
+                } else {
+                    self.broadcast_round(env);
+                }
+            }
+            FlMsg::HierModel { params, round, .. } => {
+                debug_assert!(self.waiting_for_cloud, "cloud model while not waiting");
+                self.params = params;
+                self.cloud_round = round;
+                self.waiting_for_cloud = false;
+                self.broadcast_round(env);
+            }
+            other => debug_assert!(false, "unexpected message {other:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The cloud (principal) server: waits for every edge model, averages, and
+/// returns the global model.
+pub struct CloudServer {
+    edges: Vec<NodeId>,
+    cfg: HierFavgConfig,
+    round: u64,
+    received: BTreeMap<NodeId, (ParamVec, f64)>,
+    params: Option<ParamVec>,
+}
+
+impl CloudServer {
+    /// Creates the cloud server over the given edge servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty.
+    pub fn new(edges: Vec<NodeId>, cfg: HierFavgConfig) -> Self {
+        assert!(!edges.is_empty(), "need at least one edge server");
+        Self {
+            edges,
+            cfg,
+            round: 0,
+            received: BTreeMap::new(),
+            params: None,
+        }
+    }
+
+    /// The latest global model, once at least one cloud round completed.
+    pub fn params(&self) -> Option<&ParamVec> {
+        self.params.as_ref()
+    }
+
+    /// Completed cloud rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+impl Node<FlMsg> for CloudServer {
+    fn on_start(&mut self, _env: &mut dyn Env<FlMsg>) {}
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let FlMsg::HierModel { params, weight, .. } = msg else {
+            debug_assert!(false, "unexpected message {msg:?}");
+            return;
+        };
+        self.received.insert(from, (params, weight));
+        if self.received.len() < self.edges.len() {
+            return;
+        }
+        env.busy(self.cfg.agg_cost);
+        let items: Vec<(&ParamVec, f64)> =
+            self.received.values().map(|(p, w)| (p, *w)).collect();
+        let global = ParamVec::weighted_mean(&items);
+        self.received.clear();
+        self.round += 1;
+        env.add_counter("cloud.rounds", 1);
+        for &edge in &self.edges {
+            env.send(
+                edge,
+                FlMsg::HierModel {
+                    params: global.clone(),
+                    round: self.round,
+                    weight: 0.0,
+                },
+            );
+        }
+        self.params = Some(global);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spyker_core::client::FlClient;
+    use spyker_core::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    /// Cloud = node 0, edges = 1..=2, clients 3..=6 (two per edge).
+    fn build() -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        let cfg = HierFavgConfig::paper_defaults().with_client_lr(0.5);
+        sim.add_node(Box::new(CloudServer::new(vec![1, 2], cfg)), Region::Hongkong);
+        sim.add_node(
+            Box::new(EdgeServer::new(0, vec![3, 4], ParamVec::zeros(1), cfg)),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(EdgeServer::new(0, vec![5, 6], ParamVec::zeros(1), cfg)),
+            Region::Sydney,
+        );
+        for (i, t) in [0.0f32, 1.0, 2.0, 3.0].into_iter().enumerate() {
+            let region = if i < 2 { Region::Paris } else { Region::Sydney };
+            sim.add_node(
+                Box::new(FlClient::new(
+                    1 + i / 2,
+                    Box::new(MeanTargetTrainer::new(vec![t], 10)),
+                    1,
+                    SimTime::from_millis(150),
+                )),
+                region,
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn cloud_rounds_complete_and_model_is_global() {
+        let mut sim = build();
+        sim.run(SimTime::from_secs(30));
+        let cloud = sim.node(0).as_any().downcast_ref::<CloudServer>().unwrap();
+        assert!(cloud.round() > 5, "only {} cloud rounds", cloud.round());
+        let v = cloud.params().expect("cloud has a model").as_slice()[0];
+        // Global mean of targets 0..3 is 1.5; synchronous averaging tracks
+        // it closely.
+        assert!((v - 1.5).abs() < 0.3, "cloud model at {v}");
+    }
+
+    #[test]
+    fn edges_pause_while_waiting_for_the_cloud() {
+        let mut sim = build();
+        sim.run(SimTime::from_secs(10));
+        let e1 = sim.node(1).as_any().downcast_ref::<EdgeServer>().unwrap();
+        let cloud = sim.node(0).as_any().downcast_ref::<CloudServer>().unwrap();
+        // Edge rounds per cloud round is exactly κ₂ (2): edges can't run
+        // ahead of the cloud by more than one batch of rounds.
+        assert!(e1.round() <= (cloud.round() + 1) * 2);
+    }
+
+    #[test]
+    fn two_level_aggregation_counts_updates_once() {
+        let mut sim = build();
+        sim.run(SimTime::from_secs(10));
+        let rounds = sim.metrics().counter("rounds");
+        assert_eq!(sim.metrics().counter("updates.processed"), rounds * 2);
+        assert!(sim.metrics().counter("cloud.rounds") > 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The three baseline FL algorithms the paper compares Spyker against.
+//!
+//! * [`fedavg::FedAvgServer`] — synchronous single-server FedAvg
+//!   (McMahan et al. 2017): waits for all client updates each round, then
+//!   computes the data-size weighted average (Eq. 2);
+//! * [`fedasync::FedAsyncServer`] — asynchronous single-server FedAsync
+//!   (Xie et al. 2019): integrates each update on arrival with polynomial
+//!   staleness weighting (Eq. 3);
+//! * [`hierfavg::{EdgeServer, CloudServer}`] — hierarchical FedAvg
+//!   (HierFAVG): edge servers run synchronous rounds with their clients and
+//!   a cloud server periodically averages the edge models.
+//!
+//! All three run on the same [`spyker_simnet`] substrate, exchange the same
+//! [`spyker_core::FlMsg`] messages and reuse the [`spyker_core::FlClient`]
+//! actor, so every difference measured in the experiments comes from the
+//! aggregation protocol, exactly as in the paper's emulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod fedasync;
+pub mod fedavg;
+pub mod hierfavg;
+
+pub use deploy::{fedasync_deployment, fedavg_deployment, hierfavg_deployment};
+pub use fedasync::{FedAsyncConfig, FedAsyncServer};
+pub use fedavg::{FedAvgConfig, FedAvgServer};
+pub use hierfavg::{CloudServer, EdgeServer, HierFavgConfig};

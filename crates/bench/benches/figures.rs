@@ -1,0 +1,137 @@
+//! Scaled-down end-to-end runs of every table and figure.
+//!
+//! Each bench runs the corresponding experiment at a tiny scale so
+//! `cargo bench` exercises the full pipeline (scenario construction, all
+//! five algorithms, probes, metrics) behind every reported number. The
+//! full-scale reproductions are the `spyker-experiments` binaries
+//! (`cargo run --release -p spyker-experiments --bin run_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spyker_experiments::suite::{imbalanced_assignment, Scale};
+use spyker_experiments::{run_algorithm, Algorithm, RunOptions, Scenario, TaskKind};
+use spyker_simnet::{NetworkConfig, SimTime};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        clients: 8,
+        servers: 2,
+        wikitext_clients: 4,
+        horizon: SimTime::from_secs(5),
+        target_accuracy: 0.7,
+        seed: 42,
+    }
+}
+
+fn tiny_opts() -> RunOptions {
+    RunOptions {
+        probe_interval: SimTime::from_millis(500),
+        eval_max: 80,
+        ..RunOptions::standard().with_max_time(SimTime::from_secs(5))
+    }
+}
+
+fn run_task(task: TaskKind, alg: Algorithm) {
+    let s = tiny_scale();
+    let scenario = match task {
+        TaskKind::MnistLike => Scenario::mnist(s.clients, s.servers, s.seed),
+        TaskKind::CifarLike => Scenario::cifar(s.clients, s.servers, s.seed),
+        TaskKind::WikiText => Scenario::wikitext(s.wikitext_clients, s.servers, s.seed),
+    };
+    let run = run_algorithm(alg, &scenario, &tiny_opts());
+    assert!(!run.samples.is_empty());
+}
+
+fn bench_convergence_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Figs. 5/6 (MNIST) — Spyker and the extremes of the comparison.
+    group.bench_function("fig5_6_mnist_spyker", |b| {
+        b.iter(|| run_task(TaskKind::MnistLike, Algorithm::Spyker));
+    });
+    group.bench_function("fig5_6_mnist_fedavg", |b| {
+        b.iter(|| run_task(TaskKind::MnistLike, Algorithm::FedAvg));
+    });
+    group.bench_function("fig5_6_mnist_fedasync", |b| {
+        b.iter(|| run_task(TaskKind::MnistLike, Algorithm::FedAsync));
+    });
+    group.bench_function("fig5_6_mnist_hierfavg", |b| {
+        b.iter(|| run_task(TaskKind::MnistLike, Algorithm::HierFavg));
+    });
+    group.bench_function("fig5_6_mnist_sync_spyker", |b| {
+        b.iter(|| run_task(TaskKind::MnistLike, Algorithm::SyncSpyker));
+    });
+
+    // Figs. 7/8 (CIFAR) and Figs. 3/4 (WikiText).
+    group.bench_function("fig7_8_cifar_spyker", |b| {
+        b.iter(|| run_task(TaskKind::CifarLike, Algorithm::Spyker));
+    });
+    group.bench_function("fig3_4_wikitext_spyker", |b| {
+        b.iter(|| run_task(TaskKind::WikiText, Algorithm::Spyker));
+    });
+    group.finish();
+}
+
+fn bench_table_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    let s = tiny_scale();
+
+    // Tab. 5: one scaled population step (2x clients).
+    group.bench_function("tab5_scaling_step_2x", |b| {
+        let scenario = Scenario::mnist(2 * s.clients, s.servers, s.seed);
+        b.iter(|| run_algorithm(Algorithm::Spyker, &scenario, &tiny_opts()));
+    });
+
+    // Tab. 6: the no-latency network variant.
+    group.bench_function("tab6_no_latency_spyker", |b| {
+        let scenario = Scenario::mnist(s.clients, s.servers, s.seed);
+        let opts = tiny_opts().with_net(NetworkConfig::uniform_all(SimTime::from_millis(2)));
+        b.iter(|| run_algorithm(Algorithm::Spyker, &scenario, &opts));
+    });
+
+    // Tab. 7: imbalanced assignment.
+    group.bench_function("tab7_imbalanced_spyker", |b| {
+        let scenario = Scenario::mnist(s.clients, s.servers, s.seed);
+        let opts = RunOptions {
+            assignment: Some(imbalanced_assignment(s.clients, s.servers, s.clients / 2)),
+            ..tiny_opts()
+        };
+        b.iter(|| run_algorithm(Algorithm::Spyker, &scenario, &opts));
+    });
+
+    // Fig. 9/10 companion: the queue/density probe path at fine cadence.
+    group.bench_function("fig9_10_fine_probe_fedasync", |b| {
+        let scenario = Scenario::mnist(2 * s.clients, 1, s.seed);
+        let opts = RunOptions {
+            probe_interval: SimTime::from_millis(100),
+            ..tiny_opts()
+        };
+        b.iter(|| run_algorithm(Algorithm::FedAsync, &scenario, &opts));
+    });
+
+    // Fig. 11: decay path (the spyker_config override path).
+    group.bench_function("fig11_decay_toggle", |b| {
+        let scenario = Scenario::mnist(s.clients, s.servers, s.seed);
+        let cfg = spyker_experiments::runner::default_spyker_config(&scenario);
+        let opts = RunOptions {
+            spyker_config: Some(cfg.clone().with_decay(cfg.decay.disabled())),
+            ..tiny_opts()
+        };
+        b.iter(|| run_algorithm(Algorithm::Spyker, &scenario, &opts));
+    });
+
+    // Fig. 12: bandwidth accounting across the 110 s window path.
+    group.bench_function("fig12_bandwidth_sync_spyker", |b| {
+        let scenario = Scenario::mnist(s.clients, s.servers, s.seed);
+        b.iter(|| {
+            let run = run_algorithm(Algorithm::SyncSpyker, &scenario, &tiny_opts());
+            assert!(run.metrics.counter("net.bytes") > 0);
+            run
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence_figures, bench_table_experiments);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Discrete-event simulator throughput.
+
+use std::any::Any;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spyker_simnet::{Env, NetworkConfig, Node, NodeId, Region, SimTime, Simulation, WireSize};
+
+#[derive(Debug, Clone)]
+struct Tick(u32);
+
+impl WireSize for Tick {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// A ping-pong pair that bounces `rounds` messages.
+struct Pong {
+    rounds: u32,
+}
+
+impl Node<Tick> for Pong {
+    fn on_start(&mut self, env: &mut dyn Env<Tick>) {
+        if env.me() == 0 {
+            env.send(1, Tick(0));
+        }
+    }
+    fn on_message(&mut self, env: &mut dyn Env<Tick>, from: NodeId, msg: Tick) {
+        if msg.0 < self.rounds {
+            env.send(from, Tick(msg.0 + 1));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A hub-and-spoke broadcaster: node 0 fans out to everyone repeatedly.
+struct Hub {
+    fanout: usize,
+    rounds: u32,
+    round: u32,
+    acks: usize,
+}
+
+impl Node<Tick> for Hub {
+    fn on_start(&mut self, env: &mut dyn Env<Tick>) {
+        if env.me() == 0 {
+            for peer in 1..=self.fanout {
+                env.send(peer, Tick(0));
+            }
+        }
+    }
+    fn on_message(&mut self, env: &mut dyn Env<Tick>, from: NodeId, msg: Tick) {
+        if env.me() != 0 {
+            env.send(0, msg);
+            return;
+        }
+        self.acks += 1;
+        if self.acks == self.fanout && self.round < self.rounds {
+            self.acks = 0;
+            self.round += 1;
+            for peer in 1..=self.fanout {
+                env.send(peer, Tick(self.round));
+            }
+        }
+        let _ = from;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    group.bench_function("ping_pong_10k_events", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(10)), 1);
+            sim.add_node(Box::new(Pong { rounds: 10_000 }), Region::Paris);
+            sim.add_node(Box::new(Pong { rounds: 10_000 }), Region::Sydney);
+            sim.run(SimTime::from_secs(100))
+        });
+    });
+
+    group.bench_function("hub_fanout_64_x_100_rounds", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(50)), 1);
+            sim.add_node(
+                Box::new(Hub { fanout: 64, rounds: 100, round: 0, acks: 0 }),
+                Region::Paris,
+            );
+            for i in 0..64 {
+                sim.add_node(
+                    Box::new(Hub { fanout: 0, rounds: 0, round: 0, acks: 0 }),
+                    Region::ALL[i % 4],
+                );
+            }
+            sim.run(SimTime::from_secs(100))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Measured cost of each algorithm's aggregation procedure — the
+//! counterpart of paper Tab. 3 (which the authors measured with Python's
+//! `time` package and feed into the emulation as constants).
+//!
+//! Model size is 100k parameters (the order of the paper's small CNNs).
+//! The *ratios* are what matter: Spyker/FedAsync-style incremental
+//! integration of one update vs FedAvg/HierFAVG-style whole-round
+//! averaging over all clients.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spyker_bench::random_params;
+use spyker_core::params::ParamVec;
+use spyker_core::staleness::{blended_age, server_agg_weight};
+
+const MODEL_DIM: usize = 100_000;
+const CLIENTS_PER_ROUND: usize = 100;
+
+fn bench_procedures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab3");
+    group.sample_size(20);
+
+    // Spyker / FedAsync / Sync-Spyker: integrate ONE client update.
+    group.bench_function("spyker_client_update_aggregation", |b| {
+        let update = random_params(MODEL_DIM, 1);
+        b.iter_batched(
+            || random_params(MODEL_DIM, 2),
+            |mut model| {
+                let w = 0.6 * 0.5f32;
+                model.lerp_toward(&update, w);
+                model
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // Spyker ServerAgg: sigmoid weight + merge + age blend.
+    group.bench_function("spyker_server_model_aggregation", |b| {
+        let peer = random_params(MODEL_DIM, 3);
+        b.iter_batched(
+            || (random_params(MODEL_DIM, 4), 120.0f64),
+            |(mut model, age)| {
+                let w = server_agg_weight(1.5, age, 150.0);
+                model.lerp_toward(&peer, 0.6 * w);
+                let age = blended_age(0.6, w, age, 150.0);
+                (model, age)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // FedAvg / HierFAVG: average a whole round of client updates.
+    group.bench_function("fedavg_round_aggregation_100_clients", |b| {
+        let updates: Vec<ParamVec> = (0..CLIENTS_PER_ROUND)
+            .map(|i| random_params(MODEL_DIM, 10 + i as u64))
+            .collect();
+        b.iter(|| {
+            let weighted: Vec<(&ParamVec, f64)> =
+                updates.iter().map(|p| (p, 1.0)).collect();
+            ParamVec::weighted_mean(&weighted)
+        });
+    });
+
+    // Sync-Spyker round: average the 4 server models.
+    group.bench_function("sync_spyker_server_round_4_servers", |b| {
+        let models: Vec<ParamVec> = (0..4)
+            .map(|i| random_params(MODEL_DIM, 200 + i as u64))
+            .collect();
+        b.iter(|| {
+            let weighted: Vec<(&ParamVec, f64)> =
+                models.iter().map(|p| (p, 1.0)).collect();
+            ParamVec::weighted_mean(&weighted)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_procedures);
+criterion_main!(benches);

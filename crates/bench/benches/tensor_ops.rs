@@ -1,0 +1,74 @@
+//! Training-substrate kernels: the operations every client update spends
+//! its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spyker_data::synth::{SynthImages, SynthImagesSpec};
+use spyker_models::linear::SoftmaxRegression;
+use spyker_models::lstm::CharLstm;
+use spyker_models::model::{DenseModel, SeqModel};
+use spyker_tensor::{cross_entropy_from_logits, im2col, xavier_init, Conv2dShape};
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let a = xavier_init(32, 64, &mut rng);
+    let b = xavier_init(64, 10, &mut rng);
+    group.bench_function("matmul_32x64_64x10", |bch| {
+        bch.iter(|| a.matmul(&b));
+    });
+
+    let big_a = xavier_init(128, 128, &mut rng);
+    let big_b = xavier_init(128, 128, &mut rng);
+    group.bench_function("matmul_128x128", |bch| {
+        bch.iter(|| big_a.matmul(&big_b));
+    });
+
+    let logits = xavier_init(32, 10, &mut rng);
+    let targets: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    group.bench_function("cross_entropy_batch32", |bch| {
+        bch.iter(|| cross_entropy_from_logits(&logits, &targets));
+    });
+
+    let shape = Conv2dShape {
+        in_channels: 3,
+        in_h: 32,
+        in_w: 32,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let input: Vec<f32> = (0..shape.input_len()).map(|i| i as f32 * 0.01).collect();
+    group.bench_function("im2col_3x32x32_k3", |bch| {
+        bch.iter(|| im2col(&input, &shape));
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models");
+    group.sample_size(20);
+
+    // One client-round of the MNIST scenario's default model.
+    let ds = SynthImages::generate(&SynthImagesSpec::mnist_like_scaled(400), 1);
+    let (x, y) = ds.train.gather_batch(&(0..40).collect::<Vec<_>>());
+    group.bench_function("softmax_regression_train_batch40", |bch| {
+        let mut model = SoftmaxRegression::new(64, 10, 1);
+        bch.iter(|| model.train_batch(&x, &y, 0.05));
+    });
+
+    // One BPTT window of the WikiText scenario's LSTM.
+    let window: Vec<u8> = (0..32u8).map(|i| i % 28).collect();
+    group.bench_function("char_lstm_train_window32", |bch| {
+        let mut model = CharLstm::new(28, 12, 16, 1);
+        bch.iter(|| model.train_window(&window, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! The asynchronous FL client actor (Alg. 1, `LocalTraining`).
+
+use std::any::Any;
+
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+use crate::msg::FlMsg;
+use crate::training::LocalTrainer;
+
+/// A federated client.
+///
+/// The client is purely reactive: whenever it receives a model from its
+/// server it trains the model on its private shard for the requested number
+/// of epochs at the requested learning rate, charges its (heterogeneous)
+/// training delay to virtual time, and sends the trained model back tagged
+/// with the age it arrived with (Alg. 1 ll. 4–10).
+///
+/// The same actor serves Spyker and every baseline: in synchronous
+/// algorithms (FedAvg, HierFAVG) the server simply chooses *when* to send
+/// models; the client's behaviour is identical.
+pub struct FlClient {
+    server: NodeId,
+    trainer: Box<dyn LocalTrainer>,
+    epochs: usize,
+    train_delay: SimTime,
+    updates_sent: u64,
+}
+
+impl FlClient {
+    /// Creates a client attached to `server`.
+    ///
+    /// `train_delay` is the virtual CPU time one local training takes on
+    /// this client — the paper samples it per client from N(150 ms, 7.5²)
+    /// and keeps it fixed across the experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn new(
+        server: NodeId,
+        trainer: Box<dyn LocalTrainer>,
+        epochs: usize,
+        train_delay: SimTime,
+    ) -> Self {
+        assert!(epochs > 0, "epochs must be positive");
+        Self {
+            server,
+            trainer,
+            epochs,
+            train_delay,
+            updates_sent: 0,
+        }
+    }
+
+    /// Number of updates this client has sent (paper Fig. 10's per-client
+    /// update counts).
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    /// The server this client reports to.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// This client's fixed training delay.
+    pub fn train_delay(&self) -> SimTime {
+        self.train_delay
+    }
+}
+
+impl Node<FlMsg> for FlClient {
+    fn on_start(&mut self, _env: &mut dyn Env<FlMsg>) {
+        // Clients wait for their server to send the initial model.
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let FlMsg::ModelToClient { mut params, age, lr } = msg else {
+            debug_assert!(false, "client received non-model message");
+            return;
+        };
+        debug_assert_eq!(from, self.server, "model from unexpected server");
+        // Local training: real gradient computation plus the emulated
+        // heterogeneous training delay in virtual time.
+        self.trainer.train(&mut params, lr, self.epochs);
+        env.busy(self.train_delay);
+        self.updates_sent += 1;
+        env.add_counter("updates.sent", 1);
+        env.send(
+            self.server,
+            FlMsg::ClientUpdate {
+                params,
+                age,
+                num_samples: self.trainer.num_samples(),
+            },
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamVec;
+    use crate::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    /// A bare-bones server that sends one model and records the reply.
+    struct OneShotServer {
+        client: NodeId,
+        reply: Option<(ParamVec, f64, usize)>,
+        reply_time: Option<SimTime>,
+    }
+
+    impl Node<FlMsg> for OneShotServer {
+        fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+            env.send(
+                self.client,
+                FlMsg::ModelToClient {
+                    params: ParamVec::zeros(2),
+                    age: 7.0,
+                    lr: 0.5,
+                },
+            );
+        }
+        fn on_message(&mut self, env: &mut dyn Env<FlMsg>, _from: NodeId, msg: FlMsg) {
+            if let FlMsg::ClientUpdate { params, age, num_samples } = msg {
+                self.reply = Some((params, age, num_samples));
+                self.reply_time = Some(env.now());
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn client_trains_echoes_age_and_charges_delay() {
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 0);
+        let server = sim.add_node(
+            Box::new(OneShotServer { client: 1, reply: None, reply_time: None }),
+            Region::Paris,
+        );
+        let trainer = MeanTargetTrainer::new(vec![1.0, 1.0], 13);
+        sim.add_node(
+            Box::new(FlClient::new(
+                server,
+                Box::new(trainer),
+                4,
+                SimTime::from_millis(150),
+            )),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(5));
+        let srv = sim.node(0).as_any().downcast_ref::<OneShotServer>().unwrap();
+        let (params, age, n) = srv.reply.as_ref().expect("no update received");
+        assert_eq!(*age, 7.0, "age must be echoed back");
+        assert_eq!(*n, 13);
+        // 4 epochs at lr 0.5 from 0 toward 1: 1 - 0.5^4 = 0.9375.
+        assert!((params.as_slice()[0] - 0.9375).abs() < 1e-5);
+        // Delivery: 10 ms there + 150 ms training + 10 ms back (+ tiny ser).
+        let t = srv.reply_time.unwrap();
+        assert!(t >= SimTime::from_millis(170) && t < SimTime::from_millis(172), "got {t}");
+        assert_eq!(sim.metrics().counter("updates.sent"), 1);
+    }
+
+    #[test]
+    fn client_is_idle_until_poked() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 0);
+        let trainer = MeanTargetTrainer::new(vec![0.0], 1);
+        sim.add_node(
+            Box::new(FlClient::new(0, Box::new(trainer), 1, SimTime::ZERO)),
+            Region::Paris,
+        );
+        let report = sim.run(SimTime::from_secs(1));
+        assert_eq!(report.events_processed, 1); // just its own start event
+    }
+}

@@ -1,0 +1,595 @@
+//! Multi-center (clustered) Spyker — the paper's stated future work.
+//!
+//! §7 of the paper: *"Future work includes exploring the possibility of
+//! integrating clustering algorithms in Spyker to enable servers to group
+//! clients based on possible similarities in their data distributions."*
+//!
+//! This module implements that extension in the IFCA style (Ghosh et al.,
+//! "An Efficient Framework for Clustered Federated Learning"), adapted to
+//! Spyker's asynchronous multi-server setting:
+//!
+//! * each server maintains `K` model centers; a client receives **all**
+//!   centers, evaluates them on its private data, trains the
+//!   **lowest-loss** one, and reports which center it chose — so clients
+//!   with similar data distributions gravitate to the same center and
+//!   contradictory populations stop fighting over a single model;
+//! * the chosen-center update is integrated with Alg. 1's staleness and
+//!   decay weighting, exactly like plain Spyker, but per center;
+//! * servers periodically broadcast their centers (fire-and-forget, no
+//!   barrier — servers never stop serving clients, preserving Spyker's
+//!   defining property); a received center is merged into the *nearest
+//!   local* center with the age-sigmoid weight of Alg. 2, which resolves
+//!   center correspondence across servers without an alignment round.
+//!
+//! The cost is bandwidth: every model delivery carries `K` centers. See
+//! the `ext_clustering` experiment for the accuracy payoff on populations
+//! with conflicting labels.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+use crate::config::SpykerConfig;
+use crate::decay::UpdateCounts;
+use crate::msg::FlMsg;
+use crate::params::ParamVec;
+use crate::staleness::{blended_age, server_agg_weight};
+
+/// Local training that can choose among several candidate models
+/// (the client half of clustered FL).
+pub trait ClusterTrainer: Send {
+    /// Scores every candidate on the local data (lower is better), trains
+    /// the best one in place for `epochs` at `lr`, and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `candidates` is empty.
+    fn train_best(&mut self, candidates: &mut [ParamVec], lr: f32, epochs: usize) -> usize;
+
+    /// Number of local data points.
+    fn num_samples(&self) -> usize;
+}
+
+/// A set of `K` model centers with per-center ages.
+#[derive(Debug, Clone)]
+pub struct KCenters {
+    centers: Vec<ParamVec>,
+    ages: Vec<f64>,
+}
+
+impl KCenters {
+    /// Creates `k` centers from (ideally distinct) initial models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inits` is empty or dimensions differ.
+    pub fn new(inits: Vec<ParamVec>) -> Self {
+        assert!(!inits.is_empty(), "need at least one center");
+        let dim = inits[0].len();
+        assert!(
+            inits.iter().all(|p| p.len() == dim),
+            "center dimensions differ"
+        );
+        let ages = vec![0.0; inits.len()];
+        Self {
+            centers: inits,
+            ages,
+        }
+    }
+
+    /// Number of centers.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The centers.
+    pub fn centers(&self) -> &[ParamVec] {
+        &self.centers
+    }
+
+    /// The per-center ages.
+    pub fn ages(&self) -> &[f64] {
+        &self.ages
+    }
+
+    /// Index of the center nearest to `params` (L2).
+    pub fn nearest(&self, params: &ParamVec) -> usize {
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for (i, c) in self.centers.iter().enumerate() {
+            let d = c.l2_distance(params);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Immutable access to center `i`.
+    pub fn center(&self, i: usize) -> &ParamVec {
+        &self.centers[i]
+    }
+
+    /// Integrates `update` into center `i` at rate `t`, growing its age by
+    /// `age_delta`.
+    pub fn integrate(&mut self, i: usize, update: &ParamVec, t: f32, age_delta: f64) {
+        self.centers[i].lerp_toward(update, t);
+        self.ages[i] += age_delta;
+    }
+
+    /// Merges a peer center into the nearest local center using Spyker's
+    /// sigmoid age weighting; returns the local index it merged into.
+    pub fn merge_peer(&mut self, peer: &ParamVec, peer_age: f64, phi: f32, eta_a: f32) -> usize {
+        let i = self.nearest(peer);
+        let w = server_agg_weight(phi, self.ages[i], peer_age);
+        self.centers[i].lerp_toward(peer, eta_a * w);
+        self.ages[i] = blended_age(eta_a, w, self.ages[i], peer_age);
+        i
+    }
+}
+
+const SYNC_TIMER: u64 = 7;
+
+/// The clustered client actor: receives all `K` centers, trains the one
+/// its data likes best, reports the choice with the update.
+pub struct ClusteredFlClient {
+    server: NodeId,
+    trainer: Box<dyn ClusterTrainer>,
+    epochs: usize,
+    train_delay: SimTime,
+    updates_sent: u64,
+    last_choice: Option<usize>,
+}
+
+impl ClusteredFlClient {
+    /// Creates a clustered client attached to `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn new(
+        server: NodeId,
+        trainer: Box<dyn ClusterTrainer>,
+        epochs: usize,
+        train_delay: SimTime,
+    ) -> Self {
+        assert!(epochs > 0, "epochs must be positive");
+        Self {
+            server,
+            trainer,
+            epochs,
+            train_delay,
+            updates_sent: 0,
+            last_choice: None,
+        }
+    }
+
+    /// Updates sent so far.
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    /// The center this client last chose, if any.
+    pub fn last_choice(&self) -> Option<usize> {
+        self.last_choice
+    }
+}
+
+impl Node<FlMsg> for ClusteredFlClient {
+    fn on_start(&mut self, _env: &mut dyn Env<FlMsg>) {}
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let FlMsg::CentersToClient { mut centers, ages, lr } = msg else {
+            debug_assert!(false, "clustered client received {msg:?}");
+            return;
+        };
+        debug_assert_eq!(from, self.server, "centers from unexpected server");
+        debug_assert!(!centers.is_empty(), "no centers offered");
+        let choice = self.trainer.train_best(&mut centers, lr, self.epochs);
+        self.last_choice = Some(choice);
+        env.busy(self.train_delay);
+        self.updates_sent += 1;
+        env.add_counter("updates.sent", 1);
+        let params = centers.swap_remove(choice);
+        env.send(
+            self.server,
+            FlMsg::ClusterUpdate {
+                params,
+                age: ages[choice],
+                center: choice,
+                num_samples: self.trainer.num_samples(),
+            },
+        );
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A Spyker server maintaining `K` model centers (the clustering
+/// extension).
+pub struct ClusteredSpykerServer {
+    server_nodes: Vec<NodeId>,
+    me_idx: usize,
+    clients: Vec<NodeId>,
+    client_local_idx: HashMap<NodeId, usize>,
+    /// The center each local client last chose.
+    assignment: Vec<usize>,
+    centers: KCenters,
+    cfg: SpykerConfig,
+    sync_period: SimTime,
+    counts: UpdateCounts,
+    client_lr: Vec<f32>,
+    processed_updates: u64,
+}
+
+impl ClusteredSpykerServer {
+    /// Creates the server with `inits.len()` centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are inconsistent (see [`KCenters::new`]).
+    pub fn new(
+        me_idx: usize,
+        server_nodes: Vec<NodeId>,
+        clients: Vec<NodeId>,
+        inits: Vec<ParamVec>,
+        cfg: SpykerConfig,
+        sync_period: SimTime,
+    ) -> Self {
+        assert!(me_idx < server_nodes.len(), "me_idx out of range");
+        assert!(sync_period > SimTime::ZERO, "sync_period must be positive");
+        let client_local_idx = clients
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
+        let counts = UpdateCounts::new(clients.len());
+        let client_lr = vec![cfg.decay.eta_init; clients.len()];
+        Self {
+            assignment: vec![0; clients.len()],
+            centers: KCenters::new(inits),
+            server_nodes,
+            me_idx,
+            client_local_idx,
+            counts,
+            client_lr,
+            cfg,
+            sync_period,
+            clients,
+            processed_updates: 0,
+        }
+    }
+
+    /// The centers.
+    pub fn centers(&self) -> &KCenters {
+        &self.centers
+    }
+
+    /// The center each local client last chose.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Client updates integrated.
+    pub fn processed_updates(&self) -> u64 {
+        self.processed_updates
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.server_nodes[self.me_idx];
+        self.server_nodes.iter().copied().filter(move |&id| id != me)
+    }
+
+    fn centers_msg(&self, lr: f32) -> FlMsg {
+        FlMsg::CentersToClient {
+            centers: self.centers.centers().to_vec(),
+            ages: self.centers.ages().to_vec(),
+            lr,
+        }
+    }
+}
+
+impl Node<FlMsg> for ClusteredSpykerServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        let msg = self.centers_msg(self.cfg.decay.eta_init);
+        for client in self.clients.clone() {
+            env.send(client, msg.clone());
+        }
+        if self.server_nodes.len() > 1 {
+            env.set_timer(self.sync_period, SYNC_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        match msg {
+            FlMsg::ClusterUpdate {
+                params,
+                age,
+                center,
+                ..
+            } => {
+                let Some(&k) = self.client_local_idx.get(&from) else {
+                    debug_assert!(false, "update from unknown client {from}");
+                    return;
+                };
+                debug_assert!(center < self.centers.k(), "bad center index");
+                env.busy(self.cfg.agg_cost);
+                self.assignment[k] = center;
+                let mut w = self
+                    .cfg
+                    .staleness
+                    .weight(self.centers.ages()[center], age);
+                if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
+                    w *= self.client_lr[k] / self.cfg.decay.eta_init;
+                }
+                let age_delta = if self.cfg.fractional_age {
+                    f64::from(w.min(1.0))
+                } else {
+                    1.0
+                };
+                self.centers
+                    .integrate(center, &params, self.cfg.server_lr * w, age_delta);
+                let u_k = self.counts.record(k);
+                let lr = self.cfg.decay.decay(u_k, self.counts.mean());
+                self.client_lr[k] = lr;
+                self.processed_updates += 1;
+                env.add_counter("updates.processed", 1);
+                let reply = self.centers_msg(lr);
+                env.send(from, reply);
+            }
+            FlMsg::ClusterModel { params, age, .. } => {
+                env.busy(self.cfg.agg_cost);
+                self.centers
+                    .merge_peer(&params, age, self.cfg.phi, self.cfg.eta_a);
+                env.add_counter("server.aggs", 1);
+            }
+            other => debug_assert!(false, "unexpected message {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, tag: u64) {
+        debug_assert_eq!(tag, SYNC_TIMER);
+        let me = self.me_idx;
+        for peer in self.peers().collect::<Vec<_>>() {
+            for (c, center) in self.centers.centers().iter().enumerate() {
+                env.send(
+                    peer,
+                    FlMsg::ClusterModel {
+                        params: center.clone(),
+                        age: self.centers.ages()[c],
+                        center: c,
+                        server_idx: me,
+                    },
+                );
+            }
+        }
+        env.add_counter("syncs.triggered", 1);
+        env.set_timer(self.sync_period, SYNC_TIMER);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// [`ClusterTrainer`] for the analytic mean-target model: candidate loss is
+/// the distance to the local target.
+pub struct MeanTargetClusterTrainer {
+    target: Vec<f32>,
+    samples: usize,
+}
+
+impl MeanTargetClusterTrainer {
+    /// Creates a trainer pulling toward `target`.
+    pub fn new(target: Vec<f32>, samples: usize) -> Self {
+        Self { target, samples }
+    }
+}
+
+impl ClusterTrainer for MeanTargetClusterTrainer {
+    fn train_best(&mut self, candidates: &mut [ParamVec], lr: f32, epochs: usize) -> usize {
+        assert!(!candidates.is_empty(), "no candidates");
+        let target = ParamVec::from_vec(self.target.clone());
+        let best = (0..candidates.len())
+            .min_by(|&a, &b| {
+                candidates[a]
+                    .l2_distance(&target)
+                    .partial_cmp(&candidates[b].l2_distance(&target))
+                    .expect("finite distances")
+            })
+            .expect("non-empty");
+        let lr = lr.clamp(0.0, 1.0);
+        for _ in 0..epochs {
+            candidates[best].lerp_toward(&target, lr);
+        }
+        best
+    }
+
+    fn num_samples(&self) -> usize {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    #[test]
+    fn nearest_center_assignment_is_by_distance() {
+        let kc = KCenters::new(vec![
+            ParamVec::from_vec(vec![0.0, 0.0]),
+            ParamVec::from_vec(vec![10.0, 10.0]),
+        ]);
+        assert_eq!(kc.nearest(&ParamVec::from_vec(vec![1.0, 1.0])), 0);
+        assert_eq!(kc.nearest(&ParamVec::from_vec(vec![9.0, 8.0])), 1);
+    }
+
+    #[test]
+    fn merge_peer_picks_the_nearest_center() {
+        let mut kc = KCenters::new(vec![
+            ParamVec::from_vec(vec![0.0]),
+            ParamVec::from_vec(vec![10.0]),
+        ]);
+        let merged_into = kc.merge_peer(&ParamVec::from_vec(vec![9.0]), 50.0, 1.5, 0.6);
+        assert_eq!(merged_into, 1);
+        assert!(kc.center(1).as_slice()[0] < 10.0);
+        assert_eq!(kc.center(0).as_slice()[0], 0.0);
+    }
+
+    /// Two contradictory client populations (targets +1 and −1): a single
+    /// model can only average them out, but two centers separate the
+    /// populations and serve each its own optimum.
+    #[test]
+    fn two_centers_resolve_contradictory_populations() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 13);
+        let n_clients = 8;
+        let cfg = SpykerConfig::paper_defaults(n_clients, 2);
+        let inits = vec![
+            ParamVec::from_vec(vec![0.05, -0.05]),
+            ParamVec::from_vec(vec![-0.05, 0.05]),
+        ];
+        for s in 0..2usize {
+            let clients = (0..n_clients)
+                .filter(|i| i % 2 == s)
+                .map(|i| 2 + i)
+                .collect();
+            sim.add_node(
+                Box::new(ClusteredSpykerServer::new(
+                    s,
+                    vec![0, 1],
+                    clients,
+                    inits.clone(),
+                    cfg.clone(),
+                    SimTime::from_millis(500),
+                )),
+                Region::ALL[s],
+            );
+        }
+        for i in 0..n_clients {
+            // Population A (i % 4 < 2): target (+1, +1); population B:
+            // (−1, −1). Both populations are present at both servers.
+            let t = if i % 4 < 2 { 1.0 } else { -1.0 };
+            let trainer: Box<dyn ClusterTrainer> =
+                Box::new(MeanTargetClusterTrainer::new(vec![t, t], 8));
+            sim.add_node(
+                Box::new(ClusteredFlClient::new(
+                    i % 2,
+                    trainer,
+                    1,
+                    SimTime::from_millis(150),
+                )),
+                Region::ALL[i % 2],
+            );
+        }
+        sim.run(SimTime::from_secs(30));
+        for s in 0..2 {
+            let server = sim
+                .node(s)
+                .as_any()
+                .downcast_ref::<ClusteredSpykerServer>()
+                .unwrap();
+            let centers = server.centers();
+            assert!(server.processed_updates() > 20);
+            let c0 = centers.center(0).as_slice()[0];
+            let c1 = centers.center(1).as_slice()[0];
+            let (hi, lo) = if c0 > c1 { (c0, c1) } else { (c1, c0) };
+            assert!(
+                hi > 0.6 && lo < -0.6,
+                "server {s} centers failed to separate: {c0} / {c1}"
+            );
+        }
+    }
+
+    #[test]
+    fn clients_report_their_chosen_center() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 5);
+        let cfg = SpykerConfig::paper_defaults(2, 1);
+        sim.add_node(
+            Box::new(ClusteredSpykerServer::new(
+                0,
+                vec![0],
+                vec![1, 2],
+                vec![
+                    ParamVec::from_vec(vec![0.9]),
+                    ParamVec::from_vec(vec![-0.9]),
+                ],
+                cfg,
+                SimTime::from_secs(1),
+            )),
+            Region::Hongkong,
+        );
+        for (i, t) in [(1usize, 1.0f32), (2, -1.0)] {
+            let trainer: Box<dyn ClusterTrainer> =
+                Box::new(MeanTargetClusterTrainer::new(vec![t], 4));
+            sim.add_node(
+                Box::new(ClusteredFlClient::new(0, trainer, 1, SimTime::from_millis(100))),
+                Region::Hongkong,
+            );
+            let _ = i;
+        }
+        sim.run(SimTime::from_secs(5));
+        let server = sim
+            .node(0)
+            .as_any()
+            .downcast_ref::<ClusteredSpykerServer>()
+            .unwrap();
+        // Client 0 (target +1) on the +0.9 center, client 1 on the -0.9 one.
+        assert_eq!(server.assignment(), &[0, 1]);
+        let c0 = sim.node(1).as_any().downcast_ref::<ClusteredFlClient>().unwrap();
+        assert_eq!(c0.last_choice(), Some(0));
+        assert!(c0.updates_sent() > 0);
+    }
+
+    #[test]
+    fn single_center_degenerates_to_plain_averaging() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 13);
+        let cfg = SpykerConfig::paper_defaults(4, 1);
+        sim.add_node(
+            Box::new(ClusteredSpykerServer::new(
+                0,
+                vec![0],
+                vec![1, 2, 3, 4],
+                vec![ParamVec::zeros(1)],
+                cfg,
+                SimTime::from_secs(1),
+            )),
+            Region::Hongkong,
+        );
+        for i in 0..4 {
+            let t = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let trainer: Box<dyn ClusterTrainer> =
+                Box::new(MeanTargetClusterTrainer::new(vec![t], 8));
+            sim.add_node(
+                Box::new(ClusteredFlClient::new(0, trainer, 1, SimTime::from_millis(150))),
+                Region::Hongkong,
+            );
+        }
+        sim.run(SimTime::from_secs(20));
+        let server = sim
+            .node(0)
+            .as_any()
+            .downcast_ref::<ClusteredSpykerServer>()
+            .unwrap();
+        let v = server.centers().center(0).as_slice()[0];
+        assert!(v.abs() < 0.9, "single center should average out, got {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one center")]
+    fn kcenters_rejects_empty_init() {
+        let _ = KCenters::new(Vec::new());
+    }
+}

@@ -1,0 +1,195 @@
+//! Client learning-rate decay (paper §4.1).
+//!
+//! Fast clients — those close to their server or with strong hardware —
+//! produce many more updates than slow ones (paper Fig. 10), which biases a
+//! server's model toward their data distribution. Spyker counters this by
+//! decaying the learning rate a server hands to a client once that client's
+//! update count exceeds the server-local average:
+//!
+//! ```text
+//! Decay(η, u_k, ū) = η                                  if u_k < ū
+//!                    max(η_min, η_base - β (u_k - ū))   if u_k ≥ ū
+//! ```
+//!
+//! with `β = 0.05` and `η_min = 10⁻⁶` in the paper (Tab. 2).
+
+/// Parameters of the decay function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayConfig {
+    /// Initial (and base-schedule) client learning rate `η_init`.
+    pub eta_init: f32,
+    /// Lower bound `η_min`.
+    pub eta_min: f32,
+    /// Decay rate `β` per excess update.
+    pub beta: f32,
+    /// When `false` the decay is disabled (paper Fig. 11 ablation) and
+    /// every client always receives `eta_init`.
+    pub enabled: bool,
+}
+
+impl DecayConfig {
+    /// The paper's Tab. 2 values: `η_init = 0.5`, `η_min = 10⁻⁶`,
+    /// `β = 0.05`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            eta_init: 0.5,
+            eta_min: 1e-6,
+            beta: 0.05,
+            enabled: true,
+        }
+    }
+
+    /// Same shape as the paper's defaults but scaled to a given base
+    /// learning rate: `β` is rescaled so the *relative* decay per excess
+    /// update is preserved (`β/η_init = 0.1`).
+    pub fn scaled(eta_init: f32) -> Self {
+        Self {
+            eta_init,
+            eta_min: 1e-6,
+            beta: 0.1 * eta_init,
+            enabled: true,
+        }
+    }
+
+    /// Disables decay (builder style).
+    pub fn disabled(mut self) -> Self {
+        self.enabled = false;
+        self
+    }
+
+    /// The `Decay` function of Alg. 1 l. 18.
+    ///
+    /// `u_k` is the number of updates received from the client, `u_mean`
+    /// the mean update count over this server's clients. The base schedule
+    /// `η[u[k]]` of the paper is the constant `eta_init` here (the paper
+    /// uses "the learning rate a client would use without decay"; no global
+    /// schedule is applied in its evaluation section).
+    pub fn decay(&self, u_k: u64, u_mean: f64) -> f32 {
+        if !self.enabled || (u_k as f64) < u_mean {
+            return self.eta_init;
+        }
+        let excess = (u_k as f64 - u_mean) as f32;
+        (self.eta_init - self.beta * excess).max(self.eta_min)
+    }
+}
+
+/// Per-client update accounting for one server (the `u` array and `ū` of
+/// Alg. 1).
+#[derive(Debug, Clone, Default)]
+pub struct UpdateCounts {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl UpdateCounts {
+    /// Creates accounting for `n_clients` clients (indices `0..n_clients`).
+    pub fn new(n_clients: usize) -> Self {
+        Self {
+            counts: vec![0; n_clients],
+            total: 0,
+        }
+    }
+
+    /// Records one update from local client index `k` and returns the new
+    /// count `u[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn record(&mut self, k: usize) -> u64 {
+        self.counts[k] += 1;
+        self.total += 1;
+        self.counts[k]
+    }
+
+    /// Update count of client `k`.
+    pub fn count(&self, k: usize) -> u64 {
+        self.counts[k]
+    }
+
+    /// Mean update count `ū` over all clients of this server.
+    pub fn mean(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// Total updates processed by this server.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All per-client counts (index = local client index).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_mean_keeps_base_rate() {
+        let cfg = DecayConfig::paper_defaults();
+        assert_eq!(cfg.decay(3, 10.0), 0.5);
+    }
+
+    #[test]
+    fn at_mean_starts_decaying_from_base() {
+        let cfg = DecayConfig::paper_defaults();
+        // u_k == ū: excess 0, still eta_init.
+        assert_eq!(cfg.decay(10, 10.0), 0.5);
+    }
+
+    #[test]
+    fn above_mean_decays_linearly() {
+        let cfg = DecayConfig::paper_defaults();
+        let eta = cfg.decay(14, 10.0);
+        assert!((eta - (0.5 - 0.05 * 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_is_bounded_below_by_eta_min() {
+        let cfg = DecayConfig::paper_defaults();
+        assert_eq!(cfg.decay(1_000, 0.0), 1e-6);
+    }
+
+    #[test]
+    fn disabled_decay_always_returns_base() {
+        let cfg = DecayConfig::paper_defaults().disabled();
+        assert_eq!(cfg.decay(1_000, 0.0), 0.5);
+    }
+
+    #[test]
+    fn decay_is_monotone_nonincreasing_in_u() {
+        let cfg = DecayConfig::paper_defaults();
+        let mut prev = f32::INFINITY;
+        for u in 0..100 {
+            let eta = cfg.decay(u, 10.0);
+            assert!(eta <= prev + 1e-9, "decay not monotone at u={u}");
+            prev = eta;
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_relative_decay() {
+        let cfg = DecayConfig::scaled(0.05);
+        assert!((cfg.beta / cfg.eta_init - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_counts_track_mean() {
+        let mut u = UpdateCounts::new(4);
+        u.record(0);
+        u.record(0);
+        u.record(1);
+        assert_eq!(u.count(0), 2);
+        assert_eq!(u.count(1), 1);
+        assert_eq!(u.count(2), 0);
+        assert!((u.mean() - 0.75).abs() < 1e-9);
+        assert_eq!(u.total(), 3);
+    }
+}

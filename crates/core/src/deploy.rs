@@ -1,0 +1,283 @@
+//! Convenience builders that wire a Spyker deployment into a simulation.
+//!
+//! The experiment harness builds richer topologies directly; these helpers
+//! cover the common case — `n` servers spread round-robin over the four AWS
+//! regions, clients split (evenly or per an explicit assignment) among the
+//! servers and co-located with them.
+
+use spyker_simnet::{NetworkConfig, Region, SimTime, Simulation};
+
+use crate::client::FlClient;
+use crate::config::SpykerConfig;
+use crate::msg::FlMsg;
+use crate::params::ParamVec;
+use crate::server::SpykerServer;
+use crate::sync_spyker::SyncSpykerServer;
+use crate::training::LocalTrainer;
+
+/// Specification of a Spyker deployment.
+pub struct SpykerDeploymentSpec {
+    /// Protocol configuration.
+    pub config: SpykerConfig,
+    /// One trainer per client (client `i` runs `trainers[i]`).
+    pub trainers: Vec<Box<dyn LocalTrainer>>,
+    /// Number of servers (spread round-robin over the four regions).
+    pub num_servers: usize,
+    /// Initial model, shared by all servers.
+    pub init_params: ParamVec,
+    /// Per-client local training delay (same length as `trainers`).
+    pub train_delay: Vec<SimTime>,
+}
+
+impl SpykerDeploymentSpec {
+    fn validate(&self, assignment: &[usize]) {
+        assert!(self.num_servers > 0, "need at least one server");
+        assert_eq!(
+            self.train_delay.len(),
+            self.trainers.len(),
+            "one train delay per client"
+        );
+        assert_eq!(
+            assignment.len(),
+            self.trainers.len(),
+            "one assignment per client"
+        );
+        assert!(
+            assignment.iter().all(|&s| s < self.num_servers),
+            "assignment references unknown server"
+        );
+    }
+}
+
+/// Which server each client reports to: by default client `i` goes to
+/// server `i % n`, which splits clients evenly among servers.
+pub fn even_assignment(num_clients: usize, num_servers: usize) -> Vec<usize> {
+    (0..num_clients).map(|i| i % num_servers).collect()
+}
+
+/// Region of server `i` in the round-robin layout used by the builders.
+pub fn server_region(i: usize) -> Region {
+    Region::ALL[i % 4]
+}
+
+/// Node ids of the clients of each server, given an assignment, in a layout
+/// where servers occupy ids `0..n` and client `i` has id `n + i`.
+pub fn clients_of_servers(assignment: &[usize], num_servers: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); num_servers];
+    for (i, &s) in assignment.iter().enumerate() {
+        out[s].push(num_servers + i);
+    }
+    out
+}
+
+/// Builds a ready-to-run Spyker simulation.
+///
+/// Node ids: servers occupy `0..num_servers`, clients follow. Each client is
+/// placed in its server's region (the paper assigns clients to their
+/// *nearest* server).
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent (empty servers, mismatched lengths).
+pub fn spyker_deployment(
+    net: NetworkConfig,
+    seed: u64,
+    spec: SpykerDeploymentSpec,
+) -> Simulation<FlMsg> {
+    let assignment = even_assignment(spec.trainers.len(), spec.num_servers);
+    spyker_deployment_assigned(net, seed, assignment, spec)
+}
+
+/// [`spyker_deployment`] with an explicit client→server assignment
+/// (`assignment[i]` is the server index of client `i`) — used by the
+/// client-imbalance experiment (paper Tab. 7).
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent.
+pub fn spyker_deployment_assigned(
+    net: NetworkConfig,
+    seed: u64,
+    assignment: Vec<usize>,
+    spec: SpykerDeploymentSpec,
+) -> Simulation<FlMsg> {
+    spec.validate(&assignment);
+    let n = spec.num_servers;
+    let mut sim = Simulation::new(net, seed);
+    let server_nodes: Vec<usize> = (0..n).collect();
+    let clients_of = clients_of_servers(&assignment, n);
+    for (i, clients) in clients_of.iter().enumerate() {
+        sim.add_node(
+            Box::new(SpykerServer::new(
+                i,
+                server_nodes.clone(),
+                clients.clone(),
+                spec.init_params.clone(),
+                spec.config.clone(),
+            )),
+            server_region(i),
+        );
+    }
+    add_clients(
+        &mut sim,
+        &assignment,
+        spec.trainers,
+        &spec.train_delay,
+        spec.config.client_epochs,
+    );
+    sim
+}
+
+/// Builds a Sync-Spyker deployment (synchronous server exchange every
+/// `sync_period`).
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent.
+pub fn sync_spyker_deployment(
+    net: NetworkConfig,
+    seed: u64,
+    sync_period: SimTime,
+    spec: SpykerDeploymentSpec,
+) -> Simulation<FlMsg> {
+    let assignment = even_assignment(spec.trainers.len(), spec.num_servers);
+    spec.validate(&assignment);
+    let n = spec.num_servers;
+    let mut sim = Simulation::new(net, seed);
+    let server_nodes: Vec<usize> = (0..n).collect();
+    let clients_of = clients_of_servers(&assignment, n);
+    for (i, clients) in clients_of.iter().enumerate() {
+        sim.add_node(
+            Box::new(SyncSpykerServer::new(
+                i,
+                server_nodes.clone(),
+                clients.clone(),
+                spec.init_params.clone(),
+                spec.config.clone(),
+                sync_period,
+            )),
+            server_region(i),
+        );
+    }
+    add_clients(
+        &mut sim,
+        &assignment,
+        spec.trainers,
+        &spec.train_delay,
+        spec.config.client_epochs,
+    );
+    sim
+}
+
+/// Adds the client actors for a deployment whose servers are already in the
+/// simulation (servers must occupy ids `0..num_servers`). Client `i` is
+/// attached to server `assignment[i]` and placed in that server's region.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch.
+pub fn add_clients(
+    sim: &mut Simulation<FlMsg>,
+    assignment: &[usize],
+    trainers: Vec<Box<dyn LocalTrainer>>,
+    train_delay: &[SimTime],
+    epochs: usize,
+) {
+    assert_eq!(trainers.len(), assignment.len(), "one assignment per trainer");
+    assert_eq!(trainers.len(), train_delay.len(), "one delay per trainer");
+    for (i, trainer) in trainers.into_iter().enumerate() {
+        let server = assignment[i];
+        sim.add_node(
+            Box::new(FlClient::new(server, trainer, epochs, train_delay[i])),
+            server_region(server),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::MeanTargetTrainer;
+
+    fn toy_spec(num_clients: usize, num_servers: usize) -> SpykerDeploymentSpec {
+        SpykerDeploymentSpec {
+            config: SpykerConfig::paper_defaults(num_clients, num_servers)
+                .with_thresholds(2.0, 50.0),
+            trainers: (0..num_clients)
+                .map(|i| {
+                    Box::new(MeanTargetTrainer::new(vec![i as f32], 8))
+                        as Box<dyn LocalTrainer>
+                })
+                .collect(),
+            num_servers,
+            init_params: ParamVec::zeros(1),
+            train_delay: vec![SimTime::from_millis(150); num_clients],
+        }
+    }
+
+    #[test]
+    fn even_assignment_is_balanced() {
+        let a = even_assignment(10, 4);
+        let counts: Vec<usize> =
+            (0..4).map(|s| a.iter().filter(|&&x| x == s).count()).collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn clients_of_servers_uses_offset_node_ids() {
+        let of = clients_of_servers(&[0, 1, 0], 2);
+        assert_eq!(of[0], vec![2, 4]);
+        assert_eq!(of[1], vec![3]);
+    }
+
+    #[test]
+    fn spyker_deployment_runs_and_processes_updates() {
+        let mut sim = spyker_deployment(NetworkConfig::aws(), 11, toy_spec(8, 4));
+        assert_eq!(sim.num_nodes(), 12);
+        sim.run(SimTime::from_secs(5));
+        assert!(sim.metrics().counter("updates.processed") > 8);
+    }
+
+    #[test]
+    fn sync_spyker_deployment_runs() {
+        let mut sim = sync_spyker_deployment(
+            NetworkConfig::aws(),
+            11,
+            SimTime::from_millis(500),
+            toy_spec(8, 4),
+        );
+        sim.run(SimTime::from_secs(5));
+        assert!(sim.metrics().counter("updates.processed") > 8);
+        assert!(sim.metrics().counter("syncs.triggered") > 0);
+    }
+
+    #[test]
+    fn imbalanced_assignment_is_respected() {
+        // 6 clients, server 0 takes 4 of them.
+        let assignment = vec![0, 0, 0, 0, 1, 1];
+        let mut spec = toy_spec(6, 2);
+        spec.config = SpykerConfig::paper_defaults(6, 2).with_thresholds(2.0, 50.0);
+        let mut sim =
+            spyker_deployment_assigned(NetworkConfig::aws(), 2, assignment, spec);
+        sim.run(SimTime::from_secs(5));
+        let s0 = sim
+            .node(0)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .unwrap();
+        let s1 = sim
+            .node(1)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .unwrap();
+        assert!(s0.processed_updates() > s1.processed_updates());
+    }
+
+    #[test]
+    #[should_panic(expected = "one train delay per client")]
+    fn deployment_rejects_mismatched_delays() {
+        let mut spec = toy_spec(4, 2);
+        spec.train_delay.pop();
+        let _ = spyker_deployment(NetworkConfig::aws(), 1, spec);
+    }
+}

@@ -1,0 +1,194 @@
+//! The message vocabulary of all FL algorithms in this workspace.
+//!
+//! One shared enum keeps the client actor reusable across Spyker and the
+//! baselines and gives the bandwidth accounting a uniform view
+//! ([`spyker_simnet::WireSize::kind`] labels client–server vs server–server
+//! traffic, the split paper Fig. 12 reports).
+
+use spyker_simnet::WireSize;
+
+use crate::params::ParamVec;
+use crate::token::Token;
+
+/// A protocol message.
+#[derive(Debug, Clone)]
+pub enum FlMsg {
+    /// Server → client: a (global) model to train on (Alg. 1 trigger).
+    ModelToClient {
+        /// Model parameters.
+        params: ParamVec,
+        /// Age `A_i` of the model when sent (echoed back by the client).
+        age: f64,
+        /// Learning rate `η_k` the client must use (decayed by the server).
+        lr: f32,
+    },
+    /// Client → server: a locally trained model (Alg. 1 l. 10).
+    ClientUpdate {
+        /// The trained parameters.
+        params: ParamVec,
+        /// Age of the model this update was computed from.
+        age: f64,
+        /// Number of local data points `d_k`.
+        num_samples: usize,
+    },
+    /// Server → server: a model broadcast during a synchronisation
+    /// (Alg. 2 l. 25/35), tagged with the synchronisation id.
+    ServerModel {
+        /// The sender's model.
+        params: ParamVec,
+        /// The sender's model age `A_i`.
+        age: f64,
+        /// Synchronisation id this broadcast belongs to.
+        bid: u64,
+        /// Sender's server index (dense, `0..n`).
+        server_idx: usize,
+    },
+    /// Server → server: age advertisement so the token holder can trigger a
+    /// synchronisation (Alg. 2 l. 29 / `RcvAge`).
+    AgeGossip {
+        /// The advertised model age.
+        age: f64,
+        /// Sender's server index.
+        server_idx: usize,
+    },
+    /// Server → server: the ring token (Alg. 2 l. 41).
+    TokenPass(Token),
+    /// Server → client: all `K` centers of a clustered server (the client
+    /// evaluates each on local data and trains the best — IFCA style).
+    CentersToClient {
+        /// The centers.
+        centers: Vec<ParamVec>,
+        /// Per-center ages (echoed back for the chosen center).
+        ages: Vec<f64>,
+        /// Learning rate the client must use.
+        lr: f32,
+    },
+    /// Client → server: a trained update for one chosen center.
+    ClusterUpdate {
+        /// The trained parameters.
+        params: ParamVec,
+        /// Age the chosen center had when offered.
+        age: f64,
+        /// Which center the client chose.
+        center: usize,
+        /// Number of local data points.
+        num_samples: usize,
+    },
+    /// Server → server: one model center of a clustered (multi-center)
+    /// server — the clustering extension of `crate::cluster`.
+    ClusterModel {
+        /// The center's parameters.
+        params: ParamVec,
+        /// The center's age.
+        age: f64,
+        /// Center index at the sender.
+        center: usize,
+        /// Sender's server index.
+        server_idx: usize,
+    },
+    /// Cloud → edge or edge → cloud model transfer in hierarchical FL
+    /// (HierFAVG); `round` is the cloud aggregation round.
+    HierModel {
+        /// The transferred model.
+        params: ParamVec,
+        /// Cloud round number.
+        round: u64,
+        /// Total data points represented by this model (edge → cloud
+        /// weighting).
+        weight: f64,
+    },
+}
+
+impl FlMsg {
+    /// `true` for the client–server message types.
+    pub fn is_client_server(&self) -> bool {
+        matches!(
+            self,
+            FlMsg::ModelToClient { .. }
+                | FlMsg::ClientUpdate { .. }
+                | FlMsg::CentersToClient { .. }
+                | FlMsg::ClusterUpdate { .. }
+        )
+    }
+}
+
+impl WireSize for FlMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            FlMsg::ModelToClient { params, .. } => params.wire_size() + 12,
+            FlMsg::ClientUpdate { params, .. } => params.wire_size() + 16,
+            FlMsg::ServerModel { params, .. } => params.wire_size() + 24,
+            FlMsg::ClusterModel { params, .. } => params.wire_size() + 24,
+            FlMsg::CentersToClient { centers, .. } => {
+                centers.iter().map(ParamVec::wire_size).sum::<usize>()
+                    + 8 * centers.len()
+                    + 12
+            }
+            FlMsg::ClusterUpdate { params, .. } => params.wire_size() + 24,
+            FlMsg::AgeGossip { .. } => 16,
+            FlMsg::TokenPass(token) => token.wire_size(),
+            FlMsg::HierModel { params, .. } => params.wire_size() + 16,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            FlMsg::ModelToClient { .. }
+            | FlMsg::ClientUpdate { .. }
+            | FlMsg::CentersToClient { .. }
+            | FlMsg::ClusterUpdate { .. } => "client-server",
+            FlMsg::ServerModel { .. }
+            | FlMsg::ClusterModel { .. }
+            | FlMsg::AgeGossip { .. }
+            | FlMsg::TokenPass(_) => "server-server",
+            FlMsg::HierModel { .. } => "server-server",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_messages_dominate_wire_size() {
+        let m = FlMsg::ModelToClient {
+            params: ParamVec::zeros(1000),
+            age: 0.0,
+            lr: 0.5,
+        };
+        assert!(m.wire_size() > 4000);
+        assert_eq!(m.kind(), "client-server");
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(
+            FlMsg::AgeGossip {
+                age: 1.0,
+                server_idx: 0
+            }
+            .wire_size()
+                < 100
+        );
+        assert!(FlMsg::TokenPass(Token::initial(4)).wire_size() < 100);
+    }
+
+    #[test]
+    fn kinds_separate_traffic_classes() {
+        let server = FlMsg::ServerModel {
+            params: ParamVec::zeros(4),
+            age: 0.0,
+            bid: 1,
+            server_idx: 0,
+        };
+        assert_eq!(server.kind(), "server-server");
+        assert!(!server.is_client_server());
+        let client = FlMsg::ClientUpdate {
+            params: ParamVec::zeros(4),
+            age: 0.0,
+            num_samples: 10,
+        };
+        assert!(client.is_client_server());
+    }
+}

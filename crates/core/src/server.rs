@@ -1,0 +1,546 @@
+//! The Spyker server actor (Alg. 1 `Aggregation` + Alg. 2).
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use spyker_simnet::{Env, Node, NodeId};
+
+use crate::config::SpykerConfig;
+use crate::decay::UpdateCounts;
+use crate::msg::FlMsg;
+use crate::params::ParamVec;
+use crate::staleness::{blended_age, server_agg_weight};
+use crate::token::Token;
+
+/// One Spyker server.
+///
+/// A server owns a model and an age, integrates client updates as they
+/// arrive (never blocking on peers), and participates in the token-triggered
+/// asynchronous exchange of server models. See the module-level pseudocode
+/// mapping in `DESIGN.md` §2.
+pub struct SpykerServer {
+    server_idx: usize,
+    server_nodes: Vec<NodeId>,
+    ring_next: NodeId,
+    clients: Vec<NodeId>,
+    client_local_idx: HashMap<NodeId, usize>,
+
+    params: ParamVec,
+    age: f64,
+    age_prev: f64,
+    ages: Vec<f64>,
+
+    cfg: SpykerConfig,
+    counts: UpdateCounts,
+
+    token: Option<Token>,
+    did_broadcast: HashSet<u64>,
+    cnt: HashMap<u64, usize>,
+    ongoing_synchro: bool,
+
+    /// Learning rate last handed to each local client (what the incoming
+    /// update was trained with).
+    client_lr: Vec<f32>,
+
+    processed_updates: u64,
+    last_gossip_at: u64,
+    syncs_triggered: u64,
+    server_aggs: u64,
+}
+
+impl SpykerServer {
+    /// Creates server `server_idx` of the deployment.
+    ///
+    /// * `server_nodes[i]` is the node id of server `i`; the token ring
+    ///   follows this order.
+    /// * `clients` are the node ids of the clients assigned to this server.
+    /// * Server 0 initially holds the token (`ServerInit`, Alg. 2 l. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_idx` is out of range or `server_nodes` is empty.
+    pub fn new(
+        server_idx: usize,
+        server_nodes: Vec<NodeId>,
+        clients: Vec<NodeId>,
+        init_params: ParamVec,
+        cfg: SpykerConfig,
+    ) -> Self {
+        assert!(!server_nodes.is_empty(), "need at least one server");
+        assert!(server_idx < server_nodes.len(), "server_idx out of range");
+        let n = server_nodes.len();
+        let ring_next = server_nodes[(server_idx + 1) % n];
+        let client_local_idx = clients
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
+        let counts = UpdateCounts::new(clients.len());
+        let client_lr = vec![cfg.decay.eta_init; clients.len()];
+        Self {
+            client_lr,
+            server_idx,
+            ring_next,
+            client_local_idx,
+            token: (server_idx == 0).then(|| Token::initial(n)),
+            ages: vec![0.0; n],
+            server_nodes,
+            clients,
+            params: init_params,
+            age: 0.0,
+            age_prev: 0.0,
+            cfg,
+            counts,
+            did_broadcast: HashSet::new(),
+            cnt: HashMap::new(),
+            ongoing_synchro: false,
+            processed_updates: 0,
+            last_gossip_at: 0,
+            syncs_triggered: 0,
+            server_aggs: 0,
+        }
+    }
+
+    /// This server's current model.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// This server's current model age `A_i`.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+
+    /// Number of client updates this server has integrated.
+    pub fn processed_updates(&self) -> u64 {
+        self.processed_updates
+    }
+
+    /// Number of synchronisations this server has triggered as token holder.
+    pub fn syncs_triggered(&self) -> u64 {
+        self.syncs_triggered
+    }
+
+    /// Number of peer models this server has aggregated.
+    pub fn server_aggs(&self) -> u64 {
+        self.server_aggs
+    }
+
+    /// `true` while this server holds the ring token.
+    pub fn has_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    /// Per-client update counts (local client index order).
+    pub fn update_counts(&self) -> &[u64] {
+        self.counts.counts()
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.server_nodes[self.server_idx];
+        self.server_nodes.iter().copied().filter(move |&id| id != me)
+    }
+
+    /// Alg. 1 `Aggregation`: integrate one client update.
+    fn on_client_update(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        update: ParamVec,
+        update_age: f64,
+    ) {
+        let Some(&k) = self.client_local_idx.get(&from) else {
+            debug_assert!(false, "update from unknown client {from}");
+            return;
+        };
+        env.busy(self.cfg.agg_cost);
+        // l. 14–15: staleness-weighted integration. With decay-weighted
+        // aggregation (see SpykerConfig) the weight also shrinks with the
+        // learning rate the update was trained at, so decayed clients'
+        // near-echo updates stop anchoring the model.
+        let mut w = self.cfg.staleness.weight(self.age, update_age);
+        if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
+            w *= self.client_lr[k] / self.cfg.decay.eta_init;
+        }
+        self.params
+            .lerp_toward(&update, self.cfg.server_lr * w);
+        // l. 16: the model embodies (a weight's worth of) one more update.
+        self.age += if self.cfg.fractional_age { w.min(1.0) as f64 } else { 1.0 };
+        self.ages[self.server_idx] = self.age;
+        // l. 17–18: update accounting and learning-rate decay.
+        let u_k = self.counts.record(k);
+        let lr = self.cfg.decay.decay(u_k, self.counts.mean());
+        self.client_lr[k] = lr;
+        self.processed_updates += 1;
+        env.add_counter("updates.processed", 1);
+        // l. 19: return the fresh model immediately (the client never
+        // waits on server-server synchronisation).
+        env.send(
+            from,
+            FlMsg::ModelToClient {
+                params: self.params.clone(),
+                age: self.age,
+                lr,
+            },
+        );
+        // l. 20.
+        self.check_synchronization(env);
+    }
+
+    /// Alg. 2 `checkSynchronization`.
+    fn check_synchronization(&mut self, env: &mut dyn Env<FlMsg>) {
+        if self.server_nodes.len() < 2 {
+            return; // a single server has no one to synchronise with
+        }
+        let max = self.ages.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.ages.iter().cloned().fold(f64::MAX, f64::min);
+        let drift = max - min >= self.cfg.h_inter;
+        let aged = self.age - self.age_prev >= self.cfg.h_intra;
+        if !(drift || aged) {
+            return;
+        }
+        match &self.token {
+            Some(token) if !self.ongoing_synchro => {
+                // l. 23–27: trigger an exchange under the current bid.
+                let bid = token.bid;
+                self.age_prev = self.age;
+                self.ongoing_synchro = true;
+                self.did_broadcast.insert(bid);
+                self.cnt.insert(bid, 1);
+                self.syncs_triggered += 1;
+                env.add_counter("syncs.triggered", 1);
+                let msg_params = self.params.clone();
+                let age = self.age;
+                let idx = self.server_idx;
+                for peer in self.peers().collect::<Vec<_>>() {
+                    env.send(
+                        peer,
+                        FlMsg::ServerModel {
+                            params: msg_params.clone(),
+                            age,
+                            bid,
+                            server_idx: idx,
+                        },
+                    );
+                }
+            }
+            Some(_) => { /* already synchronising under this token */ }
+            None => {
+                // l. 29: advertise our age so the holder can trigger.
+                // Rate-limited to one gossip per `gossip_backoff` locally
+                // processed updates (see SpykerConfig::gossip_backoff).
+                if self.processed_updates
+                    >= self.last_gossip_at + self.cfg.gossip_backoff
+                {
+                    self.last_gossip_at = self.processed_updates;
+                    let age = self.age;
+                    let idx = self.server_idx;
+                    for peer in self.peers().collect::<Vec<_>>() {
+                        env.send(peer, FlMsg::AgeGossip { age, server_idx: idx });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Alg. 2 `RcvAge`.
+    fn on_age_gossip(&mut self, env: &mut dyn Env<FlMsg>, server_idx: usize, age: f64) {
+        self.ages[server_idx] = self.ages[server_idx].max(age);
+        self.check_synchronization(env);
+    }
+
+    /// Alg. 2 `RcvToken`.
+    fn on_token(&mut self, env: &mut dyn Env<FlMsg>, mut token: Token) {
+        for (local, &carried) in self.ages.iter_mut().zip(&token.ages) {
+            *local = local.max(carried);
+        }
+        // l. 17: stamp a fresh bid for the exchange this holder may trigger.
+        token.bid += 1;
+        self.token = Some(token);
+        self.check_synchronization(env);
+    }
+
+    /// Alg. 2 `RcvModel` + `ServerAgg`.
+    fn on_server_model(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        peer_idx: usize,
+        peer_params: ParamVec,
+        peer_age: f64,
+        bid: u64,
+    ) {
+        self.ages[peer_idx] = self.ages[peer_idx].max(peer_age);
+        // l. 32–35: echo our model once per synchronisation id.
+        if !self.did_broadcast.contains(&bid) {
+            self.did_broadcast.insert(bid);
+            self.age_prev = self.age;
+            let params = self.params.clone();
+            let age = self.age;
+            let idx = self.server_idx;
+            for peer in self.peers().collect::<Vec<_>>() {
+                env.send(
+                    peer,
+                    FlMsg::ServerModel {
+                        params: params.clone(),
+                        age,
+                        bid,
+                        server_idx: idx,
+                    },
+                );
+            }
+        }
+        // `ServerAgg` (ll. 45–50): sigmoid-weighted merge plus age blend.
+        env.busy(self.cfg.agg_cost);
+        let w = server_agg_weight(self.cfg.phi, self.age, peer_age);
+        self.params
+            .lerp_toward(&peer_params, self.cfg.eta_a * w);
+        self.age = blended_age(self.cfg.eta_a, w, self.age, peer_age);
+        self.ages[self.server_idx] = self.age;
+        self.server_aggs += 1;
+        env.add_counter("server.aggs", 1);
+        // l. 37–43: the token holder forwards the token once it has seen
+        // every server's model for its bid.
+        if let Some(token) = &self.token {
+            if token.bid == bid {
+                let seen = self.cnt.entry(bid).or_insert(0);
+                *seen += 1;
+                if *seen == self.server_nodes.len() {
+                    let mut token = self.token.take().expect("checked above");
+                    token.ages = self.ages.clone();
+                    env.send(self.ring_next, FlMsg::TokenPass(token));
+                    self.ongoing_synchro = false;
+                }
+            }
+        }
+    }
+}
+
+impl Node<FlMsg> for SpykerServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        // Kick every client off with the initial model.
+        let params = self.params.clone();
+        let age = self.age;
+        let lr = self.cfg.decay.eta_init;
+        for client in self.clients.clone() {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: params.clone(),
+                    age,
+                    lr,
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        match msg {
+            FlMsg::ClientUpdate { params, age, .. } => {
+                self.on_client_update(env, from, params, age);
+            }
+            FlMsg::AgeGossip { age, server_idx } => {
+                self.on_age_gossip(env, server_idx, age);
+            }
+            FlMsg::TokenPass(token) => self.on_token(env, token),
+            FlMsg::ServerModel {
+                params,
+                age,
+                bid,
+                server_idx,
+            } => self.on_server_model(env, server_idx, params, age, bid),
+            other => debug_assert!(false, "unexpected message {other:?}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::FlClient;
+    use crate::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, SimTime, Simulation};
+
+    /// Two servers, two clients each; client targets average to 1.5.
+    fn build_two_server_sim(cfg: SpykerConfig) -> Simulation<FlMsg> {
+        build_two_server_sim_delay(cfg, SimTime::from_millis(150))
+    }
+
+    fn build_two_server_sim_delay(cfg: SpykerConfig, delay: SimTime) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 3);
+        let server_nodes = vec![0, 1];
+        let targets = [0.0f32, 1.0, 2.0, 3.0];
+        let s0 = SpykerServer::new(
+            0,
+            server_nodes.clone(),
+            vec![2, 3],
+            ParamVec::zeros(2),
+            cfg.clone(),
+        );
+        let s1 = SpykerServer::new(
+            1,
+            server_nodes,
+            vec![4, 5],
+            ParamVec::zeros(2),
+            cfg,
+        );
+        sim.add_node(Box::new(s0), Region::Paris);
+        sim.add_node(Box::new(s1), Region::Sydney);
+        for (i, &t) in targets.iter().enumerate() {
+            let region = if i < 2 { Region::Paris } else { Region::Sydney };
+            let trainer = MeanTargetTrainer::new(vec![t, t], 10);
+            sim.add_node(
+                Box::new(FlClient::new(
+                    i / 2, // clients 2,3 -> server 0; clients 4,5 -> server 1
+                    Box::new(trainer),
+                    1,
+                    delay,
+                )),
+                region,
+            );
+        }
+        sim
+    }
+
+    fn server<'a>(sim: &'a Simulation<FlMsg>, id: usize) -> &'a SpykerServer {
+        sim.node(id).as_any().downcast_ref::<SpykerServer>().unwrap()
+    }
+
+    fn tight_cfg() -> SpykerConfig {
+        // Small thresholds so synchronisation happens often in short tests.
+        SpykerConfig::paper_defaults(4, 2).with_thresholds(3.0, 20.0)
+    }
+
+    #[test]
+    fn servers_process_updates_and_age() {
+        let mut sim = build_two_server_sim(tight_cfg());
+        sim.run(SimTime::from_secs(5));
+        for id in 0..2 {
+            let s = server(&sim, id);
+            assert!(s.processed_updates() > 5, "server {id} barely worked");
+            assert!(s.age() > 0.0);
+        }
+        assert!(sim.metrics().counter("updates.processed") > 10);
+    }
+
+    #[test]
+    fn synchronisation_shrinks_the_inter_server_gap() {
+        // Clients keep pulling each server toward its local (non-IID) mean,
+        // so the instantaneous values oscillate; the robust effect of the
+        // token-triggered exchange is that the *gap* between the two server
+        // models is much smaller than without synchronisation (0.5 vs 2.5).
+        let gap = |cfg: SpykerConfig| {
+            // Slow clients (600 ms) so exchanges are frequent relative to
+            // the never-vanishing local pull of MeanTargetTrainer.
+            let mut sim = build_two_server_sim_delay(cfg, SimTime::from_millis(600));
+            sim.run(SimTime::from_secs(60));
+            let v0 = server(&sim, 0).params().as_slice()[0] as f64;
+            let v1 = server(&sim, 1).params().as_slice()[0] as f64;
+            (v1 - v0, sim.metrics().counter("syncs.triggered"))
+        };
+        // Frequent sync: trigger every ~5 own updates or 1.0 age drift.
+        let (gap_sync, syncs) =
+            gap(SpykerConfig::paper_defaults(4, 2).with_thresholds(1.0, 2.0));
+        let (gap_none, no_syncs) =
+            gap(SpykerConfig::paper_defaults(4, 2).with_thresholds(1e12, 1e12));
+        assert!(syncs > 0, "no synchronisation ever triggered");
+        assert_eq!(no_syncs, 0);
+        assert!(
+            gap_sync < gap_none - 0.5,
+            "sync did not shrink the gap: {gap_sync} vs {gap_none}"
+        );
+    }
+
+    #[test]
+    fn token_keeps_circulating() {
+        let mut sim = build_two_server_sim(tight_cfg());
+        sim.run(SimTime::from_secs(20));
+        // At most one server holds the token (it may be in flight when the
+        // run is cut off), and both servers triggered synchronisations —
+        // which requires the token to have visited both.
+        let holders = (0..2).filter(|&id| server(&sim, id).has_token()).count();
+        assert!(holders <= 1, "token duplicated");
+        for id in 0..2 {
+            assert!(
+                server(&sim, id).syncs_triggered() >= 1,
+                "token never reached server {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_synchronisation_with_huge_thresholds() {
+        let cfg = SpykerConfig::paper_defaults(4, 2).with_thresholds(1e12, 1e12);
+        let mut sim = build_two_server_sim(cfg);
+        sim.run(SimTime::from_secs(5));
+        assert_eq!(sim.metrics().counter("syncs.triggered"), 0);
+        assert_eq!(sim.metrics().counter("server.aggs"), 0);
+    }
+
+    #[test]
+    fn without_sync_servers_stay_biased_to_their_clients() {
+        let cfg = SpykerConfig::paper_defaults(4, 2).with_thresholds(1e12, 1e12);
+        let mut sim = build_two_server_sim(cfg);
+        sim.run(SimTime::from_secs(20));
+        let v0 = server(&sim, 0).params().as_slice()[0];
+        let v1 = server(&sim, 1).params().as_slice()[0];
+        assert!((v0 - 0.5).abs() < 0.3, "server 0 at {v0}, expected ~0.5");
+        assert!((v1 - 2.5).abs() < 0.3, "server 1 at {v1}, expected ~2.5");
+    }
+
+    #[test]
+    fn single_server_never_tries_to_synchronise() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        let cfg = SpykerConfig::paper_defaults(2, 1).with_thresholds(0.0, 1.0);
+        let s = SpykerServer::new(0, vec![0], vec![1, 2], ParamVec::zeros(1), cfg);
+        sim.add_node(Box::new(s), Region::Paris);
+        for i in 0..2 {
+            let trainer = MeanTargetTrainer::new(vec![i as f32], 5);
+            sim.add_node(
+                Box::new(FlClient::new(0, Box::new(trainer), 1, SimTime::from_millis(100))),
+                Region::Paris,
+            );
+        }
+        sim.run(SimTime::from_secs(5));
+        assert_eq!(sim.metrics().counter("syncs.triggered"), 0);
+        assert!(server(&sim, 0).processed_updates() > 0);
+    }
+
+    #[test]
+    fn decayed_learning_rate_reaches_fast_clients() {
+        // One fast client (10 ms) and one slow client (1 s): after a while
+        // the fast client's update count exceeds the mean and its lr decays.
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1);
+        let cfg = SpykerConfig::paper_defaults(2, 1);
+        let s = SpykerServer::new(0, vec![0], vec![1, 2], ParamVec::zeros(1), cfg);
+        sim.add_node(Box::new(s), Region::Paris);
+        let fast = FlClient::new(
+            0,
+            Box::new(MeanTargetTrainer::new(vec![1.0], 5)),
+            1,
+            SimTime::from_millis(10),
+        );
+        let slow = FlClient::new(
+            0,
+            Box::new(MeanTargetTrainer::new(vec![0.0], 5)),
+            1,
+            SimTime::from_secs(1),
+        );
+        sim.add_node(Box::new(fast), Region::Paris);
+        sim.add_node(Box::new(slow), Region::Paris);
+        sim.run(SimTime::from_secs(10));
+        let srv = server(&sim, 0);
+        let counts = srv.update_counts();
+        assert!(counts[0] > 10 * counts[1], "fast client not fast: {counts:?}");
+        // Fast client's next lr must be decayed to the floor by now.
+        let lr = srv.cfg.decay.decay(counts[0], srv.counts.mean());
+        assert!(lr < 0.01, "expected decayed lr, got {lr}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Age and staleness weighting.
+//!
+//! Spyker tracks the *age* of every model — the (fractional) number of
+//! updates it embodies — and uses age differences to weight aggregation:
+//!
+//! * when a server integrates a **client update** (Alg. 1 l. 14–15) it
+//!   weights the update by a function of the staleness
+//!   `τ = A_i − A_k ≥ 0`, where `A_k` is the age the model had when it was
+//!   sent to the client;
+//! * when a server integrates **another server's model** (Alg. 2 l. 47–48)
+//!   it uses the sigmoid weight `w = σ(φ (A_j − A_i) / A_i)`.
+//!
+//! Alg. 1 as printed sets the client-update weight to `A_i − A_k` itself,
+//! which *grows* with staleness and is zero for perfectly fresh updates —
+//! contradicting the prose ("possibly decrease the impact of the received
+//! update"). We therefore expose a [`ClientStaleness`] policy: the default
+//! [`ClientStaleness::Polynomial`] (`α = 0.5`) dampens stale updates the
+//! way the text describes without suppressing the mildly-stale updates that
+//! dominate at evaluation-scale concurrency, while
+//! [`ClientStaleness::PaperLiteral`] reproduces the printed formula for
+//! fidelity experiments (see the `ablate_staleness` runner and
+//! `DESIGN.md` §5).
+
+/// Policy mapping a client update's staleness to an aggregation weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientStaleness {
+    /// `w = 1 / (1 + τ)`: fresh updates get weight 1, stale ones decay
+    /// hyperbolically. Aggressive at the high concurrency of busy servers.
+    InverseLinear,
+    /// `w = (1 + τ)^(-alpha)`: polynomial staleness (FedAsync's form).
+    /// The default: at the concurrency levels of the evaluation a server
+    /// advances ~25 updates during one client round-trip, and this policy
+    /// keeps such mildly-stale updates useful instead of suppressing them.
+    Polynomial {
+        /// Decay exponent `α > 0` (FedAsync uses 0.5).
+        alpha: f32,
+    },
+    /// The formula exactly as printed in Alg. 1 l. 14 (`w = A_i − A_k`),
+    /// clamped to `[0, cap]` to keep the aggregation step a contraction.
+    PaperLiteral {
+        /// Upper clamp for the weight (1.0 keeps updates convex).
+        cap: f32,
+    },
+    /// Ignore staleness entirely (`w = 1`).
+    None,
+}
+
+impl ClientStaleness {
+    /// Computes the aggregation weight for an update trained on a model of
+    /// age `update_age` arriving at a server whose model has age
+    /// `server_age`.
+    ///
+    /// Negative staleness (an update "from the future", impossible under
+    /// FIFO links but reachable in tests) is treated as zero staleness.
+    pub fn weight(self, server_age: f64, update_age: f64) -> f32 {
+        let tau = (server_age - update_age).max(0.0) as f32;
+        match self {
+            ClientStaleness::InverseLinear => 1.0 / (1.0 + tau),
+            ClientStaleness::Polynomial { alpha } => (1.0 + tau).powf(-alpha),
+            ClientStaleness::PaperLiteral { cap } => tau.clamp(0.0, cap),
+            ClientStaleness::None => 1.0,
+        }
+    }
+}
+
+/// The sigmoid weight of Alg. 2 ll. 47–48 used when merging server models:
+///
+/// `w_ij = σ(a)` with `a = φ (A_j − A_i) / A_i`.
+///
+/// A more mature incoming model (`A_j > A_i`) gets weight above ½; a less
+/// mature one below ½. The denominator `A_i` makes the difference relative:
+/// as a model matures, its peers influence it less for the same absolute
+/// age gap. `φ` ("activation rate", 1.5 in Tab. 2) narrows or widens the
+/// active band of the sigmoid.
+///
+/// The paper divides by `A_i`, which is zero before a server has processed
+/// any update; we guard with `max(A_i, 1)` (off the measured path — servers
+/// only synchronise after ages have grown past the thresholds).
+///
+/// # Example
+///
+/// ```
+/// let equal = spyker_core::staleness::server_agg_weight(1.5, 100.0, 100.0);
+/// assert!((equal - 0.5).abs() < 1e-6);
+/// let ahead = spyker_core::staleness::server_agg_weight(1.5, 100.0, 200.0);
+/// assert!(ahead > 0.7);
+/// ```
+pub fn server_agg_weight(phi: f32, age_i: f64, age_j: f64) -> f32 {
+    let denom = age_i.max(1.0);
+    let a = (phi as f64) * (age_j - age_i) / denom;
+    (1.0 / (1.0 + (-a).exp())) as f32
+}
+
+/// The blended age after a server-model aggregation (Alg. 2 l. 50):
+/// `A_i ← (1 − η_a w) A_i + η_a w A_j`.
+pub fn blended_age(eta_a: f32, weight: f32, age_i: f64, age_j: f64) -> f64 {
+    let c = (eta_a * weight) as f64;
+    (1.0 - c) * age_i + c * age_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_linear_is_one_when_fresh() {
+        assert_eq!(ClientStaleness::InverseLinear.weight(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn inverse_linear_halves_at_tau_one() {
+        assert!((ClientStaleness::InverseLinear.weight(6.0, 5.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polynomial_matches_fedasync_shape() {
+        let p = ClientStaleness::Polynomial { alpha: 0.5 };
+        assert_eq!(p.weight(0.0, 0.0), 1.0);
+        assert!((p.weight(3.0, 0.0) - 0.5).abs() < 1e-6); // (1+3)^-0.5 = 0.5
+    }
+
+    #[test]
+    fn paper_literal_is_tau_clamped() {
+        let p = ClientStaleness::PaperLiteral { cap: 1.0 };
+        assert_eq!(p.weight(5.0, 5.0), 0.0);
+        assert_eq!(p.weight(5.5, 5.0), 0.5);
+        assert_eq!(p.weight(100.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn negative_staleness_treated_as_fresh() {
+        assert_eq!(ClientStaleness::InverseLinear.weight(1.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn weights_stay_in_unit_interval() {
+        for policy in [
+            ClientStaleness::InverseLinear,
+            ClientStaleness::Polynomial { alpha: 0.5 },
+            ClientStaleness::PaperLiteral { cap: 1.0 },
+            ClientStaleness::None,
+        ] {
+            for tau in 0..200 {
+                let w = policy.weight(tau as f64, 0.0);
+                assert!((0.0..=1.0).contains(&w), "{policy:?} at tau {tau} gave {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn server_weight_is_half_at_equal_age() {
+        assert!((server_agg_weight(1.5, 50.0, 50.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn server_weight_increases_with_peer_maturity() {
+        let w1 = server_agg_weight(1.5, 100.0, 110.0);
+        let w2 = server_agg_weight(1.5, 100.0, 200.0);
+        assert!(w2 > w1);
+        assert!(w1 > 0.5);
+    }
+
+    #[test]
+    fn server_weight_decreases_when_peer_is_younger() {
+        assert!(server_agg_weight(1.5, 200.0, 100.0) < 0.5);
+    }
+
+    #[test]
+    fn maturity_discounts_influence() {
+        // Same absolute gap, older local model => weight closer to 1/2.
+        let young = server_agg_weight(1.5, 10.0, 30.0);
+        let old = server_agg_weight(1.5, 1000.0, 1020.0);
+        assert!(young > old);
+        assert!((old - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn larger_phi_sharpens_the_sigmoid() {
+        let soft = server_agg_weight(0.5, 100.0, 150.0);
+        let sharp = server_agg_weight(5.0, 100.0, 150.0);
+        assert!(sharp > soft);
+    }
+
+    #[test]
+    fn zero_age_guard_does_not_panic_or_nan() {
+        let w = server_agg_weight(1.5, 0.0, 10.0);
+        assert!(w.is_finite());
+        assert!(w > 0.5);
+    }
+
+    #[test]
+    fn blended_age_is_convex_combination() {
+        let a = blended_age(0.6, 0.5, 100.0, 200.0);
+        assert!((a - 130.0).abs() < 1e-4); // 0.7*100 + 0.3*200 (f32 rate)
+        assert!(blended_age(1.0, 1.0, 5.0, 9.0) == 9.0);
+        assert!(blended_age(0.0, 1.0, 5.0, 9.0) == 5.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Sync-Spyker: the partially synchronous variant (paper §5.1).
+//!
+//! Servers keep interacting with clients asynchronously, but exchange their
+//! models with a *synchronous* protocol: periodically every server
+//! broadcasts its model and waits for all peers' models of the same round;
+//! the models are then aggregated in a deterministic order (by server
+//! index), so after an exchange all servers hold the same model. While an
+//! exchange is in flight, incoming client updates are buffered and processed
+//! once the exchange completes — exactly the behaviour the paper describes
+//! and the reason Sync-Spyker trails Spyker in wall-clock convergence.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+use crate::config::SpykerConfig;
+use crate::decay::UpdateCounts;
+use crate::msg::FlMsg;
+use crate::params::ParamVec;
+
+const ROUND_TIMER: u64 = 1;
+
+/// One Sync-Spyker server.
+pub struct SyncSpykerServer {
+    server_idx: usize,
+    server_nodes: Vec<NodeId>,
+    clients: Vec<NodeId>,
+    client_local_idx: HashMap<NodeId, usize>,
+
+    params: ParamVec,
+    age: f64,
+
+    cfg: SpykerConfig,
+    sync_period: SimTime,
+    counts: UpdateCounts,
+
+    round: u64,
+    collecting: bool,
+    /// Models received per round: `round -> server_idx -> (params, age)`.
+    incoming: HashMap<u64, HashMap<usize, (ParamVec, f64)>>,
+    /// Client updates buffered while an exchange is in flight.
+    buffered: Vec<(NodeId, ParamVec, f64)>,
+
+    client_lr: Vec<f32>,
+    processed_updates: u64,
+    rounds_completed: u64,
+}
+
+impl SyncSpykerServer {
+    /// Creates server `server_idx`; every server broadcasts its model each
+    /// `sync_period` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_idx` is out of range, `server_nodes` is empty, or
+    /// `sync_period` is zero.
+    pub fn new(
+        server_idx: usize,
+        server_nodes: Vec<NodeId>,
+        clients: Vec<NodeId>,
+        init_params: ParamVec,
+        cfg: SpykerConfig,
+        sync_period: SimTime,
+    ) -> Self {
+        assert!(!server_nodes.is_empty(), "need at least one server");
+        assert!(server_idx < server_nodes.len(), "server_idx out of range");
+        assert!(sync_period > SimTime::ZERO, "sync_period must be positive");
+        let client_local_idx = clients
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
+        let counts = UpdateCounts::new(clients.len());
+        let client_lr = vec![cfg.decay.eta_init; clients.len()];
+        Self {
+            client_lr,
+            server_idx,
+            server_nodes,
+            client_local_idx,
+            counts,
+            params: init_params,
+            age: 0.0,
+            cfg,
+            sync_period,
+            round: 0,
+            collecting: false,
+            incoming: HashMap::new(),
+            buffered: Vec::new(),
+            clients,
+            processed_updates: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// This server's current model.
+    pub fn params(&self) -> &ParamVec {
+        &self.params
+    }
+
+    /// This server's model age.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+
+    /// Client updates integrated so far.
+    pub fn processed_updates(&self) -> u64 {
+        self.processed_updates
+    }
+
+    /// Completed synchronous exchange rounds.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let me = self.server_nodes[self.server_idx];
+        self.server_nodes.iter().copied().filter(move |&id| id != me)
+    }
+
+    fn process_client_update(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        update: ParamVec,
+        update_age: f64,
+    ) {
+        let Some(&k) = self.client_local_idx.get(&from) else {
+            debug_assert!(false, "update from unknown client {from}");
+            return;
+        };
+        env.busy(self.cfg.agg_cost);
+        let mut w = self.cfg.staleness.weight(self.age, update_age);
+        if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
+            w *= self.client_lr[k] / self.cfg.decay.eta_init;
+        }
+        self.params.lerp_toward(&update, self.cfg.server_lr * w);
+        self.age += if self.cfg.fractional_age { w.min(1.0) as f64 } else { 1.0 };
+        let u_k = self.counts.record(k);
+        let lr = self.cfg.decay.decay(u_k, self.counts.mean());
+        self.client_lr[k] = lr;
+        self.processed_updates += 1;
+        env.add_counter("updates.processed", 1);
+        env.send(
+            from,
+            FlMsg::ModelToClient {
+                params: self.params.clone(),
+                age: self.age,
+                lr,
+            },
+        );
+    }
+
+    fn start_round(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.collecting = true;
+        let round = self.round;
+        let params = self.params.clone();
+        let age = self.age;
+        let idx = self.server_idx;
+        self.incoming
+            .entry(round)
+            .or_default()
+            .insert(idx, (params.clone(), age));
+        for peer in self.peers().collect::<Vec<_>>() {
+            env.send(
+                peer,
+                FlMsg::ServerModel {
+                    params: params.clone(),
+                    age,
+                    bid: round,
+                    server_idx: idx,
+                },
+            );
+        }
+        env.add_counter("syncs.triggered", 1);
+        self.try_complete_round(env);
+    }
+
+    fn try_complete_round(&mut self, env: &mut dyn Env<FlMsg>) {
+        let n = self.server_nodes.len();
+        let Some(models) = self.incoming.get(&self.round) else {
+            return;
+        };
+        if !self.collecting || models.len() < n {
+            return;
+        }
+        let models = self.incoming.remove(&self.round).expect("checked above");
+        // Deterministic aggregation: age-weighted mean in server-idx order.
+        // Every server computes the same result, so after the round all
+        // servers hold the same model.
+        let mut ordered: Vec<(usize, (ParamVec, f64))> = models.into_iter().collect();
+        ordered.sort_by_key(|(idx, _)| *idx);
+        let weighted: Vec<(&ParamVec, f64)> = ordered
+            .iter()
+            .map(|(_, (p, age))| (p, age + 1.0))
+            .collect();
+        env.busy(self.cfg.agg_cost * (n as u64));
+        self.params = ParamVec::weighted_mean(&weighted);
+        self.age = ordered
+            .iter()
+            .map(|(_, (_, a))| *a)
+            .fold(f64::MIN, f64::max);
+        self.collecting = false;
+        self.round += 1;
+        self.rounds_completed += 1;
+        env.add_counter("server.aggs", n as u64);
+        // Drain the updates buffered during the exchange.
+        for (from, update, update_age) in std::mem::take(&mut self.buffered) {
+            self.process_client_update(env, from, update, update_age);
+        }
+        env.set_timer(self.sync_period, ROUND_TIMER);
+    }
+}
+
+impl Node<FlMsg> for SyncSpykerServer {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        let params = self.params.clone();
+        let age = self.age;
+        let lr = self.cfg.decay.eta_init;
+        for client in self.clients.clone() {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: params.clone(),
+                    age,
+                    lr,
+                },
+            );
+        }
+        if self.server_nodes.len() > 1 {
+            env.set_timer(self.sync_period, ROUND_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        match msg {
+            FlMsg::ClientUpdate { params, age, .. } => {
+                if self.collecting {
+                    self.buffered.push((from, params, age));
+                } else {
+                    self.process_client_update(env, from, params, age);
+                }
+            }
+            FlMsg::ServerModel {
+                params,
+                age,
+                bid,
+                server_idx,
+            } => {
+                self.incoming
+                    .entry(bid)
+                    .or_default()
+                    .insert(server_idx, (params, age));
+                if bid == self.round {
+                    self.try_complete_round(env);
+                }
+            }
+            other => debug_assert!(false, "unexpected message {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, tag: u64) {
+        debug_assert_eq!(tag, ROUND_TIMER);
+        if !self.collecting {
+            self.start_round(env);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::FlClient;
+    use crate::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    fn build(period: SimTime) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 5);
+        let cfg = SpykerConfig::paper_defaults(4, 2);
+        let s0 = SyncSpykerServer::new(
+            0,
+            vec![0, 1],
+            vec![2, 3],
+            ParamVec::zeros(1),
+            cfg.clone(),
+            period,
+        );
+        let s1 = SyncSpykerServer::new(1, vec![0, 1], vec![4, 5], ParamVec::zeros(1), cfg, period);
+        sim.add_node(Box::new(s0), Region::Paris);
+        sim.add_node(Box::new(s1), Region::Sydney);
+        for (i, t) in [0.0f32, 1.0, 2.0, 3.0].into_iter().enumerate() {
+            let region = if i < 2 { Region::Paris } else { Region::Sydney };
+            sim.add_node(
+                Box::new(FlClient::new(
+                    i / 2,
+                    Box::new(MeanTargetTrainer::new(vec![t], 10)),
+                    1,
+                    SimTime::from_millis(150),
+                )),
+                region,
+            );
+        }
+        sim
+    }
+
+    fn server<'a>(sim: &'a Simulation<FlMsg>, id: usize) -> &'a SyncSpykerServer {
+        sim.node(id)
+            .as_any()
+            .downcast_ref::<SyncSpykerServer>()
+            .unwrap()
+    }
+
+    #[test]
+    fn rounds_complete_and_servers_stay_centred_on_global_mean() {
+        let mut sim = build(SimTime::from_millis(500));
+        sim.run(SimTime::from_secs(20));
+        // Each round fully averages the server models, after which each
+        // server drifts back toward its local client mean (0.5 / 2.5).
+        // The invariant is therefore the *midpoint*: it stays at the global
+        // mean 1.5, and both servers stay strictly inside (0.5, 2.5).
+        let mut vals = Vec::new();
+        for id in 0..2 {
+            let s = server(&sim, id);
+            assert!(s.rounds_completed() > 5, "server {id} completed too few rounds");
+            vals.push(s.params().as_slice()[0]);
+        }
+        let mid = (vals[0] + vals[1]) / 2.0;
+        assert!((mid - 1.5).abs() < 0.3, "midpoint drifted: {mid} ({vals:?})");
+        assert!(vals.iter().all(|v| *v > 0.5 && *v < 2.5), "{vals:?}");
+    }
+
+    #[test]
+    fn servers_hold_identical_models_right_after_a_round() {
+        // With a period much larger than the exchange time, at most one
+        // exchange is in flight; run long enough that both completed the
+        // same number of rounds, then compare the last synchronised state
+        // indirectly: both must have completed the same rounds.
+        let mut sim = build(SimTime::from_secs(2));
+        sim.run(SimTime::from_secs(21));
+        let r0 = server(&sim, 0).rounds_completed();
+        let r1 = server(&sim, 1).rounds_completed();
+        assert_eq!(r0, r1, "servers drifted in round count");
+        assert!(r0 >= 5);
+    }
+
+    #[test]
+    fn client_updates_are_buffered_not_lost_during_exchange() {
+        let mut sim = build(SimTime::from_millis(200));
+        sim.run(SimTime::from_secs(10));
+        let processed: u64 = (0..2).map(|id| server(&sim, id).processed_updates()).sum();
+        let sent = sim.metrics().counter("updates.sent");
+        // Every sent update is eventually processed (minus those in flight
+        // at the end of the run).
+        assert!(processed > 0);
+        assert!(sent - processed < 10, "sent {sent} processed {processed}");
+    }
+
+    #[test]
+    fn single_server_runs_without_exchanges() {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        let cfg = SpykerConfig::paper_defaults(1, 1);
+        let s = SyncSpykerServer::new(
+            0,
+            vec![0],
+            vec![1],
+            ParamVec::zeros(1),
+            cfg,
+            SimTime::from_millis(100),
+        );
+        sim.add_node(Box::new(s), Region::Paris);
+        sim.add_node(
+            Box::new(FlClient::new(
+                0,
+                Box::new(MeanTargetTrainer::new(vec![1.0], 4)),
+                1,
+                SimTime::from_millis(50),
+            )),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(2));
+        assert_eq!(sim.metrics().counter("syncs.triggered"), 0);
+        assert!(server(&sim, 0).processed_updates() > 5);
+    }
+}

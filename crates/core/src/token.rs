@@ -1,0 +1,81 @@
+//! The synchronisation token circulated on the server ring (Alg. 2).
+//!
+//! Only the server currently holding the token may *trigger* a server-model
+//! exchange, which keeps concurrent synchronisations from interleaving. The
+//! token carries a monotonically increasing synchronisation id `bid` (each
+//! exchange is identified by the `bid` under which it was triggered, and a
+//! server broadcasts its model at most once per `bid`) and the freshest
+//! model ages its carrier has observed, so age knowledge piggybacks on the
+//! ring traffic.
+
+/// The token state carried between servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Current synchronisation id. Incremented by each server when it
+    /// receives the token, so a given `bid` value identifies at most one
+    /// exchange triggered by at most one holder.
+    pub bid: u64,
+    /// Latest known age of every server model (indexed by server index).
+    pub ages: Vec<f64>,
+}
+
+impl Token {
+    /// The initial token held by server 0: `bid = 1`, all ages zero.
+    pub fn initial(num_servers: usize) -> Self {
+        Self {
+            bid: 1,
+            ages: vec![0.0; num_servers],
+        }
+    }
+
+    /// Merges fresher age knowledge into the token (entry-wise max).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge_ages(&mut self, ages: &[f64]) {
+        assert_eq!(self.ages.len(), ages.len(), "server count mismatch");
+        for (t, &a) in self.ages.iter_mut().zip(ages) {
+            *t = t.max(a);
+        }
+    }
+
+    /// Serialized size in bytes (id + one f64 per server).
+    pub fn wire_size(&self) -> usize {
+        8 + 8 * self.ages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_token_matches_server_init() {
+        let t = Token::initial(4);
+        assert_eq!(t.bid, 1);
+        assert_eq!(t.ages, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn merge_takes_entrywise_max() {
+        let mut t = Token {
+            bid: 3,
+            ages: vec![5.0, 1.0, 7.0],
+        };
+        t.merge_ages(&[2.0, 4.0, 7.0]);
+        assert_eq!(t.ages, vec![5.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn wire_size_scales_with_servers() {
+        assert_eq!(Token::initial(4).wire_size(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "server count mismatch")]
+    fn merge_rejects_length_mismatch() {
+        let mut t = Token::initial(2);
+        t.merge_ages(&[1.0]);
+    }
+}

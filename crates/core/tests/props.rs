@@ -1,0 +1,205 @@
+//! Property-based tests for the protocol math.
+
+use proptest::prelude::*;
+use spyker_core::codec::{decode, encode};
+use spyker_core::decay::{DecayConfig, UpdateCounts};
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_core::staleness::{blended_age, server_agg_weight, ClientStaleness};
+use spyker_core::token::Token;
+
+fn params(n: usize) -> impl Strategy<Value = ParamVec> {
+    prop::collection::vec(-100.0f32..100.0, n).prop_map(ParamVec::from_vec)
+}
+
+proptest! {
+    /// `lerp_toward` with t in [0,1] stays inside the segment: every
+    /// coordinate lands between the endpoints.
+    #[test]
+    fn lerp_stays_on_the_segment(a in params(8), b in params(8), t in 0.0f32..=1.0) {
+        let mut x = a.clone();
+        x.lerp_toward(&b, t);
+        for ((xa, xb), xv) in a.as_slice().iter().zip(b.as_slice()).zip(x.as_slice()) {
+            let (lo, hi) = if xa <= xb { (xa, xb) } else { (xb, xa) };
+            prop_assert!(
+                *xv >= lo - 1e-3 && *xv <= hi + 1e-3,
+                "left the segment: {xv} not in [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// `lerp_toward` is exact at the endpoints.
+    #[test]
+    fn lerp_endpoints(a in params(4), b in params(4)) {
+        let mut x0 = a.clone();
+        x0.lerp_toward(&b, 0.0);
+        prop_assert_eq!(x0.as_slice(), a.as_slice());
+        let mut x1 = a.clone();
+        x1.lerp_toward(&b, 1.0);
+        for (v, bv) in x1.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((v - bv).abs() < 1e-3);
+        }
+    }
+
+    /// The weighted mean is permutation-invariant and bounded by the
+    /// coordinate-wise min/max of its inputs.
+    #[test]
+    fn weighted_mean_is_convex_and_symmetric(
+        a in params(6),
+        b in params(6),
+        c in params(6),
+        wa in 0.1f64..10.0,
+        wb in 0.1f64..10.0,
+        wc in 0.1f64..10.0,
+    ) {
+        let m1 = ParamVec::weighted_mean(&[(&a, wa), (&b, wb), (&c, wc)]);
+        let m2 = ParamVec::weighted_mean(&[(&c, wc), (&a, wa), (&b, wb)]);
+        for (x, y) in m1.as_slice().iter().zip(m2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        for i in 0..6 {
+            let vals = [a.as_slice()[i], b.as_slice()[i], c.as_slice()[i]];
+            let lo = vals.iter().cloned().fold(f32::MAX, f32::min);
+            let hi = vals.iter().cloned().fold(f32::MIN, f32::max);
+            prop_assert!(m1.as_slice()[i] >= lo - 1e-2 && m1.as_slice()[i] <= hi + 1e-2);
+        }
+    }
+
+    /// Every staleness policy yields weights in [0,1] that are
+    /// non-increasing in the staleness (except the documented literal
+    /// formula, which increases — asserted explicitly).
+    #[test]
+    fn staleness_weights_bounded_and_monotone(age in 0.0f64..10_000.0) {
+        for policy in [
+            ClientStaleness::InverseLinear,
+            ClientStaleness::Polynomial { alpha: 0.5 },
+            ClientStaleness::None,
+        ] {
+            let mut prev = f32::INFINITY;
+            for tau in 0..50 {
+                let w = policy.weight(age + tau as f64, age);
+                prop_assert!((0.0..=1.0).contains(&w));
+                prop_assert!(w <= prev + 1e-6, "{policy:?} increased at tau {tau}");
+                prev = w;
+            }
+        }
+        // The literal formula is non-DEcreasing in staleness: the defect.
+        let literal = ClientStaleness::PaperLiteral { cap: 1.0 };
+        let w0 = literal.weight(age, age);
+        let w5 = literal.weight(age + 5.0, age);
+        prop_assert!(w0 <= w5);
+    }
+
+    /// The server-merge sigmoid weight is in (0,1), is ½ for equal ages,
+    /// and increases with the peer's age advantage.
+    #[test]
+    fn server_agg_weight_properties(
+        phi in 0.1f32..10.0,
+        age_i in 0.0f64..100_000.0,
+        advantage in -1_000.0f64..1_000.0,
+    ) {
+        let w = server_agg_weight(phi, age_i, age_i + advantage);
+        // The sigmoid saturates to exactly 0/1 in f32 for extreme age
+        // gaps — the paper calls this out explicitly ("results in a
+        // weight of 1 when the relative model age difference is too
+        // large"), so the closed interval is the correct bound.
+        prop_assert!((0.0..=1.0).contains(&w));
+        let w_eq = server_agg_weight(phi, age_i, age_i);
+        prop_assert!((w_eq - 0.5).abs() < 1e-6);
+        if advantage > 0.0 {
+            prop_assert!(w >= w_eq);
+        } else if advantage < 0.0 {
+            prop_assert!(w <= w_eq);
+        }
+    }
+
+    /// The blended age is a convex combination: between the two input ages.
+    #[test]
+    fn blended_age_is_bounded(
+        eta_a in 0.0f32..=1.0,
+        w in 0.0f32..=1.0,
+        a in 0.0f64..100_000.0,
+        b in 0.0f64..100_000.0,
+    ) {
+        let out = blended_age(eta_a, w, a, b);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(out >= lo - 1e-6 && out <= hi + 1e-6);
+    }
+
+    /// Decay: never exceeds the base rate, never drops below the floor,
+    /// and is monotone non-increasing in the update count.
+    #[test]
+    fn decay_bounds_and_monotonicity(
+        eta_init in 0.001f32..1.0,
+        beta in 0.0001f32..0.5,
+        u_mean in 0.0f64..1_000.0,
+    ) {
+        let cfg = DecayConfig { eta_init, eta_min: 1e-6, beta, enabled: true };
+        let mut prev = f32::INFINITY;
+        for u in 0..2_000u64 {
+            let eta = cfg.decay(u, u_mean);
+            prop_assert!(eta <= eta_init + 1e-6);
+            prop_assert!(eta >= 1e-6);
+            prop_assert!(eta <= prev + 1e-6);
+            prev = eta;
+        }
+    }
+
+    /// UpdateCounts: the mean is always total/n and within [min, max].
+    #[test]
+    fn update_counts_mean_is_consistent(events in prop::collection::vec(0usize..8, 0..200)) {
+        let mut counts = UpdateCounts::new(8);
+        for &k in &events {
+            counts.record(k);
+        }
+        let total: u64 = counts.counts().iter().sum();
+        prop_assert_eq!(total, events.len() as u64);
+        let mean = counts.mean();
+        prop_assert!((mean - total as f64 / 8.0).abs() < 1e-9);
+        let min = *counts.counts().iter().min().unwrap() as f64;
+        let max = *counts.counts().iter().max().unwrap() as f64;
+        prop_assert!(mean >= min && mean <= max);
+    }
+
+    /// Token age merging is idempotent and monotone.
+    #[test]
+    fn token_merge_is_idempotent_and_monotone(
+        ages_a in prop::collection::vec(0.0f64..1e6, 4),
+        ages_b in prop::collection::vec(0.0f64..1e6, 4),
+    ) {
+        let mut t = Token { bid: 1, ages: ages_a.clone() };
+        t.merge_ages(&ages_b);
+        let after_once = t.ages.clone();
+        t.merge_ages(&ages_b);
+        prop_assert_eq!(&t.ages, &after_once, "merge not idempotent");
+        for ((m, a), b) in after_once.iter().zip(&ages_a).zip(&ages_b) {
+            prop_assert!(*m >= *a && *m >= *b);
+            prop_assert!(*m == *a || *m == *b);
+        }
+    }
+
+    /// Codec: encode/decode round-trips arbitrary protocol messages.
+    #[test]
+    fn codec_round_trips_arbitrary_messages(
+        kind in 0u8..6,
+        values in prop::collection::vec(-1e6f32..1e6, 0..64),
+        age in 0.0f64..1e9,
+        idx in 0usize..64,
+        bid in 0u64..u32::MAX as u64,
+        lr in 0.0f32..1.0,
+        ages in prop::collection::vec(0.0f64..1e9, 1..8),
+    ) {
+        let params = ParamVec::from_vec(values);
+        let msg = match kind {
+            0 => FlMsg::ModelToClient { params, age, lr },
+            1 => FlMsg::ClientUpdate { params, age, num_samples: idx },
+            2 => FlMsg::ServerModel { params, age, bid, server_idx: idx },
+            3 => FlMsg::AgeGossip { age, server_idx: idx },
+            4 => FlMsg::TokenPass(spyker_core::token::Token { bid, ages }),
+            _ => FlMsg::HierModel { params, round: bid, weight: age },
+        };
+        let frame = encode(&msg);
+        let back = decode(&frame).expect("decode failed");
+        prop_assert_eq!(encode(&back), frame);
+    }
+}

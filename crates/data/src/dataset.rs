@@ -1,0 +1,257 @@
+//! Dataset containers shared by the model zoo and the FL runtimes.
+
+use spyker_tensor::Matrix;
+
+/// A labelled dense (image-like) dataset.
+///
+/// Samples are stored as the rows of a feature matrix; `shape` records the
+/// logical `(channels, height, width)` layout for convolutional models.
+#[derive(Debug, Clone)]
+pub struct DenseDataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+    shape: (usize, usize, usize),
+}
+
+impl DenseDataset {
+    /// Creates a dataset from a feature matrix and per-row labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != features.rows()`, if any label is
+    /// `>= num_classes`, or if `shape` does not multiply out to
+    /// `features.cols()`.
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+        shape: (usize, usize, usize),
+    ) -> Self {
+        assert_eq!(labels.len(), features.rows(), "one label per sample");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < num_classes"
+        );
+        assert_eq!(
+            shape.0 * shape.1 * shape.2,
+            features.cols(),
+            "shape {:?} does not match feature width {}",
+            shape,
+            features.cols()
+        );
+        Self {
+            features,
+            labels,
+            num_classes,
+            shape,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality of one sample.
+    pub fn feature_len(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Logical `(channels, height, width)` shape of one sample.
+    pub fn sample_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full feature matrix (rows are samples).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The label of each sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Builds a sub-dataset from sample indices (cloning the rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> DenseDataset {
+        let mut data = Vec::with_capacity(indices.len() * self.feature_len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        DenseDataset {
+            features: Matrix::from_vec(indices.len(), self.feature_len(), data),
+            labels,
+            num_classes: self.num_classes,
+            shape: self.shape,
+        }
+    }
+
+    /// Copies a batch of samples (by index) into a `(len, features)` matrix
+    /// plus the matching label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_batch(&self, indices: &[usize]) -> (Matrix, Vec<usize>) {
+        let mut data = Vec::with_capacity(indices.len() * self.feature_len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.features.row(i));
+            labels.push(self.labels[i]);
+        }
+        (
+            Matrix::from_vec(indices.len(), self.feature_len(), data),
+            labels,
+        )
+    }
+}
+
+/// A tokenised character-level text dataset for language modelling.
+#[derive(Debug, Clone)]
+pub struct TextDataset {
+    tokens: Vec<u8>,
+    vocab_size: usize,
+}
+
+impl TextDataset {
+    /// Creates a dataset from a token stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token is `>= vocab_size`.
+    pub fn new(tokens: Vec<u8>, vocab_size: usize) -> Self {
+        assert!(
+            tokens.iter().all(|&t| (t as usize) < vocab_size),
+            "tokens must be < vocab_size"
+        );
+        Self { tokens, vocab_size }
+    }
+
+    /// The token stream.
+    pub fn tokens(&self) -> &[u8] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// A contiguous slice of the stream as an owned sub-dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, len: usize) -> TextDataset {
+        TextDataset {
+            tokens: self.tokens[start..start + len].to_vec(),
+            vocab_size: self.vocab_size,
+        }
+    }
+
+    /// Splits the stream into `n` contiguous equal-size shards (the remainder
+    /// tokens are dropped, matching the paper's equal-size client splits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the stream has fewer than `n` tokens.
+    pub fn shards(&self, n: usize) -> Vec<TextDataset> {
+        assert!(n > 0, "need at least one shard");
+        let per = self.tokens.len() / n;
+        assert!(per > 0, "not enough tokens for {n} shards");
+        (0..n).map(|i| self.slice(i * per, per)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DenseDataset {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0], &[4.0, 5.0]]);
+        DenseDataset::new(x, vec![0, 1, 0], 2, (1, 1, 2))
+    }
+
+    #[test]
+    fn dense_dataset_basic_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.feature_len(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.sample_shape(), (1, 1, 2));
+    }
+
+    #[test]
+    fn subset_clones_selected_rows() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.features().row(0), &[4.0, 5.0]);
+        assert_eq!(s.labels(), &[0, 0]);
+    }
+
+    #[test]
+    fn gather_batch_preserves_order() {
+        let d = tiny();
+        let (x, y) = d.gather_batch(&[1, 1, 0]);
+        assert_eq!(x.rows(), 3);
+        assert_eq!(x.row(0), &[2.0, 3.0]);
+        assert_eq!(y, vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per sample")]
+    fn dense_dataset_rejects_label_count_mismatch() {
+        let x = Matrix::zeros(2, 2);
+        let _ = DenseDataset::new(x, vec![0], 2, (1, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be < num_classes")]
+    fn dense_dataset_rejects_out_of_range_label() {
+        let x = Matrix::zeros(1, 2);
+        let _ = DenseDataset::new(x, vec![5], 2, (1, 1, 2));
+    }
+
+    #[test]
+    fn text_shards_are_equal_and_contiguous() {
+        let t = TextDataset::new((0..10u8).collect(), 16);
+        let shards = t.shards(3);
+        assert_eq!(shards.len(), 3);
+        assert!(shards.iter().all(|s| s.len() == 3));
+        assert_eq!(shards[1].tokens(), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tokens must be < vocab_size")]
+    fn text_rejects_out_of_vocab_tokens() {
+        let _ = TextDataset::new(vec![9], 4);
+    }
+}

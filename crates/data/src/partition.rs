@@ -1,0 +1,204 @@
+//! Federated dataset partitioning.
+//!
+//! The paper splits each dataset "into subsets of equal sizes that are
+//! assigned to different clients" and introduces data heterogeneity by
+//! assigning `l` labels to each client (`l = 2` in the non-IID experiments).
+//! [`iid_partition`] and [`label_partition`] implement exactly those two
+//! schemes, deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits `n_samples` indices into `n_clients` equal-size IID shards.
+///
+/// Sample order is shuffled with the seed; any remainder samples (fewer than
+/// `n_clients`) are dropped so all shards are the same size, matching the
+/// paper's equal-size splits.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0` or `n_samples < n_clients`.
+///
+/// # Example
+///
+/// ```
+/// let parts = spyker_data::iid_partition(100, 10, 7);
+/// assert!(parts.iter().all(|p| p.len() == 10));
+/// ```
+pub fn iid_partition(n_samples: usize, n_clients: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(n_samples >= n_clients, "need at least one sample per client");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let mut indices: Vec<usize> = (0..n_samples).collect();
+    indices.shuffle(&mut rng);
+    let per = n_samples / n_clients;
+    (0..n_clients)
+        .map(|c| indices[c * per..(c + 1) * per].to_vec())
+        .collect()
+}
+
+/// Splits samples into `n_clients` equal-size shards where each client only
+/// holds samples from `labels_per_client` distinct labels.
+///
+/// This is the paper's non-IID scheme: a smaller `labels_per_client` means
+/// stronger heterogeneity (`l = 2` in the paper's non-IID experiments).
+///
+/// The assignment works label-by-label: each client is deterministically
+/// given `labels_per_client` labels in round-robin order over a shuffled
+/// label list (so every label is held by roughly the same number of
+/// clients), then the samples of each label are dealt evenly to the clients
+/// holding that label. Finally every shard is truncated to the global
+/// minimum shard size so shards are equal-size.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`, `labels_per_client == 0`, or
+/// `labels_per_client` exceeds the number of distinct labels present.
+pub fn label_partition(
+    labels: &[usize],
+    n_clients: usize,
+    labels_per_client: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(labels_per_client > 0, "need at least one label per client");
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut present: Vec<usize> = (0..num_classes)
+        .filter(|&c| labels.contains(&c))
+        .collect();
+    assert!(
+        labels_per_client <= present.len(),
+        "labels_per_client {} exceeds {} distinct labels",
+        labels_per_client,
+        present.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851f42d4c957f2d);
+    present.shuffle(&mut rng);
+
+    // Round-robin label assignment: client c gets labels at positions
+    // c*l .. c*l + l (mod |present|) of the shuffled label list.
+    let mut clients_of_label: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for c in 0..n_clients {
+        for j in 0..labels_per_client {
+            let label = present[(c * labels_per_client + j) % present.len()];
+            clients_of_label[label].push(c);
+        }
+    }
+
+    // Pool the sample indices of each label (shuffled) and deal them evenly
+    // to the clients holding the label.
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for label in &present {
+        let mut pool: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == *label)
+            .map(|(i, _)| i)
+            .collect();
+        pool.shuffle(&mut rng);
+        let holders = &clients_of_label[*label];
+        if holders.is_empty() {
+            continue;
+        }
+        for (i, idx) in pool.into_iter().enumerate() {
+            shards[holders[i % holders.len()]].push(idx);
+        }
+    }
+
+    // Equalise shard sizes (paper: equal-size subsets).
+    let min = shards.iter().map(Vec::len).min().unwrap_or(0);
+    for shard in &mut shards {
+        shard.shuffle(&mut rng);
+        shard.truncate(min);
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn labels_10_classes(n: usize) -> Vec<usize> {
+        (0..n).map(|i| i % 10).collect()
+    }
+
+    #[test]
+    fn iid_partition_is_equal_size_and_disjoint() {
+        let parts = iid_partition(103, 10, 1);
+        assert!(parts.iter().all(|p| p.len() == 10));
+        let all: HashSet<usize> = parts.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 100, "shards must be disjoint");
+    }
+
+    #[test]
+    fn iid_partition_is_deterministic_per_seed() {
+        assert_eq!(iid_partition(50, 5, 9), iid_partition(50, 5, 9));
+        assert_ne!(iid_partition(50, 5, 9), iid_partition(50, 5, 10));
+    }
+
+    #[test]
+    fn label_partition_respects_labels_per_client() {
+        let labels = labels_10_classes(1000);
+        let parts = label_partition(&labels, 20, 2, 3);
+        for (c, part) in parts.iter().enumerate() {
+            let distinct: HashSet<usize> = part.iter().map(|&i| labels[i]).collect();
+            assert!(
+                distinct.len() <= 2,
+                "client {c} holds {} labels",
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn label_partition_shards_are_equal_size_and_nonempty() {
+        let labels = labels_10_classes(2000);
+        let parts = label_partition(&labels, 10, 2, 5);
+        let size = parts[0].len();
+        assert!(size > 0);
+        assert!(parts.iter().all(|p| p.len() == size));
+    }
+
+    #[test]
+    fn label_partition_is_disjoint() {
+        let labels = labels_10_classes(500);
+        let parts = label_partition(&labels, 5, 2, 11);
+        let mut seen = HashSet::new();
+        for part in &parts {
+            for &i in part {
+                assert!(seen.insert(i), "sample {i} assigned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn label_partition_covers_all_labels_collectively() {
+        let labels = labels_10_classes(1000);
+        let parts = label_partition(&labels, 10, 2, 3);
+        let covered: HashSet<usize> = parts
+            .iter()
+            .flatten()
+            .map(|&i| labels[i])
+            .collect();
+        assert_eq!(covered.len(), 10, "every label should be held by someone");
+    }
+
+    #[test]
+    fn label_partition_single_label_clients_are_pure() {
+        let labels = labels_10_classes(400);
+        let parts = label_partition(&labels, 8, 1, 2);
+        for part in &parts {
+            let distinct: HashSet<usize> = part.iter().map(|&i| labels[i]).collect();
+            assert_eq!(distinct.len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labels_per_client")]
+    fn label_partition_rejects_too_many_labels() {
+        let labels = vec![0, 1, 0, 1];
+        let _ = label_partition(&labels, 2, 3, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for dataset generation and partitioning.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use spyker_data::partition::{iid_partition, label_partition};
+use spyker_data::synth::{SynthImages, SynthImagesSpec, SynthText, SynthTextSpec};
+
+proptest! {
+    /// IID partition: equal sizes, disjoint, within range, deterministic.
+    #[test]
+    fn iid_partition_invariants(
+        n_samples in 10usize..500,
+        n_clients in 1usize..20,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(n_samples >= n_clients);
+        let parts = iid_partition(n_samples, n_clients, seed);
+        prop_assert_eq!(parts.len(), n_clients);
+        let size = parts[0].len();
+        prop_assert_eq!(size, n_samples / n_clients);
+        let mut seen = HashSet::new();
+        for part in &parts {
+            prop_assert_eq!(part.len(), size);
+            for &idx in part {
+                prop_assert!(idx < n_samples);
+                prop_assert!(seen.insert(idx), "index {} duplicated", idx);
+            }
+        }
+        prop_assert_eq!(parts, iid_partition(n_samples, n_clients, seed));
+    }
+
+    /// Label partition: per-client label budgets hold, shards are disjoint
+    /// and equal-size, and all labels are collectively covered whenever
+    /// enough clients participate.
+    #[test]
+    fn label_partition_invariants(
+        classes in 2usize..10,
+        per_class in 8usize..40,
+        n_clients in 2usize..16,
+        l in 1usize..3,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(l <= classes);
+        let labels: Vec<usize> = (0..classes * per_class).map(|i| i % classes).collect();
+        let parts = label_partition(&labels, n_clients, l, seed);
+        prop_assert_eq!(parts.len(), n_clients);
+        let size = parts[0].len();
+        let mut seen = HashSet::new();
+        for (c, part) in parts.iter().enumerate() {
+            prop_assert_eq!(part.len(), size, "client {} shard size differs", c);
+            let distinct: HashSet<usize> = part.iter().map(|&i| labels[i]).collect();
+            prop_assert!(distinct.len() <= l, "client {} has {} labels", c, distinct.len());
+            for &idx in part {
+                prop_assert!(seen.insert(idx), "sample {} assigned twice", idx);
+            }
+        }
+        // When the clients collectively request at least `classes` label
+        // slots, every label is held by someone.
+        if n_clients * l >= classes && size > 0 {
+            let covered: HashSet<usize> =
+                parts.iter().flatten().map(|&i| labels[i]).collect();
+            prop_assert_eq!(covered.len(), classes);
+        }
+    }
+
+    /// Synthetic images: sample counts, label ranges and determinism hold
+    /// for arbitrary spec shapes.
+    #[test]
+    fn synth_images_structurally_sound(
+        classes in 2usize..8,
+        side in 2usize..8,
+        per_class in 1usize..10,
+        noise in 0.1f32..3.0,
+        seed in 0u64..200,
+    ) {
+        let spec = SynthImagesSpec {
+            classes,
+            channels: 1,
+            height: side,
+            width: side,
+            train_per_class: per_class,
+            test_per_class: 2,
+            noise,
+            prototype_scale: 1.0,
+        };
+        let ds = SynthImages::generate(&spec, seed);
+        prop_assert_eq!(ds.train.len(), classes * per_class);
+        prop_assert_eq!(ds.test.len(), classes * 2);
+        prop_assert_eq!(ds.train.feature_len(), side * side);
+        prop_assert!(ds.train.labels().iter().all(|&l| l < classes));
+        prop_assert!(ds.train.features().as_slice().iter().all(|v| v.is_finite()));
+        let again = SynthImages::generate(&spec, seed);
+        prop_assert_eq!(
+            ds.train.features().as_slice(),
+            again.train.features().as_slice()
+        );
+    }
+
+    /// Synthetic text: in-vocabulary, exact lengths, deterministic, and
+    /// sharding partitions the stream.
+    #[test]
+    fn synth_text_structurally_sound(
+        vocab in 2usize..40,
+        train_len in 50usize..2_000,
+        branching in 1usize..6,
+        order in 1usize..3,
+        n_shards in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let spec = SynthTextSpec {
+            vocab,
+            train_len,
+            test_len: 64,
+            branching,
+            order,
+        };
+        let ds = SynthText::generate(&spec, seed);
+        prop_assert_eq!(ds.train.len(), train_len);
+        prop_assert!(ds.train.tokens().iter().all(|&t| (t as usize) < vocab));
+        prop_assume!(train_len >= n_shards);
+        let shards = ds.train.shards(n_shards);
+        let per = train_len / n_shards;
+        prop_assert!(shards.iter().all(|s| s.len() == per));
+        // Concatenation of shards is a prefix of the stream.
+        let cat: Vec<u8> = shards.iter().flat_map(|s| s.tokens().to_vec()).collect();
+        prop_assert_eq!(&cat[..], &ds.train.tokens()[..per * n_shards]);
+    }
+}

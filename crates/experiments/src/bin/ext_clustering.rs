@@ -1,0 +1,6 @@
+//! Extension experiment: multi-center clustered Spyker (the paper's §7
+//! future work) vs vanilla Spyker on contradictory client populations.
+use spyker_experiments::suite::{ext_clustering, Scale};
+fn main() {
+    ext_clustering(&Scale::from_env());
+}

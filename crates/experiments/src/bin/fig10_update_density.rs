@@ -1,0 +1,5 @@
+//! Reproduces paper Fig. 10: per-client update-count density (KDE).
+use spyker_experiments::suite::{fig10_update_density, Scale};
+fn main() {
+    fig10_update_density(&Scale::from_env());
+}

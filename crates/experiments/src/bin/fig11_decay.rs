@@ -1,0 +1,5 @@
+//! Reproduces paper Fig. 11: learning-rate decay on vs off.
+use spyker_experiments::suite::{fig11_decay, Scale};
+fn main() {
+    fig11_decay(&Scale::from_env());
+}

@@ -1,0 +1,5 @@
+//! Reproduces paper Fig. 12: network consumption of every algorithm.
+use spyker_experiments::suite::{fig12_bandwidth, Scale};
+fn main() {
+    fig12_bandwidth(&Scale::from_env());
+}

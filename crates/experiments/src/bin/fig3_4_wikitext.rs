@@ -1,0 +1,6 @@
+//! Reproduces paper Figs. 3–4: WikiText perplexity vs time / vs updates.
+use spyker_experiments::suite::{fig_convergence, Scale};
+use spyker_experiments::TaskKind;
+fn main() {
+    fig_convergence(TaskKind::WikiText, &Scale::from_env());
+}

@@ -1,0 +1,6 @@
+//! Reproduces paper Figs. 5–6: MNIST accuracy vs time / vs updates.
+use spyker_experiments::suite::{fig_convergence, Scale};
+use spyker_experiments::TaskKind;
+fn main() {
+    fig_convergence(TaskKind::MnistLike, &Scale::from_env());
+}

@@ -1,0 +1,6 @@
+//! Reproduces paper Figs. 7–8: CIFAR-10 accuracy vs time / vs updates.
+use spyker_experiments::suite::{fig_convergence, Scale};
+use spyker_experiments::TaskKind;
+fn main() {
+    fig_convergence(TaskKind::CifarLike, &Scale::from_env());
+}

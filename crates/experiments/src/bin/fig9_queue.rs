@@ -1,0 +1,5 @@
+//! Reproduces paper Fig. 9: server update-queue lengths over time.
+use spyker_experiments::suite::{fig9_queue, Scale};
+fn main() {
+    fig9_queue(&Scale::from_env());
+}

@@ -1,0 +1,30 @@
+//! Runs the full reproduction suite (every table and figure, then the
+//! ablations when `--ablations` is passed).
+use spyker_experiments::suite;
+use spyker_experiments::TaskKind;
+
+fn main() {
+    let ablations = std::env::args().any(|a| a == "--ablations");
+    let scale = suite::Scale::from_env();
+    println!("== Spyker reproduction suite (scale: {scale:?}) ==\n");
+    suite::tab3_procedure_costs();
+    suite::tab4_latency();
+    suite::fig_convergence(TaskKind::MnistLike, &scale);
+    suite::fig_convergence(TaskKind::CifarLike, &scale);
+    suite::fig_convergence(TaskKind::WikiText, &scale);
+    suite::tab5_scalability(&scale);
+    suite::tab6_latency(&scale);
+    suite::fig9_queue(&scale);
+    suite::fig10_update_density(&scale);
+    suite::tab7_imbalance(&scale);
+    suite::fig11_decay(&scale);
+    suite::fig12_bandwidth(&scale);
+    if ablations {
+        suite::ablate_phi(&scale);
+        suite::ablate_eta_a(&scale);
+        suite::ablate_thresholds(&scale);
+        suite::ablate_staleness(&scale);
+        suite::ext_clustering(&scale);
+    }
+    println!("done; series and tables under results/");
+}

@@ -1,0 +1,4 @@
+//! Prints the AWS inter-region latency matrix (paper Tab. 4).
+fn main() {
+    spyker_experiments::suite::tab4_latency();
+}

@@ -1,0 +1,5 @@
+//! Reproduces paper Tab. 5: scaling factors at 2x/3x the client count.
+use spyker_experiments::suite::{tab5_scalability, Scale};
+fn main() {
+    tab5_scalability(&Scale::from_env());
+}

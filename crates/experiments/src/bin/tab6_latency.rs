@@ -1,0 +1,5 @@
+//! Reproduces paper Tab. 6: FedAsync vs Spyker with and without latency.
+use spyker_experiments::suite::{tab6_latency, Scale};
+fn main() {
+    tab6_latency(&Scale::from_env());
+}

@@ -1,0 +1,5 @@
+//! Reproduces paper Tab. 7: client imbalance across servers.
+use spyker_experiments::suite::{tab7_imbalance, Scale};
+fn main() {
+    tab7_imbalance(&Scale::from_env());
+}

@@ -1,0 +1,29 @@
+//! Reproduction harness for the Spyker paper's evaluation section.
+//!
+//! Every table and figure of the paper has a runner binary in `src/bin/`
+//! built on three pieces:
+//!
+//! * [`scenario::Scenario`] — a complete workload description (dataset,
+//!   model, partition, client population, delays), built deterministically
+//!   from a seed;
+//! * [`runner`] — runs one [`runner::Algorithm`] on a scenario under a
+//!   [`runner::RunOptions`] network/time budget, evaluating the server
+//!   models on a schedule and recording the accuracy/perplexity, queue and
+//!   bandwidth series the paper plots;
+//! * [`report`] — fixed-width table and CSV emission, shared by all
+//!   binaries (results land under `results/`).
+//!
+//! See `DESIGN.md` §4 for the experiment ↔ binary index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod suite;
+
+pub use runner::{run_algorithm, Algorithm, RunOptions, RunResult, SamplePoint};
+pub use scenario::{Scenario, TaskKind};
+pub use suite::Scale;

@@ -1,0 +1,214 @@
+//! Table and CSV emission shared by the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spyker_simnet::SimTime;
+
+use crate::runner::RunResult;
+
+/// A fixed-width text table (what the runner binaries print).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "cell count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats an optional time as seconds (`-` when the target was missed).
+pub fn fmt_time(t: Option<SimTime>) -> String {
+    t.map_or_else(|| "-".to_string(), |t| format!("{:.1}s", t.as_secs_f64()))
+}
+
+/// Formats an optional count (`-` when absent).
+pub fn fmt_count(c: Option<u64>) -> String {
+    c.map_or_else(|| "-".to_string(), |c| c.to_string())
+}
+
+/// Formats an optional ratio with two decimals.
+pub fn fmt_ratio(r: Option<f64>) -> String {
+    r.map_or_else(|| "-".to_string(), |r| format!("{r:.2}"))
+}
+
+/// Directory experiment outputs are written to (`results/`, created on
+/// demand, overridable via `SPYKER_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("SPYKER_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&path);
+    path
+}
+
+/// Writes the metric-vs-time/updates series of several runs as one CSV:
+/// `algorithm,time_s,updates,metric,loss`.
+///
+/// Returns the written path.
+pub fn write_series_csv(name: &str, runs: &[RunResult]) -> PathBuf {
+    let mut csv = String::from("algorithm,time_s,updates,metric,loss\n");
+    for run in runs {
+        for s in &run.samples {
+            let _ = writeln!(
+                csv,
+                "{},{:.3},{},{:.6},{:.6}",
+                run.algorithm,
+                s.time.as_secs_f64(),
+                s.updates,
+                s.metric,
+                s.loss
+            );
+        }
+    }
+    write_text(&results_dir().join(format!("{name}.csv")), &csv)
+}
+
+/// Writes arbitrary text to `path` (creating parents), returning the path.
+pub fn write_text(path: &Path, text: &str) -> PathBuf {
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    fs::write(path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    path.to_path_buf()
+}
+
+/// A Gaussian kernel-density estimate over `values`, evaluated on a uniform
+/// grid of `points` spanning the data range (paper Fig. 10's KDE plot).
+///
+/// Returns `(grid, density)`; the density integrates to ~1.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `points < 2`.
+pub fn kde(values: &[f64], points: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(!values.is_empty(), "kde of nothing");
+    assert!(points >= 2, "need at least two grid points");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt().max(1e-9);
+    // Silverman's rule of thumb.
+    let bandwidth = (1.06 * std * n.powf(-0.2)).max(1e-6);
+    let lo = values.iter().cloned().fold(f64::MAX, f64::min) - 3.0 * bandwidth;
+    let hi = values.iter().cloned().fold(f64::MIN, f64::max) + 3.0 * bandwidth;
+    let step = (hi - lo) / (points - 1) as f64;
+    let norm = 1.0 / (n * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+    let grid: Vec<f64> = (0..points).map(|i| lo + i as f64 * step).collect();
+    let density: Vec<f64> = grid
+        .iter()
+        .map(|&x| {
+            values
+                .iter()
+                .map(|&v| (-0.5 * ((x - v) / bandwidth).powi(2)).exp())
+                .sum::<f64>()
+                * norm
+        })
+        .collect();
+    (grid, density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters_handle_missing_values() {
+        assert_eq!(fmt_time(None), "-");
+        assert_eq!(fmt_time(Some(SimTime::from_millis(1500))), "1.5s");
+        assert_eq!(fmt_count(Some(42)), "42");
+        assert_eq!(fmt_ratio(Some(1.2345)), "1.23");
+    }
+
+    #[test]
+    fn kde_integrates_to_about_one() {
+        let values = vec![1.0, 2.0, 2.5, 3.0, 10.0, 10.5];
+        let (grid, density) = kde(&values, 200);
+        let step = grid[1] - grid[0];
+        let integral: f64 = density.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn kde_peaks_near_the_modes() {
+        let values = vec![1.0; 50]
+            .into_iter()
+            .chain(vec![10.0; 50])
+            .collect::<Vec<f64>>();
+        let (grid, density) = kde(&values, 400);
+        let peak_x = grid[density
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0];
+        assert!(
+            (peak_x - 1.0).abs() < 1.0 || (peak_x - 10.0).abs() < 1.0,
+            "peak at {peak_x}"
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! Runs one algorithm on one scenario and records the paper's metrics.
+
+use std::ops::ControlFlow;
+
+use spyker_baselines::deploy::{fedasync_deployment, fedavg_deployment, hierfavg_deployment};
+use spyker_baselines::fedasync::{FedAsyncConfig, FedAsyncServer};
+use spyker_baselines::fedavg::{FedAvgConfig, FedAvgServer};
+use spyker_baselines::hierfavg::{EdgeServer, HierFavgConfig};
+use spyker_core::client::FlClient;
+use spyker_core::config::SpykerConfig;
+use spyker_core::decay::DecayConfig;
+use spyker_core::deploy::{
+    even_assignment, spyker_deployment_assigned, sync_spyker_deployment, SpykerDeploymentSpec,
+};
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_core::server::SpykerServer;
+use spyker_core::sync_spyker::SyncSpykerServer;
+use spyker_core::training::MetricKind;
+use spyker_simnet::{Metrics, NetworkConfig, Node, SimTime, Simulation};
+
+use crate::scenario::Scenario;
+
+/// The five algorithms of the paper's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Synchronous single-server FedAvg.
+    FedAvg,
+    /// Asynchronous single-server FedAsync.
+    FedAsync,
+    /// Hierarchical FedAvg (edge + cloud).
+    HierFavg,
+    /// The paper's contribution.
+    Spyker,
+    /// Spyker with synchronous server exchange.
+    SyncSpyker,
+}
+
+impl Algorithm {
+    /// All five, in the paper's comparison order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::FedAvg,
+        Algorithm::FedAsync,
+        Algorithm::HierFavg,
+        Algorithm::Spyker,
+        Algorithm::SyncSpyker,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::FedAvg => "FedAvg",
+            Algorithm::FedAsync => "FedAsync",
+            Algorithm::HierFavg => "HierFAVG",
+            Algorithm::Spyker => "Spyker",
+            Algorithm::SyncSpyker => "Sync-Spyker",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Knobs of one run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Network model (AWS matrix by default).
+    pub net: NetworkConfig,
+    /// Virtual-time budget.
+    pub max_time: SimTime,
+    /// Evaluation/probe cadence.
+    pub probe_interval: SimTime,
+    /// Early-stop once the metric crosses this target (direction depends on
+    /// the task's [`MetricKind`]).
+    pub stop_at_metric: Option<f64>,
+    /// Max samples/tokens evaluated per probe.
+    pub eval_max: usize,
+    /// Sync-Spyker's exchange period.
+    pub sync_period: SimTime,
+    /// Explicit client→server assignment for multi-server algorithms
+    /// (paper Tab. 7 imbalance); `None` = even split.
+    pub assignment: Option<Vec<usize>>,
+    /// Full Spyker config override (ablations); `None` = paper defaults
+    /// scaled to the scenario's learning rate.
+    pub spyker_config: Option<SpykerConfig>,
+}
+
+impl RunOptions {
+    /// Paper-style defaults: AWS network, 120 s budget, 500 ms probes.
+    pub fn standard() -> Self {
+        Self {
+            net: NetworkConfig::aws(),
+            max_time: SimTime::from_secs(120),
+            probe_interval: SimTime::from_millis(500),
+            stop_at_metric: None,
+            eval_max: 200,
+            sync_period: SimTime::from_secs(1),
+            assignment: None,
+            spyker_config: None,
+        }
+    }
+
+    /// Sets the virtual-time budget (builder style).
+    pub fn with_max_time(mut self, t: SimTime) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the early-stop target (builder style).
+    pub fn with_stop_at(mut self, target: f64) -> Self {
+        self.stop_at_metric = Some(target);
+        self
+    }
+
+    /// Sets the network (builder style).
+    pub fn with_net(mut self, net: NetworkConfig) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+/// One evaluation sample along a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePoint {
+    /// Virtual time of the sample.
+    pub time: SimTime,
+    /// Client updates processed by all servers so far.
+    pub updates: u64,
+    /// Mean metric over the server models (accuracy or perplexity).
+    pub metric: f64,
+    /// Mean loss over the server models.
+    pub loss: f64,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The task's metric kind.
+    pub metric_kind: MetricKind,
+    /// Evaluation samples in time order.
+    pub samples: Vec<SamplePoint>,
+    /// All simulator metrics (bandwidth counters, queue series, ...).
+    pub metrics: Metrics,
+    /// Virtual time when the run ended.
+    pub end_time: SimTime,
+    /// Updates sent per client over the whole run (paper Fig. 10).
+    pub client_updates: Vec<u64>,
+}
+
+impl RunResult {
+    /// First virtual time at which the metric reached `target`, honouring
+    /// the metric direction.
+    pub fn time_to_target(&self, target: f64) -> Option<SimTime> {
+        self.samples
+            .iter()
+            .find(|s| metric_reached(self.metric_kind, s.metric, target))
+            .map(|s| s.time)
+    }
+
+    /// Updates processed when the metric first reached `target`.
+    pub fn updates_to_target(&self, target: f64) -> Option<u64> {
+        self.samples
+            .iter()
+            .find(|s| metric_reached(self.metric_kind, s.metric, target))
+            .map(|s| s.updates)
+    }
+
+    /// Best metric seen over the run.
+    pub fn best_metric(&self) -> Option<f64> {
+        let better = |a: f64, b: f64| {
+            if self.metric_kind.higher_is_better() {
+                a.max(b)
+            } else {
+                a.min(b)
+            }
+        };
+        self.samples
+            .iter()
+            .map(|s| s.metric)
+            .fold(None, |acc, m| Some(acc.map_or(m, |a| better(a, m))))
+    }
+
+    /// Final metric.
+    pub fn final_metric(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.metric)
+    }
+}
+
+fn metric_reached(kind: MetricKind, value: f64, target: f64) -> bool {
+    if kind.higher_is_better() {
+        value >= target
+    } else {
+        value <= target
+    }
+}
+
+/// Node ids of the model-holding servers for each algorithm.
+fn server_node_ids(alg: Algorithm, n_servers: usize) -> Vec<usize> {
+    match alg {
+        Algorithm::FedAvg | Algorithm::FedAsync => vec![0],
+        Algorithm::HierFavg => (1..=n_servers).collect(),
+        Algorithm::Spyker | Algorithm::SyncSpyker => (0..n_servers).collect(),
+    }
+}
+
+/// First client node id for each algorithm's layout.
+fn first_client_node(alg: Algorithm, n_servers: usize) -> usize {
+    match alg {
+        Algorithm::FedAvg | Algorithm::FedAsync => 1,
+        Algorithm::HierFavg => 1 + n_servers,
+        Algorithm::Spyker | Algorithm::SyncSpyker => n_servers,
+    }
+}
+
+fn collect_server_params(
+    alg: Algorithm,
+    n_servers: usize,
+    nodes: &[Box<dyn Node<FlMsg>>],
+) -> Vec<ParamVec> {
+    server_node_ids(alg, n_servers)
+        .into_iter()
+        .map(|id| {
+            let any = nodes[id].as_any();
+            match alg {
+                Algorithm::FedAvg => any
+                    .downcast_ref::<FedAvgServer>()
+                    .expect("FedAvg server")
+                    .params()
+                    .clone(),
+                Algorithm::FedAsync => any
+                    .downcast_ref::<FedAsyncServer>()
+                    .expect("FedAsync server")
+                    .params()
+                    .clone(),
+                Algorithm::HierFavg => any
+                    .downcast_ref::<EdgeServer>()
+                    .expect("edge server")
+                    .params()
+                    .clone(),
+                Algorithm::Spyker => any
+                    .downcast_ref::<SpykerServer>()
+                    .expect("Spyker server")
+                    .params()
+                    .clone(),
+                Algorithm::SyncSpyker => any
+                    .downcast_ref::<SyncSpykerServer>()
+                    .expect("Sync-Spyker server")
+                    .params()
+                    .clone(),
+            }
+        })
+        .collect()
+}
+
+/// The Spyker configuration a scenario runs with unless overridden:
+/// paper defaults with the decay schedule rescaled to the scenario's
+/// client learning rate.
+pub fn default_spyker_config(scenario: &Scenario) -> SpykerConfig {
+    SpykerConfig::paper_defaults(scenario.n_clients, scenario.n_servers)
+        .with_decay(DecayConfig::scaled(scenario.client_lr))
+        .with_client_epochs(scenario.client_epochs)
+}
+
+fn build_simulation(
+    alg: Algorithm,
+    scenario: &Scenario,
+    opts: &RunOptions,
+) -> Simulation<FlMsg> {
+    let trainers = scenario.trainers();
+    let delays = scenario.delays().to_vec();
+    let init = scenario.init_params();
+    let seed = scenario.seed;
+    match alg {
+        Algorithm::FedAvg => fedavg_deployment(
+            opts.net.clone(),
+            seed,
+            FedAvgConfig::paper_defaults().with_client_lr(scenario.client_lr),
+            trainers,
+            init,
+            delays,
+            scenario.client_epochs,
+        ),
+        Algorithm::FedAsync => fedasync_deployment(
+            opts.net.clone(),
+            seed,
+            FedAsyncConfig::paper_defaults().with_client_lr(scenario.client_lr),
+            trainers,
+            init,
+            delays,
+            scenario.client_epochs,
+        ),
+        Algorithm::HierFavg => hierfavg_deployment(
+            opts.net.clone(),
+            seed,
+            HierFavgConfig::paper_defaults().with_client_lr(scenario.client_lr),
+            scenario.n_servers,
+            trainers,
+            init,
+            delays,
+            scenario.client_epochs,
+        ),
+        Algorithm::Spyker => {
+            let config = opts
+                .spyker_config
+                .clone()
+                .unwrap_or_else(|| default_spyker_config(scenario));
+            let assignment = opts
+                .assignment
+                .clone()
+                .unwrap_or_else(|| even_assignment(scenario.n_clients, scenario.n_servers));
+            spyker_deployment_assigned(
+                opts.net.clone(),
+                seed,
+                assignment,
+                SpykerDeploymentSpec {
+                    config,
+                    trainers,
+                    num_servers: scenario.n_servers,
+                    init_params: init,
+                    train_delay: delays,
+                },
+            )
+        }
+        Algorithm::SyncSpyker => {
+            let config = opts
+                .spyker_config
+                .clone()
+                .unwrap_or_else(|| default_spyker_config(scenario));
+            sync_spyker_deployment(
+                opts.net.clone(),
+                seed,
+                opts.sync_period,
+                SpykerDeploymentSpec {
+                    config,
+                    trainers,
+                    num_servers: scenario.n_servers,
+                    init_params: init,
+                    train_delay: delays,
+                },
+            )
+        }
+    }
+}
+
+/// Runs `alg` on `scenario` and returns the recorded result.
+///
+/// Evaluation happens outside virtual time every `probe_interval`: each
+/// server model is scored on the held-out set and the mean becomes one
+/// [`SamplePoint`]. Per-server queue lengths and cumulative bandwidth are
+/// recorded as metric series (`queue.max`, `queue.s<i>`, `bytes.total`,
+/// `bytes.client-server`, `bytes.server-server`).
+pub fn run_algorithm(alg: Algorithm, scenario: &Scenario, opts: &RunOptions) -> RunResult {
+    let mut sim = build_simulation(alg, scenario, opts);
+    let evaluator = scenario.evaluator(opts.eval_max);
+    let metric_kind = scenario.task.metric_kind();
+    let n_servers = scenario.n_servers;
+    let server_ids = server_node_ids(alg, n_servers);
+    let mut samples: Vec<SamplePoint> = Vec::new();
+    let stop_at = opts.stop_at_metric;
+
+    let report = sim.run_with_probe(opts.max_time, opts.probe_interval, |ctx| {
+        // The "global model" of a multi-server deployment is the uniform
+        // average of the server models (what a client of any server would
+        // effectively be served after the next exchange); single-server
+        // algorithms degenerate to their one model.
+        let params = collect_server_params(alg, n_servers, ctx.nodes());
+        let weighted: Vec<(&spyker_core::params::ParamVec, f64)> =
+            params.iter().map(|p| (p, 1.0)).collect();
+        let global = spyker_core::params::ParamVec::weighted_mean(&weighted);
+        let r = evaluator.evaluate(&global);
+        let metric = r.metric;
+        let loss = r.loss;
+        let time = ctx.time();
+        // Queue lengths (paper Fig. 9).
+        let mut max_q = 0usize;
+        for (i, &id) in server_ids.iter().enumerate() {
+            let q = ctx.queue_len(id);
+            max_q = max_q.max(q);
+            ctx.metrics().record(&format!("queue.s{i}"), time, q as f64);
+        }
+        // Bandwidth over time (paper Fig. 12).
+        let total = ctx.metrics().counter("net.bytes") as f64;
+        let cs = ctx.metrics().counter("net.bytes.client-server") as f64;
+        let ss = ctx.metrics().counter("net.bytes.server-server") as f64;
+        let updates = ctx.metrics().counter("updates.processed");
+        ctx.metrics().record("queue.max", time, max_q as f64);
+        ctx.metrics().record("bytes.total", time, total);
+        ctx.metrics().record("bytes.client-server", time, cs);
+        ctx.metrics().record("bytes.server-server", time, ss);
+        ctx.metrics().record("metric", time, metric);
+        samples.push(SamplePoint {
+            time,
+            updates,
+            metric,
+            loss,
+        });
+        match stop_at {
+            Some(target) if metric_reached(metric_kind, metric, target) => {
+                ControlFlow::Break(())
+            }
+            _ => ControlFlow::Continue(()),
+        }
+    });
+
+    // Per-client update counts (paper Fig. 10).
+    let first_client = first_client_node(alg, n_servers);
+    let client_updates: Vec<u64> = (first_client..first_client + scenario.n_clients)
+        .map(|id| {
+            sim.node(id)
+                .as_any()
+                .downcast_ref::<FlClient>()
+                .map_or(0, FlClient::updates_sent)
+        })
+        .collect();
+    let end_time = report.end_time;
+    RunResult {
+        algorithm: alg,
+        metric_kind,
+        samples,
+        metrics: sim.into_metrics(),
+        end_time,
+        client_updates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOptions {
+        RunOptions {
+            max_time: SimTime::from_secs(20),
+            probe_interval: SimTime::from_secs(1),
+            eval_max: 100,
+            ..RunOptions::standard()
+        }
+    }
+
+    #[test]
+    fn all_algorithms_improve_on_mnist_like() {
+        let scenario = Scenario::mnist(12, 4, 7);
+        for alg in Algorithm::ALL {
+            let result = run_algorithm(alg, &scenario, &quick_opts());
+            assert!(
+                !result.samples.is_empty(),
+                "{alg}: no samples recorded"
+            );
+            let first = result.samples.first().unwrap().metric;
+            let best = result.best_metric().unwrap();
+            assert!(
+                best > first + 0.2,
+                "{alg}: accuracy did not improve ({first} -> {best})"
+            );
+            assert!(result.metrics.counter("updates.processed") > 0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn time_to_target_respects_metric_direction() {
+        let scenario = Scenario::mnist(12, 4, 7);
+        let result = run_algorithm(Algorithm::Spyker, &scenario, &quick_opts());
+        if let Some(t) = result.time_to_target(0.5) {
+            assert!(t <= result.end_time);
+            let u = result.updates_to_target(0.5).unwrap();
+            assert!(u > 0);
+        }
+    }
+
+    #[test]
+    fn early_stop_cuts_the_run_short() {
+        let scenario = Scenario::mnist(12, 4, 7);
+        let opts = quick_opts().with_stop_at(0.5);
+        let result = run_algorithm(Algorithm::Spyker, &scenario, &opts);
+        // Either it never reached 0.5 (ran full 20 s) or it stopped at the
+        // crossing sample.
+        if let Some(last) = result.samples.last() {
+            if metric_reached(result.metric_kind, last.metric, 0.5) {
+                assert!(result.end_time < SimTime::from_secs(20));
+            }
+        }
+    }
+
+    #[test]
+    fn client_update_counts_are_collected() {
+        let scenario = Scenario::mnist(12, 4, 7);
+        let result = run_algorithm(Algorithm::FedAsync, &scenario, &quick_opts());
+        assert_eq!(result.client_updates.len(), 12);
+        assert!(result.client_updates.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        let scenario = Scenario::mnist(8, 2, 5);
+        let a = run_algorithm(Algorithm::Spyker, &scenario, &quick_opts());
+        let b = run_algorithm(Algorithm::Spyker, &scenario, &quick_opts());
+        assert_eq!(a.samples, b.samples, "determinism violated");
+        assert_eq!(a.client_updates, b.client_updates);
+    }
+}

@@ -1,0 +1,77 @@
+//! Finite-difference gradient checking.
+//!
+//! There is no autograd in this workspace; every model's backward pass is
+//! handwritten and verified against central finite differences with this
+//! utility.
+
+/// Checks an analytic gradient against central finite differences.
+///
+/// * `params` — the flattened parameter vector at the point of evaluation;
+/// * `loss` — a function evaluating the loss at arbitrary parameters;
+/// * `analytic` — the gradient to verify (same length as `params`);
+/// * `eps` — finite-difference step;
+/// * `tol` — maximum allowed elementwise discrepancy, compared as
+///   `|fd - analytic| <= tol * (1 + |fd| + |analytic|)`.
+///
+/// Returns the worst relative discrepancy observed.
+///
+/// # Panics
+///
+/// Panics (with the offending index) if any component exceeds the
+/// tolerance, or if lengths differ.
+pub fn check_gradient(
+    params: &[f32],
+    mut loss: impl FnMut(&[f32]) -> f32,
+    analytic: &[f32],
+    eps: f32,
+    tol: f32,
+) -> f32 {
+    assert_eq!(params.len(), analytic.len(), "gradient length mismatch");
+    let mut worst = 0.0f32;
+    let mut buf = params.to_vec();
+    for i in 0..params.len() {
+        let orig = buf[i];
+        buf[i] = orig + eps;
+        let lp = loss(&buf);
+        buf[i] = orig - eps;
+        let lm = loss(&buf);
+        buf[i] = orig;
+        let fd = (lp - lm) / (2.0 * eps);
+        let denom = 1.0 + fd.abs() + analytic[i].abs();
+        let rel = (fd - analytic[i]).abs() / denom;
+        worst = worst.max(rel);
+        assert!(
+            rel <= tol,
+            "gradient mismatch at index {i}: fd={fd}, analytic={}, rel={rel}",
+            analytic[i]
+        );
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_exact_quadratic_gradient() {
+        // loss = sum(x^2), grad = 2x.
+        let params = [0.5f32, -1.0, 2.0];
+        let grad: Vec<f32> = params.iter().map(|v| 2.0 * v).collect();
+        let worst = check_gradient(
+            &params,
+            |p| p.iter().map(|v| v * v).sum(),
+            &grad,
+            1e-3,
+            1e-3,
+        );
+        assert!(worst < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn rejects_wrong_gradient() {
+        let params = [1.0f32];
+        check_gradient(&params, |p| p[0] * p[0], &[5.0], 1e-3, 1e-3);
+    }
+}

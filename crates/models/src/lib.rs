@@ -1,0 +1,52 @@
+//! The model zoo of the Spyker reproduction.
+//!
+//! The paper trains a 2-conv CNN on MNIST, a 3-conv CNN on CIFAR-10 and a
+//! next-character LSTM on WikiText-2. This crate implements those
+//! architectures from scratch on `spyker-tensor`:
+//!
+//! * [`linear::SoftmaxRegression`] — a linear classifier (fast default for
+//!   large sweeps);
+//! * [`mlp::Mlp`] — a ReLU multi-layer perceptron;
+//! * [`cnn::Cnn`] — configurable conv/pool/FC stacks, with the paper's
+//!   MNIST-like (2 conv) and CIFAR-like (3 conv) presets;
+//! * [`lstm::CharLstm`] — embedding + LSTM + FC next-character model.
+//!
+//! Every backward pass is verified against finite differences in tests
+//! (there is no autograd). The [`bridge`] module adapts models and dataset
+//! shards to the `spyker-core` [`spyker_core::LocalTrainer`] /
+//! [`spyker_core::Evaluator`] injection points used by the FL actors.
+//!
+//! # Example
+//!
+//! ```
+//! use spyker_data::synth::{SynthImages, SynthImagesSpec};
+//! use spyker_models::linear::SoftmaxRegression;
+//! use spyker_models::model::DenseModel;
+//!
+//! let ds = SynthImages::generate(&SynthImagesSpec::mnist_like_scaled(200), 1);
+//! let mut model = SoftmaxRegression::new(ds.train.feature_len(), 10, 42);
+//! let (x, y) = ds.train.gather_batch(&(0..32).collect::<Vec<_>>());
+//! let loss_before = model.eval_batch(&x, &y).0;
+//! for _ in 0..20 {
+//!     model.train_batch(&x, &y, 0.1);
+//! }
+//! assert!(model.eval_batch(&x, &y).0 < loss_before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod cnn;
+pub mod gradcheck;
+pub mod linear;
+pub mod lstm;
+pub mod mlp;
+pub mod model;
+
+pub use bridge::{DenseEvaluator, DenseShardTrainer, SeqEvaluator, SeqShardTrainer};
+pub use cnn::Cnn;
+pub use linear::SoftmaxRegression;
+pub use lstm::CharLstm;
+pub use mlp::Mlp;
+pub use model::{DenseModel, SeqModel};

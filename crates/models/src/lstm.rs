@@ -1,0 +1,418 @@
+//! Next-character LSTM language model (the paper's WikiText-2 model).
+//!
+//! Architecture, following the paper §5.1: an embedding layer, a single
+//! LSTM layer, and a fully-connected layer producing a distribution over
+//! the character vocabulary. Trained with truncated BPTT; gradients are
+//! globally norm-clipped.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spyker_tensor::{cross_entropy_from_logits, scalar_sigmoid, xavier_init, Matrix};
+
+use crate::model::{clip_global_norm, pull_matrix, pull_vec, push_matrix, push_vec, SeqModel};
+
+/// Character-level LSTM: embedding → LSTM → FC softmax head.
+pub struct CharLstm {
+    vocab: usize,
+    embed_dim: usize,
+    hidden: usize,
+    /// Embedding table: `vocab x embed_dim`.
+    embed: Matrix,
+    /// Input-to-gates weights: `embed_dim x 4*hidden` (gate order i,f,g,o).
+    w_x: Matrix,
+    /// Hidden-to-gates weights: `hidden x 4*hidden`.
+    w_h: Matrix,
+    /// Gate biases: `4*hidden` (forget-gate bias initialised to 1).
+    b: Vec<f32>,
+    /// Output projection: `hidden x vocab`.
+    w_o: Matrix,
+    b_o: Vec<f32>,
+    clip: f32,
+}
+
+struct StepCache {
+    token: usize,
+    /// Gates after nonlinearity: i, f, g, o (each `hidden` wide).
+    gates: Vec<f32>,
+    c: Vec<f32>,
+    h: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+impl CharLstm {
+    /// Creates a model with the given vocabulary size, embedding width and
+    /// hidden width, initialised from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(vocab: usize, embed_dim: usize, hidden: usize, seed: u64) -> Self {
+        assert!(vocab > 0 && embed_dim > 0 && hidden > 0, "dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
+        let mut b = vec![0.0; 4 * hidden];
+        // Forget-gate bias 1.0: standard trick for gradient flow early on.
+        for v in &mut b[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Self {
+            vocab,
+            embed_dim,
+            hidden,
+            embed: xavier_init(vocab, embed_dim, &mut rng),
+            w_x: xavier_init(embed_dim, 4 * hidden, &mut rng),
+            w_h: xavier_init(hidden, 4 * hidden, &mut rng),
+            b,
+            w_o: xavier_init(hidden, vocab, &mut rng),
+            b_o: vec![0.0; vocab],
+            clip: 5.0,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// One LSTM step; returns the cache needed for backprop.
+    fn step(&self, token: usize, h_prev: &[f32], c_prev: &[f32]) -> StepCache {
+        let hid = self.hidden;
+        let x = self.embed.row(token);
+        // pre-gates = x W_x + h W_h + b
+        let mut pre = self.b.clone();
+        for (k, &xv) in x.iter().enumerate() {
+            if xv != 0.0 {
+                let row = self.w_x.row(k);
+                for (p, &wv) in pre.iter_mut().zip(row) {
+                    *p += xv * wv;
+                }
+            }
+        }
+        for (k, &hv) in h_prev.iter().enumerate() {
+            if hv != 0.0 {
+                let row = self.w_h.row(k);
+                for (p, &wv) in pre.iter_mut().zip(row) {
+                    *p += hv * wv;
+                }
+            }
+        }
+        let mut gates = vec![0.0f32; 4 * hid];
+        for j in 0..hid {
+            gates[j] = scalar_sigmoid(pre[j]); // i
+            gates[hid + j] = scalar_sigmoid(pre[hid + j]); // f
+            gates[2 * hid + j] = pre[2 * hid + j].tanh(); // g
+            gates[3 * hid + j] = scalar_sigmoid(pre[3 * hid + j]); // o
+        }
+        let mut c = vec![0.0f32; hid];
+        let mut tanh_c = vec![0.0f32; hid];
+        let mut h = vec![0.0f32; hid];
+        for j in 0..hid {
+            c[j] = gates[hid + j] * c_prev[j] + gates[j] * gates[2 * hid + j];
+            tanh_c[j] = c[j].tanh();
+            h[j] = gates[3 * hid + j] * tanh_c[j];
+        }
+        StepCache {
+            token,
+            gates,
+            c,
+            h,
+            tanh_c,
+        }
+    }
+
+    fn logits_from_h(&self, h: &[f32]) -> Matrix {
+        let hrow = Matrix::from_vec(1, self.hidden, h.to_vec());
+        let mut z = hrow.matmul(&self.w_o);
+        z.add_row_broadcast(&self.b_o);
+        z
+    }
+}
+
+impl SeqModel for CharLstm {
+    fn num_params(&self) -> usize {
+        self.embed.len()
+            + self.w_x.len()
+            + self.w_h.len()
+            + self.b.len()
+            + self.w_o.len()
+            + self.b_o.len()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        push_matrix(out, &self.embed);
+        push_matrix(out, &self.w_x);
+        push_matrix(out, &self.w_h);
+        push_vec(out, &self.b);
+        push_matrix(out, &self.w_o);
+        push_vec(out, &self.b_o);
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.num_params(), "parameter length mismatch");
+        let mut off = 0;
+        pull_matrix(src, &mut off, &mut self.embed);
+        pull_matrix(src, &mut off, &mut self.w_x);
+        pull_matrix(src, &mut off, &mut self.w_h);
+        pull_vec(src, &mut off, &mut self.b);
+        pull_matrix(src, &mut off, &mut self.w_o);
+        pull_vec(src, &mut off, &mut self.b_o);
+    }
+
+    fn train_window(&mut self, tokens: &[u8], lr: f32) -> f32 {
+        assert!(tokens.len() >= 2, "window must contain at least two tokens");
+        let hid = self.hidden;
+        let steps = tokens.len() - 1;
+        // Forward.
+        let mut caches: Vec<StepCache> = Vec::with_capacity(steps);
+        let mut h = vec![0.0f32; hid];
+        let mut c = vec![0.0f32; hid];
+        let mut loss = 0.0f32;
+        let mut dlogits_all: Vec<Matrix> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let cache = self.step(tokens[t] as usize, &h, &c);
+            let logits = self.logits_from_h(&cache.h);
+            let (l, dl) = cross_entropy_from_logits(&logits, &[tokens[t + 1] as usize]);
+            loss += l;
+            dlogits_all.push(dl);
+            h = cache.h.clone();
+            c = cache.c.clone();
+            caches.push(cache);
+        }
+        // Backward through time.
+        let mut d_embed = Matrix::zeros(self.vocab, self.embed_dim);
+        let mut d_wx = Matrix::zeros(self.embed_dim, 4 * hid);
+        let mut d_wh = Matrix::zeros(hid, 4 * hid);
+        let mut d_b = vec![0.0f32; 4 * hid];
+        let mut d_wo = Matrix::zeros(hid, self.vocab);
+        let mut d_bo = vec![0.0f32; self.vocab];
+        let mut dh_next = vec![0.0f32; hid];
+        let mut dc_next = vec![0.0f32; hid];
+        let inv = 1.0 / steps as f32;
+        for t in (0..steps).rev() {
+            let cache = &caches[t];
+            let dl = &dlogits_all[t];
+            // Output layer grads.
+            for j in 0..hid {
+                for v in 0..self.vocab {
+                    d_wo[(j, v)] += cache.h[j] * dl[(0, v)] * inv;
+                }
+            }
+            for v in 0..self.vocab {
+                d_bo[v] += dl[(0, v)] * inv;
+            }
+            // dh = W_o dl + dh_next.
+            let mut dh = dh_next.clone();
+            for j in 0..hid {
+                let row = self.w_o.row(j);
+                let mut acc = 0.0;
+                for (v, &wv) in row.iter().enumerate() {
+                    acc += wv * dl[(0, v)];
+                }
+                dh[j] += acc * inv;
+            }
+            // Through the LSTM cell.
+            let (i_g, f_g, g_g, o_g) = (
+                &cache.gates[..hid],
+                &cache.gates[hid..2 * hid],
+                &cache.gates[2 * hid..3 * hid],
+                &cache.gates[3 * hid..4 * hid],
+            );
+            let c_prev: &[f32] = if t > 0 { &caches[t - 1].c } else { &vec![0.0; hid] [..]};
+            let h_prev: Vec<f32> = if t > 0 {
+                caches[t - 1].h.clone()
+            } else {
+                vec![0.0; hid]
+            };
+            let mut dgates_pre = vec![0.0f32; 4 * hid];
+            let mut dc_prev = vec![0.0f32; hid];
+            for j in 0..hid {
+                let do_ = dh[j] * cache.tanh_c[j];
+                let dc = dc_next[j] + dh[j] * o_g[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+                let di = dc * g_g[j];
+                let df = dc * c_prev[j];
+                let dg = dc * i_g[j];
+                dc_prev[j] = dc * f_g[j];
+                dgates_pre[j] = di * i_g[j] * (1.0 - i_g[j]);
+                dgates_pre[hid + j] = df * f_g[j] * (1.0 - f_g[j]);
+                dgates_pre[2 * hid + j] = dg * (1.0 - g_g[j] * g_g[j]);
+                dgates_pre[3 * hid + j] = do_ * o_g[j] * (1.0 - o_g[j]);
+            }
+            // Accumulate parameter grads.
+            let x = self.embed.row(cache.token);
+            for (k, &xv) in x.iter().enumerate() {
+                let row = d_wx.row_mut(k);
+                for (rv, &dg) in row.iter_mut().zip(&dgates_pre) {
+                    *rv += xv * dg;
+                }
+            }
+            for (k, &hv) in h_prev.iter().enumerate() {
+                let row = d_wh.row_mut(k);
+                for (rv, &dg) in row.iter_mut().zip(&dgates_pre) {
+                    *rv += hv * dg;
+                }
+            }
+            for (bv, &dg) in d_b.iter_mut().zip(&dgates_pre) {
+                *bv += dg;
+            }
+            // dx -> embedding grad.
+            {
+                let erow = d_embed.row_mut(cache.token);
+                for (k, ev) in erow.iter_mut().enumerate() {
+                    let wrow = self.w_x.row(k);
+                    let mut acc = 0.0;
+                    for (wv, &dg) in wrow.iter().zip(&dgates_pre) {
+                        acc += wv * dg;
+                    }
+                    *ev += acc;
+                }
+            }
+            // dh_prev for the next (earlier) step.
+            let mut dh_prev = vec![0.0f32; hid];
+            for (k, dhp) in dh_prev.iter_mut().enumerate() {
+                let wrow = self.w_h.row(k);
+                let mut acc = 0.0;
+                for (wv, &dg) in wrow.iter().zip(&dgates_pre) {
+                    acc += wv * dg;
+                }
+                *dhp = acc;
+            }
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        // Clip and apply.
+        {
+            let mut grads: Vec<&mut [f32]> = vec![
+                d_embed.as_mut_slice(),
+                d_wx.as_mut_slice(),
+                d_wh.as_mut_slice(),
+                &mut d_b,
+                d_wo.as_mut_slice(),
+                &mut d_bo,
+            ];
+            clip_global_norm(&mut grads, self.clip);
+        }
+        self.embed.axpy(-lr, &d_embed);
+        self.w_x.axpy(-lr, &d_wx);
+        self.w_h.axpy(-lr, &d_wh);
+        for (b, g) in self.b.iter_mut().zip(&d_b) {
+            *b -= lr * g;
+        }
+        self.w_o.axpy(-lr, &d_wo);
+        for (b, g) in self.b_o.iter_mut().zip(&d_bo) {
+            *b -= lr * g;
+        }
+        loss / steps as f32
+    }
+
+    fn eval_stream(&self, tokens: &[u8]) -> f64 {
+        if tokens.len() < 2 {
+            return 0.0;
+        }
+        let hid = self.hidden;
+        let mut h = vec![0.0f32; hid];
+        let mut c = vec![0.0f32; hid];
+        let mut loss = 0.0f64;
+        let steps = tokens.len() - 1;
+        for t in 0..steps {
+            let cache = self.step(tokens[t] as usize, &h, &c);
+            let logits = self.logits_from_h(&cache.h);
+            let (l, _) = cross_entropy_from_logits(&logits, &[tokens[t + 1] as usize]);
+            loss += l as f64;
+            h = cache.h;
+            c = cache.c;
+        }
+        loss / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradient;
+    use crate::model::SeqModel;
+    use spyker_data::synth::{SynthText, SynthTextSpec};
+
+    #[test]
+    fn params_round_trip() {
+        let m = CharLstm::new(6, 3, 4, 1);
+        let mut flat = Vec::new();
+        m.write_params(&mut flat);
+        assert_eq!(flat.len(), m.num_params());
+        let mut m2 = CharLstm::new(6, 3, 4, 2);
+        m2.read_params(&flat);
+        let mut flat2 = Vec::new();
+        m2.write_params(&mut flat2);
+        assert_eq!(flat, flat2);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut model = CharLstm::new(5, 3, 4, 9);
+        model.clip = 1e9; // disable clipping for the check
+        let window = [0u8, 2, 4, 1, 3, 0];
+        let mut before = Vec::new();
+        model.write_params(&mut before);
+        let mut stepped = CharLstm::new(5, 3, 4, 9);
+        stepped.clip = 1e9;
+        stepped.read_params(&before);
+        stepped.train_window(&window, 1.0);
+        let mut after = Vec::new();
+        stepped.write_params(&mut after);
+        let analytic: Vec<f32> = before.iter().zip(&after).map(|(b, a)| b - a).collect();
+        let mut probe = CharLstm::new(5, 3, 4, 9);
+        check_gradient(
+            &before,
+            |p| {
+                probe.read_params(p);
+                probe.eval_stream(&window) as f32
+            },
+            &analytic,
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn learns_a_deterministic_cycle() {
+        // Sequence 0 1 2 3 0 1 2 3 ... must become fully predictable.
+        let stream: Vec<u8> = (0..400).map(|i| (i % 4) as u8).collect();
+        let mut model = CharLstm::new(4, 4, 8, 3);
+        for _ in 0..30 {
+            for win in stream.chunks(20) {
+                model.train_window(win, 0.5);
+            }
+        }
+        let ce = model.eval_stream(&stream);
+        let ppl = ce.exp();
+        assert!(ppl < 1.5, "perplexity {ppl} on a deterministic cycle");
+    }
+
+    #[test]
+    fn perplexity_improves_on_synthetic_text() {
+        let ds = SynthText::generate(&SynthTextSpec::wikitext_like(4000), 4);
+        let mut model = CharLstm::new(28, 12, 16, 7);
+        let uniform = (28.0f64).ln();
+        let n = ds.test.len().min(400);
+        let before = model.eval_stream(&ds.test.tokens()[..n]);
+        assert!((before - uniform).abs() < 1.0, "untrained CE should be near ln(V)");
+        for _ in 0..3 {
+            for win in ds.train.tokens().chunks(32) {
+                if win.len() >= 2 {
+                    model.train_window(win, 1.0);
+                }
+            }
+        }
+        let after = model.eval_stream(&ds.test.tokens()[..n]);
+        let (before_ppl, after_ppl) = (before.exp(), after.exp());
+        assert!(
+            after_ppl < before_ppl / 3.0,
+            "perplexity did not improve enough: {before_ppl} -> {after_ppl}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tokens")]
+    fn train_window_rejects_tiny_windows() {
+        let mut model = CharLstm::new(4, 2, 2, 0);
+        model.train_window(&[1], 0.1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Multi-layer perceptron with ReLU activations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spyker_tensor::{
+    cross_entropy_from_logits, he_init, relu, relu_grad_mask, Matrix,
+};
+
+use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
+
+/// A fully-connected ReLU network with a softmax head.
+///
+/// `layer_sizes` gives the full pipeline including input and output, e.g.
+/// `[64, 32, 10]` is one hidden layer of 32 units.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, He-initialised from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for win in layer_sizes.windows(2) {
+            weights.push(he_init(win[0], win[1], &mut rng));
+            biases.push(vec![0.0; win[1]]);
+        }
+        Self { weights, biases }
+    }
+
+    /// Number of layers (weight matrices).
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forward pass returning pre-activations of every layer (the last entry
+    /// holds the logits).
+    fn forward(&self, x: &Matrix) -> Vec<Matrix> {
+        let mut pre = Vec::with_capacity(self.weights.len());
+        let mut act = x.clone();
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let mut z = act.matmul(w);
+            z.add_row_broadcast(b);
+            if i + 1 < self.weights.len() {
+                act = relu(&z);
+            }
+            pre.push(z);
+        }
+        pre
+    }
+}
+
+impl DenseModel for Mlp {
+    fn num_params(&self) -> usize {
+        self.weights.iter().map(Matrix::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            push_matrix(out, w);
+            push_vec(out, b);
+        }
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.num_params(), "parameter length mismatch");
+        let mut off = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            pull_matrix(src, &mut off, w);
+            pull_vec(src, &mut off, b);
+        }
+    }
+
+    fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32 {
+        // Forward, keeping pre-activations and post-activations.
+        let pre = self.forward(x);
+        let n_layers = self.weights.len();
+        let mut acts: Vec<Matrix> = Vec::with_capacity(n_layers);
+        acts.push(x.clone());
+        for z in pre.iter().take(n_layers - 1) {
+            acts.push(relu(z));
+        }
+        let (loss, mut delta) = cross_entropy_from_logits(&pre[n_layers - 1], y);
+        // Backward.
+        for i in (0..n_layers).rev() {
+            let dw = acts[i].matmul_tn(&delta);
+            let db = delta.sum_rows();
+            if i > 0 {
+                let mut upstream = delta.matmul_nt(&self.weights[i]);
+                upstream.hadamard_assign(&relu_grad_mask(&pre[i - 1]));
+                delta = upstream;
+            }
+            self.weights[i].axpy(-lr, &dw);
+            for (b, g) in self.biases[i].iter_mut().zip(&db) {
+                *b -= lr * g;
+            }
+        }
+        loss
+    }
+
+    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize) {
+        let pre = self.forward(x);
+        let logits = pre.last().expect("at least one layer");
+        let (loss, _) = cross_entropy_from_logits(logits, y);
+        let correct = logits
+            .argmax_rows()
+            .iter()
+            .zip(y)
+            .filter(|(p, t)| p == t)
+            .count();
+        (loss, correct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradient;
+    use spyker_data::synth::{SynthImages, SynthImagesSpec};
+
+    #[test]
+    fn params_round_trip() {
+        let m = Mlp::new(&[5, 7, 3], 1);
+        let flat = m.params_vec();
+        assert_eq!(flat.len(), 5 * 7 + 7 + 7 * 3 + 3);
+        let mut m2 = Mlp::new(&[5, 7, 3], 99);
+        m2.read_params(&flat);
+        assert_eq!(m2.params_vec(), flat);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let model = Mlp::new(&[3, 5, 4], 11);
+        let x = Matrix::from_rows(&[&[0.4, -0.2, 0.9], &[-1.1, 0.6, 0.1]]);
+        let y = [1usize, 3];
+        let before = model.params_vec();
+        let mut stepped = model.clone();
+        stepped.train_batch(&x, &y, 1.0);
+        let analytic: Vec<f32> = before
+            .iter()
+            .zip(&stepped.params_vec())
+            .map(|(b, a)| b - a)
+            .collect();
+        let mut probe = model.clone();
+        check_gradient(
+            &before,
+            |p| {
+                probe.read_params(p);
+                probe.eval_batch(&x, &y).0
+            },
+            &analytic,
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn learns_xor_like_nonlinear_structure() {
+        // Class = parity of signs, not linearly separable.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &a in &[-1.0f32, 1.0] {
+            for &b in &[-1.0f32, 1.0] {
+                for k in 0..8 {
+                    let jit = (k as f32) * 0.02;
+                    xs.push(vec![a + jit, b - jit]);
+                    ys.push(usize::from((a > 0.0) != (b > 0.0)));
+                }
+            }
+        }
+        let rows: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut model = Mlp::new(&[2, 16, 2], 3);
+        for _ in 0..400 {
+            model.train_batch(&x, &ys, 0.1);
+        }
+        let (_, correct) = model.eval_batch(&x, &ys);
+        assert_eq!(correct, ys.len(), "failed to fit XOR");
+    }
+
+    #[test]
+    fn learns_the_synthetic_task_better_than_chance() {
+        let ds = SynthImages::generate(&SynthImagesSpec::mnist_like_scaled(300), 9);
+        let mut model = Mlp::new(&[ds.train.feature_len(), 32, 10], 5);
+        let idx: Vec<usize> = (0..ds.train.len()).collect();
+        for chunk in idx.chunks(30).cycle().take(100) {
+            let (x, y) = ds.train.gather_batch(chunk);
+            model.train_batch(&x, &y, 0.05);
+        }
+        let all: Vec<usize> = (0..ds.test.len()).collect();
+        let (x, y) = ds.test.gather_batch(&all);
+        let (_, correct) = model.eval_batch(&x, &y);
+        let acc = correct as f64 / y.len() as f64;
+        assert!(acc > 0.7, "accuracy only {acc}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Model traits and parameter (un)flattening helpers.
+
+use spyker_tensor::Matrix;
+
+/// A classification model over dense feature vectors (rows of a batch
+/// matrix).
+///
+/// Implementations own their parameters; [`DenseModel::write_params`] /
+/// [`DenseModel::read_params`] flatten them into the `ParamVec`
+/// representation the FL protocol exchanges.
+pub trait DenseModel: Send {
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Appends all parameters (in a fixed, stable order) to `out`.
+    fn write_params(&self, out: &mut Vec<f32>);
+
+    /// Loads parameters previously produced by [`DenseModel::write_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.num_params()`.
+    fn read_params(&mut self, src: &[f32]);
+
+    /// Performs one SGD step on the batch and returns the mean loss.
+    fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32;
+
+    /// Returns `(mean loss, #correct)` on the batch without updating.
+    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize);
+
+    /// Convenience: parameters as a fresh vector.
+    fn params_vec(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.write_params(&mut out);
+        out
+    }
+}
+
+/// A next-token language model over `u8` token streams.
+pub trait SeqModel: Send {
+    /// Total number of scalar parameters.
+    fn num_params(&self) -> usize;
+
+    /// Appends all parameters to `out`.
+    fn write_params(&self, out: &mut Vec<f32>);
+
+    /// Loads parameters previously produced by [`SeqModel::write_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.num_params()`.
+    fn read_params(&mut self, src: &[f32]);
+
+    /// One truncated-BPTT SGD step over the window `tokens` (predicting
+    /// each next token). Returns the mean per-token cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window has fewer than 2 tokens.
+    fn train_window(&mut self, tokens: &[u8], lr: f32) -> f32;
+
+    /// Mean per-token cross-entropy over `tokens` without updating.
+    fn eval_stream(&self, tokens: &[u8]) -> f64;
+}
+
+/// Copies `m`'s values into `out` (helper for `write_params`).
+pub(crate) fn push_matrix(out: &mut Vec<f32>, m: &Matrix) {
+    out.extend_from_slice(m.as_slice());
+}
+
+/// Reads `m.len()` values from `src` at `*offset` into `m`, advancing the
+/// offset (helper for `read_params`).
+pub(crate) fn pull_matrix(src: &[f32], offset: &mut usize, m: &mut Matrix) {
+    let len = m.len();
+    m.as_mut_slice().copy_from_slice(&src[*offset..*offset + len]);
+    *offset += len;
+}
+
+/// Copies a plain vector (bias) into `out`.
+pub(crate) fn push_vec(out: &mut Vec<f32>, v: &[f32]) {
+    out.extend_from_slice(v);
+}
+
+/// Reads `v.len()` values from `src` at `*offset` into `v`.
+pub(crate) fn pull_vec(src: &[f32], offset: &mut usize, v: &mut [f32]) {
+    v.copy_from_slice(&src[*offset..*offset + v.len()]);
+    *offset += v.len();
+}
+
+/// Rescales `grads` in place so their global L2 norm is at most `max_norm`
+/// (standard recurrent-network gradient clipping).
+pub(crate) fn clip_global_norm(grads: &mut [&mut [f32]], max_norm: f32) {
+    let mut sq = 0.0f32;
+    for g in grads.iter() {
+        for v in g.iter() {
+            sq += v * v;
+        }
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for v in g.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pull_matrix_round_trips() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut flat = Vec::new();
+        push_matrix(&mut flat, &m);
+        push_vec(&mut flat, &[5.0, 6.0]);
+        let mut m2 = Matrix::zeros(2, 2);
+        let mut b = [0.0; 2];
+        let mut off = 0;
+        pull_matrix(&flat, &mut off, &mut m2);
+        pull_vec(&flat, &mut off, &mut b);
+        assert_eq!(m2, m);
+        assert_eq!(b, [5.0, 6.0]);
+        assert_eq!(off, 6);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut a = vec![0.3, 0.4];
+        clip_global_norm(&mut [&mut a], 1.0);
+        assert_eq!(a, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients_to_max_norm() {
+        let mut a = vec![3.0, 0.0];
+        let mut b = vec![0.0, 4.0];
+        clip_global_norm(&mut [&mut a, &mut b], 1.0);
+        let norm = (a[0] * a[0] + a[1] * a[1] + b[0] * b[0] + b[1] * b[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        assert!((a[0] / b[1] - 0.75).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,614 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::ControlFlow;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metrics;
+use crate::net::{NetworkConfig, Region};
+use crate::runtime::{Env, Node, NodeId, WireSize};
+use crate::time::SimTime;
+
+enum EventBody<M> {
+    Start,
+    Deliver { from: NodeId, msg: M },
+    Timer { tag: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    node: NodeId,
+    body: EventBody<M>,
+    /// Whether this event has already been counted in the target node's
+    /// arrived-but-unprocessed queue (set when deferred because the node was
+    /// busy; counted only once even if deferred repeatedly).
+    queued: bool,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the BinaryHeap becomes a min-heap on (time, seq).
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Core<M> {
+    queue: BinaryHeap<Event<M>>,
+    regions: Vec<Region>,
+    avail: Vec<SimTime>,
+    inbox: Vec<usize>,
+    link_free: HashMap<(NodeId, NodeId), SimTime>,
+    metrics: Metrics,
+    net: NetworkConfig,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<M: WireSize> Core<M> {
+    fn push(&mut self, time: SimTime, node: NodeId, body: EventBody<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event {
+            time,
+            seq,
+            node,
+            body,
+            queued: false,
+        });
+    }
+
+    fn schedule_send(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        let kind = msg.kind();
+        self.metrics.add_counter("net.bytes", bytes as u64);
+        self.metrics
+            .add_counter(&format!("net.bytes.{kind}"), bytes as u64);
+        self.metrics.add_counter("net.messages", 1);
+        let mut delay = self.net.latency(self.regions[from], self.regions[to])
+            + self.net.serialization_delay(bytes);
+        if self.net.jitter_max > SimTime::ZERO {
+            delay += SimTime::from_micros(
+                self.rng.gen_range(0..=self.net.jitter_max.as_micros()),
+            );
+        }
+        // FIFO per link: a message never overtakes an earlier one on the
+        // same (src, dst) pair.
+        let free = self
+            .link_free
+            .entry((from, to))
+            .or_insert(SimTime::ZERO);
+        let delivery = (at + delay).max(*free);
+        *free = delivery;
+        self.push(delivery, to, EventBody::Deliver { from, msg });
+    }
+}
+
+struct EnvHandle<'a, M> {
+    core: &'a mut Core<M>,
+    me: NodeId,
+    start: SimTime,
+    busy: SimTime,
+}
+
+impl<M: WireSize> Env<M> for EnvHandle<'_, M> {
+    fn now(&self) -> SimTime {
+        self.start + self.busy
+    }
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.core.regions.len()
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        assert!(to < self.core.regions.len(), "unknown node {to}");
+        let at = self.now();
+        self.core.schedule_send(at, self.me, to, msg);
+    }
+
+    fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        let at = self.now() + delay;
+        self.core.push(at, self.me, EventBody::Timer { tag });
+    }
+
+    fn busy(&mut self, duration: SimTime) {
+        self.busy += duration;
+    }
+
+    fn record(&mut self, series: &str, value: f64) {
+        let now = self.now();
+        self.core.metrics.record(series, now, value);
+    }
+
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        self.core.metrics.add_counter(name, delta);
+    }
+}
+
+/// Snapshot handed to the periodic probe callback during
+/// [`Simulation::run_with_probe`].
+///
+/// The probe runs *outside* virtual time: evaluating a model here costs the
+/// simulated system nothing, exactly like the paper's measurement harness.
+pub struct ProbeCtx<'a, M> {
+    time: SimTime,
+    nodes: &'a [Box<dyn Node<M>>],
+    inbox: &'a [usize],
+    metrics: &'a mut Metrics,
+}
+
+impl<M> ProbeCtx<'_, M> {
+    /// Current virtual time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// All nodes; downcast via [`Node::as_any`] to inspect concrete state.
+    pub fn nodes(&self) -> &[Box<dyn Node<M>>] {
+        self.nodes
+    }
+
+    /// Number of messages that have arrived at `node` but are still waiting
+    /// because the node is busy (paper Fig. 9's queue length).
+    pub fn queue_len(&self, node: NodeId) -> usize {
+        self.inbox[node]
+    }
+
+    /// The metrics collector, for recording probe-derived series.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of events (starts, deliveries, timers) processed.
+    pub events_processed: u64,
+    /// Virtual time at which the run ended.
+    pub end_time: SimTime,
+}
+
+/// A deterministic discrete-event simulation of one deployment.
+///
+/// Nodes are added with a region; [`Simulation::run`] (or
+/// [`Simulation::run_with_probe`]) then delivers messages in virtual time
+/// with the configured latency/bandwidth model, charging [`Env::busy`] time
+/// against each node and queueing deliveries while a node is busy.
+///
+/// See the crate-level docs for a complete example.
+pub struct Simulation<M> {
+    nodes: Vec<Box<dyn Node<M>>>,
+    core: Core<M>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<M: WireSize> Simulation<M> {
+    /// Creates an empty simulation with the given network model and RNG seed
+    /// (the seed only matters when jitter is enabled).
+    pub fn new(net: NetworkConfig, seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            core: Core {
+                queue: BinaryHeap::new(),
+                regions: Vec::new(),
+                avail: Vec::new(),
+                inbox: Vec::new(),
+                link_free: HashMap::new(),
+                metrics: Metrics::new(),
+                net,
+                rng: StdRng::seed_from_u64(seed ^ 0x6c62_272e_07bb_0142),
+                now: SimTime::ZERO,
+                seq: 0,
+            },
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node in `region` and returns its id (ids are dense, in
+    /// insertion order).
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>, region: Region) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.core.regions.push(region);
+        self.core.avail.push(SimTime::ZERO);
+        self.core.inbox.push(0);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node for post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &dyn Node<M> {
+        self.nodes[id].as_ref()
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Consumes the simulation and returns the collected metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.core.metrics
+    }
+
+    /// Runs until `max_time` or until no events remain.
+    pub fn run(&mut self, max_time: SimTime) -> RunReport {
+        self.run_with_probe(max_time, SimTime::MAX, |_| ControlFlow::Continue(()))
+    }
+
+    /// Runs until `max_time`, no events remain, or the probe breaks.
+    ///
+    /// `probe` is invoked every `probe_interval` of virtual time (first at
+    /// `probe_interval`), between events. Returning
+    /// [`ControlFlow::Break`] stops the run at the probe time.
+    pub fn run_with_probe(
+        &mut self,
+        max_time: SimTime,
+        probe_interval: SimTime,
+        mut probe: impl FnMut(&mut ProbeCtx<'_, M>) -> ControlFlow<()>,
+    ) -> RunReport {
+        assert!(probe_interval > SimTime::ZERO, "probe interval must be positive");
+        if !self.started {
+            self.started = true;
+            for id in 0..self.nodes.len() {
+                self.core.push(SimTime::ZERO, id, EventBody::Start);
+            }
+        }
+        let mut next_probe = if probe_interval == SimTime::MAX {
+            SimTime::MAX
+        } else {
+            self.core.now + probe_interval
+        };
+        loop {
+            // Deferral loop: requeue events whose target is still busy.
+            let event = loop {
+                match self.core.queue.pop() {
+                    None => {
+                        return RunReport {
+                            events_processed: self.events_processed,
+                            end_time: self.core.now,
+                        };
+                    }
+                    Some(mut ev) => {
+                        let avail = self.core.avail[ev.node];
+                        if avail > ev.time {
+                            if !ev.queued {
+                                ev.queued = true;
+                                self.core.inbox[ev.node] += 1;
+                            }
+                            ev.time = avail;
+                            self.core.queue.push(ev);
+                            continue;
+                        }
+                        break ev;
+                    }
+                }
+            };
+
+            // Fire probes scheduled before this event.
+            while next_probe <= event.time && next_probe <= max_time {
+                self.core.now = next_probe;
+                let mut ctx = ProbeCtx {
+                    time: next_probe,
+                    nodes: &self.nodes,
+                    inbox: &self.core.inbox,
+                    metrics: &mut self.core.metrics,
+                };
+                if probe(&mut ctx).is_break() {
+                    // Requeue the unprocessed event so a later run resumes.
+                    self.core.queue.push(event);
+                    return RunReport {
+                        events_processed: self.events_processed,
+                        end_time: next_probe,
+                    };
+                }
+                next_probe += probe_interval;
+            }
+
+            if event.time > max_time {
+                self.core.queue.push(event);
+                self.core.now = max_time;
+                return RunReport {
+                    events_processed: self.events_processed,
+                    end_time: max_time,
+                };
+            }
+
+            self.core.now = event.time;
+            if event.queued {
+                self.core.inbox[event.node] -= 1;
+            }
+            let mut env = EnvHandle {
+                core: &mut self.core,
+                me: event.node,
+                start: event.time,
+                busy: SimTime::ZERO,
+            };
+            let node = &mut self.nodes[event.node];
+            match event.body {
+                EventBody::Start => node.on_start(&mut env),
+                EventBody::Deliver { from, msg } => node.on_message(&mut env, from, msg),
+                EventBody::Timer { tag } => node.on_timer(&mut env, tag),
+            }
+            let busy = env.busy;
+            self.core.avail[event.node] = event.time + busy;
+            self.events_processed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    struct Msg {
+        payload: u32,
+        bytes: usize,
+    }
+
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            self.bytes
+        }
+        fn kind(&self) -> &'static str {
+            "test"
+        }
+    }
+
+    /// Records the delivery times of everything it receives.
+    struct Recorder {
+        received: Vec<(SimTime, NodeId, u32)>,
+    }
+
+    impl Node<Msg> for Recorder {
+        fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+        fn on_message(&mut self, env: &mut dyn Env<Msg>, from: NodeId, msg: Msg) {
+            self.received.push((env.now(), from, msg.payload));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends a burst of messages to node 1 at start.
+    struct Burst {
+        count: u32,
+        bytes: usize,
+    }
+
+    impl Node<Msg> for Burst {
+        fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+            for i in 0..self.count {
+                env.send(1, Msg { payload: i, bytes: self.bytes });
+            }
+        }
+        fn on_message(&mut self, _env: &mut dyn Env<Msg>, _from: NodeId, _msg: Msg) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_node_sim(sender: Box<dyn Node<Msg>>) -> Simulation<Msg> {
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1);
+        sim.add_node(sender, Region::Paris);
+        sim.add_node(Box::new(Recorder { received: Vec::new() }), Region::Sydney);
+        sim
+    }
+
+    fn recorder_received(sim: &Simulation<Msg>) -> Vec<(SimTime, NodeId, u32)> {
+        sim.node(1)
+            .as_any()
+            .downcast_ref::<Recorder>()
+            .unwrap()
+            .received
+            .clone()
+    }
+
+    #[test]
+    fn delivery_charges_latency_and_serialization() {
+        // 125_000 bytes at 100 Mbps = 10 ms serialization + 10 ms latency.
+        let mut sim = two_node_sim(Box::new(Burst { count: 1, bytes: 125_000 }));
+        sim.run(SimTime::from_secs(1));
+        let recv = recorder_received(&sim);
+        assert_eq!(recv.len(), 1);
+        assert_eq!(recv[0].0, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn links_are_fifo_even_with_mixed_sizes() {
+        // A big message sent first must not be overtaken by a small one.
+        struct TwoSends;
+        impl Node<Msg> for TwoSends {
+            fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+                env.send(1, Msg { payload: 0, bytes: 1_250_000 }); // 100 ms ser
+                env.send(1, Msg { payload: 1, bytes: 125 }); // ~0 ms ser
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = two_node_sim(Box::new(TwoSends));
+        sim.run(SimTime::from_secs(1));
+        let recv = recorder_received(&sim);
+        assert_eq!(recv.len(), 2);
+        assert_eq!(recv[0].2, 0, "first-sent must arrive first");
+        assert!(recv[0].0 <= recv[1].0);
+    }
+
+    #[test]
+    fn busy_nodes_queue_deliveries() {
+        /// A receiver that takes 50 ms to process each message.
+        struct Slow {
+            processed_at: Vec<SimTime>,
+        }
+        impl Node<Msg> for Slow {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, env: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {
+                self.processed_at.push(env.now());
+                env.busy(SimTime::from_millis(50));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1);
+        sim.add_node(Box::new(Burst { count: 3, bytes: 0 }), Region::Paris);
+        sim.add_node(Box::new(Slow { processed_at: Vec::new() }), Region::Paris);
+        sim.run(SimTime::from_secs(1));
+        let slow = sim.node(1).as_any().downcast_ref::<Slow>().unwrap();
+        assert_eq!(slow.processed_at.len(), 3);
+        // All arrive at 1 ms, but processing is serialized 50 ms apart.
+        assert_eq!(slow.processed_at[0], SimTime::from_millis(1));
+        assert_eq!(slow.processed_at[1], SimTime::from_millis(51));
+        assert_eq!(slow.processed_at[2], SimTime::from_millis(101));
+    }
+
+    #[test]
+    fn probe_observes_queue_length() {
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1);
+        sim.add_node(Box::new(Burst { count: 5, bytes: 0 }), Region::Paris);
+        struct VerySlow;
+        impl Node<Msg> for VerySlow {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, env: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {
+                env.busy(SimTime::from_secs(10));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.add_node(Box::new(VerySlow), Region::Paris);
+        let mut max_queue = 0;
+        sim.run_with_probe(SimTime::from_secs(5), SimTime::from_millis(100), |ctx| {
+            max_queue = max_queue.max(ctx.queue_len(1));
+            ControlFlow::Continue(())
+        });
+        // First message grabs the node for 10 s; the other 4 queue up.
+        assert_eq!(max_queue, 4);
+    }
+
+    #[test]
+    fn probe_can_stop_the_run() {
+        let mut sim = two_node_sim(Box::new(Burst { count: 1, bytes: 0 }));
+        let report = sim.run_with_probe(SimTime::from_secs(10), SimTime::from_millis(1), |ctx| {
+            if ctx.time() >= SimTime::from_millis(3) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(report.end_time, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn bytes_are_accounted_by_kind() {
+        let mut sim = two_node_sim(Box::new(Burst { count: 2, bytes: 100 }));
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.bytes"), 200);
+        assert_eq!(sim.metrics().counter("net.bytes.test"), 200);
+        assert_eq!(sim.metrics().counter("net.messages"), 2);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulation::new(
+                NetworkConfig::uniform_all(SimTime::from_millis(5))
+                    .with_jitter(SimTime::from_millis(3)),
+                seed,
+            );
+            sim.add_node(Box::new(Burst { count: 10, bytes: 10 }), Region::Paris);
+            sim.add_node(Box::new(Recorder { received: Vec::new() }), Region::Sydney);
+            sim.run(SimTime::from_secs(1));
+            recorder_received(&sim)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn timers_fire_after_busy_offset() {
+        struct TimerNode {
+            fired_at: Option<SimTime>,
+        }
+        impl Node<Msg> for TimerNode {
+            fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+                env.busy(SimTime::from_millis(10));
+                env.set_timer(SimTime::from_millis(5), 42);
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn on_timer(&mut self, env: &mut dyn Env<Msg>, tag: u64) {
+                assert_eq!(tag, 42);
+                self.fired_at = Some(env.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::ZERO), 1);
+        sim.add_node(Box::new(TimerNode { fired_at: None }), Region::Paris);
+        sim.run(SimTime::from_secs(1));
+        let node = sim.node(0).as_any().downcast_ref::<TimerNode>().unwrap();
+        assert_eq!(node.fired_at, Some(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn run_stops_at_max_time() {
+        let mut sim = two_node_sim(Box::new(Burst { count: 1, bytes: 0 }));
+        let report = sim.run(SimTime::from_millis(2));
+        assert_eq!(report.end_time, SimTime::from_millis(2));
+        // Delivery at 10 ms never happened.
+        assert!(recorder_received(&sim).is_empty());
+    }
+}

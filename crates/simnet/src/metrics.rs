@@ -1,0 +1,162 @@
+//! Counters and time series collected during a run.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// Metrics sink shared by the simulator and the thread transport.
+///
+/// Two kinds of metrics are supported: monotonically-increasing counters
+/// (bytes sent, updates processed) and time series of `(time, value)`
+/// samples (accuracy curves, queue lengths).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    series: BTreeMap<String, Vec<(SimTime, f64)>>,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends `(time, value)` to series `name`.
+    pub fn record(&mut self, name: &str, time: SimTime, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push((time, value));
+    }
+
+    /// The samples of series `name` (empty slice if absent).
+    pub fn series(&self, name: &str) -> &[(SimTime, f64)] {
+        self.series.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates over all series names in order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// First time at which `series` reaches `threshold` (values are compared
+    /// with `>=`), if it ever does. The workhorse behind every
+    /// "time to reach 90% accuracy" number in the evaluation.
+    pub fn time_to_threshold(&self, series: &str, threshold: f64) -> Option<SimTime> {
+        self.series(series)
+            .iter()
+            .find(|(_, v)| *v >= threshold)
+            .map(|(t, _)| *t)
+    }
+
+    /// First time at which `series` drops to or below `threshold` (for
+    /// lower-is-better metrics such as perplexity).
+    pub fn time_to_threshold_below(&self, series: &str, threshold: f64) -> Option<SimTime> {
+        self.series(series)
+            .iter()
+            .find(|(_, v)| *v <= threshold)
+            .map(|(t, _)| *t)
+    }
+
+    /// Last recorded value of `series`, if any.
+    pub fn last_value(&self, series: &str) -> Option<f64> {
+        self.series(series).last().map(|(_, v)| *v)
+    }
+
+    /// Maximum recorded value of `series`, if any.
+    pub fn max_value(&self, series: &str) -> Option<f64> {
+        self.series(series)
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Merges another collector into this one (counters add, series append
+    /// then re-sort by time). Used by the thread transport where several
+    /// worker threads flush local collectors.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, samples) in &other.series {
+            let entry = self.series.entry(k.clone()).or_default();
+            entry.extend_from_slice(samples);
+            entry.sort_by_key(|(t, _)| *t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.add_counter("bytes", 10);
+        m.add_counter("bytes", 5);
+        assert_eq!(m.counter("bytes"), 15);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn series_record_and_query() {
+        let mut m = Metrics::new();
+        m.record("acc", SimTime::from_secs(1), 0.5);
+        m.record("acc", SimTime::from_secs(2), 0.92);
+        assert_eq!(m.series("acc").len(), 2);
+        assert_eq!(m.last_value("acc"), Some(0.92));
+        assert_eq!(m.max_value("acc"), Some(0.92));
+    }
+
+    #[test]
+    fn time_to_threshold_finds_first_crossing() {
+        let mut m = Metrics::new();
+        m.record("acc", SimTime::from_secs(1), 0.5);
+        m.record("acc", SimTime::from_secs(2), 0.91);
+        m.record("acc", SimTime::from_secs(3), 0.89);
+        m.record("acc", SimTime::from_secs(4), 0.95);
+        assert_eq!(m.time_to_threshold("acc", 0.9), Some(SimTime::from_secs(2)));
+        assert_eq!(m.time_to_threshold("acc", 0.99), None);
+    }
+
+    #[test]
+    fn time_to_threshold_below_for_perplexity() {
+        let mut m = Metrics::new();
+        m.record("ppl", SimTime::from_secs(1), 20.0);
+        m.record("ppl", SimTime::from_secs(2), 8.0);
+        assert_eq!(
+            m.time_to_threshold_below("ppl", 10.0),
+            Some(SimTime::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn merge_adds_counters_and_sorts_series() {
+        let mut a = Metrics::new();
+        a.add_counter("n", 1);
+        a.record("s", SimTime::from_secs(3), 3.0);
+        let mut b = Metrics::new();
+        b.add_counter("n", 2);
+        b.record("s", SimTime::from_secs(1), 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        let times: Vec<u64> = a.series("s").iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![1_000_000, 3_000_000]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Geo-distributed network model: regions, the AWS latency table of the
+//! paper (Tab. 4), bandwidth and jitter.
+
+use crate::time::SimTime;
+
+/// The four AWS regions used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// ap-east (Hong Kong).
+    Hongkong,
+    /// eu-west (Paris).
+    Paris,
+    /// ap-southeast (Sydney).
+    Sydney,
+    /// us-west (California).
+    California,
+}
+
+impl Region {
+    /// All regions in table order.
+    pub const ALL: [Region; 4] = [
+        Region::Hongkong,
+        Region::Paris,
+        Region::Sydney,
+        Region::California,
+    ];
+
+    /// Dense index of this region in [`Region::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            Region::Hongkong => 0,
+            Region::Paris => 1,
+            Region::Sydney => 2,
+            Region::California => 3,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Hongkong => "Hongkong",
+            Region::Paris => "Paris",
+            Region::Sydney => "Sydney",
+            Region::California => "California",
+        }
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The inter-region one-way communication delays of the paper's Tab. 4, in
+/// milliseconds. Row = source, column = destination, in [`Region::ALL`]
+/// order. The diagonal is the intra-region delay used between a client and
+/// its nearest server.
+pub const AWS_LATENCY_MS: [[f64; 4]; 4] = [
+    [1.41, 194.9, 132.28, 155.13],
+    [197.91, 0.9, 278.83, 142.25],
+    [132.06, 280.11, 2.56, 138.47],
+    [154.96, 142.79, 138.57, 2.14],
+];
+
+/// Returns the paper's latency matrix as [`SimTime`] values.
+///
+/// # Example
+///
+/// ```
+/// use spyker_simnet::net::{aws_latency_matrix, Region};
+/// let m = aws_latency_matrix();
+/// let hk_to_paris = m[Region::Hongkong.index()][Region::Paris.index()];
+/// assert_eq!(hk_to_paris.as_micros(), 194_900);
+/// ```
+pub fn aws_latency_matrix() -> [[SimTime; 4]; 4] {
+    let mut out = [[SimTime::ZERO; 4]; 4];
+    for (i, row) in AWS_LATENCY_MS.iter().enumerate() {
+        for (j, &ms) in row.iter().enumerate() {
+            out[i][j] = SimTime::from_millis_f64(ms);
+        }
+    }
+    out
+}
+
+/// Network configuration of one deployment.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    latency: [[SimTime; 4]; 4],
+    /// Link bandwidth in bits per second (paper: 100 Mbps everywhere).
+    pub bandwidth_bps: u64,
+    /// Maximum uniformly-distributed extra latency added per message
+    /// (failure-injection/jitter experiments; zero in the paper setting).
+    pub jitter_max: SimTime,
+}
+
+impl NetworkConfig {
+    /// Paper bandwidth: 100 Mbps.
+    pub const PAPER_BANDWIDTH_BPS: u64 = 100_000_000;
+
+    /// The paper's configuration: AWS latency matrix, 100 Mbps, no jitter.
+    pub fn aws() -> Self {
+        Self {
+            latency: aws_latency_matrix(),
+            bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
+            jitter_max: SimTime::ZERO,
+        }
+    }
+
+    /// A uniform network where every pair of distinct regions has the same
+    /// `latency` and intra-region latency is `latency / 100` (paper Tab. 6
+    /// "No lat." setting uses the *average* latency everywhere; use
+    /// [`NetworkConfig::uniform_all`] for a fully flat network).
+    pub fn uniform(latency: SimTime) -> Self {
+        let mut m = [[latency; 4]; 4];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = latency / 100;
+        }
+        Self {
+            latency: m,
+            bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
+            jitter_max: SimTime::ZERO,
+        }
+    }
+
+    /// A network where *every* pair, including intra-region, has the same
+    /// latency.
+    pub fn uniform_all(latency: SimTime) -> Self {
+        Self {
+            latency: [[latency; 4]; 4],
+            bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
+            jitter_max: SimTime::ZERO,
+        }
+    }
+
+    /// The mean of the AWS matrix entries (used by Tab. 6 to build a
+    /// latency-free network with "equal average" delay).
+    pub fn aws_mean_latency() -> SimTime {
+        let total: f64 = AWS_LATENCY_MS.iter().flatten().sum();
+        SimTime::from_millis_f64(total / 16.0)
+    }
+
+    /// Sets the jitter bound (builder style).
+    pub fn with_jitter(mut self, jitter_max: SimTime) -> Self {
+        self.jitter_max = jitter_max;
+        self
+    }
+
+    /// Sets the bandwidth (builder style).
+    pub fn with_bandwidth_bps(mut self, bandwidth_bps: u64) -> Self {
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bandwidth_bps;
+        self
+    }
+
+    /// One-way propagation latency from `src` to `dst`.
+    pub fn latency(&self, src: Region, dst: Region) -> SimTime {
+        self.latency[src.index()][dst.index()]
+    }
+
+    /// Serialization delay of `bytes` at the configured bandwidth.
+    pub fn serialization_delay(&self, bytes: usize) -> SimTime {
+        SimTime::from_micros((bytes as u64 * 8).saturating_mul(1_000_000) / self.bandwidth_bps)
+    }
+}
+
+/// Assigns `n` nodes round-robin to the four regions (the paper spreads
+/// servers over the four regions and splits clients equally among them).
+pub fn round_robin_regions(n: usize) -> Vec<Region> {
+    (0..n).map(|i| Region::ALL[i % 4]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matrix_matches_paper_values() {
+        let m = aws_latency_matrix();
+        assert_eq!(m[0][0].as_micros(), 1_410); // Hongkong diag
+        assert_eq!(m[1][2].as_micros(), 278_830); // Paris -> Sydney
+        assert_eq!(m[3][3].as_micros(), 2_140); // California diag
+    }
+
+    #[test]
+    fn matrix_is_roughly_symmetric() {
+        // AWS latencies are not exactly symmetric but should be close.
+        let m = AWS_LATENCY_MS;
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (m[i][j] - m[j][i]).abs() < 5.0,
+                    "asymmetry too large at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_much_smaller_than_off_diagonal() {
+        let m = AWS_LATENCY_MS;
+        for (i, row) in m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j {
+                    assert!(v > 50.0 * m[i][i], "off-diagonal not dominant");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_delay_at_100mbps() {
+        let net = NetworkConfig::aws();
+        // 1.25 MB at 100 Mbps = 100 ms.
+        assert_eq!(
+            net.serialization_delay(1_250_000),
+            SimTime::from_millis(100)
+        );
+        assert_eq!(net.serialization_delay(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn uniform_network_has_flat_off_diagonal() {
+        let net = NetworkConfig::uniform(SimTime::from_millis(50));
+        assert_eq!(
+            net.latency(Region::Paris, Region::Sydney),
+            SimTime::from_millis(50)
+        );
+        assert!(net.latency(Region::Paris, Region::Paris) < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn aws_mean_latency_is_around_120ms() {
+        let mean = NetworkConfig::aws_mean_latency();
+        assert!(mean > SimTime::from_millis(100) && mean < SimTime::from_millis(140));
+    }
+
+    #[test]
+    fn round_robin_spreads_over_four_regions() {
+        let regions = round_robin_regions(10);
+        assert_eq!(regions[0], Region::Hongkong);
+        assert_eq!(regions[5], Region::Paris);
+        let hk = regions.iter().filter(|r| **r == Region::Hongkong).count();
+        assert_eq!(hk, 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the discrete-event simulator.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use spyker_simnet::{Env, NetworkConfig, Node, NodeId, Region, SimTime, Simulation, WireSize};
+
+#[derive(Debug, Clone)]
+struct Tagged {
+    seq: usize,
+    bytes: usize,
+}
+
+impl WireSize for Tagged {
+    fn wire_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// Sends a scripted list of (delay-before-send, size) messages to node 1.
+struct ScriptedSender {
+    script: Vec<(u64, usize)>,
+}
+
+impl Node<Tagged> for ScriptedSender {
+    fn on_start(&mut self, env: &mut dyn Env<Tagged>) {
+        for (seq, &(gap_us, bytes)) in self.script.iter().enumerate() {
+            env.busy(SimTime::from_micros(gap_us));
+            env.send(1, Tagged { seq, bytes });
+        }
+    }
+    fn on_message(&mut self, _env: &mut dyn Env<Tagged>, _from: NodeId, _msg: Tagged) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Records `(arrival_time, seq)` of everything delivered.
+struct Recorder {
+    log: Arc<Mutex<Vec<(SimTime, usize)>>>,
+}
+
+impl Node<Tagged> for Recorder {
+    fn on_start(&mut self, _env: &mut dyn Env<Tagged>) {}
+    fn on_message(&mut self, env: &mut dyn Env<Tagged>, _from: NodeId, msg: Tagged) {
+        self.log.lock().unwrap().push((env.now(), msg.seq));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    /// FIFO links: whatever the message sizes and send gaps, per-link
+    /// delivery order equals send order and arrival times are monotone.
+    #[test]
+    fn links_are_fifo_for_arbitrary_send_patterns(
+        script in prop::collection::vec((0u64..5_000, 0usize..2_000_000), 1..30),
+        jitter_ms in 0u64..20,
+        seed in 0u64..500,
+    ) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let net = NetworkConfig::uniform_all(SimTime::from_millis(3))
+            .with_jitter(SimTime::from_millis(jitter_ms));
+        let mut sim = Simulation::new(net, seed);
+        let n = script.len();
+        sim.add_node(Box::new(ScriptedSender { script }), Region::Paris);
+        sim.add_node(Box::new(Recorder { log: Arc::clone(&log) }), Region::Sydney);
+        sim.run(SimTime::from_secs(600));
+        let log = log.lock().unwrap();
+        prop_assert_eq!(log.len(), n, "messages lost or duplicated");
+        for (i, window) in log.windows(2).enumerate() {
+            prop_assert!(window[0].0 <= window[1].0, "time went backwards at {i}");
+        }
+        let seqs: Vec<usize> = log.iter().map(|(_, s)| *s).collect();
+        let expected: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(seqs, expected, "FIFO violated");
+    }
+
+    /// Delivery accounting: total bytes equals the sum of scripted sizes,
+    /// and message count matches.
+    #[test]
+    fn byte_accounting_is_exact(
+        script in prop::collection::vec((0u64..1_000, 1usize..10_000), 1..20),
+    ) {
+        let expected_bytes: u64 = script.iter().map(|(_, b)| *b as u64).sum();
+        let n = script.len() as u64;
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulation::new(NetworkConfig::aws(), 0);
+        sim.add_node(Box::new(ScriptedSender { script }), Region::Paris);
+        sim.add_node(Box::new(Recorder { log }), Region::Sydney);
+        sim.run(SimTime::from_secs(600));
+        prop_assert_eq!(sim.metrics().counter("net.bytes"), expected_bytes);
+        prop_assert_eq!(sim.metrics().counter("net.messages"), n);
+    }
+
+    /// Serialization delay is linear in size and additive with latency.
+    #[test]
+    fn serialization_delay_is_linear(bytes in 0usize..10_000_000) {
+        let net = NetworkConfig::aws();
+        let d1 = net.serialization_delay(bytes);
+        let d2 = net.serialization_delay(2 * bytes);
+        // Within 1 us rounding per call.
+        let twice = d1 * 2;
+        let diff = if d2 > twice { d2 - twice } else { twice - d2 };
+        prop_assert!(diff <= SimTime::from_micros(2), "{d1} {d2}");
+    }
+
+    /// SimTime arithmetic: associativity and ordering consistency.
+    #[test]
+    fn simtime_arithmetic_is_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let (ta, tb, tc) = (
+            SimTime::from_micros(a),
+            SimTime::from_micros(b),
+            SimTime::from_micros(c),
+        );
+        prop_assert_eq!((ta + tb) + tc, ta + (tb + tc));
+        prop_assert_eq!(ta + tb, tb + ta);
+        prop_assert_eq!((ta + tb).saturating_sub(tb), ta);
+        prop_assert_eq!(ta < tb, a < b);
+    }
+}

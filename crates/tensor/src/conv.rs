@@ -1,0 +1,341 @@
+//! Convolution lowering (im2col / col2im) and max pooling.
+//!
+//! Convolutions are lowered to matrix products: [`im2col`] unrolls all
+//! receptive fields of one sample into the rows of a matrix so that a
+//! convolution with `out_channels` filters becomes
+//! `cols.matmul_nt(&filters)` where `filters` is
+//! `out_channels x (in_channels * kh * kw)`.
+
+use crate::Matrix;
+
+/// Geometry of a 2-D convolution over a single `C x H x W` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dShape {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dShape {
+    /// Output height after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_h(&self) -> usize {
+        out_dim(self.in_h, self.kh, self.stride, self.pad)
+    }
+
+    /// Output width after the convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_w(&self) -> usize {
+        out_dim(self.in_w, self.kw, self.stride, self.pad)
+    }
+
+    /// Number of elements of one input sample (`C * H * W`).
+    pub fn input_len(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Number of columns of the im2col matrix (`C * kh * kw`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kh * self.kw
+    }
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel && stride > 0,
+        "kernel {kernel} with stride {stride} does not fit padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+/// Unrolls the receptive fields of one `C x H x W` sample into a matrix with
+/// one row per output pixel and one column per patch element.
+///
+/// # Panics
+///
+/// Panics if `input.len() != shape.input_len()`.
+pub fn im2col(input: &[f32], shape: &Conv2dShape) -> Matrix {
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Matrix::zeros(oh * ow, shape.patch_len());
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = out.row_mut(oy * ow + ox);
+            let mut col_idx = 0;
+            for c in 0..shape.in_channels {
+                let chan = &input[c * shape.in_h * shape.in_w..(c + 1) * shape.in_h * shape.in_w];
+                for ky in 0..shape.kh {
+                    let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                    for kx in 0..shape.kw {
+                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        row[col_idx] = if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < shape.in_h
+                            && (ix as usize) < shape.in_w
+                        {
+                            chan[iy as usize * shape.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        col_idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`im2col`] for gradients: scatters (accumulating) the rows of
+/// `cols` back onto a `C x H x W` buffer.
+///
+/// Overlapping receptive fields sum, which is exactly the adjoint of the
+/// gather performed by `im2col`, so `col2im(im2col(x))` is *not* the
+/// identity when patches overlap — it is the correct gradient routing.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape produced by `im2col` for `shape`.
+pub fn col2im(cols: &Matrix, shape: &Conv2dShape) -> Vec<f32> {
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    assert_eq!(cols.shape(), (oh * ow, shape.patch_len()), "cols shape mismatch");
+    let mut out = vec![0.0; shape.input_len()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = cols.row(oy * ow + ox);
+            let mut col_idx = 0;
+            for c in 0..shape.in_channels {
+                let base = c * shape.in_h * shape.in_w;
+                for ky in 0..shape.kh {
+                    let iy = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                    for kx in 0..shape.kw {
+                        let ix = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < shape.in_h
+                            && (ix as usize) < shape.in_w
+                        {
+                            out[base + iy as usize * shape.in_w + ix as usize] += row[col_idx];
+                        }
+                        col_idx += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 2x2-style max pooling over a `C x H x W` sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaxPool2d {
+    /// Pooling window edge length.
+    pub size: usize,
+    /// Stride between windows.
+    pub stride: usize,
+}
+
+impl MaxPool2d {
+    /// Forward max pooling.
+    ///
+    /// Returns the pooled values and, for each output element, the flat index
+    /// into `input` of the maximum (needed by [`MaxPool2d::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != channels * h * w` or the window does not fit.
+    pub fn forward(
+        &self,
+        input: &[f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+    ) -> (Vec<f32>, Vec<usize>) {
+        assert_eq!(input.len(), channels * h * w, "input length mismatch");
+        let oh = out_dim(h, self.size, self.stride, 0);
+        let ow = out_dim(w, self.size, self.stride, 0);
+        let mut out = Vec::with_capacity(channels * oh * ow);
+        let mut arg = Vec::with_capacity(channels * oh * ow);
+        for c in 0..channels {
+            let base = c * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_idx = base + oy * self.stride * w + ox * self.stride;
+                    let mut best = input[best_idx];
+                    for ky in 0..self.size {
+                        for kx in 0..self.size {
+                            let idx = base + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                            if input[idx] > best {
+                                best = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    arg.push(best_idx);
+                }
+            }
+        }
+        (out, arg)
+    }
+
+    /// Backward max pooling: routes each upstream gradient element to the
+    /// input position that won the corresponding forward max.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out.len() != argmax.len()`.
+    pub fn backward(&self, grad_out: &[f32], argmax: &[usize], input_len: usize) -> Vec<f32> {
+        assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
+        let mut grad_in = vec![0.0; input_len];
+        for (&g, &idx) in grad_out.iter().zip(argmax) {
+            grad_in[idx] += g;
+        }
+        grad_in
+    }
+
+    /// Output spatial dimensions for an `h x w` input.
+    pub fn out_dims(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            out_dim(h, self.size, self.stride, 0),
+            out_dim(w, self.size, self.stride, 0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape_3x3_k2() -> Conv2dShape {
+        Conv2dShape {
+            in_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kh: 2,
+            kw: 2,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn out_dims_match_formula() {
+        let s = Conv2dShape {
+            in_channels: 3,
+            in_h: 32,
+            in_w: 32,
+            kh: 5,
+            kw: 5,
+            stride: 1,
+            pad: 2,
+        };
+        assert_eq!((s.out_h(), s.out_w()), (32, 32));
+    }
+
+    #[test]
+    fn im2col_extracts_expected_patches() {
+        // 3x3 input 0..9, 2x2 kernel, stride 1 -> 4 patches.
+        let input: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let cols = im2col(&input, &shape_3x3_k2());
+        assert_eq!(cols.shape(), (4, 4));
+        assert_eq!(cols.row(0), &[0.0, 1.0, 3.0, 4.0]);
+        assert_eq!(cols.row(3), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_outside() {
+        let s = Conv2dShape {
+            pad: 1,
+            ..shape_3x3_k2()
+        };
+        let input: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let cols = im2col(&input, &s);
+        // First patch is the top-left corner with three zeros from padding.
+        assert_eq!(cols.row(0), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn conv_via_matmul_matches_direct_convolution() {
+        // 1 channel, 3x3 input, single 2x2 filter of ones -> sliding sums.
+        let input: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let shape = shape_3x3_k2();
+        let cols = im2col(&input, &shape);
+        let filters = Matrix::filled(1, 4, 1.0);
+        let out = cols.matmul_nt(&filters);
+        assert_eq!(out.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y.
+        let shape = shape_3x3_k2();
+        let x: Vec<f32> = (0..9).map(|v| (v as f32) * 0.37 - 1.0).collect();
+        let cols = im2col(&x, &shape);
+        let y_data: Vec<f32> = (0..16).map(|v| (v as f32) * 0.11 - 0.8).collect();
+        let y = Matrix::from_vec(4, 4, y_data);
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &shape);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn maxpool_forward_picks_max() {
+        let pool = MaxPool2d { size: 2, stride: 2 };
+        let input = [1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 1.0, 7.0, 0.0, 0.0, 6.0, 0.0, 0.0, 0.0, 0.0];
+        let (out, arg) = pool.forward(&input, 1, 4, 4);
+        assert_eq!(out, vec![5.0, 2.0, 7.0, 6.0]);
+        assert_eq!(arg[0], 1);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient_to_argmax() {
+        let pool = MaxPool2d { size: 2, stride: 2 };
+        let input = [1.0, 5.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let (_, arg) = pool.forward(&input, 1, 4, 4);
+        let grad = pool.backward(&[1.0, 2.0, 3.0, 4.0], &arg, 16);
+        assert_eq!(grad[1], 1.0); // max of first window was at index 1
+        let total: f32 = grad.iter().sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn maxpool_multi_channel_keeps_channels_separate() {
+        let pool = MaxPool2d { size: 2, stride: 2 };
+        let mut input = vec![0.0; 2 * 2 * 2];
+        input[0] = 1.0; // channel 0
+        input[4] = 9.0; // channel 1
+        let (out, _) = pool.forward(&input, 2, 2, 2);
+        assert_eq!(out, vec![1.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn im2col_panics_on_wrong_input_length() {
+        let _ = im2col(&[0.0; 5], &shape_3x3_k2());
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic weight initialisation.
+
+use rand::Rng;
+
+use crate::Matrix;
+
+/// Xavier/Glorot uniform initialisation for a `rows x cols` weight matrix.
+///
+/// Samples uniformly from `[-b, b]` with `b = sqrt(6 / (fan_in + fan_out))`,
+/// the standard choice for tanh/sigmoid layers.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = spyker_tensor::xavier_init(4, 8, &mut rng);
+/// assert_eq!(w.shape(), (4, 8));
+/// ```
+pub fn xavier_init<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    sample_uniform(rows, cols, bound, rng)
+}
+
+/// He/Kaiming uniform initialisation for a `rows x cols` weight matrix.
+///
+/// Samples uniformly from `[-b, b]` with `b = sqrt(6 / fan_in)`, the
+/// standard choice for ReLU layers. `fan_in` is taken to be `rows`.
+pub fn he_init<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / rows.max(1) as f32).sqrt();
+    sample_uniform(rows, cols, bound, rng)
+}
+
+/// Samples a standard normal value via the Box–Muller transform.
+///
+/// The allowed offline dependency set has no `rand_distr`, so the Gaussian
+/// sampling needed by the paper (client training delays ~ N(μ, σ²), synthetic
+/// dataset noise) is implemented here once.
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Samples from `N(mean, std^2)` via [`sample_standard_normal`].
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let v = spyker_tensor::init::sample_normal(150.0, 7.5, &mut rng);
+/// assert!((v - 150.0).abs() < 60.0);
+/// ```
+pub fn sample_normal<R: Rng>(mean: f32, std: f32, rng: &mut R) -> f32 {
+    mean + std * sample_standard_normal(rng)
+}
+
+fn sample_uniform<R: Rng>(rows: usize, cols: usize, bound: f32, rng: &mut R) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_values_are_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_init(10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn he_values_are_within_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_init(16, 4, &mut rng);
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn same_seed_gives_same_weights() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(xavier_init(3, 3, &mut a), xavier_init(3, 3, &mut b));
+    }
+
+    #[test]
+    fn different_seed_gives_different_weights() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(43);
+        assert_ne!(xavier_init(3, 3, &mut a), xavier_init(3, 3, &mut b));
+    }
+
+    #[test]
+    fn normal_sample_mean_and_std_are_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_normal(150.0, 7.5, &mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 150.0).abs() < 0.5, "mean {mean}");
+        assert!((var.sqrt() - 7.5).abs() < 0.3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn initialisation_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = xavier_init(8, 8, &mut rng);
+        assert!(w.frobenius_norm() > 0.0);
+    }
+}

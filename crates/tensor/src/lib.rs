@@ -1,0 +1,39 @@
+//! Dense tensor and neural-network math for the Spyker reproduction.
+//!
+//! The paper trains its models with PyTorch; this crate is the from-scratch
+//! substitute. It provides a row-major [`Matrix`] type with the linear-algebra
+//! kernels needed by the model zoo in `spyker-models` (matrix products,
+//! activations, softmax/cross-entropy, im2col convolution helpers) plus
+//! deterministic weight initialisation.
+//!
+//! The crate is deliberately small and allocation-transparent: everything is
+//! `Vec<f32>` under the hood, there is no autograd — models in
+//! `spyker-models` write their backward passes explicitly and are verified
+//! against finite differences in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use spyker_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use conv::{col2im, im2col, Conv2dShape, MaxPool2d};
+pub use init::{he_init, sample_normal, sample_standard_normal, xavier_init};
+pub use matrix::Matrix;
+pub use ops::{
+    cross_entropy_from_logits, log_softmax_rows, relu, relu_grad_mask, scalar_sigmoid, sigmoid,
+    softmax_rows, tanh_deriv_from_output,
+};

@@ -1,0 +1,213 @@
+//! Activations, softmax and loss helpers.
+
+use crate::Matrix;
+
+/// Rectified linear unit applied element-wise, returning a new matrix.
+///
+/// # Example
+///
+/// ```
+/// use spyker_tensor::{relu, Matrix};
+/// let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+/// assert_eq!(relu(&m).row(0), &[0.0, 2.0]);
+/// ```
+pub fn relu(input: &Matrix) -> Matrix {
+    input.map(|v| v.max(0.0))
+}
+
+/// Mask of the ReLU derivative: `1.0` where the *pre-activation* input was
+/// positive, `0.0` elsewhere.
+///
+/// Multiply this element-wise into an upstream gradient to back-propagate
+/// through a ReLU.
+pub fn relu_grad_mask(pre_activation: &Matrix) -> Matrix {
+    pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Logistic sigmoid applied element-wise.
+pub fn sigmoid(input: &Matrix) -> Matrix {
+    input.map(scalar_sigmoid)
+}
+
+/// Logistic sigmoid of a single value.
+pub fn scalar_sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Derivative of `tanh` expressed in terms of the *output* `y = tanh(x)`,
+/// i.e. `1 - y^2`.
+pub fn tanh_deriv_from_output(output: &Matrix) -> Matrix {
+    output.map(|y| 1.0 - y * y)
+}
+
+/// Row-wise numerically-stable softmax.
+///
+/// Each row of the result sums to 1.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise numerically-stable log-softmax.
+pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum: f32 = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy loss over a batch of logits, plus the gradient of the
+/// loss with respect to the logits.
+///
+/// `targets[r]` is the class index for row `r`. The returned gradient is
+/// `(softmax - onehot) / batch_size`, ready to be back-propagated.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target is out of range.
+///
+/// # Example
+///
+/// ```
+/// use spyker_tensor::{cross_entropy_from_logits, Matrix};
+/// let logits = Matrix::from_rows(&[&[2.0, 0.0]]);
+/// let (loss, _grad) = cross_entropy_from_logits(&logits, &[0]);
+/// assert!(loss < 0.2);
+/// ```
+pub fn cross_entropy_from_logits(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "one target per row required"
+    );
+    let batch = logits.rows() as f32;
+    let probs = softmax_rows(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target {} out of range", t);
+        // Clamp to avoid -inf on numerically-zero probabilities.
+        loss -= probs[(r, t)].max(1e-12).ln();
+        grad[(r, t)] -= 1.0;
+    }
+    grad.scale(1.0 / batch);
+    (loss / batch, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32, eps: f32) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let m = Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]);
+        assert_eq!(relu(&m).row(0), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_grad_mask_is_indicator() {
+        let m = Matrix::from_rows(&[&[-2.0, 0.0, 3.0]]);
+        assert_eq!(relu_grad_mask(&m).row(0), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert!(approx(scalar_sigmoid(0.0), 0.5, 1e-7));
+        assert!(approx(scalar_sigmoid(3.0) + scalar_sigmoid(-3.0), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 100.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!(approx(sum, 1.0, 1e-5), "row {} sums to {}", r, sum);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let m = Matrix::from_rows(&[&[1000.0, 1000.0]]);
+        let s = softmax_rows(&m);
+        assert!(approx(s[(0, 0)], 0.5, 1e-6));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let m = Matrix::from_rows(&[&[0.3, -1.2, 2.0]]);
+        let s = softmax_rows(&m);
+        let ls = log_softmax_rows(&m);
+        for j in 0..3 {
+            assert!(approx(ls[(0, j)], s[(0, j)].ln(), 1e-5));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_log_k() {
+        let m = Matrix::zeros(4, 10);
+        let (loss, _) = cross_entropy_from_logits(&m, &[0, 1, 2, 3]);
+        assert!(approx(loss, (10.0f32).ln(), 1e-5));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.3, 0.1], &[1.0, 0.2, -0.7]]);
+        let targets = [2, 0];
+        let (_, grad) = cross_entropy_from_logits(&logits, &targets);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus[(r, c)] += eps;
+                let mut minus = logits.clone();
+                minus[(r, c)] -= eps;
+                let (lp, _) = cross_entropy_from_logits(&plus, &targets);
+                let (lm, _) = cross_entropy_from_logits(&minus, &targets);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    approx(fd, grad[(r, c)], 1e-3),
+                    "grad mismatch at ({r},{c}): fd={fd} analytic={}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.5, -0.3, 0.1]]);
+        let (_, grad) = cross_entropy_from_logits(&logits, &[1]);
+        let sum: f32 = grad.row(0).iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per row")]
+    fn cross_entropy_panics_on_target_count_mismatch() {
+        let logits = Matrix::zeros(2, 3);
+        let _ = cross_entropy_from_logits(&logits, &[0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor kernels.
+
+use proptest::prelude::*;
+use spyker_tensor::{
+    col2im, cross_entropy_from_logits, im2col, softmax_rows, Conv2dShape, Matrix,
+};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_is_neutral(m in small_matrix(4, 4)) {
+        let id = Matrix::identity(4);
+        prop_assert_eq!(m.matmul(&id), m.clone());
+        prop_assert_eq!(id.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(4, 2),
+    ) {
+        // a(b + c) == ab + ac, within f32 tolerance.
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        // (ab)^T == b^T a^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_and_nt_match_explicit_transposes(
+        a in small_matrix(3, 4),
+        b in small_matrix(3, 2),
+        c in small_matrix(5, 4),
+    ) {
+        prop_assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+        prop_assert_eq!(a.matmul_nt(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(5, 7)) {
+        let s = softmax_rows(&m);
+        for r in 0..5 {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(m in small_matrix(2, 5), shift in -5.0f32..5.0) {
+        let shifted = m.map(|v| v + shift);
+        let a = softmax_rows(&m);
+        let b = softmax_rows(&shifted);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(m in small_matrix(4, 6), targets in prop::collection::vec(0usize..6, 4)) {
+        let (loss, grad) = cross_entropy_from_logits(&m, &targets);
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for r in 0..4 {
+            let sum: f32 = grad.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint_for_random_geometry(
+        in_h in 3usize..7,
+        in_w in 3usize..7,
+        k in 2usize..4,
+        pad in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(in_h + 2 * pad >= k && in_w + 2 * pad >= k);
+        let shape = Conv2dShape {
+            in_channels: 2,
+            in_h,
+            in_w,
+            kh: k,
+            kw: k,
+            stride: 1,
+            pad,
+        };
+        // Pseudo-random but deterministic contents.
+        let x: Vec<f32> = (0..shape.input_len())
+            .map(|i| (((i as u64 + seed) * 2654435761 % 1000) as f32) / 500.0 - 1.0)
+            .collect();
+        let cols = im2col(&x, &shape);
+        let rows = shape.out_h() * shape.out_w();
+        let y: Vec<f32> = (0..rows * shape.patch_len())
+            .map(|i| (((i as u64 * 40503 + seed) % 1000) as f32) / 500.0 - 1.0)
+            .collect();
+        let y = Matrix::from_vec(rows, shape.patch_len(), y);
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let back = col2im(&y, &shape);
+        let rhs: f64 = x
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint broken: {lhs} vs {rhs}");
+    }
+}

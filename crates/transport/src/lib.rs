@@ -1,0 +1,559 @@
+//! Multi-threaded in-process deployment of the protocol actors.
+//!
+//! The simulator in `spyker-simnet` executes actors deterministically in
+//! virtual time; this crate executes the *same* [`Node`] actors on real
+//! threads with real concurrency, one thread per node, connected by
+//! crossbeam channels. Latency and bandwidth are emulated by stamping each
+//! message with a delivery deadline derived from the same
+//! [`NetworkConfig`] (optionally time-scaled so a 150 ms virtual delay
+//! costs only a few real milliseconds).
+//!
+//! Links are FIFO: each sender keeps a per-destination "link free" clock
+//! and never lets a later message overtake an earlier one, matching the
+//! FIFO assumption of the paper's token protocol (§4.2).
+//!
+//! This serves two purposes: it demonstrates the protocol is runnable
+//! outside the simulator (no tokio required — threads + channels cover the
+//! paper's needs), and it gives the test suite a true-concurrency shakeout
+//! of the actor code.
+//!
+//! # Example
+//!
+//! ```
+//! use spyker_simnet::net::{NetworkConfig, Region};
+//! use spyker_simnet::runtime::{Env, Node, NodeId, WireSize};
+//! use spyker_simnet::SimTime;
+//! use spyker_transport::{ClusterConfig, ThreadCluster};
+//! use std::any::Any;
+//! use std::time::Duration;
+//!
+//! #[derive(Debug, Clone)]
+//! struct Ping;
+//! impl WireSize for Ping {
+//!     fn wire_size(&self) -> usize { 1 }
+//! }
+//! struct Counter(u32);
+//! impl Node<Ping> for Counter {
+//!     fn on_start(&mut self, env: &mut dyn Env<Ping>) {
+//!         if env.me() == 0 { env.send(1, Ping); }
+//!     }
+//!     fn on_message(&mut self, env: &mut dyn Env<Ping>, from: NodeId, _msg: Ping) {
+//!         self.0 += 1;
+//!         if self.0 < 10 { env.send(from, Ping); }
+//!     }
+//!     fn as_any(&self) -> &dyn Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn Any { self }
+//! }
+//!
+//! let mut cluster = ThreadCluster::new(ClusterConfig {
+//!     net: NetworkConfig::uniform_all(SimTime::from_millis(1)),
+//!     time_scale: 1.0,
+//! });
+//! cluster.add_node(Box::new(Counter(0)), Region::Paris);
+//! cluster.add_node(Box::new(Counter(0)), Region::Sydney);
+//! let report = cluster.run_for(Duration::from_millis(200));
+//! let total: u32 = report.nodes.iter()
+//!     .map(|n| n.as_any().downcast_ref::<Counter>().unwrap().0)
+//!     .sum();
+//! assert_eq!(total, 19);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use spyker_simnet::metrics::Metrics;
+use spyker_simnet::net::{NetworkConfig, Region};
+use spyker_simnet::runtime::{Env, Node, NodeId, WireSize};
+use spyker_simnet::time::SimTime;
+
+/// Configuration of a thread cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Latency/bandwidth model (shared with the simulator).
+    pub net: NetworkConfig,
+    /// Real seconds per virtual second. `1.0` runs latencies at face value;
+    /// `0.01` runs the deployment 100x faster than the virtual clock.
+    pub time_scale: f64,
+}
+
+enum Inbound<M> {
+    Deliver {
+        from: NodeId,
+        msg: M,
+        deliver_at: Instant,
+    },
+    Stop,
+}
+
+struct TimerEntry {
+    at: Instant,
+    tag: u64,
+    seq: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (at, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct ThreadEnv<M> {
+    me: NodeId,
+    start: Instant,
+    senders: Vec<Sender<Inbound<M>>>,
+    regions: Vec<Region>,
+    net: NetworkConfig,
+    time_scale: f64,
+    link_free: HashMap<NodeId, Instant>,
+    timers: Vec<(Duration, u64)>,
+    metrics: Metrics,
+}
+
+impl<M> ThreadEnv<M> {
+    fn scaled(&self, t: SimTime) -> Duration {
+        Duration::from_secs_f64(t.as_secs_f64() * self.time_scale)
+    }
+}
+
+impl<M: WireSize> Env<M> for ThreadEnv<M> {
+    fn now(&self) -> SimTime {
+        let real = self.start.elapsed().as_secs_f64();
+        SimTime::from_millis_f64(real * 1_000.0 / self.time_scale)
+    }
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        self.metrics.add_counter("net.bytes", bytes as u64);
+        self.metrics
+            .add_counter(&format!("net.bytes.{}", msg.kind()), bytes as u64);
+        self.metrics.add_counter("net.messages", 1);
+        let delay = self.scaled(
+            self.net.latency(self.regions[self.me], self.regions[to])
+                + self.net.serialization_delay(bytes),
+        );
+        let now = Instant::now();
+        let free = self.link_free.entry(to).or_insert(now);
+        let deliver_at = (now + delay).max(*free);
+        *free = deliver_at;
+        // A send can only fail after Stop, when the receiver is gone.
+        let _ = self.senders[to].send(Inbound::Deliver {
+            from: self.me,
+            msg,
+            deliver_at,
+        });
+    }
+
+    fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        let real = self.scaled(delay);
+        self.timers.push((real, tag));
+    }
+
+    fn busy(&mut self, duration: SimTime) {
+        std::thread::sleep(self.scaled(duration));
+    }
+
+    fn record(&mut self, series: &str, value: f64) {
+        let now = self.now();
+        self.metrics.record(series, now, value);
+    }
+
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        self.metrics.add_counter(name, delta);
+    }
+}
+
+/// Result of a completed cluster run.
+pub struct ClusterReport<M> {
+    /// The final node states, in id order.
+    pub nodes: Vec<Box<dyn Node<M>>>,
+    /// Merged metrics from every node thread.
+    pub metrics: Metrics,
+}
+
+/// An in-process cluster running one thread per node.
+pub struct ThreadCluster<M> {
+    cfg: ClusterConfig,
+    nodes: Vec<Box<dyn Node<M>>>,
+    regions: Vec<Region>,
+}
+
+impl<M: WireSize + Send + 'static> ThreadCluster<M> {
+    /// Creates an empty cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is not positive and finite.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(
+            cfg.time_scale.is_finite() && cfg.time_scale > 0.0,
+            "time_scale must be positive"
+        );
+        Self {
+            cfg,
+            nodes: Vec::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Adds a node in `region`, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>, region: Region) -> NodeId {
+        self.nodes.push(node);
+        self.regions.push(region);
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs the cluster for `real_duration` of wall-clock time, then stops
+    /// every node and returns the final states and merged metrics.
+    ///
+    /// In-flight messages at the deadline are dropped (the run is a
+    /// measurement window, like the paper's fixed-duration experiments).
+    pub fn run_for(self, real_duration: Duration) -> ClusterReport<M> {
+        let n = self.nodes.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Inbound<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let start = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (id, (node, rx)) in self.nodes.into_iter().zip(receivers).enumerate() {
+            let env = ThreadEnv {
+                me: id,
+                start,
+                senders: senders.clone(),
+                regions: self.regions.clone(),
+                net: self.cfg.net.clone(),
+                time_scale: self.cfg.time_scale,
+                link_free: HashMap::new(),
+                timers: Vec::new(),
+                metrics: Metrics::new(),
+            };
+            handles.push(std::thread::spawn(move || node_loop(node, env, rx)));
+        }
+        std::thread::sleep(real_duration);
+        for tx in &senders {
+            let _ = tx.send(Inbound::Stop);
+        }
+        let mut nodes = Vec::with_capacity(n);
+        let mut metrics = Metrics::new();
+        for handle in handles {
+            let (node, local) = handle.join().expect("node thread panicked");
+            metrics.merge(&local);
+            nodes.push(node);
+        }
+        ClusterReport { nodes, metrics }
+    }
+}
+
+/// The per-node event loop: merges channel deliveries and local timers,
+/// dispatching each at (or after) its deadline.
+fn node_loop<M: WireSize>(
+    mut node: Box<dyn Node<M>>,
+    mut env: ThreadEnv<M>,
+    rx: Receiver<Inbound<M>>,
+) -> (Box<dyn Node<M>>, Metrics) {
+    node.on_start(&mut env);
+    let mut timer_heap: BinaryHeap<TimerEntry> = BinaryHeap::new();
+    let mut pending: BinaryHeap<PendingMsg<M>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let drain_new_timers =
+        |env: &mut ThreadEnv<M>, heap: &mut BinaryHeap<TimerEntry>, seq: &mut u64| {
+            for (delay, tag) in env.timers.drain(..) {
+                heap.push(TimerEntry {
+                    at: Instant::now() + delay,
+                    tag,
+                    seq: *seq,
+                });
+                *seq += 1;
+            }
+        };
+    drain_new_timers(&mut env, &mut timer_heap, &mut timer_seq);
+    loop {
+        // Dispatch everything already due.
+        let now = Instant::now();
+        let mut dispatched = false;
+        if let Some(t) = timer_heap.peek() {
+            if t.at <= now {
+                let t = timer_heap.pop().expect("peeked");
+                node.on_timer(&mut env, t.tag);
+                drain_new_timers(&mut env, &mut timer_heap, &mut timer_seq);
+                dispatched = true;
+            }
+        }
+        if !dispatched {
+            if let Some(p) = pending.peek() {
+                if p.deliver_at <= now {
+                    let p = pending.pop().expect("peeked");
+                    node.on_message(&mut env, p.from, p.msg);
+                    drain_new_timers(&mut env, &mut timer_heap, &mut timer_seq);
+                    dispatched = true;
+                }
+            }
+        }
+        if dispatched {
+            continue;
+        }
+        // Sleep until the earliest deadline or the next channel arrival.
+        let next_deadline = match (timer_heap.peek(), pending.peek()) {
+            (Some(t), Some(p)) => Some(t.at.min(p.deliver_at)),
+            (Some(t), None) => Some(t.at),
+            (None, Some(p)) => Some(p.deliver_at),
+            (None, None) => None,
+        };
+        let inbound = match next_deadline {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            },
+        };
+        match inbound {
+            Some(Inbound::Deliver {
+                from,
+                msg,
+                deliver_at,
+            }) => {
+                pending.push(PendingMsg {
+                    from,
+                    msg,
+                    deliver_at,
+                    seq: timer_seq,
+                });
+                timer_seq += 1;
+            }
+            Some(Inbound::Stop) | None => break,
+        }
+    }
+    (node, env.metrics)
+}
+
+struct PendingMsg<M> {
+    from: NodeId,
+    msg: M,
+    deliver_at: Instant,
+    seq: u64,
+}
+
+impl<M> PartialEq for PendingMsg<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for PendingMsg<M> {}
+impl<M> PartialOrd for PendingMsg<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for PendingMsg<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on (deliver_at, seq).
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    struct Blob(usize);
+    impl WireSize for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    struct Sink {
+        got: Vec<NodeId>,
+    }
+    impl Node<Blob> for Sink {
+        fn on_start(&mut self, _env: &mut dyn Env<Blob>) {}
+        fn on_message(&mut self, _env: &mut dyn Env<Blob>, from: NodeId, _msg: Blob) {
+            self.got.push(from);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Spammer {
+        to: NodeId,
+        count: usize,
+    }
+    impl Node<Blob> for Spammer {
+        fn on_start(&mut self, env: &mut dyn Env<Blob>) {
+            for _ in 0..self.count {
+                env.send(self.to, Blob(8));
+            }
+        }
+        fn on_message(&mut self, _env: &mut dyn Env<Blob>, _from: NodeId, _msg: Blob) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn quick_cfg() -> ClusterConfig {
+        ClusterConfig {
+            net: NetworkConfig::uniform_all(SimTime::from_millis(5)),
+            time_scale: 0.2,
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_and_counted() {
+        let mut cluster = ThreadCluster::new(quick_cfg());
+        cluster.add_node(Box::new(Spammer { to: 1, count: 25 }), Region::Paris);
+        cluster.add_node(Box::new(Sink { got: Vec::new() }), Region::Sydney);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let sink = report.nodes[1].as_any().downcast_ref::<Sink>().unwrap();
+        assert_eq!(sink.got.len(), 25);
+        assert_eq!(report.metrics.counter("net.messages"), 25);
+        assert_eq!(report.metrics.counter("net.bytes"), 200);
+    }
+
+    #[test]
+    fn timers_fire_on_real_threads() {
+        struct TimerNode {
+            fired: u32,
+        }
+        impl Node<Blob> for TimerNode {
+            fn on_start(&mut self, env: &mut dyn Env<Blob>) {
+                env.set_timer(SimTime::from_millis(10), 1);
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Blob>, _f: NodeId, _m: Blob) {}
+            fn on_timer(&mut self, env: &mut dyn Env<Blob>, _tag: u64) {
+                self.fired += 1;
+                if self.fired < 5 {
+                    env.set_timer(SimTime::from_millis(10), 1);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cluster = ThreadCluster::new(quick_cfg());
+        cluster.add_node(Box::new(TimerNode { fired: 0 }), Region::Paris);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let node = report.nodes[0].as_any().downcast_ref::<TimerNode>().unwrap();
+        assert_eq!(node.fired, 5);
+    }
+
+    #[test]
+    fn links_preserve_sender_order() {
+        struct OrderedSender;
+        impl Node<Blob> for OrderedSender {
+            fn on_start(&mut self, env: &mut dyn Env<Blob>) {
+                // Large then small: without the FIFO clamp the small one
+                // would be delivered first.
+                env.send(1, Blob(4_000_000)); // big serialization delay
+                env.send(1, Blob(1));
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Blob>, _f: NodeId, _m: Blob) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct SizeSink {
+            sizes: Vec<usize>,
+        }
+        impl Node<Blob> for SizeSink {
+            fn on_start(&mut self, _env: &mut dyn Env<Blob>) {}
+            fn on_message(&mut self, _e: &mut dyn Env<Blob>, _f: NodeId, m: Blob) {
+                self.sizes.push(m.0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cluster = ThreadCluster::new(ClusterConfig {
+            net: NetworkConfig::uniform_all(SimTime::from_millis(1)),
+            time_scale: 0.1,
+        });
+        cluster.add_node(Box::new(OrderedSender), Region::Paris);
+        cluster.add_node(Box::new(SizeSink { sizes: Vec::new() }), Region::Sydney);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let sink = report.nodes[1].as_any().downcast_ref::<SizeSink>().unwrap();
+        assert_eq!(sink.sizes, vec![4_000_000, 1], "FIFO violated");
+    }
+
+    #[test]
+    fn busy_time_is_real() {
+        struct BusyNode {
+            elapsed_ms: u128,
+        }
+        impl Node<Blob> for BusyNode {
+            fn on_start(&mut self, env: &mut dyn Env<Blob>) {
+                let t0 = Instant::now();
+                env.busy(SimTime::from_millis(100)); // scaled by 0.2 -> 20ms
+                self.elapsed_ms = t0.elapsed().as_millis();
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Blob>, _f: NodeId, _m: Blob) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cluster = ThreadCluster::new(quick_cfg());
+        cluster.add_node(Box::new(BusyNode { elapsed_ms: 0 }), Region::Paris);
+        let report = cluster.run_for(Duration::from_millis(100));
+        let node = report.nodes[0].as_any().downcast_ref::<BusyNode>().unwrap();
+        assert!(node.elapsed_ms >= 19, "busy slept only {} ms", node.elapsed_ms);
+    }
+}

@@ -1,0 +1,289 @@
+//! `spyker` — command-line front end for the reproduction.
+//!
+//! ```text
+//! spyker run     --alg spyker --task mnist --clients 40 --servers 4 --seconds 30
+//! spyker compare --task mnist --clients 40 --servers 4 --seconds 30
+//! spyker latency
+//! ```
+
+use std::process::ExitCode;
+
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario, TaskKind};
+use spyker_repro::simnet::SimTime;
+
+const USAGE: &str = "\
+spyker — asynchronous multi-server federated learning (Spyker reproduction)
+
+USAGE:
+    spyker run     [OPTIONS]   run one algorithm and print its convergence
+    spyker compare [OPTIONS]   run all five algorithms and print a comparison
+    spyker latency             print the AWS inter-region latency matrix
+
+OPTIONS:
+    --alg <name>       fedavg | fedasync | hierfavg | spyker | sync-spyker
+                       (run only; default spyker)
+    --task <name>      mnist | cifar | wikitext        (default mnist)
+    --clients <n>      number of clients               (default 40)
+    --servers <n>      number of servers               (default 4)
+    --seconds <n>      virtual-time budget             (default 30)
+    --seed <n>         RNG seed (runs are bit-reproducible)  (default 42)
+    --target <x>       early-stop metric target (e.g. 0.9)
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: Command,
+    alg: Algorithm,
+    task: TaskKind,
+    clients: usize,
+    servers: usize,
+    seconds: u64,
+    seed: u64,
+    target: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Run,
+    Compare,
+    Latency,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        command: Command::Run,
+        alg: Algorithm::Spyker,
+        task: TaskKind::MnistLike,
+        clients: 40,
+        servers: 4,
+        seconds: 30,
+        seed: 42,
+        target: None,
+    };
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => args.command = Command::Run,
+        Some("compare") => args.command = Command::Compare,
+        Some("latency") => args.command = Command::Latency,
+        Some(other) => return Err(format!("unknown command '{other}'")),
+        None => return Err("missing command".into()),
+    }
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--alg" => {
+                args.alg = match value()? {
+                    "fedavg" => Algorithm::FedAvg,
+                    "fedasync" => Algorithm::FedAsync,
+                    "hierfavg" => Algorithm::HierFavg,
+                    "spyker" => Algorithm::Spyker,
+                    "sync-spyker" => Algorithm::SyncSpyker,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                }
+            }
+            "--task" => {
+                args.task = match value()? {
+                    "mnist" => TaskKind::MnistLike,
+                    "cifar" => TaskKind::CifarLike,
+                    "wikitext" => TaskKind::WikiText,
+                    other => return Err(format!("unknown task '{other}'")),
+                }
+            }
+            "--clients" => {
+                args.clients = value()?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--servers" => {
+                args.servers = value()?.parse().map_err(|e| format!("--servers: {e}"))?
+            }
+            "--seconds" => {
+                args.seconds = value()?.parse().map_err(|e| format!("--seconds: {e}"))?
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--target" => {
+                args.target = Some(value()?.parse().map_err(|e| format!("--target: {e}"))?)
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.clients == 0 || args.servers == 0 {
+        return Err("--clients and --servers must be positive".into());
+    }
+    if args.clients > args.task.max_clients() {
+        return Err(format!(
+            "--clients {} exceeds the fixed corpus capacity for this task (max {})",
+            args.clients,
+            args.task.max_clients()
+        ));
+    }
+    Ok(args)
+}
+
+fn build_scenario(args: &Args) -> Scenario {
+    match args.task {
+        TaskKind::MnistLike => Scenario::mnist(args.clients, args.servers, args.seed),
+        TaskKind::CifarLike => Scenario::cifar(args.clients, args.servers, args.seed),
+        TaskKind::WikiText => Scenario::wikitext(args.clients, args.servers, args.seed),
+    }
+}
+
+fn build_opts(args: &Args) -> RunOptions {
+    let mut opts = RunOptions::standard().with_max_time(SimTime::from_secs(args.seconds));
+    if let Some(t) = args.target {
+        opts = opts.with_stop_at(t);
+    }
+    opts
+}
+
+fn cmd_run(args: &Args) {
+    let scenario = build_scenario(args);
+    let opts = build_opts(args);
+    println!(
+        "running {} on {:?} ({} clients, {} servers, {}s budget, seed {})\n",
+        args.alg, args.task, args.clients, args.servers, args.seconds, args.seed
+    );
+    let result = run_algorithm(args.alg, &scenario, &opts);
+    println!("{:<10} {:>10} {:>10}", "time", "updates", "metric");
+    let stride = (result.samples.len() / 20).max(1);
+    for sample in result.samples.iter().step_by(stride) {
+        println!(
+            "{:<10} {:>10} {:>10.4}",
+            format!("{}", sample.time),
+            sample.updates,
+            sample.metric
+        );
+    }
+    println!(
+        "\nbest metric {:.4}, {} updates, {:.2} MB transferred",
+        result.best_metric().unwrap_or(f64::NAN),
+        result.metrics.counter("updates.processed"),
+        result.metrics.counter("net.bytes") as f64 / 1e6,
+    );
+}
+
+fn cmd_compare(args: &Args) {
+    let scenario = build_scenario(args);
+    let opts = build_opts(args);
+    println!(
+        "comparing all algorithms on {:?} ({} clients, {} servers, {}s budget)\n",
+        args.task, args.clients, args.servers, args.seconds
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>10}",
+        "algorithm", "best", "final", "time@target", "updates"
+    );
+    let target = args.target.unwrap_or(match args.task {
+        TaskKind::WikiText => 6.0,
+        _ => 0.9,
+    });
+    for alg in Algorithm::ALL {
+        let result = run_algorithm(alg, &scenario, &opts);
+        let t = result
+            .time_to_target(target)
+            .map_or_else(|| "-".to_string(), |t| format!("{t}"));
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>12} {:>10}",
+            alg.name(),
+            result.best_metric().unwrap_or(f64::NAN),
+            result.final_metric().unwrap_or(f64::NAN),
+            t,
+            result.metrics.counter("updates.processed"),
+        );
+    }
+}
+
+fn cmd_latency() {
+    use spyker_repro::simnet::net::AWS_LATENCY_MS;
+    let regions = ["Hongkong", "Paris", "Sydney", "California"];
+    print!("{:<12}", "ms");
+    for r in regions {
+        print!("{r:>12}");
+    }
+    println!();
+    for (i, r) in regions.iter().enumerate() {
+        print!("{r:<12}");
+        for j in 0..4 {
+            print!("{:>12.2}", AWS_LATENCY_MS[i][j]);
+        }
+        println!();
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&argv) {
+        Ok(args) => {
+            match args.command {
+                Command::Run => cmd_run(&args),
+                Command::Compare => cmd_compare(&args),
+                Command::Latency => cmd_latency(),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_a_full_run_command() {
+        let args = parse_args(&argv(
+            "run --alg fedasync --task cifar --clients 10 --servers 2 --seconds 5 --seed 7 --target 0.8",
+        ))
+        .unwrap();
+        assert_eq!(args.command, Command::Run);
+        assert_eq!(args.alg, Algorithm::FedAsync);
+        assert_eq!(args.task, TaskKind::CifarLike);
+        assert_eq!(args.clients, 10);
+        assert_eq!(args.servers, 2);
+        assert_eq!(args.seconds, 5);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.target, Some(0.8));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let args = parse_args(&argv("compare")).unwrap();
+        assert_eq!(args.command, Command::Compare);
+        assert_eq!(args.alg, Algorithm::Spyker);
+        assert_eq!(args.clients, 40);
+        assert_eq!(args.servers, 4);
+        assert_eq!(args.target, None);
+    }
+
+    #[test]
+    fn rejects_client_counts_beyond_corpus_capacity() {
+        assert!(parse_args(&argv("run --task wikitext --clients 300")).is_err());
+        assert!(parse_args(&argv("run --task mnist --clients 5000")).is_err());
+        assert!(parse_args(&argv("run --task wikitext --clients 250")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_command_flag_and_values() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("run --frobnicate yes")).is_err());
+        assert!(parse_args(&argv("run --alg nonsense")).is_err());
+        assert!(parse_args(&argv("run --clients zero")).is_err());
+        assert!(parse_args(&argv("run --clients")).is_err());
+        assert!(parse_args(&argv("run --clients 0")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+}

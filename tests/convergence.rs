@@ -1,0 +1,91 @@
+//! End-to-end convergence of every algorithm on every task.
+
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario};
+use spyker_repro::simnet::SimTime;
+
+fn quick_opts(secs: u64) -> RunOptions {
+    RunOptions::standard().with_max_time(SimTime::from_secs(secs))
+}
+
+#[test]
+fn every_algorithm_learns_the_mnist_task() {
+    let scenario = Scenario::mnist(16, 4, 3);
+    for alg in Algorithm::ALL {
+        let run = run_algorithm(alg, &scenario, &quick_opts(30));
+        let first = run.samples.first().expect("samples").metric;
+        let best = run.best_metric().expect("best");
+        assert!(
+            best > 0.7 && best > first + 0.3,
+            "{alg}: accuracy {first:.3} -> {best:.3}"
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_learns_the_cifar_task_above_chance() {
+    let scenario = Scenario::cifar(12, 4, 3);
+    for alg in Algorithm::ALL {
+        let run = run_algorithm(alg, &scenario, &quick_opts(25));
+        let best = run.best_metric().expect("best");
+        assert!(best > 0.3, "{alg}: best accuracy only {best:.3}");
+    }
+}
+
+#[test]
+fn spyker_and_fedasync_reduce_wikitext_perplexity() {
+    let scenario = Scenario::wikitext(6, 2, 3);
+    for alg in [Algorithm::Spyker, Algorithm::FedAsync] {
+        let run = run_algorithm(alg, &scenario, &quick_opts(20));
+        let first = run.samples.first().expect("samples").metric;
+        let best = run.best_metric().expect("best");
+        assert!(
+            best < first / 2.0,
+            "{alg}: perplexity {first:.1} -> {best:.1}"
+        );
+    }
+}
+
+#[test]
+fn spyker_beats_fedavg_in_wall_clock_on_geo_network() {
+    // The paper's headline: in geo-distributed settings Spyker reaches the
+    // target sooner than the synchronous single-server baseline.
+    let scenario = Scenario::mnist(40, 4, 11);
+    let opts = quick_opts(60);
+    let spyker = run_algorithm(Algorithm::Spyker, &scenario, &opts);
+    let fedavg = run_algorithm(Algorithm::FedAvg, &scenario, &opts);
+    let ts = spyker.time_to_target(0.9).expect("spyker reached 90%");
+    let tf = fedavg.time_to_target(0.9).expect("fedavg reached 90%");
+    assert!(
+        ts < tf,
+        "Spyker ({ts}) should beat FedAvg ({tf}) in wall-clock"
+    );
+}
+
+#[test]
+fn multi_server_spyker_spreads_load_across_servers() {
+    let scenario = Scenario::mnist(20, 4, 5);
+    let run = run_algorithm(Algorithm::Spyker, &scenario, &quick_opts(20));
+    // All clients contribute, none starve.
+    assert!(run.client_updates.iter().all(|&u| u > 0));
+    let min = *run.client_updates.iter().min().unwrap() as f64;
+    let max = *run.client_updates.iter().max().unwrap() as f64;
+    assert!(
+        max / min < 10.0,
+        "extreme per-client imbalance without heterogeneity: {min} vs {max}"
+    );
+}
+
+#[test]
+fn clustering_extension_beats_vanilla_on_contradictory_populations() {
+    use spyker_repro::experiments::suite::{ext_clustering, Scale};
+    let scale = Scale {
+        clients: 16,
+        horizon: spyker_repro::simnet::SimTime::from_secs(20),
+        ..Scale::small()
+    };
+    let (clustered, vanilla) = ext_clustering(&scale);
+    assert!(
+        clustered > vanilla + 0.2,
+        "clustering gave no edge: {clustered:.3} vs {vanilla:.3}"
+    );
+}

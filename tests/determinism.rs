@@ -1,0 +1,41 @@
+//! Bit-level determinism of the whole stack: identical seeds must give
+//! identical runs, different seeds must not.
+
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario};
+use spyker_repro::simnet::SimTime;
+
+fn opts() -> RunOptions {
+    RunOptions::standard().with_max_time(SimTime::from_secs(12))
+}
+
+#[test]
+fn all_algorithms_are_deterministic_per_seed() {
+    for alg in Algorithm::ALL {
+        let scenario_a = Scenario::mnist(10, 2, 77);
+        let scenario_b = Scenario::mnist(10, 2, 77);
+        let a = run_algorithm(alg, &scenario_a, &opts());
+        let b = run_algorithm(alg, &scenario_b, &opts());
+        assert_eq!(a.samples, b.samples, "{alg}: samples diverged");
+        assert_eq!(a.client_updates, b.client_updates, "{alg}: clients diverged");
+        assert_eq!(
+            a.metrics.counter("net.bytes"),
+            b.metrics.counter("net.bytes"),
+            "{alg}: traffic diverged"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let a = run_algorithm(Algorithm::Spyker, &Scenario::mnist(10, 2, 1), &opts());
+    let b = run_algorithm(Algorithm::Spyker, &Scenario::mnist(10, 2, 2), &opts());
+    assert_ne!(a.samples, b.samples, "seeds should matter");
+}
+
+#[test]
+fn scenario_construction_is_pure() {
+    let a = Scenario::mnist(10, 2, 42);
+    let b = Scenario::mnist(10, 2, 42);
+    assert_eq!(a.delays(), b.delays());
+    assert_eq!(a.init_params().as_slice(), b.init_params().as_slice());
+}

@@ -1,0 +1,91 @@
+//! Adverse-condition tests: extreme stragglers, network jitter, overload.
+
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario};
+use spyker_repro::simnet::{NetworkConfig, SimTime};
+
+#[test]
+fn spyker_survives_an_extreme_straggler_population() {
+    // One server's clients are 20x slower than everyone else's.
+    let mut scenario = Scenario::mnist(16, 4, 9);
+    let mut delays = scenario.delays().to_vec();
+    for (i, d) in delays.iter_mut().enumerate() {
+        if i % 4 == 0 {
+            // all clients of server 0
+            *d = SimTime::from_secs(3);
+        }
+    }
+    scenario.set_delays(delays);
+    let run = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &RunOptions::standard().with_max_time(SimTime::from_secs(40)),
+    );
+    // The slow quarter must not stop the rest of the system from learning.
+    assert!(
+        run.best_metric().expect("metric") > 0.8,
+        "stragglers sank accuracy: {:?}",
+        run.best_metric()
+    );
+    // And the stragglers still participate.
+    let straggler_updates: u64 = run
+        .client_updates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 == 0)
+        .map(|(_, &u)| u)
+        .sum();
+    assert!(straggler_updates > 0, "stragglers were starved entirely");
+}
+
+#[test]
+fn heavy_jitter_does_not_break_liveness_or_fifo_assumptions() {
+    let scenario = Scenario::mnist(12, 4, 4);
+    let opts = RunOptions::standard()
+        .with_max_time(SimTime::from_secs(30))
+        .with_net(NetworkConfig::aws().with_jitter(SimTime::from_millis(200)));
+    let run = run_algorithm(Algorithm::Spyker, &scenario, &opts);
+    assert!(run.best_metric().expect("metric") > 0.7);
+    assert!(run.metrics.counter("updates.processed") > 100);
+}
+
+#[test]
+fn fedasync_overload_queues_but_keeps_processing() {
+    // Many fast clients saturate the single 2 ms/update server.
+    let mut scenario = Scenario::mnist(60, 1, 8);
+    scenario.set_delays(vec![SimTime::from_millis(20); 60]);
+    let opts = RunOptions {
+        probe_interval: SimTime::from_millis(200),
+        ..RunOptions::standard().with_max_time(SimTime::from_secs(10))
+    };
+    let run = run_algorithm(Algorithm::FedAsync, &scenario, &opts);
+    let max_queue = run
+        .metrics
+        .series("queue.max")
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max);
+    assert!(max_queue >= 1.0, "expected queueing under overload");
+    // Saturated, the server still processes at its service rate
+    // (~500 updates/s for 10 s).
+    let processed = run.metrics.counter("updates.processed");
+    assert!(processed > 3000, "server stalled: {processed} updates");
+}
+
+#[test]
+fn sync_spyker_tolerates_a_slow_inter_server_link() {
+    // Uniform 400 ms everywhere: synchronous exchanges become expensive
+    // but must still complete and buffered updates must not be lost.
+    let scenario = Scenario::mnist(12, 4, 6);
+    let opts = RunOptions::standard()
+        .with_max_time(SimTime::from_secs(30))
+        .with_net(NetworkConfig::uniform_all(SimTime::from_millis(400)));
+    let run = run_algorithm(Algorithm::SyncSpyker, &scenario, &opts);
+    assert!(run.metrics.counter("syncs.triggered") > 0);
+    assert!(run.best_metric().expect("metric") > 0.6);
+    let sent = run.metrics.counter("updates.sent");
+    let processed = run.metrics.counter("updates.processed");
+    assert!(
+        sent - processed <= 16 + 4,
+        "updates lost during buffering: sent {sent}, processed {processed}"
+    );
+}

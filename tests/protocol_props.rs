@@ -1,0 +1,122 @@
+//! Property-based tests over the protocol under randomised deployments.
+
+use proptest::prelude::*;
+use spyker_repro::core::client::FlClient;
+use spyker_repro::core::config::SpykerConfig;
+use spyker_repro::core::deploy::{spyker_deployment, SpykerDeploymentSpec};
+use spyker_repro::core::params::ParamVec;
+use spyker_repro::core::server::SpykerServer;
+use spyker_repro::core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_repro::simnet::{NetworkConfig, SimTime, Simulation};
+
+fn run_random_deployment(
+    num_clients: usize,
+    num_servers: usize,
+    h_inter: f64,
+    h_intra: f64,
+    jitter_ms: u64,
+    seed: u64,
+) -> Simulation<spyker_repro::core::FlMsg> {
+    let trainers: Vec<Box<dyn LocalTrainer>> = (0..num_clients)
+        .map(|i| {
+            Box::new(MeanTargetTrainer::new(vec![(i % 5) as f32], 4)) as Box<dyn LocalTrainer>
+        })
+        .collect();
+    let spec = SpykerDeploymentSpec {
+        config: SpykerConfig::paper_defaults(num_clients, num_servers)
+            .with_thresholds(h_inter, h_intra),
+        trainers,
+        num_servers,
+        init_params: ParamVec::zeros(1),
+        train_delay: (0..num_clients)
+            .map(|i| SimTime::from_millis(60 + 30 * (i as u64 % 5)))
+            .collect(),
+    };
+    let net = NetworkConfig::aws().with_jitter(SimTime::from_millis(jitter_ms));
+    let mut sim = spyker_deployment(net, seed, spec);
+    sim.run(SimTime::from_secs(15));
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Token safety and liveness: under arbitrary thresholds, jitter and
+    /// population shapes, the token is never duplicated, every sent update
+    /// is eventually processed (minus in-flight tail), and ages stay
+    /// finite and non-negative.
+    #[test]
+    fn spyker_protocol_invariants_hold(
+        num_clients in 4usize..16,
+        num_servers in 2usize..5,
+        h_inter in 1.0f64..50.0,
+        h_intra in 5.0f64..500.0,
+        jitter_ms in 0u64..40,
+        seed in 0u64..1000,
+    ) {
+        let sim = run_random_deployment(
+            num_clients, num_servers, h_inter, h_intra, jitter_ms, seed,
+        );
+        let mut holders = 0;
+        let mut processed_total = 0u64;
+        for id in 0..num_servers {
+            let server = sim
+                .node(id)
+                .as_any()
+                .downcast_ref::<SpykerServer>()
+                .expect("server");
+            if server.has_token() {
+                holders += 1;
+            }
+            prop_assert!(server.age().is_finite() && server.age() >= 0.0);
+            processed_total += server.processed_updates();
+        }
+        prop_assert!(holders <= 1, "token duplicated: {holders} holders");
+        let sent = sim.metrics().counter("updates.sent");
+        prop_assert_eq!(processed_total, sim.metrics().counter("updates.processed"));
+        // Every sent update is processed except the in-flight tail (at most
+        // one per client plus one per busy server).
+        prop_assert!(
+            sent - processed_total <= (num_clients + num_servers) as u64,
+            "lost updates: sent {} processed {}", sent, processed_total
+        );
+    }
+
+    /// Clients never starve: everyone keeps cycling regardless of topology.
+    #[test]
+    fn no_client_starves(
+        num_clients in 4usize..12,
+        num_servers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let sim = run_random_deployment(num_clients, num_servers, 5.0, 50.0, 0, seed);
+        for id in num_servers..num_servers + num_clients {
+            let client = sim
+                .node(id)
+                .as_any()
+                .downcast_ref::<FlClient>()
+                .expect("client");
+            prop_assert!(
+                client.updates_sent() > 5,
+                "client {id} sent only {} updates", client.updates_sent()
+            );
+        }
+    }
+
+    /// Conservation of traffic accounting: total bytes equal the sum of
+    /// the per-kind byte counters.
+    #[test]
+    fn bandwidth_accounting_is_consistent(
+        num_clients in 4usize..12,
+        num_servers in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let sim = run_random_deployment(num_clients, num_servers, 3.0, 40.0, 0, seed);
+        let total = sim.metrics().counter("net.bytes");
+        let cs = sim.metrics().counter("net.bytes.client-server");
+        let ss = sim.metrics().counter("net.bytes.server-server");
+        prop_assert_eq!(total, cs + ss);
+        prop_assert!(cs > 0);
+        prop_assert!(ss > 0, "multi-server deployment exchanged no server traffic");
+    }
+}
