@@ -95,6 +95,7 @@ pub fn fedasync_deployment(
 /// # Panics
 ///
 /// Panics if inputs are inconsistent.
+#[allow(clippy::too_many_arguments)] // deployment spec, mirrors the paper's parameter list
 pub fn hierfavg_deployment(
     net: NetworkConfig,
     seed: u64,

@@ -203,7 +203,11 @@ mod tests {
     #[test]
     fn staler_updates_move_the_model_less() {
         // Directly exercise the weighting: version 10 vs update age 0.
-        let mut fresh = FedAsyncServer::new(vec![1], ParamVec::zeros(1), FedAsyncConfig::paper_defaults());
+        let mut fresh = FedAsyncServer::new(
+            vec![1],
+            ParamVec::zeros(1),
+            FedAsyncConfig::paper_defaults(),
+        );
         fresh.version = 10;
         let tau = (fresh.version as f64 - 0.0) as f32;
         let s_stale = (1.0 + tau).powf(-fresh.cfg.alpha);

@@ -100,7 +100,7 @@ impl FedAvgServer {
             round: 0,
             received: BTreeMap::new(),
             selected: Vec::new(),
-            rng: StdRng::seed_from_u64(seed ^ 0xfed_a_f6_0f_5eed),
+            rng: StdRng::seed_from_u64(seed ^ 0xfeda_f60f_5eed),
         }
     }
 

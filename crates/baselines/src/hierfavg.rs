@@ -224,8 +224,7 @@ impl Node<FlMsg> for CloudServer {
             return;
         }
         env.busy(self.cfg.agg_cost);
-        let items: Vec<(&ParamVec, f64)> =
-            self.received.values().map(|(p, w)| (p, *w)).collect();
+        let items: Vec<(&ParamVec, f64)> = self.received.values().map(|(p, w)| (p, *w)).collect();
         let global = ParamVec::weighted_mean(&items);
         self.received.clear();
         self.round += 1;
@@ -263,7 +262,10 @@ mod tests {
     fn build() -> Simulation<FlMsg> {
         let mut sim = Simulation::new(NetworkConfig::aws(), 1);
         let cfg = HierFavgConfig::paper_defaults().with_client_lr(0.5);
-        sim.add_node(Box::new(CloudServer::new(vec![1, 2], cfg)), Region::Hongkong);
+        sim.add_node(
+            Box::new(CloudServer::new(vec![1, 2], cfg)),
+            Region::Hongkong,
+        );
         sim.add_node(
             Box::new(EdgeServer::new(0, vec![3, 4], ParamVec::zeros(1), cfg)),
             Region::Paris,

@@ -83,8 +83,7 @@ fn bench_des(c: &mut Criterion) {
 
     group.bench_function("ping_pong_10k_events", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(10)), 1);
+            let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(10)), 1);
             sim.add_node(Box::new(Pong { rounds: 10_000 }), Region::Paris);
             sim.add_node(Box::new(Pong { rounds: 10_000 }), Region::Sydney);
             sim.run(SimTime::from_secs(100))
@@ -93,15 +92,24 @@ fn bench_des(c: &mut Criterion) {
 
     group.bench_function("hub_fanout_64_x_100_rounds", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(50)), 1);
+            let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_micros(50)), 1);
             sim.add_node(
-                Box::new(Hub { fanout: 64, rounds: 100, round: 0, acks: 0 }),
+                Box::new(Hub {
+                    fanout: 64,
+                    rounds: 100,
+                    round: 0,
+                    acks: 0,
+                }),
                 Region::Paris,
             );
             for i in 0..64 {
                 sim.add_node(
-                    Box::new(Hub { fanout: 0, rounds: 0, round: 0, acks: 0 }),
+                    Box::new(Hub {
+                        fanout: 0,
+                        rounds: 0,
+                        round: 0,
+                        acks: 0,
+                    }),
                     Region::ALL[i % 4],
                 );
             }

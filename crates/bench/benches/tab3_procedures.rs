@@ -54,8 +54,7 @@ fn bench_procedures(c: &mut Criterion) {
             .map(|i| random_params(MODEL_DIM, 10 + i as u64))
             .collect();
         b.iter(|| {
-            let weighted: Vec<(&ParamVec, f64)> =
-                updates.iter().map(|p| (p, 1.0)).collect();
+            let weighted: Vec<(&ParamVec, f64)> = updates.iter().map(|p| (p, 1.0)).collect();
             ParamVec::weighted_mean(&weighted)
         });
     });
@@ -66,8 +65,7 @@ fn bench_procedures(c: &mut Criterion) {
             .map(|i| random_params(MODEL_DIM, 200 + i as u64))
             .collect();
         b.iter(|| {
-            let weighted: Vec<(&ParamVec, f64)> =
-                models.iter().map(|p| (p, 1.0)).collect();
+            let weighted: Vec<(&ParamVec, f64)> = models.iter().map(|p| (p, 1.0)).collect();
             ParamVec::weighted_mean(&weighted)
         });
     });

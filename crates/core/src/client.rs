@@ -75,7 +75,12 @@ impl Node<FlMsg> for FlClient {
     }
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
-        let FlMsg::ModelToClient { mut params, age, lr } = msg else {
+        let FlMsg::ModelToClient {
+            mut params,
+            age,
+            lr,
+        } = msg
+        else {
             debug_assert!(false, "client received non-model message");
             return;
         };
@@ -131,7 +136,12 @@ mod tests {
             );
         }
         fn on_message(&mut self, env: &mut dyn Env<FlMsg>, _from: NodeId, msg: FlMsg) {
-            if let FlMsg::ClientUpdate { params, age, num_samples } = msg {
+            if let FlMsg::ClientUpdate {
+                params,
+                age,
+                num_samples,
+            } = msg
+            {
                 self.reply = Some((params, age, num_samples));
                 self.reply_time = Some(env.now());
             }
@@ -148,7 +158,11 @@ mod tests {
     fn client_trains_echoes_age_and_charges_delay() {
         let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 0);
         let server = sim.add_node(
-            Box::new(OneShotServer { client: 1, reply: None, reply_time: None }),
+            Box::new(OneShotServer {
+                client: 1,
+                reply: None,
+                reply_time: None,
+            }),
             Region::Paris,
         );
         let trainer = MeanTargetTrainer::new(vec![1.0, 1.0], 13);
@@ -162,7 +176,11 @@ mod tests {
             Region::Paris,
         );
         sim.run(SimTime::from_secs(5));
-        let srv = sim.node(0).as_any().downcast_ref::<OneShotServer>().unwrap();
+        let srv = sim
+            .node(0)
+            .as_any()
+            .downcast_ref::<OneShotServer>()
+            .unwrap();
         let (params, age, n) = srv.reply.as_ref().expect("no update received");
         assert_eq!(*age, 7.0, "age must be echoed back");
         assert_eq!(*n, 13);
@@ -170,7 +188,10 @@ mod tests {
         assert!((params.as_slice()[0] - 0.9375).abs() < 1e-5);
         // Delivery: 10 ms there + 150 ms training + 10 ms back (+ tiny ser).
         let t = srv.reply_time.unwrap();
-        assert!(t >= SimTime::from_millis(170) && t < SimTime::from_millis(172), "got {t}");
+        assert!(
+            t >= SimTime::from_millis(170) && t < SimTime::from_millis(172),
+            "got {t}"
+        );
         assert_eq!(sim.metrics().counter("updates.sent"), 1);
     }
 

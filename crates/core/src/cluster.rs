@@ -55,6 +55,13 @@ pub trait ClusterTrainer: Send {
 #[derive(Debug, Clone)]
 pub struct KCenters {
     centers: Vec<ParamVec>,
+    /// The initial model each center started from, kept so that peer
+    /// centers can be matched by their learned *update* (center − init)
+    /// rather than by raw parameters: random inits have far larger norms
+    /// than early updates, so raw-parameter distances degenerate into
+    /// matching centers by which init they happen to share, regardless of
+    /// which client population each has actually specialised on.
+    inits: Vec<ParamVec>,
     ages: Vec<f64>,
 }
 
@@ -73,7 +80,8 @@ impl KCenters {
         );
         let ages = vec![0.0; inits.len()];
         Self {
-            centers: inits,
+            centers: inits.clone(),
+            inits,
             ages,
         }
     }
@@ -119,14 +127,115 @@ impl KCenters {
         self.ages[i] += age_delta;
     }
 
-    /// Merges a peer center into the nearest local center using Spyker's
-    /// sigmoid age weighting; returns the local index it merged into.
-    pub fn merge_peer(&mut self, peer: &ParamVec, peer_age: f64, phi: f32, eta_a: f32) -> usize {
-        let i = self.nearest(peer);
+    /// Merges a peer server's center into the best-matching local center
+    /// using Spyker's sigmoid age weighting; returns the local index it
+    /// merged into, or `None` if the correspondence was ambiguous and the
+    /// merge deferred.
+    ///
+    /// `peer_init` is the index of the initial model the peer center grew
+    /// from (servers share the same init vector, so the index identifies
+    /// the init on both sides). Matching compares learned *updates*
+    /// (center − init): raw parameters are dominated by the init's random
+    /// fingerprint, which would collapse matching into "same init index"
+    /// even when two servers' populations have specialised the same init
+    /// in opposite ways.
+    ///
+    /// Matching is geometric, so it is only trustworthy once centers have
+    /// differentiated: while every local update is roughly equidistant
+    /// from the peer's (early training, or a peer specialisation no local
+    /// center shares), merging would blend unrelated populations — the
+    /// exact failure mode clustering exists to avoid. The peer must be
+    /// *decisively* closest to one center (`d_best < DECISIVE_RATIO *
+    /// d_second`) to be merged, with one escape hatch: an ambiguous peer
+    /// is still adopted by a *virgin* center — one whose own update is
+    /// tiny next to the peer's — because a center that has not
+    /// specialised has nothing to contaminate, and a server whose local
+    /// clients are stuck flapping between undifferentiated centers can
+    /// only be bootstrapped from a peer that has already separated. The
+    /// merge applies the peer's update in the matched center's own frame.
+    pub fn merge_peer(
+        &mut self,
+        peer: &ParamVec,
+        peer_init: usize,
+        peer_age: f64,
+        phi: f32,
+        eta_a: f32,
+    ) -> Option<usize> {
+        /// Required separation between best and second-best match.
+        const DECISIVE_RATIO: f32 = 0.8;
+        /// A local update this small relative to the peer's marks a
+        /// center as virgin (safe to adopt an ambiguous peer).
+        const VIRGIN_FRAC: f32 = 0.25;
+        debug_assert!(peer_init < self.inits.len(), "peer init out of range");
+        let peer_base = &self.inits[peer_init.min(self.inits.len() - 1)];
+        let delta_norm = |c: &ParamVec, init: &ParamVec| -> f32 {
+            c.as_slice()
+                .iter()
+                .zip(init.as_slice())
+                .map(|(&c, &i)| (c - i) * (c - i))
+                .sum::<f32>()
+                .sqrt()
+        };
+        // d_i = || (center_i − init_i) − (peer − peer_init) ||
+        let dists: Vec<f32> = self
+            .centers
+            .iter()
+            .zip(&self.inits)
+            .map(|(c, init)| {
+                c.as_slice()
+                    .iter()
+                    .zip(init.as_slice())
+                    .zip(peer.as_slice().iter().zip(peer_base.as_slice()))
+                    .map(|((&c, &i), (&p, &pi))| {
+                        let d = (c - i) - (p - pi);
+                        d * d
+                    })
+                    .sum::<f32>()
+                    .sqrt()
+            })
+            .collect();
+        let mut i = (0..dists.len())
+            .min_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite distance"))
+            .expect("at least one center");
+        let second = dists
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &d)| d)
+            .reduce(f32::min);
+        if let Some(second) = second {
+            if dists[i] >= DECISIVE_RATIO * second {
+                let peer_norm = delta_norm(peer, peer_base);
+                let norms: Vec<f32> = self
+                    .centers
+                    .iter()
+                    .zip(&self.inits)
+                    .map(|(c, init)| delta_norm(c, init))
+                    .collect();
+                let j = (0..norms.len())
+                    .min_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("finite norm"))
+                    .expect("at least one center");
+                if norms[j] < VIRGIN_FRAC * peer_norm {
+                    i = j;
+                } else {
+                    return None;
+                }
+            }
+        }
+        // The peer's learned update re-based onto the matched center's
+        // init, so merging never drags the center toward a foreign init.
+        let target = ParamVec::from_vec(
+            peer.as_slice()
+                .iter()
+                .zip(peer_base.as_slice())
+                .zip(self.inits[i].as_slice())
+                .map(|((&p, &pi), &init)| p - pi + init)
+                .collect(),
+        );
         let w = server_agg_weight(phi, self.ages[i], peer_age);
-        self.centers[i].lerp_toward(peer, eta_a * w);
+        self.centers[i].lerp_toward(&target, eta_a * w);
         self.ages[i] = blended_age(eta_a, w, self.ages[i], peer_age);
-        i
+        Some(i)
     }
 }
 
@@ -181,7 +290,12 @@ impl Node<FlMsg> for ClusteredFlClient {
     fn on_start(&mut self, _env: &mut dyn Env<FlMsg>) {}
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
-        let FlMsg::CentersToClient { mut centers, ages, lr } = msg else {
+        let FlMsg::CentersToClient {
+            mut centers,
+            ages,
+            lr,
+        } = msg
+        else {
             debug_assert!(false, "clustered client received {msg:?}");
             return;
         };
@@ -223,6 +337,16 @@ pub struct ClusteredSpykerServer {
     /// The center each local client last chose.
     assignment: Vec<usize>,
     centers: KCenters,
+    /// Periodic snapshot of `centers` offered to clients for scoring and
+    /// training. Offering live centers instead would give every client a
+    /// different, fluctuating view — each reply embeds whichever updates
+    /// happened to land last, so clients chase noise and no coherent
+    /// migration toward a specialising center can form. A snapshot
+    /// refreshed every `sync_period` gives all clients in a window the
+    /// same view, recovering the coherence of synchronous IFCA rounds
+    /// without ever making anyone wait.
+    offer_centers: Vec<ParamVec>,
+    offer_ages: Vec<f64>,
     cfg: SpykerConfig,
     sync_period: SimTime,
     counts: UpdateCounts,
@@ -246,15 +370,13 @@ impl ClusteredSpykerServer {
     ) -> Self {
         assert!(me_idx < server_nodes.len(), "me_idx out of range");
         assert!(sync_period > SimTime::ZERO, "sync_period must be positive");
-        let client_local_idx = clients
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k))
-            .collect();
+        let client_local_idx = clients.iter().enumerate().map(|(k, &id)| (id, k)).collect();
         let counts = UpdateCounts::new(clients.len());
         let client_lr = vec![cfg.decay.eta_init; clients.len()];
         Self {
             assignment: vec![0; clients.len()],
+            offer_centers: inits.clone(),
+            offer_ages: vec![0.0; inits.len()],
             centers: KCenters::new(inits),
             server_nodes,
             me_idx,
@@ -285,15 +407,23 @@ impl ClusteredSpykerServer {
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.server_nodes[self.me_idx];
-        self.server_nodes.iter().copied().filter(move |&id| id != me)
+        self.server_nodes
+            .iter()
+            .copied()
+            .filter(move |&id| id != me)
     }
 
     fn centers_msg(&self, lr: f32) -> FlMsg {
         FlMsg::CentersToClient {
-            centers: self.centers.centers().to_vec(),
-            ages: self.centers.ages().to_vec(),
+            centers: self.offer_centers.clone(),
+            ages: self.offer_ages.clone(),
             lr,
         }
+    }
+
+    fn refresh_offer(&mut self) {
+        self.offer_centers = self.centers.centers().to_vec();
+        self.offer_ages = self.centers.ages().to_vec();
     }
 }
 
@@ -303,9 +433,8 @@ impl Node<FlMsg> for ClusteredSpykerServer {
         for client in self.clients.clone() {
             env.send(client, msg.clone());
         }
-        if self.server_nodes.len() > 1 {
-            env.set_timer(self.sync_period, SYNC_TIMER);
-        }
+        // The timer drives the offer refresh even with a single server.
+        env.set_timer(self.sync_period, SYNC_TIMER);
     }
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
@@ -323,10 +452,7 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 debug_assert!(center < self.centers.k(), "bad center index");
                 env.busy(self.cfg.agg_cost);
                 self.assignment[k] = center;
-                let mut w = self
-                    .cfg
-                    .staleness
-                    .weight(self.centers.ages()[center], age);
+                let mut w = self.cfg.staleness.weight(self.centers.ages()[center], age);
                 if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
                     w *= self.client_lr[k] / self.cfg.decay.eta_init;
                 }
@@ -345,11 +471,21 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 let reply = self.centers_msg(lr);
                 env.send(from, reply);
             }
-            FlMsg::ClusterModel { params, age, .. } => {
+            FlMsg::ClusterModel {
+                params,
+                age,
+                center,
+                ..
+            } => {
                 env.busy(self.cfg.agg_cost);
-                self.centers
-                    .merge_peer(&params, age, self.cfg.phi, self.cfg.eta_a);
-                env.add_counter("server.aggs", 1);
+                let merged =
+                    self.centers
+                        .merge_peer(&params, center, age, self.cfg.phi, self.cfg.eta_a);
+                if merged.is_some() {
+                    env.add_counter("server.aggs", 1);
+                } else {
+                    env.add_counter("cluster.merge_deferred", 1);
+                }
             }
             other => debug_assert!(false, "unexpected message {other:?}"),
         }
@@ -357,21 +493,37 @@ impl Node<FlMsg> for ClusteredSpykerServer {
 
     fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, tag: u64) {
         debug_assert_eq!(tag, SYNC_TIMER);
+        self.refresh_offer();
         let me = self.me_idx;
-        for peer in self.peers().collect::<Vec<_>>() {
-            for (c, center) in self.centers.centers().iter().enumerate() {
-                env.send(
-                    peer,
-                    FlMsg::ClusterModel {
-                        params: center.clone(),
-                        age: self.centers.ages()[c],
-                        center: c,
-                        server_idx: me,
-                    },
-                );
+        if self.server_nodes.len() > 1 {
+            for peer in self.peers().collect::<Vec<_>>() {
+                for (c, center) in self.centers.centers().iter().enumerate() {
+                    env.send(
+                        peer,
+                        FlMsg::ClusterModel {
+                            params: center.clone(),
+                            age: self.centers.ages()[c],
+                            center: c,
+                            server_idx: me,
+                        },
+                    );
+                }
             }
+            env.add_counter("syncs.triggered", 1);
         }
-        env.add_counter("syncs.triggered", 1);
+        env.set_timer(self.sync_period, SYNC_TIMER);
+    }
+
+    fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
+        // State survives the crash but the periodic sync timer died with
+        // the inbox; without re-arming it the server would never gossip or
+        // refresh its offer again. Clients whose update (or its reply) was
+        // discarded are re-poked with the current offer.
+        env.add_counter("server.restarts", 1);
+        let msg = self.centers_msg(self.cfg.decay.eta_init);
+        for client in self.clients.clone() {
+            env.send(client, msg.clone());
+        }
         env.set_timer(self.sync_period, SYNC_TIMER);
     }
 
@@ -438,15 +590,72 @@ mod tests {
     }
 
     #[test]
-    fn merge_peer_picks_the_nearest_center() {
+    fn merge_peer_matches_by_learned_update() {
         let mut kc = KCenters::new(vec![
             ParamVec::from_vec(vec![0.0]),
             ParamVec::from_vec(vec![10.0]),
         ]);
-        let merged_into = kc.merge_peer(&ParamVec::from_vec(vec![9.0]), 50.0, 1.5, 0.6);
-        assert_eq!(merged_into, 1);
-        assert!(kc.center(1).as_slice()[0] < 10.0);
+        // Local center 1 has learned +2; a peer that grew +1.5 from the
+        // same init matches it decisively (center 0 has learned nothing).
+        kc.integrate(1, &ParamVec::from_vec(vec![12.0]), 1.0, 1.0);
+        let merged_into = kc.merge_peer(&ParamVec::from_vec(vec![11.5]), 1, 50.0, 1.5, 0.6);
+        assert_eq!(merged_into, Some(1));
+        assert!(kc.center(1).as_slice()[0] < 12.0);
         assert_eq!(kc.center(0).as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn merge_peer_follows_updates_across_init_indices() {
+        let mut kc = KCenters::new(vec![
+            ParamVec::from_vec(vec![0.0]),
+            ParamVec::from_vec(vec![10.0]),
+        ]);
+        // Local center 1 learned +2, center 0 learned −2. A peer that
+        // learned +2 *from init 0* corresponds to local center 1 (same
+        // population, opposite index assignment on the peer server), and
+        // its update must be re-based onto center 1's init: the merge
+        // target is 10 + 2, not the raw peer parameters 0 + 2.
+        kc.integrate(0, &ParamVec::from_vec(vec![-2.0]), 1.0, 1.0);
+        kc.integrate(1, &ParamVec::from_vec(vec![12.0]), 1.0, 1.0);
+        let before = kc.center(1).as_slice()[0];
+        let merged_into = kc.merge_peer(&ParamVec::from_vec(vec![2.0]), 0, 50.0, 1.5, 0.6);
+        assert_eq!(merged_into, Some(1));
+        assert!(kc.center(1).as_slice()[0] >= before);
+        assert_eq!(kc.center(0).as_slice()[0], -2.0);
+    }
+
+    #[test]
+    fn ambiguous_peer_is_not_merged_into_specialised_centers() {
+        let mut kc = KCenters::new(vec![
+            ParamVec::from_vec(vec![0.0, 0.0]),
+            ParamVec::from_vec(vec![10.0, 0.0]),
+        ]);
+        // Both centers have specialised (deltas (+2, 0) and (−2, 0)); a
+        // peer whose update (0, +2) matches neither is equidistant from
+        // both, so the merge must be deferred with both left untouched.
+        kc.integrate(0, &ParamVec::from_vec(vec![2.0, 0.0]), 1.0, 1.0);
+        kc.integrate(1, &ParamVec::from_vec(vec![8.0, 0.0]), 1.0, 1.0);
+        let peer = ParamVec::from_vec(vec![0.0, 2.0]);
+        assert_eq!(kc.merge_peer(&peer, 0, 50.0, 1.5, 0.6), None);
+        assert_eq!(kc.center(0).as_slice(), &[2.0, 0.0]);
+        assert_eq!(kc.center(1).as_slice(), &[8.0, 0.0]);
+    }
+
+    #[test]
+    fn ambiguous_peer_bootstraps_a_virgin_center() {
+        let mut kc = KCenters::new(vec![
+            ParamVec::from_vec(vec![0.0]),
+            ParamVec::from_vec(vec![10.0]),
+        ]);
+        // Neither center has moved from its init, so the peer's update
+        // (+5 from init 0) is equidistant from both — but a center that
+        // has learned nothing has nothing to contaminate, so the peer is
+        // adopted by a virgin center instead of being deferred forever.
+        let merged = kc.merge_peer(&ParamVec::from_vec(vec![5.0]), 0, 50.0, 1.5, 0.6);
+        assert!(merged.is_some());
+        let i = merged.unwrap();
+        let moved = kc.center(i).as_slice()[0] - kc.inits[i].as_slice()[0];
+        assert!(moved > 0.0, "virgin center did not adopt the peer update");
     }
 
     /// Two contradictory client populations (targets +1 and −1): a single
@@ -535,7 +744,12 @@ mod tests {
             let trainer: Box<dyn ClusterTrainer> =
                 Box::new(MeanTargetClusterTrainer::new(vec![t], 4));
             sim.add_node(
-                Box::new(ClusteredFlClient::new(0, trainer, 1, SimTime::from_millis(100))),
+                Box::new(ClusteredFlClient::new(
+                    0,
+                    trainer,
+                    1,
+                    SimTime::from_millis(100),
+                )),
                 Region::Hongkong,
             );
             let _ = i;
@@ -548,7 +762,11 @@ mod tests {
             .unwrap();
         // Client 0 (target +1) on the +0.9 center, client 1 on the -0.9 one.
         assert_eq!(server.assignment(), &[0, 1]);
-        let c0 = sim.node(1).as_any().downcast_ref::<ClusteredFlClient>().unwrap();
+        let c0 = sim
+            .node(1)
+            .as_any()
+            .downcast_ref::<ClusteredFlClient>()
+            .unwrap();
         assert_eq!(c0.last_choice(), Some(0));
         assert!(c0.updates_sent() > 0);
     }
@@ -573,7 +791,12 @@ mod tests {
             let trainer: Box<dyn ClusterTrainer> =
                 Box::new(MeanTargetClusterTrainer::new(vec![t], 8));
             sim.add_node(
-                Box::new(ClusteredFlClient::new(0, trainer, 1, SimTime::from_millis(150))),
+                Box::new(ClusteredFlClient::new(
+                    0,
+                    trainer,
+                    1,
+                    SimTime::from_millis(150),
+                )),
                 Region::Hongkong,
             );
         }

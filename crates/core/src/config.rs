@@ -5,6 +5,53 @@ use spyker_simnet::SimTime;
 use crate::decay::DecayConfig;
 use crate::staleness::ClientStaleness;
 
+/// Fault-recovery tunables for the self-healing token protocol.
+///
+/// The paper's Alg. 2 assumes reliable FIFO links and ever-alive servers:
+/// lose the token once and no cluster ever synchronises again. With
+/// recovery enabled each server runs three watchdogs:
+///
+/// * **Token watchdog** — fires every `token_timeout * (server_idx + 1)`;
+///   if no synchronisation id (`bid`) has advanced since the last check,
+///   the token is presumed lost and the server regenerates it with a bid
+///   high enough to dominate any stale copy (`on_token` drops tokens whose
+///   bid is below the highest seen, so regeneration is idempotent). The
+///   stagger makes the lowest-indexed live server regenerate first.
+/// * **Exchange timeout** — a token holder that triggered an exchange
+///   normally waits for *every* server's model before forwarding the
+///   token; if a peer crashed that would block forever. After
+///   `exchange_timeout` the holder forwards the token with whatever subset
+///   answered (counted in `sync.degraded`).
+/// * **Client watchdog** — fires every `client_timeout`; any client that
+///   has not delivered an update since the last check is re-sent the
+///   current model, recovering from lost `ModelToClient`/`ClientUpdate`
+///   messages and reviving clients that rejoined after churn.
+///
+/// Age gossip needs no watchdog: it is re-sent on later update triggers by
+/// construction (rate-limited by `SpykerConfig::gossip_backoff`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Base period of the token-loss watchdog; server `i` checks every
+    /// `token_timeout * (i + 1)` so lower-indexed servers win regeneration
+    /// races.
+    pub token_timeout: SimTime,
+    /// How long a token holder waits for peer models before forwarding the
+    /// token with a partial exchange.
+    pub exchange_timeout: SimTime,
+    /// Period of the per-client liveness check.
+    pub client_timeout: SimTime,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            token_timeout: SimTime::from_secs(3),
+            exchange_timeout: SimTime::from_secs(2),
+            client_timeout: SimTime::from_secs(2),
+        }
+    }
+}
+
 /// All tunables of the Spyker protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpykerConfig {
@@ -52,6 +99,12 @@ pub struct SpykerConfig {
     /// full-weight update still adds ~1, so ages remain comparable to the
     /// paper's.
     pub fractional_age: bool,
+    /// Fault recovery (token regeneration, degraded exchanges, client
+    /// liveness probes). `None` — the default — reproduces the paper's
+    /// fault-free protocol exactly: no watchdog timers are armed and no
+    /// extra messages are ever sent, so runs are byte-identical to the
+    /// pre-recovery implementation.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl SpykerConfig {
@@ -76,7 +129,15 @@ impl SpykerConfig {
             gossip_backoff: 5,
             decay_weighted_aggregation: true,
             fractional_age: true,
+            recovery: None,
         }
+    }
+
+    /// Enables fault recovery with the given watchdog timeouts (builder
+    /// style). See [`RecoveryConfig`].
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
+        self
     }
 
     /// Sets the client learning-rate schedule (builder style).

@@ -183,7 +183,11 @@ pub fn add_clients(
     train_delay: &[SimTime],
     epochs: usize,
 ) {
-    assert_eq!(trainers.len(), assignment.len(), "one assignment per trainer");
+    assert_eq!(
+        trainers.len(),
+        assignment.len(),
+        "one assignment per trainer"
+    );
     assert_eq!(trainers.len(), train_delay.len(), "one delay per trainer");
     for (i, trainer) in trainers.into_iter().enumerate() {
         let server = assignment[i];
@@ -205,8 +209,7 @@ mod tests {
                 .with_thresholds(2.0, 50.0),
             trainers: (0..num_clients)
                 .map(|i| {
-                    Box::new(MeanTargetTrainer::new(vec![i as f32], 8))
-                        as Box<dyn LocalTrainer>
+                    Box::new(MeanTargetTrainer::new(vec![i as f32], 8)) as Box<dyn LocalTrainer>
                 })
                 .collect(),
             num_servers,
@@ -218,8 +221,9 @@ mod tests {
     #[test]
     fn even_assignment_is_balanced() {
         let a = even_assignment(10, 4);
-        let counts: Vec<usize> =
-            (0..4).map(|s| a.iter().filter(|&&x| x == s).count()).collect();
+        let counts: Vec<usize> = (0..4)
+            .map(|s| a.iter().filter(|&&x| x == s).count())
+            .collect();
         assert_eq!(counts, vec![3, 3, 2, 2]);
     }
 
@@ -257,19 +261,10 @@ mod tests {
         let assignment = vec![0, 0, 0, 0, 1, 1];
         let mut spec = toy_spec(6, 2);
         spec.config = SpykerConfig::paper_defaults(6, 2).with_thresholds(2.0, 50.0);
-        let mut sim =
-            spyker_deployment_assigned(NetworkConfig::aws(), 2, assignment, spec);
+        let mut sim = spyker_deployment_assigned(NetworkConfig::aws(), 2, assignment, spec);
         sim.run(SimTime::from_secs(5));
-        let s0 = sim
-            .node(0)
-            .as_any()
-            .downcast_ref::<SpykerServer>()
-            .unwrap();
-        let s1 = sim
-            .node(1)
-            .as_any()
-            .downcast_ref::<SpykerServer>()
-            .unwrap();
+        let s0 = sim.node(0).as_any().downcast_ref::<SpykerServer>().unwrap();
+        let s1 = sim.node(1).as_any().downcast_ref::<SpykerServer>().unwrap();
         assert!(s0.processed_updates() > s1.processed_updates());
     }
 

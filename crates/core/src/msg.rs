@@ -120,9 +120,7 @@ impl WireSize for FlMsg {
             FlMsg::ServerModel { params, .. } => params.wire_size() + 24,
             FlMsg::ClusterModel { params, .. } => params.wire_size() + 24,
             FlMsg::CentersToClient { centers, .. } => {
-                centers.iter().map(ParamVec::wire_size).sum::<usize>()
-                    + 8 * centers.len()
-                    + 12
+                centers.iter().map(ParamVec::wire_size).sum::<usize>() + 8 * centers.len() + 12
             }
             FlMsg::ClusterUpdate { params, .. } => params.wire_size() + 24,
             FlMsg::AgeGossip { .. } => 16,

@@ -12,6 +12,21 @@ use crate::params::ParamVec;
 use crate::staleness::{blended_age, server_agg_weight};
 use crate::token::Token;
 
+/// Timer tags encode their kind in the top 8 bits so one `on_timer`
+/// dispatch can serve several watchdogs; the low 56 bits carry a
+/// kind-specific payload (the exchange watchdog stores the `bid` it
+/// guards).
+const TAG_KIND_SHIFT: u32 = 56;
+const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
+const KIND_TOKEN_WATCHDOG: u64 = 1;
+const KIND_EXCHANGE_TIMEOUT: u64 = 2;
+const KIND_CLIENT_WATCHDOG: u64 = 3;
+
+fn tag(kind: u64, payload: u64) -> u64 {
+    debug_assert!(payload <= TAG_PAYLOAD_MASK, "tag payload overflows");
+    (kind << TAG_KIND_SHIFT) | (payload & TAG_PAYLOAD_MASK)
+}
+
 /// One Spyker server.
 ///
 /// A server owns a model and an age, integrates client updates as they
@@ -46,6 +61,18 @@ pub struct SpykerServer {
     last_gossip_at: u64,
     syncs_triggered: u64,
     server_aggs: u64,
+
+    /// Highest synchronisation id this server has observed (its own token,
+    /// received tokens, and peer model broadcasts). Tokens arriving with a
+    /// lower bid are stale copies and are dropped when recovery is on.
+    highest_bid_seen: u64,
+    /// `highest_bid_seen` at the last token-watchdog check; no advance
+    /// between two checks means the token is presumed lost.
+    bid_at_last_watchdog: u64,
+    /// Per-client update counts at the last client-watchdog check.
+    client_watch: Vec<u64>,
+    tokens_regenerated: u64,
+    degraded_syncs: u64,
 }
 
 impl SpykerServer {
@@ -70,19 +97,18 @@ impl SpykerServer {
         assert!(server_idx < server_nodes.len(), "server_idx out of range");
         let n = server_nodes.len();
         let ring_next = server_nodes[(server_idx + 1) % n];
-        let client_local_idx = clients
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k))
-            .collect();
+        let client_local_idx = clients.iter().enumerate().map(|(k, &id)| (id, k)).collect();
         let counts = UpdateCounts::new(clients.len());
         let client_lr = vec![cfg.decay.eta_init; clients.len()];
+        let token = (server_idx == 0).then(|| Token::initial(n));
+        let highest_bid_seen = token.as_ref().map_or(0, |t| t.bid);
+        let client_watch = vec![0; clients.len()];
         Self {
             client_lr,
             server_idx,
             ring_next,
             client_local_idx,
-            token: (server_idx == 0).then(|| Token::initial(n)),
+            token,
             ages: vec![0.0; n],
             server_nodes,
             clients,
@@ -98,6 +124,11 @@ impl SpykerServer {
             last_gossip_at: 0,
             syncs_triggered: 0,
             server_aggs: 0,
+            highest_bid_seen,
+            bid_at_last_watchdog: 0,
+            client_watch,
+            tokens_regenerated: 0,
+            degraded_syncs: 0,
         }
     }
 
@@ -126,6 +157,17 @@ impl SpykerServer {
         self.server_aggs
     }
 
+    /// Number of lost tokens this server has regenerated (recovery only).
+    pub fn tokens_regenerated(&self) -> u64 {
+        self.tokens_regenerated
+    }
+
+    /// Number of exchanges this server forwarded the token for before every
+    /// peer had answered (recovery only).
+    pub fn degraded_syncs(&self) -> u64 {
+        self.degraded_syncs
+    }
+
     /// `true` while this server holds the ring token.
     pub fn has_token(&self) -> bool {
         self.token.is_some()
@@ -138,7 +180,10 @@ impl SpykerServer {
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.server_nodes[self.server_idx];
-        self.server_nodes.iter().copied().filter(move |&id| id != me)
+        self.server_nodes
+            .iter()
+            .copied()
+            .filter(move |&id| id != me)
     }
 
     /// Alg. 1 `Aggregation`: integrate one client update.
@@ -162,10 +207,13 @@ impl SpykerServer {
         if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
             w *= self.client_lr[k] / self.cfg.decay.eta_init;
         }
-        self.params
-            .lerp_toward(&update, self.cfg.server_lr * w);
+        self.params.lerp_toward(&update, self.cfg.server_lr * w);
         // l. 16: the model embodies (a weight's worth of) one more update.
-        self.age += if self.cfg.fractional_age { w.min(1.0) as f64 } else { 1.0 };
+        self.age += if self.cfg.fractional_age {
+            w.min(1.0) as f64
+        } else {
+            1.0
+        };
         self.ages[self.server_idx] = self.age;
         // l. 17–18: update accounting and learning-rate decay.
         let u_k = self.counts.record(k);
@@ -187,16 +235,21 @@ impl SpykerServer {
         self.check_synchronization(env);
     }
 
+    /// Would `checkSynchronization` fire right now (Alg. 2 l. 22)?
+    fn sync_wanted(&self) -> bool {
+        let max = self.ages.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self.ages.iter().cloned().fold(f64::MAX, f64::min);
+        let drift = max - min >= self.cfg.h_inter;
+        let aged = self.age - self.age_prev >= self.cfg.h_intra;
+        drift || aged
+    }
+
     /// Alg. 2 `checkSynchronization`.
     fn check_synchronization(&mut self, env: &mut dyn Env<FlMsg>) {
         if self.server_nodes.len() < 2 {
             return; // a single server has no one to synchronise with
         }
-        let max = self.ages.iter().cloned().fold(f64::MIN, f64::max);
-        let min = self.ages.iter().cloned().fold(f64::MAX, f64::min);
-        let drift = max - min >= self.cfg.h_inter;
-        let aged = self.age - self.age_prev >= self.cfg.h_intra;
-        if !(drift || aged) {
+        if !self.sync_wanted() {
             return;
         }
         match &self.token {
@@ -223,20 +276,28 @@ impl SpykerServer {
                         },
                     );
                 }
+                // Recovery: do not wait forever for crashed peers' models.
+                if let Some(rec) = &self.cfg.recovery {
+                    env.set_timer(rec.exchange_timeout, tag(KIND_EXCHANGE_TIMEOUT, bid));
+                }
             }
             Some(_) => { /* already synchronising under this token */ }
             None => {
                 // l. 29: advertise our age so the holder can trigger.
                 // Rate-limited to one gossip per `gossip_backoff` locally
                 // processed updates (see SpykerConfig::gossip_backoff).
-                if self.processed_updates
-                    >= self.last_gossip_at + self.cfg.gossip_backoff
-                {
+                if self.processed_updates >= self.last_gossip_at + self.cfg.gossip_backoff {
                     self.last_gossip_at = self.processed_updates;
                     let age = self.age;
                     let idx = self.server_idx;
                     for peer in self.peers().collect::<Vec<_>>() {
-                        env.send(peer, FlMsg::AgeGossip { age, server_idx: idx });
+                        env.send(
+                            peer,
+                            FlMsg::AgeGossip {
+                                age,
+                                server_idx: idx,
+                            },
+                        );
                     }
                 }
             }
@@ -251,11 +312,21 @@ impl SpykerServer {
 
     /// Alg. 2 `RcvToken`.
     fn on_token(&mut self, env: &mut dyn Env<FlMsg>, mut token: Token) {
+        // Recovery: after a regeneration the old token may still be in
+        // flight (e.g. it was crossing a healed partition). Any token whose
+        // bid is below the highest id we have witnessed is such a stale
+        // copy; dropping it keeps regeneration idempotent — at most one
+        // token survives per bid range.
+        if self.cfg.recovery.is_some() && token.bid < self.highest_bid_seen {
+            env.add_counter("token.stale_dropped", 1);
+            return;
+        }
         for (local, &carried) in self.ages.iter_mut().zip(&token.ages) {
             *local = local.max(carried);
         }
         // l. 17: stamp a fresh bid for the exchange this holder may trigger.
         token.bid += 1;
+        self.highest_bid_seen = self.highest_bid_seen.max(token.bid);
         self.token = Some(token);
         self.check_synchronization(env);
     }
@@ -269,6 +340,7 @@ impl SpykerServer {
         peer_age: f64,
         bid: u64,
     ) {
+        self.highest_bid_seen = self.highest_bid_seen.max(bid);
         self.ages[peer_idx] = self.ages[peer_idx].max(peer_age);
         // l. 32–35: echo our model once per synchronisation id.
         if !self.did_broadcast.contains(&bid) {
@@ -289,11 +361,10 @@ impl SpykerServer {
                 );
             }
         }
-        // `ServerAgg` (ll. 45–50): sigmoid-weighted merge plus age blend.
+        // `ServerAgg` (ll. 45-50): sigmoid-weighted merge plus age blend.
         env.busy(self.cfg.agg_cost);
         let w = server_agg_weight(self.cfg.phi, self.age, peer_age);
-        self.params
-            .lerp_toward(&peer_params, self.cfg.eta_a * w);
+        self.params.lerp_toward(&peer_params, self.cfg.eta_a * w);
         self.age = blended_age(self.cfg.eta_a, w, self.age, peer_age);
         self.ages[self.server_idx] = self.age;
         self.server_aggs += 1;
@@ -305,13 +376,105 @@ impl SpykerServer {
                 let seen = self.cnt.entry(bid).or_insert(0);
                 *seen += 1;
                 if *seen == self.server_nodes.len() {
-                    let mut token = self.token.take().expect("checked above");
-                    token.ages = self.ages.clone();
-                    env.send(self.ring_next, FlMsg::TokenPass(token));
-                    self.ongoing_synchro = false;
+                    self.forward_token(env);
                 }
             }
         }
+    }
+
+    /// Hands the token to the next server on the ring, carrying the
+    /// freshest age knowledge, and closes the local exchange.
+    fn forward_token(&mut self, env: &mut dyn Env<FlMsg>) {
+        let mut token = self.token.take().expect("must hold the token");
+        token.ages = self.ages.clone();
+        env.send(self.ring_next, FlMsg::TokenPass(token));
+        self.ongoing_synchro = false;
+    }
+
+    /// Arms (or re-arms after a restart) the recovery watchdog timers.
+    /// No-op without a [`crate::config::RecoveryConfig`].
+    fn arm_watchdogs(&mut self, env: &mut dyn Env<FlMsg>) {
+        let Some(rec) = self.cfg.recovery.clone() else {
+            return;
+        };
+        if self.server_nodes.len() > 1 {
+            let stagger = rec.token_timeout * (self.server_idx as u64 + 1);
+            env.set_timer(stagger, tag(KIND_TOKEN_WATCHDOG, 0));
+        }
+        if !self.clients.is_empty() {
+            env.set_timer(rec.client_timeout, tag(KIND_CLIENT_WATCHDOG, 0));
+        }
+    }
+
+    /// Token watchdog: if no synchronisation id advanced since the last
+    /// check, the token is presumed lost and regenerated. The bid jumps by
+    /// the ring size so the regenerated token dominates any stale copy
+    /// regardless of how many in-flight increments that copy still
+    /// receives before being dropped.
+    fn on_token_watchdog(&mut self, env: &mut dyn Env<FlMsg>) {
+        let Some(rec) = self.cfg.recovery.clone() else {
+            return;
+        };
+        let stalled = self.highest_bid_seen == self.bid_at_last_watchdog;
+        self.bid_at_last_watchdog = self.highest_bid_seen;
+        // Regenerate only when the ring is silent AND this server actually
+        // wants to synchronise: an idle ring (thresholds not met anywhere)
+        // legitimately produces no bid traffic, and regenerating then
+        // would breed one idle token per server.
+        if stalled && self.token.is_none() && self.sync_wanted() {
+            let bid = self.highest_bid_seen + self.server_nodes.len() as u64;
+            self.highest_bid_seen = bid;
+            self.token = Some(Token {
+                bid,
+                ages: self.ages.clone(),
+            });
+            self.tokens_regenerated += 1;
+            env.add_counter("token.regenerated", 1);
+            self.check_synchronization(env);
+        }
+        let stagger = rec.token_timeout * (self.server_idx as u64 + 1);
+        env.set_timer(stagger, tag(KIND_TOKEN_WATCHDOG, 0));
+    }
+
+    /// Exchange timeout: the token holder stops waiting for peers that
+    /// never answered `bid` and forwards the token with the subset it has.
+    fn on_exchange_timeout(&mut self, env: &mut dyn Env<FlMsg>, bid: u64) {
+        let still_waiting =
+            self.ongoing_synchro && self.token.as_ref().is_some_and(|t| t.bid == bid);
+        if still_waiting {
+            self.degraded_syncs += 1;
+            env.add_counter("sync.degraded", 1);
+            self.forward_token(env);
+        }
+    }
+
+    /// Client watchdog: any client silent since the last check gets the
+    /// current model again. This recovers from a lost `ModelToClient` or
+    /// `ClientUpdate` (either direction starves the client forever — the
+    /// protocol is purely reactive) and revives clients that crashed and
+    /// rejoined.
+    fn on_client_watchdog(&mut self, env: &mut dyn Env<FlMsg>) {
+        let Some(rec) = self.cfg.recovery.clone() else {
+            return;
+        };
+        let params = self.params.clone();
+        let age = self.age;
+        for (k, &client) in self.clients.clone().iter().enumerate() {
+            let processed = self.counts.counts()[k];
+            if processed == self.client_watch[k] {
+                env.add_counter("client.repoked", 1);
+                env.send(
+                    client,
+                    FlMsg::ModelToClient {
+                        params: params.clone(),
+                        age,
+                        lr: self.client_lr[k],
+                    },
+                );
+            }
+            self.client_watch[k] = self.counts.counts()[k];
+        }
+        env.set_timer(rec.client_timeout, tag(KIND_CLIENT_WATCHDOG, 0));
     }
 }
 
@@ -331,6 +494,7 @@ impl Node<FlMsg> for SpykerServer {
                 },
             );
         }
+        self.arm_watchdogs(env);
     }
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
@@ -352,6 +516,50 @@ impl Node<FlMsg> for SpykerServer {
         }
     }
 
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, tag: u64) {
+        match tag >> TAG_KIND_SHIFT {
+            KIND_TOKEN_WATCHDOG => self.on_token_watchdog(env),
+            KIND_EXCHANGE_TIMEOUT => {
+                self.on_exchange_timeout(env, tag & TAG_PAYLOAD_MASK);
+            }
+            KIND_CLIENT_WATCHDOG => self.on_client_watchdog(env),
+            _ => debug_assert!(false, "unexpected timer tag {tag:#x}"),
+        }
+    }
+
+    fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
+        // The node keeps its model and ages but every armed timer fired
+        // into the void while it was down: re-arm the watchdogs and poke
+        // the clients (whatever was in flight to or from them is lost).
+        // A pre-crash exchange can no longer complete the normal way — the
+        // peers' models were discarded with the inbox — so close it and
+        // let the token watchdogs recover the ring.
+        self.ongoing_synchro = false;
+        // If we still hold the token, re-stamp it: peers already broadcast
+        // under its old bid and would ignore a re-triggered exchange.
+        if self.token.is_some() {
+            let bid = self.highest_bid_seen + self.server_nodes.len() as u64;
+            self.highest_bid_seen = bid;
+            if let Some(t) = &mut self.token {
+                t.bid = bid;
+            }
+        }
+        env.add_counter("server.restarts", 1);
+        let params = self.params.clone();
+        let age = self.age;
+        for (k, &client) in self.clients.clone().iter().enumerate() {
+            env.send(
+                client,
+                FlMsg::ModelToClient {
+                    params: params.clone(),
+                    age,
+                    lr: self.client_lr[k],
+                },
+            );
+        }
+        self.arm_watchdogs(env);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -365,8 +573,9 @@ impl Node<FlMsg> for SpykerServer {
 mod tests {
     use super::*;
     use crate::client::FlClient;
+    use crate::config::RecoveryConfig;
     use crate::training::MeanTargetTrainer;
-    use spyker_simnet::{NetworkConfig, Region, SimTime, Simulation};
+    use spyker_simnet::{FaultPlan, NetworkConfig, Region, SimTime, Simulation};
 
     /// Two servers, two clients each; client targets average to 1.5.
     fn build_two_server_sim(cfg: SpykerConfig) -> Simulation<FlMsg> {
@@ -384,13 +593,7 @@ mod tests {
             ParamVec::zeros(2),
             cfg.clone(),
         );
-        let s1 = SpykerServer::new(
-            1,
-            server_nodes,
-            vec![4, 5],
-            ParamVec::zeros(2),
-            cfg,
-        );
+        let s1 = SpykerServer::new(1, server_nodes, vec![4, 5], ParamVec::zeros(2), cfg);
         sim.add_node(Box::new(s0), Region::Paris);
         sim.add_node(Box::new(s1), Region::Sydney);
         for (i, &t) in targets.iter().enumerate() {
@@ -409,8 +612,11 @@ mod tests {
         sim
     }
 
-    fn server<'a>(sim: &'a Simulation<FlMsg>, id: usize) -> &'a SpykerServer {
-        sim.node(id).as_any().downcast_ref::<SpykerServer>().unwrap()
+    fn server(sim: &Simulation<FlMsg>, id: usize) -> &SpykerServer {
+        sim.node(id)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .unwrap()
     }
 
     fn tight_cfg() -> SpykerConfig {
@@ -446,8 +652,7 @@ mod tests {
             (v1 - v0, sim.metrics().counter("syncs.triggered"))
         };
         // Frequent sync: trigger every ~5 own updates or 1.0 age drift.
-        let (gap_sync, syncs) =
-            gap(SpykerConfig::paper_defaults(4, 2).with_thresholds(1.0, 2.0));
+        let (gap_sync, syncs) = gap(SpykerConfig::paper_defaults(4, 2).with_thresholds(1.0, 2.0));
         let (gap_none, no_syncs) =
             gap(SpykerConfig::paper_defaults(4, 2).with_thresholds(1e12, 1e12));
         assert!(syncs > 0, "no synchronisation ever triggered");
@@ -504,13 +709,169 @@ mod tests {
         for i in 0..2 {
             let trainer = MeanTargetTrainer::new(vec![i as f32], 5);
             sim.add_node(
-                Box::new(FlClient::new(0, Box::new(trainer), 1, SimTime::from_millis(100))),
+                Box::new(FlClient::new(
+                    0,
+                    Box::new(trainer),
+                    1,
+                    SimTime::from_millis(100),
+                )),
                 Region::Paris,
             );
         }
         sim.run(SimTime::from_secs(5));
         assert_eq!(sim.metrics().counter("syncs.triggered"), 0);
         assert!(server(&sim, 0).processed_updates() > 0);
+    }
+
+    fn build_faulty_sim(cfg: SpykerConfig, plan: FaultPlan) -> Simulation<FlMsg> {
+        // Same deployment as build_two_server_sim, but with faults.
+        let mut sim = Simulation::new(NetworkConfig::aws(), 3).with_faults(plan);
+        let server_nodes = vec![0, 1];
+        let targets = [0.0f32, 1.0, 2.0, 3.0];
+        let s0 = SpykerServer::new(
+            0,
+            server_nodes.clone(),
+            vec![2, 3],
+            ParamVec::zeros(2),
+            cfg.clone(),
+        );
+        let s1 = SpykerServer::new(1, server_nodes, vec![4, 5], ParamVec::zeros(2), cfg);
+        sim.add_node(Box::new(s0), Region::Paris);
+        sim.add_node(Box::new(s1), Region::Sydney);
+        for (i, &t) in targets.iter().enumerate() {
+            let region = if i < 2 { Region::Paris } else { Region::Sydney };
+            let trainer = MeanTargetTrainer::new(vec![t, t], 10);
+            sim.add_node(
+                Box::new(FlClient::new(
+                    i / 2,
+                    Box::new(trainer),
+                    1,
+                    SimTime::from_millis(150),
+                )),
+                region,
+            );
+        }
+        sim
+    }
+
+    fn recovery_cfg() -> SpykerConfig {
+        tight_cfg().with_recovery(RecoveryConfig {
+            token_timeout: SimTime::from_secs(2),
+            exchange_timeout: SimTime::from_secs(1),
+            client_timeout: SimTime::from_secs(1),
+        })
+    }
+
+    #[test]
+    fn recovery_disabled_is_byte_identical_to_seed_behaviour() {
+        // `recovery: None` must not arm a single timer or send one extra
+        // byte: the whole run is indistinguishable from the pre-recovery
+        // implementation.
+        let run = |cfg: SpykerConfig| {
+            let mut sim = build_two_server_sim(cfg);
+            let report = sim.run(SimTime::from_secs(10));
+            (
+                report.events_processed,
+                sim.metrics().counter("net.bytes"),
+                sim.metrics().counter("net.messages"),
+            )
+        };
+        let baseline = run(tight_cfg());
+        assert_eq!(baseline, run(tight_cfg()));
+        // And with recovery on, watchdogs do run (events differ).
+        assert_ne!(baseline, run(recovery_cfg()));
+    }
+
+    #[test]
+    fn dropped_token_is_regenerated_and_syncs_resume() {
+        // Kill the first token pass on the ring (0 -> 1). Without recovery
+        // synchronisation stops forever; with recovery the watchdog on the
+        // lowest-indexed server regenerates the token and syncs continue.
+        let run = |cfg: SpykerConfig| {
+            // Drop *every* TokenPass 0 -> 1 for the first 12 s by cutting
+            // the window; client-server traffic shares no link with it
+            // (servers 0/1, clients 2..6 — the 0 -> 1 link carries only
+            // server-server traffic).
+            let plan =
+                FaultPlan::none().drop_link_window(0, 1, SimTime::ZERO, SimTime::from_secs(12));
+            let mut sim = build_faulty_sim(cfg, plan);
+            sim.run(SimTime::from_secs(40));
+            (
+                sim.metrics().counter("syncs.triggered"),
+                sim.metrics().counter("token.regenerated"),
+                server(&sim, 0).syncs_triggered() + server(&sim, 1).syncs_triggered(),
+            )
+        };
+        let (syncs_without, regen_without, _) = run(tight_cfg());
+        let (syncs_with, regen_with, per_server) = run(recovery_cfg());
+        assert_eq!(regen_without, 0);
+        assert!(regen_with > 0, "watchdog never regenerated the token");
+        assert!(
+            syncs_with > syncs_without,
+            "recovery should out-sync the deadlocked ring: {syncs_with} vs {syncs_without}"
+        );
+        assert!(per_server > 0);
+    }
+
+    #[test]
+    fn crashed_peer_degrades_the_exchange_instead_of_blocking() {
+        // Server 1 dies at t=5 s and never comes back. The token holder
+        // must stop waiting for its model and keep the ring (and its own
+        // clients) alive.
+        let plan = FaultPlan::none().crash(1, SimTime::from_secs(5), None);
+        let mut sim = build_faulty_sim(recovery_cfg(), plan);
+        sim.run(SimTime::from_secs(40));
+        assert_eq!(sim.metrics().counter("fault.crashes"), 1);
+        let s0 = server(&sim, 0);
+        assert!(
+            sim.metrics().counter("sync.degraded") > 0,
+            "holder never timed out on the dead peer"
+        );
+        // Server 0 keeps processing its clients all along.
+        assert!(s0.processed_updates() > 100, "survivor stalled");
+    }
+
+    #[test]
+    fn client_watchdog_revives_a_churned_client() {
+        // Client 2 (server 0's first client) leaves at 2 s and rejoins at
+        // 6 s. Its in-flight round is lost either way; the server-side
+        // liveness probe must hand it a fresh model after it rejoins.
+        let plan = FaultPlan::none().churn(2, SimTime::from_secs(2), SimTime::from_secs(6));
+        let run = |cfg: SpykerConfig| {
+            let mut sim = build_faulty_sim(cfg, plan.clone());
+            sim.run(SimTime::from_secs(20));
+            let s0 = server(&sim, 0);
+            s0.update_counts()[0]
+        };
+        let updates_without_recovery = run(tight_cfg());
+        let updates_with_recovery = run(recovery_cfg());
+        // Without recovery the client freezes at its pre-churn count
+        // (~13 rounds in 2 s); with the watchdog it works on after 6 s.
+        assert!(
+            updates_with_recovery > updates_without_recovery + 10,
+            "churned client was not revived: {updates_with_recovery} vs {updates_without_recovery}"
+        );
+    }
+
+    #[test]
+    fn restarted_server_rejoins_the_ring() {
+        // Server 1 crashes at 5 s and restarts at 10 s with its state.
+        let plan = FaultPlan::none().crash(1, SimTime::from_secs(5), Some(SimTime::from_secs(10)));
+        let mut sim = build_faulty_sim(recovery_cfg(), plan);
+        sim.run(SimTime::from_secs(40));
+        assert_eq!(sim.metrics().counter("fault.restarts"), 1);
+        assert_eq!(sim.metrics().counter("server.restarts"), 1);
+        let s1 = server(&sim, 1);
+        // It processes client updates again after the restart: well beyond
+        // what ~5 s of pre-crash work can account for (~2 clients * 5 s /
+        // 0.45 s round trip ≈ 22).
+        assert!(
+            s1.processed_updates() > 60,
+            "server 1 never recovered: {}",
+            s1.processed_updates()
+        );
+        // And synchronisation involves both servers again.
+        assert!(s1.syncs_triggered() + s1.server_aggs() > 0);
     }
 
     #[test]
@@ -538,7 +899,10 @@ mod tests {
         sim.run(SimTime::from_secs(10));
         let srv = server(&sim, 0);
         let counts = srv.update_counts();
-        assert!(counts[0] > 10 * counts[1], "fast client not fast: {counts:?}");
+        assert!(
+            counts[0] > 10 * counts[1],
+            "fast client not fast: {counts:?}"
+        );
         // Fast client's next lr must be decayed to the floor by now.
         let lr = srv.cfg.decay.decay(counts[0], srv.counts.mean());
         assert!(lr < 0.01, "expected decayed lr, got {lr}");

@@ -66,11 +66,7 @@ impl SyncSpykerServer {
         assert!(!server_nodes.is_empty(), "need at least one server");
         assert!(server_idx < server_nodes.len(), "server_idx out of range");
         assert!(sync_period > SimTime::ZERO, "sync_period must be positive");
-        let client_local_idx = clients
-            .iter()
-            .enumerate()
-            .map(|(k, &id)| (id, k))
-            .collect();
+        let client_local_idx = clients.iter().enumerate().map(|(k, &id)| (id, k)).collect();
         let counts = UpdateCounts::new(clients.len());
         let client_lr = vec![cfg.decay.eta_init; clients.len()];
         Self {
@@ -115,7 +111,10 @@ impl SyncSpykerServer {
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.server_nodes[self.server_idx];
-        self.server_nodes.iter().copied().filter(move |&id| id != me)
+        self.server_nodes
+            .iter()
+            .copied()
+            .filter(move |&id| id != me)
     }
 
     fn process_client_update(
@@ -135,7 +134,11 @@ impl SyncSpykerServer {
             w *= self.client_lr[k] / self.cfg.decay.eta_init;
         }
         self.params.lerp_toward(&update, self.cfg.server_lr * w);
-        self.age += if self.cfg.fractional_age { w.min(1.0) as f64 } else { 1.0 };
+        self.age += if self.cfg.fractional_age {
+            w.min(1.0) as f64
+        } else {
+            1.0
+        };
         let u_k = self.counts.record(k);
         let lr = self.cfg.decay.decay(u_k, self.counts.mean());
         self.client_lr[k] = lr;
@@ -190,10 +193,8 @@ impl SyncSpykerServer {
         // servers hold the same model.
         let mut ordered: Vec<(usize, (ParamVec, f64))> = models.into_iter().collect();
         ordered.sort_by_key(|(idx, _)| *idx);
-        let weighted: Vec<(&ParamVec, f64)> = ordered
-            .iter()
-            .map(|(_, (p, age))| (p, age + 1.0))
-            .collect();
+        let weighted: Vec<(&ParamVec, f64)> =
+            ordered.iter().map(|(_, (p, age))| (p, age + 1.0)).collect();
         env.busy(self.cfg.agg_cost * (n as u64));
         self.params = ParamVec::weighted_mean(&weighted);
         self.age = ordered
@@ -311,7 +312,7 @@ mod tests {
         sim
     }
 
-    fn server<'a>(sim: &'a Simulation<FlMsg>, id: usize) -> &'a SyncSpykerServer {
+    fn server(sim: &Simulation<FlMsg>, id: usize) -> &SyncSpykerServer {
         sim.node(id)
             .as_any()
             .downcast_ref::<SyncSpykerServer>()
@@ -329,11 +330,17 @@ mod tests {
         let mut vals = Vec::new();
         for id in 0..2 {
             let s = server(&sim, id);
-            assert!(s.rounds_completed() > 5, "server {id} completed too few rounds");
+            assert!(
+                s.rounds_completed() > 5,
+                "server {id} completed too few rounds"
+            );
             vals.push(s.params().as_slice()[0]);
         }
         let mid = (vals[0] + vals[1]) / 2.0;
-        assert!((mid - 1.5).abs() < 0.3, "midpoint drifted: {mid} ({vals:?})");
+        assert!(
+            (mid - 1.5).abs() < 0.3,
+            "midpoint drifted: {mid} ({vals:?})"
+        );
         assert!(vals.iter().all(|v| *v > 0.5 && *v < 2.5), "{vals:?}");
     }
 

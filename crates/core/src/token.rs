@@ -30,11 +30,14 @@ impl Token {
 
     /// Merges fresher age knowledge into the token (entry-wise max).
     ///
-    /// # Panics
-    ///
-    /// Panics if the lengths differ.
+    /// A length mismatch means the token is malformed or from a stale
+    /// deployment view; with fault injection such a token can genuinely
+    /// reach a server, and aborting the server over it would turn one bad
+    /// message into a crash. The merge therefore truncates to the shorter
+    /// of the two vectors (extra local entries keep their value, extra
+    /// peer entries are ignored) and only debug builds flag the mismatch.
     pub fn merge_ages(&mut self, ages: &[f64]) {
-        assert_eq!(self.ages.len(), ages.len(), "server count mismatch");
+        debug_assert_eq!(self.ages.len(), ages.len(), "server count mismatch");
         for (t, &a) in self.ages.iter_mut().zip(ages) {
             *t = t.max(a);
         }
@@ -73,9 +76,25 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "server count mismatch")]
-    fn merge_rejects_length_mismatch() {
+    fn merge_flags_length_mismatch_in_debug() {
         let mut t = Token::initial(2);
         t.merge_ages(&[1.0]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn merge_truncates_gracefully_in_release() {
+        // A malformed token must not abort a server: the overlap merges,
+        // the rest is left alone.
+        let mut t = Token {
+            bid: 1,
+            ages: vec![1.0, 5.0],
+        };
+        t.merge_ages(&[3.0]);
+        assert_eq!(t.ages, vec![3.0, 5.0]);
+        t.merge_ages(&[0.0, 9.0, 7.0]);
+        assert_eq!(t.ages, vec![3.0, 9.0]);
     }
 }

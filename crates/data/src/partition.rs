@@ -28,7 +28,10 @@ use rand::SeedableRng;
 /// ```
 pub fn iid_partition(n_samples: usize, n_clients: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(n_clients > 0, "need at least one client");
-    assert!(n_samples >= n_clients, "need at least one sample per client");
+    assert!(
+        n_samples >= n_clients,
+        "need at least one sample per client"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let mut indices: Vec<usize> = (0..n_samples).collect();
     indices.shuffle(&mut rng);
@@ -64,9 +67,7 @@ pub fn label_partition(
     assert!(n_clients > 0, "need at least one client");
     assert!(labels_per_client > 0, "need at least one label per client");
     let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
-    let mut present: Vec<usize> = (0..num_classes)
-        .filter(|&c| labels.contains(&c))
-        .collect();
+    let mut present: Vec<usize> = (0..num_classes).filter(|&c| labels.contains(&c)).collect();
     assert!(
         labels_per_client <= present.len(),
         "labels_per_client {} exceeds {} distinct labels",
@@ -177,11 +178,7 @@ mod tests {
     fn label_partition_covers_all_labels_collectively() {
         let labels = labels_10_classes(1000);
         let parts = label_partition(&labels, 10, 2, 3);
-        let covered: HashSet<usize> = parts
-            .iter()
-            .flatten()
-            .map(|&i| labels[i])
-            .collect();
+        let covered: HashSet<usize> = parts.iter().flatten().map(|&i| labels[i]).collect();
         assert_eq!(covered.len(), 10, "every label should be held by someone");
     }
 

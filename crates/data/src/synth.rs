@@ -230,7 +230,10 @@ impl SynthText {
     /// Panics if `vocab` is 0 or exceeds 256, `branching` is 0, or `order`
     /// is not 1 or 2.
     pub fn generate(spec: &SynthTextSpec, seed: u64) -> Self {
-        assert!(spec.vocab > 0 && spec.vocab <= 256, "vocab must be in 1..=256");
+        assert!(
+            spec.vocab > 0 && spec.vocab <= 256,
+            "vocab must be in 1..=256"
+        );
         assert!(spec.branching > 0, "branching must be positive");
         assert!(spec.order == 1 || spec.order == 2, "order must be 1 or 2");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xe703_7ed1_a0b4_28db);
@@ -351,9 +354,7 @@ mod tests {
         // Task difficulty is the noise-to-separation ratio.
         let mnist = SynthImagesSpec::mnist_like_scaled(100);
         let cifar = SynthImagesSpec::cifar_like_scaled(100);
-        assert!(
-            cifar.noise / cifar.prototype_scale > mnist.noise / mnist.prototype_scale
-        );
+        assert!(cifar.noise / cifar.prototype_scale > mnist.noise / mnist.prototype_scale);
     }
 
     #[test]

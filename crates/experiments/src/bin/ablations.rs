@@ -1,5 +1,7 @@
 //! Design-choice ablations beyond the paper: φ, η_a, thresholds, staleness.
-use spyker_experiments::suite::{ablate_eta_a, ablate_phi, ablate_staleness, ablate_thresholds, Scale};
+use spyker_experiments::suite::{
+    ablate_eta_a, ablate_phi, ablate_staleness, ablate_thresholds, Scale,
+};
 fn main() {
     let scale = Scale::from_env();
     ablate_phi(&scale);

@@ -17,7 +17,7 @@ use spyker_core::params::ParamVec;
 use spyker_core::server::SpykerServer;
 use spyker_core::sync_spyker::SyncSpykerServer;
 use spyker_core::training::MetricKind;
-use spyker_simnet::{Metrics, NetworkConfig, Node, SimTime, Simulation};
+use spyker_simnet::{FaultPlan, Metrics, NetworkConfig, Node, SimTime, Simulation};
 
 use crate::scenario::Scenario;
 
@@ -86,6 +86,10 @@ pub struct RunOptions {
     /// Full Spyker config override (ablations); `None` = paper defaults
     /// scaled to the scenario's learning rate.
     pub spyker_config: Option<SpykerConfig>,
+    /// Fault-injection plan applied to the simulation (message loss,
+    /// partitions, crashes); [`FaultPlan::none`] by default, which is
+    /// byte-identical to running without a plan.
+    pub faults: FaultPlan,
 }
 
 impl RunOptions {
@@ -100,6 +104,7 @@ impl RunOptions {
             sync_period: SimTime::from_secs(1),
             assignment: None,
             spyker_config: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -118,6 +123,18 @@ impl RunOptions {
     /// Sets the network (builder style).
     pub fn with_net(mut self, net: NetworkConfig) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Sets the fault-injection plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the full Spyker configuration (builder style).
+    pub fn with_spyker_config(mut self, config: SpykerConfig) -> Self {
+        self.spyker_config = Some(config);
         self
     }
 }
@@ -266,16 +283,12 @@ pub fn default_spyker_config(scenario: &Scenario) -> SpykerConfig {
         .with_client_epochs(scenario.client_epochs)
 }
 
-fn build_simulation(
-    alg: Algorithm,
-    scenario: &Scenario,
-    opts: &RunOptions,
-) -> Simulation<FlMsg> {
+fn build_simulation(alg: Algorithm, scenario: &Scenario, opts: &RunOptions) -> Simulation<FlMsg> {
     let trainers = scenario.trainers();
     let delays = scenario.delays().to_vec();
     let init = scenario.init_params();
     let seed = scenario.seed;
-    match alg {
+    let sim = match alg {
         Algorithm::FedAvg => fedavg_deployment(
             opts.net.clone(),
             seed,
@@ -344,7 +357,8 @@ fn build_simulation(
                 },
             )
         }
-    }
+    };
+    sim.with_faults(opts.faults.clone())
 }
 
 /// Runs `alg` on `scenario` and returns the recorded result.
@@ -400,9 +414,7 @@ pub fn run_algorithm(alg: Algorithm, scenario: &Scenario, opts: &RunOptions) -> 
             loss,
         });
         match stop_at {
-            Some(target) if metric_reached(metric_kind, metric, target) => {
-                ControlFlow::Break(())
-            }
+            Some(target) if metric_reached(metric_kind, metric, target) => ControlFlow::Break(()),
             _ => ControlFlow::Continue(()),
         }
     });
@@ -446,10 +458,7 @@ mod tests {
         let scenario = Scenario::mnist(12, 4, 7);
         for alg in Algorithm::ALL {
             let result = run_algorithm(alg, &scenario, &quick_opts());
-            assert!(
-                !result.samples.is_empty(),
-                "{alg}: no samples recorded"
-            );
+            assert!(!result.samples.is_empty(), "{alg}: no samples recorded");
             let first = result.samples.first().unwrap().metric;
             let best = result.best_metric().unwrap();
             assert!(

@@ -159,8 +159,8 @@ impl Scenario {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
         let delays: Vec<SimTime> = (0..n_clients)
             .map(|_| {
-                let ms = sample_normal(delay_mean_ms as f32, delay_std_ms as f32, &mut rng)
-                    .max(1.0) as f64;
+                let ms = sample_normal(delay_mean_ms as f32, delay_std_ms as f32, &mut rng).max(1.0)
+                    as f64;
                 SimTime::from_millis_f64(ms)
             })
             .collect();
@@ -194,14 +194,12 @@ impl Scenario {
                         .into_iter()
                         .map(|idx| images.train.subset(&idx))
                         .collect(),
-                    None => spyker_data::partition::iid_partition(
-                        images.train.len(),
-                        n_clients,
-                        seed,
-                    )
-                    .into_iter()
-                    .map(|idx| images.train.subset(&idx))
-                    .collect(),
+                    None => {
+                        spyker_data::partition::iid_partition(images.train.len(), n_clients, seed)
+                            .into_iter()
+                            .map(|idx| images.train.subset(&idx))
+                            .collect()
+                    }
                 };
                 scenario.init_params =
                     ParamVec::from_vec(scenario.fresh_dense_model().params_vec());
@@ -411,12 +409,7 @@ mod tests {
     #[test]
     fn delays_follow_the_configured_gaussian() {
         let s = Scenario::mnist(200, 4, 9);
-        let mean_ms: f64 = s
-            .delays()
-            .iter()
-            .map(|d| d.as_millis_f64())
-            .sum::<f64>()
-            / 200.0;
+        let mean_ms: f64 = s.delays().iter().map(|d| d.as_millis_f64()).sum::<f64>() / 200.0;
         assert!((mean_ms - 150.0).abs() < 3.0, "mean {mean_ms}");
     }
 

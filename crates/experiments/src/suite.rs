@@ -12,7 +12,9 @@ use spyker_simnet::net::AWS_LATENCY_MS;
 use spyker_simnet::{NetworkConfig, SimTime};
 use spyker_tensor::sample_normal;
 
-use crate::report::{fmt_count, fmt_ratio, fmt_time, kde, results_dir, write_series_csv, write_text, Table};
+use crate::report::{
+    fmt_count, fmt_ratio, fmt_time, kde, results_dir, write_series_csv, write_text, Table,
+};
 use crate::runner::{default_spyker_config, run_algorithm, Algorithm, RunOptions, RunResult};
 use crate::scenario::{Scenario, TaskKind};
 
@@ -75,11 +77,17 @@ fn standard_opts(scale: &Scale) -> RunOptions {
 /// geo-distributed experiment.
 pub fn tab4_latency() -> String {
     let regions = ["Hongkong", "Paris", "Sydney", "California"];
-    let mut table = Table::new(&["from\\to (ms)", regions[0], regions[1], regions[2], regions[3]]);
+    let mut table = Table::new(&[
+        "from\\to (ms)",
+        regions[0],
+        regions[1],
+        regions[2],
+        regions[3],
+    ]);
     for (i, name) in regions.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for j in 0..4 {
-            row.push(format!("{:.2}", AWS_LATENCY_MS[i][j]));
+        for lat in &AWS_LATENCY_MS[i] {
+            row.push(format!("{lat:.2}"));
         }
         table.row(&row);
     }
@@ -217,7 +225,15 @@ pub fn tab5_scalability(scale: &Scale) -> Vec<(Algorithm, Vec<Option<f64>>)> {
 ///
 /// Returns `[(label, fedasync_t90, spyker_t90, fedasync_t95, spyker_t95)]`.
 #[allow(clippy::type_complexity)]
-pub fn tab6_latency(scale: &Scale) -> Vec<(String, Option<SimTime>, Option<SimTime>, Option<SimTime>, Option<SimTime>)> {
+pub fn tab6_latency(
+    scale: &Scale,
+) -> Vec<(
+    String,
+    Option<SimTime>,
+    Option<SimTime>,
+    Option<SimTime>,
+    Option<SimTime>,
+)> {
     let t_lo = scale.target_accuracy;
     let t_hi = (scale.target_accuracy + 0.05).min(0.99);
     let scenario = Scenario::mnist(scale.clients, scale.servers, scale.seed);
@@ -226,15 +242,21 @@ pub fn tab6_latency(scale: &Scale) -> Vec<(String, Option<SimTime>, Option<SimTi
     // mean. What remains is resource heterogeneity and the single-server
     // processing bottleneck — the effects §5.3 isolates.
     let flat = SimTime::from_micros(
-        (AWS_LATENCY_MS[0][0] + AWS_LATENCY_MS[1][1] + AWS_LATENCY_MS[2][2]
-            + AWS_LATENCY_MS[3][3]) as u64 * 250,
+        (AWS_LATENCY_MS[0][0] + AWS_LATENCY_MS[1][1] + AWS_LATENCY_MS[2][2] + AWS_LATENCY_MS[3][3])
+            as u64
+            * 250,
     );
     let nets = [
         ("Lat.".to_string(), NetworkConfig::aws()),
         ("No lat.".to_string(), NetworkConfig::uniform_all(flat)),
     ];
     let mut rows = Vec::new();
-    let mut table = Table::new(&["network", "method", &format!("time {:.0}%", t_lo * 100.0), &format!("time {:.0}%", t_hi * 100.0)]);
+    let mut table = Table::new(&[
+        "network",
+        "method",
+        &format!("time {:.0}%", t_lo * 100.0),
+        &format!("time {:.0}%", t_hi * 100.0),
+    ]);
     for (label, net) in nets {
         let opts = standard_opts(scale)
             .with_net(net)
@@ -244,8 +266,18 @@ pub fn tab6_latency(scale: &Scale) -> Vec<(String, Option<SimTime>, Option<SimTi
         let sp = run_algorithm(Algorithm::Spyker, &scenario, &opts);
         let (fa90, fa95) = (fa.time_to_target(t_lo), fa.time_to_target(t_hi));
         let (sp90, sp95) = (sp.time_to_target(t_lo), sp.time_to_target(t_hi));
-        table.row(&[label.clone(), "FedAsync".into(), fmt_time(fa90), fmt_time(fa95)]);
-        table.row(&[label.clone(), "Spyker".into(), fmt_time(sp90), fmt_time(sp95)]);
+        table.row(&[
+            label.clone(),
+            "FedAsync".into(),
+            fmt_time(fa90),
+            fmt_time(fa95),
+        ]);
+        table.row(&[
+            label.clone(),
+            "Spyker".into(),
+            fmt_time(sp90),
+            fmt_time(sp95),
+        ]);
         let improvement = |a: Option<SimTime>, b: Option<SimTime>| match (a, b) {
             (Some(a), Some(b)) if a.as_micros() > 0 => {
                 format!("{:+.0}%", (b.as_secs_f64() / a.as_secs_f64() - 1.0) * 100.0)
@@ -260,7 +292,10 @@ pub fn tab6_latency(scale: &Scale) -> Vec<(String, Option<SimTime>, Option<SimTi
         ]);
         rows.push((label, fa90, sp90, fa95, sp95));
     }
-    let out = format!("# Tab. 6 — time to target accuracy, FedAsync vs Spyker\n{}", table.render());
+    let out = format!(
+        "# Tab. 6 — time to target accuracy, FedAsync vs Spyker\n{}",
+        table.render()
+    );
     println!("{out}");
     write_text(&results_dir().join("tab6_latency.txt"), &out);
     rows
@@ -304,7 +339,11 @@ pub fn fig9_queue(scale: &Scale) -> (RunResult, RunResult) {
     let path = write_text(&results_dir().join("fig9_queue.csv"), &csv);
     let mut table = Table::new(&["algorithm", "max queue", "mean queue"]);
     table.row(&["Spyker".into(), format!("{smax:.0}"), format!("{smean:.2}")]);
-    table.row(&["FedAsync".into(), format!("{fmax:.0}"), format!("{fmean:.2}")]);
+    table.row(&[
+        "FedAsync".into(),
+        format!("{fmax:.0}"),
+        format!("{fmean:.2}"),
+    ]);
     let out = format!(
         "# Fig. 9 — update queue at servers ({n} clients)\n{}series: {}\n",
         table.render(),
@@ -464,7 +503,12 @@ pub fn fig12_bandwidth(scale: &Scale) -> Vec<(Algorithm, f64, f64, f64)> {
     let window = SimTime::from_secs(110).min(scale.horizon * 2);
     let opts = standard_opts(scale).with_max_time(window);
     let mut rows = Vec::new();
-    let mut table = Table::new(&["algorithm", "total MB", "client-server MB", "server-server MB"]);
+    let mut table = Table::new(&[
+        "algorithm",
+        "total MB",
+        "client-server MB",
+        "server-server MB",
+    ]);
     let mut csv = String::from("algorithm,time_s,total_bytes\n");
     for alg in Algorithm::ALL {
         let run = run_algorithm(alg, &scenario, &opts);
@@ -527,9 +571,15 @@ pub fn ablate_staleness(scale: &Scale) -> Vec<(String, Option<SimTime>, f64)> {
     let scenario = Scenario::mnist(scale.clients, scale.servers, scale.seed);
     let base = default_spyker_config(&scenario);
     let policies: Vec<(String, ClientStaleness)> = vec![
-        ("polynomial(0.5)".into(), ClientStaleness::Polynomial { alpha: 0.5 }),
+        (
+            "polynomial(0.5)".into(),
+            ClientStaleness::Polynomial { alpha: 0.5 },
+        ),
         ("inverse-linear".into(), ClientStaleness::InverseLinear),
-        ("paper-literal(cap=1)".into(), ClientStaleness::PaperLiteral { cap: 1.0 }),
+        (
+            "paper-literal(cap=1)".into(),
+            ClientStaleness::PaperLiteral { cap: 1.0 },
+        ),
         ("none".into(), ClientStaleness::None),
     ];
     let mut rows = Vec::new();
@@ -652,10 +702,23 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
     // experiment needs shards that span enough of the label space (with
     // the main experiments' l = 2 the populations are indistinguishable
     // *to individual clients* and no clustering method can separate them).
-    let shards: Vec<DenseDataset> = label_partition(images.train.labels(), n_clients, 5, seed)
-        .into_iter()
-        .map(|idx| images.train.subset(&idx))
-        .collect();
+    // Shuffle the shard -> client mapping: label_partition hands out
+    // label-sorted shards, and with the deterministic client -> server
+    // assignment that concentrates each server's clients on a contiguous
+    // half of the label space, capping every per-server model at ~50%
+    // accuracy no matter how well clustering works. Shuffling spreads the
+    // labels so each (server, population) group sees most of the classes.
+    let shards: Vec<DenseDataset> = {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut raw = label_partition(images.train.labels(), n_clients, 5, seed);
+        raw.shuffle(&mut rand::rngs::StdRng::seed_from_u64(
+            seed ^ 0x9d2c_5680_5a17_39e3,
+        ));
+        raw.into_iter()
+            .map(|idx| images.train.subset(&idx))
+            .collect()
+    };
     // Population B (i % 4 >= 2): same features, permuted labels. The
     // population pattern is deliberately offset from the client->server
     // assignment (i % 2) so every server serves both populations.
@@ -665,7 +728,11 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let shard = if is_pop_b(i) { relabel(shard) } else { shard.clone() };
+                let shard = if is_pop_b(i) {
+                    relabel(shard)
+                } else {
+                    shard.clone()
+                };
                 Box::new(DenseShardTrainer::new(
                     SoftmaxRegression::new(64, 10, seed),
                     shard,
@@ -702,7 +769,11 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
         );
     }
     for (i, shard) in shards.iter().enumerate() {
-        let shard = if is_pop_b(i) { relabel(shard) } else { shard.clone() };
+        let shard = if is_pop_b(i) {
+            relabel(shard)
+        } else {
+            shard.clone()
+        };
         let trainer: Box<dyn ClusterTrainer> = Box::new(DenseClusterTrainer::new(
             SoftmaxRegression::new(64, 10, seed),
             shard,
@@ -710,12 +781,7 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
             seed.wrapping_add(i as u64),
         ));
         clustered_sim.add_node(
-            Box::new(ClusteredFlClient::new(
-                assignment[i],
-                trainer,
-                1,
-                delays[i],
-            )),
+            Box::new(ClusteredFlClient::new(assignment[i], trainer, 1, delays[i])),
             server_region(assignment[i]),
         );
     }
@@ -748,9 +814,8 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
         relabel(&images.test),
         300,
     );
-    let score_params = |p: &ParamVec, eval: &DenseEvaluator<SoftmaxRegression>| -> f64 {
-        eval.evaluate(p).metric
-    };
+    let score_params =
+        |p: &ParamVec, eval: &DenseEvaluator<SoftmaxRegression>| -> f64 { eval.evaluate(p).metric };
     let mut clustered_scores = Vec::new();
     for s in 0..n_servers {
         let server = clustered_sim
@@ -767,8 +832,7 @@ pub fn ext_clustering(scale: &Scale) -> (f64, f64) {
             .fold(0.0f64, f64::max);
         clustered_scores.push((best_a + best_b) / 2.0);
     }
-    let clustered_acc =
-        clustered_scores.iter().sum::<f64>() / clustered_scores.len() as f64;
+    let clustered_acc = clustered_scores.iter().sum::<f64>() / clustered_scores.len() as f64;
 
     let mut vanilla_scores = Vec::new();
     for s in 0..n_servers {

@@ -9,7 +9,7 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use spyker_core::cluster::ClusterTrainer;
 use spyker_core::params::ParamVec;
 use spyker_core::training::{EvalReport, Evaluator, LocalTrainer, MetricKind};
@@ -81,6 +81,10 @@ pub struct DenseClusterTrainer<M> {
     /// beat the incumbent by a clear margin to win, which stops noisy
     /// scores from flapping clients between centers).
     last_choice: Option<usize>,
+    /// Local rounds completed so far (gates distress exploration: early on
+    /// *everyone* is near chance loss and exploring then just blends the
+    /// centers together).
+    rounds: usize,
     rng: StdRng,
 }
 
@@ -99,6 +103,7 @@ impl<M: DenseModel> DenseClusterTrainer<M> {
             batch_size,
             score_samples: 64,
             last_choice: None,
+            rounds: 0,
             rng: StdRng::seed_from_u64(seed ^ 0xc4ce_b9fe_1a85_ec53),
         }
     }
@@ -120,14 +125,49 @@ impl<M: DenseModel> ClusterTrainer for DenseClusterTrainer<M> {
         let mut best = (0..candidates.len())
             .min_by(|&a, &b| losses[a].partial_cmp(&losses[b]).expect("finite losses"))
             .expect("non-empty");
-        // Hysteresis: keep the incumbent unless the challenger is at least
-        // 5% better.
+        // Hysteresis: keep the incumbent unless the challenger is clearly
+        // better. Under asynchronous integration the offered centers
+        // fluctuate with every interleaved client update, so a small
+        // margin has clients chasing that noise from round to round —
+        // every center then receives every population's updates and none
+        // can specialise. Migration should only follow a persistent gap.
         if let Some(prev) = self.last_choice {
-            if prev < candidates.len() && best != prev && losses[best] > 0.95 * losses[prev] {
+            if prev < candidates.len() && best != prev && losses[best] > 0.98 * losses[prev] {
                 best = prev;
             }
         }
         self.last_choice = Some(best);
+        // Distress exploration: a client whose *best* loss is still near
+        // the random-guess level (ln C for C-class softmax) is served by
+        // no center — typically because every center specialised on other
+        // clients' labels before this one could leave a mark, so argmin
+        // keeps it trapped forever. Such a client trains a random
+        // non-incumbent center instead: its updates seed labels the other
+        // center has never seen, and once that center scores better the
+        // migration sticks through the ordinary argmin path. Clients a
+        // center genuinely serves have losses far below chance and never
+        // explore, so specialised centers stay clean (unconditional
+        // ε-exploration was tried and blends every center back together).
+        // Exploration only arms after a warmup: in the first rounds every
+        // client is near chance loss and exploring then would blend the
+        // centers before they can specialise at all.
+        const CHANCE_LOSS_FRAC: f32 = 0.40;
+        const WARMUP_ROUNDS: usize = 15;
+        self.rounds += 1;
+        let chance = (self.shard.num_classes().max(2) as f32).ln();
+        let mut train_on = best;
+        if candidates.len() > 1
+            && self.rounds > WARMUP_ROUNDS
+            && losses[best] > CHANCE_LOSS_FRAC * chance
+            && self.rng.gen_range(0..100u32) < 50
+        {
+            let mut alt = self.rng.gen_range(0..candidates.len() - 1);
+            if alt >= best {
+                alt += 1;
+            }
+            train_on = alt;
+        }
+        let best = train_on;
         self.model.read_params(candidates[best].as_slice());
         let mut order: Vec<usize> = (0..self.shard.len()).collect();
         for _ in 0..epochs {
@@ -213,7 +253,11 @@ impl<M: SeqModel> SeqShardTrainer<M> {
     pub fn new(model: M, shard: TextDataset, window: usize) -> Self {
         assert!(window >= 2, "window must be at least 2");
         assert!(shard.len() >= window, "shard smaller than one window");
-        Self { model, shard, window }
+        Self {
+            model,
+            shard,
+            window,
+        }
     }
 }
 
@@ -299,7 +343,10 @@ mod tests {
             trainer.train(&mut params, 0.1, 1);
         }
         let after = evaluator.evaluate(&params);
-        assert!(after.metric > before.metric + 0.2, "{before:?} -> {after:?}");
+        assert!(
+            after.metric > before.metric + 0.2,
+            "{before:?} -> {after:?}"
+        );
         assert_eq!(after.kind, MetricKind::Accuracy);
         assert_eq!(trainer.num_samples(), ds.train.len());
     }

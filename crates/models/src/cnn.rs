@@ -3,8 +3,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spyker_tensor::{
-    col2im, cross_entropy_from_logits, he_init, im2col, relu, relu_grad_mask, Conv2dShape,
-    Matrix, MaxPool2d,
+    col2im, cross_entropy_from_logits, he_init, im2col, relu, relu_grad_mask, Conv2dShape, Matrix,
+    MaxPool2d,
 };
 
 use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
@@ -120,8 +120,20 @@ impl Cnn {
     /// layers.
     pub fn mnist_like(input_shape: (usize, usize, usize), classes: usize, seed: u64) -> Self {
         let stages = [
-            ConvStage { out_channels: 8, kernel: 3, stride: 1, pad: 1, pool: true },
-            ConvStage { out_channels: 16, kernel: 3, stride: 1, pad: 1, pool: true },
+            ConvStage {
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
+            ConvStage {
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
         ];
         Self::new(input_shape, &stages, &[32], classes, seed)
     }
@@ -130,9 +142,27 @@ impl Cnn {
     /// layers.
     pub fn cifar_like(input_shape: (usize, usize, usize), classes: usize, seed: u64) -> Self {
         let stages = [
-            ConvStage { out_channels: 8, kernel: 3, stride: 1, pad: 1, pool: true },
-            ConvStage { out_channels: 16, kernel: 3, stride: 1, pad: 1, pool: true },
-            ConvStage { out_channels: 32, kernel: 3, stride: 1, pad: 1, pool: false },
+            ConvStage {
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
+            ConvStage {
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                pool: true,
+            },
+            ConvStage {
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                pool: false,
+            },
         ];
         Self::new(input_shape, &stages, &[64], classes, seed)
     }
@@ -382,7 +412,9 @@ mod tests {
         let x = Matrix::from_vec(
             2,
             16,
-            (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.17).collect(),
+            (0..32)
+                .map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.17)
+                .collect(),
         );
         let y = [2usize, 0];
         let before = model.params_vec();

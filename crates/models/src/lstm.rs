@@ -47,7 +47,10 @@ impl CharLstm {
     ///
     /// Panics if any dimension is zero.
     pub fn new(vocab: usize, embed_dim: usize, hidden: usize, seed: u64) -> Self {
-        assert!(vocab > 0 && embed_dim > 0 && hidden > 0, "dimensions must be positive");
+        assert!(
+            vocab > 0 && embed_dim > 0 && hidden > 0,
+            "dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0xd1b5_4a32_d192_ed03);
         let mut b = vec![0.0; 4 * hidden];
         // Forget-gate bias 1.0: standard trick for gradient flow early on.
@@ -201,13 +204,13 @@ impl SeqModel for CharLstm {
             }
             // dh = W_o dl + dh_next.
             let mut dh = dh_next.clone();
-            for j in 0..hid {
+            for (j, dh_j) in dh.iter_mut().enumerate().take(hid) {
                 let row = self.w_o.row(j);
                 let mut acc = 0.0;
                 for (v, &wv) in row.iter().enumerate() {
                     acc += wv * dl[(0, v)];
                 }
-                dh[j] += acc * inv;
+                *dh_j += acc * inv;
             }
             // Through the LSTM cell.
             let (i_g, f_g, g_g, o_g) = (
@@ -216,7 +219,11 @@ impl SeqModel for CharLstm {
                 &cache.gates[2 * hid..3 * hid],
                 &cache.gates[3 * hid..4 * hid],
             );
-            let c_prev: &[f32] = if t > 0 { &caches[t - 1].c } else { &vec![0.0; hid] [..]};
+            let c_prev: &[f32] = if t > 0 {
+                &caches[t - 1].c
+            } else {
+                &vec![0.0; hid][..]
+            };
             let h_prev: Vec<f32> = if t > 0 {
                 caches[t - 1].h.clone()
             } else {
@@ -393,7 +400,10 @@ mod tests {
         let uniform = (28.0f64).ln();
         let n = ds.test.len().min(400);
         let before = model.eval_stream(&ds.test.tokens()[..n]);
-        assert!((before - uniform).abs() < 1.0, "untrained CE should be near ln(V)");
+        assert!(
+            (before - uniform).abs() < 1.0,
+            "untrained CE should be near ln(V)"
+        );
         for _ in 0..3 {
             for win in ds.train.tokens().chunks(32) {
                 if win.len() >= 2 {

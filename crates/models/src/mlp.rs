@@ -2,9 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spyker_tensor::{
-    cross_entropy_from_logits, he_init, relu, relu_grad_mask, Matrix,
-};
+use spyker_tensor::{cross_entropy_from_logits, he_init, relu, relu_grad_mask, Matrix};
 
 use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
 
@@ -26,8 +24,14 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given or any size is zero.
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
         let mut weights = Vec::new();
         let mut biases = Vec::new();

@@ -72,7 +72,8 @@ pub(crate) fn push_matrix(out: &mut Vec<f32>, m: &Matrix) {
 /// offset (helper for `read_params`).
 pub(crate) fn pull_matrix(src: &[f32], offset: &mut usize, m: &mut Matrix) {
     let len = m.len();
-    m.as_mut_slice().copy_from_slice(&src[*offset..*offset + len]);
+    m.as_mut_slice()
+        .copy_from_slice(&src[*offset..*offset + len]);
     *offset += len;
 }
 

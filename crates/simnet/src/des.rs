@@ -7,6 +7,7 @@ use std::ops::ControlFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fault::{FaultPlan, ScriptedDrop};
 use crate::metrics::Metrics;
 use crate::net::{NetworkConfig, Region};
 use crate::runtime::{Env, Node, NodeId, WireSize};
@@ -14,8 +15,19 @@ use crate::time::SimTime;
 
 enum EventBody<M> {
     Start,
-    Deliver { from: NodeId, msg: M },
-    Timer { tag: u64 },
+    Deliver {
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        tag: u64,
+    },
+    /// Fault injection: the node goes down (its inbox is silently
+    /// discarded until it restarts, if ever).
+    Crash,
+    /// Fault injection: the node comes back with its last state and gets
+    /// a [`Node::on_restart`] call.
+    Restart,
 }
 
 struct Event<M> {
@@ -58,6 +70,15 @@ struct Core<M> {
     rng: StdRng,
     now: SimTime,
     seq: u64,
+    faults: FaultPlan,
+    /// Dedicated RNG stream for probabilistic drops, so fault draws never
+    /// perturb the jitter stream and an empty plan draws nothing.
+    fault_rng: StdRng,
+    /// Which nodes are currently crashed.
+    down: Vec<bool>,
+    /// Per-link send counters, maintained only while the plan contains
+    /// `NthOnLink` drops.
+    link_sends: HashMap<(NodeId, NodeId), u64>,
 }
 
 impl<M: WireSize> Core<M> {
@@ -73,6 +94,51 @@ impl<M: WireSize> Core<M> {
         });
     }
 
+    /// Checks every message-drop rule for a `from -> to` send at `at` and
+    /// returns the cause label when the message must be dropped.
+    ///
+    /// Order matters for determinism: scripted and partition checks come
+    /// first (no randomness), the probabilistic draw happens last and only
+    /// when the effective probability is non-zero, so plans without
+    /// probabilistic loss consume no random draws at all.
+    fn fault_drop_cause(&mut self, at: SimTime, from: NodeId, to: NodeId) -> Option<&'static str> {
+        let mut nth_matched = false;
+        if self
+            .faults
+            .drops
+            .iter()
+            .any(|d| matches!(d, ScriptedDrop::NthOnLink { from: f, to: t, .. } if *f == from && *t == to))
+        {
+            let n = self.link_sends.entry((from, to)).or_insert(0);
+            let sent = *n;
+            *n += 1;
+            nth_matched = self.faults.drops.iter().any(|d| {
+                matches!(d, ScriptedDrop::NthOnLink { from: f, to: t, nth }
+                    if *f == from && *t == to && *nth == sent)
+            });
+        }
+        if nth_matched {
+            return Some("scripted");
+        }
+        if self.faults.drops.iter().any(|d| {
+            matches!(d, ScriptedDrop::LinkWindow { from: f, to: t, start, end }
+                if *f == from && *t == to && at >= *start && at < *end)
+        }) {
+            return Some("scripted");
+        }
+        if self
+            .faults
+            .partitioned(self.regions[from], self.regions[to], at)
+        {
+            return Some("partition");
+        }
+        let p = self.faults.loss_for(from, to);
+        if p > 0.0 && self.fault_rng.gen_range(0.0..1.0) < p {
+            return Some("loss");
+        }
+        None
+    }
+
     fn schedule_send(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
         let bytes = msg.wire_size();
         let kind = msg.kind();
@@ -80,19 +146,22 @@ impl<M: WireSize> Core<M> {
         self.metrics
             .add_counter(&format!("net.bytes.{kind}"), bytes as u64);
         self.metrics.add_counter("net.messages", 1);
+        if self.faults.has_message_faults() {
+            if let Some(cause) = self.fault_drop_cause(at, from, to) {
+                self.metrics.add_counter("fault.dropped", 1);
+                self.metrics
+                    .add_counter(&format!("fault.dropped.{cause}"), 1);
+                return;
+            }
+        }
         let mut delay = self.net.latency(self.regions[from], self.regions[to])
             + self.net.serialization_delay(bytes);
         if self.net.jitter_max > SimTime::ZERO {
-            delay += SimTime::from_micros(
-                self.rng.gen_range(0..=self.net.jitter_max.as_micros()),
-            );
+            delay += SimTime::from_micros(self.rng.gen_range(0..=self.net.jitter_max.as_micros()));
         }
         // FIFO per link: a message never overtakes an earlier one on the
         // same (src, dst) pair.
-        let free = self
-            .link_free
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let free = self.link_free.entry((from, to)).or_insert(SimTime::ZERO);
         let delivery = (at + delay).max(*free);
         *free = delivery;
         self.push(delivery, to, EventBody::Deliver { from, msg });
@@ -220,10 +289,31 @@ impl<M: WireSize> Simulation<M> {
                 rng: StdRng::seed_from_u64(seed ^ 0x6c62_272e_07bb_0142),
                 now: SimTime::ZERO,
                 seq: 0,
+                faults: FaultPlan::none(),
+                fault_rng: StdRng::seed_from_u64(seed ^ 0x27d4_eb2f_1656_67c5),
+                down: Vec::new(),
+                link_sends: HashMap::new(),
             },
             started: false,
             events_processed: 0,
         }
+    }
+
+    /// Attaches a fault-injection plan (builder style). Must be called
+    /// before the first [`Simulation::run`]; see [`FaultPlan`] for what can
+    /// be injected. The default is [`FaultPlan::none`], which is
+    /// byte-identical to a simulation without fault support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert!(
+            !self.started,
+            "fault plan must be set before the run starts"
+        );
+        self.core.faults = plan;
+        self
     }
 
     /// Adds a node in `region` and returns its id (ids are dense, in
@@ -234,6 +324,7 @@ impl<M: WireSize> Simulation<M> {
         self.core.regions.push(region);
         self.core.avail.push(SimTime::ZERO);
         self.core.inbox.push(0);
+        self.core.down.push(false);
         id
     }
 
@@ -277,11 +368,26 @@ impl<M: WireSize> Simulation<M> {
         probe_interval: SimTime,
         mut probe: impl FnMut(&mut ProbeCtx<'_, M>) -> ControlFlow<()>,
     ) -> RunReport {
-        assert!(probe_interval > SimTime::ZERO, "probe interval must be positive");
+        assert!(
+            probe_interval > SimTime::ZERO,
+            "probe interval must be positive"
+        );
         if !self.started {
             self.started = true;
             for id in 0..self.nodes.len() {
                 self.core.push(SimTime::ZERO, id, EventBody::Start);
+            }
+            if !self.core.faults.partitions.is_empty() {
+                self.core
+                    .metrics
+                    .add_counter("fault.partitions", self.core.faults.partitions.len() as u64);
+            }
+            for crash in self.core.faults.crashes.clone() {
+                assert!(crash.node < self.nodes.len(), "crash of unknown node");
+                self.core.push(crash.at, crash.node, EventBody::Crash);
+                if let Some(t) = crash.restart {
+                    self.core.push(t, crash.node, EventBody::Restart);
+                }
             }
         }
         let mut next_probe = if probe_interval == SimTime::MAX {
@@ -300,8 +406,13 @@ impl<M: WireSize> Simulation<M> {
                         };
                     }
                     Some(mut ev) => {
+                        // Crash/restart take effect immediately: a crash
+                        // interrupts whatever the node was busy with.
+                        if matches!(ev.body, EventBody::Crash | EventBody::Restart) {
+                            break ev;
+                        }
                         let avail = self.core.avail[ev.node];
-                        if avail > ev.time {
+                        if avail > ev.time && !self.core.down[ev.node] {
                             if !ev.queued {
                                 ev.queued = true;
                                 self.core.inbox[ev.node] += 1;
@@ -348,6 +459,41 @@ impl<M: WireSize> Simulation<M> {
             if event.queued {
                 self.core.inbox[event.node] -= 1;
             }
+            match event.body {
+                EventBody::Crash => {
+                    // The node goes down mid-whatever: pending busy time is
+                    // void and everything delivered from now on is
+                    // discarded (below) until a restart.
+                    self.core.down[event.node] = true;
+                    self.core.avail[event.node] = event.time;
+                    self.core.metrics.add_counter("fault.crashes", 1);
+                    self.events_processed += 1;
+                    continue;
+                }
+                EventBody::Restart => {
+                    self.core.down[event.node] = false;
+                    self.core.metrics.add_counter("fault.restarts", 1);
+                    let mut env = EnvHandle {
+                        core: &mut self.core,
+                        me: event.node,
+                        start: event.time,
+                        busy: SimTime::ZERO,
+                    };
+                    self.nodes[event.node].on_restart(&mut env);
+                    let busy = env.busy;
+                    self.core.avail[event.node] = event.time + busy;
+                    self.events_processed += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.core.down[event.node] {
+                // Crashed nodes silently lose their inbox: deliveries,
+                // timers and even the start event evaporate.
+                self.core.metrics.add_counter("fault.discarded", 1);
+                self.events_processed += 1;
+                continue;
+            }
             let mut env = EnvHandle {
                 core: &mut self.core,
                 me: event.node,
@@ -359,6 +505,7 @@ impl<M: WireSize> Simulation<M> {
                 EventBody::Start => node.on_start(&mut env),
                 EventBody::Deliver { from, msg } => node.on_message(&mut env, from, msg),
                 EventBody::Timer { tag } => node.on_timer(&mut env, tag),
+                EventBody::Crash | EventBody::Restart => unreachable!("handled above"),
             }
             let busy = env.busy;
             self.core.avail[event.node] = event.time + busy;
@@ -414,7 +561,13 @@ mod tests {
     impl Node<Msg> for Burst {
         fn on_start(&mut self, env: &mut dyn Env<Msg>) {
             for i in 0..self.count {
-                env.send(1, Msg { payload: i, bytes: self.bytes });
+                env.send(
+                    1,
+                    Msg {
+                        payload: i,
+                        bytes: self.bytes,
+                    },
+                );
             }
         }
         fn on_message(&mut self, _env: &mut dyn Env<Msg>, _from: NodeId, _msg: Msg) {}
@@ -429,7 +582,12 @@ mod tests {
     fn two_node_sim(sender: Box<dyn Node<Msg>>) -> Simulation<Msg> {
         let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1);
         sim.add_node(sender, Region::Paris);
-        sim.add_node(Box::new(Recorder { received: Vec::new() }), Region::Sydney);
+        sim.add_node(
+            Box::new(Recorder {
+                received: Vec::new(),
+            }),
+            Region::Sydney,
+        );
         sim
     }
 
@@ -445,7 +603,10 @@ mod tests {
     #[test]
     fn delivery_charges_latency_and_serialization() {
         // 125_000 bytes at 100 Mbps = 10 ms serialization + 10 ms latency.
-        let mut sim = two_node_sim(Box::new(Burst { count: 1, bytes: 125_000 }));
+        let mut sim = two_node_sim(Box::new(Burst {
+            count: 1,
+            bytes: 125_000,
+        }));
         sim.run(SimTime::from_secs(1));
         let recv = recorder_received(&sim);
         assert_eq!(recv.len(), 1);
@@ -458,8 +619,20 @@ mod tests {
         struct TwoSends;
         impl Node<Msg> for TwoSends {
             fn on_start(&mut self, env: &mut dyn Env<Msg>) {
-                env.send(1, Msg { payload: 0, bytes: 1_250_000 }); // 100 ms ser
-                env.send(1, Msg { payload: 1, bytes: 125 }); // ~0 ms ser
+                env.send(
+                    1,
+                    Msg {
+                        payload: 0,
+                        bytes: 1_250_000,
+                    },
+                ); // 100 ms ser
+                env.send(
+                    1,
+                    Msg {
+                        payload: 1,
+                        bytes: 125,
+                    },
+                ); // ~0 ms ser
             }
             fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
             fn as_any(&self) -> &dyn Any {
@@ -498,7 +671,12 @@ mod tests {
         }
         let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1);
         sim.add_node(Box::new(Burst { count: 3, bytes: 0 }), Region::Paris);
-        sim.add_node(Box::new(Slow { processed_at: Vec::new() }), Region::Paris);
+        sim.add_node(
+            Box::new(Slow {
+                processed_at: Vec::new(),
+            }),
+            Region::Paris,
+        );
         sim.run(SimTime::from_secs(1));
         let slow = sim.node(1).as_any().downcast_ref::<Slow>().unwrap();
         assert_eq!(slow.processed_at.len(), 3);
@@ -550,7 +728,10 @@ mod tests {
 
     #[test]
     fn bytes_are_accounted_by_kind() {
-        let mut sim = two_node_sim(Box::new(Burst { count: 2, bytes: 100 }));
+        let mut sim = two_node_sim(Box::new(Burst {
+            count: 2,
+            bytes: 100,
+        }));
         sim.run(SimTime::from_secs(1));
         assert_eq!(sim.metrics().counter("net.bytes"), 200);
         assert_eq!(sim.metrics().counter("net.bytes.test"), 200);
@@ -565,8 +746,19 @@ mod tests {
                     .with_jitter(SimTime::from_millis(3)),
                 seed,
             );
-            sim.add_node(Box::new(Burst { count: 10, bytes: 10 }), Region::Paris);
-            sim.add_node(Box::new(Recorder { received: Vec::new() }), Region::Sydney);
+            sim.add_node(
+                Box::new(Burst {
+                    count: 10,
+                    bytes: 10,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Sydney,
+            );
             sim.run(SimTime::from_secs(1));
             recorder_received(&sim)
         };
@@ -610,5 +802,242 @@ mod tests {
         assert_eq!(report.end_time, SimTime::from_millis(2));
         // Delivery at 10 ms never happened.
         assert!(recorder_received(&sim).is_empty());
+    }
+
+    #[test]
+    fn scripted_nth_drop_removes_exactly_one_message() {
+        let mut sim = two_node_sim(Box::new(Burst { count: 5, bytes: 0 }))
+            .with_faults(FaultPlan::none().drop_nth(0, 1, 2));
+        sim.run(SimTime::from_secs(1));
+        let payloads: Vec<u32> = recorder_received(&sim).iter().map(|r| r.2).collect();
+        assert_eq!(payloads, vec![0, 1, 3, 4]);
+        assert_eq!(sim.metrics().counter("fault.dropped"), 1);
+        assert_eq!(sim.metrics().counter("fault.dropped.scripted"), 1);
+    }
+
+    #[test]
+    fn link_window_drops_only_inside_the_window() {
+        // Sender fires one message per 10 ms via timers.
+        struct Periodic {
+            left: u32,
+        }
+        impl Node<Msg> for Periodic {
+            fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+                env.set_timer(SimTime::from_millis(10), 0);
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn on_timer(&mut self, env: &mut dyn Env<Msg>, _tag: u64) {
+                env.send(
+                    1,
+                    Msg {
+                        payload: self.left,
+                        bytes: 0,
+                    },
+                );
+                self.left -= 1;
+                if self.left > 0 {
+                    env.set_timer(SimTime::from_millis(10), 0);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Sends at 10..=60 ms; window [25 ms, 45 ms) kills 30 and 40 ms.
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1)
+            .with_faults(FaultPlan::none().drop_link_window(
+                0,
+                1,
+                SimTime::from_millis(25),
+                SimTime::from_millis(45),
+            ));
+        sim.add_node(Box::new(Periodic { left: 6 }), Region::Paris);
+        sim.add_node(
+            Box::new(Recorder {
+                received: Vec::new(),
+            }),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(recorder_received(&sim).len(), 4);
+        assert_eq!(sim.metrics().counter("fault.dropped"), 2);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_seeded_and_reproducible() {
+        let run = |seed| {
+            let mut sim =
+                Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), seed)
+                    .with_faults(FaultPlan::none().with_loss(0.5));
+            sim.add_node(
+                Box::new(Burst {
+                    count: 100,
+                    bytes: 0,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Paris,
+            );
+            sim.run(SimTime::from_secs(1));
+            (
+                recorder_received(&sim),
+                sim.metrics().counter("fault.dropped"),
+            )
+        };
+        let (recv_a, dropped_a) = run(11);
+        let (recv_b, dropped_b) = run(11);
+        assert_eq!(recv_a, recv_b, "same seed must drop the same messages");
+        assert_eq!(dropped_a, dropped_b);
+        assert!(
+            dropped_a > 20 && dropped_a < 80,
+            "p=0.5 of 100: {dropped_a}"
+        );
+        let (recv_c, _) = run(12);
+        assert_ne!(recv_a, recv_c, "different seed, different drops");
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_and_heals() {
+        // Two nodes in different regions ping-pong; a partition window
+        // swallows the ball, after healing nothing moves (the protocol has
+        // no retry), so delivered count freezes at the pre-partition value.
+        struct PingPong;
+        impl Node<Msg> for PingPong {
+            fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+                if env.me() == 0 {
+                    env.send(
+                        1,
+                        Msg {
+                            payload: 0,
+                            bytes: 0,
+                        },
+                    );
+                }
+            }
+            fn on_message(&mut self, env: &mut dyn Env<Msg>, from: NodeId, msg: Msg) {
+                env.send(
+                    from,
+                    Msg {
+                        payload: msg.payload + 1,
+                        bytes: 0,
+                    },
+                );
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let run = |plan: FaultPlan| {
+            let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1)
+                .with_faults(plan);
+            sim.add_node(Box::new(PingPong), Region::Paris);
+            sim.add_node(Box::new(PingPong), Region::Sydney);
+            sim.run(SimTime::from_secs(1));
+            (
+                sim.metrics().counter("net.messages"),
+                sim.metrics().counter("fault.dropped.partition"),
+            )
+        };
+        let (free_msgs, _) = run(FaultPlan::none());
+        let (cut_msgs, cut_drops) = run(FaultPlan::none().partition(
+            Region::Paris,
+            Region::Sydney,
+            SimTime::from_millis(100),
+            SimTime::from_millis(200),
+        ));
+        assert_eq!(cut_drops, 1, "exactly the in-window send is dropped");
+        assert!(cut_msgs < free_msgs, "partition must stop the ping-pong");
+    }
+
+    #[test]
+    fn crashed_node_discards_inbox_and_restart_hook_runs() {
+        struct Reviver {
+            restarts: u32,
+        }
+        impl Node<Msg> for Reviver {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn on_restart(&mut self, env: &mut dyn Env<Msg>) {
+                self.restarts += 1;
+                env.send(
+                    0,
+                    Msg {
+                        payload: 99,
+                        bytes: 0,
+                    },
+                );
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Node 0 sends to node 1 at t=0 (delivered ~10 ms, while node 1 is
+        // down) — discarded. Node 1 restarts at 50 ms and pings back.
+        let mut sim =
+            Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1).with_faults(
+                FaultPlan::none().crash(1, SimTime::from_millis(1), Some(SimTime::from_millis(50))),
+            );
+        sim.add_node(Box::new(Burst { count: 1, bytes: 0 }), Region::Paris);
+        sim.add_node(Box::new(Reviver { restarts: 0 }), Region::Paris);
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("fault.crashes"), 1);
+        assert_eq!(sim.metrics().counter("fault.restarts"), 1);
+        assert_eq!(sim.metrics().counter("fault.discarded"), 1);
+        let reviver = sim.node(1).as_any().downcast_ref::<Reviver>().unwrap();
+        assert_eq!(reviver.restarts, 1);
+        // The revival ping was sent after restart and delivered normally.
+        assert_eq!(sim.metrics().counter("net.messages"), 2);
+    }
+
+    #[test]
+    fn crash_without_restart_silences_a_node_forever() {
+        let mut sim = two_node_sim(Box::new(Burst { count: 3, bytes: 0 }))
+            .with_faults(FaultPlan::none().crash(1, SimTime::from_millis(5), None));
+        sim.run(SimTime::from_secs(1));
+        assert!(recorder_received(&sim).is_empty());
+        assert_eq!(sim.metrics().counter("fault.discarded"), 3);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        let run = |with_plan: bool| {
+            let mut sim = Simulation::new(
+                NetworkConfig::uniform_all(SimTime::from_millis(5))
+                    .with_jitter(SimTime::from_millis(3)),
+                7,
+            );
+            if with_plan {
+                sim = sim.with_faults(FaultPlan::none());
+            }
+            sim.add_node(
+                Box::new(Burst {
+                    count: 10,
+                    bytes: 10,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Sydney,
+            );
+            let report = sim.run(SimTime::from_secs(1));
+            (recorder_received(&sim), report.events_processed)
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -1,0 +1,299 @@
+//! Deterministic fault injection: message loss, partitions, crashes, churn.
+//!
+//! A [`FaultPlan`] describes every fault to inject into one run. It is
+//! attached to a [`crate::Simulation`] via
+//! [`crate::Simulation::with_faults`] and interpreted by the event loop:
+//!
+//! * **Message loss** — every message can be dropped with a global
+//!   probability ([`FaultPlan::with_loss`]), a per-link probability
+//!   ([`FaultPlan::with_link_loss`]), or by script: the *n*-th message on a
+//!   link ([`FaultPlan::drop_nth`]) or every message on a link inside a
+//!   virtual-time window ([`FaultPlan::drop_link_window`]).
+//! * **Partitions** — a pair of [`Region`]s can be disconnected for a time
+//!   window ([`FaultPlan::partition`]); messages crossing the cut in either
+//!   direction are dropped until the window heals.
+//! * **Crashes** — a node can crash at time *t* ([`FaultPlan::crash`]):
+//!   everything delivered to it while down (messages *and* timers) is
+//!   silently discarded. With a restart time *t′* the node comes back with
+//!   its last state and gets a [`crate::runtime::Node::on_restart`] call to
+//!   re-arm timers or re-announce itself.
+//! * **Churn** — [`FaultPlan::churn`] is a crash with a mandatory rejoin,
+//!   the way a mobile client leaves and returns.
+//!
+//! Probabilistic drops draw from a dedicated RNG stream seeded from the
+//! simulation seed, so runs stay bit-reproducible and an empty plan
+//! ([`FaultPlan::none`]) consumes zero random draws — a run without faults
+//! is byte-identical to one built before this module existed.
+//!
+//! Every injected fault is recorded in [`crate::Metrics`]:
+//!
+//! | counter                   | meaning                                   |
+//! |---------------------------|-------------------------------------------|
+//! | `fault.dropped`           | messages dropped in flight (all causes)   |
+//! | `fault.dropped.loss`      | … by probabilistic loss                   |
+//! | `fault.dropped.scripted`  | … by a scripted drop                      |
+//! | `fault.dropped.partition` | … by an active partition                  |
+//! | `fault.discarded`         | events discarded at a crashed node        |
+//! | `fault.crashes`           | crash events that took effect             |
+//! | `fault.restarts`          | restart events that took effect           |
+//! | `fault.partitions`        | partition windows installed               |
+
+use crate::net::Region;
+use crate::runtime::NodeId;
+use crate::time::SimTime;
+
+/// A scripted (non-probabilistic) message drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptedDrop {
+    /// Drop the `nth` (0-based) message sent from `from` to `to`.
+    NthOnLink {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// 0-based index of the message to drop on this link.
+        nth: u64,
+    },
+    /// Drop every message sent from `from` to `to` in `[start, end)`.
+    LinkWindow {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Window start (inclusive, send time).
+        start: SimTime,
+        /// Window end (exclusive, send time).
+        end: SimTime,
+    },
+}
+
+/// A region-pair partition over a virtual-time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// One side of the cut.
+    pub a: Region,
+    /// The other side of the cut.
+    pub b: Region,
+    /// When the partition starts (inclusive, send time).
+    pub start: SimTime,
+    /// When the partition heals (exclusive, send time).
+    pub end: SimTime,
+}
+
+/// A node crash, optionally followed by a restart with retained state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashEvent {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Crash time.
+    pub at: SimTime,
+    /// Restart time, strictly after `at`; `None` means the node stays down.
+    pub restart: Option<SimTime>,
+}
+
+/// The set of faults to inject into one simulation run.
+///
+/// See the [module docs](self) for semantics. The default plan is
+/// [`FaultPlan::none`]: no faults, no RNG draws, byte-identical runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Global per-message drop probability in `[0, 1]`.
+    pub loss_prob: f64,
+    /// Per-link drop probability overrides (take precedence over
+    /// [`FaultPlan::loss_prob`] for their link).
+    pub link_loss: Vec<(NodeId, NodeId, f64)>,
+    /// Scripted drops.
+    pub drops: Vec<ScriptedDrop>,
+    /// Region-pair partitions.
+    pub partitions: Vec<PartitionWindow>,
+    /// Node crashes (and optional restarts).
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan injects nothing at all (the fast path: the
+    /// event loop skips every fault check and RNG draw).
+    pub fn is_none(&self) -> bool {
+        self.loss_prob == 0.0
+            && self.link_loss.is_empty()
+            && self.drops.is_empty()
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// `true` when any probabilistic or scripted message-drop rule exists
+    /// (crash-only plans skip the per-send checks entirely). Public so
+    /// other executors of the same actors (the thread cluster in
+    /// `spyker-transport`) can interpret the same plan.
+    pub fn has_message_faults(&self) -> bool {
+        self.loss_prob > 0.0
+            || !self.link_loss.is_empty()
+            || !self.drops.is_empty()
+            || !self.partitions.is_empty()
+    }
+
+    /// Sets the global per-message loss probability (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.loss_prob = p;
+        self
+    }
+
+    /// Sets a per-link loss probability override (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_link_loss(mut self, from: NodeId, to: NodeId, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.link_loss.push((from, to, p));
+        self
+    }
+
+    /// Drops the `nth` (0-based) message sent from `from` to `to`
+    /// (builder style).
+    pub fn drop_nth(mut self, from: NodeId, to: NodeId, nth: u64) -> Self {
+        self.drops.push(ScriptedDrop::NthOnLink { from, to, nth });
+        self
+    }
+
+    /// Drops every message from `from` to `to` sent in `[start, end)`
+    /// (builder style).
+    pub fn drop_link_window(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        self.drops.push(ScriptedDrop::LinkWindow {
+            from,
+            to,
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Partitions regions `a` and `b` (both directions) during
+    /// `[start, end)` (builder style).
+    pub fn partition(mut self, a: Region, b: Region, start: SimTime, end: SimTime) -> Self {
+        self.partitions.push(PartitionWindow { a, b, start, end });
+        self
+    }
+
+    /// Crashes `node` at `at`; with `restart = Some(t)` the node comes back
+    /// at `t` with its state intact and an
+    /// [`crate::runtime::Node::on_restart`] call (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the restart time is not after the crash time.
+    pub fn crash(mut self, node: NodeId, at: SimTime, restart: Option<SimTime>) -> Self {
+        if let Some(t) = restart {
+            assert!(t > at, "restart must come after the crash");
+        }
+        self.crashes.push(CrashEvent { node, at, restart });
+        self
+    }
+
+    /// Client churn: `node` leaves at `leave` and rejoins at `rejoin`
+    /// (builder style). Equivalent to a crash with a mandatory restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rejoin <= leave`.
+    pub fn churn(self, node: NodeId, leave: SimTime, rejoin: SimTime) -> Self {
+        self.crash(node, leave, Some(rejoin))
+    }
+
+    /// The effective loss probability for a `from -> to` send: the last
+    /// matching per-link override, else the global probability.
+    pub fn loss_for(&self, from: NodeId, to: NodeId) -> f64 {
+        self.link_loss
+            .iter()
+            .rev()
+            .find(|&&(f, t, _)| f == from && t == to)
+            .map_or(self.loss_prob, |&(_, _, p)| p)
+    }
+
+    /// `true` if some partition window cuts `ra <-> rb` at time `at`.
+    pub fn partitioned(&self, ra: Region, rb: Region, at: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            ((p.a == ra && p.b == rb) || (p.a == rb && p.b == ra)) && at >= p.start && at < p.end
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().with_loss(0.1).is_none());
+        assert!(!FaultPlan::none().drop_nth(0, 1, 0).is_none());
+        assert!(!FaultPlan::none()
+            .crash(0, SimTime::from_secs(1), None)
+            .is_none());
+    }
+
+    #[test]
+    fn link_override_beats_global_loss() {
+        let plan = FaultPlan::none().with_loss(0.5).with_link_loss(0, 1, 0.0);
+        assert_eq!(plan.loss_for(0, 1), 0.0);
+        assert_eq!(plan.loss_for(1, 0), 0.5);
+        assert_eq!(plan.loss_for(2, 3), 0.5);
+    }
+
+    #[test]
+    fn partition_windows_are_symmetric_and_half_open() {
+        let plan = FaultPlan::none().partition(
+            Region::Paris,
+            Region::Sydney,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        );
+        let at = SimTime::from_millis(1500);
+        assert!(plan.partitioned(Region::Paris, Region::Sydney, at));
+        assert!(plan.partitioned(Region::Sydney, Region::Paris, at));
+        assert!(!plan.partitioned(Region::Paris, Region::Sydney, SimTime::from_millis(999)));
+        assert!(!plan.partitioned(Region::Paris, Region::Sydney, SimTime::from_secs(2)));
+        assert!(!plan.partitioned(Region::Paris, Region::California, at));
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after the crash")]
+    fn restart_before_crash_is_rejected() {
+        let _ = FaultPlan::none().crash(0, SimTime::from_secs(2), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn churn_is_crash_plus_restart() {
+        let plan = FaultPlan::none().churn(3, SimTime::from_secs(1), SimTime::from_secs(4));
+        assert_eq!(
+            plan.crashes,
+            vec![CrashEvent {
+                node: 3,
+                at: SimTime::from_secs(1),
+                restart: Some(SimTime::from_secs(4)),
+            }]
+        );
+    }
+}

@@ -12,6 +12,8 @@
 //!   code is written against (the thread transport in `spyker-transport`
 //!   drives the *same* actors);
 //! * [`net`] — regions, the AWS latency matrix, bandwidth and jitter;
+//! * [`fault`] — deterministic fault injection (message loss, partitions,
+//!   crashes, churn) driven by a seeded [`fault::FaultPlan`];
 //! * [`des::Simulation`] — the event loop with per-node busy/queue
 //!   accounting and FIFO links;
 //! * [`metrics`] — counters and time series (bytes transferred, queue
@@ -58,12 +60,14 @@
 #![warn(missing_docs)]
 
 pub mod des;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod runtime;
 pub mod time;
 
 pub use des::{ProbeCtx, RunReport, Simulation};
+pub use fault::FaultPlan;
 pub use metrics::Metrics;
 pub use net::{aws_latency_matrix, NetworkConfig, Region};
 pub use runtime::{Env, Node, NodeId, WireSize};

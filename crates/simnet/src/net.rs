@@ -183,6 +183,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) vs (j, i): indices are the point
     fn matrix_is_roughly_symmetric() {
         // AWS latencies are not exactly symmetric but should be close.
         let m = AWS_LATENCY_MS;

@@ -87,6 +87,16 @@ pub trait Node<M>: Send {
         let _ = (env, tag);
     }
 
+    /// Invoked when the node restarts after a fault-injected crash
+    /// (`crate::fault::FaultPlan::crash` with a restart time). The node
+    /// keeps its last state; timers that fired while it was down are gone,
+    /// so implementations should re-arm periodic timers and re-announce
+    /// themselves here. The default does nothing (purely reactive nodes
+    /// need no recovery of their own).
+    fn on_restart(&mut self, env: &mut dyn Env<M>) {
+        let _ = env;
+    }
+
     /// Upcast for probes that need to inspect concrete node state (e.g. the
     /// experiment harness reading a server's current model for evaluation).
     fn as_any(&self) -> &dyn Any;

@@ -47,7 +47,10 @@ impl SimTime {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "time must be non-negative, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be non-negative, got {ms}"
+        );
         SimTime((ms * 1_000.0).round() as u64)
     }
 
@@ -88,7 +91,11 @@ impl AddAssign for SimTime {
 impl Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 

@@ -116,7 +116,11 @@ pub fn im2col(input: &[f32], shape: &Conv2dShape) -> Matrix {
 /// Panics if `cols` does not have the shape produced by `im2col` for `shape`.
 pub fn col2im(cols: &Matrix, shape: &Conv2dShape) -> Vec<f32> {
     let (oh, ow) = (shape.out_h(), shape.out_w());
-    assert_eq!(cols.shape(), (oh * ow, shape.patch_len()), "cols shape mismatch");
+    assert_eq!(
+        cols.shape(),
+        (oh * ow, shape.patch_len()),
+        "cols shape mismatch"
+    );
     let mut out = vec![0.0; shape.input_len()];
     for oy in 0..oh {
         for ox in 0..ow {
@@ -306,7 +310,9 @@ mod tests {
     #[test]
     fn maxpool_forward_picks_max() {
         let pool = MaxPool2d { size: 2, stride: 2 };
-        let input = [1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 1.0, 7.0, 0.0, 0.0, 6.0, 0.0, 0.0, 0.0, 0.0];
+        let input = [
+            1.0, 5.0, 2.0, 0.0, 3.0, 4.0, 1.0, 1.0, 7.0, 0.0, 0.0, 6.0, 0.0, 0.0, 0.0, 0.0,
+        ];
         let (out, arg) = pool.forward(&input, 1, 4, 4);
         assert_eq!(out, vec![5.0, 2.0, 7.0, 6.0]);
         assert_eq!(arg[0], 1);
@@ -315,7 +321,9 @@ mod tests {
     #[test]
     fn maxpool_backward_routes_gradient_to_argmax() {
         let pool = MaxPool2d { size: 2, stride: 2 };
-        let input = [1.0, 5.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let input = [
+            1.0, 5.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ];
         let (_, arg) = pool.forward(&input, 1, 4, 4);
         let grad = pool.backward(&[1.0, 2.0, 3.0, 4.0], &arg, 16);
         assert_eq!(grad[1], 1.0); // max of first window was at index 1

@@ -104,7 +104,9 @@ mod tests {
     fn normal_sample_mean_and_std_are_close() {
         let mut rng = StdRng::seed_from_u64(9);
         let n = 20_000;
-        let samples: Vec<f32> = (0..n).map(|_| sample_normal(150.0, 7.5, &mut rng)).collect();
+        let samples: Vec<f32> = (0..n)
+            .map(|_| sample_normal(150.0, 7.5, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f32>() / n as f32;
         let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
         assert!((mean - 150.0).abs() < 0.5, "mean {mean}");

@@ -93,11 +93,7 @@ pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
 /// assert!(loss < 0.2);
 /// ```
 pub fn cross_entropy_from_logits(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
-    assert_eq!(
-        targets.len(),
-        logits.rows(),
-        "one target per row required"
-    );
+    assert_eq!(targets.len(), logits.rows(), "one target per row required");
     let batch = logits.rows() as f32;
     let probs = softmax_rows(logits);
     let mut grad = probs.clone();
@@ -135,7 +131,11 @@ mod tests {
     #[test]
     fn sigmoid_midpoint_and_symmetry() {
         assert!(approx(scalar_sigmoid(0.0), 0.5, 1e-7));
-        assert!(approx(scalar_sigmoid(3.0) + scalar_sigmoid(-3.0), 1.0, 1e-6));
+        assert!(approx(
+            scalar_sigmoid(3.0) + scalar_sigmoid(-3.0),
+            1.0,
+            1e-6
+        ));
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the tensor kernels.
 
 use proptest::prelude::*;
-use spyker_tensor::{
-    col2im, cross_entropy_from_logits, im2col, softmax_rows, Conv2dShape, Matrix,
-};
+use spyker_tensor::{col2im, cross_entropy_from_logits, im2col, softmax_rows, Conv2dShape, Matrix};
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-10.0f32..10.0, rows * cols)

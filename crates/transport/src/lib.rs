@@ -65,6 +65,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use spyker_simnet::fault::FaultPlan;
 use spyker_simnet::metrics::Metrics;
 use spyker_simnet::net::{NetworkConfig, Region};
 use spyker_simnet::runtime::{Env, Node, NodeId, WireSize};
@@ -123,11 +124,76 @@ struct ThreadEnv<M> {
     link_free: HashMap<NodeId, Instant>,
     timers: Vec<(Duration, u64)>,
     metrics: Metrics,
+    faults: FaultPlan,
+    fault_rng: u64,
+    link_sends: HashMap<NodeId, u64>,
 }
 
 impl<M> ThreadEnv<M> {
     fn scaled(&self, t: SimTime) -> Duration {
         Duration::from_secs_f64(t.as_secs_f64() * self.time_scale)
+    }
+
+    /// Applies the message-drop rules of the fault plan to a send from
+    /// `self.me` to `to` at virtual time `at`, mirroring the simulator's
+    /// check order (scripted, partition, probabilistic). Returns the drop
+    /// cause, or `None` when the message goes through.
+    fn fault_drop_cause(&mut self, at: SimTime, to: NodeId) -> Option<&'static str> {
+        use spyker_simnet::fault::ScriptedDrop;
+        let from = self.me;
+        let mut scripted = false;
+        let mut needs_counter = false;
+        for d in &self.faults.drops {
+            match *d {
+                ScriptedDrop::NthOnLink {
+                    from: f,
+                    to: t,
+                    nth,
+                } if f == from && t == to => {
+                    needs_counter = true;
+                    if *self.link_sends.get(&to).unwrap_or(&0) == nth {
+                        scripted = true;
+                    }
+                }
+                ScriptedDrop::LinkWindow {
+                    from: f,
+                    to: t,
+                    start,
+                    end,
+                } if f == from && t == to && at >= start && at < end => {
+                    scripted = true;
+                }
+                _ => {}
+            }
+        }
+        if needs_counter {
+            *self.link_sends.entry(to).or_insert(0) += 1;
+        }
+        if scripted {
+            return Some("scripted");
+        }
+        if self
+            .faults
+            .partitioned(self.regions[from], self.regions[to], at)
+        {
+            return Some("partition");
+        }
+        let p = self.faults.loss_for(from, to);
+        if p > 0.0 {
+            // splitmix64: self-contained, no RNG dependency. The thread
+            // cluster is wall-clock driven and thus not bit-reproducible
+            // anyway, so stream quality matters more than replay.
+            self.fault_rng = self.fault_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.fault_rng;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+            if u < p {
+                return Some("loss");
+            }
+        }
+        None
     }
 }
 
@@ -151,6 +217,18 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
         self.metrics
             .add_counter(&format!("net.bytes.{}", msg.kind()), bytes as u64);
         self.metrics.add_counter("net.messages", 1);
+        // The message is on the wire; faults may now eat it (same counter
+        // semantics as the simulator: sent bytes are counted, delivery is
+        // what gets lost).
+        if self.faults.has_message_faults() {
+            let at = self.now();
+            if let Some(cause) = self.fault_drop_cause(at, to) {
+                self.metrics.add_counter("fault.dropped", 1);
+                self.metrics
+                    .add_counter(&format!("fault.dropped.{cause}"), 1);
+                return;
+            }
+        }
         let delay = self.scaled(
             self.net.latency(self.regions[self.me], self.regions[to])
                 + self.net.serialization_delay(bytes),
@@ -199,6 +277,8 @@ pub struct ThreadCluster<M> {
     cfg: ClusterConfig,
     nodes: Vec<Box<dyn Node<M>>>,
     regions: Vec<Region>,
+    faults: FaultPlan,
+    fault_seed: u64,
 }
 
 impl<M: WireSize + Send + 'static> ThreadCluster<M> {
@@ -216,7 +296,25 @@ impl<M: WireSize + Send + 'static> ThreadCluster<M> {
             cfg,
             nodes: Vec::new(),
             regions: Vec::new(),
+            faults: FaultPlan::none(),
+            fault_seed: 0,
         }
+    }
+
+    /// Injects the *message* faults of `plan` into every send: scripted
+    /// drops, partitions and probabilistic loss, with the same check order
+    /// and `fault.dropped.*` counters as the simulator.
+    ///
+    /// Crash/restart entries are ignored — stopping and resuming node
+    /// *threads* is a different mechanism from discarding events in a
+    /// virtual-time queue, and the thread cluster does not emulate it.
+    /// `seed` feeds the probabilistic-loss generator (per-node streams);
+    /// unlike the simulator the cluster is wall-clock driven, so seeding
+    /// buys stable loss *rates*, not bit-identical replays.
+    pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.faults = plan;
+        self.fault_seed = seed;
+        self
     }
 
     /// Adds a node in `region`, returning its id.
@@ -258,6 +356,11 @@ impl<M: WireSize + Send + 'static> ThreadCluster<M> {
                 link_free: HashMap::new(),
                 timers: Vec::new(),
                 metrics: Metrics::new(),
+                faults: self.faults.clone(),
+                fault_rng: self
+                    .fault_seed
+                    .wrapping_add((id as u64).wrapping_mul(0xA076_1D64_78BD_642F)),
+                link_sends: HashMap::new(),
             };
             handles.push(std::thread::spawn(move || node_loop(node, env, rx)));
         }
@@ -458,6 +561,34 @@ mod tests {
     }
 
     #[test]
+    fn full_link_loss_silences_a_link_but_counts_the_drops() {
+        let mut cluster =
+            ThreadCluster::new(quick_cfg()).with_faults(FaultPlan::none().with_loss(1.0), 7);
+        cluster.add_node(Box::new(Spammer { to: 1, count: 25 }), Region::Paris);
+        cluster.add_node(Box::new(Sink { got: Vec::new() }), Region::Sydney);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let sink = report.nodes[1].as_any().downcast_ref::<Sink>().unwrap();
+        assert!(sink.got.is_empty(), "messages leaked through full loss");
+        assert_eq!(report.metrics.counter("fault.dropped"), 25);
+        assert_eq!(report.metrics.counter("fault.dropped.loss"), 25);
+        // Sent traffic is still accounted: the loss is in flight.
+        assert_eq!(report.metrics.counter("net.messages"), 25);
+    }
+
+    #[test]
+    fn scripted_nth_drop_removes_exactly_one_message() {
+        let mut cluster =
+            ThreadCluster::new(quick_cfg()).with_faults(FaultPlan::none().drop_nth(0, 1, 3), 0);
+        cluster.add_node(Box::new(Spammer { to: 1, count: 25 }), Region::Paris);
+        cluster.add_node(Box::new(Sink { got: Vec::new() }), Region::Sydney);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let sink = report.nodes[1].as_any().downcast_ref::<Sink>().unwrap();
+        assert_eq!(sink.got.len(), 24);
+        assert_eq!(report.metrics.counter("fault.dropped"), 1);
+        assert_eq!(report.metrics.counter("fault.dropped.scripted"), 1);
+    }
+
+    #[test]
     fn timers_fire_on_real_threads() {
         struct TimerNode {
             fired: u32,
@@ -483,7 +614,10 @@ mod tests {
         let mut cluster = ThreadCluster::new(quick_cfg());
         cluster.add_node(Box::new(TimerNode { fired: 0 }), Region::Paris);
         let report = cluster.run_for(Duration::from_millis(300));
-        let node = report.nodes[0].as_any().downcast_ref::<TimerNode>().unwrap();
+        let node = report.nodes[0]
+            .as_any()
+            .downcast_ref::<TimerNode>()
+            .unwrap();
         assert_eq!(node.fired, 5);
     }
 
@@ -554,6 +688,10 @@ mod tests {
         cluster.add_node(Box::new(BusyNode { elapsed_ms: 0 }), Region::Paris);
         let report = cluster.run_for(Duration::from_millis(100));
         let node = report.nodes[0].as_any().downcast_ref::<BusyNode>().unwrap();
-        assert!(node.elapsed_ms >= 19, "busy slept only {} ms", node.elapsed_ms);
+        assert!(
+            node.elapsed_ms >= 19,
+            "busy slept only {} ms",
+            node.elapsed_ms
+        );
     }
 }

@@ -73,7 +73,11 @@ fn main() {
                 xs.push(x);
                 ys.push(y);
             }
-            Box::new(RidgeTrainer { xs, ys, lambda: 1e-4 }) as Box<dyn LocalTrainer>
+            Box::new(RidgeTrainer {
+                xs,
+                ys,
+                lambda: 1e-4,
+            }) as Box<dyn LocalTrainer>
         })
         .collect();
 

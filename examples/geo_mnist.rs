@@ -19,7 +19,11 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>12} {:>10}",
         "algorithm", "best", "final", "time@90%", "updates"
     );
-    for alg in [Algorithm::FedAsync, Algorithm::Spyker, Algorithm::SyncSpyker] {
+    for alg in [
+        Algorithm::FedAsync,
+        Algorithm::Spyker,
+        Algorithm::SyncSpyker,
+    ] {
         let run = run_algorithm(alg, &scenario, &opts);
         let t90 = run
             .time_to_target(0.9)

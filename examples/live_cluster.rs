@@ -34,8 +34,7 @@ fn main() {
             .map(|i| num_servers + i)
             .collect()
     };
-    let config = SpykerConfig::paper_defaults(num_clients, num_servers)
-        .with_thresholds(2.0, 25.0);
+    let config = SpykerConfig::paper_defaults(num_clients, num_servers).with_thresholds(2.0, 25.0);
     for s in 0..num_servers {
         cluster.add_node(
             Box::new(SpykerServer::new(

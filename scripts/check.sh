@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting and lints, as CI would run them.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets --offline -- -D warnings

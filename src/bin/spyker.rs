@@ -206,8 +206,8 @@ fn cmd_latency() {
     println!();
     for (i, r) in regions.iter().enumerate() {
         print!("{r:<12}");
-        for j in 0..4 {
-            print!("{:>12.2}", AWS_LATENCY_MS[i][j]);
+        for lat in &AWS_LATENCY_MS[i] {
+            print!("{lat:>12.2}");
         }
         println!();
     }

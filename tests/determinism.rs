@@ -1,8 +1,10 @@
 //! Bit-level determinism of the whole stack: identical seeds must give
 //! identical runs, different seeds must not.
 
+use spyker_repro::core::config::RecoveryConfig;
+use spyker_repro::experiments::runner::default_spyker_config;
 use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario};
-use spyker_repro::simnet::SimTime;
+use spyker_repro::simnet::{FaultPlan, SimTime};
 
 fn opts() -> RunOptions {
     RunOptions::standard().with_max_time(SimTime::from_secs(12))
@@ -16,7 +18,10 @@ fn all_algorithms_are_deterministic_per_seed() {
         let a = run_algorithm(alg, &scenario_a, &opts());
         let b = run_algorithm(alg, &scenario_b, &opts());
         assert_eq!(a.samples, b.samples, "{alg}: samples diverged");
-        assert_eq!(a.client_updates, b.client_updates, "{alg}: clients diverged");
+        assert_eq!(
+            a.client_updates, b.client_updates,
+            "{alg}: clients diverged"
+        );
         assert_eq!(
             a.metrics.counter("net.bytes"),
             b.metrics.counter("net.bytes"),
@@ -30,6 +35,67 @@ fn different_seeds_give_different_runs() {
     let a = run_algorithm(Algorithm::Spyker, &Scenario::mnist(10, 2, 1), &opts());
     let b = run_algorithm(Algorithm::Spyker, &Scenario::mnist(10, 2, 2), &opts());
     assert_ne!(a.samples, b.samples, "seeds should matter");
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    // Probabilistic loss, a partition-style link cut and a crash all draw
+    // from the fault RNG stream, which is derived from the scenario seed:
+    // re-running the same plan must reproduce every drop, every recovery
+    // action and hence the exact same model trajectory.
+    let plan = FaultPlan::none()
+        .with_loss(0.05)
+        .drop_link_window(0, 1, SimTime::ZERO, SimTime::from_secs(4))
+        .crash(1, SimTime::from_secs(6), Some(SimTime::from_secs(9)));
+    let run = |(): ()| {
+        let scenario = Scenario::mnist(10, 2, 31);
+        let opts = opts().with_faults(plan.clone()).with_spyker_config(
+            default_spyker_config(&scenario).with_recovery(RecoveryConfig::default()),
+        );
+        run_algorithm(Algorithm::Spyker, &scenario, &opts)
+    };
+    let a = run(());
+    let b = run(());
+    assert!(
+        a.metrics.counter("fault.dropped") > 0,
+        "the plan never dropped anything"
+    );
+    for counter in [
+        "fault.dropped",
+        "fault.crashes",
+        "fault.restarts",
+        "net.bytes",
+        "updates.processed",
+        "syncs.triggered",
+        "token.regenerated",
+    ] {
+        assert_eq!(
+            a.metrics.counter(counter),
+            b.metrics.counter(counter),
+            "{counter} diverged between identical fault runs"
+        );
+    }
+    // Samples carry the evaluated metric/loss, i.e. the model bits.
+    assert_eq!(a.samples, b.samples, "model trajectory diverged");
+    assert_eq!(
+        a.client_updates, b.client_updates,
+        "client traffic diverged"
+    );
+}
+
+#[test]
+fn an_empty_fault_plan_changes_nothing() {
+    let base = run_algorithm(Algorithm::Spyker, &Scenario::mnist(10, 2, 77), &opts());
+    let with_plan = run_algorithm(
+        Algorithm::Spyker,
+        &Scenario::mnist(10, 2, 77),
+        &opts().with_faults(FaultPlan::none()),
+    );
+    assert_eq!(base.samples, with_plan.samples);
+    assert_eq!(
+        base.metrics.counter("net.bytes"),
+        with_plan.metrics.counter("net.bytes")
+    );
 }
 
 #[test]

@@ -1,7 +1,10 @@
-//! Adverse-condition tests: extreme stragglers, network jitter, overload.
+//! Adverse-condition tests: extreme stragglers, network jitter, overload,
+//! and injected faults (message loss, token drops, server crashes).
 
+use spyker_repro::core::config::RecoveryConfig;
+use spyker_repro::experiments::runner::default_spyker_config;
 use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario};
-use spyker_repro::simnet::{NetworkConfig, SimTime};
+use spyker_repro::simnet::{FaultPlan, NetworkConfig, SimTime};
 
 #[test]
 fn spyker_survives_an_extreme_straggler_population() {
@@ -87,5 +90,112 @@ fn sync_spyker_tolerates_a_slow_inter_server_link() {
     assert!(
         sent - processed <= 16 + 4,
         "updates lost during buffering: sent {sent}, processed {processed}"
+    );
+}
+
+/// Recovery-enabled options for a fault run: paper config plus the three
+/// watchdogs, and the given fault plan.
+fn recovery_opts(scenario: &Scenario, faults: FaultPlan, max: u64) -> RunOptions {
+    RunOptions::standard()
+        .with_max_time(SimTime::from_secs(max))
+        .with_faults(faults)
+        .with_spyker_config(
+            default_spyker_config(scenario).with_recovery(RecoveryConfig::default()),
+        )
+}
+
+#[test]
+fn spyker_converges_under_five_percent_message_loss() {
+    // Every message (client updates, models, tokens, gossip) has a 5%
+    // chance of vanishing. The watchdogs must paper over the holes.
+    let scenario = Scenario::mnist(12, 4, 11);
+    let run = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &recovery_opts(&scenario, FaultPlan::none().with_loss(0.05), 40),
+    );
+    assert!(
+        run.metrics.counter("fault.dropped") > 0,
+        "the loss plan never fired"
+    );
+    assert!(
+        run.best_metric().expect("metric") > 0.8,
+        "5% loss sank accuracy: {:?}",
+        run.best_metric()
+    );
+    assert!(run.metrics.counter("updates.processed") > 100);
+}
+
+#[test]
+fn dropped_token_regenerates_and_synchronisation_resumes() {
+    // Cut the server 0 -> server 1 ring link for the first 10 s: the very
+    // first token forward dies. Without recovery no exchange would ever
+    // complete again; the token watchdog must mint a replacement.
+    let scenario = Scenario::mnist(12, 4, 13);
+    let faults = FaultPlan::none().drop_link_window(0, 1, SimTime::ZERO, SimTime::from_secs(10));
+    let with_recovery = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &recovery_opts(&scenario, faults.clone(), 40),
+    );
+    assert!(
+        with_recovery.metrics.counter("token.regenerated") > 0,
+        "watchdog never regenerated the token"
+    );
+    assert!(
+        with_recovery.metrics.counter("syncs.triggered") > 3,
+        "synchronisation did not resume: {} syncs",
+        with_recovery.metrics.counter("syncs.triggered")
+    );
+    // The same cut without recovery strands the ring.
+    let without = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &RunOptions::standard()
+            .with_max_time(SimTime::from_secs(40))
+            .with_faults(faults),
+    );
+    assert!(
+        with_recovery.metrics.counter("syncs.triggered")
+            > without.metrics.counter("syncs.triggered"),
+        "recovery did not add syncs over the stranded baseline"
+    );
+}
+
+#[test]
+fn crashed_server_does_not_stop_the_survivors_from_learning() {
+    // Server 1 dies at t = 10 s and never comes back. The other three
+    // servers must keep exchanging (degraded) and keep improving.
+    let scenario = Scenario::mnist(16, 4, 17);
+    let faults = FaultPlan::none().crash(1, SimTime::from_secs(10), None);
+    let run = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &recovery_opts(&scenario, faults.clone(), 40),
+    );
+    assert_eq!(run.metrics.counter("fault.crashes"), 1);
+    assert!(
+        run.metrics.counter("sync.degraded") > 0,
+        "no degraded exchange despite a dead ring member"
+    );
+    // The probe averages all four server models (including the corpse's
+    // frozen one), so the bar is lower than in the healthy runs.
+    assert!(
+        run.best_metric().expect("metric") > 0.6,
+        "survivors stopped learning: {:?}",
+        run.best_metric()
+    );
+    // Syncs must keep flowing after the crash; the stranded-ring baseline
+    // stops at whatever it reached by t = 10 s.
+    let without = run_algorithm(
+        Algorithm::Spyker,
+        &scenario,
+        &RunOptions::standard()
+            .with_max_time(SimTime::from_secs(40))
+            .with_faults(faults),
+    );
+    assert!(
+        run.metrics.counter("syncs.triggered") > without.metrics.counter("syncs.triggered"),
+        "recovery did not keep the ring turning past the crash"
     );
 }

@@ -18,9 +18,7 @@ fn run_random_deployment(
     seed: u64,
 ) -> Simulation<spyker_repro::core::FlMsg> {
     let trainers: Vec<Box<dyn LocalTrainer>> = (0..num_clients)
-        .map(|i| {
-            Box::new(MeanTargetTrainer::new(vec![(i % 5) as f32], 4)) as Box<dyn LocalTrainer>
-        })
+        .map(|i| Box::new(MeanTargetTrainer::new(vec![(i % 5) as f32], 4)) as Box<dyn LocalTrainer>)
         .collect();
     let spec = SpykerDeploymentSpec {
         config: SpykerConfig::paper_defaults(num_clients, num_servers)

@@ -17,8 +17,7 @@ fn run_live(num_clients: usize, num_servers: usize, secs: u64) -> ClusterReport<
         time_scale: 0.05,
     });
     let server_nodes: Vec<usize> = (0..num_servers).collect();
-    let config =
-        SpykerConfig::paper_defaults(num_clients, num_servers).with_thresholds(2.0, 25.0);
+    let config = SpykerConfig::paper_defaults(num_clients, num_servers).with_thresholds(2.0, 25.0);
     for s in 0..num_servers {
         let clients = (0..num_clients)
             .filter(|i| i % num_servers == s)
@@ -81,7 +80,10 @@ fn live_token_is_never_duplicated() {
         })
         .count();
     assert!(holders <= 1, "token duplicated across threads");
-    assert!(report.metrics.counter("server.aggs") > 0, "no exchanges happened");
+    assert!(
+        report.metrics.counter("server.aggs") > 0,
+        "no exchanges happened"
+    );
 }
 
 #[test]

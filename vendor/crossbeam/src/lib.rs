@@ -1,0 +1,38 @@
+//! Offline, API-compatible subset of the `crossbeam` crate.
+//!
+//! The thread transport only needs unbounded MPSC channels with timed
+//! receive; `std::sync::mpsc` provides exactly that surface, so this
+//! vendored stand-in re-exports it under crossbeam's names.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        let tx2 = tx.clone();
+        tx2.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 7);
+    }
+}
