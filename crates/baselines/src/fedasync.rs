@@ -2,6 +2,7 @@
 
 use std::any::Any;
 
+use spyker_core::agg::{validate_update, AggregationStrategy, RobustBuffer, ValidationConfig};
 use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_simnet::{Env, Node, NodeId, SimTime};
@@ -17,6 +18,12 @@ pub struct FedAsyncConfig {
     pub alpha: f32,
     /// CPU cost of one aggregation (paper Tab. 3: 2 ms).
     pub agg_cost: SimTime,
+    /// How accepted updates are combined (default: the algorithm-native
+    /// per-update mean). See [`spyker_core::agg`].
+    pub aggregation: AggregationStrategy,
+    /// Server-side update validation gate (default: reject non-finite
+    /// payloads only).
+    pub validation: ValidationConfig,
 }
 
 impl FedAsyncConfig {
@@ -27,12 +34,26 @@ impl FedAsyncConfig {
             eta: 0.6,
             alpha: 0.5,
             agg_cost: SimTime::from_millis(2),
+            aggregation: AggregationStrategy::Mean,
+            validation: ValidationConfig::default(),
         }
     }
 
     /// Overrides the client learning rate (builder style).
     pub fn with_client_lr(mut self, lr: f32) -> Self {
         self.client_lr = lr;
+        self
+    }
+
+    /// Sets the aggregation strategy (builder style).
+    pub fn with_aggregation(mut self, aggregation: AggregationStrategy) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the update validation gate (builder style).
+    pub fn with_validation(mut self, validation: ValidationConfig) -> Self {
+        self.validation = validation;
         self
     }
 }
@@ -50,6 +71,9 @@ pub struct FedAsyncServer {
     params: ParamVec,
     cfg: FedAsyncConfig,
     version: u64,
+    /// Robust-aggregation buffer; `None` for the algorithm-native mean.
+    robust: Option<RobustBuffer>,
+    rejected_updates: u64,
 }
 
 impl FedAsyncServer {
@@ -60,11 +84,14 @@ impl FedAsyncServer {
     /// Panics if `clients` is empty.
     pub fn new(clients: Vec<NodeId>, init_params: ParamVec, cfg: FedAsyncConfig) -> Self {
         assert!(!clients.is_empty(), "need at least one client");
+        let robust = RobustBuffer::from_strategy(cfg.aggregation);
         Self {
             clients,
             params: init_params,
             cfg,
             version: 0,
+            robust,
+            rejected_updates: 0,
         }
     }
 
@@ -76,6 +103,11 @@ impl FedAsyncServer {
     /// Number of updates integrated (the global model version `t`).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Updates rejected by the validation gate.
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
     }
 }
 
@@ -99,9 +131,48 @@ impl Node<FlMsg> for FedAsyncServer {
             return;
         };
         env.busy(self.cfg.agg_cost);
+        // Validation gate (see `spyker_core::agg`): rejected updates never
+        // touch the model, but the client still gets the current model back.
+        if let Err(reason) = validate_update(
+            &self.cfg.validation,
+            &self.params,
+            &params,
+            self.version as f64,
+            age,
+        ) {
+            self.rejected_updates += 1;
+            env.add_counter("agg.rejected", 1);
+            env.add_counter(reason.counter(), 1);
+            env.send(
+                from,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.version as f64,
+                    lr: self.cfg.client_lr,
+                },
+            );
+            return;
+        }
         let tau = (self.version as f64 - age).max(0.0) as f32;
         let s = (1.0 + tau).powf(-self.cfg.alpha);
-        self.params.lerp_toward(&params, self.cfg.eta * s);
+        if let Some(buf) = &mut self.robust {
+            // Robust path: batch staleness-weighted deltas and fold one
+            // robust estimate per batch (mirrors the Spyker server).
+            let mut delta = params;
+            delta.axpy(-1.0, &self.params);
+            buf.push(delta, s);
+            if buf.is_ready() {
+                let n = buf.len();
+                let (estimate, mean_s) = buf.flush();
+                // Compounded step: one batch step integrates as much as the
+                // `n` sequential lerps the Mean path would have applied.
+                let step = spyker_core::agg::compounded_step(self.cfg.eta * mean_s, n);
+                self.params.axpy(step, &estimate);
+                env.add_counter("agg.robust.flushes", 1);
+            }
+        } else {
+            self.params.lerp_toward(&params, self.cfg.eta * s);
+        }
         self.version += 1;
         env.add_counter("updates.processed", 1);
         env.send(
@@ -198,6 +269,79 @@ mod tests {
         sim.run(SimTime::from_secs(30));
         let v = server(&sim).params().as_slice()[0];
         assert!(v < 1.2, "expected a low-target bias, model at {v}");
+    }
+
+    #[test]
+    fn nan_injecting_client_is_rejected_not_integrated() {
+        // Client 2 NaN-injects every upload; the default gate rejects them
+        // all, the honest clients keep the run going.
+        let mut sim = build(&[100, 100, 100]).with_faults(
+            spyker_simnet::FaultPlan::default()
+                .byzantine(2, spyker_simnet::ByzantineAttack::NanInject { prob: 1.0 }),
+        );
+        sim.run(SimTime::from_secs(10));
+        let s = server(&sim);
+        assert!(s.params().is_finite(), "NaNs reached the model");
+        assert!(s.rejected_updates() > 0);
+        let rejected = sim.metrics().counter("agg.rejected");
+        assert_eq!(rejected, s.rejected_updates());
+        assert_eq!(rejected, sim.metrics().counter("agg.rejected.nonfinite"));
+        // The rejected client is still answered with the current model, so
+        // it keeps training (and keeps being rejected) instead of starving.
+        assert!(rejected > 10, "only {rejected} rejections in 10 s");
+        assert!(s.version() > 50, "honest progress stalled");
+    }
+
+    #[test]
+    fn trimmed_mean_keeps_tracking_targets_under_a_sign_flip_attacker() {
+        use spyker_core::agg::AggregationStrategy;
+        let net = NetworkConfig::uniform_all(SimTime::from_millis(20));
+        let run = |aggregation: AggregationStrategy| {
+            let mut sim = Simulation::new(net.clone(), 1).with_faults(
+                spyker_simnet::FaultPlan::default()
+                    .byzantine(4, spyker_simnet::ByzantineAttack::SignFlip),
+            );
+            let clients: Vec<NodeId> = (1..=4).collect();
+            let srv = FedAsyncServer::new(
+                clients,
+                ParamVec::zeros(1),
+                FedAsyncConfig::paper_defaults()
+                    .with_client_lr(0.5)
+                    .with_aggregation(aggregation),
+            );
+            sim.add_node(Box::new(srv), Region::Hongkong);
+            for i in 0..4 {
+                sim.add_node(
+                    Box::new(FlClient::new(
+                        0,
+                        Box::new(MeanTargetTrainer::new(vec![i as f32], 10)),
+                        1,
+                        SimTime::from_millis(150),
+                    )),
+                    Region::ALL[i % 4],
+                );
+            }
+            sim.run(SimTime::from_secs(30));
+            let v = server(&sim).params().as_slice()[0];
+            let flushes = sim.metrics().counter("agg.robust.flushes");
+            (v, flushes)
+        };
+        // Honest targets are 0, 1, 2 (client 4, target 3, flips its sign).
+        let honest_center = 1.0;
+        let (mean_v, _) = run(AggregationStrategy::Mean);
+        let (robust_v, flushes) = run(AggregationStrategy::TrimmedMean {
+            batch: 4,
+            trim_ratio: 0.3,
+        });
+        assert!(flushes > 10, "robust path never flushed");
+        assert!(
+            (robust_v - honest_center).abs() < (mean_v - honest_center).abs(),
+            "trimmed mean ({robust_v}) no better than plain mean ({mean_v})"
+        );
+        assert!(
+            (robust_v - honest_center).abs() < 0.7,
+            "trimmed-mean model drifted to {robust_v}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use spyker_core::agg::{validate_update, AggregationStrategy, RobustAggregator, ValidationConfig};
 use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_simnet::{Env, Node, NodeId, SimTime};
@@ -20,6 +21,17 @@ pub struct FedAvgConfig {
     /// Fraction of clients selected each round (`C` in McMahan et al.;
     /// the paper's emulation uses full participation, `1.0`).
     pub participation: f32,
+    /// How the round's accepted updates are combined. The default,
+    /// [`AggregationStrategy::Mean`], is Eq. 2's data-size weighted mean;
+    /// robust variants combine per-round deltas with *uniform* weights,
+    /// since `num_samples` is attacker-controllable. See
+    /// [`spyker_core::agg`].
+    pub aggregation: AggregationStrategy,
+    /// Server-side update validation gate (default: reject non-finite
+    /// payloads only). A rejected update still counts toward round
+    /// completion — the synchronous barrier must not deadlock — but is
+    /// excluded from the aggregate.
+    pub validation: ValidationConfig,
 }
 
 impl FedAvgConfig {
@@ -29,12 +41,26 @@ impl FedAvgConfig {
             client_lr: 0.05,
             agg_cost: SimTime::from_millis(15),
             participation: 1.0,
+            aggregation: AggregationStrategy::Mean,
+            validation: ValidationConfig::default(),
         }
     }
 
     /// Overrides the client learning rate (builder style).
     pub fn with_client_lr(mut self, lr: f32) -> Self {
         self.client_lr = lr;
+        self
+    }
+
+    /// Sets the aggregation strategy (builder style).
+    pub fn with_aggregation(mut self, aggregation: AggregationStrategy) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the update validation gate (builder style).
+    pub fn with_validation(mut self, validation: ValidationConfig) -> Self {
+        self.validation = validation;
         self
     }
 
@@ -63,11 +89,16 @@ pub struct FedAvgServer {
     cfg: FedAvgConfig,
     round: u64,
     // BTreeMap: aggregation iterates values, and f32 summation order must
-    // be deterministic for reproducible runs.
-    received: BTreeMap<NodeId, (ParamVec, usize)>,
+    // be deterministic for reproducible runs. `None` marks an update the
+    // validation gate rejected: it still advances the round barrier but
+    // never reaches the aggregate.
+    received: BTreeMap<NodeId, Option<(ParamVec, usize)>>,
     /// Clients selected for the current round.
     selected: Vec<NodeId>,
     rng: StdRng,
+    /// Robust combiner; `None` for Eq. 2's weighted mean.
+    agg: Option<Box<dyn RobustAggregator>>,
+    rejected_updates: u64,
 }
 
 impl FedAvgServer {
@@ -93,6 +124,7 @@ impl FedAvgServer {
         seed: u64,
     ) -> Self {
         assert!(!clients.is_empty(), "need at least one client");
+        let agg = cfg.aggregation.aggregator();
         Self {
             clients,
             params: init_params,
@@ -101,6 +133,8 @@ impl FedAvgServer {
             received: BTreeMap::new(),
             selected: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xfeda_f60f_5eed),
+            agg,
+            rejected_updates: 0,
         }
     }
 
@@ -112,6 +146,11 @@ impl FedAvgServer {
     /// Completed rounds.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Updates rejected by the validation gate.
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
     }
 
     /// Selects this round's participants (all clients at `participation =
@@ -148,8 +187,8 @@ impl Node<FlMsg> for FedAvgServer {
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
         let FlMsg::ClientUpdate {
             params,
+            age,
             num_samples,
-            ..
         } = msg
         else {
             debug_assert!(false, "unexpected message {msg:?}");
@@ -159,22 +198,62 @@ impl Node<FlMsg> for FedAvgServer {
             debug_assert!(false, "update from unselected client {from}");
             return;
         }
-        self.received.insert(from, (params, num_samples));
+        // Validation gate: a rejected update still counts toward round
+        // completion (the barrier must not wait on an attacker) but is
+        // dropped from the aggregate.
+        let entry = match validate_update(
+            &self.cfg.validation,
+            &self.params,
+            &params,
+            self.round as f64,
+            age,
+        ) {
+            Ok(()) => Some((params, num_samples)),
+            Err(reason) => {
+                self.rejected_updates += 1;
+                env.add_counter("agg.rejected", 1);
+                env.add_counter(reason.counter(), 1);
+                None
+            }
+        };
+        self.received.insert(from, entry);
         if self.received.len() < self.selected.len() {
             return;
         }
-        // Round complete: Eq. 2 aggregation.
+        // Round complete: aggregate the accepted updates.
         env.busy(self.cfg.agg_cost);
-        let items: Vec<(&ParamVec, f64)> = self
+        let valid: Vec<(&ParamVec, f64)> = self
             .received
             .values()
+            .flatten()
             .map(|(p, n)| (p, *n as f64))
             .collect();
-        self.params = ParamVec::weighted_mean(&items);
-        let processed = self.received.len() as u64;
+        let processed = valid.len() as u64;
+        if valid.is_empty() {
+            // Every update was rejected: keep the model as is.
+        } else if let Some(agg) = &self.agg {
+            // Robust path: combine per-round deltas with uniform weights
+            // (`num_samples` is attacker-controllable) and step the model.
+            let deltas: Vec<ParamVec> = valid
+                .iter()
+                .map(|(p, _)| {
+                    let mut d = (*p).clone();
+                    d.axpy(-1.0, &self.params);
+                    d
+                })
+                .collect();
+            let rows: Vec<&[f32]> = deltas.iter().map(ParamVec::as_slice).collect();
+            let mut out = vec![0.0f32; self.params.len()];
+            agg.combine(&rows, &mut out);
+            self.params.axpy(1.0, &ParamVec::from_vec(out));
+            env.add_counter("agg.robust.flushes", 1);
+        } else {
+            // Eq. 2: data-size weighted mean replaces the global model.
+            self.params = ParamVec::weighted_mean(&valid);
+        }
         self.received.clear();
         self.round += 1;
-        // One "round" integrates one update from every selected client.
+        // One "round" integrates one update from every accepted client.
         env.add_counter("updates.processed", processed);
         env.add_counter("rounds", 1);
         self.broadcast_round(env);
@@ -282,6 +361,83 @@ mod tests {
         // central compromise.
         let v = server(&sim).params().as_slice()[0];
         assert!((v - 3.5).abs() < 1.5, "model at {v}");
+    }
+
+    #[test]
+    fn rejected_nan_update_does_not_stall_the_round_barrier() {
+        // Client 2 (target 1) NaN-injects every upload: its updates are
+        // rejected but still complete the round, so FedAvg converges to the
+        // mean of the three honest targets {0, 2, 3}.
+        let mut sim = build(&[150, 150, 150, 150]).with_faults(
+            spyker_simnet::FaultPlan::default()
+                .byzantine(2, spyker_simnet::ByzantineAttack::NanInject { prob: 1.0 }),
+        );
+        sim.run(SimTime::from_secs(30));
+        let s = server(&sim);
+        assert!(s.round() > 10, "rounds deadlocked at {}", s.round());
+        assert!(s.params().is_finite(), "NaNs reached the model");
+        assert!(s.rejected_updates() > 0);
+        assert_eq!(
+            sim.metrics().counter("agg.rejected"),
+            sim.metrics().counter("agg.rejected.nonfinite")
+        );
+        // Three honest updates per round, none from the attacker.
+        assert_eq!(
+            sim.metrics().counter("updates.processed"),
+            sim.metrics().counter("rounds") * 3
+        );
+        let v = s.params().as_slice()[0];
+        let honest_mean = (0.0 + 2.0 + 3.0) / 3.0;
+        assert!((v - honest_mean).abs() < 0.1, "converged to {v}");
+    }
+
+    #[test]
+    fn median_aggregation_survives_a_sign_flip_attacker() {
+        use spyker_core::agg::AggregationStrategy;
+        let run = |aggregation: AggregationStrategy| {
+            let mut sim = Simulation::new(NetworkConfig::aws(), 1).with_faults(
+                spyker_simnet::FaultPlan::default()
+                    .byzantine(1, spyker_simnet::ByzantineAttack::SignFlip),
+            );
+            let clients: Vec<NodeId> = (1..=4).collect();
+            let srv = FedAvgServer::new(
+                clients,
+                ParamVec::zeros(1),
+                FedAvgConfig::paper_defaults()
+                    .with_client_lr(0.5)
+                    .with_aggregation(aggregation),
+            );
+            sim.add_node(Box::new(srv), Region::Hongkong);
+            for i in 0..4 {
+                sim.add_node(
+                    Box::new(FlClient::new(
+                        0,
+                        Box::new(MeanTargetTrainer::new(vec![i as f32], 10)),
+                        1,
+                        SimTime::from_millis(150),
+                    )),
+                    Region::ALL[i % 4],
+                );
+            }
+            sim.run(SimTime::from_secs(30));
+            let v = server(&sim).params().as_slice()[0];
+            (v, sim.metrics().counter("agg.robust.flushes"))
+        };
+        // Client 1 (target 0) sign-flips; honest targets are 1, 2, 3.
+        let honest_center = 2.0;
+        let (mean_v, mean_flushes) = run(AggregationStrategy::Mean);
+        assert_eq!(mean_flushes, 0);
+        // `batch` is ignored by FedAvg: the whole round is one batch.
+        let (median_v, flushes) = run(AggregationStrategy::Median { batch: 1 });
+        assert!(flushes > 10, "robust path never ran");
+        assert!(
+            (median_v - honest_center).abs() < (mean_v - honest_center).abs(),
+            "median ({median_v}) no better than plain mean ({mean_v})"
+        );
+        assert!(
+            (median_v - honest_center).abs() < 0.7,
+            "median model drifted to {median_v}"
+        );
     }
 
     #[test]

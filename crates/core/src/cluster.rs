@@ -451,6 +451,22 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 };
                 debug_assert!(center < self.centers.k(), "bad center index");
                 env.busy(self.cfg.agg_cost);
+                // Validation gate (see `crate::agg`): a poisoned update must
+                // not touch any center. The client still gets the offer back
+                // so its training loop keeps running.
+                if let Err(reason) = crate::agg::validate_update(
+                    &self.cfg.validation,
+                    &self.centers.centers()[center],
+                    &params,
+                    self.centers.ages()[center],
+                    age,
+                ) {
+                    env.add_counter("agg.rejected", 1);
+                    env.add_counter(reason.counter(), 1);
+                    let reply = self.centers_msg(self.client_lr[k]);
+                    env.send(from, reply);
+                    return;
+                }
                 self.assignment[k] = center;
                 let mut w = self.cfg.staleness.weight(self.centers.ages()[center], age);
                 if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
@@ -477,6 +493,14 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 center,
                 ..
             } => {
+                // Unlike the token exchange, nothing waits on this merge:
+                // a non-finite peer center can be dropped outright.
+                if self.cfg.validation.reject_nonfinite && !(age.is_finite() && params.is_finite())
+                {
+                    env.add_counter("agg.rejected", 1);
+                    env.add_counter("agg.rejected.peer", 1);
+                    return;
+                }
                 env.busy(self.cfg.agg_cost);
                 let merged =
                     self.centers

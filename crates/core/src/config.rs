@@ -2,6 +2,7 @@
 
 use spyker_simnet::SimTime;
 
+use crate::agg::{AggregationStrategy, ValidationConfig};
 use crate::decay::DecayConfig;
 use crate::staleness::ClientStaleness;
 
@@ -105,6 +106,17 @@ pub struct SpykerConfig {
     /// extra messages are ever sent, so runs are byte-identical to the
     /// pre-recovery implementation.
     pub recovery: Option<RecoveryConfig>,
+    /// How client updates are combined into the server model. The default,
+    /// [`AggregationStrategy::Mean`], is the paper-exact per-update
+    /// age-weighted lerp; the robust variants (trimmed mean, median, norm
+    /// clipping) bound the influence of Byzantine clients at the cost of
+    /// batched, less frequent steps. See [`crate::agg`].
+    pub aggregation: AggregationStrategy,
+    /// The server-side update validation gate (non-finite / norm-exploded /
+    /// over-stale rejection). The default only rejects non-finite updates —
+    /// a check that cannot fire on an honest run, so default behaviour
+    /// stays byte-identical to the paper-exact implementation.
+    pub validation: ValidationConfig,
 }
 
 impl SpykerConfig {
@@ -130,6 +142,8 @@ impl SpykerConfig {
             decay_weighted_aggregation: true,
             fractional_age: true,
             recovery: None,
+            aggregation: AggregationStrategy::Mean,
+            validation: ValidationConfig::default(),
         }
     }
 
@@ -183,6 +197,18 @@ impl SpykerConfig {
         self.server_lr = server_lr;
         self
     }
+
+    /// Sets the aggregation strategy (builder style). See [`crate::agg`].
+    pub fn with_aggregation(mut self, aggregation: AggregationStrategy) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the update validation gate (builder style). See [`crate::agg`].
+    pub fn with_validation(mut self, validation: ValidationConfig) -> Self {
+        self.validation = validation;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +227,12 @@ mod tests {
         assert_eq!(cfg.agg_cost, SimTime::from_millis(2));
         assert_eq!(cfg.decay.eta_init, 0.5);
         assert_eq!(cfg.decay.beta, 0.05);
+        // The robustness extension must stay off by default: paper-exact
+        // per-update mean, gate armed only against non-finite payloads.
+        assert_eq!(cfg.aggregation, AggregationStrategy::Mean);
+        assert_eq!(cfg.validation, ValidationConfig::default());
+        assert!(cfg.validation.max_delta_norm.is_none());
+        assert!(cfg.validation.max_staleness.is_none());
     }
 
     #[test]

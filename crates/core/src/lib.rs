@@ -15,6 +15,8 @@
 //!   `LocalTraining`), reused by the baselines;
 //! * [`server::SpykerServer`] — the Spyker server actor (Alg. 1
 //!   `Aggregation` + Alg. 2);
+//! * [`agg`] — Byzantine-robust aggregation strategies (trimmed mean,
+//!   median, norm clipping) and the server-side update validation gate;
 //! * [`sync_spyker::SyncSpykerServer`] — the partially synchronous variant
 //!   used as an ablation in the paper.
 //!
@@ -52,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod client;
 pub mod cluster;
 pub mod codec;
@@ -66,6 +69,7 @@ pub mod sync_spyker;
 pub mod token;
 pub mod training;
 
+pub use agg::{AggregationStrategy, RejectReason, RobustAggregator, ValidationConfig};
 pub use client::FlClient;
 pub use cluster::{ClusterTrainer, ClusteredFlClient, ClusteredSpykerServer, KCenters};
 pub use config::SpykerConfig;

@@ -5,7 +5,7 @@
 //! ([`spyker_simnet::WireSize::kind`] labels client–server vs server–server
 //! traffic, the split paper Fig. 12 reports).
 
-use spyker_simnet::WireSize;
+use spyker_simnet::{ByzantineAttack, WireSize};
 
 use crate::params::ParamVec;
 use crate::token::Token;
@@ -142,6 +142,57 @@ impl WireSize for FlMsg {
             FlMsg::HierModel { .. } => "server-server",
         }
     }
+
+    /// A Byzantine *client* controls only the model updates it uploads:
+    /// corruption applies to [`FlMsg::ClientUpdate`] and
+    /// [`FlMsg::ClusterUpdate`] payloads and leaves server-originated
+    /// traffic (models, gossip, the token) untouched even if a server node
+    /// is marked adversarial in the plan.
+    fn corrupt(&mut self, attack: &ByzantineAttack, draw: &mut dyn FnMut() -> f64) -> bool {
+        let params = match self {
+            FlMsg::ClientUpdate { params, .. } | FlMsg::ClusterUpdate { params, .. } => params,
+            _ => return false,
+        };
+        let data = params.as_mut_slice();
+        if data.is_empty() {
+            return false;
+        }
+        match attack {
+            ByzantineAttack::SignFlip => {
+                for v in data.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            ByzantineAttack::Scale { factor } => {
+                for v in data.iter_mut() {
+                    *v *= factor;
+                }
+            }
+            ByzantineAttack::GaussianNoise { sigma } => {
+                for v in data.iter_mut() {
+                    *v += sigma * standard_normal(draw);
+                }
+            }
+            ByzantineAttack::NanInject { prob } => {
+                let mut hit = false;
+                for v in data.iter_mut() {
+                    if draw() < *prob {
+                        *v = f32::NAN;
+                        hit = true;
+                    }
+                }
+                return hit;
+            }
+        }
+        true
+    }
+}
+
+/// One standard-normal sample via Box–Muller from two uniform draws.
+fn standard_normal(draw: &mut dyn FnMut() -> f64) -> f32 {
+    let u1 = draw().max(1e-12);
+    let u2 = draw();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
 #[cfg(test)]
@@ -188,5 +239,72 @@ mod tests {
             num_samples: 10,
         };
         assert!(client.is_client_server());
+    }
+
+    #[test]
+    fn corruption_targets_client_updates_only() {
+        let mut draw = || 0.0;
+        let mut update = FlMsg::ClientUpdate {
+            params: ParamVec::from_vec(vec![1.0, -2.0]),
+            age: 3.0,
+            num_samples: 10,
+        };
+        assert!(update.corrupt(&ByzantineAttack::SignFlip, &mut draw));
+        match &update {
+            FlMsg::ClientUpdate { params, age, .. } => {
+                assert_eq!(params.as_slice(), &[-1.0, 2.0]);
+                // Metadata is not the attack surface; only params flip.
+                assert_eq!(*age, 3.0);
+            }
+            _ => unreachable!(),
+        }
+        // Server-originated traffic resists corruption entirely.
+        let mut server = FlMsg::ServerModel {
+            params: ParamVec::from_vec(vec![1.0]),
+            age: 0.0,
+            bid: 1,
+            server_idx: 0,
+        };
+        assert!(!server.corrupt(&ByzantineAttack::SignFlip, &mut draw));
+        match &server {
+            FlMsg::ServerModel { params, .. } => assert_eq!(params.as_slice(), &[1.0]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn scale_noise_and_nan_attacks_transform_the_payload() {
+        let base = || FlMsg::ClientUpdate {
+            params: ParamVec::from_vec(vec![1.0, 2.0, 3.0, 4.0]),
+            age: 0.0,
+            num_samples: 1,
+        };
+
+        let mut m = base();
+        assert!(m.corrupt(&ByzantineAttack::Scale { factor: 10.0 }, &mut || 0.5));
+        if let FlMsg::ClientUpdate { params, .. } = &m {
+            assert_eq!(params.as_slice(), &[10.0, 20.0, 30.0, 40.0]);
+        }
+
+        let mut m = base();
+        assert!(m.corrupt(&ByzantineAttack::GaussianNoise { sigma: 1.0 }, &mut || 0.3));
+        if let FlMsg::ClientUpdate { params, .. } = &m {
+            assert!(params.is_finite());
+            assert_ne!(params.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        }
+
+        // draw() == 0.3 < prob hits every coordinate.
+        let mut m = base();
+        assert!(m.corrupt(&ByzantineAttack::NanInject { prob: 0.5 }, &mut || 0.3));
+        if let FlMsg::ClientUpdate { params, .. } = &m {
+            assert!(params.as_slice().iter().all(|v| v.is_nan()));
+        }
+
+        // draw() == 0.9 >= prob never hits: reported as not altered.
+        let mut m = base();
+        assert!(!m.corrupt(&ByzantineAttack::NanInject { prob: 0.5 }, &mut || 0.9));
+        if let FlMsg::ClientUpdate { params, .. } = &m {
+            assert!(params.is_finite());
+        }
     }
 }

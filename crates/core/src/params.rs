@@ -135,6 +135,11 @@ impl ParamVec {
         self.0.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
+    /// `true` when every component is finite (no `NaN`/`Inf`).
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
     /// Serialized size in bytes (4 bytes per component plus a small header),
     /// used for bandwidth accounting and the wire codec.
     pub fn wire_size(&self) -> usize {

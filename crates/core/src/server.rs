@@ -5,6 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 use spyker_simnet::{Env, Node, NodeId};
 
+use crate::agg::{validate_update, RobustBuffer};
 use crate::config::SpykerConfig;
 use crate::decay::UpdateCounts;
 use crate::msg::FlMsg;
@@ -73,6 +74,12 @@ pub struct SpykerServer {
     client_watch: Vec<u64>,
     tokens_regenerated: u64,
     degraded_syncs: u64,
+
+    /// Robust-aggregation buffer; `None` for the paper-exact
+    /// [`crate::agg::AggregationStrategy::Mean`] (see `SpykerConfig::aggregation`).
+    robust: Option<RobustBuffer>,
+    /// Updates (client and peer) rejected by the validation gate.
+    rejected_updates: u64,
 }
 
 impl SpykerServer {
@@ -103,6 +110,7 @@ impl SpykerServer {
         let token = (server_idx == 0).then(|| Token::initial(n));
         let highest_bid_seen = token.as_ref().map_or(0, |t| t.bid);
         let client_watch = vec![0; clients.len()];
+        let robust = RobustBuffer::from_strategy(cfg.aggregation);
         Self {
             client_lr,
             server_idx,
@@ -129,6 +137,8 @@ impl SpykerServer {
             client_watch,
             tokens_regenerated: 0,
             degraded_syncs: 0,
+            robust,
+            rejected_updates: 0,
         }
     }
 
@@ -168,6 +178,12 @@ impl SpykerServer {
         self.degraded_syncs
     }
 
+    /// Number of updates (client deltas and peer models) the validation
+    /// gate rejected. See [`crate::agg::ValidationConfig`].
+    pub fn rejected_updates(&self) -> u64 {
+        self.rejected_updates
+    }
+
     /// `true` while this server holds the ring token.
     pub fn has_token(&self) -> bool {
         self.token.is_some()
@@ -199,6 +215,31 @@ impl SpykerServer {
             return;
         };
         env.busy(self.cfg.agg_cost);
+        // Validation gate: a non-finite, norm-exploded, or over-stale
+        // update never touches the model. The client still gets the
+        // current model back — the protocol is purely reactive, so a
+        // silent reject would starve even a Byzantine client's honest
+        // successor on the same device.
+        if let Err(reason) = validate_update(
+            &self.cfg.validation,
+            &self.params,
+            &update,
+            self.age,
+            update_age,
+        ) {
+            self.rejected_updates += 1;
+            env.add_counter("agg.rejected", 1);
+            env.add_counter(reason.counter(), 1);
+            env.send(
+                from,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.age,
+                    lr: self.client_lr[k],
+                },
+            );
+            return;
+        }
         // l. 14–15: staleness-weighted integration. With decay-weighted
         // aggregation (see SpykerConfig) the weight also shrinks with the
         // learning rate the update was trained at, so decayed clients'
@@ -207,7 +248,26 @@ impl SpykerServer {
         if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
             w *= self.client_lr[k] / self.cfg.decay.eta_init;
         }
-        self.params.lerp_toward(&update, self.cfg.server_lr * w);
+        if let Some(buf) = &mut self.robust {
+            // Robust path: buffer the update's delta; every `batch`
+            // accepted deltas, fold one robust estimate of the batch into
+            // the model at the batch's mean aggregation weight.
+            let mut delta = update;
+            delta.axpy(-1.0, &self.params);
+            buf.push(delta, w);
+            if buf.is_ready() {
+                let n = buf.len();
+                let (estimate, mean_w) = buf.flush();
+                // Compounded step: one batch step integrates as much as the
+                // `n` sequential lerps the Mean path would have applied.
+                let step = crate::agg::compounded_step(self.cfg.server_lr * mean_w, n);
+                self.params.axpy(step, &estimate);
+                env.add_counter("agg.robust.flushes", 1);
+            }
+        } else {
+            // Paper-exact path (Mean): integrate immediately.
+            self.params.lerp_toward(&update, self.cfg.server_lr * w);
+        }
         // l. 16: the model embodies (a weight's worth of) one more update.
         self.age += if self.cfg.fractional_age {
             w.min(1.0) as f64
@@ -361,14 +421,26 @@ impl SpykerServer {
                 );
             }
         }
-        // `ServerAgg` (ll. 45-50): sigmoid-weighted merge plus age blend.
-        env.busy(self.cfg.agg_cost);
-        let w = server_agg_weight(self.cfg.phi, self.age, peer_age);
-        self.params.lerp_toward(&peer_params, self.cfg.eta_a * w);
-        self.age = blended_age(self.cfg.eta_a, w, self.age, peer_age);
-        self.ages[self.server_idx] = self.age;
-        self.server_aggs += 1;
-        env.add_counter("server.aggs", 1);
+        // Gate non-finite peer models (a peer poisoned before this layer
+        // existed, or one whose own gate was disabled). Only the merge is
+        // skipped: the echo above and the token bookkeeping below must
+        // still run, or the token holder waits forever on this bid.
+        if self.cfg.validation.reject_nonfinite
+            && !(peer_age.is_finite() && peer_params.is_finite())
+        {
+            self.rejected_updates += 1;
+            env.add_counter("agg.rejected", 1);
+            env.add_counter("agg.rejected.peer", 1);
+        } else {
+            // `ServerAgg` (ll. 45-50): sigmoid-weighted merge plus age blend.
+            env.busy(self.cfg.agg_cost);
+            let w = server_agg_weight(self.cfg.phi, self.age, peer_age);
+            self.params.lerp_toward(&peer_params, self.cfg.eta_a * w);
+            self.age = blended_age(self.cfg.eta_a, w, self.age, peer_age);
+            self.ages[self.server_idx] = self.age;
+            self.server_aggs += 1;
+            env.add_counter("server.aggs", 1);
+        }
         // l. 37–43: the token holder forwards the token once it has seen
         // every server's model for its bid.
         if let Some(token) = &self.token {
@@ -385,7 +457,14 @@ impl SpykerServer {
     /// Hands the token to the next server on the ring, carrying the
     /// freshest age knowledge, and closes the local exchange.
     fn forward_token(&mut self, env: &mut dyn Env<FlMsg>) {
-        let mut token = self.token.take().expect("must hold the token");
+        // A stray or duplicate trigger — e.g. an exchange timeout racing
+        // the normal completion after recovery — must not abort the run:
+        // log the spurious call and keep serving.
+        let Some(mut token) = self.token.take() else {
+            env.add_counter("token.forward_spurious", 1);
+            self.ongoing_synchro = false;
+            return;
+        };
         token.ages = self.ages.clone();
         env.send(self.ring_next, FlMsg::TokenPass(token));
         self.ongoing_synchro = false;
@@ -572,10 +651,54 @@ impl Node<FlMsg> for SpykerServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agg::AggregationStrategy;
     use crate::client::FlClient;
     use crate::config::RecoveryConfig;
     use crate::training::MeanTargetTrainer;
-    use spyker_simnet::{FaultPlan, NetworkConfig, Region, SimTime, Simulation};
+    use spyker_simnet::{ByzantineAttack, FaultPlan, NetworkConfig, Region, SimTime, Simulation};
+
+    /// Records effects so handler logic can be driven without a simulation.
+    struct MockEnv {
+        me: NodeId,
+        n: usize,
+        sent: Vec<(NodeId, FlMsg)>,
+        counters: HashMap<String, u64>,
+    }
+
+    impl MockEnv {
+        fn new(me: NodeId, n: usize) -> Self {
+            Self {
+                me,
+                n,
+                sent: Vec::new(),
+                counters: HashMap::new(),
+            }
+        }
+        fn counter(&self, name: &str) -> u64 {
+            self.counters.get(name).copied().unwrap_or(0)
+        }
+    }
+
+    impl Env<FlMsg> for MockEnv {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn me(&self) -> NodeId {
+            self.me
+        }
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+        fn send(&mut self, to: NodeId, msg: FlMsg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _delay: SimTime, _tag: u64) {}
+        fn busy(&mut self, _duration: SimTime) {}
+        fn record(&mut self, _series: &str, _value: f64) {}
+        fn add_counter(&mut self, name: &str, delta: u64) {
+            *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        }
+    }
 
     /// Two servers, two clients each; client targets average to 1.5.
     fn build_two_server_sim(cfg: SpykerConfig) -> Simulation<FlMsg> {
@@ -616,7 +739,7 @@ mod tests {
         sim.node(id)
             .as_any()
             .downcast_ref::<SpykerServer>()
-            .unwrap()
+            .unwrap_or_else(|| panic!("node {id} is not a SpykerServer"))
     }
 
     fn tight_cfg() -> SpykerConfig {
@@ -872,6 +995,215 @@ mod tests {
         );
         // And synchronisation involves both servers again.
         assert!(s1.syncs_triggered() + s1.server_aggs() > 0);
+    }
+
+    #[test]
+    fn spurious_token_forward_is_logged_not_fatal() {
+        // Server 1 never holds the initial token; a stray trigger must be
+        // counted and absorbed, not abort the run.
+        let cfg = SpykerConfig::paper_defaults(4, 2);
+        let mut s = SpykerServer::new(1, vec![0, 1], vec![4, 5], ParamVec::zeros(2), cfg);
+        s.ongoing_synchro = true;
+        let mut env = MockEnv::new(1, 6);
+        s.forward_token(&mut env);
+        assert_eq!(env.counter("token.forward_spurious"), 1);
+        assert!(env.sent.is_empty(), "no token must leave the server");
+        assert!(!s.ongoing_synchro);
+    }
+
+    #[test]
+    fn nonfinite_client_update_is_rejected_and_answered() {
+        let cfg = SpykerConfig::paper_defaults(2, 1);
+        let mut s = SpykerServer::new(0, vec![0], vec![1, 2], ParamVec::zeros(2), cfg);
+        let mut env = MockEnv::new(0, 3);
+        let before = s.params().clone();
+        s.on_message(
+            &mut env,
+            1,
+            FlMsg::ClientUpdate {
+                params: ParamVec::from_vec(vec![1.0, f32::NAN]),
+                age: 0.0,
+                num_samples: 10,
+            },
+        );
+        // The poisoned update never touched the model or its age…
+        assert_eq!(s.params(), &before);
+        assert_eq!(s.age(), 0.0);
+        assert_eq!(s.processed_updates(), 0);
+        assert_eq!(s.rejected_updates(), 1);
+        assert_eq!(env.counter("agg.rejected"), 1);
+        assert_eq!(env.counter("agg.rejected.nonfinite"), 1);
+        // …but the client still got a model back (reactive protocol).
+        assert_eq!(env.sent.len(), 1);
+        assert!(matches!(env.sent[0], (1, FlMsg::ModelToClient { .. })));
+    }
+
+    #[test]
+    fn norm_and_staleness_gates_reject_when_configured() {
+        let mut cfg = SpykerConfig::paper_defaults(2, 1);
+        cfg.validation.max_delta_norm = Some(10.0);
+        cfg.validation.max_staleness = Some(5.0);
+        let mut s = SpykerServer::new(0, vec![0], vec![1, 2], ParamVec::zeros(2), cfg);
+        s.age = 100.0;
+        let mut env = MockEnv::new(0, 3);
+        s.on_message(
+            &mut env,
+            1,
+            FlMsg::ClientUpdate {
+                params: ParamVec::from_vec(vec![100.0, 100.0]),
+                age: 99.5,
+                num_samples: 10,
+            },
+        );
+        assert_eq!(env.counter("agg.rejected.norm"), 1);
+        s.on_message(
+            &mut env,
+            2,
+            FlMsg::ClientUpdate {
+                params: ParamVec::from_vec(vec![0.1, 0.1]),
+                age: 1.0,
+                num_samples: 10,
+            },
+        );
+        assert_eq!(env.counter("agg.rejected.stale"), 1);
+        assert_eq!(s.rejected_updates(), 2);
+        assert_eq!(s.processed_updates(), 0);
+    }
+
+    #[test]
+    fn trimmed_mean_buffer_flushes_past_an_attacker() {
+        let cfg =
+            SpykerConfig::paper_defaults(3, 1).with_aggregation(AggregationStrategy::TrimmedMean {
+                batch: 3,
+                trim_ratio: 0.34,
+            });
+        let mut s = SpykerServer::new(0, vec![0], vec![1, 2, 3], ParamVec::zeros(2), cfg);
+        let mut env = MockEnv::new(0, 4);
+        let send = |s: &mut SpykerServer, env: &mut MockEnv, from: NodeId, v: [f32; 2]| {
+            s.on_message(
+                env,
+                from,
+                FlMsg::ClientUpdate {
+                    params: ParamVec::from_vec(v.to_vec()),
+                    age: s.age(),
+                    num_samples: 10,
+                },
+            );
+        };
+        send(&mut s, &mut env, 1, [1.0, 1.0]);
+        send(&mut s, &mut env, 2, [1.2, 0.8]);
+        // No step before the batch fills.
+        assert_eq!(s.params().as_slice(), &[0.0, 0.0]);
+        // The attacker's boosted, flipped update completes the batch…
+        send(&mut s, &mut env, 3, [-50.0, -50.0]);
+        assert_eq!(env.counter("agg.robust.flushes"), 1);
+        // …and the trimmed estimate steps toward the honest clients.
+        let p = s.params().as_slice();
+        assert!(
+            p[0] > 0.0 && p[1] > 0.0,
+            "robust step went adversarial: {p:?}"
+        );
+        assert!(p[0] < 1.2 && p[1] < 1.2);
+        // Every accepted update still ages the model and is counted.
+        assert_eq!(s.processed_updates(), 3);
+        assert!(s.age() > 0.0);
+    }
+
+    #[test]
+    fn nonfinite_peer_model_skips_merge_but_not_token_bookkeeping() {
+        // Server 0 holds the initial token and triggers an exchange on its
+        // first client update (zero thresholds). The peer answers with a
+        // poisoned model: the merge must be skipped but the token must
+        // still be forwarded once every peer answered.
+        let cfg = SpykerConfig::paper_defaults(2, 2).with_thresholds(0.0, 0.0);
+        let mut s = SpykerServer::new(0, vec![0, 1], vec![2], ParamVec::zeros(2), cfg);
+        let mut env = MockEnv::new(0, 4);
+        s.on_message(
+            &mut env,
+            2,
+            FlMsg::ClientUpdate {
+                params: ParamVec::from_vec(vec![1.0, 1.0]),
+                age: 0.0,
+                num_samples: 10,
+            },
+        );
+        assert!(s.ongoing_synchro, "exchange should have been triggered");
+        let bid = s.token.as_ref().expect("still holds the token").bid;
+        let params_before = s.params().clone();
+        s.on_message(
+            &mut env,
+            1,
+            FlMsg::ServerModel {
+                params: ParamVec::from_vec(vec![f32::NAN, 0.0]),
+                age: 1.0,
+                bid,
+                server_idx: 1,
+            },
+        );
+        // Merge skipped: model untouched, no server agg counted.
+        assert_eq!(s.params(), &params_before);
+        assert_eq!(s.server_aggs(), 0);
+        assert_eq!(env.counter("agg.rejected.peer"), 1);
+        // Bookkeeping intact: the exchange completed and the token moved on.
+        assert!(!s.has_token());
+        assert!(!s.ongoing_synchro);
+        assert!(
+            env.sent
+                .iter()
+                .any(|(to, m)| *to == 1 && matches!(m, FlMsg::TokenPass(_))),
+            "token was never forwarded"
+        );
+    }
+
+    #[test]
+    fn byzantine_nan_client_cannot_poison_the_default_config() {
+        // End to end: a NaN-injecting client under the *default* config
+        // (plain mean + non-finite gate) leaves every model finite, and
+        // every poisoned update is visible in the agg.* metrics.
+        let plan = FaultPlan::none().byzantine(2, ByzantineAttack::NanInject { prob: 1.0 });
+        let mut sim = build_faulty_sim(tight_cfg(), plan);
+        sim.run(SimTime::from_secs(10));
+        assert!(sim.metrics().counter("fault.byzantine.nan") > 0);
+        let rejected = sim.metrics().counter("agg.rejected.nonfinite");
+        assert!(rejected > 0, "gate never fired");
+        assert_eq!(rejected, sim.metrics().counter("agg.rejected"));
+        for id in 0..2 {
+            assert!(
+                server(&sim, id).params().is_finite(),
+                "server {id} was poisoned"
+            );
+        }
+        // The honest clients kept the servers learning.
+        assert!(server(&sim, 0).processed_updates() > 0);
+    }
+
+    #[test]
+    fn default_aggregation_config_is_byte_identical_to_paper_exact_path() {
+        // The aggregation/validation fields at their defaults must change
+        // nothing observable: same events, same bytes, same messages as
+        // the pre-robustness implementation (the gate can only fire on
+        // non-finite payloads, which honest runs never produce).
+        let run = |cfg: SpykerConfig| {
+            let mut sim = build_two_server_sim(cfg);
+            let report = sim.run(SimTime::from_secs(10));
+            (
+                report.events_processed,
+                sim.metrics().counter("net.bytes"),
+                sim.metrics().counter("net.messages"),
+                sim.metrics().counter("agg.rejected"),
+                server(&sim, 0).params().clone(),
+            )
+        };
+        let explicit = {
+            let mut cfg = tight_cfg();
+            cfg.aggregation = AggregationStrategy::Mean;
+            cfg.validation = crate::agg::ValidationConfig::default();
+            cfg
+        };
+        let a = run(tight_cfg());
+        let b = run(explicit);
+        assert_eq!(a, b);
+        assert_eq!(a.3, 0, "gate fired on an honest run");
     }
 
     #[test]

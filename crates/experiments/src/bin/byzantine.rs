@@ -1,0 +1,7 @@
+//! Robustness extension: aggregation strategies under sign-flip Byzantine
+//! clients (see `suite::byzantine_ablation`).
+use spyker_experiments::suite::{byzantine_ablation, Scale};
+fn main() {
+    let scale = Scale::from_env();
+    byzantine_ablation(&scale);
+}

@@ -24,6 +24,7 @@ fn main() {
         suite::ablate_eta_a(&scale);
         suite::ablate_thresholds(&scale);
         suite::ablate_staleness(&scale);
+        suite::byzantine_ablation(&scale);
         suite::ext_clustering(&scale);
     }
     println!("done; series and tables under results/");

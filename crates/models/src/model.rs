@@ -89,23 +89,38 @@ pub(crate) fn pull_vec(src: &[f32], offset: &mut usize, v: &mut [f32]) {
 }
 
 /// Rescales `grads` in place so their global L2 norm is at most `max_norm`
-/// (standard recurrent-network gradient clipping).
-pub(crate) fn clip_global_norm(grads: &mut [&mut [f32]], max_norm: f32) {
-    let mut sq = 0.0f32;
-    for g in grads.iter() {
-        for v in g.iter() {
-            sq += v * v;
+/// (standard recurrent-network gradient clipping). Returns the number of
+/// non-finite entries zeroed.
+///
+/// Non-finite gradients (`NaN`/`±Inf` from an exploding recurrent backward
+/// pass) are zeroed *before* the norm is computed: a single `NaN` would
+/// otherwise poison the norm, make every comparison false, skip the clip
+/// and spread through all weights on the next SGD step. The squared norm
+/// accumulates in `f64` so large-but-finite gradients cannot overflow it
+/// to `Inf` (which would zero the entire gradient instead of clipping it).
+pub(crate) fn clip_global_norm(grads: &mut [&mut [f32]], max_norm: f32) -> usize {
+    let mut zeroed = 0usize;
+    let mut sq = 0.0f64;
+    for g in grads.iter_mut() {
+        for v in g.iter_mut() {
+            if v.is_finite() {
+                sq += f64::from(*v) * f64::from(*v);
+            } else {
+                *v = 0.0;
+                zeroed += 1;
+            }
         }
     }
     let norm = sq.sqrt();
-    if norm > max_norm && norm > 0.0 {
-        let scale = max_norm / norm;
+    if norm > f64::from(max_norm) && norm > 0.0 {
+        let scale = (f64::from(max_norm) / norm) as f32;
         for g in grads.iter_mut() {
             for v in g.iter_mut() {
                 *v *= scale;
             }
         }
     }
+    zeroed
 }
 
 #[cfg(test)]
@@ -144,5 +159,39 @@ mod tests {
         assert!((norm - 1.0).abs() < 1e-5);
         // Direction preserved.
         assert!((a[0] / b[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_zeroes_nan_and_inf_entries_and_counts_them() {
+        let mut a = vec![f32::NAN, 3.0];
+        let mut b = vec![f32::INFINITY, 4.0, f32::NEG_INFINITY];
+        let zeroed = clip_global_norm(&mut [&mut a, &mut b], 10.0);
+        assert_eq!(zeroed, 3);
+        // The poisoned entries are gone and the finite ones, whose norm
+        // (5.0) is under the bound, survive untouched.
+        assert_eq!(a, vec![0.0, 3.0]);
+        assert_eq!(b, vec![0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_still_rescales_after_zeroing_nonfinite_entries() {
+        let mut a = vec![f32::NAN, 30.0, 40.0];
+        let zeroed = clip_global_norm(&mut [&mut a], 5.0);
+        assert_eq!(zeroed, 1);
+        let norm = (a[1] * a[1] + a[2] * a[2]).sqrt();
+        assert!((norm - 5.0).abs() < 1e-4, "norm {norm}");
+        assert_eq!(a[0], 0.0);
+    }
+
+    #[test]
+    fn huge_finite_gradients_are_clipped_not_zeroed() {
+        // 3e30^2 overflows an f32 accumulator to Inf, which would turn the
+        // clip scale into 0 and silently erase the gradient; the f64
+        // accumulator keeps the direction.
+        let mut a = vec![3e30f32, 4e30];
+        let zeroed = clip_global_norm(&mut [&mut a], 1.0);
+        assert_eq!(zeroed, 0);
+        assert!((a[0] - 0.6).abs() < 1e-5, "got {}", a[0]);
+        assert!((a[1] - 0.8).abs() < 1e-5, "got {}", a[1]);
     }
 }

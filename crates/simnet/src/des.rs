@@ -139,7 +139,20 @@ impl<M: WireSize> Core<M> {
         None
     }
 
-    fn schedule_send(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+    fn schedule_send(&mut self, at: SimTime, from: NodeId, to: NodeId, mut msg: M) {
+        // Byzantine senders corrupt their payload before it hits the wire;
+        // the attack is cloned out so the RNG closure can borrow `self`'s
+        // fault stream. Honest senders take no draw at all.
+        if !self.faults.byzantine.is_empty() {
+            if let Some(attack) = self.faults.attack_for(from).cloned() {
+                let frng = &mut self.fault_rng;
+                if msg.corrupt(&attack, &mut || frng.gen_range(0.0..1.0)) {
+                    self.metrics.add_counter("fault.byzantine", 1);
+                    self.metrics
+                        .add_counter(&format!("fault.byzantine.{}", attack.label()), 1);
+                }
+            }
+        }
         let bytes = msg.wire_size();
         let kind = msg.kind();
         self.metrics.add_counter("net.bytes", bytes as u64);
@@ -1039,5 +1052,151 @@ mod tests {
             (recorder_received(&sim), report.events_processed)
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// A message carrying a model payload that opts into Byzantine
+    /// corruption the same way `FlMsg::ClientUpdate` does.
+    #[derive(Debug, Clone)]
+    struct PoisonMsg {
+        vals: Vec<f32>,
+    }
+
+    impl WireSize for PoisonMsg {
+        fn wire_size(&self) -> usize {
+            self.vals.len() * 4
+        }
+        fn corrupt(
+            &mut self,
+            attack: &crate::fault::ByzantineAttack,
+            draw: &mut dyn FnMut() -> f64,
+        ) -> bool {
+            use crate::fault::ByzantineAttack as A;
+            match attack {
+                A::SignFlip => self.vals.iter_mut().for_each(|v| *v = -*v),
+                A::Scale { factor } => self.vals.iter_mut().for_each(|v| *v *= factor),
+                A::GaussianNoise { sigma } => self
+                    .vals
+                    .iter_mut()
+                    .for_each(|v| *v += sigma * (draw() - 0.5) as f32),
+                A::NanInject { prob } => {
+                    let mut hit = false;
+                    for v in &mut self.vals {
+                        if draw() < *prob {
+                            *v = f32::NAN;
+                            hit = true;
+                        }
+                    }
+                    return hit;
+                }
+            }
+            true
+        }
+    }
+
+    struct PoisonRecorder {
+        received: Vec<Vec<f32>>,
+    }
+
+    impl Node<PoisonMsg> for PoisonRecorder {
+        fn on_start(&mut self, _env: &mut dyn Env<PoisonMsg>) {}
+        fn on_message(&mut self, _env: &mut dyn Env<PoisonMsg>, _from: NodeId, msg: PoisonMsg) {
+            self.received.push(msg.vals);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct PoisonSender;
+
+    impl Node<PoisonMsg> for PoisonSender {
+        fn on_start(&mut self, env: &mut dyn Env<PoisonMsg>) {
+            env.send(
+                1,
+                PoisonMsg {
+                    vals: vec![1.0, -2.0, 3.0],
+                },
+            );
+        }
+        fn on_message(&mut self, _e: &mut dyn Env<PoisonMsg>, _f: NodeId, _m: PoisonMsg) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn poison_sim(plan: FaultPlan) -> Simulation<PoisonMsg> {
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1)
+            .with_faults(plan);
+        sim.add_node(Box::new(PoisonSender), Region::Paris);
+        sim.add_node(
+            Box::new(PoisonRecorder {
+                received: Vec::new(),
+            }),
+            Region::Sydney,
+        );
+        sim
+    }
+
+    fn poison_received(sim: &Simulation<PoisonMsg>) -> Vec<Vec<f32>> {
+        sim.node(1)
+            .as_any()
+            .downcast_ref::<PoisonRecorder>()
+            .unwrap()
+            .received
+            .clone()
+    }
+
+    #[test]
+    fn byzantine_sender_corrupts_payload_and_is_counted() {
+        use crate::fault::ByzantineAttack;
+        let mut sim = poison_sim(FaultPlan::none().byzantine(0, ByzantineAttack::SignFlip));
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(poison_received(&sim), vec![vec![-1.0, 2.0, -3.0]]);
+        assert_eq!(sim.metrics().counter("fault.byzantine"), 1);
+        assert_eq!(sim.metrics().counter("fault.byzantine.signflip"), 1);
+    }
+
+    #[test]
+    fn honest_sender_with_byzantine_peer_in_plan_is_untouched() {
+        use crate::fault::ByzantineAttack;
+        // Node 1 (the recorder) is Byzantine, node 0 (the sender) is not:
+        // the payload must arrive unmodified and no counter must move.
+        let mut sim = poison_sim(FaultPlan::none().byzantine(1, ByzantineAttack::SignFlip));
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(poison_received(&sim), vec![vec![1.0, -2.0, 3.0]]);
+        assert_eq!(sim.metrics().counter("fault.byzantine"), 0);
+    }
+
+    #[test]
+    fn messages_without_model_payload_resist_corruption() {
+        use crate::fault::ByzantineAttack;
+        // `Msg` keeps the default no-op `corrupt`, so marking its sender
+        // Byzantine must neither alter delivery nor count an injection.
+        let mut sim = two_node_sim(Box::new(Burst { count: 3, bytes: 8 }));
+        sim = sim.with_faults(FaultPlan::none().byzantine(0, ByzantineAttack::SignFlip));
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(recorder_received(&sim).len(), 3);
+        assert_eq!(sim.metrics().counter("fault.byzantine"), 0);
+    }
+
+    #[test]
+    fn randomized_byzantine_attacks_are_bit_reproducible() {
+        use crate::fault::ByzantineAttack;
+        let run = || {
+            let mut sim = poison_sim(
+                FaultPlan::none().byzantine(0, ByzantineAttack::GaussianNoise { sigma: 0.25 }),
+            );
+            sim.run(SimTime::from_secs(1));
+            poison_received(&sim)
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a[0].iter().zip([1.0, -2.0, 3.0]).any(|(v, o)| *v != o));
     }
 }

@@ -19,24 +19,36 @@
 //!   re-arm timers or re-announce itself.
 //! * **Churn** — [`FaultPlan::churn`] is a crash with a mandatory rejoin,
 //!   the way a mobile client leaves and returns.
+//! * **Byzantine clients** — a node can be marked adversarial
+//!   ([`FaultPlan::byzantine`]): every model update it sends is corrupted
+//!   in flight by a [`ByzantineAttack`] (sign-flip, scaling, gaussian
+//!   noise, or NaN injection). The transformation is applied by the
+//!   transport via [`crate::runtime::WireSize::corrupt`], so actor code
+//!   stays honest and the attack composes with every other fault.
 //!
 //! Probabilistic drops draw from a dedicated RNG stream seeded from the
 //! simulation seed, so runs stay bit-reproducible and an empty plan
 //! ([`FaultPlan::none`]) consumes zero random draws — a run without faults
-//! is byte-identical to one built before this module existed.
+//! is byte-identical to one built before this module existed. Byzantine
+//! noise/NaN attacks draw from the same fault stream.
 //!
 //! Every injected fault is recorded in [`crate::Metrics`]:
 //!
-//! | counter                   | meaning                                   |
-//! |---------------------------|-------------------------------------------|
-//! | `fault.dropped`           | messages dropped in flight (all causes)   |
-//! | `fault.dropped.loss`      | … by probabilistic loss                   |
-//! | `fault.dropped.scripted`  | … by a scripted drop                      |
-//! | `fault.dropped.partition` | … by an active partition                  |
-//! | `fault.discarded`         | events discarded at a crashed node        |
-//! | `fault.crashes`           | crash events that took effect             |
-//! | `fault.restarts`          | restart events that took effect           |
-//! | `fault.partitions`        | partition windows installed               |
+//! | counter                    | meaning                                   |
+//! |----------------------------|-------------------------------------------|
+//! | `fault.dropped`            | messages dropped in flight (all causes)   |
+//! | `fault.dropped.loss`       | … by probabilistic loss                   |
+//! | `fault.dropped.scripted`   | … by a scripted drop                      |
+//! | `fault.dropped.partition`  | … by an active partition                  |
+//! | `fault.discarded`          | events discarded at a crashed node        |
+//! | `fault.crashes`            | crash events that took effect             |
+//! | `fault.restarts`           | restart events that took effect           |
+//! | `fault.partitions`         | partition windows installed               |
+//! | `fault.byzantine`          | messages corrupted by a Byzantine sender  |
+//! | `fault.byzantine.signflip` | … by sign-flip                            |
+//! | `fault.byzantine.scale`    | … by scaling                              |
+//! | `fault.byzantine.noise`    | … by gaussian noise                       |
+//! | `fault.byzantine.nan`      | … by NaN injection                        |
 
 use crate::net::Region;
 use crate::runtime::NodeId;
@@ -91,6 +103,57 @@ pub struct CrashEvent {
     pub restart: Option<SimTime>,
 }
 
+/// The adversarial transformation a Byzantine client applies to every model
+/// update it sends — the update-poisoning attack classes of the Byzantine
+/// FL literature.
+///
+/// How (and whether) an attack applies to a concrete message type is decided
+/// by that type's [`crate::runtime::WireSize::corrupt`] implementation; the
+/// default is a no-op, so only payloads that opt in (client model updates)
+/// can be poisoned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByzantineAttack {
+    /// Negate every parameter (gradient sign-flip / model negation).
+    SignFlip,
+    /// Multiply every parameter by `factor` (scaling / boosting attack).
+    Scale {
+        /// Multiplier applied to every parameter.
+        factor: f32,
+    },
+    /// Add i.i.d. `N(0, sigma^2)` noise to every parameter.
+    GaussianNoise {
+        /// Standard deviation of the injected noise.
+        sigma: f32,
+    },
+    /// Replace each parameter with `NaN` independently with probability
+    /// `prob` (a crash-the-aggregator poisoning attack).
+    NanInject {
+        /// Per-parameter corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+impl ByzantineAttack {
+    /// Short label used as the `fault.byzantine.<label>` metric suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ByzantineAttack::SignFlip => "signflip",
+            ByzantineAttack::Scale { .. } => "scale",
+            ByzantineAttack::GaussianNoise { .. } => "noise",
+            ByzantineAttack::NanInject { .. } => "nan",
+        }
+    }
+}
+
+/// One adversarial node and the attack it mounts on everything it sends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ByzantineClient {
+    /// The compromised node.
+    pub node: NodeId,
+    /// The attack it applies to outgoing model updates.
+    pub attack: ByzantineAttack,
+}
+
 /// The set of faults to inject into one simulation run.
 ///
 /// See the [module docs](self) for semantics. The default plan is
@@ -108,6 +171,8 @@ pub struct FaultPlan {
     pub partitions: Vec<PartitionWindow>,
     /// Node crashes (and optional restarts).
     pub crashes: Vec<CrashEvent>,
+    /// Byzantine (adversarial) nodes and their attacks.
+    pub byzantine: Vec<ByzantineClient>,
 }
 
 impl FaultPlan {
@@ -124,6 +189,7 @@ impl FaultPlan {
             && self.drops.is_empty()
             && self.partitions.is_empty()
             && self.crashes.is_empty()
+            && self.byzantine.is_empty()
     }
 
     /// `true` when any probabilistic or scripted message-drop rule exists
@@ -222,6 +288,35 @@ impl FaultPlan {
         self.crash(node, leave, Some(rejoin))
     }
 
+    /// Marks `node` as Byzantine: every model update it sends is corrupted
+    /// in flight by `attack` (builder style). A later entry for the same
+    /// node replaces an earlier one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ByzantineAttack::NanInject`] probability is outside
+    /// `[0, 1]`.
+    pub fn byzantine(mut self, node: NodeId, attack: ByzantineAttack) -> Self {
+        if let ByzantineAttack::NanInject { prob } = attack {
+            assert!(
+                (0.0..=1.0).contains(&prob),
+                "NaN-injection probability must be in [0, 1]"
+            );
+        }
+        self.byzantine.push(ByzantineClient { node, attack });
+        self
+    }
+
+    /// The attack mounted by `node`, if it is Byzantine (the last matching
+    /// entry wins, mirroring [`FaultPlan::loss_for`]).
+    pub fn attack_for(&self, node: NodeId) -> Option<&ByzantineAttack> {
+        self.byzantine
+            .iter()
+            .rev()
+            .find(|b| b.node == node)
+            .map(|b| &b.attack)
+    }
+
     /// The effective loss probability for a `from -> to` send: the last
     /// matching per-link override, else the global probability.
     pub fn loss_for(&self, from: NodeId, to: NodeId) -> f64 {
@@ -282,6 +377,38 @@ mod tests {
     #[should_panic(expected = "restart must come after the crash")]
     fn restart_before_crash_is_rejected() {
         let _ = FaultPlan::none().crash(0, SimTime::from_secs(2), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn byzantine_plan_is_not_none_and_last_entry_wins() {
+        let plan = FaultPlan::none()
+            .byzantine(4, ByzantineAttack::SignFlip)
+            .byzantine(4, ByzantineAttack::Scale { factor: 10.0 });
+        assert!(!plan.is_none());
+        // Byzantine nodes alone add no message-drop rules.
+        assert!(!plan.has_message_faults());
+        assert_eq!(
+            plan.attack_for(4),
+            Some(&ByzantineAttack::Scale { factor: 10.0 })
+        );
+        assert_eq!(plan.attack_for(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn nan_injection_probability_is_validated() {
+        let _ = FaultPlan::none().byzantine(0, ByzantineAttack::NanInject { prob: 1.5 });
+    }
+
+    #[test]
+    fn attack_labels_are_stable() {
+        assert_eq!(ByzantineAttack::SignFlip.label(), "signflip");
+        assert_eq!(ByzantineAttack::Scale { factor: 2.0 }.label(), "scale");
+        assert_eq!(
+            ByzantineAttack::GaussianNoise { sigma: 1.0 }.label(),
+            "noise"
+        );
+        assert_eq!(ByzantineAttack::NanInject { prob: 0.5 }.label(), "nan");
     }
 
     #[test]

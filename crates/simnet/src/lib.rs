@@ -67,7 +67,7 @@ pub mod runtime;
 pub mod time;
 
 pub use des::{ProbeCtx, RunReport, Simulation};
-pub use fault::FaultPlan;
+pub use fault::{ByzantineAttack, ByzantineClient, FaultPlan};
 pub use metrics::Metrics;
 pub use net::{aws_latency_matrix, NetworkConfig, Region};
 pub use runtime::{Env, Node, NodeId, WireSize};

@@ -27,6 +27,23 @@ pub trait WireSize {
     fn kind(&self) -> &'static str {
         "msg"
     }
+
+    /// Applies a Byzantine sender's `attack` to this message in flight.
+    ///
+    /// `draw` yields uniform samples in `[0, 1)` from the transport's
+    /// seeded fault stream, so corrupted runs stay bit-reproducible.
+    /// Returns `true` if the payload was actually altered, letting the
+    /// transport count the injection. The default is a no-op: message
+    /// types without an attacker-controlled model payload cannot be
+    /// poisoned.
+    fn corrupt(
+        &mut self,
+        attack: &crate::fault::ByzantineAttack,
+        draw: &mut dyn FnMut() -> f64,
+    ) -> bool {
+        let _ = (attack, draw);
+        false
+    }
 }
 
 /// The environment handle a [`Node`] uses to interact with the world.

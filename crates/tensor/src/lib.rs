@@ -29,6 +29,7 @@ pub mod conv;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod reduce;
 
 pub use conv::{col2im, im2col, Conv2dShape, MaxPool2d};
 pub use init::{he_init, sample_normal, sample_standard_normal, xavier_init};
@@ -36,4 +37,7 @@ pub use matrix::Matrix;
 pub use ops::{
     cross_entropy_from_logits, log_softmax_rows, relu, relu_grad_mask, scalar_sigmoid, sigmoid,
     softmax_rows, tanh_deriv_from_output,
+};
+pub use reduce::{
+    coordinate_median, coordinate_trimmed_mean, median_inplace, trimmed_mean_inplace,
 };

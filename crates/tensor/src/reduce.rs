@@ -1,0 +1,199 @@
+//! Coordinate-wise robust reduction kernels (median, trimmed mean).
+//!
+//! Byzantine-robust aggregation over `n` candidate vectors needs, per
+//! coordinate, an order statistic of `n` values. Sorting every coordinate
+//! costs `O(n log n)`; these kernels use quickselect
+//! (`select_nth_unstable_by`) for `O(n)` expected work per coordinate, and
+//! the `coordinate_*` drivers reuse one scratch buffer across coordinates so
+//! a trimmed mean over a million-parameter model performs a single
+//! allocation.
+//!
+//! Comparison uses [`f32::total_cmp`], which orders `NaN` above `+inf`:
+//! `NaN`s injected by an attacker land in the upper tail, so a trimmed mean
+//! with `trim >= #NaNs` and a median with `#NaNs <= (n-1)/2` stay finite
+//! without any special casing.
+
+/// Median of `values`, reordering the slice in place (quickselect).
+///
+/// For an even count the result is the midpoint of the two middle values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median_inplace(values: &mut [f32]) -> f32 {
+    assert!(!values.is_empty(), "median of an empty slice");
+    let n = values.len();
+    let (lower, mid, _) = values.select_nth_unstable_by(n / 2, f32::total_cmp);
+    let hi = *mid;
+    if n % 2 == 1 {
+        hi
+    } else {
+        // Largest element of the lower half (lower is non-empty: n >= 2).
+        let lo = lower
+            .iter()
+            .copied()
+            .max_by(f32::total_cmp)
+            .expect("lower half is non-empty");
+        (lo + hi) / 2.0
+    }
+}
+
+/// Mean of `values` after discarding the `trim` smallest and `trim` largest
+/// entries, reordering the slice in place (two quickselect partitions, no
+/// full sort).
+///
+/// # Panics
+///
+/// Panics if `2 * trim >= values.len()`.
+pub fn trimmed_mean_inplace(values: &mut [f32], trim: usize) -> f32 {
+    let n = values.len();
+    assert!(2 * trim < n, "trim {trim} discards all of {n} values");
+    let kept = if trim == 0 {
+        &values[..]
+    } else {
+        // Partition the `trim` smallest to the front...
+        values.select_nth_unstable_by(trim, f32::total_cmp);
+        let upper = &mut values[trim..];
+        // ...and the `trim` largest (including any NaNs) to the back.
+        let keep = upper.len() - trim;
+        upper.select_nth_unstable_by(keep, f32::total_cmp);
+        &upper[..keep]
+    };
+    kept.iter().sum::<f32>() / kept.len() as f32
+}
+
+/// Writes the coordinate-wise median of `rows` into `out`.
+///
+/// `rows[i]` is one candidate vector; all rows and `out` must share one
+/// length.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or any length differs from `out.len()`.
+pub fn coordinate_median(rows: &[&[f32]], out: &mut [f32]) {
+    let mut scratch = vec![0.0f32; rows.len()];
+    for_each_coordinate(rows, out, &mut scratch, median_inplace);
+}
+
+/// Writes the coordinate-wise `trim`-trimmed mean of `rows` into `out`.
+///
+/// Per coordinate the `trim` smallest and `trim` largest candidate values
+/// are discarded and the rest averaged.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, any length differs from `out.len()`, or
+/// `2 * trim >= rows.len()`.
+pub fn coordinate_trimmed_mean(rows: &[&[f32]], trim: usize, out: &mut [f32]) {
+    assert!(
+        2 * trim < rows.len(),
+        "trim {trim} discards all of {} rows",
+        rows.len()
+    );
+    let mut scratch = vec![0.0f32; rows.len()];
+    for_each_coordinate(rows, out, &mut scratch, |s| trimmed_mean_inplace(s, trim));
+}
+
+fn for_each_coordinate(
+    rows: &[&[f32]],
+    out: &mut [f32],
+    scratch: &mut [f32],
+    mut reduce: impl FnMut(&mut [f32]) -> f32,
+) {
+    assert!(!rows.is_empty(), "reduction over no rows");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            out.len(),
+            "row {i} length differs from the output"
+        );
+    }
+    for (j, slot) in out.iter_mut().enumerate() {
+        for (s, row) in scratch.iter_mut().zip(rows) {
+            *s = row[j];
+        }
+        *slot = reduce(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median_inplace(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_inplace(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median_inplace(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_matches_sort_reference_on_scrambled_data() {
+        // Deterministic pseudo-random values via a linear congruence.
+        let mut vals: Vec<f32> = (0..101u32)
+            .map(|i| ((i.wrapping_mul(48_271) % 997) as f32) - 500.0)
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(median_inplace(&mut vals), sorted[50]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_both_tails() {
+        // Outliers at both ends must not move the estimate.
+        let mut vals = [1.0, 2.0, 3.0, -1e9, 1e9];
+        assert_eq!(trimmed_mean_inplace(&mut vals, 1), 2.0);
+    }
+
+    #[test]
+    fn trim_zero_is_the_plain_mean() {
+        let mut vals = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(trimmed_mean_inplace(&mut vals, 0), 2.5);
+    }
+
+    #[test]
+    fn nans_land_in_the_trimmed_tail() {
+        // Both NaNs sort into the upper tail; trimming 2 a side keeps {3}.
+        let mut vals = [f32::NAN, 1.0, 2.0, 3.0, f32::NAN];
+        let m = trimmed_mean_inplace(&mut vals, 2);
+        assert_eq!(m, 3.0);
+        // With one NaN a side-1 trim keeps the honest middle {1, 2, 3}.
+        let mut vals = [f32::NAN, 1.0, 2.0, 3.0, 0.0];
+        let m = trimmed_mean_inplace(&mut vals, 1);
+        assert_eq!(m, 2.0);
+        let mut vals = [f32::NAN, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median_inplace(&mut vals), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "discards all")]
+    fn over_trimming_is_rejected() {
+        let _ = trimmed_mean_inplace(&mut [1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn coordinate_median_is_per_coordinate() {
+        let rows: Vec<&[f32]> = vec![&[0.0, 10.0], &[1.0, -10.0], &[2.0, 0.0]];
+        let mut out = [0.0; 2];
+        coordinate_median(&rows, &mut out);
+        assert_eq!(out, [1.0, 0.0]);
+    }
+
+    #[test]
+    fn coordinate_trimmed_mean_survives_one_adversarial_row() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 1.0], &[1.1, 0.9], &[0.9, 1.1], &[-1e6, f32::NAN]];
+        let mut out = [0.0; 2];
+        coordinate_trimmed_mean(&rows, 1, &mut out);
+        assert!((out[0] - 1.0).abs() < 0.11, "got {}", out[0]);
+        assert!((out[1] - 1.0).abs() < 0.11, "got {}", out[1]);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn mismatched_rows_are_rejected() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 2.0], &[1.0]];
+        let mut out = [0.0; 2];
+        coordinate_median(&rows, &mut out);
+    }
+}

@@ -179,22 +179,24 @@ impl<M> ThreadEnv<M> {
             return Some("partition");
         }
         let p = self.faults.loss_for(from, to);
-        if p > 0.0 {
-            // splitmix64: self-contained, no RNG dependency. The thread
-            // cluster is wall-clock driven and thus not bit-reproducible
-            // anyway, so stream quality matters more than replay.
-            self.fault_rng = self.fault_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = self.fault_rng;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^= z >> 31;
-            let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-            if u < p {
-                return Some("loss");
-            }
+        if p > 0.0 && splitmix_unit(&mut self.fault_rng) < p {
+            return Some("loss");
         }
         None
     }
+}
+
+/// One uniform draw in `[0, 1)` advancing a splitmix64 stream:
+/// self-contained, no RNG dependency. The thread cluster is wall-clock
+/// driven and thus not bit-reproducible anyway, so stream quality matters
+/// more than replay.
+fn splitmix_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl<M: WireSize> Env<M> for ThreadEnv<M> {
@@ -211,7 +213,19 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
         self.senders.len()
     }
 
-    fn send(&mut self, to: NodeId, msg: M) {
+    fn send(&mut self, to: NodeId, mut msg: M) {
+        // A Byzantine sender corrupts its payload in flight, mirroring the
+        // simulator: the actor code stays honest, the wire lies.
+        if !self.faults.byzantine.is_empty() {
+            if let Some(attack) = self.faults.attack_for(self.me).cloned() {
+                let rng = &mut self.fault_rng;
+                if msg.corrupt(&attack, &mut || splitmix_unit(rng)) {
+                    self.metrics.add_counter("fault.byzantine", 1);
+                    self.metrics
+                        .add_counter(&format!("fault.byzantine.{}", attack.label()), 1);
+                }
+            }
+        }
         let bytes = msg.wire_size();
         self.metrics.add_counter("net.bytes", bytes as u64);
         self.metrics
@@ -302,8 +316,9 @@ impl<M: WireSize + Send + 'static> ThreadCluster<M> {
     }
 
     /// Injects the *message* faults of `plan` into every send: scripted
-    /// drops, partitions and probabilistic loss, with the same check order
-    /// and `fault.dropped.*` counters as the simulator.
+    /// drops, partitions, probabilistic loss and Byzantine payload
+    /// corruption, with the same check order and `fault.dropped.*` /
+    /// `fault.byzantine.*` counters as the simulator.
     ///
     /// Crash/restart entries are ignored — stopping and resuming node
     /// *threads* is a different mechanism from discarding events in a
@@ -586,6 +601,80 @@ mod tests {
         assert_eq!(sink.got.len(), 24);
         assert_eq!(report.metrics.counter("fault.dropped"), 1);
         assert_eq!(report.metrics.counter("fault.dropped.scripted"), 1);
+    }
+
+    #[test]
+    fn byzantine_sender_payloads_are_corrupted_in_flight() {
+        use spyker_simnet::fault::ByzantineAttack;
+
+        #[derive(Debug, Clone)]
+        struct Val(f32);
+        impl WireSize for Val {
+            fn wire_size(&self) -> usize {
+                4
+            }
+            fn corrupt(
+                &mut self,
+                attack: &ByzantineAttack,
+                _draw: &mut dyn FnMut() -> f64,
+            ) -> bool {
+                match attack {
+                    ByzantineAttack::SignFlip => {
+                        self.0 = -self.0;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+        struct ValSpammer {
+            to: NodeId,
+            count: usize,
+        }
+        impl Node<Val> for ValSpammer {
+            fn on_start(&mut self, env: &mut dyn Env<Val>) {
+                for _ in 0..self.count {
+                    env.send(self.to, Val(1.0));
+                }
+            }
+            fn on_message(&mut self, _e: &mut dyn Env<Val>, _f: NodeId, _m: Val) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct ValSink {
+            got: Vec<f32>,
+        }
+        impl Node<Val> for ValSink {
+            fn on_start(&mut self, _env: &mut dyn Env<Val>) {}
+            fn on_message(&mut self, _e: &mut dyn Env<Val>, _f: NodeId, m: Val) {
+                self.got.push(m.0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut cluster = ThreadCluster::new(quick_cfg())
+            .with_faults(FaultPlan::none().byzantine(0, ByzantineAttack::SignFlip), 3);
+        cluster.add_node(Box::new(ValSpammer { to: 2, count: 10 }), Region::Paris);
+        cluster.add_node(
+            Box::new(ValSpammer { to: 2, count: 10 }),
+            Region::California,
+        );
+        cluster.add_node(Box::new(ValSink { got: Vec::new() }), Region::Sydney);
+        let report = cluster.run_for(Duration::from_millis(300));
+        let sink = report.nodes[2].as_any().downcast_ref::<ValSink>().unwrap();
+        // Node 0's sends arrive flipped, honest node 1's untouched.
+        assert_eq!(sink.got.iter().filter(|&&v| v == -1.0).count(), 10);
+        assert_eq!(sink.got.iter().filter(|&&v| v == 1.0).count(), 10);
+        assert_eq!(report.metrics.counter("fault.byzantine"), 10);
+        assert_eq!(report.metrics.counter("fault.byzantine.signflip"), 10);
     }
 
     #[test]

@@ -6,3 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Byzantine-robustness integration tests (adversarial clients vs the
+# validation gate + robust aggregation pipeline; see DESIGN.md §8).
+cargo test -q --release --test byzantine

@@ -1,0 +1,194 @@
+//! Byzantine-robustness integration tests: sign-flip attackers against the
+//! full defence pipeline (validation gate + robust aggregation), and
+//! bit-reproducibility of seeded adversarial runs.
+
+use spyker_repro::core::agg::{AggregationStrategy, ValidationConfig};
+use spyker_repro::core::config::SpykerConfig;
+use spyker_repro::experiments::runner::default_spyker_config;
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, RunResult, Scenario};
+use spyker_repro::simnet::{ByzantineAttack, FaultPlan, SimTime};
+
+/// Paper config with the decay schedule frozen: decay-weighted aggregation
+/// would anneal a sustained attack toward zero along with every honest
+/// client, hiding the damage the aggregator is supposed to prevent.
+fn base_config(scenario: &Scenario) -> SpykerConfig {
+    let cfg = default_spyker_config(scenario);
+    let decay = cfg.decay.disabled();
+    cfg.with_decay(decay)
+}
+
+/// `k` sign-flip attackers on the first `k` clients (nodes `n_servers..`).
+fn sign_flip_plan(n_servers: usize, k: usize) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for i in 0..k {
+        plan = plan.byzantine(n_servers + i, ByzantineAttack::SignFlip);
+    }
+    plan
+}
+
+fn run(scenario: &Scenario, cfg: SpykerConfig, faults: FaultPlan) -> RunResult {
+    run_algorithm(
+        Algorithm::Spyker,
+        scenario,
+        &RunOptions::standard()
+            .with_max_time(SimTime::from_secs(40))
+            .with_spyker_config(cfg)
+            .with_faults(faults),
+    )
+}
+
+/// Mean accuracy over the second half of the probe series — the converged
+/// regime, where an un-defended run keeps getting re-poisoned.
+fn late_accuracy(run: &RunResult) -> f64 {
+    let half = &run.samples[run.samples.len() / 2..];
+    half.iter().map(|s| s.metric).sum::<f64>() / half.len() as f64
+}
+
+#[test]
+fn sign_flip_attackers_break_plain_mean_but_not_the_robust_pipeline() {
+    // 12 clients on 2 servers, k = 3 < n/3 attackers. Even assignment puts
+    // two attackers on server 0 (a third of its clients) and one on
+    // server 1; the token exchange spreads whatever poison lands.
+    let scenario = Scenario::mnist(12, 2, 9);
+    let k = 3;
+    let plan = sign_flip_plan(scenario.n_servers, k);
+    let batch = scenario.n_clients / scenario.n_servers;
+    let trimmed = AggregationStrategy::TrimmedMean {
+        batch,
+        trim_ratio: 0.25,
+    };
+    // The full pipeline: norm gate plus trimmed-mean for whatever slips
+    // under the bound. In this scenario honest deltas stay under norm ~3
+    // while a sign-flipped model sits ~2 model norms (~7) away from the
+    // server's, so the bound separates them with margin on both sides (a
+    // tighter bound starts gating out honest minority-label clients).
+    let gate = ValidationConfig {
+        max_delta_norm: Some(4.0),
+        ..ValidationConfig::default()
+    };
+
+    let fault_free = run(&scenario, base_config(&scenario), FaultPlan::none());
+    let attacked_mean = run(&scenario, base_config(&scenario), plan.clone());
+    let attacked_trimmed = run(
+        &scenario,
+        base_config(&scenario)
+            .with_aggregation(trimmed)
+            .with_validation(gate),
+        plan,
+    );
+
+    let baseline = late_accuracy(&fault_free);
+    let mean_late = late_accuracy(&attacked_mean);
+    let trimmed_late = late_accuracy(&attacked_trimmed);
+    assert!(baseline > 0.9, "fault-free baseline too weak: {baseline}");
+    // The attack actually ran, corrupting updates in flight.
+    assert!(attacked_mean.metrics.counter("fault.byzantine") > 50);
+    // Plain mean degrades: constant re-poisoning keeps knocking the model
+    // off its converged point.
+    assert!(
+        mean_late < baseline - 0.04,
+        "plain mean did not degrade under attack: {mean_late} vs fault-free {baseline}"
+    );
+    // The robust pipeline stays within 5% of the fault-free run...
+    assert!(
+        trimmed_late > baseline - 0.05,
+        "trimmed mean lost more than 5%: {trimmed_late} vs fault-free {baseline}"
+    );
+    // ...and clearly beats the undefended mean.
+    assert!(trimmed_late > mean_late);
+    // Every rejection is visible in the agg.* metrics, and the gate (not
+    // silent luck) did the filtering.
+    let rejected = attacked_trimmed.metrics.counter("agg.rejected");
+    assert!(rejected > 50, "gate never fired: {rejected} rejections");
+    assert_eq!(
+        rejected,
+        attacked_trimmed.metrics.counter("agg.rejected.norm")
+            + attacked_trimmed.metrics.counter("agg.rejected.nonfinite")
+            + attacked_trimmed.metrics.counter("agg.rejected.stale"),
+        "rejection causes do not add up to the total"
+    );
+    // The undefended run rejected nothing (finite payloads, trusting gate).
+    assert_eq!(attacked_mean.metrics.counter("agg.rejected"), 0);
+}
+
+#[test]
+fn median_aggregation_also_converges_under_attack() {
+    let scenario = Scenario::mnist(12, 2, 9);
+    let plan = sign_flip_plan(scenario.n_servers, 3);
+    let gate = ValidationConfig {
+        max_delta_norm: Some(4.0),
+        ..ValidationConfig::default()
+    };
+    let median = AggregationStrategy::Median {
+        batch: scenario.n_clients / scenario.n_servers,
+    };
+    let attacked = run(
+        &scenario,
+        base_config(&scenario)
+            .with_aggregation(median)
+            .with_validation(gate),
+        plan,
+    );
+    // The median pays a heterogeneity penalty on non-IID shards (it damps
+    // minority-label coordinates), so the bar is "converges", not "matches
+    // the fault-free mean".
+    assert!(
+        late_accuracy(&attacked) > 0.85,
+        "median failed to converge under attack: {}",
+        late_accuracy(&attacked)
+    );
+    assert!(attacked.metrics.counter("agg.robust.flushes") > 10);
+}
+
+#[test]
+fn seeded_byzantine_run_is_bit_reproducible() {
+    // Every stochastic attack (noise draws, NaN coin flips) comes from the
+    // deterministic per-node fault RNG stream, so two identical runs must
+    // agree on every probe sample and every metric — bit for bit.
+    let once = || {
+        let scenario = Scenario::mnist(8, 2, 21);
+        let plan = FaultPlan::none()
+            .byzantine(2, ByzantineAttack::GaussianNoise { sigma: 0.5 })
+            .byzantine(3, ByzantineAttack::NanInject { prob: 0.3 })
+            .byzantine(4, ByzantineAttack::SignFlip);
+        let gate = ValidationConfig {
+            max_delta_norm: Some(4.0),
+            ..ValidationConfig::default()
+        };
+        let trimmed = AggregationStrategy::TrimmedMean {
+            batch: 4,
+            trim_ratio: 0.25,
+        };
+        run_algorithm(
+            Algorithm::Spyker,
+            &scenario,
+            &RunOptions::standard()
+                .with_max_time(SimTime::from_secs(15))
+                .with_spyker_config(
+                    base_config(&scenario)
+                        .with_aggregation(trimmed)
+                        .with_validation(gate),
+                )
+                .with_faults(plan),
+        )
+    };
+    let a = once();
+    let b = once();
+    assert!(
+        a.metrics.counter("fault.byzantine") > 0,
+        "the byzantine plan never fired"
+    );
+    assert!(
+        a.metrics.counter("agg.rejected.nonfinite") > 0,
+        "NaN injection never reached the gate"
+    );
+    assert_eq!(a.samples, b.samples, "probe series diverged between runs");
+    let counters = |r: &RunResult| -> Vec<(String, u64)> {
+        r.metrics
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+    assert_eq!(counters(&a), counters(&b), "metrics diverged between runs");
+    assert_eq!(a.client_updates, b.client_updates);
+}
