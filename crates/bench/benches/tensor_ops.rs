@@ -26,6 +26,23 @@ fn bench_tensor(c: &mut Criterion) {
     group.bench_function("matmul_128x128", |bch| {
         bch.iter(|| big_a.matmul(&big_b));
     });
+    // The frozen pre-optimisation kernel, kept as the speedup baseline.
+    group.bench_function("matmul_naive_128x128", |bch| {
+        bch.iter(|| big_a.matmul_naive(&big_b));
+    });
+    let mut big_out = spyker_tensor::Matrix::zeros(128, 128);
+    group.bench_function("matmul_into_128x128", |bch| {
+        bch.iter(|| big_a.matmul_into(&big_b, &mut big_out));
+    });
+
+    let tall = xavier_init(512, 256, &mut rng);
+    let mut tall_t = spyker_tensor::Matrix::zeros(256, 512);
+    group.bench_function("transpose_512x256", |bch| {
+        bch.iter(|| tall.transpose());
+    });
+    group.bench_function("transpose_into_512x256", |bch| {
+        bch.iter(|| tall.transpose_into(&mut tall_t));
+    });
 
     let logits = xavier_init(32, 10, &mut rng);
     let targets: Vec<usize> = (0..32).map(|i| i % 10).collect();

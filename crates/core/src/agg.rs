@@ -29,7 +29,7 @@
 //! | `agg.rejected.peer`      | non-finite *server* models dropped at merge|
 //! | `agg.robust.flushes`     | robust batches folded into the model       |
 
-use spyker_tensor::{coordinate_median, coordinate_trimmed_mean};
+use spyker_tensor::{coordinate_median, coordinate_trimmed_mean, Scratch};
 
 use crate::params::ParamVec;
 
@@ -234,6 +234,9 @@ pub struct RobustBuffer {
     batch: usize,
     deltas: Vec<ParamVec>,
     weights: Vec<f32>,
+    /// Recycles the dim-sized delta buffers across flushes so a long run
+    /// stops allocating once the buffer has seen one full batch.
+    scratch: Scratch,
 }
 
 impl RobustBuffer {
@@ -258,7 +261,16 @@ impl RobustBuffer {
             batch,
             deltas: Vec::with_capacity(batch),
             weights: Vec::with_capacity(batch),
+            scratch: Scratch::new(),
         })
+    }
+
+    /// Takes a zeroed, `dim`-length delta buffer — recycled from a previous
+    /// flush when one of the right size is parked, freshly allocated
+    /// otherwise. Callers build the next delta in it and hand it back via
+    /// [`RobustBuffer::push`].
+    pub fn take_delta(&mut self, dim: usize) -> ParamVec {
+        ParamVec::from_vec(self.scratch.take_vec(dim))
     }
 
     /// The strategy name (for logs and metric labels).
@@ -295,15 +307,34 @@ impl RobustBuffer {
     ///
     /// Panics if the buffer is empty.
     pub fn flush(&mut self) -> (ParamVec, f32) {
+        let mut out = ParamVec::zeros(0);
+        let mean_w = self.flush_into(&mut out);
+        (out, mean_w)
+    }
+
+    /// Allocation-free [`flush`](Self::flush): writes the robust estimate
+    /// into `out` (resized to the delta dimension) and returns the mean
+    /// aggregation weight. The flushed deltas' storage is recycled for
+    /// future [`take_delta`](Self::take_delta) calls, so a server that
+    /// builds deltas from recycled buffers flushes with zero steady-state
+    /// heap traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn flush_into(&mut self, out: &mut ParamVec) -> f32 {
         assert!(!self.deltas.is_empty(), "flush of an empty robust buffer");
         let dim = self.deltas[0].len();
+        out.resize(dim);
         let rows: Vec<&[f32]> = self.deltas.iter().map(ParamVec::as_slice).collect();
-        let mut out = vec![0.0f32; dim];
-        self.agg.combine(&rows, &mut out);
+        self.agg.combine(&rows, out.as_mut_slice());
+        drop(rows);
         let mean_w = self.weights.iter().sum::<f32>() / self.weights.len() as f32;
-        self.deltas.clear();
+        for delta in self.deltas.drain(..) {
+            self.scratch.recycle_vec(delta.into_vec());
+        }
         self.weights.clear();
-        (ParamVec::from_vec(out), mean_w)
+        mean_w
     }
 }
 

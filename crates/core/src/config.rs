@@ -30,7 +30,7 @@ use crate::staleness::ClientStaleness;
 ///
 /// Age gossip needs no watchdog: it is re-sent on later update triggers by
 /// construction (rate-limited by `SpykerConfig::gossip_backoff`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
     /// Base period of the token-loss watchdog; server `i` checks every
     /// `token_timeout * (i + 1)` so lower-indexed servers win regeneration

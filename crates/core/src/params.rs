@@ -57,6 +57,12 @@ impl ParamVec {
         self.0
     }
 
+    /// Resizes to dimension `n` in place (new coordinates are zero),
+    /// reusing the existing capacity where possible.
+    pub fn resize(&mut self, n: usize) {
+        self.0.resize(n, 0.0);
+    }
+
     /// Moves `self` a fraction `t` of the way toward `other`:
     /// `self += t * (other - self)`.
     ///

@@ -78,6 +78,9 @@ pub struct SpykerServer {
     /// Robust-aggregation buffer; `None` for the paper-exact
     /// [`crate::agg::AggregationStrategy::Mean`] (see `SpykerConfig::aggregation`).
     robust: Option<RobustBuffer>,
+    /// Reused output buffer for robust flushes (the estimate is written
+    /// here instead of a fresh allocation per flush).
+    flush_buf: ParamVec,
     /// Updates (client and peer) rejected by the validation gate.
     rejected_updates: u64,
 }
@@ -138,6 +141,7 @@ impl SpykerServer {
             tokens_regenerated: 0,
             degraded_syncs: 0,
             robust,
+            flush_buf: ParamVec::zeros(0),
             rejected_updates: 0,
         }
     }
@@ -251,17 +255,21 @@ impl SpykerServer {
         if let Some(buf) = &mut self.robust {
             // Robust path: buffer the update's delta; every `batch`
             // accepted deltas, fold one robust estimate of the batch into
-            // the model at the batch's mean aggregation weight.
-            let mut delta = update;
+            // the model at the batch's mean aggregation weight. The delta
+            // is built in a buffer recycled from earlier flushes and the
+            // estimate lands in `flush_buf`, so a long run's flush path
+            // stops touching the heap after the first full batch.
+            let mut delta = buf.take_delta(update.len());
+            delta.as_mut_slice().copy_from_slice(update.as_slice());
             delta.axpy(-1.0, &self.params);
             buf.push(delta, w);
             if buf.is_ready() {
                 let n = buf.len();
-                let (estimate, mean_w) = buf.flush();
+                let mean_w = buf.flush_into(&mut self.flush_buf);
                 // Compounded step: one batch step integrates as much as the
                 // `n` sequential lerps the Mean path would have applied.
                 let step = crate::agg::compounded_step(self.cfg.server_lr * mean_w, n);
-                self.params.axpy(step, &estimate);
+                self.params.axpy(step, &self.flush_buf);
                 env.add_counter("agg.robust.flushes", 1);
             }
         } else {
@@ -325,7 +333,7 @@ impl SpykerServer {
                 let msg_params = self.params.clone();
                 let age = self.age;
                 let idx = self.server_idx;
-                for peer in self.peers().collect::<Vec<_>>() {
+                for peer in self.peers() {
                     env.send(
                         peer,
                         FlMsg::ServerModel {
@@ -350,7 +358,7 @@ impl SpykerServer {
                     self.last_gossip_at = self.processed_updates;
                     let age = self.age;
                     let idx = self.server_idx;
-                    for peer in self.peers().collect::<Vec<_>>() {
+                    for peer in self.peers() {
                         env.send(
                             peer,
                             FlMsg::AgeGossip {
@@ -409,7 +417,7 @@ impl SpykerServer {
             let params = self.params.clone();
             let age = self.age;
             let idx = self.server_idx;
-            for peer in self.peers().collect::<Vec<_>>() {
+            for peer in self.peers() {
                 env.send(
                     peer,
                     FlMsg::ServerModel {
@@ -473,7 +481,7 @@ impl SpykerServer {
     /// Arms (or re-arms after a restart) the recovery watchdog timers.
     /// No-op without a [`crate::config::RecoveryConfig`].
     fn arm_watchdogs(&mut self, env: &mut dyn Env<FlMsg>) {
-        let Some(rec) = self.cfg.recovery.clone() else {
+        let Some(rec) = self.cfg.recovery else {
             return;
         };
         if self.server_nodes.len() > 1 {
@@ -491,7 +499,7 @@ impl SpykerServer {
     /// regardless of how many in-flight increments that copy still
     /// receives before being dropped.
     fn on_token_watchdog(&mut self, env: &mut dyn Env<FlMsg>) {
-        let Some(rec) = self.cfg.recovery.clone() else {
+        let Some(rec) = self.cfg.recovery else {
             return;
         };
         let stalled = self.highest_bid_seen == self.bid_at_last_watchdog;
@@ -533,20 +541,18 @@ impl SpykerServer {
     /// protocol is purely reactive) and revives clients that crashed and
     /// rejoined.
     fn on_client_watchdog(&mut self, env: &mut dyn Env<FlMsg>) {
-        let Some(rec) = self.cfg.recovery.clone() else {
+        let Some(rec) = self.cfg.recovery else {
             return;
         };
-        let params = self.params.clone();
-        let age = self.age;
-        for (k, &client) in self.clients.clone().iter().enumerate() {
+        for k in 0..self.clients.len() {
             let processed = self.counts.counts()[k];
             if processed == self.client_watch[k] {
                 env.add_counter("client.repoked", 1);
                 env.send(
-                    client,
+                    self.clients[k],
                     FlMsg::ModelToClient {
-                        params: params.clone(),
-                        age,
+                        params: self.params.clone(),
+                        age: self.age,
                         lr: self.client_lr[k],
                     },
                 );
@@ -560,15 +566,13 @@ impl SpykerServer {
 impl Node<FlMsg> for SpykerServer {
     fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
         // Kick every client off with the initial model.
-        let params = self.params.clone();
-        let age = self.age;
         let lr = self.cfg.decay.eta_init;
-        for client in self.clients.clone() {
+        for k in 0..self.clients.len() {
             env.send(
-                client,
+                self.clients[k],
                 FlMsg::ModelToClient {
-                    params: params.clone(),
-                    age,
+                    params: self.params.clone(),
+                    age: self.age,
                     lr,
                 },
             );
@@ -624,14 +628,12 @@ impl Node<FlMsg> for SpykerServer {
             }
         }
         env.add_counter("server.restarts", 1);
-        let params = self.params.clone();
-        let age = self.age;
-        for (k, &client) in self.clients.clone().iter().enumerate() {
+        for k in 0..self.clients.len() {
             env.send(
-                client,
+                self.clients[k],
                 FlMsg::ModelToClient {
-                    params: params.clone(),
-                    age,
+                    params: self.params.clone(),
+                    age: self.age,
                     lr: self.client_lr[k],
                 },
             );

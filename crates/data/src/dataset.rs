@@ -121,6 +121,24 @@ impl DenseDataset {
             labels,
         )
     }
+
+    /// Allocation-free variant of [`gather_batch`](Self::gather_batch):
+    /// copies the batch into caller-owned buffers, reusing their capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_batch_into(&self, indices: &[usize], x: &mut Matrix, y: &mut Vec<usize>) {
+        let f = self.feature_len();
+        x.reset_dims(indices.len(), f);
+        y.clear();
+        y.reserve(indices.len());
+        let out = x.as_mut_slice();
+        for (slot, &i) in indices.iter().enumerate() {
+            out[slot * f..(slot + 1) * f].copy_from_slice(self.features.row(i));
+            y.push(self.labels[i]);
+        }
+    }
 }
 
 /// A tokenised character-level text dataset for language modelling.
@@ -224,6 +242,20 @@ mod tests {
         assert_eq!(x.rows(), 3);
         assert_eq!(x.row(0), &[2.0, 3.0]);
         assert_eq!(y, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn gather_batch_into_matches_gather_batch_and_reuses_buffers() {
+        let d = tiny();
+        let (want_x, want_y) = d.gather_batch(&[2, 0, 1]);
+        let mut x = Matrix::zeros(8, 8); // over-sized: capacity must be reused
+        let mut y = vec![9usize; 5];
+        let ptr = x.as_slice().as_ptr();
+        d.gather_batch_into(&[2, 0, 1], &mut x, &mut y);
+        assert_eq!(x.as_slice(), want_x.as_slice());
+        assert_eq!(x.shape(), want_x.shape());
+        assert_eq!(y, want_y);
+        assert_eq!(x.as_slice().as_ptr(), ptr, "buffer was reallocated");
     }
 
     #[test]

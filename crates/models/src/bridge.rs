@@ -14,6 +14,7 @@ use spyker_core::cluster::ClusterTrainer;
 use spyker_core::params::ParamVec;
 use spyker_core::training::{EvalReport, Evaluator, LocalTrainer, MetricKind};
 use spyker_data::dataset::{DenseDataset, TextDataset};
+use spyker_tensor::Matrix;
 
 use crate::model::{DenseModel, SeqModel};
 
@@ -26,6 +27,12 @@ pub struct DenseShardTrainer<M> {
     shard: DenseDataset,
     batch_size: usize,
     rng: StdRng,
+    // Persistent buffers: one local round gathers hundreds of mini-batches,
+    // and these keep that loop free of per-batch heap allocations.
+    batch_x: Matrix,
+    batch_y: Vec<usize>,
+    idx: Vec<usize>,
+    params_out: Vec<f32>,
 }
 
 impl<M: DenseModel> DenseShardTrainer<M> {
@@ -42,6 +49,10 @@ impl<M: DenseModel> DenseShardTrainer<M> {
             shard,
             batch_size,
             rng: StdRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b),
+            batch_x: Matrix::default(),
+            batch_y: Vec::new(),
+            idx: Vec::new(),
+            params_out: Vec::new(),
         }
     }
 }
@@ -49,17 +60,19 @@ impl<M: DenseModel> DenseShardTrainer<M> {
 impl<M: DenseModel> LocalTrainer for DenseShardTrainer<M> {
     fn train(&mut self, params: &mut ParamVec, lr: f32, epochs: usize) {
         self.model.read_params(params.as_slice());
-        let mut idx: Vec<usize> = (0..self.shard.len()).collect();
+        self.idx.clear();
+        self.idx.extend(0..self.shard.len());
         for _ in 0..epochs {
-            idx.shuffle(&mut self.rng);
-            for chunk in idx.chunks(self.batch_size) {
-                let (x, y) = self.shard.gather_batch(chunk);
-                self.model.train_batch(&x, &y, lr);
+            self.idx.shuffle(&mut self.rng);
+            for chunk in self.idx.chunks(self.batch_size) {
+                self.shard
+                    .gather_batch_into(chunk, &mut self.batch_x, &mut self.batch_y);
+                self.model.train_batch(&self.batch_x, &self.batch_y, lr);
             }
         }
-        let mut out = Vec::with_capacity(self.model.num_params());
-        self.model.write_params(&mut out);
-        *params = ParamVec::from_vec(out);
+        self.params_out.clear();
+        self.model.write_params(&mut self.params_out);
+        params.as_mut_slice().copy_from_slice(&self.params_out);
     }
 
     fn num_samples(&self) -> usize {
@@ -86,6 +99,12 @@ pub struct DenseClusterTrainer<M> {
     /// centers together).
     rounds: usize,
     rng: StdRng,
+    // Persistent buffers reused across rounds (scoring + training batches).
+    batch_x: Matrix,
+    batch_y: Vec<usize>,
+    idx: Vec<usize>,
+    losses: Vec<f32>,
+    params_out: Vec<f32>,
 }
 
 impl<M: DenseModel> DenseClusterTrainer<M> {
@@ -105,6 +124,11 @@ impl<M: DenseModel> DenseClusterTrainer<M> {
             last_choice: None,
             rounds: 0,
             rng: StdRng::seed_from_u64(seed ^ 0xc4ce_b9fe_1a85_ec53),
+            batch_x: Matrix::default(),
+            batch_y: Vec::new(),
+            idx: Vec::new(),
+            losses: Vec::new(),
+            params_out: Vec::new(),
         }
     }
 }
@@ -113,15 +137,17 @@ impl<M: DenseModel> ClusterTrainer for DenseClusterTrainer<M> {
     fn train_best(&mut self, candidates: &mut [ParamVec], lr: f32, epochs: usize) -> usize {
         assert!(!candidates.is_empty(), "no candidate models");
         let n = self.shard.len().min(self.score_samples);
-        let idx: Vec<usize> = (0..n).collect();
-        let (x, y) = self.shard.gather_batch(&idx);
-        let losses: Vec<f32> = candidates
-            .iter()
-            .map(|candidate| {
-                self.model.read_params(candidate.as_slice());
-                self.model.eval_batch(&x, &y).0
-            })
-            .collect();
+        self.idx.clear();
+        self.idx.extend(0..n);
+        self.shard
+            .gather_batch_into(&self.idx, &mut self.batch_x, &mut self.batch_y);
+        self.losses.clear();
+        for candidate in candidates.iter() {
+            self.model.read_params(candidate.as_slice());
+            self.losses
+                .push(self.model.eval_batch(&self.batch_x, &self.batch_y).0);
+        }
+        let losses = &self.losses;
         let mut best = (0..candidates.len())
             .min_by(|&a, &b| losses[a].partial_cmp(&losses[b]).expect("finite losses"))
             .expect("non-empty");
@@ -169,17 +195,21 @@ impl<M: DenseModel> ClusterTrainer for DenseClusterTrainer<M> {
         }
         let best = train_on;
         self.model.read_params(candidates[best].as_slice());
-        let mut order: Vec<usize> = (0..self.shard.len()).collect();
+        self.idx.clear();
+        self.idx.extend(0..self.shard.len());
         for _ in 0..epochs {
-            order.shuffle(&mut self.rng);
-            for chunk in order.chunks(self.batch_size) {
-                let (bx, by) = self.shard.gather_batch(chunk);
-                self.model.train_batch(&bx, &by, lr);
+            self.idx.shuffle(&mut self.rng);
+            for chunk in self.idx.chunks(self.batch_size) {
+                self.shard
+                    .gather_batch_into(chunk, &mut self.batch_x, &mut self.batch_y);
+                self.model.train_batch(&self.batch_x, &self.batch_y, lr);
             }
         }
-        let mut out = Vec::with_capacity(self.model.num_params());
-        self.model.write_params(&mut out);
-        candidates[best] = ParamVec::from_vec(out);
+        self.params_out.clear();
+        self.model.write_params(&mut self.params_out);
+        candidates[best]
+            .as_mut_slice()
+            .copy_from_slice(&self.params_out);
         best
     }
 
@@ -194,9 +224,18 @@ impl<M: DenseModel> ClusterTrainer for DenseClusterTrainer<M> {
 /// trait is `Sync`) while loading parameters mutates the model, so the
 /// model sits behind a mutex.
 pub struct DenseEvaluator<M> {
-    model: Mutex<M>,
+    // Batch buffers live under the same lock as the model so repeated
+    // evaluations reuse them instead of re-gathering into fresh Vecs.
+    state: Mutex<DenseEvalState<M>>,
     test: DenseDataset,
     max_samples: usize,
+}
+
+struct DenseEvalState<M> {
+    model: M,
+    x: Matrix,
+    y: Vec<usize>,
+    idx: Vec<usize>,
 }
 
 impl<M: DenseModel> DenseEvaluator<M> {
@@ -211,7 +250,12 @@ impl<M: DenseModel> DenseEvaluator<M> {
         assert!(!test.is_empty(), "test set must not be empty");
         assert!(max_samples > 0, "max_samples must be positive");
         Self {
-            model: Mutex::new(model),
+            state: Mutex::new(DenseEvalState {
+                model,
+                x: Matrix::default(),
+                y: Vec::new(),
+                idx: Vec::new(),
+            }),
             test,
             max_samples,
         }
@@ -221,11 +265,13 @@ impl<M: DenseModel> DenseEvaluator<M> {
 impl<M: DenseModel> Evaluator for DenseEvaluator<M> {
     fn evaluate(&self, params: &ParamVec) -> EvalReport {
         let n = self.test.len().min(self.max_samples);
-        let idx: Vec<usize> = (0..n).collect();
-        let (x, y) = self.test.gather_batch(&idx);
-        let mut model = self.model.lock().expect("evaluator poisoned");
+        let mut state = self.state.lock().expect("evaluator poisoned");
+        let DenseEvalState { model, x, y, idx } = &mut *state;
+        idx.clear();
+        idx.extend(0..n);
+        self.test.gather_batch_into(idx, x, y);
         model.read_params(params.as_slice());
-        let (loss, correct) = model.eval_batch(&x, &y);
+        let (loss, correct) = model.eval_batch(x, y);
         EvalReport {
             loss: loss as f64,
             metric: correct as f64 / n as f64,
@@ -242,6 +288,7 @@ pub struct SeqShardTrainer<M> {
     model: M,
     shard: TextDataset,
     window: usize,
+    params_out: Vec<f32>,
 }
 
 impl<M: SeqModel> SeqShardTrainer<M> {
@@ -257,6 +304,7 @@ impl<M: SeqModel> SeqShardTrainer<M> {
             model,
             shard,
             window,
+            params_out: Vec::new(),
         }
     }
 }
@@ -271,9 +319,9 @@ impl<M: SeqModel> LocalTrainer for SeqShardTrainer<M> {
                 }
             }
         }
-        let mut out = Vec::with_capacity(self.model.num_params());
-        self.model.write_params(&mut out);
-        *params = ParamVec::from_vec(out);
+        self.params_out.clear();
+        self.model.write_params(&mut self.params_out);
+        params.as_mut_slice().copy_from_slice(&self.params_out);
     }
 
     fn num_samples(&self) -> usize {

@@ -3,11 +3,50 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spyker_tensor::{
-    col2im, cross_entropy_from_logits, he_init, im2col, relu, relu_grad_mask, Conv2dShape, Matrix,
-    MaxPool2d,
+    col2im_into, cross_entropy_from_logits_into, he_init, im2col_into, relu_into, Conv2dShape,
+    Matrix, MaxPool2d,
 };
 
 use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
+
+/// Persistent temporaries for [`Cnn`] steps, indexed per conv stage where
+/// needed. All buffers are reused across samples and steps via the `_into`
+/// kernels, so the per-step heap traffic drops to zero after warm-up.
+#[derive(Default)]
+struct CnnScratch {
+    /// Per-stage im2col matrix.
+    cols: Vec<Matrix>,
+    /// Per-stage conv output `(oh*ow) x out_c` before the layout transpose.
+    z: Vec<Matrix>,
+    /// Per-stage channel-major pre-activation.
+    pre: Vec<Vec<f32>>,
+    /// Per-stage channel-major post-ReLU activation.
+    relu_out: Vec<Vec<f32>>,
+    /// Per-stage stage output (post-pool, or a copy of `relu_out`).
+    out: Vec<Vec<f32>>,
+    /// Per-stage pool argmax (empty when the stage has no pool).
+    argmax: Vec<Vec<usize>>,
+    /// FC pre-activations; the last entry holds the logits.
+    fc_pre: Vec<Matrix>,
+    /// FC input activations (`fc_acts[0]` is the flattened conv output).
+    fc_acts: Vec<Matrix>,
+    delta: Matrix,
+    next_delta: Matrix,
+    /// Shared weight-gradient temporary (one product before accumulation).
+    gw: Matrix,
+    /// Column sums of `dz` for the conv bias gradient.
+    db_tmp: Vec<f32>,
+    /// Conv backward buffers.
+    dout: Vec<f32>,
+    drelu: Vec<f32>,
+    dz: Matrix,
+    dcols: Matrix,
+    /// Batch gradient accumulators, zeroed at the start of each batch.
+    dconv_w: Vec<Matrix>,
+    dconv_b: Vec<Vec<f32>>,
+    dfc_w: Vec<Matrix>,
+    dfc_b: Vec<Vec<f32>>,
+}
 
 /// Configuration of one convolutional stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +84,7 @@ pub struct Cnn {
     fc_w: Vec<Matrix>,
     fc_b: Vec<Vec<f32>>,
     pool: MaxPool2d,
+    scratch: CnnScratch,
 }
 
 impl Cnn {
@@ -113,6 +153,7 @@ impl Cnn {
             fc_w,
             fc_b,
             pool,
+            scratch: CnnScratch::default(),
         }
     }
 
@@ -167,51 +208,85 @@ impl Cnn {
         Self::new(input_shape, &stages, &[64], classes, seed)
     }
 
-    /// Forward pass over one sample. Returns, per stage: the im2col matrix,
-    /// the pre-activation conv output (channel-major), the post-ReLU(+pool)
-    /// activation, and the pool argmax (empty when no pool); plus the FC
-    /// pre-activations (last = logits).
-    #[allow(clippy::type_complexity)]
-    fn forward_sample(
-        &self,
-        sample: &[f32],
-    ) -> (Vec<(Matrix, Vec<f32>, Vec<f32>, Vec<usize>)>, Vec<Matrix>) {
-        let mut act = sample.to_vec();
-        let mut stage_data = Vec::with_capacity(self.stages.len());
-        for (s, stage) in self.stages.iter().enumerate() {
-            let g = &self.geom[s];
-            let cols = im2col(&act, &g.conv);
+    /// Forward pass over one sample into the scratch buffers: fills, per
+    /// stage, the im2col matrix, the channel-major pre-activation, the stage
+    /// output and the pool argmax; plus the FC pre-activations (the last
+    /// entry holds the logits).
+    fn forward_sample(&mut self, sample: &[f32]) {
+        let Self {
+            stages,
+            geom,
+            conv_w,
+            conv_b,
+            fc_w,
+            fc_b,
+            pool,
+            scratch,
+        } = self;
+        let ns = stages.len();
+        scratch.cols.resize_with(ns, Matrix::default);
+        scratch.z.resize_with(ns, Matrix::default);
+        scratch.pre.resize_with(ns, Vec::new);
+        scratch.relu_out.resize_with(ns, Vec::new);
+        scratch.out.resize_with(ns, Vec::new);
+        scratch.argmax.resize_with(ns, Vec::new);
+        for (s, stage) in stages.iter().enumerate() {
+            let g = &geom[s];
+            let input: &[f32] = if s == 0 { sample } else { &scratch.out[s - 1] };
+            im2col_into(input, &g.conv, &mut scratch.cols[s]);
             // z: (oh*ow) x out_c -> transpose into channel-major pre-act.
-            let mut z = cols.matmul_nt(&self.conv_w[s]);
-            z.add_row_broadcast(&self.conv_b[s]);
+            scratch.cols[s].matmul_nt_into(&conv_w[s], &mut scratch.z[s]);
+            scratch.z[s].add_row_broadcast(&conv_b[s]);
             let (oh, ow) = g.conv_dims;
-            let mut pre = vec![0.0f32; stage.out_channels * oh * ow];
-            for p in 0..oh * ow {
-                for ch in 0..stage.out_channels {
-                    pre[ch * oh * ow + p] = z[(p, ch)];
+            let ohw = oh * ow;
+            let out_c = stage.out_channels;
+            let pre = &mut scratch.pre[s];
+            pre.clear();
+            pre.resize(out_c * ohw, 0.0);
+            let zs = scratch.z[s].as_slice();
+            for p in 0..ohw {
+                for ch in 0..out_c {
+                    pre[ch * ohw + p] = zs[p * out_c + ch];
                 }
             }
-            let relu_out: Vec<f32> = pre.iter().map(|&v| v.max(0.0)).collect();
-            let (out, argmax) = if stage.pool {
-                self.pool.forward(&relu_out, stage.out_channels, oh, ow)
+            let relu_out = &mut scratch.relu_out[s];
+            relu_out.clear();
+            relu_out.extend(scratch.pre[s].iter().map(|&v| v.max(0.0)));
+            if stage.pool {
+                pool.forward_into(
+                    &scratch.relu_out[s],
+                    out_c,
+                    oh,
+                    ow,
+                    &mut scratch.out[s],
+                    &mut scratch.argmax[s],
+                );
             } else {
-                (relu_out, Vec::new())
-            };
-            stage_data.push((cols, pre, out.clone(), argmax));
-            act = out;
+                scratch.argmax[s].clear();
+                let out = &mut scratch.out[s];
+                out.clear();
+                out.extend_from_slice(&scratch.relu_out[s]);
+            }
         }
         // FC stack on the flattened activation.
-        let mut fc_pre = Vec::with_capacity(self.fc_w.len());
-        let mut x = Matrix::from_vec(1, act.len(), act);
-        for (i, (w, b)) in self.fc_w.iter().zip(&self.fc_b).enumerate() {
-            let mut z = x.matmul(w);
-            z.add_row_broadcast(b);
-            if i + 1 < self.fc_w.len() {
-                x = relu(&z);
+        let n_fc = fc_w.len();
+        scratch.fc_pre.resize_with(n_fc, Matrix::default);
+        scratch.fc_acts.resize_with(n_fc, Matrix::default);
+        let flat: &[f32] = if ns == 0 {
+            sample
+        } else {
+            &scratch.out[ns - 1]
+        };
+        scratch.fc_acts[0].reset_dims(1, flat.len());
+        scratch.fc_acts[0].as_mut_slice().copy_from_slice(flat);
+        for i in 0..n_fc {
+            let z = &mut scratch.fc_pre[i];
+            scratch.fc_acts[i].matmul_into(&fc_w[i], z);
+            z.add_row_broadcast(&fc_b[i]);
+            if i + 1 < n_fc {
+                relu_into(z, &mut scratch.fc_acts[i + 1]);
             }
-            fc_pre.push(z);
         }
-        (stage_data, fc_pre)
     }
 }
 
@@ -250,105 +325,146 @@ impl DenseModel for Cnn {
     fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32 {
         assert_eq!(x.rows(), y.len(), "one label per sample");
         let batch = x.rows() as f32;
-        let mut dconv_w: Vec<Matrix> = self
-            .conv_w
-            .iter()
-            .map(|w| Matrix::zeros(w.rows(), w.cols()))
-            .collect();
-        let mut dconv_b: Vec<Vec<f32>> = self.conv_b.iter().map(|b| vec![0.0; b.len()]).collect();
-        let mut dfc_w: Vec<Matrix> = self
-            .fc_w
-            .iter()
-            .map(|w| Matrix::zeros(w.rows(), w.cols()))
-            .collect();
-        let mut dfc_b: Vec<Vec<f32>> = self.fc_b.iter().map(|b| vec![0.0; b.len()]).collect();
+        // Zero the persistent gradient accumulators.
+        {
+            let Self {
+                conv_w,
+                conv_b,
+                fc_w,
+                fc_b,
+                scratch,
+                ..
+            } = self;
+            scratch.dconv_w.resize_with(conv_w.len(), Matrix::default);
+            for (dw, w) in scratch.dconv_w.iter_mut().zip(conv_w.iter()) {
+                dw.reset_dims(w.rows(), w.cols());
+                dw.as_mut_slice().fill(0.0);
+            }
+            scratch.dconv_b.resize_with(conv_b.len(), Vec::new);
+            for (db, b) in scratch.dconv_b.iter_mut().zip(conv_b.iter()) {
+                db.clear();
+                db.resize(b.len(), 0.0);
+            }
+            scratch.dfc_w.resize_with(fc_w.len(), Matrix::default);
+            for (dw, w) in scratch.dfc_w.iter_mut().zip(fc_w.iter()) {
+                dw.reset_dims(w.rows(), w.cols());
+                dw.as_mut_slice().fill(0.0);
+            }
+            scratch.dfc_b.resize_with(fc_b.len(), Vec::new);
+            for (db, b) in scratch.dfc_b.iter_mut().zip(fc_b.iter()) {
+                db.clear();
+                db.resize(b.len(), 0.0);
+            }
+        }
         let mut total_loss = 0.0;
 
         for (r, &target) in y.iter().enumerate() {
-            let sample = x.row(r);
-            let (stage_data, fc_pre) = self.forward_sample(sample);
-            let n_fc = self.fc_w.len();
-            let logits = &fc_pre[n_fc - 1];
-            let (loss, mut delta) = cross_entropy_from_logits(logits, &[target]);
-            total_loss += loss;
+            self.forward_sample(x.row(r));
+            let Self {
+                stages,
+                geom,
+                conv_w,
+                fc_w,
+                pool,
+                scratch,
+                ..
+            } = self;
+            let n_fc = fc_w.len();
+            total_loss += cross_entropy_from_logits_into(
+                &scratch.fc_pre[n_fc - 1],
+                &[target],
+                &mut scratch.delta,
+            );
             // FC backward.
-            let mut fc_acts: Vec<Matrix> = Vec::with_capacity(n_fc);
-            let flat = stage_data
-                .last()
-                .map(|(_, _, out, _)| out.clone())
-                .unwrap_or_else(|| sample.to_vec());
-            fc_acts.push(Matrix::from_vec(1, flat.len(), flat));
-            for z in fc_pre.iter().take(n_fc - 1) {
-                fc_acts.push(relu(z));
-            }
             for i in (0..n_fc).rev() {
-                dfc_w[i].add_assign(&fc_acts[i].matmul_tn(&delta));
-                for (b, g) in dfc_b[i].iter_mut().zip(delta.row(0)) {
+                scratch.fc_acts[i].matmul_tn_into(&scratch.delta, &mut scratch.gw);
+                scratch.dfc_w[i].add_assign(&scratch.gw);
+                for (b, g) in scratch.dfc_b[i].iter_mut().zip(scratch.delta.row(0)) {
                     *b += g;
                 }
+                scratch
+                    .delta
+                    .matmul_nt_into(&fc_w[i], &mut scratch.next_delta);
                 if i > 0 {
-                    let mut upstream = delta.matmul_nt(&self.fc_w[i]);
-                    upstream.hadamard_assign(&relu_grad_mask(&fc_pre[i - 1]));
-                    delta = upstream;
-                } else {
-                    delta = delta.matmul_nt(&self.fc_w[0]);
+                    for (d, &p) in scratch
+                        .next_delta
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(scratch.fc_pre[i - 1].as_slice())
+                    {
+                        if p <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
                 }
+                std::mem::swap(&mut scratch.delta, &mut scratch.next_delta);
             }
             // delta is now the gradient w.r.t. the flattened last stage
             // output (1 x c*h*w).
-            let mut dout: Vec<f32> = delta.row(0).to_vec();
+            scratch.dout.clear();
+            scratch.dout.extend_from_slice(scratch.delta.row(0));
             // Conv backward, last stage first.
-            for s in (0..self.stages.len()).rev() {
-                let stage = self.stages[s];
-                let g = &self.geom[s];
+            for s in (0..stages.len()).rev() {
+                let stage = stages[s];
+                let g = &geom[s];
                 let (oh, ow) = g.conv_dims;
-                let (cols, pre, _out, argmax) = &stage_data[s];
+                let ohw = oh * ow;
+                let out_c = stage.out_channels;
                 // Undo pooling.
-                let drelu = if stage.pool {
-                    self.pool
-                        .backward(&dout, argmax, stage.out_channels * oh * ow)
+                if stage.pool {
+                    scratch.drelu.clear();
+                    scratch.drelu.resize(out_c * ohw, 0.0);
+                    pool.backward_into(&scratch.dout, &scratch.argmax[s], &mut scratch.drelu);
                 } else {
-                    dout.clone()
-                };
+                    scratch.drelu.clear();
+                    scratch.drelu.extend_from_slice(&scratch.dout);
+                }
                 // ReLU mask on the pre-activation.
-                let masked: Vec<f32> = drelu
-                    .iter()
-                    .zip(pre)
-                    .map(|(&d, &p)| if p > 0.0 { d } else { 0.0 })
-                    .collect();
+                for (d, &p) in scratch.drelu.iter_mut().zip(&scratch.pre[s]) {
+                    if p <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
                 // Back to (oh*ow) x out_c layout.
-                let mut dz = Matrix::zeros(oh * ow, stage.out_channels);
-                for p in 0..oh * ow {
-                    for ch in 0..stage.out_channels {
-                        dz[(p, ch)] = masked[ch * oh * ow + p];
+                scratch.dz.reset_dims(ohw, out_c);
+                let dzs = scratch.dz.as_mut_slice();
+                for p in 0..ohw {
+                    for ch in 0..out_c {
+                        dzs[p * out_c + ch] = scratch.drelu[ch * ohw + p];
                     }
                 }
                 // dW = dz^T * cols; db = column sums of dz.
-                dconv_w[s].add_assign(&dz.matmul_tn(cols));
-                for (b, g2) in dconv_b[s].iter_mut().zip(dz.sum_rows()) {
+                scratch.dz.matmul_tn_into(&scratch.cols[s], &mut scratch.gw);
+                scratch.dconv_w[s].add_assign(&scratch.gw);
+                scratch.db_tmp.clear();
+                scratch.db_tmp.resize(out_c, 0.0);
+                scratch.dz.sum_rows_into(&mut scratch.db_tmp);
+                for (b, g2) in scratch.dconv_b[s].iter_mut().zip(&scratch.db_tmp) {
                     *b += g2;
                 }
                 if s > 0 {
                     // dcols = dz * W; dinput = col2im(dcols).
-                    let dcols = dz.matmul(&self.conv_w[s]);
-                    dout = col2im(&dcols, &g.conv);
+                    scratch.dz.matmul_into(&conv_w[s], &mut scratch.dcols);
+                    scratch.dout.clear();
+                    scratch.dout.resize(g.conv.input_len(), 0.0);
+                    col2im_into(&scratch.dcols, &g.conv, &mut scratch.dout);
                 }
             }
         }
         // Apply averaged gradients.
         let inv = 1.0 / batch;
-        for (w, dw) in self.conv_w.iter_mut().zip(&dconv_w) {
+        for (w, dw) in self.conv_w.iter_mut().zip(&self.scratch.dconv_w) {
             w.axpy(-lr * inv, dw);
         }
-        for (b, db) in self.conv_b.iter_mut().zip(&dconv_b) {
+        for (b, db) in self.conv_b.iter_mut().zip(&self.scratch.dconv_b) {
             for (bi, gi) in b.iter_mut().zip(db) {
                 *bi -= lr * inv * gi;
             }
         }
-        for (w, dw) in self.fc_w.iter_mut().zip(&dfc_w) {
+        for (w, dw) in self.fc_w.iter_mut().zip(&self.scratch.dfc_w) {
             w.axpy(-lr * inv, dw);
         }
-        for (b, db) in self.fc_b.iter_mut().zip(&dfc_b) {
+        for (b, db) in self.fc_b.iter_mut().zip(&self.scratch.dfc_b) {
             for (bi, gi) in b.iter_mut().zip(db) {
                 *bi -= lr * inv * gi;
             }
@@ -356,16 +472,23 @@ impl DenseModel for Cnn {
         total_loss / batch
     }
 
-    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize) {
+    fn eval_batch(&mut self, x: &Matrix, y: &[usize]) -> (f32, usize) {
         assert_eq!(x.rows(), y.len(), "one label per sample");
         let mut loss = 0.0;
         let mut correct = 0;
         for (r, &target) in y.iter().enumerate() {
-            let (_, fc_pre) = self.forward_sample(x.row(r));
-            let logits = fc_pre.last().expect("at least one fc layer");
-            let (l, _) = cross_entropy_from_logits(logits, &[target]);
-            loss += l;
-            if logits.argmax_rows()[0] == target {
+            self.forward_sample(x.row(r));
+            let scratch = &mut self.scratch;
+            let logits = scratch.fc_pre.last().expect("at least one fc layer");
+            loss += cross_entropy_from_logits_into(logits, &[target], &mut scratch.delta);
+            let row = logits.row(0);
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            if best == target {
                 correct += 1;
             }
         }

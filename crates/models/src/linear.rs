@@ -2,9 +2,18 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spyker_tensor::{cross_entropy_from_logits, xavier_init, Matrix};
+use spyker_tensor::{cross_entropy_from_logits_into, xavier_init, Matrix};
 
 use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
+
+/// Persistent temporaries for [`SoftmaxRegression`] steps.
+#[derive(Debug, Clone, Default)]
+struct LinearScratch {
+    logits: Matrix,
+    dlogits: Matrix,
+    dw: Matrix,
+    db: Vec<f32>,
+}
 
 /// A linear classifier with softmax output and cross-entropy loss.
 ///
@@ -16,6 +25,7 @@ use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
 pub struct SoftmaxRegression {
     w: Matrix,
     b: Vec<f32>,
+    scratch: LinearScratch,
 }
 
 impl SoftmaxRegression {
@@ -26,14 +36,21 @@ impl SoftmaxRegression {
         Self {
             w: xavier_init(features, classes, &mut rng),
             b: vec![0.0; classes],
+            scratch: LinearScratch::default(),
         }
     }
 
     /// Class logits for a batch (rows are samples).
     pub fn logits(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.w);
-        out.add_row_broadcast(&self.b);
+        let mut out = Matrix::default();
+        self.logits_into(x, &mut out);
         out
+    }
+
+    /// [`SoftmaxRegression::logits`] into a caller-owned output.
+    pub fn logits_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
     }
 }
 
@@ -55,27 +72,40 @@ impl DenseModel for SoftmaxRegression {
     }
 
     fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32 {
-        let logits = self.logits(x);
-        let (loss, dlogits) = cross_entropy_from_logits(&logits, y);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.logits_into(x, &mut scratch.logits);
+        let loss = cross_entropy_from_logits_into(&scratch.logits, y, &mut scratch.dlogits);
         // dW = x^T * dlogits; db = column sums of dlogits.
-        let dw = x.matmul_tn(&dlogits);
-        let db = dlogits.sum_rows();
-        self.w.axpy(-lr, &dw);
-        for (b, g) in self.b.iter_mut().zip(&db) {
+        x.matmul_tn_into(&scratch.dlogits, &mut scratch.dw);
+        scratch.db.clear();
+        scratch.db.resize(scratch.dlogits.cols(), 0.0);
+        scratch.dlogits.sum_rows_into(&mut scratch.db);
+        self.w.axpy(-lr, &scratch.dw);
+        for (b, g) in self.b.iter_mut().zip(&scratch.db) {
             *b -= lr * g;
         }
+        self.scratch = scratch;
         loss
     }
 
-    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize) {
-        let logits = self.logits(x);
-        let (loss, _) = cross_entropy_from_logits(&logits, y);
-        let correct = logits
-            .argmax_rows()
-            .iter()
-            .zip(y)
-            .filter(|(p, t)| p == t)
-            .count();
+    fn eval_batch(&mut self, x: &Matrix, y: &[usize]) -> (f32, usize) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.logits_into(x, &mut scratch.logits);
+        let loss = cross_entropy_from_logits_into(&scratch.logits, y, &mut scratch.dlogits);
+        let mut correct = 0;
+        for (r, &t) in y.iter().enumerate() {
+            let row = scratch.logits.row(r);
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            if best == t {
+                correct += 1;
+            }
+        }
+        self.scratch = scratch;
         (loss, correct)
     }
 }

@@ -7,9 +7,44 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spyker_tensor::{cross_entropy_from_logits, scalar_sigmoid, xavier_init, Matrix};
+use spyker_tensor::{cross_entropy_from_logits_into, scalar_sigmoid, xavier_init, Matrix};
 
 use crate::model::{clip_global_norm, pull_matrix, pull_vec, push_matrix, push_vec, SeqModel};
+
+/// Persistent temporaries for [`CharLstm`] steps; reused across windows so
+/// the BPTT hot loop is allocation-free after warm-up.
+#[derive(Default)]
+struct LstmScratch {
+    /// Per-timestep forward caches (grown to the longest window seen).
+    caches: Vec<StepCache>,
+    /// Per-timestep loss gradients w.r.t. the logits.
+    dlogits_all: Vec<Matrix>,
+    /// Pre-gate buffer for the current step.
+    pre: Vec<f32>,
+    /// `1 x hidden` staging row for the output projection.
+    hrow: Matrix,
+    logits: Matrix,
+    delta: Matrix,
+    /// Streaming hidden/cell state for evaluation.
+    h: Vec<f32>,
+    c: Vec<f32>,
+    /// All-zero initial state (sized `hidden`).
+    zeros: Vec<f32>,
+    // Gradient accumulators.
+    d_embed: Matrix,
+    d_wx: Matrix,
+    d_wh: Matrix,
+    d_b: Vec<f32>,
+    d_wo: Matrix,
+    d_bo: Vec<f32>,
+    // BPTT carry and per-step buffers.
+    dh_next: Vec<f32>,
+    dc_next: Vec<f32>,
+    dh: Vec<f32>,
+    dgates_pre: Vec<f32>,
+    dc_prev: Vec<f32>,
+    dh_prev: Vec<f32>,
+}
 
 /// Character-level LSTM: embedding → LSTM → FC softmax head.
 pub struct CharLstm {
@@ -28,8 +63,10 @@ pub struct CharLstm {
     w_o: Matrix,
     b_o: Vec<f32>,
     clip: f32,
+    scratch: LstmScratch,
 }
 
+#[derive(Default)]
 struct StepCache {
     token: usize,
     /// Gates after nonlinearity: i, f, g, o (each `hidden` wide).
@@ -68,6 +105,7 @@ impl CharLstm {
             w_o: xavier_init(hidden, vocab, &mut rng),
             b_o: vec![0.0; vocab],
             clip: 5.0,
+            scratch: LstmScratch::default(),
         }
     }
 
@@ -76,57 +114,73 @@ impl CharLstm {
         self.vocab
     }
 
-    /// One LSTM step; returns the cache needed for backprop.
-    fn step(&self, token: usize, h_prev: &[f32], c_prev: &[f32]) -> StepCache {
+    /// One LSTM step into a caller-owned cache.
+    ///
+    /// Note there is no `== 0.0` skip on the input or hidden values: the
+    /// embedding and hidden state are dense, so the branch only cost a
+    /// mispredict per element (the dense matmul kernels dropped the same
+    /// branch).
+    fn step_into(
+        &self,
+        token: usize,
+        h_prev: &[f32],
+        c_prev: &[f32],
+        pre: &mut Vec<f32>,
+        cache: &mut StepCache,
+    ) {
         let hid = self.hidden;
         let x = self.embed.row(token);
         // pre-gates = x W_x + h W_h + b
-        let mut pre = self.b.clone();
+        pre.clear();
+        pre.extend_from_slice(&self.b);
         for (k, &xv) in x.iter().enumerate() {
-            if xv != 0.0 {
-                let row = self.w_x.row(k);
-                for (p, &wv) in pre.iter_mut().zip(row) {
-                    *p += xv * wv;
-                }
+            let row = self.w_x.row(k);
+            for (p, &wv) in pre.iter_mut().zip(row) {
+                *p += xv * wv;
             }
         }
         for (k, &hv) in h_prev.iter().enumerate() {
-            if hv != 0.0 {
-                let row = self.w_h.row(k);
-                for (p, &wv) in pre.iter_mut().zip(row) {
-                    *p += hv * wv;
-                }
+            let row = self.w_h.row(k);
+            for (p, &wv) in pre.iter_mut().zip(row) {
+                *p += hv * wv;
             }
         }
-        let mut gates = vec![0.0f32; 4 * hid];
+        cache.token = token;
+        let gates = &mut cache.gates;
+        gates.clear();
+        gates.resize(4 * hid, 0.0);
         for j in 0..hid {
             gates[j] = scalar_sigmoid(pre[j]); // i
             gates[hid + j] = scalar_sigmoid(pre[hid + j]); // f
             gates[2 * hid + j] = pre[2 * hid + j].tanh(); // g
             gates[3 * hid + j] = scalar_sigmoid(pre[3 * hid + j]); // o
         }
-        let mut c = vec![0.0f32; hid];
-        let mut tanh_c = vec![0.0f32; hid];
-        let mut h = vec![0.0f32; hid];
-        for j in 0..hid {
-            c[j] = gates[hid + j] * c_prev[j] + gates[j] * gates[2 * hid + j];
-            tanh_c[j] = c[j].tanh();
-            h[j] = gates[3 * hid + j] * tanh_c[j];
-        }
-        StepCache {
-            token,
-            gates,
-            c,
-            h,
-            tanh_c,
+        cache.c.clear();
+        cache.c.resize(hid, 0.0);
+        cache.tanh_c.clear();
+        cache.tanh_c.resize(hid, 0.0);
+        cache.h.clear();
+        cache.h.resize(hid, 0.0);
+        let gates = &cache.gates;
+        for (j, ((c, tc), h)) in cache
+            .c
+            .iter_mut()
+            .zip(cache.tanh_c.iter_mut())
+            .zip(cache.h.iter_mut())
+            .enumerate()
+        {
+            *c = gates[hid + j] * c_prev[j] + gates[j] * gates[2 * hid + j];
+            *tc = c.tanh();
+            *h = gates[3 * hid + j] * *tc;
         }
     }
 
-    fn logits_from_h(&self, h: &[f32]) -> Matrix {
-        let hrow = Matrix::from_vec(1, self.hidden, h.to_vec());
-        let mut z = hrow.matmul(&self.w_o);
-        z.add_row_broadcast(&self.b_o);
-        z
+    /// Output-layer logits for a hidden state, staged through `hrow`.
+    fn logits_from_h_into(&self, h: &[f32], hrow: &mut Matrix, out: &mut Matrix) {
+        hrow.reset_dims(1, self.hidden);
+        hrow.as_mut_slice().copy_from_slice(h);
+        hrow.matmul_into(&self.w_o, out);
+        out.add_row_broadcast(&self.b_o);
     }
 }
 
@@ -164,31 +218,67 @@ impl SeqModel for CharLstm {
         assert!(tokens.len() >= 2, "window must contain at least two tokens");
         let hid = self.hidden;
         let steps = tokens.len() - 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
         // Forward.
-        let mut caches: Vec<StepCache> = Vec::with_capacity(steps);
-        let mut h = vec![0.0f32; hid];
-        let mut c = vec![0.0f32; hid];
+        if scratch.caches.len() < steps {
+            scratch.caches.resize_with(steps, StepCache::default);
+        }
+        if scratch.dlogits_all.len() < steps {
+            scratch.dlogits_all.resize_with(steps, Matrix::default);
+        }
+        scratch.zeros.clear();
+        scratch.zeros.resize(hid, 0.0);
         let mut loss = 0.0f32;
-        let mut dlogits_all: Vec<Matrix> = Vec::with_capacity(steps);
         for t in 0..steps {
-            let cache = self.step(tokens[t] as usize, &h, &c);
-            let logits = self.logits_from_h(&cache.h);
-            let (l, dl) = cross_entropy_from_logits(&logits, &[tokens[t + 1] as usize]);
-            loss += l;
-            dlogits_all.push(dl);
-            h = cache.h.clone();
-            c = cache.c.clone();
-            caches.push(cache);
+            let (done, todo) = scratch.caches.split_at_mut(t);
+            let cache = &mut todo[0];
+            let (h_prev, c_prev): (&[f32], &[f32]) = match done.last() {
+                Some(prev) => (&prev.h, &prev.c),
+                None => (&scratch.zeros, &scratch.zeros),
+            };
+            self.step_into(tokens[t] as usize, h_prev, c_prev, &mut scratch.pre, cache);
+            self.logits_from_h_into(&cache.h, &mut scratch.hrow, &mut scratch.logits);
+            loss += cross_entropy_from_logits_into(
+                &scratch.logits,
+                &[tokens[t + 1] as usize],
+                &mut scratch.dlogits_all[t],
+            );
         }
         // Backward through time.
-        let mut d_embed = Matrix::zeros(self.vocab, self.embed_dim);
-        let mut d_wx = Matrix::zeros(self.embed_dim, 4 * hid);
-        let mut d_wh = Matrix::zeros(hid, 4 * hid);
-        let mut d_b = vec![0.0f32; 4 * hid];
-        let mut d_wo = Matrix::zeros(hid, self.vocab);
-        let mut d_bo = vec![0.0f32; self.vocab];
-        let mut dh_next = vec![0.0f32; hid];
-        let mut dc_next = vec![0.0f32; hid];
+        scratch.d_embed.reset_dims(self.vocab, self.embed_dim);
+        scratch.d_embed.as_mut_slice().fill(0.0);
+        scratch.d_wx.reset_dims(self.embed_dim, 4 * hid);
+        scratch.d_wx.as_mut_slice().fill(0.0);
+        scratch.d_wh.reset_dims(hid, 4 * hid);
+        scratch.d_wh.as_mut_slice().fill(0.0);
+        scratch.d_b.clear();
+        scratch.d_b.resize(4 * hid, 0.0);
+        scratch.d_wo.reset_dims(hid, self.vocab);
+        scratch.d_wo.as_mut_slice().fill(0.0);
+        scratch.d_bo.clear();
+        scratch.d_bo.resize(self.vocab, 0.0);
+        scratch.dh_next.clear();
+        scratch.dh_next.resize(hid, 0.0);
+        scratch.dc_next.clear();
+        scratch.dc_next.resize(hid, 0.0);
+        let LstmScratch {
+            caches,
+            dlogits_all,
+            zeros,
+            d_embed,
+            d_wx,
+            d_wh,
+            d_b,
+            d_wo,
+            d_bo,
+            dh_next,
+            dc_next,
+            dh,
+            dgates_pre,
+            dc_prev,
+            dh_prev,
+            ..
+        } = &mut scratch;
         let inv = 1.0 / steps as f32;
         for t in (0..steps).rev() {
             let cache = &caches[t];
@@ -203,7 +293,8 @@ impl SeqModel for CharLstm {
                 d_bo[v] += dl[(0, v)] * inv;
             }
             // dh = W_o dl + dh_next.
-            let mut dh = dh_next.clone();
+            dh.clear();
+            dh.extend_from_slice(dh_next);
             for (j, dh_j) in dh.iter_mut().enumerate().take(hid) {
                 let row = self.w_o.row(j);
                 let mut acc = 0.0;
@@ -219,18 +310,15 @@ impl SeqModel for CharLstm {
                 &cache.gates[2 * hid..3 * hid],
                 &cache.gates[3 * hid..4 * hid],
             );
-            let c_prev: &[f32] = if t > 0 {
-                &caches[t - 1].c
+            let (c_prev, h_prev): (&[f32], &[f32]) = if t > 0 {
+                (&caches[t - 1].c, &caches[t - 1].h)
             } else {
-                &vec![0.0; hid][..]
+                (&zeros[..], &zeros[..])
             };
-            let h_prev: Vec<f32> = if t > 0 {
-                caches[t - 1].h.clone()
-            } else {
-                vec![0.0; hid]
-            };
-            let mut dgates_pre = vec![0.0f32; 4 * hid];
-            let mut dc_prev = vec![0.0f32; hid];
+            dgates_pre.clear();
+            dgates_pre.resize(4 * hid, 0.0);
+            dc_prev.clear();
+            dc_prev.resize(hid, 0.0);
             for j in 0..hid {
                 let do_ = dh[j] * cache.tanh_c[j];
                 let dc = dc_next[j] + dh[j] * o_g[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
@@ -247,17 +335,17 @@ impl SeqModel for CharLstm {
             let x = self.embed.row(cache.token);
             for (k, &xv) in x.iter().enumerate() {
                 let row = d_wx.row_mut(k);
-                for (rv, &dg) in row.iter_mut().zip(&dgates_pre) {
+                for (rv, &dg) in row.iter_mut().zip(dgates_pre.iter()) {
                     *rv += xv * dg;
                 }
             }
             for (k, &hv) in h_prev.iter().enumerate() {
                 let row = d_wh.row_mut(k);
-                for (rv, &dg) in row.iter_mut().zip(&dgates_pre) {
+                for (rv, &dg) in row.iter_mut().zip(dgates_pre.iter()) {
                     *rv += hv * dg;
                 }
             }
-            for (bv, &dg) in d_b.iter_mut().zip(&dgates_pre) {
+            for (bv, &dg) in d_b.iter_mut().zip(dgates_pre.iter()) {
                 *bv += dg;
             }
             // dx -> embedding grad.
@@ -266,67 +354,87 @@ impl SeqModel for CharLstm {
                 for (k, ev) in erow.iter_mut().enumerate() {
                     let wrow = self.w_x.row(k);
                     let mut acc = 0.0;
-                    for (wv, &dg) in wrow.iter().zip(&dgates_pre) {
+                    for (wv, &dg) in wrow.iter().zip(dgates_pre.iter()) {
                         acc += wv * dg;
                     }
                     *ev += acc;
                 }
             }
             // dh_prev for the next (earlier) step.
-            let mut dh_prev = vec![0.0f32; hid];
+            dh_prev.clear();
+            dh_prev.resize(hid, 0.0);
             for (k, dhp) in dh_prev.iter_mut().enumerate() {
                 let wrow = self.w_h.row(k);
                 let mut acc = 0.0;
-                for (wv, &dg) in wrow.iter().zip(&dgates_pre) {
+                for (wv, &dg) in wrow.iter().zip(dgates_pre.iter()) {
                     acc += wv * dg;
                 }
                 *dhp = acc;
             }
-            dh_next = dh_prev;
-            dc_next = dc_prev;
+            std::mem::swap(dh_next, dh_prev);
+            std::mem::swap(dc_next, dc_prev);
         }
         // Clip and apply.
         {
-            let mut grads: Vec<&mut [f32]> = vec![
+            let mut grads: [&mut [f32]; 6] = [
                 d_embed.as_mut_slice(),
                 d_wx.as_mut_slice(),
                 d_wh.as_mut_slice(),
-                &mut d_b,
+                d_b.as_mut_slice(),
                 d_wo.as_mut_slice(),
-                &mut d_bo,
+                d_bo.as_mut_slice(),
             ];
             clip_global_norm(&mut grads, self.clip);
         }
-        self.embed.axpy(-lr, &d_embed);
-        self.w_x.axpy(-lr, &d_wx);
-        self.w_h.axpy(-lr, &d_wh);
-        for (b, g) in self.b.iter_mut().zip(&d_b) {
+        self.embed.axpy(-lr, d_embed);
+        self.w_x.axpy(-lr, d_wx);
+        self.w_h.axpy(-lr, d_wh);
+        for (b, g) in self.b.iter_mut().zip(d_b.iter()) {
             *b -= lr * g;
         }
-        self.w_o.axpy(-lr, &d_wo);
-        for (b, g) in self.b_o.iter_mut().zip(&d_bo) {
+        self.w_o.axpy(-lr, d_wo);
+        for (b, g) in self.b_o.iter_mut().zip(d_bo.iter()) {
             *b -= lr * g;
         }
+        self.scratch = scratch;
         loss / steps as f32
     }
 
-    fn eval_stream(&self, tokens: &[u8]) -> f64 {
+    fn eval_stream(&mut self, tokens: &[u8]) -> f64 {
         if tokens.len() < 2 {
             return 0.0;
         }
         let hid = self.hidden;
-        let mut h = vec![0.0f32; hid];
-        let mut c = vec![0.0f32; hid];
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.h.clear();
+        scratch.h.resize(hid, 0.0);
+        scratch.c.clear();
+        scratch.c.resize(hid, 0.0);
+        if scratch.caches.is_empty() {
+            scratch.caches.resize_with(1, StepCache::default);
+        }
         let mut loss = 0.0f64;
         let steps = tokens.len() - 1;
         for t in 0..steps {
-            let cache = self.step(tokens[t] as usize, &h, &c);
-            let logits = self.logits_from_h(&cache.h);
-            let (l, _) = cross_entropy_from_logits(&logits, &[tokens[t + 1] as usize]);
-            loss += l as f64;
-            h = cache.h;
-            c = cache.c;
+            let (head, _) = scratch.caches.split_at_mut(1);
+            let cache = &mut head[0];
+            self.step_into(
+                tokens[t] as usize,
+                &scratch.h,
+                &scratch.c,
+                &mut scratch.pre,
+                cache,
+            );
+            self.logits_from_h_into(&cache.h, &mut scratch.hrow, &mut scratch.logits);
+            loss += cross_entropy_from_logits_into(
+                &scratch.logits,
+                &[tokens[t + 1] as usize],
+                &mut scratch.delta,
+            ) as f64;
+            scratch.h.copy_from_slice(&cache.h);
+            scratch.c.copy_from_slice(&cache.c);
         }
+        self.scratch = scratch;
         loss / steps as f64
     }
 }

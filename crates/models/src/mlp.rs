@@ -2,9 +2,31 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spyker_tensor::{cross_entropy_from_logits, he_init, relu, relu_grad_mask, Matrix};
+use spyker_tensor::{
+    apply_relu_grad_mask, cross_entropy_from_logits_into, he_init, relu_into, Matrix,
+};
 
 use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
+
+/// Persistent temporaries for [`Mlp`] forward/backward passes.
+///
+/// Every buffer is reused across steps via the `_into` kernels, so from the
+/// second step on a train or eval batch of the same shape allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct MlpScratch {
+    /// Per-layer pre-activations; the last entry holds the logits.
+    pre: Vec<Matrix>,
+    /// Post-ReLU activations of the hidden layers (`acts[i] = relu(pre[i])`).
+    acts: Vec<Matrix>,
+    /// Gradient w.r.t. the current layer's pre-activation.
+    delta: Matrix,
+    /// Gradient being propagated to the previous layer.
+    next_delta: Matrix,
+    /// Weight-gradient accumulator.
+    dw: Matrix,
+    /// Bias-gradient accumulator.
+    db: Vec<f32>,
+}
 
 /// A fully-connected ReLU network with a softmax head.
 ///
@@ -14,6 +36,7 @@ use crate::model::{pull_matrix, pull_vec, push_matrix, push_vec, DenseModel};
 pub struct Mlp {
     weights: Vec<Matrix>,
     biases: Vec<Vec<f32>>,
+    scratch: MlpScratch,
 }
 
 impl Mlp {
@@ -39,7 +62,11 @@ impl Mlp {
             weights.push(he_init(win[0], win[1], &mut rng));
             biases.push(vec![0.0; win[1]]);
         }
-        Self { weights, biases }
+        Self {
+            weights,
+            biases,
+            scratch: MlpScratch::default(),
+        }
     }
 
     /// Number of layers (weight matrices).
@@ -47,20 +74,26 @@ impl Mlp {
         self.weights.len()
     }
 
-    /// Forward pass returning pre-activations of every layer (the last entry
-    /// holds the logits).
-    fn forward(&self, x: &Matrix) -> Vec<Matrix> {
-        let mut pre = Vec::with_capacity(self.weights.len());
-        let mut act = x.clone();
-        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let mut z = act.matmul(w);
-            z.add_row_broadcast(b);
-            if i + 1 < self.weights.len() {
-                act = relu(&z);
+    /// Forward pass into the scratch buffers: fills `scratch.pre` (the last
+    /// entry holds the logits) and `scratch.acts`.
+    fn forward(&mut self, x: &Matrix) {
+        let Self {
+            weights,
+            biases,
+            scratch,
+        } = self;
+        let n = weights.len();
+        scratch.pre.resize_with(n, Matrix::default);
+        scratch.acts.resize_with(n - 1, Matrix::default);
+        for i in 0..n {
+            let z = &mut scratch.pre[i];
+            let input: &Matrix = if i == 0 { x } else { &scratch.acts[i - 1] };
+            input.matmul_into(&weights[i], z);
+            z.add_row_broadcast(&biases[i]);
+            if i + 1 < n {
+                relu_into(z, &mut scratch.acts[i]);
             }
-            pre.push(z);
         }
-        pre
     }
 }
 
@@ -87,42 +120,59 @@ impl DenseModel for Mlp {
     }
 
     fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32 {
-        // Forward, keeping pre-activations and post-activations.
-        let pre = self.forward(x);
-        let n_layers = self.weights.len();
-        let mut acts: Vec<Matrix> = Vec::with_capacity(n_layers);
-        acts.push(x.clone());
-        for z in pre.iter().take(n_layers - 1) {
-            acts.push(relu(z));
-        }
-        let (loss, mut delta) = cross_entropy_from_logits(&pre[n_layers - 1], y);
-        // Backward.
-        for i in (0..n_layers).rev() {
-            let dw = acts[i].matmul_tn(&delta);
-            let db = delta.sum_rows();
+        self.forward(x);
+        let Self {
+            weights,
+            biases,
+            scratch,
+        } = self;
+        let n = weights.len();
+        let MlpScratch {
+            pre,
+            acts,
+            delta,
+            next_delta,
+            dw,
+            db,
+        } = scratch;
+        let loss = cross_entropy_from_logits_into(&pre[n - 1], y, delta);
+        for i in (0..n).rev() {
+            let input: &Matrix = if i == 0 { x } else { &acts[i - 1] };
+            input.matmul_tn_into(delta, dw);
+            db.clear();
+            db.resize(delta.cols(), 0.0);
+            delta.sum_rows_into(db);
             if i > 0 {
-                let mut upstream = delta.matmul_nt(&self.weights[i]);
-                upstream.hadamard_assign(&relu_grad_mask(&pre[i - 1]));
-                delta = upstream;
+                delta.matmul_nt_into(&weights[i], next_delta);
+                apply_relu_grad_mask(next_delta, &pre[i - 1]);
+                std::mem::swap(delta, next_delta);
             }
-            self.weights[i].axpy(-lr, &dw);
-            for (b, g) in self.biases[i].iter_mut().zip(&db) {
+            weights[i].axpy(-lr, dw);
+            for (b, g) in biases[i].iter_mut().zip(db.iter()) {
                 *b -= lr * g;
             }
         }
         loss
     }
 
-    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize) {
-        let pre = self.forward(x);
-        let logits = pre.last().expect("at least one layer");
-        let (loss, _) = cross_entropy_from_logits(logits, y);
-        let correct = logits
-            .argmax_rows()
-            .iter()
-            .zip(y)
-            .filter(|(p, t)| p == t)
-            .count();
+    fn eval_batch(&mut self, x: &Matrix, y: &[usize]) -> (f32, usize) {
+        self.forward(x);
+        let scratch = &mut self.scratch;
+        let logits = scratch.pre.last().expect("at least one layer");
+        let loss = cross_entropy_from_logits_into(logits, y, &mut scratch.delta);
+        let mut correct = 0;
+        for (r, &t) in y.iter().enumerate() {
+            let row = logits.row(r);
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            if best == t {
+                correct += 1;
+            }
+        }
         (loss, correct)
     }
 }

@@ -25,8 +25,10 @@ pub trait DenseModel: Send {
     /// Performs one SGD step on the batch and returns the mean loss.
     fn train_batch(&mut self, x: &Matrix, y: &[usize], lr: f32) -> f32;
 
-    /// Returns `(mean loss, #correct)` on the batch without updating.
-    fn eval_batch(&self, x: &Matrix, y: &[usize]) -> (f32, usize);
+    /// Returns `(mean loss, #correct)` on the batch without updating the
+    /// parameters. Takes `&mut self` so implementations can reuse their
+    /// persistent scratch buffers (the hot path is allocation-free).
+    fn eval_batch(&mut self, x: &Matrix, y: &[usize]) -> (f32, usize);
 
     /// Convenience: parameters as a fresh vector.
     fn params_vec(&self) -> Vec<f32> {
@@ -59,8 +61,10 @@ pub trait SeqModel: Send {
     /// Panics if the window has fewer than 2 tokens.
     fn train_window(&mut self, tokens: &[u8], lr: f32) -> f32;
 
-    /// Mean per-token cross-entropy over `tokens` without updating.
-    fn eval_stream(&self, tokens: &[u8]) -> f64;
+    /// Mean per-token cross-entropy over `tokens` without updating the
+    /// parameters. Takes `&mut self` for the same scratch-reuse reason as
+    /// [`DenseModel::eval_batch`].
+    fn eval_stream(&mut self, tokens: &[u8]) -> f64;
 }
 
 /// Copies `m`'s values into `out` (helper for `write_params`).

@@ -1,0 +1,90 @@
+//! Proves the training hot path is allocation-free at steady state.
+//!
+//! A counting global allocator is armed after a warm-up phase (which is
+//! allowed to allocate — scratch buffers grow to their working-set size
+//! there) and every subsequent train/eval step of every model must perform
+//! zero heap allocations.
+//!
+//! This file intentionally holds a single `#[test]` so no other test can
+//! allocate concurrently while the counter is armed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use spyker_models::model::{DenseModel, SeqModel};
+use spyker_models::{CharLstm, Cnn, Mlp, SoftmaxRegression};
+use spyker_tensor::Matrix;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[test]
+fn steady_state_training_steps_do_not_allocate() {
+    let mut mlp = Mlp::new(&[16, 12, 4], 1);
+    let mut lin = SoftmaxRegression::new(16, 4, 2);
+    let mut cnn = Cnn::mnist_like((1, 8, 8), 4, 3);
+    let mut lstm = CharLstm::new(8, 6, 10, 4);
+
+    let x16 = filled(6, 16, 11);
+    let y16: Vec<usize> = (0..6).map(|i| i % 4).collect();
+    let x64 = filled(4, 64, 13);
+    let y64: Vec<usize> = (0..4).collect();
+    let window: Vec<u8> = (0..20).map(|i| (i % 8) as u8).collect();
+
+    let run_all =
+        |mlp: &mut Mlp, lin: &mut SoftmaxRegression, cnn: &mut Cnn, lstm: &mut CharLstm| {
+            mlp.train_batch(&x16, &y16, 0.01);
+            mlp.eval_batch(&x16, &y16);
+            lin.train_batch(&x16, &y16, 0.01);
+            lin.eval_batch(&x16, &y16);
+            cnn.train_batch(&x64, &y64, 0.01);
+            cnn.eval_batch(&x64, &y64);
+            lstm.train_window(&window, 0.01);
+            lstm.eval_stream(&window);
+        };
+
+    // Warm-up: scratch buffers and the GEMM packing arenas grow to their
+    // steady-state sizes here. Two rounds so every code path (including the
+    // first-eval-after-train transitions) has run at least once.
+    for _ in 0..2 {
+        run_all(&mut mlp, &mut lin, &mut cnn, &mut lstm);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        run_all(&mut mlp, &mut lin, &mut cnn, &mut lstm);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "steady-state train/eval steps performed {count} heap allocations"
+    );
+}

@@ -54,11 +54,12 @@ proptest! {
         prop_assert_eq!(out, doubled);
     }
 
-    /// Evaluation is pure: calling it twice gives identical results and
-    /// leaves the parameters untouched.
+    /// Evaluation is pure w.r.t. the parameters: calling it twice gives
+    /// identical results and leaves the parameters untouched (it may reuse
+    /// internal scratch buffers, hence `mut`).
     #[test]
     fn eval_is_pure(seed in 0u64..100, batch in 1usize..8) {
-        let model = SoftmaxRegression::new(6, 4, seed);
+        let mut model = SoftmaxRegression::new(6, 4, seed);
         let data: Vec<f32> = (0..batch * 6)
             .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 / 500.0 - 1.0)
             .collect();

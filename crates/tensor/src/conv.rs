@@ -73,9 +73,21 @@ fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
 ///
 /// Panics if `input.len() != shape.input_len()`.
 pub fn im2col(input: &[f32], shape: &Conv2dShape) -> Matrix {
+    let mut out = Matrix::default();
+    im2col_into(input, shape, &mut out);
+    out
+}
+
+/// [`im2col`] writing into a caller-owned matrix (no allocation once `out`
+/// has capacity).
+///
+/// # Panics
+///
+/// Panics if `input.len() != shape.input_len()`.
+pub fn im2col_into(input: &[f32], shape: &Conv2dShape, out: &mut Matrix) {
     assert_eq!(input.len(), shape.input_len(), "input length mismatch");
     let (oh, ow) = (shape.out_h(), shape.out_w());
-    let mut out = Matrix::zeros(oh * ow, shape.patch_len());
+    out.reset_dims(oh * ow, shape.patch_len());
     for oy in 0..oh {
         for ox in 0..ow {
             let row = out.row_mut(oy * ow + ox);
@@ -101,7 +113,6 @@ pub fn im2col(input: &[f32], shape: &Conv2dShape) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Inverse of [`im2col`] for gradients: scatters (accumulating) the rows of
@@ -115,13 +126,25 @@ pub fn im2col(input: &[f32], shape: &Conv2dShape) -> Matrix {
 ///
 /// Panics if `cols` does not have the shape produced by `im2col` for `shape`.
 pub fn col2im(cols: &Matrix, shape: &Conv2dShape) -> Vec<f32> {
+    let mut out = vec![0.0; shape.input_len()];
+    col2im_into(cols, shape, &mut out);
+    out
+}
+
+/// [`col2im`] accumulating into a caller-owned, pre-zeroed buffer of
+/// `shape.input_len()` elements.
+///
+/// # Panics
+///
+/// Panics if `cols` or `out` do not match the geometry of `shape`.
+pub fn col2im_into(cols: &Matrix, shape: &Conv2dShape, out: &mut [f32]) {
     let (oh, ow) = (shape.out_h(), shape.out_w());
     assert_eq!(
         cols.shape(),
         (oh * ow, shape.patch_len()),
         "cols shape mismatch"
     );
-    let mut out = vec![0.0; shape.input_len()];
+    assert_eq!(out.len(), shape.input_len(), "output length mismatch");
     for oy in 0..oh {
         for ox in 0..ow {
             let row = cols.row(oy * ow + ox);
@@ -145,7 +168,6 @@ pub fn col2im(cols: &Matrix, shape: &Conv2dShape) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
 /// 2x2-style max pooling over a `C x H x W` sample.
@@ -173,11 +195,34 @@ impl MaxPool2d {
         h: usize,
         w: usize,
     ) -> (Vec<f32>, Vec<usize>) {
+        let mut out = Vec::new();
+        let mut arg = Vec::new();
+        self.forward_into(input, channels, h, w, &mut out, &mut arg);
+        (out, arg)
+    }
+
+    /// [`MaxPool2d::forward`] writing into caller-owned buffers, which are
+    /// cleared and refilled (no allocation once they have capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != channels * h * w` or the window does not fit.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+        out: &mut Vec<f32>,
+        arg: &mut Vec<usize>,
+    ) {
         assert_eq!(input.len(), channels * h * w, "input length mismatch");
         let oh = out_dim(h, self.size, self.stride, 0);
         let ow = out_dim(w, self.size, self.stride, 0);
-        let mut out = Vec::with_capacity(channels * oh * ow);
-        let mut arg = Vec::with_capacity(channels * oh * ow);
+        out.clear();
+        arg.clear();
+        out.reserve(channels * oh * ow);
+        arg.reserve(channels * oh * ow);
         for c in 0..channels {
             let base = c * h * w;
             for oy in 0..oh {
@@ -198,7 +243,6 @@ impl MaxPool2d {
                 }
             }
         }
-        (out, arg)
     }
 
     /// Backward max pooling: routes each upstream gradient element to the
@@ -208,12 +252,22 @@ impl MaxPool2d {
     ///
     /// Panics if `grad_out.len() != argmax.len()`.
     pub fn backward(&self, grad_out: &[f32], argmax: &[usize], input_len: usize) -> Vec<f32> {
-        assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
         let mut grad_in = vec![0.0; input_len];
+        self.backward_into(grad_out, argmax, &mut grad_in);
+        grad_in
+    }
+
+    /// [`MaxPool2d::backward`] accumulating into a caller-owned, pre-zeroed
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_out.len() != argmax.len()`.
+    pub fn backward_into(&self, grad_out: &[f32], argmax: &[usize], grad_in: &mut [f32]) {
+        assert_eq!(grad_out.len(), argmax.len(), "grad/argmax length mismatch");
         for (&g, &idx) in grad_out.iter().zip(argmax) {
             grad_in[idx] += g;
         }
-        grad_in
     }
 
     /// Output spatial dimensions for an `h x w` input.

@@ -22,22 +22,29 @@
 //! assert_eq!(c, a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool in `pool` is the one module
+// allowed to opt back in (lifetime erasure for scoped parallel jobs).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod reduce;
+pub mod scratch;
 
-pub use conv::{col2im, im2col, Conv2dShape, MaxPool2d};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dShape, MaxPool2d};
 pub use init::{he_init, sample_normal, sample_standard_normal, xavier_init};
 pub use matrix::Matrix;
 pub use ops::{
-    cross_entropy_from_logits, log_softmax_rows, relu, relu_grad_mask, scalar_sigmoid, sigmoid,
-    softmax_rows, tanh_deriv_from_output,
+    apply_relu_grad_mask, cross_entropy_from_logits, cross_entropy_from_logits_into,
+    log_softmax_rows, relu, relu_grad_mask, relu_into, scalar_sigmoid, sigmoid, softmax_rows,
+    softmax_rows_into, tanh_deriv_from_output,
 };
 pub use reduce::{
     coordinate_median, coordinate_trimmed_mean, median_inplace, trimmed_mean_inplace,
 };
+pub use scratch::Scratch;

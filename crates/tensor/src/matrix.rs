@@ -3,6 +3,9 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::gemm::{self, View};
+use crate::pool;
+
 /// A row-major dense matrix of `f32` values.
 ///
 /// `Matrix` is the workhorse of the training substrate: mini-batches are
@@ -19,7 +22,7 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(m.cols(), 3);
 /// assert_eq!(m[(1, 2)], 0.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -156,15 +159,148 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Re-shapes this matrix to `rows x cols`, reusing the existing buffer
+    /// when it is large enough. The contents are unspecified afterwards —
+    /// callers must fully overwrite them (every `_into` kernel does).
+    pub fn reset_dims(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.len() != n {
+            self.data.resize(n, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// rows of `rhs`, which is the cache-friendly order for row-major data.
+    /// Runs the cache-blocked, register-tiled kernel in [`crate::gemm`];
+    /// large products are split into row bands across the persistent worker
+    /// pool with bit-identical results at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned output (no allocation when
+    /// `out`'s buffer already has capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_threads(rhs, out, pool::configured_threads());
+    }
+
+    /// [`Matrix::matmul_into`] with an explicit thread budget (the
+    /// determinism tests pin 1, 2 and 4 threads; results are bit-identical
+    /// across budgets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into_threads(&self, rhs: &Matrix, out: &mut Matrix, threads: usize) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset_dims(self.rows, rhs.cols);
+        gemm::gemm_into(
+            &mut out.data,
+            self.rows,
+            rhs.cols,
+            self.cols,
+            View::normal(&self.data, self.cols),
+            View::normal(&rhs.data, rhs.cols),
+            threads,
+        );
+    }
+
+    /// Matrix product `self^T * rhs` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset_dims(self.cols, rhs.cols);
+        gemm::gemm_into(
+            &mut out.data,
+            self.cols,
+            rhs.cols,
+            self.rows,
+            View::transposed(&self.data, self.cols),
+            View::normal(&rhs.data, rhs.cols),
+            pool::configured_threads(),
+        );
+    }
+
+    /// Matrix product `self * rhs^T` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-owned output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.reset_dims(self.rows, rhs.rows);
+        gemm::gemm_into(
+            &mut out.data,
+            self.rows,
+            rhs.rows,
+            self.cols,
+            View::normal(&self.data, self.cols),
+            View::transposed(&rhs.data, rhs.cols),
+            pool::configured_threads(),
+        );
+    }
+
+    /// The pre-blocking i-k-j matmul, frozen as the reference kernel.
+    ///
+    /// Kept for the property tests (the blocked kernel must agree with it)
+    /// and as the baseline `bench_smoke` measures speedups against. Note
+    /// the `== 0.0` skip branch: it was dropped from the production path —
+    /// on dense data it only costs a compare per iteration — but stays here
+    /// so the baseline is exactly the kernel this crate used to ship.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
@@ -187,69 +323,33 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self^T * rhs` without materialising the transpose.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `self.rows() != rhs.rows()`.
-    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_tn dimension mismatch: ({}x{})^T * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a_ki) in a_row.iter().enumerate() {
-                if a_ki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ki * b_kj;
-                }
-            }
-        }
-        out
-    }
-
-    /// Matrix product `self * rhs^T` without materialising the transpose.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `self.cols() != rhs.cols()`.
-    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt dimension mismatch: {}x{} * ({}x{})^T",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[(i, j)] = acc;
-            }
-        }
-        out
-    }
-
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[(j, i)] = self[(i, j)];
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Blocked (tile-wise) transpose into a caller-owned output.
+    ///
+    /// Walks 32x32 tiles so both the read and the write side stay within a
+    /// few cache lines per tile, instead of striding the whole destination
+    /// once per source row.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        const TB: usize = 32;
+        out.reset_dims(self.cols, self.rows);
+        for ib in (0..self.rows).step_by(TB) {
+            let imax = (ib + TB).min(self.rows);
+            for jb in (0..self.cols).step_by(TB) {
+                let jmax = (jb + TB).min(self.cols);
+                for i in ib..imax {
+                    let src = &self.data[i * self.cols + jb..i * self.cols + jmax];
+                    for (j, &v) in (jb..jmax).zip(src) {
+                        out.data[j * self.rows + i] = v;
+                    }
+                }
             }
         }
-        out
     }
 
     /// Adds `rhs` element-wise into `self`.
@@ -300,12 +400,24 @@ impl Matrix {
     /// Sums the rows of `self` into a single row vector.
     pub fn sum_rows(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_rows`] into a caller-owned buffer (overwritten, not
+    /// accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.cols()`.
+    pub fn sum_rows_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "sum_rows output length mismatch");
+        out.fill(0.0);
         for r in 0..self.rows {
             for (o, &v) in out.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Applies `f` to every element in place.
@@ -484,6 +596,76 @@ mod tests {
     #[should_panic(expected = "data length")]
     fn from_vec_panics_on_bad_length() {
         let _ = Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn zeros_in_the_input_still_multiply_correctly() {
+        // The old kernel special-cased a_ik == 0.0; the blocked kernel has
+        // no such branch — zero rows, zero columns and scattered zeros must
+        // all come out exact.
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 2.0], &[0.0, -3.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[5.0, 0.0]]);
+        let got = a.matmul(&b);
+        let want = Matrix::from_rows(&[&[0.0, 0.0], &[11.0, 0.0], &[0.0, -3.0]]);
+        assert_eq!(got, want);
+        assert_eq!(a.matmul_naive(&b), want);
+        // An all-zero operand annihilates regardless of the other side.
+        let z = Matrix::zeros(3, 3);
+        assert_eq!(z.matmul(&b), Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn blocked_matmul_agrees_with_naive_reference_beyond_tile_sizes() {
+        // 70x50x90 exercises edge tiles in every blocking dimension.
+        let mk = |rows: usize, cols: usize, seed: u64| {
+            let data = (0..rows * cols)
+                .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 / 500.0 - 1.0)
+                .collect();
+            Matrix::from_vec(rows, cols, data)
+        };
+        let a = mk(70, 90, 3);
+        let b = mk(90, 50, 7);
+        let got = a.matmul(&b);
+        let want = a.matmul_naive(&b);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_the_output_buffer() {
+        let a = Matrix::filled(4, 6, 1.0);
+        let b = Matrix::filled(6, 3, 2.0);
+        let mut out = Matrix::zeros(4, 3);
+        let ptr_before = out.as_slice().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, Matrix::filled(4, 3, 12.0));
+        assert_eq!(ptr_before, out.as_slice().as_ptr(), "no realloc");
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose_and_reuses_buffer() {
+        let a = Matrix::from_vec(33, 65, (0..33 * 65).map(|v| v as f32).collect());
+        let mut out = Matrix::zeros(65, 33);
+        let ptr_before = out.as_slice().as_ptr();
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+        assert_eq!(ptr_before, out.as_slice().as_ptr(), "no realloc");
+        for i in 0..33 {
+            for j in 0..65 {
+                assert_eq!(out[(j, i)], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_dims_keeps_capacity_when_shrinking() {
+        let mut m = Matrix::zeros(8, 8);
+        let ptr = m.as_slice().as_ptr();
+        m.reset_dims(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        m.reset_dims(8, 8);
+        assert_eq!(ptr, m.as_slice().as_ptr());
     }
 
     #[test]

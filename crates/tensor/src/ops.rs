@@ -12,7 +12,18 @@ use crate::Matrix;
 /// assert_eq!(relu(&m).row(0), &[0.0, 2.0]);
 /// ```
 pub fn relu(input: &Matrix) -> Matrix {
-    input.map(|v| v.max(0.0))
+    let mut out = Matrix::default();
+    relu_into(input, &mut out);
+    out
+}
+
+/// [`relu`] into a caller-owned output (no allocation when `out` already
+/// has capacity).
+pub fn relu_into(input: &Matrix, out: &mut Matrix) {
+    out.reset_dims(input.rows(), input.cols());
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        *o = v.max(0.0);
+    }
 }
 
 /// Mask of the ReLU derivative: `1.0` where the *pre-activation* input was
@@ -22,6 +33,31 @@ pub fn relu(input: &Matrix) -> Matrix {
 /// through a ReLU.
 pub fn relu_grad_mask(pre_activation: &Matrix) -> Matrix {
     pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Applies the ReLU derivative in place: zeroes every element of `grad`
+/// whose corresponding *pre-activation* was not positive. Equivalent to
+/// `grad.hadamard_assign(&relu_grad_mask(pre))` without materialising the
+/// mask.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn apply_relu_grad_mask(grad: &mut Matrix, pre_activation: &Matrix) {
+    assert_eq!(
+        grad.shape(),
+        pre_activation.shape(),
+        "relu mask shape mismatch"
+    );
+    for (g, &p) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pre_activation.as_slice())
+    {
+        if p <= 0.0 {
+            *g = 0.0;
+        }
+    }
 }
 
 /// Logistic sigmoid applied element-wise.
@@ -44,7 +80,15 @@ pub fn tanh_deriv_from_output(output: &Matrix) -> Matrix {
 ///
 /// Each row of the result sums to 1.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
-    let mut out = logits.clone();
+    let mut out = Matrix::default();
+    softmax_rows_into(logits, &mut out);
+    out
+}
+
+/// [`softmax_rows`] into a caller-owned output.
+pub fn softmax_rows_into(logits: &Matrix, out: &mut Matrix) {
+    out.reset_dims(logits.rows(), logits.cols());
+    out.as_mut_slice().copy_from_slice(logits.as_slice());
     for r in 0..out.rows() {
         let row = out.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -57,7 +101,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *v /= sum;
         }
     }
-    out
 }
 
 /// Row-wise numerically-stable log-softmax.
@@ -93,19 +136,36 @@ pub fn log_softmax_rows(logits: &Matrix) -> Matrix {
 /// assert!(loss < 0.2);
 /// ```
 pub fn cross_entropy_from_logits(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = cross_entropy_from_logits_into(logits, targets, &mut grad);
+    (loss, grad)
+}
+
+/// [`cross_entropy_from_logits`] writing the gradient into a caller-owned
+/// matrix; returns the mean loss. The softmax is computed in place inside
+/// `grad`, so the whole loss + gradient step allocates nothing once `grad`
+/// has capacity.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any target is out of range.
+pub fn cross_entropy_from_logits_into(
+    logits: &Matrix,
+    targets: &[usize],
+    grad: &mut Matrix,
+) -> f32 {
     assert_eq!(targets.len(), logits.rows(), "one target per row required");
     let batch = logits.rows() as f32;
-    let probs = softmax_rows(logits);
-    let mut grad = probs.clone();
+    softmax_rows_into(logits, grad);
     let mut loss = 0.0;
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < logits.cols(), "target {} out of range", t);
         // Clamp to avoid -inf on numerically-zero probabilities.
-        loss -= probs[(r, t)].max(1e-12).ln();
+        loss -= grad[(r, t)].max(1e-12).ln();
         grad[(r, t)] -= 1.0;
     }
     grad.scale(1.0 / batch);
-    (loss / batch, grad)
+    loss / batch
 }
 
 #[cfg(test)]

@@ -1,0 +1,259 @@
+//! Persistent worker pool for data-parallel tensor kernels.
+//!
+//! The pool backs the row-band parallel GEMM driver in [`crate::gemm`]. It
+//! is a classic shared-queue design: a fixed set of detached worker threads
+//! block on one `std::sync::mpsc` channel; a parallel region submits one
+//! type-erased closure per band, runs the first band on the calling thread,
+//! and blocks on a countdown latch until every band has finished. Workers
+//! are spawned lazily (first parallel region pays the spawn cost once) and
+//! live for the rest of the process, so steady-state dispatch is one channel
+//! send per band — no thread creation on the hot path.
+//!
+//! Sizing: [`configured_threads`] reads the `SPYKER_THREADS` environment
+//! variable once (`0` or `1` forces single-threaded operation, higher values
+//! cap the worker count) and otherwise uses
+//! [`std::thread::available_parallelism`]. Kernels may also request an
+//! explicit thread count, which the determinism tests use to pin runs at 1,
+//! 2 and 4 threads.
+//!
+//! This is the only module in the crate that uses `unsafe`: scoped closures
+//! are lifetime-erased before crossing the channel. The safety argument is
+//! confined to [`WorkerPool::run_scoped`].
+
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A closure that has been lifetime-erased for the trip across the channel.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Task {
+    job: Job,
+    latch: Arc<Latch>,
+}
+
+/// Countdown latch: the submitting thread waits until every task of its
+/// parallel region has reported in, panicked or not.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Self {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("latch poisoned");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch poisoned");
+        }
+    }
+}
+
+/// The persistent pool. One global instance lives behind [`global`].
+pub struct WorkerPool {
+    sender: Sender<Task>,
+    receiver: Arc<Mutex<Receiver<Task>>>,
+    /// Number of worker threads spawned so far (grows lazily).
+    spawned: Mutex<usize>,
+}
+
+impl WorkerPool {
+    fn new() -> Self {
+        let (sender, receiver) = channel();
+        Self {
+            sender,
+            receiver: Arc::new(Mutex::new(receiver)),
+            spawned: Mutex::new(0),
+        }
+    }
+
+    /// Makes sure at least `want` workers exist (capped at 64).
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(64);
+        let mut spawned = self.spawned.lock().expect("pool poisoned");
+        while *spawned < want {
+            let rx = Arc::clone(&self.receiver);
+            thread::Builder::new()
+                .name(format!("spyker-gemm-{}", *spawned))
+                .spawn(move || worker_loop(&rx))
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Runs every job to completion before returning; the calling thread
+    /// executes the first job itself while the workers drain the rest.
+    ///
+    /// Panics from any job are re-raised here after all jobs finished, so a
+    /// failing parallel kernel cannot leave bands half-written while the
+    /// caller unwinds past the buffers they borrow.
+    pub fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let mut jobs = jobs.into_iter();
+        let Some(first) = jobs.next() else {
+            return;
+        };
+        let rest: Vec<_> = jobs.collect();
+        if rest.is_empty() {
+            first();
+            return;
+        }
+        self.ensure_workers(rest.len());
+        let latch = Arc::new(Latch::new(rest.len()));
+        for job in rest {
+            // SAFETY: the latch guarantees every submitted job has returned
+            // (or panicked, caught in `worker_loop`) before `run_scoped`
+            // exits — `latch.wait()` below is reached on both the normal and
+            // the panicking path. No borrow captured by a job can therefore
+            // outlive this stack frame, so erasing `'scope` to `'static`
+            // never lets a worker touch a dangling reference.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            self.sender
+                .send(Task {
+                    job,
+                    latch: Arc::clone(&latch),
+                })
+                .expect("pool channel closed");
+        }
+        // The caller works too instead of idling on the latch.
+        let own = catch_unwind(AssertUnwindSafe(first));
+        latch.wait();
+        match own {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) => {
+                if latch.panicked.load(Ordering::SeqCst) {
+                    panic!("a pool worker task panicked");
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Task>>>) {
+    loop {
+        // Hold the lock only for the dequeue; blocking in `recv` while
+        // holding it is fine — other workers queue on the mutex and take
+        // the next task as soon as this one releases it.
+        let task = {
+            let rx = receiver.lock().expect("pool receiver poisoned");
+            rx.recv()
+        };
+        let Ok(task) = task else {
+            return; // channel closed: process is shutting down
+        };
+        if catch_unwind(AssertUnwindSafe(task.job)).is_err() {
+            task.latch.panicked.store(true, Ordering::SeqCst);
+        }
+        task.latch.count_down();
+    }
+}
+
+/// The process-wide pool used by the parallel kernels.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(WorkerPool::new)
+}
+
+/// Thread budget for auto-parallelised kernels.
+///
+/// Resolved once per process: `SPYKER_THREADS=n` pins the budget (`0` and
+/// `1` both mean single-threaded), otherwise the machine's available
+/// parallelism is used. Kernels fall back to the serial path whenever the
+/// budget is 1 or the problem is too small to amortise dispatch.
+pub fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("SPYKER_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => 1,
+            Ok(n) => n,
+        },
+        Err(_) => thread::available_parallelism().map_or(1, usize::from),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn run_scoped_executes_every_job_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global().run_scoped(jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn run_scoped_writes_through_disjoint_borrows() {
+        let mut out = vec![0u64; 4 * 100];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(100)
+            .enumerate()
+            .map(|(i, band)| {
+                Box::new(move || {
+                    for v in band.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global().run_scoped(jobs);
+        for (i, chunk) in out.chunks(100).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64 + 1), "band {i}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_all_jobs_finish() {
+        let ok = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    let ok = &ok;
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                        ok.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            global().run_scoped(jobs);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(ok.load(Ordering::SeqCst), 3, "non-panicking jobs ran");
+    }
+
+    #[test]
+    fn configured_threads_is_at_least_one() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Reusable scratch buffers for allocation-free training steps.
+//!
+//! The model zoo's forward/backward passes need a pile of temporaries —
+//! pre-activations, im2col matrices, gradient accumulators. Allocating them
+//! per step dominated small-model training time, so every model now owns a
+//! [`Scratch`] arena (plus a few typed persistent buffers) and the kernels
+//! write into caller-owned storage via the `_into` variants.
+//!
+//! Ownership rules (documented in `DESIGN.md` §10): a buffer taken from the
+//! arena is owned by the caller until it is recycled; recycling at the end
+//! of the step keeps the arena's free list at a steady size, so from the
+//! second step on `take_*` never touches the heap. Buffers are handed out
+//! zeroed. The free list hands out the smallest sufficient buffer and grows
+//! an existing one when nothing fits, so the arena converges on the working
+//! set of the largest step seen.
+
+use crate::Matrix;
+
+/// A pool of reusable `f32` buffers (a "free list" arena).
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    free: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffers currently parked in the arena.
+    pub fn parked(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes a zeroed buffer of exactly `len` elements, reusing a parked
+    /// buffer when one with sufficient capacity exists (smallest fit wins;
+    /// if none fits, the smallest parked buffer is grown in place rather
+    /// than leaking a stale small buffer in the pool forever).
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        let pick = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.capacity() >= len)
+            .min_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                self.free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, v)| v.capacity())
+                    .map(|(i, _)| i)
+            });
+        let mut v = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::new(),
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a buffer to the arena for later reuse.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+
+    /// Takes a zeroed `rows x cols` matrix backed by an arena buffer.
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_vec(rows * cols))
+    }
+
+    /// Returns a matrix's backing buffer to the arena.
+    pub fn recycle_matrix(&mut self, m: Matrix) {
+        self.recycle_vec(m.into_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_take_recycle_does_not_grow_the_pool() {
+        let mut s = Scratch::new();
+        for _ in 0..5 {
+            let a = s.take_vec(100);
+            let b = s.take_vec(50);
+            s.recycle_vec(a);
+            s.recycle_vec(b);
+        }
+        assert_eq!(s.parked(), 2);
+    }
+
+    #[test]
+    fn buffers_come_back_zeroed() {
+        let mut s = Scratch::new();
+        let mut v = s.take_vec(4);
+        v.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.recycle_vec(v);
+        assert_eq!(s.take_vec(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn smallest_sufficient_buffer_is_preferred() {
+        let mut s = Scratch::new();
+        let big = s.take_vec(1000);
+        let small = s.take_vec(10);
+        let big_ptr = big.as_ptr();
+        s.recycle_vec(big);
+        s.recycle_vec(small);
+        // A 10-element request must not burn the 1000-capacity buffer.
+        let got = s.take_vec(10);
+        assert_ne!(got.as_ptr(), big_ptr);
+        s.recycle_vec(got);
+        let got = s.take_vec(500);
+        assert_eq!(got.as_ptr(), big_ptr);
+    }
+
+    #[test]
+    fn matrix_round_trip_reuses_storage() {
+        let mut s = Scratch::new();
+        let m = s.take_matrix(3, 4);
+        let ptr = m.as_slice().as_ptr();
+        s.recycle_matrix(m);
+        let m2 = s.take_matrix(4, 3);
+        assert_eq!(m2.as_slice().as_ptr(), ptr);
+        assert_eq!(m2.shape(), (4, 3));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the blocked GEMM engine.
+//!
+//! Two invariants matter:
+//!
+//! 1. **Accuracy** — the blocked kernel agrees with the frozen naive
+//!    reference within `1e-4` across random shapes, including degenerate
+//!    ones (`1 x N`, `N x 1`) and sizes that are not multiples of any tile
+//!    dimension.
+//! 2. **Determinism** — the parallel row-band driver is *bit-identical* to
+//!    the serial kernel at every thread count, because parallelism only
+//!    partitions output rows and never changes any element's accumulation
+//!    order.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use spyker_tensor::Matrix;
+
+/// Deterministic pseudo-random matrix (avoids depending on an RNG here).
+fn mk(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|i| ((i as u64 * 2654435761 + seed * 97) % 2000) as f32 / 500.0 - 2.0)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn assert_close(got: &Matrix, want: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        prop_assert!(
+            (g - w).abs() < 1e-4 * (1.0 + w.abs()),
+            "blocked {g} vs naive {w}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random shapes spanning sub-tile, exact-tile and off-tile sizes.
+    #[test]
+    fn blocked_matches_naive_on_random_shapes(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = mk(m, k, seed);
+        let b = mk(k, n, seed + 1);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b))?;
+    }
+
+    /// Edge geometries: single-row and single-column operands.
+    #[test]
+    fn blocked_matches_naive_on_degenerate_shapes(
+        k in 1usize..70,
+        n in 1usize..70,
+        seed in 0u64..1000,
+    ) {
+        // 1 x N times N x M.
+        let a = mk(1, k, seed);
+        let b = mk(k, n, seed + 2);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b))?;
+        // N x 1 times 1 x M.
+        let c = mk(k, 1, seed + 3);
+        let d = mk(1, n, seed + 4);
+        assert_close(&c.matmul(&d), &c.matmul_naive(&d))?;
+    }
+
+    /// Sizes straddling the register tile (4x8) and cache blocks (64/256/128)
+    /// by one element in each direction.
+    #[test]
+    fn blocked_matches_naive_beyond_tile_boundaries(
+        dm in 0usize..3,
+        dk in 0usize..3,
+        dn in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        // 63..=65 x 255..=257 x 127..=129 crosses MC, KC and NC edges.
+        let (m, k, n) = (63 + dm, 255 + dk, 127 + dn);
+        let a = mk(m, k, seed);
+        let b = mk(k, n, seed + 5);
+        assert_close(&a.matmul(&b), &a.matmul_naive(&b))?;
+    }
+
+    /// The transpose-free tn/nt paths agree with the reference too.
+    #[test]
+    fn tn_and_nt_match_naive_with_explicit_transposes(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = mk(k, m, seed);
+        let b = mk(k, n, seed + 6);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul_naive(&b))?;
+        let c = mk(m, k, seed + 7);
+        let d = mk(n, k, seed + 8);
+        assert_close(&c.matmul_nt(&d), &c.matmul_naive(&d.transpose()))?;
+    }
+
+    /// Bit-exact equality of the parallel row-band driver against the
+    /// serial blocked kernel at 1, 2 and 4 threads. This is the determinism
+    /// guarantee the federated-learning reproducibility tests rely on.
+    #[test]
+    fn parallel_gemm_is_bit_identical_to_serial(
+        m in 1usize..80,
+        k in 1usize..48,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a = mk(m, k, seed);
+        let b = mk(k, n, seed + 9);
+        let mut serial = Matrix::default();
+        a.matmul_into_threads(&b, &mut serial, 1);
+        for threads in [2usize, 4] {
+            let mut par = Matrix::default();
+            a.matmul_into_threads(&b, &mut par, threads);
+            // Bit-for-bit, not approximately: compare the raw f32s exactly.
+            prop_assert_eq!(par.as_slice(), serial.as_slice(),
+                "thread count {} changed results for {}x{}x{}", threads, m, k, n);
+        }
+    }
+}
+
+/// Large-size spot check (outside proptest: one deterministic case big
+/// enough that the parallel driver actually splits into multiple bands).
+#[test]
+fn parallel_bands_are_bit_identical_on_a_large_product() {
+    let a = mk(256, 128, 42);
+    let b = mk(128, 96, 43);
+    let mut serial = Matrix::default();
+    a.matmul_into_threads(&b, &mut serial, 1);
+    for threads in [2usize, 3, 4, 8] {
+        let mut par = Matrix::default();
+        a.matmul_into_threads(&b, &mut par, threads);
+        assert_eq!(
+            par.as_slice(),
+            serial.as_slice(),
+            "thread count {threads} changed results"
+        );
+    }
+}

@@ -10,3 +10,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # Byzantine-robustness integration tests (adversarial clients vs the
 # validation gate + robust aggregation pipeline; see DESIGN.md §8).
 cargo test -q --release --test byzantine
+
+# Criterion benches must at least compile; the smoke runner then enforces
+# the GEMM regression gate (blocked ≥ 3× naive on 128×128, see DESIGN.md
+# §10) and refreshes BENCH_tensor.json at the repo root.
+cargo bench --workspace --offline --no-run
+cargo run -q --release -p spyker-bench --bin bench_smoke BENCH_tensor.json
