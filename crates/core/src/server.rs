@@ -198,6 +198,68 @@ impl SpykerServer {
         self.counts.counts()
     }
 
+    /// This server's index in the ring (its position in `server_nodes`).
+    pub fn server_idx(&self) -> usize {
+        self.server_idx
+    }
+
+    /// The bid of the token this server currently holds, if any.
+    ///
+    /// Read-only protocol state for invariant oracles (`spyker-simtest`):
+    /// together with [`SpykerServer::has_token`] this is the global token
+    /// table — at most one live token should exist per regeneration epoch.
+    pub fn token_bid(&self) -> Option<u64> {
+        self.token.as_ref().map(|t| t.bid)
+    }
+
+    /// This server's knowledge of every server's age (`ages[j]` is the
+    /// freshest age it has seen for server `j`; its own entry tracks its
+    /// live age). Peer entries are only ever merged upward, so each is
+    /// monotone non-decreasing over a run — the age-monotonicity invariant.
+    pub fn known_ages(&self) -> &[f64] {
+        &self.ages
+    }
+
+    /// Highest synchronisation bid this server has observed (own tokens,
+    /// received tokens, peer broadcasts). Monotone non-decreasing.
+    pub fn highest_bid_seen(&self) -> u64 {
+        self.highest_bid_seen
+    }
+
+    /// `true` while this server is inside a token-triggered exchange it
+    /// initiated (holding the token until every peer model arrives).
+    pub fn is_synchronising(&self) -> bool {
+        self.ongoing_synchro
+    }
+
+    /// Exchange ledger: how many peer models this server has collected for
+    /// synchronisation `bid` (Alg. 2's `cnt`).
+    pub fn models_counted(&self, bid: u64) -> usize {
+        self.cnt.get(&bid).copied().unwrap_or(0)
+    }
+
+    /// Exchange ledger: `true` if this server has already broadcast its
+    /// model for synchronisation `bid` (it answers each bid at most once).
+    pub fn has_broadcast(&self, bid: u64) -> bool {
+        self.did_broadcast.contains(&bid)
+    }
+
+    /// Test-only fault hook: hands this server a forged token, regardless
+    /// of protocol state.
+    ///
+    /// This deliberately *breaks* the token-uniqueness invariant when
+    /// another server still holds the real token — it exists so the
+    /// simulation-test harness can prove its oracles catch a duplicated
+    /// token (see `spyker-simtest`). Never call it from protocol code.
+    #[doc(hidden)]
+    pub fn debug_force_token(&mut self, bid: u64) {
+        self.token = Some(Token {
+            bid,
+            ages: self.ages.clone(),
+        });
+        self.highest_bid_seen = self.highest_bid_seen.max(bid);
+    }
+
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         let me = self.server_nodes[self.server_idx];
         self.server_nodes
@@ -395,6 +457,17 @@ impl SpykerServer {
         // l. 17: stamp a fresh bid for the exchange this holder may trigger.
         token.bid += 1;
         self.highest_bid_seen = self.highest_bid_seen.max(token.bid);
+        // A token accepted while an exchange is still open (possible only
+        // with recovery, when a regenerated token overtakes the one that
+        // was driving the exchange) supersedes that exchange: close it, or
+        // this server would stay `ongoing_synchro` under a bid it never
+        // broadcast — the exchange can then neither complete nor time out
+        // (both compare against the *held* bid) and the server wedges out
+        // of the sync ring holding the token forever.
+        if self.ongoing_synchro {
+            self.ongoing_synchro = false;
+            env.add_counter("sync.superseded", 1);
+        }
         self.token = Some(token);
         self.check_synchronization(env);
     }

@@ -178,6 +178,57 @@ proptest! {
         }
     }
 
+    /// Token age merging is commutative: merging A's knowledge into B
+    /// yields the same age vector as merging B's into A. This is what
+    /// makes the ring tolerate tokens arriving in any order after a
+    /// regeneration race.
+    #[test]
+    fn token_merge_is_commutative(
+        ages_a in prop::collection::vec(0.0f64..1e6, 4),
+        ages_b in prop::collection::vec(0.0f64..1e6, 4),
+    ) {
+        let mut ab = Token { bid: 1, ages: ages_a.clone() };
+        ab.merge_ages(&ages_b);
+        let mut ba = Token { bid: 1, ages: ages_b };
+        ba.merge_ages(&ages_a);
+        prop_assert_eq!(ab.ages, ba.ages);
+    }
+
+    /// Merging a token with its own age vector is the identity.
+    #[test]
+    fn token_merge_with_self_is_identity(
+        ages in prop::collection::vec(0.0f64..1e6, 1..8),
+    ) {
+        let mut t = Token { bid: 7, ages: ages.clone() };
+        let snapshot = t.ages.clone();
+        t.merge_ages(&snapshot);
+        prop_assert_eq!(t.ages, ages);
+    }
+
+    /// Every staleness policy (including the literal paper formula with a
+    /// convex cap, and negative staleness from out-of-order test inputs)
+    /// produces a weight in [0, 1] — the aggregation step stays a convex
+    /// combination no matter which policy is configured.
+    #[test]
+    fn staleness_weights_are_always_convex(
+        server_age in -10.0f64..1e6,
+        update_age in -10.0f64..1e6,
+        alpha in 0.01f32..4.0,
+    ) {
+        for policy in [
+            ClientStaleness::InverseLinear,
+            ClientStaleness::Polynomial { alpha },
+            ClientStaleness::PaperLiteral { cap: 1.0 },
+            ClientStaleness::None,
+        ] {
+            let w = policy.weight(server_age, update_age);
+            prop_assert!(
+                (0.0..=1.0).contains(&w),
+                "{policy:?} gave weight {w} for ages {server_age}/{update_age}"
+            );
+        }
+    }
+
     /// Codec: encode/decode round-trips arbitrary protocol messages.
     #[test]
     fn codec_round_trips_arbitrary_messages(

@@ -1,0 +1,170 @@
+//! Negative tests for the update-validation gate, driven at the handler
+//! level (no simulation): crafted poisoned updates must be rejected, must
+//! not touch the model, and must increment the `agg.rejected` counters.
+
+use std::collections::HashMap;
+
+use spyker_core::config::SpykerConfig;
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_core::server::SpykerServer;
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+/// Records effects so handlers can be driven without a simulation (the
+/// same pattern as the in-crate server unit tests).
+struct MockEnv {
+    me: NodeId,
+    n: usize,
+    sent: Vec<(NodeId, FlMsg)>,
+    counters: HashMap<String, u64>,
+}
+
+impl MockEnv {
+    fn new(me: NodeId, n: usize) -> Self {
+        Self {
+            me,
+            n,
+            sent: Vec::new(),
+            counters: HashMap::new(),
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Env<FlMsg> for MockEnv {
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+    fn send(&mut self, to: NodeId, msg: FlMsg) {
+        self.sent.push((to, msg));
+    }
+    fn set_timer(&mut self, _delay: SimTime, _tag: u64) {}
+    fn busy(&mut self, _duration: SimTime) {}
+    fn record(&mut self, _series: &str, _value: f64) {}
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+/// Single server (node 0) with two clients (nodes 1, 2), 2-dim model.
+fn server_with(cfg: SpykerConfig) -> SpykerServer {
+    SpykerServer::new(0, vec![0], vec![1, 2], ParamVec::zeros(2), cfg)
+}
+
+fn update(params: Vec<f32>, age: f64) -> FlMsg {
+    FlMsg::ClientUpdate {
+        params: ParamVec::from_vec(params),
+        age,
+        num_samples: 10,
+    }
+}
+
+#[test]
+fn nan_update_is_rejected_with_cause_counter() {
+    let mut s = server_with(SpykerConfig::paper_defaults(2, 1));
+    let mut env = MockEnv::new(0, 3);
+    let before = s.params().clone();
+
+    s.on_message(&mut env, 1, update(vec![f32::NAN, 0.5], 0.0));
+
+    assert_eq!(s.params(), &before, "NaN reached the model");
+    assert_eq!(s.age(), 0.0);
+    assert_eq!(s.processed_updates(), 0);
+    assert_eq!(s.rejected_updates(), 1);
+    assert_eq!(env.counter("agg.rejected"), 1);
+    assert_eq!(env.counter("agg.rejected.nonfinite"), 1);
+    assert_eq!(env.counter("updates.processed"), 0);
+}
+
+#[test]
+fn infinite_params_and_nonfinite_age_are_rejected() {
+    let mut s = server_with(SpykerConfig::paper_defaults(2, 1));
+    let mut env = MockEnv::new(0, 3);
+
+    s.on_message(&mut env, 1, update(vec![f32::INFINITY, 0.0], 0.0));
+    s.on_message(&mut env, 2, update(vec![0.1, 0.1], f64::NAN));
+
+    assert_eq!(s.rejected_updates(), 2);
+    assert_eq!(env.counter("agg.rejected.nonfinite"), 2);
+    assert_eq!(s.processed_updates(), 0);
+}
+
+#[test]
+fn exploded_norm_is_rejected_only_when_gate_is_configured() {
+    // Without a norm gate the huge-but-finite update is integrated…
+    let mut open = server_with(SpykerConfig::paper_defaults(2, 1));
+    let mut env = MockEnv::new(0, 3);
+    open.on_message(&mut env, 1, update(vec![1e6, 1e6], 0.0));
+    assert_eq!(open.processed_updates(), 1);
+    assert_eq!(open.rejected_updates(), 0);
+
+    // …with the gate it is rejected, leaves no trace on the model, and
+    // lands in the `norm` cause counter.
+    let mut cfg = SpykerConfig::paper_defaults(2, 1);
+    cfg.validation.max_delta_norm = Some(10.0);
+    let mut gated = server_with(cfg);
+    let mut env = MockEnv::new(0, 3);
+    gated.on_message(&mut env, 1, update(vec![1e6, 1e6], 0.0));
+    assert_eq!(gated.processed_updates(), 0);
+    assert_eq!(gated.rejected_updates(), 1);
+    assert_eq!(env.counter("agg.rejected"), 1);
+    assert_eq!(env.counter("agg.rejected.norm"), 1);
+    assert_eq!(gated.params().as_slice(), [0.0, 0.0]);
+
+    // An update just inside the gate still passes.
+    gated.on_message(&mut env, 2, update(vec![3.0, 4.0], 0.0));
+    assert_eq!(gated.processed_updates(), 1);
+    assert_eq!(gated.rejected_updates(), 1, "honest update was rejected");
+}
+
+#[test]
+fn overstale_update_is_rejected_once_server_has_aged() {
+    let mut cfg = SpykerConfig::paper_defaults(2, 1);
+    cfg.validation.max_staleness = Some(3.0);
+    let mut s = server_with(cfg);
+    let mut env = MockEnv::new(0, 3);
+
+    // Age the server with fresh honest updates (each adds 1 to the age:
+    // zero staleness means full weight).
+    for _ in 0..5 {
+        let age = s.age();
+        s.on_message(&mut env, 1, update(vec![0.1, 0.1], age));
+    }
+    assert_eq!(s.processed_updates(), 5);
+    assert!(s.age() > 4.0);
+
+    // A client echoing the original age-0 model is now > 3 units stale.
+    s.on_message(&mut env, 2, update(vec![0.1, 0.1], 0.0));
+    assert_eq!(s.rejected_updates(), 1);
+    assert_eq!(env.counter("agg.rejected"), 1);
+    assert_eq!(env.counter("agg.rejected.stale"), 1);
+    assert_eq!(s.processed_updates(), 5, "stale update was integrated");
+}
+
+#[test]
+fn rejected_client_still_receives_the_current_model() {
+    // The protocol is reactive: a silent reject would starve the client
+    // forever, so the reply must flow even for rejected updates.
+    let mut s = server_with(SpykerConfig::paper_defaults(2, 1));
+    let mut env = MockEnv::new(0, 3);
+    s.on_message(&mut env, 1, update(vec![f32::NAN, f32::NAN], 0.0));
+    assert_eq!(env.sent.len(), 1);
+    let (to, msg) = &env.sent[0];
+    assert_eq!(*to, 1);
+    match msg {
+        FlMsg::ModelToClient { params, age, .. } => {
+            assert!(params.is_finite());
+            assert_eq!(*age, 0.0);
+        }
+        other => panic!("expected ModelToClient, got {other:?}"),
+    }
+}

@@ -114,6 +114,14 @@ impl RunOptions {
         self
     }
 
+    /// Sets the evaluation/probe cadence (builder style). Tests that only
+    /// care about the end state raise this to the virtual-time budget so
+    /// the (wall-clock-expensive) held-out evaluation runs once.
+    pub fn with_probe_interval(mut self, t: SimTime) -> Self {
+        self.probe_interval = t;
+        self
+    }
+
     /// Sets the early-stop target (builder style).
     pub fn with_stop_at(mut self, target: f64) -> Self {
         self.stop_at_metric = Some(target);

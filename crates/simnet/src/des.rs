@@ -261,6 +261,105 @@ impl<M> ProbeCtx<'_, M> {
     }
 }
 
+/// What kind of event the simulation just processed, as reported to an
+/// [`EventTap`] after the event's handler ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapKind {
+    /// A node's [`Node::on_start`] ran.
+    Start,
+    /// A message delivery was handed to [`Node::on_message`].
+    Deliver,
+    /// A timer fired ([`Node::on_timer`]).
+    Timer,
+    /// The node crashed (fault injection).
+    Crash,
+    /// The node restarted ([`Node::on_restart`] ran).
+    Restart,
+    /// The event arrived at a crashed node and was silently discarded.
+    Discarded,
+}
+
+/// Read-only view of the simulation handed to an [`EventTap`].
+///
+/// Like [`ProbeCtx`], the tap runs *outside* virtual time: inspecting node
+/// state here costs the simulated system nothing and consumes no random
+/// draws, so an attached tap never perturbs the event schedule.
+pub struct TapCtx<'a, M> {
+    time: SimTime,
+    nodes: &'a [Box<dyn Node<M>>],
+    inbox: &'a [usize],
+    down: &'a [bool],
+    metrics: &'a Metrics,
+}
+
+impl<M> TapCtx<'_, M> {
+    /// Current virtual time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// All nodes; downcast via [`Node::as_any`] to inspect concrete state.
+    pub fn nodes(&self) -> &[Box<dyn Node<M>>] {
+        self.nodes
+    }
+
+    /// Number of messages that have arrived at `node` but are still
+    /// waiting because the node is busy.
+    pub fn queue_len(&self, node: NodeId) -> usize {
+        self.inbox[node]
+    }
+
+    /// `true` while `node` is crashed.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node]
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.metrics
+    }
+}
+
+/// Observer invoked around every processed event — the hook protocol
+/// invariant oracles attach to (see `spyker-simtest`).
+///
+/// Both methods default to doing nothing, so an implementation only
+/// overrides the granularity it needs. Returning [`ControlFlow::Break`]
+/// stops the run at the current event; the tap implementation is expected
+/// to remember *why* it broke (the simulation only reports the stop).
+///
+/// A tap only observes: it gets shared references, draws no randomness and
+/// schedules nothing, so a run with a tap attached is byte-identical to the
+/// same run without one (the `tap_does_not_perturb_the_schedule` test pins
+/// this).
+pub trait EventTap<M> {
+    /// Called just before a delivery is dispatched to a live node, with the
+    /// message still intact. Not called for deliveries that a crashed node
+    /// discards (those surface as [`TapKind::Discarded`] in
+    /// [`EventTap::after_event`]).
+    fn on_deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &M,
+        ctx: &TapCtx<'_, M>,
+    ) -> ControlFlow<()> {
+        let _ = (from, to, msg, ctx);
+        ControlFlow::Continue(())
+    }
+
+    /// Called after each event's handler ran (or the event was discarded).
+    fn after_event(&mut self, node: NodeId, kind: TapKind, ctx: &TapCtx<'_, M>) -> ControlFlow<()> {
+        let _ = (node, kind, ctx);
+        ControlFlow::Continue(())
+    }
+}
+
+/// The no-op tap [`Simulation::run_with_probe`] uses; never breaks.
+pub struct NoTap;
+
+impl<M> EventTap<M> for NoTap {}
+
 /// Summary of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunReport {
@@ -355,6 +454,28 @@ impl<M: WireSize> Simulation<M> {
         self.nodes[id].as_ref()
     }
 
+    /// Mutable access to a node between run segments.
+    ///
+    /// Intended for test harnesses that pause a run (probe break or
+    /// `max_time`), mutate actor state directly — e.g. to inject an
+    /// invariant violation — and resume. Mutating state a handler is
+    /// relying on mid-protocol voids the determinism contract only if the
+    /// mutation itself is non-deterministic; the simulation schedule is
+    /// unaffected either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Node<M> {
+        self.nodes[id].as_mut()
+    }
+
+    /// Current virtual time (the time of the last processed event, or the
+    /// `max_time`/probe time a paused run stopped at).
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
     /// The metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
@@ -379,7 +500,30 @@ impl<M: WireSize> Simulation<M> {
         &mut self,
         max_time: SimTime,
         probe_interval: SimTime,
+        probe: impl FnMut(&mut ProbeCtx<'_, M>) -> ControlFlow<()>,
+    ) -> RunReport {
+        self.run_with_probe_and_tap(max_time, probe_interval, probe, &mut NoTap)
+    }
+
+    /// Runs until `max_time`, no events remain, or `tap` breaks.
+    ///
+    /// Every processed event is reported to `tap` (see [`EventTap`]); a
+    /// break stops the run at the current event's time.
+    pub fn run_with_tap(&mut self, max_time: SimTime, tap: &mut dyn EventTap<M>) -> RunReport {
+        self.run_with_probe_and_tap(max_time, SimTime::MAX, |_| ControlFlow::Continue(()), tap)
+    }
+
+    /// [`Simulation::run_with_probe`] with an [`EventTap`] attached.
+    ///
+    /// The tap observes every event (probes stay periodic); either the
+    /// probe or the tap can break the run. The tap is a plain observer —
+    /// with [`NoTap`] this is exactly `run_with_probe`, byte for byte.
+    pub fn run_with_probe_and_tap(
+        &mut self,
+        max_time: SimTime,
+        probe_interval: SimTime,
         mut probe: impl FnMut(&mut ProbeCtx<'_, M>) -> ControlFlow<()>,
+        tap: &mut dyn EventTap<M>,
     ) -> RunReport {
         assert!(
             probe_interval > SimTime::ZERO,
@@ -481,6 +625,9 @@ impl<M: WireSize> Simulation<M> {
                     self.core.avail[event.node] = event.time;
                     self.core.metrics.add_counter("fault.crashes", 1);
                     self.events_processed += 1;
+                    if self.fire_tap(tap, event.node, TapKind::Crash).is_break() {
+                        return self.report();
+                    }
                     continue;
                 }
                 EventBody::Restart => {
@@ -496,6 +643,9 @@ impl<M: WireSize> Simulation<M> {
                     let busy = env.busy;
                     self.core.avail[event.node] = event.time + busy;
                     self.events_processed += 1;
+                    if self.fire_tap(tap, event.node, TapKind::Restart).is_break() {
+                        return self.report();
+                    }
                     continue;
                 }
                 _ => {}
@@ -505,8 +655,28 @@ impl<M: WireSize> Simulation<M> {
                 // timers and even the start event evaporate.
                 self.core.metrics.add_counter("fault.discarded", 1);
                 self.events_processed += 1;
+                if self
+                    .fire_tap(tap, event.node, TapKind::Discarded)
+                    .is_break()
+                {
+                    return self.report();
+                }
                 continue;
             }
+            let kind = match &event.body {
+                EventBody::Start => TapKind::Start,
+                EventBody::Deliver { from, msg } => {
+                    if tap
+                        .on_deliver(*from, event.node, msg, &self.tap_ctx())
+                        .is_break()
+                    {
+                        return self.report();
+                    }
+                    TapKind::Deliver
+                }
+                EventBody::Timer { .. } => TapKind::Timer,
+                EventBody::Crash | EventBody::Restart => unreachable!("handled above"),
+            };
             let mut env = EnvHandle {
                 core: &mut self.core,
                 me: event.node,
@@ -523,6 +693,31 @@ impl<M: WireSize> Simulation<M> {
             let busy = env.busy;
             self.core.avail[event.node] = event.time + busy;
             self.events_processed += 1;
+            if self.fire_tap(tap, event.node, kind).is_break() {
+                return self.report();
+            }
+        }
+    }
+
+    /// Reports the just-processed event to `tap`.
+    fn fire_tap(&self, tap: &mut dyn EventTap<M>, node: NodeId, kind: TapKind) -> ControlFlow<()> {
+        tap.after_event(node, kind, &self.tap_ctx())
+    }
+
+    fn tap_ctx(&self) -> TapCtx<'_, M> {
+        TapCtx {
+            time: self.core.now,
+            nodes: &self.nodes,
+            inbox: &self.core.inbox,
+            down: &self.core.down,
+            metrics: &self.core.metrics,
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            events_processed: self.events_processed,
+            end_time: self.core.now,
         }
     }
 }
@@ -749,6 +944,104 @@ mod tests {
         assert_eq!(sim.metrics().counter("net.bytes"), 200);
         assert_eq!(sim.metrics().counter("net.bytes.test"), 200);
         assert_eq!(sim.metrics().counter("net.messages"), 2);
+    }
+
+    #[test]
+    fn tap_does_not_perturb_the_schedule() {
+        // A run with a counting tap attached must be byte-identical to the
+        // same run without one — the oracle hook is a pure observer.
+        struct Counting {
+            delivers: u64,
+            events: u64,
+        }
+        impl EventTap<Msg> for Counting {
+            fn on_deliver(
+                &mut self,
+                _from: NodeId,
+                _to: NodeId,
+                _msg: &Msg,
+                _ctx: &TapCtx<'_, Msg>,
+            ) -> ControlFlow<()> {
+                self.delivers += 1;
+                ControlFlow::Continue(())
+            }
+            fn after_event(
+                &mut self,
+                _node: NodeId,
+                _kind: TapKind,
+                _ctx: &TapCtx<'_, Msg>,
+            ) -> ControlFlow<()> {
+                self.events += 1;
+                ControlFlow::Continue(())
+            }
+        }
+        let run = |with_tap: bool| {
+            let mut sim = Simulation::new(
+                NetworkConfig::uniform_all(SimTime::from_millis(5))
+                    .with_jitter(SimTime::from_millis(3)),
+                7,
+            )
+            .with_faults(FaultPlan::none().with_loss(0.2).crash(
+                0,
+                SimTime::from_millis(30),
+                Some(SimTime::from_millis(60)),
+            ));
+            sim.add_node(
+                Box::new(Burst {
+                    count: 10,
+                    bytes: 10,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Sydney,
+            );
+            let report = if with_tap {
+                let mut tap = Counting {
+                    delivers: 0,
+                    events: 0,
+                };
+                let report = sim.run_with_tap(SimTime::from_secs(1), &mut tap);
+                assert_eq!(tap.events, report.events_processed);
+                assert!(tap.delivers > 0 && tap.delivers <= 10);
+                report
+            } else {
+                sim.run(SimTime::from_secs(1))
+            };
+            (recorder_received(&sim), report.events_processed)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn tap_break_stops_the_run_at_the_event() {
+        struct StopAfter {
+            left: u32,
+        }
+        impl EventTap<Msg> for StopAfter {
+            fn after_event(
+                &mut self,
+                _node: NodeId,
+                _kind: TapKind,
+                _ctx: &TapCtx<'_, Msg>,
+            ) -> ControlFlow<()> {
+                if self.left == 0 {
+                    return ControlFlow::Break(());
+                }
+                self.left -= 1;
+                ControlFlow::Continue(())
+            }
+        }
+        let mut sim = two_node_sim(Box::new(Burst { count: 5, bytes: 0 }));
+        let mut tap = StopAfter { left: 2 };
+        let report = sim.run_with_tap(SimTime::from_secs(1), &mut tap);
+        assert_eq!(report.events_processed, 3, "broke on the third event");
+        // The remaining deliveries are still queued; resuming drains them.
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(recorder_received(&sim).len(), 5);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod net;
 pub mod runtime;
 pub mod time;
 
-pub use des::{ProbeCtx, RunReport, Simulation};
+pub use des::{EventTap, NoTap, ProbeCtx, RunReport, Simulation, TapCtx, TapKind};
 pub use fault::{ByzantineAttack, ByzantineClient, FaultPlan};
 pub use metrics::Metrics;
 pub use net::{aws_latency_matrix, NetworkConfig, Region};

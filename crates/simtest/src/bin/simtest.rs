@@ -1,0 +1,159 @@
+//! Seed-sweep driver for the simulation-test harness.
+//!
+//! ```text
+//! simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]
+//!         [--out DIR] [--time-cap-secs N] [--replay FILE]
+//! ```
+//!
+//! Sweeps `N` seeds starting at `S`: each seed expands into a random
+//! scenario that runs under the full oracle suite. On the first violation
+//! the scenario is shrunk to a minimal reproducer, written to
+//! `--out` as `repro_<seed>.ron`, and the sweep aborts with exit code 1.
+//! `--replay FILE` runs one reproducer instead of sweeping.
+//!
+//! `--time-cap-secs` bounds wall-clock time (for CI): the sweep stops
+//! early — cleanly, reporting how many seeds it covered — when the cap is
+//! reached. Determinism is per-seed, so a capped sweep checks a prefix of
+//! exactly the same runs a full sweep would.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use spyker_simtest::{run_scenario, shrink, write_repro, RunOutcome, SimScenario};
+
+struct Opts {
+    seeds: u64,
+    start_seed: u64,
+    budget_events: u64,
+    out: PathBuf,
+    time_cap_secs: Option<u64>,
+    replay: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]\n\
+         \x20              [--out DIR] [--time-cap-secs N] [--replay FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_count(s: &str) -> Option<u64> {
+    let (num, mult) = match s.to_ascii_lowercase() {
+        ref l if l.ends_with('k') => (l[..l.len() - 1].to_string(), 1_000),
+        ref l if l.ends_with('m') => (l[..l.len() - 1].to_string(), 1_000_000),
+        l => (l, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seeds: 64,
+        start_seed: 0,
+        budget_events: 200_000,
+        out: PathBuf::from("target/simtest"),
+        time_cap_secs: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--seeds" => opts.seeds = parse_count(&value()).unwrap_or_else(|| usage()),
+            "--start-seed" => opts.start_seed = parse_count(&value()).unwrap_or_else(|| usage()),
+            "--budget-events" => {
+                opts.budget_events = parse_count(&value()).unwrap_or_else(|| usage())
+            }
+            "--out" => opts.out = PathBuf::from(value()),
+            "--time-cap-secs" => {
+                opts.time_cap_secs = Some(parse_count(&value()).unwrap_or_else(|| usage()))
+            }
+            "--replay" => opts.replay = Some(PathBuf::from(value())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+
+    if let Some(path) = &opts.replay {
+        let sc = match spyker_simtest::load_repro(path) {
+            Ok(sc) => sc,
+            Err(e) => {
+                eprintln!("simtest: cannot load {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "replaying {} (seed {}, {} servers, {} clients)",
+            path.display(),
+            sc.seed,
+            sc.n_servers,
+            sc.n_clients
+        );
+        return match run_scenario(&sc, opts.budget_events) {
+            RunOutcome::Clean(stats) => {
+                println!(
+                    "clean: {} events, fingerprint {:016x}",
+                    stats.events, stats.fingerprint
+                );
+                ExitCode::SUCCESS
+            }
+            RunOutcome::Violated(v) => {
+                println!("violation reproduced: {v}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let started = Instant::now();
+    let mut swept = 0u64;
+    for seed in opts.start_seed..opts.start_seed + opts.seeds {
+        if let Some(cap) = opts.time_cap_secs {
+            if started.elapsed().as_secs() >= cap {
+                println!(
+                    "time cap reached after {swept}/{} seeds — stopping early (all clean)",
+                    opts.seeds
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+        let sc = SimScenario::generate(seed);
+        match run_scenario(&sc, opts.budget_events) {
+            RunOutcome::Clean(stats) => {
+                swept += 1;
+                println!(
+                    "seed {seed}: clean ({} servers, {} clients, {} faults, {} events, \
+                     fingerprint {:016x})",
+                    sc.n_servers,
+                    sc.n_clients,
+                    sc.fault_count(),
+                    stats.events,
+                    stats.fingerprint
+                );
+            }
+            RunOutcome::Violated(v) => {
+                println!("seed {seed}: VIOLATION {v}");
+                println!("shrinking (size {})...", sc.size());
+                let small = shrink(&sc, opts.budget_events);
+                let small_v = match run_scenario(&small, opts.budget_events) {
+                    RunOutcome::Violated(v) => v,
+                    RunOutcome::Clean(_) => unreachable!("shrink returns a failing scenario"),
+                };
+                println!("shrunk to size {}: {small_v}", small.size());
+                match write_repro(&opts.out, &small, &small_v) {
+                    Ok(path) => println!("reproducer written to {}", path.display()),
+                    Err(e) => eprintln!("simtest: cannot write reproducer: {e}"),
+                }
+                return ExitCode::from(1);
+            }
+        }
+    }
+    println!("{swept} seeds clean");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,532 @@
+//! Protocol invariant oracles.
+//!
+//! An [`Oracle`] watches one invariant of the Spyker protocol. The harness
+//! calls [`Oracle::check`] after *every* simulation event with a read-only
+//! [`OracleCtx`] snapshot, and [`Oracle::at_end`] once when the run
+//! finishes; the first `Err` stops the run and becomes a
+//! [`crate::harness::Violation`].
+//!
+//! The catalog (see `DESIGN.md` §11 for the derivations):
+//!
+//! | oracle                | invariant                                            |
+//! |-----------------------|------------------------------------------------------|
+//! | `virtual-clock`       | event times never go backwards                       |
+//! | `token-conservation`  | a token appears only via pass, regeneration, or init |
+//! | `token-uniqueness`    | live holders ≤ 1 + tokens regenerated                |
+//! | `bid-monotonicity`    | per-server `highest_bid_seen` never decreases        |
+//! | `age-monotonicity`    | peer age knowledge only moves forward                |
+//! | `age-conservation`    | no age exceeds the updates actually processed        |
+//! | `counter-consistency` | metric counters equal the per-actor ledgers          |
+//! | `exchange-ledger`     | the `cnt`/`did_broadcast` ledger stays coherent      |
+//! | `model-hull`          | honest models stay inside the targets' hull          |
+//! | `liveness`            | a clean run processes updates and stays finite       |
+//!
+//! Oracles that only hold conditionally consult the scenario flags in the
+//! context (`clean`, `byzantine_free`) so faulty runs are not flagged for
+//! documented degraded-mode behaviour.
+
+use spyker_core::server::SpykerServer;
+use spyker_simnet::{Metrics, NodeId, SimTime, TapKind};
+
+/// Slack for `f64` age comparisons (ages are sums of `f32`-derived
+/// weights; exact equality is still expected for the integer counters).
+const AGE_EPS: f64 = 1e-6;
+/// Slack for `f32` model-coordinate hull checks (lerp rounding).
+const HULL_EPS: f32 = 1e-3;
+
+/// What the event the harness just observed was (absent for the final
+/// [`Oracle::at_end`] pass, which runs outside any event).
+#[derive(Debug, Clone, Copy)]
+pub struct EventInfo {
+    /// The node whose handler ran (or that discarded the event).
+    pub node: NodeId,
+    /// Event kind as reported by the simulation tap.
+    pub kind: TapKind,
+    /// `true` when this event was a `TokenPass` delivered to `node` —
+    /// the only message that may legitimately hand a server the token.
+    pub token_delivered: bool,
+}
+
+/// Read-only snapshot an oracle checks.
+pub struct OracleCtx<'a> {
+    /// Virtual time of the snapshot.
+    pub time: SimTime,
+    /// The servers, in ring order (node ids `0..n_servers`).
+    pub servers: Vec<&'a SpykerServer>,
+    /// Metric counters and series collected so far.
+    pub metrics: &'a Metrics,
+    /// Number of clients in the deployment.
+    pub n_clients: usize,
+    /// The event that produced this snapshot; `None` for the end-of-run
+    /// pass.
+    pub event: Option<EventInfo>,
+    /// `true` when the scenario injects no faults and no violation —
+    /// enables the strict clean-run invariants.
+    pub clean: bool,
+    /// `true` when no client is Byzantine — enables the model-hull
+    /// invariant (poisoned updates may leave the hull by design).
+    pub byzantine_free: bool,
+    /// Per-client scalar targets (the hull the honest models must stay in).
+    pub targets: &'a [f32],
+    /// `true` when the run stopped on the event budget rather than the
+    /// horizon (relaxes end-of-run progress expectations).
+    pub budget_exhausted: bool,
+}
+
+impl OracleCtx<'_> {
+    fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// One protocol invariant, checked online.
+///
+/// Implementations keep whatever history they need (previous snapshots) as
+/// internal state; a fresh instance is built per run via [`default_suite`].
+pub trait Oracle {
+    /// Stable name, used in violation reports and repro files.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant after one event. The first `Err` aborts the
+    /// run; the message should say what was observed vs expected.
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String>;
+
+    /// Checked once when the run completes (horizon reached, queue drained,
+    /// or budget exhausted).
+    fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let _ = ctx;
+        Ok(())
+    }
+}
+
+/// Builds one instance of every oracle in the catalog.
+pub fn default_suite() -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(VirtualClockOracle {
+            last: SimTime::ZERO,
+        }),
+        Box::new(TokenConservationOracle { held: None }),
+        Box::new(TokenUniquenessOracle),
+        Box::new(BidMonotonicityOracle { last: None }),
+        Box::new(AgeMonotonicityOracle { last: None }),
+        Box::new(AgeConservationOracle),
+        Box::new(CounterConsistencyOracle),
+        Box::new(ExchangeLedgerOracle),
+        Box::new(ModelHullOracle),
+        Box::new(LivenessOracle),
+    ]
+}
+
+/// Virtual time is monotone: the DES must never hand events out of order.
+struct VirtualClockOracle {
+    last: SimTime,
+}
+
+impl Oracle for VirtualClockOracle {
+    fn name(&self) -> &'static str {
+        "virtual-clock"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        if ctx.time < self.last {
+            return Err(format!(
+                "virtual clock went backwards: {} after {}",
+                ctx.time, self.last
+            ));
+        }
+        self.last = ctx.time;
+        Ok(())
+    }
+}
+
+/// A server may only *acquire* the token through a `TokenPass` delivery,
+/// a watchdog regeneration, or holding it from the start — never out of
+/// thin air. This is the oracle the `debug_force_token` injection trips:
+/// the forged token appears between events, so the first event after the
+/// injection sees an acquisition with no qualifying cause.
+struct TokenConservationOracle {
+    /// `(has_token, tokens_regenerated)` per server at the last check.
+    held: Option<Vec<(bool, u64)>>,
+}
+
+impl Oracle for TokenConservationOracle {
+    fn name(&self) -> &'static str {
+        "token-conservation"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let now: Vec<(bool, u64)> = ctx
+            .servers
+            .iter()
+            .map(|s| (s.has_token(), s.tokens_regenerated()))
+            .collect();
+        if let Some(prev) = &self.held {
+            for (i, ((was, regen_was), (is, regen_is))) in prev.iter().zip(&now).enumerate() {
+                if *is && !*was {
+                    let caused_by_pass =
+                        ctx.event.is_some_and(|e| e.token_delivered && e.node == i);
+                    let caused_by_regen = *regen_is > *regen_was;
+                    if !caused_by_pass && !caused_by_regen {
+                        return Err(format!(
+                            "server {i} acquired a token (bid {:?}) without a TokenPass \
+                             delivery or a regeneration",
+                            ctx.servers[i].token_bid()
+                        ));
+                    }
+                }
+            }
+        }
+        self.held = Some(now);
+        Ok(())
+    }
+}
+
+/// At most one live token per regeneration epoch: the number of
+/// simultaneous holders never exceeds `1 + Σ tokens_regenerated` (each
+/// regeneration can at worst coexist with one stale token until the stale
+/// copy is dropped).
+struct TokenUniquenessOracle;
+
+impl Oracle for TokenUniquenessOracle {
+    fn name(&self) -> &'static str {
+        "token-uniqueness"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let holders: Vec<usize> = (0..ctx.n_servers())
+            .filter(|&i| ctx.servers[i].has_token())
+            .collect();
+        let regenerated: u64 = ctx.servers.iter().map(|s| s.tokens_regenerated()).sum();
+        if holders.len() as u64 > 1 + regenerated {
+            return Err(format!(
+                "{} servers hold a token simultaneously ({holders:?}) with only \
+                 {regenerated} regenerations",
+                holders.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Each server's `highest_bid_seen` is monotone non-decreasing.
+struct BidMonotonicityOracle {
+    last: Option<Vec<u64>>,
+}
+
+impl Oracle for BidMonotonicityOracle {
+    fn name(&self) -> &'static str {
+        "bid-monotonicity"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let now: Vec<u64> = ctx.servers.iter().map(|s| s.highest_bid_seen()).collect();
+        if let Some(prev) = &self.last {
+            for (i, (p, n)) in prev.iter().zip(&now).enumerate() {
+                if n < p {
+                    return Err(format!(
+                        "server {i}'s highest_bid_seen decreased: {p} -> {n}"
+                    ));
+                }
+            }
+        }
+        self.last = Some(now);
+        Ok(())
+    }
+}
+
+/// A server's knowledge of *peer* ages only moves forward (entries are
+/// exclusively max-merged), and every age stays finite and non-negative.
+/// A server's own entry is exempt: the sigmoid-weighted exchange blends
+/// its live age *toward* a peer's, which may lower it.
+struct AgeMonotonicityOracle {
+    last: Option<Vec<Vec<f64>>>,
+}
+
+impl Oracle for AgeMonotonicityOracle {
+    fn name(&self) -> &'static str {
+        "age-monotonicity"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let now: Vec<Vec<f64>> = ctx
+            .servers
+            .iter()
+            .map(|s| s.known_ages().to_vec())
+            .collect();
+        for (i, ages) in now.iter().enumerate() {
+            for (j, &a) in ages.iter().enumerate() {
+                if !a.is_finite() || a < 0.0 {
+                    return Err(format!("server {i}'s age entry for {j} is {a}"));
+                }
+            }
+        }
+        if let Some(prev) = &self.last {
+            for (i, (p, n)) in prev.iter().zip(&now).enumerate() {
+                for (j, (pa, na)) in p.iter().zip(n).enumerate() {
+                    if j != i && na < pa {
+                        return Err(format!(
+                            "server {i}'s knowledge of server {j}'s age decreased: \
+                             {pa} -> {na}"
+                        ));
+                    }
+                }
+            }
+        }
+        self.last = Some(now);
+        Ok(())
+    }
+}
+
+/// Ages are conserved: one processed update grows exactly one server's age
+/// by at most 1, and exchanges only blend ages convexly — so no age entry
+/// anywhere can exceed the global count of processed updates.
+struct AgeConservationOracle;
+
+impl Oracle for AgeConservationOracle {
+    fn name(&self) -> &'static str {
+        "age-conservation"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let bound = ctx.metrics.counter("updates.processed") as f64 + AGE_EPS;
+        for (i, s) in ctx.servers.iter().enumerate() {
+            if s.age() > bound {
+                return Err(format!(
+                    "server {i}'s age {} exceeds the {} updates processed globally",
+                    s.age(),
+                    ctx.metrics.counter("updates.processed")
+                ));
+            }
+            for (j, &a) in s.known_ages().iter().enumerate() {
+                if a > bound {
+                    return Err(format!(
+                        "server {i} believes server {j}'s age is {a}, above the \
+                         {} updates processed globally",
+                        ctx.metrics.counter("updates.processed")
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The metric counters and the per-actor ledgers are two recordings of the
+/// same history; they must agree exactly, and every aggregate counter must
+/// equal the sum of its cause-tagged children.
+struct CounterConsistencyOracle;
+
+impl CounterConsistencyOracle {
+    fn check_eq(name: &str, counter: u64, ledger: u64) -> Result<(), String> {
+        if counter != ledger {
+            return Err(format!(
+                "counter {name} is {counter} but the actor ledgers sum to {ledger}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for CounterConsistencyOracle {
+    fn name(&self) -> &'static str {
+        "counter-consistency"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let m = ctx.metrics;
+        let sum = |f: fn(&SpykerServer) -> u64| ctx.servers.iter().map(|s| f(s)).sum::<u64>();
+        Self::check_eq(
+            "updates.processed",
+            m.counter("updates.processed"),
+            sum(SpykerServer::processed_updates),
+        )?;
+        Self::check_eq(
+            "syncs.triggered",
+            m.counter("syncs.triggered"),
+            sum(SpykerServer::syncs_triggered),
+        )?;
+        Self::check_eq(
+            "server.aggs",
+            m.counter("server.aggs"),
+            sum(SpykerServer::server_aggs),
+        )?;
+        Self::check_eq(
+            "token.regenerated",
+            m.counter("token.regenerated"),
+            sum(SpykerServer::tokens_regenerated),
+        )?;
+        Self::check_eq(
+            "sync.degraded",
+            m.counter("sync.degraded"),
+            sum(SpykerServer::degraded_syncs),
+        )?;
+        Self::check_eq(
+            "agg.rejected",
+            m.counter("agg.rejected"),
+            sum(SpykerServer::rejected_updates),
+        )?;
+        Self::check_eq(
+            "agg.rejected (by cause)",
+            m.counter("agg.rejected"),
+            m.counter("agg.rejected.nonfinite")
+                + m.counter("agg.rejected.norm")
+                + m.counter("agg.rejected.stale")
+                + m.counter("agg.rejected.peer"),
+        )?;
+        Self::check_eq(
+            "net.bytes (by kind)",
+            m.counter("net.bytes"),
+            m.counter("net.bytes.client-server") + m.counter("net.bytes.server-server"),
+        )?;
+        Self::check_eq(
+            "fault.dropped (by cause)",
+            m.counter("fault.dropped"),
+            m.counter("fault.dropped.loss")
+                + m.counter("fault.dropped.scripted")
+                + m.counter("fault.dropped.partition"),
+        )?;
+        Self::check_eq(
+            "fault.byzantine (by attack)",
+            m.counter("fault.byzantine"),
+            m.counter("fault.byzantine.signflip")
+                + m.counter("fault.byzantine.scale")
+                + m.counter("fault.byzantine.noise")
+                + m.counter("fault.byzantine.nan"),
+        )?;
+        Ok(())
+    }
+}
+
+/// The exchange ledger stays coherent: a synchronising server holds the
+/// token and has broadcast under its bid, a held bid never exceeds the
+/// highest bid seen, and no exchange collects more models than there are
+/// servers.
+struct ExchangeLedgerOracle;
+
+impl Oracle for ExchangeLedgerOracle {
+    fn name(&self) -> &'static str {
+        "exchange-ledger"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let n = ctx.n_servers();
+        for (i, s) in ctx.servers.iter().enumerate() {
+            if let Some(bid) = s.token_bid() {
+                if bid > s.highest_bid_seen() {
+                    return Err(format!(
+                        "server {i} holds bid {bid} above its highest_bid_seen {}",
+                        s.highest_bid_seen()
+                    ));
+                }
+                if s.models_counted(bid) > n {
+                    return Err(format!(
+                        "server {i} counted {} models for bid {bid} in a ring of {n}",
+                        s.models_counted(bid)
+                    ));
+                }
+                if s.is_synchronising() && !s.has_broadcast(bid) {
+                    return Err(format!(
+                        "server {i} is synchronising under bid {bid} without having \
+                         broadcast its model"
+                    ));
+                }
+            } else if s.is_synchronising() {
+                return Err(format!(
+                    "server {i} is synchronising without holding the token"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Without Byzantine clients every update is a convex pull toward some
+/// client target, and every merge (robust or not) is a convex combination
+/// — so each model coordinate stays inside the hull spanned by the zero
+/// initialisation and the client targets.
+struct ModelHullOracle;
+
+impl Oracle for ModelHullOracle {
+    fn name(&self) -> &'static str {
+        "model-hull"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        if !ctx.byzantine_free || ctx.targets.is_empty() {
+            return Ok(());
+        }
+        let lo = ctx.targets.iter().copied().fold(0.0f32, f32::min) - HULL_EPS;
+        let hi = ctx.targets.iter().copied().fold(0.0f32, f32::max) + HULL_EPS;
+        for (i, s) in ctx.servers.iter().enumerate() {
+            for (c, &v) in s.params().as_slice().iter().enumerate() {
+                if !(lo..=hi).contains(&v) {
+                    return Err(format!(
+                        "server {i}'s model coordinate {c} is {v}, outside the honest \
+                         hull [{lo}, {hi}]"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// End-of-run sanity for clean scenarios: the system made progress, no
+/// update was rejected (nothing dishonest ran), models and ages are
+/// consistent with the work done, and no more updates are in flight than
+/// clients exist to have sent them.
+struct LivenessOracle;
+
+impl Oracle for LivenessOracle {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn check(&mut self, _ctx: &OracleCtx<'_>) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        for (i, s) in ctx.servers.iter().enumerate() {
+            if !s.params().is_finite() {
+                return Err(format!("server {i} ended with a non-finite model"));
+            }
+            if s.processed_updates() > 0 && s.age() <= 0.0 {
+                return Err(format!(
+                    "server {i} processed {} updates but its age is {}",
+                    s.processed_updates(),
+                    s.age()
+                ));
+            }
+        }
+        if !ctx.clean {
+            return Ok(());
+        }
+        let sent = ctx.metrics.counter("updates.sent");
+        let processed = ctx.metrics.counter("updates.processed");
+        if ctx.metrics.counter("agg.rejected") != 0 {
+            return Err(format!(
+                "a clean run rejected {} updates",
+                ctx.metrics.counter("agg.rejected")
+            ));
+        }
+        if sent < processed {
+            return Err(format!(
+                "{processed} updates processed but only {sent} were ever sent"
+            ));
+        }
+        // Each client has at most one update in flight at a time.
+        if sent - processed > ctx.n_clients as u64 {
+            return Err(format!(
+                "{} updates lost in a clean run ({sent} sent, {processed} processed, \
+                 {} clients)",
+                sent - processed,
+                ctx.n_clients
+            ));
+        }
+        if !ctx.budget_exhausted && processed == 0 {
+            return Err("a clean full-horizon run processed zero updates".to_string());
+        }
+        Ok(())
+    }
+}

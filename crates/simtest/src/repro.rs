@@ -1,0 +1,83 @@
+//! Self-contained reproducer files.
+//!
+//! A failing (already-shrunk) scenario is written as `repro_<seed>.ron`:
+//! a `//`-comment header describing the violation, how to replay it, and a
+//! ready-to-paste failing test, followed by the scenario RON itself. The
+//! RON parser skips comment lines, so the annotated file feeds straight
+//! back into [`SimScenario::from_ron`] — see [`load_repro`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::harness::Violation;
+use crate::scenario::SimScenario;
+
+/// Writes `repro_<seed>.ron` into `dir` (created if missing); returns the
+/// path.
+pub fn write_repro(dir: &Path, sc: &SimScenario, violation: &Violation) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro_{}.ron", sc.seed));
+    fs::write(&path, render(sc, violation))?;
+    Ok(path)
+}
+
+/// Parses a reproducer (or any scenario RON) back into a [`SimScenario`].
+pub fn load_repro(path: &Path) -> io::Result<SimScenario> {
+    let text = fs::read_to_string(path)?;
+    SimScenario::from_ron(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
+}
+
+fn render(sc: &SimScenario, v: &Violation) -> String {
+    format!(
+        "// spyker-simtest reproducer (seed {seed}, shrunk)\n\
+         // oracle:    {oracle}\n\
+         // violation: {message}\n\
+         // at:        {time} (event #{events})\n\
+         //\n\
+         // Replay:\n\
+         //   cargo run -p spyker-simtest --bin simtest -- --replay <this file>\n\
+         //\n\
+         // Or as a test:\n\
+         //   #[test]\n\
+         //   fn repro_{seed}() {{\n\
+         //       let sc = spyker_simtest::SimScenario::from_ron(\n\
+         //           include_str!(\"repro_{seed}.ron\")).unwrap();\n\
+         //       let outcome = spyker_simtest::run_scenario(&sc, 1_000_000);\n\
+         //       assert!(!outcome.is_violated(), \"{{:?}}\", outcome);\n\
+         //   }}\n\
+         {ron}",
+        seed = sc.seed,
+        oracle = v.oracle,
+        message = v.message,
+        time = v.time,
+        events = v.events,
+        ron = sc.to_ron(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spyker_simnet::SimTime;
+
+    #[test]
+    fn repro_files_round_trip() {
+        let dir = std::env::temp_dir().join("spyker-simtest-repro-test");
+        let sc = SimScenario::generate(42);
+        let v = Violation {
+            oracle: "token-uniqueness",
+            message: "2 servers hold a token".to_string(),
+            time: SimTime::from_secs(3),
+            events: 1234,
+        };
+        let path = write_repro(&dir, &sc, &v).unwrap();
+        assert_eq!(load_repro(&path).unwrap(), sc);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

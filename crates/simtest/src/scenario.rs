@@ -1,0 +1,972 @@
+//! Seed-reproducible random scenarios and their RON serialization.
+//!
+//! A [`SimScenario`] is the *complete* description of one simulation run:
+//! topology, latency model, protocol knobs, client targets/delays, the
+//! fault schedule, and an optional test-only violation injection. It is a
+//! plain data struct so the shrinker can mutate it field by field, and it
+//! round-trips through a hand-rolled RON serializer (the build has no
+//! registry access, so no serde) — `repro_<seed>.ron` files are
+//! self-contained and replayable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spyker_core::agg::AggregationStrategy;
+use spyker_core::agg::ValidationConfig;
+use spyker_core::config::{RecoveryConfig, SpykerConfig};
+use spyker_core::deploy::{even_assignment, spyker_deployment_assigned, SpykerDeploymentSpec};
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_simnet::fault::{ByzantineAttack, CrashEvent, PartitionWindow, ScriptedDrop};
+use spyker_simnet::{FaultPlan, NetworkConfig, NodeId, Region, SimTime, Simulation};
+
+/// A deliberate, test-only invariant violation injected mid-run.
+///
+/// Injections are part of the scenario so a shrunk reproducer still
+/// reproduces: the harness replays them at the same virtual time on every
+/// run. They exist to prove the oracles *catch* what they claim to catch —
+/// never to model real behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Injection {
+    /// At virtual time `at`, hand server `server` a forged token (via
+    /// `SpykerServer::debug_force_token`), duplicating the ring token.
+    DuplicateToken {
+        /// When to inject.
+        at: SimTime,
+        /// Which server (ring index) receives the forged token.
+        server: usize,
+    },
+}
+
+/// One fully-specified randomized scenario, generated from a single seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimScenario {
+    /// The generating seed (also seeds the simulation's jitter/fault RNGs).
+    pub seed: u64,
+    /// Number of Spyker servers (node ids `0..n_servers`).
+    pub n_servers: usize,
+    /// Number of clients (node ids `n_servers..n_servers + n_clients`).
+    pub n_clients: usize,
+    /// Model dimension of the linear (mean-target) task.
+    pub dim: usize,
+    /// Virtual-time budget of the run.
+    pub horizon: SimTime,
+    /// `Some(ms)` for a uniform all-pairs latency, `None` for the AWS
+    /// inter-region matrix (paper Tab. 4).
+    pub uniform_latency_ms: Option<u64>,
+    /// Max link jitter in milliseconds (0 disables the jitter RNG draw).
+    pub jitter_ms: u64,
+    /// Inter-server sync threshold `h_inter`.
+    pub h_inter: f64,
+    /// Intra-server gossip threshold `h_intra`.
+    pub h_intra: f64,
+    /// Age-gossip backoff (updates between gossip rounds).
+    pub gossip_backoff: u64,
+    /// Whether the self-healing recovery protocol is enabled.
+    pub recovery: bool,
+    /// Server-side aggregation strategy.
+    pub aggregation: AggregationStrategy,
+    /// Optional L2 delta-norm validation gate.
+    pub max_delta_norm: Option<f32>,
+    /// Per-client local training delay in milliseconds.
+    pub train_delay_ms: Vec<u64>,
+    /// Per-client scalar target (the client's trainer pulls every
+    /// coordinate toward this value).
+    pub targets: Vec<f32>,
+    /// The fault schedule.
+    pub faults: FaultPlan,
+    /// Optional test-only violation injection.
+    pub inject: Option<Injection>,
+}
+
+impl SimScenario {
+    /// Expands `seed` into a full random scenario, deterministically: the
+    /// same seed always yields the same scenario, byte for byte.
+    pub fn generate(seed: u64) -> Self {
+        // Decorrelate from the simulation's own RNG streams (which are
+        // seeded from `seed ^ <other constants>` inside simnet).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n_servers = rng.gen_range(1..=4usize);
+        let n_clients = rng.gen_range(n_servers..=(3 * n_servers).min(12));
+        let dim = rng.gen_range(2..=6usize);
+        let horizon = SimTime::from_secs(rng.gen_range(8..=20u64));
+        let uniform_latency_ms = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(5..=80u64))
+        } else {
+            None
+        };
+        let jitter_ms = if rng.gen_bool(0.5) {
+            rng.gen_range(1..=20u64)
+        } else {
+            0
+        };
+        let h_inter = rng.gen_range(1..=5u32) as f64;
+        let h_intra = rng.gen_range(1..=50u32) as f64;
+        let gossip_backoff = rng.gen_range(1..=4u64);
+        let aggregation = match rng.gen_range(0..10u32) {
+            0 => AggregationStrategy::TrimmedMean {
+                batch: rng.gen_range(2..=4usize),
+                trim_ratio: 0.25,
+            },
+            1 => AggregationStrategy::Median {
+                batch: rng.gen_range(2..=4usize),
+            },
+            2 => AggregationStrategy::ClippedMean {
+                batch: rng.gen_range(2..=4usize),
+                max_norm: rng.gen_range(2.0..=10.0f32),
+            },
+            _ => AggregationStrategy::Mean,
+        };
+        // Honest deltas live inside the target hull (diameter ~2·√dim), so
+        // a gate at ≥ 10 never fires on an honest run.
+        let max_delta_norm = if rng.gen_bool(0.3) {
+            Some(rng.gen_range(10.0..=50.0f32))
+        } else {
+            None
+        };
+        let train_delay_ms = (0..n_clients).map(|_| rng.gen_range(50..=500u64)).collect();
+        let targets = (0..n_clients)
+            .map(|_| rng.gen_range(-1.0..=1.0f32))
+            .collect();
+        let (faults, recovery) = Self::generate_faults(&mut rng, n_servers, n_clients, horizon);
+        Self {
+            seed,
+            n_servers,
+            n_clients,
+            dim,
+            horizon,
+            uniform_latency_ms,
+            jitter_ms,
+            h_inter,
+            h_intra,
+            gossip_backoff,
+            recovery,
+            aggregation,
+            max_delta_norm,
+            train_delay_ms,
+            targets,
+            faults,
+            inject: None,
+        }
+    }
+
+    /// Draws the fault schedule; returns it with the recovery decision
+    /// (recovery is forced on whenever a fault can silence a server,
+    /// because without it a dead token holder legitimately stalls the
+    /// ring — that is the documented non-recovery behaviour, not a bug).
+    fn generate_faults(
+        rng: &mut StdRng,
+        n_servers: usize,
+        n_clients: usize,
+        horizon: SimTime,
+    ) -> (FaultPlan, bool) {
+        let mut plan = FaultPlan::none();
+        let mut servers_at_risk = false;
+        if rng.gen_bool(0.4) {
+            // Clean scenario: the stricter invariants apply.
+            return (plan, rng.gen_bool(0.3));
+        }
+        let horizon_us = horizon.as_micros();
+        let window = |rng: &mut StdRng| {
+            let start = rng.gen_range(0..horizon_us / 2);
+            let end = rng.gen_range(start + 1..=horizon_us);
+            (SimTime::from_micros(start), SimTime::from_micros(end))
+        };
+        for _ in 0..rng.gen_range(1..=3u32) {
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    plan.loss_prob = rng.gen_range(0.01..0.10f64);
+                    servers_at_risk = true;
+                }
+                1 => {
+                    let a = Region::ALL[rng.gen_range(0..4usize)];
+                    let b = Region::ALL[rng.gen_range(0..4usize)];
+                    let (start, end) = window(rng);
+                    plan = plan.partition(a, b, start, end);
+                    servers_at_risk = true;
+                }
+                2 => {
+                    // Server crash with restart.
+                    let node = rng.gen_range(0..n_servers);
+                    let (at, restart) = window(rng);
+                    plan = plan.crash(node, at, Some(restart));
+                    servers_at_risk = true;
+                }
+                3 => {
+                    // Client churn (leave + rejoin).
+                    let node = n_servers + rng.gen_range(0..n_clients);
+                    let (leave, rejoin) = window(rng);
+                    plan = plan.churn(node, leave, rejoin);
+                }
+                _ => {
+                    let node = n_servers + rng.gen_range(0..n_clients);
+                    let attack = match rng.gen_range(0..4u32) {
+                        0 => ByzantineAttack::SignFlip,
+                        1 => ByzantineAttack::Scale {
+                            factor: rng.gen_range(2.0..=20.0f32),
+                        },
+                        2 => ByzantineAttack::GaussianNoise {
+                            sigma: rng.gen_range(0.1..=2.0f32),
+                        },
+                        _ => ByzantineAttack::NanInject {
+                            prob: rng.gen_range(0.05..=0.5f64),
+                        },
+                    };
+                    plan = plan.byzantine(node, attack);
+                }
+            }
+        }
+        let recovery = servers_at_risk || rng.gen_bool(0.3);
+        (plan, recovery)
+    }
+
+    /// The protocol configuration this scenario runs with.
+    pub fn config(&self) -> SpykerConfig {
+        let mut cfg = SpykerConfig::paper_defaults(self.n_clients, self.n_servers)
+            .with_thresholds(self.h_inter, self.h_intra)
+            .with_aggregation(self.aggregation)
+            .with_validation(ValidationConfig {
+                reject_nonfinite: true,
+                max_delta_norm: self.max_delta_norm,
+                max_staleness: None,
+            });
+        cfg.gossip_backoff = self.gossip_backoff;
+        if self.recovery {
+            cfg = cfg.with_recovery(RecoveryConfig::default());
+        }
+        cfg
+    }
+
+    /// The network model this scenario runs on.
+    pub fn net(&self) -> NetworkConfig {
+        let net = match self.uniform_latency_ms {
+            Some(ms) => NetworkConfig::uniform_all(SimTime::from_millis(ms)),
+            None => NetworkConfig::aws(),
+        };
+        if self.jitter_ms > 0 {
+            net.with_jitter(SimTime::from_millis(self.jitter_ms))
+        } else {
+            net
+        }
+    }
+
+    /// Builds the ready-to-run simulation (faults attached): servers at
+    /// node ids `0..n_servers`, clients following, split evenly.
+    pub fn build(&self) -> Simulation<FlMsg> {
+        let trainers: Vec<Box<dyn LocalTrainer>> = self
+            .targets
+            .iter()
+            .map(|&t| {
+                Box::new(MeanTargetTrainer::new(vec![t; self.dim], 8)) as Box<dyn LocalTrainer>
+            })
+            .collect();
+        let spec = SpykerDeploymentSpec {
+            config: self.config(),
+            trainers,
+            num_servers: self.n_servers,
+            init_params: ParamVec::zeros(self.dim),
+            train_delay: self
+                .train_delay_ms
+                .iter()
+                .map(|&ms| SimTime::from_millis(ms))
+                .collect(),
+        };
+        let assignment = even_assignment(self.n_clients, self.n_servers);
+        spyker_deployment_assigned(self.net(), self.seed, assignment, spec)
+            .with_faults(self.faults.clone())
+    }
+
+    /// Number of individual faults in the plan (each loss rule, drop,
+    /// partition, crash and Byzantine client counts as one).
+    pub fn fault_count(&self) -> usize {
+        usize::from(self.faults.loss_prob > 0.0)
+            + self.faults.link_loss.len()
+            + self.faults.drops.len()
+            + self.faults.partitions.len()
+            + self.faults.crashes.len()
+            + self.faults.byzantine.len()
+    }
+
+    /// Scenario "size" for shrinking: nodes + weighted faults + horizon
+    /// seconds. The shrinker minimizes this; the acceptance bar is a
+    /// reproducer at ≤ half the original size.
+    pub fn size(&self) -> u64 {
+        (self.n_servers + self.n_clients) as u64
+            + 2 * self.fault_count() as u64
+            + self.horizon.as_micros() / 1_000_000
+    }
+
+    /// `true` when a fault references node id `node` directly (region
+    /// partitions and global loss are node-agnostic).
+    pub fn fault_references_node(&self, node: NodeId) -> bool {
+        self.faults
+            .link_loss
+            .iter()
+            .any(|&(f, t, _)| f == node || t == node)
+            || self.faults.drops.iter().any(|d| match d {
+                ScriptedDrop::NthOnLink { from, to, .. }
+                | ScriptedDrop::LinkWindow { from, to, .. } => *from == node || *to == node,
+            })
+            || self.faults.crashes.iter().any(|c| c.node == node)
+            || self.faults.byzantine.iter().any(|b| b.node == node)
+    }
+
+    /// `true` when any fault references *any* node id (shrinking the node
+    /// count renumbers clients, so it is only attempted when this is
+    /// false).
+    pub fn faults_reference_nodes(&self) -> bool {
+        !self.faults.link_loss.is_empty()
+            || !self.faults.drops.is_empty()
+            || !self.faults.crashes.is_empty()
+            || !self.faults.byzantine.is_empty()
+    }
+
+    /// Serializes the scenario as RON (round-trips through
+    /// [`SimScenario::from_ron`]).
+    pub fn to_ron(&self) -> String {
+        let mut s = String::new();
+        let p = &mut s;
+        emit(p, "(\n");
+        emit(p, &format!("    seed: {},\n", self.seed));
+        emit(p, &format!("    n_servers: {},\n", self.n_servers));
+        emit(p, &format!("    n_clients: {},\n", self.n_clients));
+        emit(p, &format!("    dim: {},\n", self.dim));
+        emit(
+            p,
+            &format!("    horizon_us: {},\n", self.horizon.as_micros()),
+        );
+        let lat = match self.uniform_latency_ms {
+            Some(ms) => format!("Some({ms})"),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    uniform_latency_ms: {lat},\n"));
+        emit(p, &format!("    jitter_ms: {},\n", self.jitter_ms));
+        emit(p, &format!("    h_inter: {:?},\n", self.h_inter));
+        emit(p, &format!("    h_intra: {:?},\n", self.h_intra));
+        emit(
+            p,
+            &format!("    gossip_backoff: {},\n", self.gossip_backoff),
+        );
+        emit(p, &format!("    recovery: {},\n", self.recovery));
+        emit(
+            p,
+            &format!("    aggregation: {},\n", agg_ron(&self.aggregation)),
+        );
+        let norm = match self.max_delta_norm {
+            Some(v) => format!("Some({v:?})"),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    max_delta_norm: {norm},\n"));
+        emit(
+            p,
+            &format!("    train_delay_ms: {:?},\n", self.train_delay_ms),
+        );
+        let targets: Vec<String> = self.targets.iter().map(|t| format!("{t:?}")).collect();
+        emit(p, &format!("    targets: [{}],\n", targets.join(", ")));
+        emit(p, "    faults: (\n");
+        emit(
+            p,
+            &format!("        loss_prob: {:?},\n", self.faults.loss_prob),
+        );
+        let links: Vec<String> = self
+            .faults
+            .link_loss
+            .iter()
+            .map(|&(f, t, pr)| format!("(from: {f}, to: {t}, p: {pr:?})"))
+            .collect();
+        emit(p, &format!("        link_loss: [{}],\n", links.join(", ")));
+        let drops: Vec<String> = self
+            .faults
+            .drops
+            .iter()
+            .map(|d| match d {
+                ScriptedDrop::NthOnLink { from, to, nth } => {
+                    format!("NthOnLink(from: {from}, to: {to}, nth: {nth})")
+                }
+                ScriptedDrop::LinkWindow {
+                    from,
+                    to,
+                    start,
+                    end,
+                } => format!(
+                    "LinkWindow(from: {from}, to: {to}, start_us: {}, end_us: {})",
+                    start.as_micros(),
+                    end.as_micros()
+                ),
+            })
+            .collect();
+        emit(p, &format!("        drops: [{}],\n", drops.join(", ")));
+        let parts: Vec<String> = self
+            .faults
+            .partitions
+            .iter()
+            .map(|w| {
+                format!(
+                    "(a: {}, b: {}, start_us: {}, end_us: {})",
+                    w.a.name(),
+                    w.b.name(),
+                    w.start.as_micros(),
+                    w.end.as_micros()
+                )
+            })
+            .collect();
+        emit(p, &format!("        partitions: [{}],\n", parts.join(", ")));
+        let crashes: Vec<String> = self
+            .faults
+            .crashes
+            .iter()
+            .map(|c| {
+                let restart = match c.restart {
+                    Some(t) => format!("Some({})", t.as_micros()),
+                    None => "None".to_string(),
+                };
+                format!(
+                    "(node: {}, at_us: {}, restart_us: {restart})",
+                    c.node,
+                    c.at.as_micros()
+                )
+            })
+            .collect();
+        emit(p, &format!("        crashes: [{}],\n", crashes.join(", ")));
+        let byz: Vec<String> = self
+            .faults
+            .byzantine
+            .iter()
+            .map(|b| format!("(node: {}, attack: {})", b.node, attack_ron(&b.attack)))
+            .collect();
+        emit(p, &format!("        byzantine: [{}],\n", byz.join(", ")));
+        emit(p, "    ),\n");
+        let inject = match &self.inject {
+            Some(Injection::DuplicateToken { at, server }) => format!(
+                "Some(DuplicateToken(at_us: {}, server: {server}))",
+                at.as_micros()
+            ),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    inject: {inject},\n"));
+        emit(p, ")\n");
+        s
+    }
+
+    /// Parses a scenario back from [`SimScenario::to_ron`] output.
+    /// `//`-comment lines are skipped, so annotated repro files parse
+    /// directly.
+    pub fn from_ron(text: &str) -> Result<Self, String> {
+        Parser::new(text).scenario()
+    }
+}
+
+fn emit(out: &mut String, piece: &str) {
+    out.push_str(piece);
+}
+
+fn agg_ron(agg: &AggregationStrategy) -> String {
+    match agg {
+        AggregationStrategy::Mean => "Mean".to_string(),
+        AggregationStrategy::TrimmedMean { batch, trim_ratio } => {
+            format!("TrimmedMean(batch: {batch}, trim_ratio: {trim_ratio:?})")
+        }
+        AggregationStrategy::Median { batch } => format!("Median(batch: {batch})"),
+        AggregationStrategy::ClippedMean { batch, max_norm } => {
+            format!("ClippedMean(batch: {batch}, max_norm: {max_norm:?})")
+        }
+    }
+}
+
+fn attack_ron(attack: &ByzantineAttack) -> String {
+    match attack {
+        ByzantineAttack::SignFlip => "SignFlip".to_string(),
+        ByzantineAttack::Scale { factor } => format!("Scale(factor: {factor:?})"),
+        ByzantineAttack::GaussianNoise { sigma } => format!("GaussianNoise(sigma: {sigma:?})"),
+        ByzantineAttack::NanInject { prob } => format!("NanInject(prob: {prob:?})"),
+    }
+}
+
+/// Minimal recursive-descent parser for the exact RON dialect
+/// [`SimScenario::to_ron`] emits.
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let rest = &self.text[self.pos..];
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if trimmed.starts_with("//") {
+                match trimmed.find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.text[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{token}` at …{}",
+                &self.text[self.pos..self.text.len().min(self.pos + 40)]
+            ))
+        }
+    }
+
+    fn peek(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        self.text[self.pos..].starts_with(token)
+    }
+
+    /// Consumes an identifier (letters, digits, `_`).
+    fn ident(&mut self) -> Result<&'a str, String> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_')
+            .count();
+        if len == 0 {
+            return Err(format!(
+                "expected identifier at …{}",
+                &rest[..rest.len().min(40)]
+            ));
+        }
+        self.pos += len;
+        Ok(&rest[..len])
+    }
+
+    /// Consumes a number token (also handles `-`, `.`, exponents, `inf`,
+    /// `NaN`) and parses it as `T`.
+    fn number<T: std::str::FromStr>(&mut self) -> Result<T, String> {
+        self.skip_ws();
+        let rest = &self.text[self.pos..];
+        let len = rest
+            .char_indices()
+            .take_while(|(_, c)| c.is_ascii_alphanumeric() || matches!(c, '-' | '+' | '.'))
+            .count();
+        let tok = &rest[..len];
+        self.pos += len;
+        tok.parse::<T>().map_err(|_| format!("bad number `{tok}`"))
+    }
+
+    /// `field_name: ` prefix.
+    fn field(&mut self, name: &str) -> Result<(), String> {
+        self.expect(name)?;
+        self.expect(":")
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        if self.peek("None") {
+            self.expect("None")?;
+            Ok(None)
+        } else {
+            self.expect("Some(")?;
+            let v = self.number::<u64>()?;
+            self.expect(")")?;
+            Ok(Some(v))
+        }
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        if self.peek("true") {
+            self.expect("true")?;
+            Ok(true)
+        } else {
+            self.expect("false")?;
+            Ok(false)
+        }
+    }
+
+    /// `[v, v, …]` of numbers.
+    fn num_list<T: std::str::FromStr>(&mut self) -> Result<Vec<T>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        while !self.peek("]") {
+            out.push(self.number::<T>()?);
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        Ok(out)
+    }
+
+    fn region(&mut self) -> Result<Region, String> {
+        let name = self.ident()?;
+        Region::ALL
+            .iter()
+            .copied()
+            .find(|r| r.name() == name)
+            .ok_or_else(|| format!("unknown region `{name}`"))
+    }
+
+    fn aggregation(&mut self) -> Result<AggregationStrategy, String> {
+        let variant = self.ident()?;
+        match variant {
+            "Mean" => Ok(AggregationStrategy::Mean),
+            "TrimmedMean" => {
+                self.expect("(")?;
+                self.field("batch")?;
+                let batch = self.number::<usize>()?;
+                self.expect(",")?;
+                self.field("trim_ratio")?;
+                let trim_ratio = self.number::<f32>()?;
+                self.expect(")")?;
+                Ok(AggregationStrategy::TrimmedMean { batch, trim_ratio })
+            }
+            "Median" => {
+                self.expect("(")?;
+                self.field("batch")?;
+                let batch = self.number::<usize>()?;
+                self.expect(")")?;
+                Ok(AggregationStrategy::Median { batch })
+            }
+            "ClippedMean" => {
+                self.expect("(")?;
+                self.field("batch")?;
+                let batch = self.number::<usize>()?;
+                self.expect(",")?;
+                self.field("max_norm")?;
+                let max_norm = self.number::<f32>()?;
+                self.expect(")")?;
+                Ok(AggregationStrategy::ClippedMean { batch, max_norm })
+            }
+            other => Err(format!("unknown aggregation `{other}`")),
+        }
+    }
+
+    fn attack(&mut self) -> Result<ByzantineAttack, String> {
+        let variant = self.ident()?;
+        match variant {
+            "SignFlip" => Ok(ByzantineAttack::SignFlip),
+            "Scale" => {
+                self.expect("(")?;
+                self.field("factor")?;
+                let factor = self.number::<f32>()?;
+                self.expect(")")?;
+                Ok(ByzantineAttack::Scale { factor })
+            }
+            "GaussianNoise" => {
+                self.expect("(")?;
+                self.field("sigma")?;
+                let sigma = self.number::<f32>()?;
+                self.expect(")")?;
+                Ok(ByzantineAttack::GaussianNoise { sigma })
+            }
+            "NanInject" => {
+                self.expect("(")?;
+                self.field("prob")?;
+                let prob = self.number::<f64>()?;
+                self.expect(")")?;
+                Ok(ByzantineAttack::NanInject { prob })
+            }
+            other => Err(format!("unknown attack `{other}`")),
+        }
+    }
+
+    fn faults(&mut self) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        self.expect("(")?;
+        self.field("loss_prob")?;
+        plan.loss_prob = self.number::<f64>()?;
+        self.expect(",")?;
+        self.field("link_loss")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            self.expect("(")?;
+            self.field("from")?;
+            let from = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("to")?;
+            let to = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("p")?;
+            let p = self.number::<f64>()?;
+            self.expect(")")?;
+            plan.link_loss.push((from, to, p));
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.field("drops")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            let variant = self.ident()?;
+            self.expect("(")?;
+            self.field("from")?;
+            let from = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("to")?;
+            let to = self.number::<usize>()?;
+            self.expect(",")?;
+            let drop = match variant {
+                "NthOnLink" => {
+                    self.field("nth")?;
+                    let nth = self.number::<u64>()?;
+                    ScriptedDrop::NthOnLink { from, to, nth }
+                }
+                "LinkWindow" => {
+                    self.field("start_us")?;
+                    let start = SimTime::from_micros(self.number::<u64>()?);
+                    self.expect(",")?;
+                    self.field("end_us")?;
+                    let end = SimTime::from_micros(self.number::<u64>()?);
+                    ScriptedDrop::LinkWindow {
+                        from,
+                        to,
+                        start,
+                        end,
+                    }
+                }
+                other => return Err(format!("unknown drop `{other}`")),
+            };
+            self.expect(")")?;
+            plan.drops.push(drop);
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.field("partitions")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            self.expect("(")?;
+            self.field("a")?;
+            let a = self.region()?;
+            self.expect(",")?;
+            self.field("b")?;
+            let b = self.region()?;
+            self.expect(",")?;
+            self.field("start_us")?;
+            let start = SimTime::from_micros(self.number::<u64>()?);
+            self.expect(",")?;
+            self.field("end_us")?;
+            let end = SimTime::from_micros(self.number::<u64>()?);
+            self.expect(")")?;
+            plan.partitions.push(PartitionWindow { a, b, start, end });
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.field("crashes")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            self.expect("(")?;
+            self.field("node")?;
+            let node = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("at_us")?;
+            let at = SimTime::from_micros(self.number::<u64>()?);
+            self.expect(",")?;
+            self.field("restart_us")?;
+            let restart = self.opt_u64()?.map(SimTime::from_micros);
+            self.expect(")")?;
+            plan.crashes.push(CrashEvent { node, at, restart });
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.field("byzantine")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            self.expect("(")?;
+            self.field("node")?;
+            let node = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("attack")?;
+            let attack = self.attack()?;
+            self.expect(")")?;
+            plan = plan.byzantine(node, attack);
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.expect(")")?;
+        Ok(plan)
+    }
+
+    fn injection(&mut self) -> Result<Option<Injection>, String> {
+        if self.peek("None") {
+            self.expect("None")?;
+            return Ok(None);
+        }
+        self.expect("Some(")?;
+        self.expect("DuplicateToken")?;
+        self.expect("(")?;
+        self.field("at_us")?;
+        let at = SimTime::from_micros(self.number::<u64>()?);
+        self.expect(",")?;
+        self.field("server")?;
+        let server = self.number::<usize>()?;
+        self.expect(")")?;
+        self.expect(")")?;
+        Ok(Some(Injection::DuplicateToken { at, server }))
+    }
+
+    fn scenario(&mut self) -> Result<SimScenario, String> {
+        self.expect("(")?;
+        self.field("seed")?;
+        let seed = self.number::<u64>()?;
+        self.expect(",")?;
+        self.field("n_servers")?;
+        let n_servers = self.number::<usize>()?;
+        self.expect(",")?;
+        self.field("n_clients")?;
+        let n_clients = self.number::<usize>()?;
+        self.expect(",")?;
+        self.field("dim")?;
+        let dim = self.number::<usize>()?;
+        self.expect(",")?;
+        self.field("horizon_us")?;
+        let horizon = SimTime::from_micros(self.number::<u64>()?);
+        self.expect(",")?;
+        self.field("uniform_latency_ms")?;
+        let uniform_latency_ms = self.opt_u64()?;
+        self.expect(",")?;
+        self.field("jitter_ms")?;
+        let jitter_ms = self.number::<u64>()?;
+        self.expect(",")?;
+        self.field("h_inter")?;
+        let h_inter = self.number::<f64>()?;
+        self.expect(",")?;
+        self.field("h_intra")?;
+        let h_intra = self.number::<f64>()?;
+        self.expect(",")?;
+        self.field("gossip_backoff")?;
+        let gossip_backoff = self.number::<u64>()?;
+        self.expect(",")?;
+        self.field("recovery")?;
+        let recovery = self.bool()?;
+        self.expect(",")?;
+        self.field("aggregation")?;
+        let aggregation = self.aggregation()?;
+        self.expect(",")?;
+        self.field("max_delta_norm")?;
+        let max_delta_norm = if self.peek("None") {
+            self.expect("None")?;
+            None
+        } else {
+            self.expect("Some(")?;
+            let v = self.number::<f32>()?;
+            self.expect(")")?;
+            Some(v)
+        };
+        self.expect(",")?;
+        self.field("train_delay_ms")?;
+        let train_delay_ms = self.num_list::<u64>()?;
+        self.expect(",")?;
+        self.field("targets")?;
+        let targets = self.num_list::<f32>()?;
+        self.expect(",")?;
+        self.field("faults")?;
+        let faults = self.faults()?;
+        self.expect(",")?;
+        self.field("inject")?;
+        let inject = self.injection()?;
+        self.expect(",")?;
+        self.expect(")")?;
+        Ok(SimScenario {
+            seed,
+            n_servers,
+            n_clients,
+            dim,
+            horizon,
+            uniform_latency_ms,
+            jitter_ms,
+            h_inter,
+            h_intra,
+            gossip_backoff,
+            recovery,
+            aggregation,
+            max_delta_norm,
+            train_delay_ms,
+            targets,
+            faults,
+            inject,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            assert_eq!(SimScenario::generate(seed), SimScenario::generate(seed));
+        }
+        assert_ne!(SimScenario::generate(1), SimScenario::generate(2));
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        for seed in 0..64 {
+            let s = SimScenario::generate(seed);
+            assert!(s.n_servers >= 1 && s.n_servers <= 4, "seed {seed}");
+            assert!(s.n_clients >= s.n_servers, "seed {seed}");
+            assert_eq!(s.train_delay_ms.len(), s.n_clients);
+            assert_eq!(s.targets.len(), s.n_clients);
+            assert!(s.horizon >= SimTime::from_secs(8));
+            // Every referenced node must exist.
+            let n = s.n_servers + s.n_clients;
+            for c in &s.faults.crashes {
+                assert!(c.node < n, "seed {seed}: crash of unknown node");
+            }
+            for b in &s.faults.byzantine {
+                assert!(b.node < n, "seed {seed}: byzantine unknown node");
+            }
+        }
+    }
+
+    #[test]
+    fn ron_round_trips_every_generated_scenario() {
+        for seed in 0..128 {
+            let mut s = SimScenario::generate(seed);
+            if seed % 3 == 0 {
+                s.inject = Some(Injection::DuplicateToken {
+                    at: SimTime::from_secs(3),
+                    server: 0,
+                });
+            }
+            let ron = s.to_ron();
+            let back = SimScenario::from_ron(&ron)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{ron}"));
+            assert_eq!(back, s, "seed {seed} did not round-trip\n{ron}");
+        }
+    }
+
+    #[test]
+    fn ron_parser_skips_comment_lines() {
+        let s = SimScenario::generate(5);
+        let annotated = format!("// a repro header\n// more\n{}", s.to_ron());
+        assert_eq!(SimScenario::from_ron(&annotated).unwrap(), s);
+    }
+
+    #[test]
+    fn build_produces_the_right_topology() {
+        let s = SimScenario::generate(3);
+        let sim = s.build();
+        assert_eq!(sim.num_nodes(), s.n_servers + s.n_clients);
+    }
+}

@@ -1,0 +1,202 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a scenario that violates an oracle, [`shrink`] searches for a
+//! smaller scenario that *still* violates one, by repeatedly trying a
+//! fixed list of simplifications (drop a fault, remove a node, halve the
+//! horizon, …) and keeping each one that preserves the failure. The search
+//! restarts from the top of the candidate list after every accepted step
+//! and stops at a fixpoint, so the result is minimal with respect to the
+//! candidate moves — every further single simplification makes the
+//! violation disappear.
+//!
+//! Each candidate is evaluated by a full deterministic re-run, so the
+//! shrunk scenario's violation is *witnessed*, not assumed. Shrinking a
+//! typical failure re-runs the simulation a few dozen times.
+
+use spyker_simnet::SimTime;
+
+use crate::harness::run_scenario;
+use crate::scenario::{Injection, SimScenario};
+
+/// A single candidate simplification: returns the mutated scenario, or
+/// `None` when the move does not apply.
+type Move = fn(&SimScenario) -> Option<SimScenario>;
+
+/// The candidate moves, most-impactful first. Node removals renumber
+/// nothing: only the *last* client (highest node id) or the *last* server
+/// is dropped, and only when no fault or injection references it.
+const MOVES: &[Move] = &[
+    zero_loss,
+    drop_link_loss,
+    drop_scripted,
+    drop_partition,
+    drop_crash,
+    drop_byzantine,
+    drop_client,
+    drop_server,
+    halve_horizon,
+    halve_injection_time,
+    zero_jitter,
+];
+
+fn zero_loss(sc: &SimScenario) -> Option<SimScenario> {
+    (sc.faults.loss_prob > 0.0).then(|| {
+        let mut s = sc.clone();
+        s.faults.loss_prob = 0.0;
+        s
+    })
+}
+
+fn drop_link_loss(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.faults.link_loss.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.faults.link_loss.pop();
+        s
+    })
+}
+
+fn drop_scripted(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.faults.drops.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.faults.drops.pop();
+        s
+    })
+}
+
+fn drop_partition(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.faults.partitions.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.faults.partitions.pop();
+        s
+    })
+}
+
+fn drop_crash(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.faults.crashes.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.faults.crashes.pop();
+        s
+    })
+}
+
+fn drop_byzantine(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.faults.byzantine.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.faults.byzantine.pop();
+        s
+    })
+}
+
+fn drop_client(sc: &SimScenario) -> Option<SimScenario> {
+    if sc.n_clients <= 1 {
+        return None;
+    }
+    let last = sc.n_servers + sc.n_clients - 1;
+    if sc.fault_references_node(last) {
+        return None;
+    }
+    let mut s = sc.clone();
+    s.n_clients -= 1;
+    s.train_delay_ms.pop();
+    s.targets.pop();
+    Some(s)
+}
+
+fn drop_server(sc: &SimScenario) -> Option<SimScenario> {
+    if sc.n_servers <= 1 || sc.faults_reference_nodes() {
+        // Removing a server renumbers every client id, so it is only safe
+        // when no fault pins a node id.
+        return None;
+    }
+    if let Some(Injection::DuplicateToken { server, .. }) = &sc.inject {
+        if *server >= sc.n_servers - 1 {
+            return None;
+        }
+    }
+    let mut s = sc.clone();
+    s.n_servers -= 1;
+    Some(s)
+}
+
+fn halve_horizon(sc: &SimScenario) -> Option<SimScenario> {
+    let half = SimTime::from_micros(sc.horizon.as_micros() / 2);
+    if half < SimTime::from_secs(2) {
+        return None;
+    }
+    let mut s = sc.clone();
+    s.horizon = half;
+    if let Some(Injection::DuplicateToken { at, .. }) = &mut s.inject {
+        if *at > half {
+            *at = SimTime::from_micros(half.as_micros() / 2);
+        }
+    }
+    Some(s)
+}
+
+fn halve_injection_time(sc: &SimScenario) -> Option<SimScenario> {
+    let mut s = sc.clone();
+    match &mut s.inject {
+        Some(Injection::DuplicateToken { at, .. }) if at.as_micros() >= 1_000_000 => {
+            *at = SimTime::from_micros(at.as_micros() / 2);
+            Some(s)
+        }
+        _ => None,
+    }
+}
+
+fn zero_jitter(sc: &SimScenario) -> Option<SimScenario> {
+    (sc.jitter_ms > 0).then(|| {
+        let mut s = sc.clone();
+        s.jitter_ms = 0;
+        s
+    })
+}
+
+/// Shrinks a failing scenario to a smaller one that still fails.
+///
+/// `original` must violate an oracle under `budget_events` (the caller
+/// just observed it do so); the returned scenario is guaranteed to violate
+/// one too — possibly a different oracle, which is fine: any witnessed
+/// violation is a valid reproducer.
+pub fn shrink(original: &SimScenario, budget_events: u64) -> SimScenario {
+    let mut best = original.clone();
+    'restart: loop {
+        for mv in MOVES {
+            if let Some(candidate) = mv(&best) {
+                if run_scenario(&candidate, budget_events).is_violated() {
+                    best = candidate;
+                    continue 'restart;
+                }
+            }
+        }
+        return best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_only_shrink() {
+        // Every applicable move must strictly reduce the size metric (or
+        // hold it equal for pure simplifications like zeroing jitter),
+        // otherwise the shrinker could loop forever.
+        for seed in 0..64 {
+            let mut sc = SimScenario::generate(seed);
+            sc.inject = Some(Injection::DuplicateToken {
+                at: SimTime::from_secs(4),
+                server: 0,
+            });
+            for mv in MOVES {
+                if let Some(c) = mv(&sc) {
+                    assert!(
+                        c.size() <= sc.size(),
+                        "seed {seed}: a move grew the scenario"
+                    );
+                    assert_ne!(c, sc, "seed {seed}: a move was a no-op");
+                }
+            }
+        }
+    }
+}

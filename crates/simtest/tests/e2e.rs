@@ -1,0 +1,102 @@
+//! End-to-end tests for the simulation-test harness: bit-reproducibility,
+//! a bounded clean sweep, budget handling, and the full
+//! inject → catch → shrink → repro pipeline.
+
+use spyker_simnet::SimTime;
+use spyker_simtest::{
+    load_repro, run_scenario, shrink, write_repro, Injection, RunOutcome, SimScenario,
+};
+
+const BUDGET: u64 = 200_000;
+
+fn stats(outcome: RunOutcome) -> spyker_simtest::RunStats {
+    match outcome {
+        RunOutcome::Clean(s) => s,
+        RunOutcome::Violated(v) => panic!("unexpected violation: {v}"),
+    }
+}
+
+#[test]
+fn seeded_run_is_bit_identical() {
+    let sc = SimScenario::generate(7);
+    let a = stats(run_scenario(&sc, BUDGET));
+    let b = stats(run_scenario(&sc, BUDGET));
+    assert_eq!(a, b, "same scenario, different outcome");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert!(a.events > 0);
+}
+
+#[test]
+fn small_sweep_is_clean() {
+    // A prefix of the CI sweep, kept small for `cargo test`: every oracle
+    // must hold on every generated scenario (faulty ones included).
+    for seed in 0..8 {
+        let sc = SimScenario::generate(seed);
+        if let RunOutcome::Violated(v) = run_scenario(&sc, BUDGET) {
+            panic!("seed {seed} ({sc:?}) violated: {v}");
+        }
+    }
+}
+
+#[test]
+fn event_budget_stops_the_run() {
+    let sc = SimScenario::generate(7);
+    let s = stats(run_scenario(&sc, 50));
+    assert!(s.budget_exhausted);
+    assert_eq!(s.events, 50);
+}
+
+/// Finds a scenario whose injected duplicate token is caught: picks a
+/// multi-server scenario and tries each ring position (a server that
+/// already holds the real token at the injection time produces no
+/// acquisition, so at least one of the `n_servers ≥ 2` positions must).
+fn caught_injection() -> (SimScenario, spyker_simtest::Violation) {
+    let sc = (0..64)
+        .map(SimScenario::generate)
+        .find(|s| s.n_servers >= 2 && s.fault_count() > 0)
+        .expect("a multi-server faulty scenario in the first 64 seeds");
+    for server in 0..sc.n_servers {
+        let mut candidate = sc.clone();
+        candidate.inject = Some(Injection::DuplicateToken {
+            at: SimTime::from_micros(candidate.horizon.as_micros() / 2),
+            server,
+        });
+        if let RunOutcome::Violated(v) = run_scenario(&candidate, BUDGET) {
+            return (candidate, v);
+        }
+    }
+    panic!("no ring position caught the duplicate token");
+}
+
+#[test]
+fn injected_duplicate_token_is_caught_and_shrunk() {
+    let (sc, violation) = caught_injection();
+    assert!(
+        violation.oracle == "token-conservation" || violation.oracle == "token-uniqueness",
+        "unexpected oracle: {violation}"
+    );
+
+    // Shrinking must preserve the failure and at least halve the scenario.
+    let small = shrink(&sc, BUDGET);
+    let small_v = match run_scenario(&small, BUDGET) {
+        RunOutcome::Violated(v) => v,
+        RunOutcome::Clean(_) => panic!("shrunk scenario no longer fails"),
+    };
+    assert!(
+        small.size() <= sc.size() / 2,
+        "shrunk size {} vs original {}",
+        small.size(),
+        sc.size()
+    );
+
+    // The reproducer file round-trips and replays to the same violation.
+    let dir = std::env::temp_dir().join("spyker-simtest-e2e");
+    let path = write_repro(&dir, &small, &small_v).unwrap();
+    let loaded = load_repro(&path).unwrap();
+    assert_eq!(loaded, small);
+    match run_scenario(&loaded, BUDGET) {
+        RunOutcome::Violated(v) => assert_eq!(v, small_v),
+        RunOutcome::Clean(_) => panic!("loaded reproducer no longer fails"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

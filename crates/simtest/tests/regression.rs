@@ -1,0 +1,49 @@
+//! Regression reproducers found by the simtest sweep, pinned forever.
+
+use spyker_simtest::{run_scenario, RunOutcome, SimScenario};
+
+/// Found by `simtest --seeds 512` (seed 164, shrunk): a server that
+/// crashed while the ring regenerated tokens could, after restart, accept
+/// a circulating `TokenPass` *while its own exchange was still open*. The
+/// incoming token replaced the held one and bumped the bid, but the server
+/// never broadcast under the new bid — and both exchange completion and
+/// the exchange timeout compare against the *held* bid, so neither ever
+/// fired: the server wedged out of the sync ring holding the token
+/// forever. Fixed by closing the superseded exchange in `on_token`
+/// (`sync.superseded` counts occurrences).
+const SEED_164_SHRUNK: &str = "(
+    seed: 164,
+    n_servers: 4,
+    n_clients: 9,
+    dim: 4,
+    horizon_us: 15000000,
+    uniform_latency_ms: Some(10),
+    jitter_ms: 0,
+    h_inter: 4.0,
+    h_intra: 45.0,
+    gossip_backoff: 4,
+    recovery: true,
+    aggregation: Mean,
+    max_delta_norm: None,
+    train_delay_ms: [226, 344, 220, 270, 166, 153, 327, 173, 246],
+    targets: [-0.012956023, -0.8692913, 0.8578901, -0.24033356, -0.76924, 0.8897176, 0.11898601, -0.39922047, 0.48321736],
+    faults: (
+        loss_prob: 0.0,
+        link_loss: [],
+        drops: [],
+        partitions: [],
+        crashes: [(node: 2, at_us: 2954843, restart_us: Some(11478800))],
+        byzantine: [],
+    ),
+    inject: None,
+)
+";
+
+#[test]
+fn superseded_exchange_does_not_wedge_the_ring() {
+    let sc = SimScenario::from_ron(SEED_164_SHRUNK).unwrap();
+    match run_scenario(&sc, 200_000) {
+        RunOutcome::Clean(stats) => assert!(stats.updates_processed > 0),
+        RunOutcome::Violated(v) => panic!("seed 164 regressed: {v}"),
+    }
+}

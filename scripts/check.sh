@@ -16,3 +16,12 @@ cargo test -q --release --test byzantine
 # §10) and refreshes BENCH_tensor.json at the repo root.
 cargo bench --workspace --offline --no-run
 cargo run -q --release -p spyker-bench --bin bench_smoke BENCH_tensor.json
+
+# Deterministic simulation-test sweep (see DESIGN.md §11): 64 seeded
+# random scenarios under the protocol-invariant oracles. On a violation
+# the failing scenario is shrunk and written to target/simtest/ as a
+# repro_<seed>.ron. Time-capped so a pathological environment cannot hang
+# CI; determinism is per-seed, so a capped sweep still checks an exact
+# prefix of the full one.
+cargo run -q --release -p spyker-simtest --bin simtest -- \
+    --seeds 64 --budget-events 200k --time-cap-secs 120

@@ -1,0 +1,128 @@
+//! Golden-trace determinism test.
+//!
+//! One fixed 2-server/6-client Spyker run is snapshotted — every metric
+//! counter plus the exact bit patterns of each server's model, ages and
+//! ledgers — and byte-compared against the committed golden file. Any
+//! change to the protocol, the simulator's event ordering, its RNG
+//! consumption, or float evaluation order shows up as a diff here before
+//! it shows up as an unexplained experiment delta.
+//!
+//! When a change *intentionally* alters the trace (a protocol fix, a new
+//! counter), regenerate the golden file and commit it alongside the
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use spyker_repro::core::server::SpykerServer;
+use spyker_repro::simnet::SimTime;
+use spyker_simtest::SimScenario;
+
+/// The pinned deployment: AWS latency matrix with jitter (so the jitter
+/// RNG stream is part of what the trace pins), recovery on, plain mean
+/// aggregation. Kept in code (not RON) so the compiler enforces it stays
+/// in sync with the scenario struct.
+fn golden_scenario() -> SimScenario {
+    SimScenario {
+        seed: 7,
+        n_servers: 2,
+        n_clients: 6,
+        dim: 3,
+        horizon: SimTime::from_secs(10),
+        uniform_latency_ms: None,
+        jitter_ms: 5,
+        h_inter: 2.0,
+        h_intra: 10.0,
+        gossip_backoff: 1,
+        recovery: true,
+        aggregation: spyker_repro::core::agg::AggregationStrategy::Mean,
+        max_delta_norm: None,
+        train_delay_ms: vec![100, 150, 200, 250, 300, 350],
+        targets: vec![-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
+        faults: spyker_repro::simnet::FaultPlan::none(),
+        inject: None,
+    }
+}
+
+/// Runs the scenario and renders the full observable end state, bit-exact:
+/// floats as IEEE-754 hex bit patterns, counters in name order.
+fn render_trace() -> String {
+    let sc = golden_scenario();
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    let mut out = String::new();
+    writeln!(out, "# golden trace: 2 servers, 6 clients, seed 7, 10s").unwrap();
+    writeln!(out, "events {}", report.events_processed).unwrap();
+    writeln!(out, "end_time_us {}", report.end_time.as_micros()).unwrap();
+    for (name, value) in sim.metrics().counters() {
+        writeln!(out, "counter {name} {value}").unwrap();
+    }
+    for i in 0..sc.n_servers {
+        let s = sim
+            .node(i)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .expect("server node");
+        let params: Vec<String> = s
+            .params()
+            .as_slice()
+            .iter()
+            .map(|p| format!("{:08x}", p.to_bits()))
+            .collect();
+        let ages: Vec<String> = s
+            .known_ages()
+            .iter()
+            .map(|a| format!("{:016x}", a.to_bits()))
+            .collect();
+        writeln!(
+            out,
+            "server {i} params [{}] age {:016x} ages [{}] processed {} bid {}",
+            params.join(" "),
+            s.age().to_bits(),
+            ages.join(" "),
+            s.processed_updates(),
+            s.highest_bid_seen(),
+        )
+        .unwrap();
+    }
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_2s6c.txt")
+}
+
+#[test]
+fn fixed_seed_run_matches_the_committed_golden_trace() {
+    let trace = render_trace();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &trace).expect("write golden");
+        eprintln!("golden trace regenerated at {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_trace`",
+            path.display()
+        )
+    });
+    assert!(
+        trace == golden,
+        "the fixed-seed trace diverged from the committed golden file.\n\
+         If this change is intentional, regenerate with\n\
+         `UPDATE_GOLDEN=1 cargo test --test golden_trace` and commit the diff.\n\
+         --- golden ---\n{golden}\n--- actual ---\n{trace}"
+    );
+}
+
+#[test]
+fn trace_is_stable_within_one_process() {
+    // Two in-process renders must agree byte for byte — the cheap half of
+    // the determinism claim (the golden file pins it across builds).
+    assert_eq!(render_trace(), render_trace());
+}
