@@ -130,6 +130,7 @@ impl Node<FlMsg> for FedAsyncServer {
             debug_assert!(false, "unexpected message {msg:?}");
             return;
         };
+        env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
         // Validation gate (see `spyker_core::agg`): rejected updates never
         // touch the model, but the client still gets the current model back.
@@ -151,8 +152,10 @@ impl Node<FlMsg> for FedAsyncServer {
                     lr: self.cfg.client_lr,
                 },
             );
+            env.span_exit("server.aggregate");
             return;
         }
+        env.observe("agg.staleness", self.version as f64 - age);
         let tau = (self.version as f64 - age).max(0.0) as f32;
         let s = (1.0 + tau).powf(-self.cfg.alpha);
         if let Some(buf) = &mut self.robust {
@@ -183,6 +186,7 @@ impl Node<FlMsg> for FedAsyncServer {
                 lr: self.cfg.client_lr,
             },
         );
+        env.span_exit("server.aggregate");
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -221,6 +221,7 @@ impl Node<FlMsg> for FedAvgServer {
             return;
         }
         // Round complete: aggregate the accepted updates.
+        env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
         let valid: Vec<(&ParamVec, f64)> = self
             .received
@@ -256,6 +257,7 @@ impl Node<FlMsg> for FedAvgServer {
         // One "round" integrates one update from every accepted client.
         env.add_counter("updates.processed", processed);
         env.add_counter("rounds", 1);
+        env.span_exit("server.aggregate");
         self.broadcast_round(env);
     }
 

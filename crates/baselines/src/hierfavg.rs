@@ -124,6 +124,7 @@ impl Node<FlMsg> for EdgeServer {
                 if self.received.len() < self.clients.len() {
                     return;
                 }
+                env.span_enter("server.aggregate");
                 env.busy(self.cfg.agg_cost);
                 let items: Vec<(&ParamVec, f64)> = self
                     .received
@@ -137,6 +138,7 @@ impl Node<FlMsg> for EdgeServer {
                 self.rounds_since_cloud += 1;
                 env.add_counter("updates.processed", self.clients.len() as u64);
                 env.add_counter("rounds", 1);
+                env.span_exit("server.aggregate");
                 if self.rounds_since_cloud >= self.cfg.edge_rounds_per_cloud {
                     // Upload to the cloud and pause client rounds.
                     self.waiting_for_cloud = true;
@@ -223,12 +225,14 @@ impl Node<FlMsg> for CloudServer {
         if self.received.len() < self.edges.len() {
             return;
         }
+        env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
         let items: Vec<(&ParamVec, f64)> = self.received.values().map(|(p, w)| (p, *w)).collect();
         let global = ParamVec::weighted_mean(&items);
         self.received.clear();
         self.round += 1;
         env.add_counter("cloud.rounds", 1);
+        env.span_exit("server.aggregate");
         for &edge in &self.edges {
             env.send(
                 edge,

@@ -87,6 +87,7 @@ impl Node<FlMsg> for FlClient {
         debug_assert_eq!(from, self.server, "model from unexpected server");
         // Local training: real gradient computation plus the emulated
         // heterogeneous training delay in virtual time.
+        env.span_enter("client.round");
         self.trainer.train(&mut params, lr, self.epochs);
         env.busy(self.train_delay);
         self.updates_sent += 1;
@@ -99,6 +100,7 @@ impl Node<FlMsg> for FlClient {
                 num_samples: self.trainer.num_samples(),
             },
         );
+        env.span_exit("client.round");
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -301,6 +301,7 @@ impl Node<FlMsg> for ClusteredFlClient {
         };
         debug_assert_eq!(from, self.server, "centers from unexpected server");
         debug_assert!(!centers.is_empty(), "no centers offered");
+        env.span_enter("client.round");
         let choice = self.trainer.train_best(&mut centers, lr, self.epochs);
         self.last_choice = Some(choice);
         env.busy(self.train_delay);
@@ -316,6 +317,7 @@ impl Node<FlMsg> for ClusteredFlClient {
                 num_samples: self.trainer.num_samples(),
             },
         );
+        env.span_exit("client.round");
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -450,6 +452,7 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                     return;
                 };
                 debug_assert!(center < self.centers.k(), "bad center index");
+                env.span_enter("server.aggregate");
                 env.busy(self.cfg.agg_cost);
                 // Validation gate (see `crate::agg`): a poisoned update must
                 // not touch any center. The client still gets the offer back
@@ -465,8 +468,10 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                     env.add_counter(reason.counter(), 1);
                     let reply = self.centers_msg(self.client_lr[k]);
                     env.send(from, reply);
+                    env.span_exit("server.aggregate");
                     return;
                 }
+                env.observe("agg.staleness", self.centers.ages()[center] - age);
                 self.assignment[k] = center;
                 let mut w = self.cfg.staleness.weight(self.centers.ages()[center], age);
                 if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
@@ -486,6 +491,7 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 env.add_counter("updates.processed", 1);
                 let reply = self.centers_msg(lr);
                 env.send(from, reply);
+                env.span_exit("server.aggregate");
             }
             FlMsg::ClusterModel {
                 params,

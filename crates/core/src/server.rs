@@ -280,6 +280,7 @@ impl SpykerServer {
             debug_assert!(false, "update from unknown client {from}");
             return;
         };
+        env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
         // Validation gate: a non-finite, norm-exploded, or over-stale
         // update never touches the model. The client still gets the
@@ -304,8 +305,10 @@ impl SpykerServer {
                     lr: self.client_lr[k],
                 },
             );
+            env.span_exit("server.aggregate");
             return;
         }
+        env.observe("agg.staleness", self.age - update_age);
         // l. 14–15: staleness-weighted integration. With decay-weighted
         // aggregation (see SpykerConfig) the weight also shrinks with the
         // learning rate the update was trained at, so decayed clients'
@@ -363,6 +366,7 @@ impl SpykerServer {
         );
         // l. 20.
         self.check_synchronization(env);
+        env.span_exit("server.aggregate");
     }
 
     /// Would `checkSynchronization` fire right now (Alg. 2 l. 22)?
@@ -388,6 +392,7 @@ impl SpykerServer {
                 let bid = token.bid;
                 self.age_prev = self.age;
                 self.ongoing_synchro = true;
+                env.span_enter("server.exchange");
                 self.did_broadcast.insert(bid);
                 self.cnt.insert(bid, 1);
                 self.syncs_triggered += 1;
@@ -466,8 +471,10 @@ impl SpykerServer {
         // of the sync ring holding the token forever.
         if self.ongoing_synchro {
             self.ongoing_synchro = false;
+            env.span_exit("server.exchange");
             env.add_counter("sync.superseded", 1);
         }
+        env.gauge_set("sync.token_holder", self.server_idx as f64);
         self.token = Some(token);
         self.check_synchronization(env);
     }
@@ -543,11 +550,17 @@ impl SpykerServer {
         // log the spurious call and keep serving.
         let Some(mut token) = self.token.take() else {
             env.add_counter("token.forward_spurious", 1);
+            if self.ongoing_synchro {
+                env.span_exit("server.exchange");
+            }
             self.ongoing_synchro = false;
             return;
         };
         token.ages = self.ages.clone();
         env.send(self.ring_next, FlMsg::TokenPass(token));
+        if self.ongoing_synchro {
+            env.span_exit("server.exchange");
+        }
         self.ongoing_synchro = false;
     }
 
@@ -690,6 +703,9 @@ impl Node<FlMsg> for SpykerServer {
         // A pre-crash exchange can no longer complete the normal way — the
         // peers' models were discarded with the inbox — so close it and
         // let the token watchdogs recover the ring.
+        if self.ongoing_synchro {
+            env.span_exit("server.exchange");
+        }
         self.ongoing_synchro = false;
         // If we still hold the token, re-stamp it: peers already broadcast
         // under its old bid and would ignore a re-triggered exchange.

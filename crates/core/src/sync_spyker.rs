@@ -128,6 +128,7 @@ impl SyncSpykerServer {
             debug_assert!(false, "update from unknown client {from}");
             return;
         };
+        env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
         let mut w = self.cfg.staleness.weight(self.age, update_age);
         if self.cfg.decay_weighted_aggregation && self.cfg.decay.eta_init > 0.0 {
@@ -152,10 +153,12 @@ impl SyncSpykerServer {
                 lr,
             },
         );
+        env.span_exit("server.aggregate");
     }
 
     fn start_round(&mut self, env: &mut dyn Env<FlMsg>) {
         self.collecting = true;
+        env.span_enter("server.exchange");
         let round = self.round;
         let params = self.params.clone();
         let age = self.age;
@@ -202,6 +205,7 @@ impl SyncSpykerServer {
             .map(|(_, (_, a))| *a)
             .fold(f64::MIN, f64::max);
         self.collecting = false;
+        env.span_exit("server.exchange");
         self.round += 1;
         self.rounds_completed += 1;
         env.add_counter("server.aggs", n as u64);

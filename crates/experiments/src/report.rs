@@ -109,6 +109,21 @@ pub fn write_series_csv(name: &str, runs: &[RunResult]) -> PathBuf {
     write_text(&results_dir().join(format!("{name}.csv")), &csv)
 }
 
+/// Renders and writes the run report of one finished run — the JSON
+/// document and the human table produced by `spyker_obs::report` — as
+/// `<name>.report.json` and `<name>.report.txt` under [`results_dir`].
+///
+/// Returns the path of the JSON report. Both documents are deterministic
+/// functions of the metrics, so two same-seed runs write identical bytes.
+pub fn write_run_report(name: &str, metrics: &spyker_simnet::Metrics, end: SimTime) -> PathBuf {
+    let registry = metrics.registry();
+    let json = spyker_obs::report::render_json(registry, end.as_micros());
+    let table = spyker_obs::report::render_table(registry, end.as_micros());
+    let dir = results_dir();
+    write_text(&dir.join(format!("{name}.report.txt")), &table);
+    write_text(&dir.join(format!("{name}.report.json")), &json)
+}
+
 /// Writes arbitrary text to `path` (creating parents), returning the path.
 pub fn write_text(path: &Path, text: &str) -> PathBuf {
     if let Some(parent) = path.parent() {

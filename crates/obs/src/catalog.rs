@@ -1,0 +1,427 @@
+//! The static metric catalog.
+//!
+//! Every metric name the simulator, the protocol actors, the baselines and
+//! the experiment harness emit is declared here once, with its kind, unit
+//! and emitting site. [`crate::Registry::new`] pre-registers the whole
+//! catalog (and panics on a duplicate declaration), so a typo'd emission
+//! site shows up as a *dynamic* registration that the metric-name tests
+//! reject — instead of silently creating a fresh counter as the old
+//! stringly-typed sink did. The catalog is mirrored as a table in
+//! `DESIGN.md` §12; a test keeps the two in sync.
+
+use crate::id::{MetricKind, Unit};
+
+/// One catalogued metric.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogEntry {
+    /// The metric's unique name.
+    pub name: &'static str,
+    /// Counter / gauge / histogram / series.
+    pub kind: MetricKind,
+    /// Denomination.
+    pub unit: Unit,
+    /// Where the metric is emitted from.
+    pub site: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// A name family: metrics whose names share a prefix and a dynamic suffix
+/// (per-server series, per-message-kind byte counters). A name matching a
+/// family registers with the family's kind without counting as unknown.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyEntry {
+    /// The name prefix (suffix is instance-specific).
+    pub prefix: &'static str,
+    /// Kind every member of the family has.
+    pub kind: MetricKind,
+    /// Denomination.
+    pub unit: Unit,
+    /// Where the family is emitted from.
+    pub site: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+use MetricKind::{Counter, Gauge, Histogram, Series};
+
+/// Every individually-named metric, in name order.
+pub const CATALOG: &[CatalogEntry] = &[
+    CatalogEntry {
+        name: "agg.rejected",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/cluster, baselines",
+        help: "updates refused by the validation gate (all causes)",
+    },
+    CatalogEntry {
+        name: "agg.rejected.nonfinite",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core agg validate_update",
+        help: "updates rejected for NaN/Inf parameters or age",
+    },
+    CatalogEntry {
+        name: "agg.rejected.norm",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core agg validate_update",
+        help: "updates rejected for an exploded delta norm",
+    },
+    CatalogEntry {
+        name: "agg.rejected.peer",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_server_model",
+        help: "non-finite peer models skipped during an exchange",
+    },
+    CatalogEntry {
+        name: "agg.rejected.stale",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core agg validate_update",
+        help: "updates rejected for exceeding the staleness bound",
+    },
+    CatalogEntry {
+        name: "agg.robust.flushes",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server, baselines",
+        help: "robust-aggregation batch flushes folded into the model",
+    },
+    CatalogEntry {
+        name: "agg.staleness",
+        kind: Histogram,
+        unit: Unit::Value,
+        site: "core server/cluster, baselines fedasync",
+        help: "staleness (server age minus update age) of accepted updates",
+    },
+    CatalogEntry {
+        name: "bytes.client-server",
+        kind: Series,
+        unit: Unit::Bytes,
+        site: "experiments runner probe",
+        help: "cumulative client-server bytes over time",
+    },
+    CatalogEntry {
+        name: "bytes.server-server",
+        kind: Series,
+        unit: Unit::Bytes,
+        site: "experiments runner probe",
+        help: "cumulative server-server bytes over time",
+    },
+    CatalogEntry {
+        name: "bytes.total",
+        kind: Series,
+        unit: Unit::Bytes,
+        site: "experiments runner probe",
+        help: "cumulative total bytes over time",
+    },
+    CatalogEntry {
+        name: "client.repoked",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_client_watchdog",
+        help: "silent clients re-sent the model by the liveness watchdog",
+    },
+    CatalogEntry {
+        name: "cloud.rounds",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "baselines hierfavg",
+        help: "HierFAVG cloud aggregation rounds",
+    },
+    CatalogEntry {
+        name: "cluster.merge_deferred",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core cluster",
+        help: "cluster merges deferred to a later exchange",
+    },
+    CatalogEntry {
+        name: "fault.byzantine",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages corrupted in flight by Byzantine senders (all attacks)",
+    },
+    CatalogEntry {
+        name: "fault.byzantine.nan",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages hit by the NaN-injection attack",
+    },
+    CatalogEntry {
+        name: "fault.byzantine.noise",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages hit by the Gaussian-noise attack",
+    },
+    CatalogEntry {
+        name: "fault.byzantine.scale",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages hit by the scaling attack",
+    },
+    CatalogEntry {
+        name: "fault.byzantine.signflip",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages hit by the sign-flip attack",
+    },
+    CatalogEntry {
+        name: "fault.crashes",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des",
+        help: "fault-injected node crashes",
+    },
+    CatalogEntry {
+        name: "fault.discarded",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des",
+        help: "events discarded because the target node was down",
+    },
+    CatalogEntry {
+        name: "fault.dropped",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages eaten by the fault plan (all causes)",
+    },
+    CatalogEntry {
+        name: "fault.dropped.loss",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages dropped by probabilistic loss",
+    },
+    CatalogEntry {
+        name: "fault.dropped.partition",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages dropped crossing an active partition",
+    },
+    CatalogEntry {
+        name: "fault.dropped.scripted",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages dropped by a scripted drop rule",
+    },
+    CatalogEntry {
+        name: "fault.partitions",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des",
+        help: "partition windows in the fault plan",
+    },
+    CatalogEntry {
+        name: "fault.restarts",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des",
+        help: "fault-injected node restarts",
+    },
+    CatalogEntry {
+        name: "metric",
+        kind: Series,
+        unit: Unit::Value,
+        site: "experiments runner probe",
+        help: "task metric (accuracy/perplexity) over virtual time",
+    },
+    CatalogEntry {
+        name: "net.bytes",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "simnet des, transport",
+        help: "bytes put on the wire (drops included)",
+    },
+    CatalogEntry {
+        name: "net.bytes.client-server",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "simnet des, transport",
+        help: "bytes of client-server traffic",
+    },
+    CatalogEntry {
+        name: "net.bytes.server-server",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "simnet des, transport",
+        help: "bytes of server-server traffic",
+    },
+    CatalogEntry {
+        name: "net.messages",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages put on the wire",
+    },
+    CatalogEntry {
+        name: "queue.max",
+        kind: Series,
+        unit: Unit::Count,
+        site: "experiments runner probe",
+        help: "largest server inbox depth over time",
+    },
+    CatalogEntry {
+        name: "rounds",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "baselines fedavg/hierfavg",
+        help: "synchronous aggregation rounds completed",
+    },
+    CatalogEntry {
+        name: "server.aggs",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker/cluster",
+        help: "peer models merged during exchanges",
+    },
+    CatalogEntry {
+        name: "server.restarts",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/cluster on_restart",
+        help: "server rejoin procedures after a crash",
+    },
+    CatalogEntry {
+        name: "sync.degraded",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_exchange_timeout",
+        help: "exchanges completed without every peer's model",
+    },
+    CatalogEntry {
+        name: "sync.superseded",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_token",
+        help: "open exchanges closed by an overtaking token",
+    },
+    CatalogEntry {
+        name: "sync.token_holder",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "core server on_token",
+        help: "server index that last received the token",
+    },
+    CatalogEntry {
+        name: "syncs.triggered",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker/cluster",
+        help: "server-server exchanges triggered",
+    },
+    CatalogEntry {
+        name: "token.forward_spurious",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server forward_token",
+        help: "token forwards attempted while not holding the token",
+    },
+    CatalogEntry {
+        name: "token.regenerated",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_token_watchdog",
+        help: "tokens regenerated after presumed loss",
+    },
+    CatalogEntry {
+        name: "token.stale_dropped",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_token",
+        help: "stale token copies dropped after a regeneration",
+    },
+    CatalogEntry {
+        name: "updates.processed",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker/cluster, baselines",
+        help: "client updates integrated into a server model",
+    },
+    CatalogEntry {
+        name: "updates.sent",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core client",
+        help: "updates sent by clients after local training",
+    },
+];
+
+/// Prefix families with instance-specific suffixes.
+pub const FAMILIES: &[FamilyEntry] = &[
+    FamilyEntry {
+        prefix: "net.bytes.",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "simnet des, transport",
+        help: "bytes by message kind (WireSize::kind)",
+    },
+    FamilyEntry {
+        prefix: "queue.s",
+        kind: Series,
+        unit: Unit::Count,
+        site: "experiments runner probe",
+        help: "per-server inbox depth over time",
+    },
+];
+
+/// Looks `name` up in [`CATALOG`] (exact match).
+pub fn lookup(name: &str) -> Option<&'static CatalogEntry> {
+    CATALOG
+        .binary_search_by(|e| e.name.cmp(name))
+        .ok()
+        .map(|i| &CATALOG[i])
+}
+
+/// The family `name` belongs to, if any (exact catalog entries win; only
+/// consult this after [`lookup`] missed).
+pub fn family_for(name: &str) -> Option<&'static FamilyEntry> {
+    FAMILIES
+        .iter()
+        .find(|f| name.starts_with(f.prefix) && name.len() > f.prefix.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_duplicate_free() {
+        for pair in CATALOG.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "catalog out of order or duplicated at {}",
+                pair[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_hits_every_entry_and_misses_strangers() {
+        for e in CATALOG {
+            assert_eq!(lookup(e.name).unwrap().name, e.name);
+        }
+        assert!(lookup("no.such.metric").is_none());
+    }
+
+    #[test]
+    fn families_match_suffixed_names_only() {
+        assert_eq!(family_for("queue.s3").unwrap().prefix, "queue.s");
+        assert_eq!(family_for("net.bytes.token").unwrap().prefix, "net.bytes.");
+        assert!(
+            family_for("queue.s").is_none(),
+            "bare prefix is not a member"
+        );
+        assert!(family_for("metric").is_none());
+    }
+}

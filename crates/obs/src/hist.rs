@@ -1,0 +1,254 @@
+//! Deterministic log-bucketed histogram.
+//!
+//! Buckets are fixed at construction: 4 sub-buckets per octave (power of
+//! two) between `2^-10` and `2^40`, plus one underflow bucket (everything
+//! below `2^-10`, including zero, negatives and NaN) and one overflow
+//! bucket. Bucketing is pure bit manipulation on the IEEE-754
+//! representation — no `log`, no libm, bit-identical on every platform —
+//! so histogram state is part of the repo's determinism guarantee.
+//!
+//! The relative quantile error is bounded by the sub-bucket width: a
+//! reported quantile is at most one quarter-octave (~19%) above the true
+//! sample, and never outside the observed `[min, max]`.
+
+/// Smallest exponent with its own buckets; values below `2^MIN_EXP` land in
+/// the underflow bucket.
+const MIN_EXP: i64 = -10;
+/// One-past-largest exponent; values at or above `2^MAX_EXP` overflow.
+const MAX_EXP: i64 = 40;
+/// Sub-buckets per octave (top 2 mantissa bits).
+const SUBS: i64 = 4;
+/// Total bucket count: underflow + (MAX_EXP - MIN_EXP) * SUBS + overflow.
+pub const NUM_BUCKETS: usize = 2 + ((MAX_EXP - MIN_EXP) * SUBS) as usize;
+
+/// Index of the overflow bucket.
+const OVERFLOW: usize = NUM_BUCKETS - 1;
+
+/// A fixed-boundary log-bucketed histogram of `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(value: f64) -> usize {
+        let lo = 2f64.powi(MIN_EXP as i32);
+        if value.is_nan() || value < lo {
+            // Below range, zero, negative, or NaN.
+            return 0;
+        }
+        if value >= 2f64.powi(MAX_EXP as i32) {
+            return OVERFLOW;
+        }
+        // `value` is a normal positive float in [2^MIN_EXP, 2^MAX_EXP):
+        // biased exponent and top-2 mantissa bits locate the sub-bucket.
+        let bits = value.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let sub = ((bits >> 50) & 0b11) as i64;
+        (1 + (exp - MIN_EXP) * SUBS + sub) as usize
+    }
+
+    /// The `[low, high)` value range of bucket `index`.
+    ///
+    /// The underflow bucket reports `[NEG_INFINITY, 2^MIN_EXP)`, the
+    /// overflow bucket `[2^MAX_EXP, INFINITY)`.
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        if index == 0 {
+            return (f64::NEG_INFINITY, 2f64.powi(MIN_EXP as i32));
+        }
+        if index >= OVERFLOW {
+            return (2f64.powi(MAX_EXP as i32), f64::INFINITY);
+        }
+        let k = (index - 1) as i64;
+        let exp = MIN_EXP + k / SUBS;
+        let sub = k % SUBS;
+        let octave = 2f64.powi(exp as i32);
+        let lo = octave * (1.0 + sub as f64 / SUBS as f64);
+        let hi = if sub == SUBS - 1 {
+            octave * 2.0
+        } else {
+            octave * (1.0 + (sub + 1) as f64 / SUBS as f64)
+        };
+        (lo, hi)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        // f64::min/max ignore NaN, so a NaN observation is counted (in the
+        // underflow bucket) without poisoning the extrema.
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation (`None` while empty of finite values).
+    pub fn min(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.min)
+    }
+
+    /// Largest finite observation (`None` while empty of finite values).
+    pub fn max(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.max)
+    }
+
+    /// Arithmetic mean (`None` while empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Per-bucket observation counts.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`q` clamped into `[0, 1]`) estimated from the
+    /// bucket boundaries: the upper bound of the bucket holding the
+    /// rank-`ceil(q * count)` observation, clamped into `[min, max]`.
+    ///
+    /// Returns `None` while the histogram holds no finite observation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        // min > max is the empty-of-finite-values sentinel (+inf, -inf);
+        // the extrema are never NaN (f64::min/max ignore it).
+        if self.count == 0 || self.min > self.max {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                // Clamp through min/max (NaN-safe, tolerates hi = inf).
+                return Some(hi.max(self.min).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every observation of `other` into `self`. Bucket counts add
+    /// exactly; `sum` adds in IEEE order (commutative, not associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_exact() {
+        // 1.0 = 2^0 with zero mantissa: first sub-bucket of octave 0.
+        let b1 = Histogram::bucket_of(1.0);
+        let (lo, hi) = Histogram::bucket_bounds(b1);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 1.25);
+        assert_eq!(Histogram::bucket_of(1.25), b1 + 1);
+        assert_eq!(Histogram::bucket_of(2.0), b1 + SUBS as usize);
+    }
+
+    #[test]
+    fn out_of_range_values_land_in_sentinel_buckets() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-3.5), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(1e-12), 0);
+        assert_eq!(Histogram::bucket_of(f64::NEG_INFINITY), 0);
+        assert_eq!(Histogram::bucket_of(1e300), OVERFLOW);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), OVERFLOW);
+    }
+
+    #[test]
+    fn every_bucket_contains_its_bounds() {
+        for i in 1..OVERFLOW {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_of(lo), i, "lower bound of bucket {i}");
+            // One ulp below the upper bound still belongs to bucket i.
+            let below = f64::from_bits(hi.to_bits() - 1);
+            assert_eq!(Histogram::bucket_of(below), i, "top of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 10.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(100.0));
+        let p50 = h.quantile(0.5).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((1.0..=100.0).contains(&p50));
+        assert!(p50 <= p100);
+        // The median sample is 3.0; its bucket spans [3, 3.5).
+        assert!((3.0..=3.5).contains(&p50), "p50 = {p50}");
+        assert_eq!(p100, 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_is_observation_union() {
+        let mut a = Histogram::new();
+        a.observe(1.0);
+        a.observe(4.0);
+        let mut b = Histogram::new();
+        b.observe(0.5);
+        let mut c = a.clone();
+        c.merge(&b);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.min(), Some(0.5));
+        assert_eq!(c.max(), Some(4.0));
+        assert_eq!(c.sum(), 5.5);
+    }
+}

@@ -1,0 +1,132 @@
+//! Interned metric identifiers.
+//!
+//! A [`MetricId`] packs the metric's kind and its index into the kind's
+//! storage into one `u32`, so hot-path emission sites resolve a name once
+//! and then touch a `Vec` slot — no string hashing, no allocation.
+
+/// What a metric *is* — determines which storage a [`MetricId`] indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing `u64` (bytes sent, updates processed).
+    Counter,
+    /// Last-write-wins `f64` (current token holder, queue depth).
+    Gauge,
+    /// Log-bucketed distribution of `f64` observations (staleness, sizes).
+    Histogram,
+    /// `(virtual time, f64)` samples (accuracy curves, queue series).
+    Series,
+}
+
+impl MetricKind {
+    /// Short lower-case label (used in reports and the catalog docs).
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Series => "series",
+        }
+    }
+
+    fn tag(self) -> u32 {
+        match self {
+            MetricKind::Counter => 0,
+            MetricKind::Gauge => 1,
+            MetricKind::Histogram => 2,
+            MetricKind::Series => 3,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Self {
+        match tag {
+            0 => MetricKind::Counter,
+            1 => MetricKind::Gauge,
+            2 => MetricKind::Histogram,
+            _ => MetricKind::Series,
+        }
+    }
+}
+
+/// The unit a metric is denominated in (documentation + report rendering;
+/// the registry never converts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless event count.
+    Count,
+    /// Bytes on the wire.
+    Bytes,
+    /// Microseconds of virtual time.
+    Micros,
+    /// Raw model/metric value (accuracy, age, staleness...).
+    Value,
+}
+
+impl Unit {
+    /// Short suffix used in human-readable reports (empty for counts).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Count => "",
+            Unit::Bytes => "B",
+            Unit::Micros => "us",
+            Unit::Value => "",
+        }
+    }
+}
+
+/// Interned handle to one registered metric: 2 bits of kind, 30 bits of
+/// index into that kind's storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    const KIND_SHIFT: u32 = 30;
+    /// Maximum number of metrics of one kind.
+    pub const MAX_INDEX: usize = (1 << Self::KIND_SHIFT) - 1;
+
+    /// Packs `kind` and `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`MetricId::MAX_INDEX`].
+    pub fn new(kind: MetricKind, index: usize) -> Self {
+        assert!(index <= Self::MAX_INDEX, "metric index overflow");
+        MetricId((kind.tag() << Self::KIND_SHIFT) | index as u32)
+    }
+
+    /// The metric's kind.
+    pub fn kind(self) -> MetricKind {
+        MetricKind::from_tag(self.0 >> Self::KIND_SHIFT)
+    }
+
+    /// Index into the kind's storage.
+    pub fn index(self) -> usize {
+        (self.0 & ((1 << Self::KIND_SHIFT) - 1)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips_kind_and_index() {
+        for kind in [
+            MetricKind::Counter,
+            MetricKind::Gauge,
+            MetricKind::Histogram,
+            MetricKind::Series,
+        ] {
+            for index in [0usize, 1, 17, MetricId::MAX_INDEX] {
+                let id = MetricId::new(kind, index);
+                assert_eq!(id.kind(), kind);
+                assert_eq!(id.index(), index);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "metric index overflow")]
+    fn oversized_index_is_rejected() {
+        let _ = MetricId::new(MetricKind::Counter, MetricId::MAX_INDEX + 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! `spyker-obs` — the unified observability layer.
+//!
+//! One typed, deterministic home for everything the simulator and the
+//! protocol actors measure:
+//!
+//! * [`Registry`] — typed metric storage (counters, gauges, log-bucket
+//!   [`Histogram`]s, virtual-time [`TimeSeries`]) behind interned
+//!   [`MetricId`] keys, with the full metric namespace declared once in
+//!   [`catalog`] so typo'd emission sites are detectable instead of
+//!   silently creating new counters.
+//! * [`SpanStore`] — virtual-time tracing spans (client rounds, server
+//!   aggregations, token exchanges, fault outages) aggregated per
+//!   `(node, span)`; the raw event stream is retained under the `trace`
+//!   cargo feature for golden trace dumps.
+//! * [`report`] — deterministic JSON + human-table run reports.
+//!
+//! Everything here is allocation-light on the hot path (name resolution
+//! borrows, suffixed counters build their name in a stack buffer), free of
+//! wall-clock reads, and bit-identical across platforms — observability
+//! participates in the repo's determinism guarantee rather than escaping
+//! it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod hist;
+mod id;
+mod registry;
+pub mod report;
+mod series;
+mod span;
+
+pub use hist::{Histogram, NUM_BUCKETS};
+pub use id::{MetricId, MetricKind, Unit};
+pub use registry::Registry;
+pub use series::TimeSeries;
+#[cfg(feature = "trace")]
+pub use span::SpanEvent;
+pub use span::{SpanStat, SpanStore};

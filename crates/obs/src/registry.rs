@@ -1,0 +1,447 @@
+//! The typed metric registry.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::catalog;
+use crate::hist::Histogram;
+use crate::id::{MetricId, MetricKind};
+use crate::series::TimeSeries;
+use crate::span::SpanStore;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterCell {
+    value: u64,
+    /// `true` once any add touched the counter — only touched counters
+    /// are iterated, so pre-registering the catalog does not change what
+    /// golden traces and fingerprints observe.
+    touched: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct GaugeCell {
+    value: f64,
+    set: bool,
+}
+
+/// Typed metric storage behind interned [`MetricId`] keys.
+///
+/// Emission sites address metrics by name; the registry resolves a name
+/// through one allocation-free `BTreeMap<String, _>` borrow-lookup and
+/// then touches a dense `Vec` slot. Unknown names auto-register on first
+/// use — names matching a [`catalog::FAMILIES`] prefix take the family's
+/// kind, anything else is recorded as *dynamic* so tests can reject
+/// typo'd emission sites via [`Registry::dynamic_names`].
+#[derive(Debug, Clone)]
+pub struct Registry {
+    names: BTreeMap<String, MetricId>,
+    counters: Vec<CounterCell>,
+    gauges: Vec<GaugeCell>,
+    hists: Vec<Histogram>,
+    series: Vec<TimeSeries>,
+    dynamic: BTreeSet<String>,
+    spans: SpanStore,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry with the whole [`catalog::CATALOG`]
+    /// pre-registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog declares a name twice.
+    pub fn new() -> Self {
+        let mut reg = Registry {
+            names: BTreeMap::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            series: Vec::new(),
+            dynamic: BTreeSet::new(),
+            spans: SpanStore::new(),
+        };
+        for entry in catalog::CATALOG {
+            reg.register(entry.name, entry.kind);
+        }
+        reg
+    }
+
+    /// Explicitly registers `name` with `kind`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (catches duplicate
+    /// declarations at construction time).
+    pub fn register(&mut self, name: &str, kind: MetricKind) -> MetricId {
+        assert!(
+            !self.names.contains_key(name),
+            "metric `{name}` registered twice"
+        );
+        self.insert(name, kind)
+    }
+
+    fn insert(&mut self, name: &str, kind: MetricKind) -> MetricId {
+        let index = match kind {
+            MetricKind::Counter => {
+                self.counters.push(CounterCell::default());
+                self.counters.len() - 1
+            }
+            MetricKind::Gauge => {
+                self.gauges.push(GaugeCell::default());
+                self.gauges.len() - 1
+            }
+            MetricKind::Histogram => {
+                self.hists.push(Histogram::new());
+                self.hists.len() - 1
+            }
+            MetricKind::Series => {
+                self.series.push(TimeSeries::new());
+                self.series.len() - 1
+            }
+        };
+        let id = MetricId::new(kind, index);
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The id of `name`, if registered.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.names.get(name).copied()
+    }
+
+    /// Resolves `name` for an emission of `kind`: an allocation-free map
+    /// hit on the fast path, an auto-registration on first use. Returns
+    /// `None` (debug-asserting) when `name` is registered under a
+    /// different kind — a typed registry must not let a counter write
+    /// scribble over a series.
+    fn resolve(&mut self, name: &str, kind: MetricKind) -> Option<MetricId> {
+        if let Some(&id) = self.names.get(name) {
+            debug_assert!(
+                id.kind() == kind,
+                "metric `{name}` is a {}, emitted as a {}",
+                id.kind().label(),
+                kind.label()
+            );
+            return (id.kind() == kind).then_some(id);
+        }
+        if let Some(family) = catalog::family_for(name) {
+            debug_assert!(
+                family.kind == kind,
+                "metric `{name}` belongs to the {} family `{}`, emitted as a {}",
+                family.kind.label(),
+                family.prefix,
+                kind.label()
+            );
+            if family.kind != kind {
+                return None;
+            }
+        } else {
+            self.dynamic.insert(name.to_owned());
+        }
+        Some(self.insert(name, kind))
+    }
+
+    /// Names that auto-registered without matching the catalog or any
+    /// family — in a fully-instrumented run this is empty, and the
+    /// metric-name tests assert exactly that.
+    pub fn dynamic_names(&self) -> impl Iterator<Item = &str> {
+        self.dynamic.iter().map(String::as_str)
+    }
+
+    // ----- counters ------------------------------------------------------
+
+    /// Adds `delta` to counter `name` (registering it on first use).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(id) = self.resolve(name, MetricKind::Counter) {
+            let cell = &mut self.counters[id.index()];
+            cell.value += delta;
+            cell.touched = true;
+        }
+    }
+
+    /// [`Registry::counter_add`] for a `prefix + suffix` name, built in a
+    /// stack buffer so hot paths never allocate for cause/kind-suffixed
+    /// counters.
+    pub fn counter_add_suffixed(&mut self, prefix: &str, suffix: &str, delta: u64) {
+        let mut buf = [0u8; 64];
+        let total = prefix.len() + suffix.len();
+        if total <= buf.len() {
+            buf[..prefix.len()].copy_from_slice(prefix.as_bytes());
+            buf[prefix.len()..total].copy_from_slice(suffix.as_bytes());
+            let name = std::str::from_utf8(&buf[..total]).expect("two strs concatenate to utf8");
+            self.counter_add(name, delta);
+        } else {
+            let name = format!("{prefix}{suffix}");
+            self.counter_add(&name, delta);
+        }
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.lookup(name) {
+            Some(id) if id.kind() == MetricKind::Counter => self.counters[id.index()].value,
+            _ => 0,
+        }
+    }
+
+    /// Iterates all *touched* counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names.iter().filter_map(|(name, &id)| {
+            if id.kind() != MetricKind::Counter {
+                return None;
+            }
+            let cell = &self.counters[id.index()];
+            cell.touched.then_some((name.as_str(), cell.value))
+        })
+    }
+
+    // ----- gauges --------------------------------------------------------
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(id) = self.resolve(name, MetricKind::Gauge) {
+            self.gauges[id.index()] = GaugeCell { value, set: true };
+        }
+    }
+
+    /// Current value of gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.lookup(name) {
+            Some(id) if id.kind() == MetricKind::Gauge => {
+                let cell = &self.gauges[id.index()];
+                cell.set.then_some(cell.value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates all set gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.names.iter().filter_map(|(name, &id)| {
+            if id.kind() != MetricKind::Gauge {
+                return None;
+            }
+            let cell = &self.gauges[id.index()];
+            cell.set.then_some((name.as_str(), cell.value))
+        })
+    }
+
+    // ----- histograms ----------------------------------------------------
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(id) = self.resolve(name, MetricKind::Histogram) {
+            self.hists[id.index()].observe(value);
+        }
+    }
+
+    /// Histogram `name`, if registered as one.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.lookup(name) {
+            Some(id) if id.kind() == MetricKind::Histogram => Some(&self.hists[id.index()]),
+            _ => None,
+        }
+    }
+
+    /// Iterates all non-empty histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.names.iter().filter_map(|(name, &id)| {
+            if id.kind() != MetricKind::Histogram {
+                return None;
+            }
+            let h = &self.hists[id.index()];
+            (h.count() > 0).then_some((name.as_str(), h))
+        })
+    }
+
+    // ----- series --------------------------------------------------------
+
+    /// Appends `(at_us, value)` to series `name`.
+    pub fn series_push(&mut self, name: &str, at_us: u64, value: f64) {
+        if let Some(id) = self.resolve(name, MetricKind::Series) {
+            self.series[id.index()].push(at_us, value);
+        }
+    }
+
+    /// The samples of series `name` (empty if absent).
+    pub fn series(&self, name: &str) -> &[(u64, f64)] {
+        match self.lookup(name) {
+            Some(id) if id.kind() == MetricKind::Series => self.series[id.index()].samples(),
+            _ => &[],
+        }
+    }
+
+    /// Timestamp of the latest sample of series `name`.
+    pub fn series_last_stamp(&self, name: &str) -> Option<u64> {
+        match self.lookup(name) {
+            Some(id) if id.kind() == MetricKind::Series => self.series[id.index()].last_stamp(),
+            _ => None,
+        }
+    }
+
+    /// Iterates the names of all non-empty series in order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().filter_map(|(name, &id)| {
+            if id.kind() != MetricKind::Series {
+                return None;
+            }
+            (!self.series[id.index()].is_empty()).then_some(name.as_str())
+        })
+    }
+
+    /// Iterates all non-empty series in name order.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.names.iter().filter_map(|(name, &id)| {
+            if id.kind() != MetricKind::Series {
+                return None;
+            }
+            let s = &self.series[id.index()];
+            (!s.is_empty()).then_some((name.as_str(), s))
+        })
+    }
+
+    // ----- spans ---------------------------------------------------------
+
+    /// The span store (read access for reports and oracles).
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
+    }
+
+    /// Enters span `name` on `node` at `at_us`.
+    pub fn span_enter(&mut self, node: u32, name: &'static str, at_us: u64) {
+        self.spans.enter(node, name, at_us);
+    }
+
+    /// Exits span `name` on `node` at `at_us`.
+    pub fn span_exit(&mut self, node: u32, name: &'static str, at_us: u64) {
+        self.spans.exit(node, name, at_us);
+    }
+
+    // ----- merge ---------------------------------------------------------
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's value where set, histograms and spans merge, series samples
+    /// sort in at their timestamps.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, &id) in &other.names {
+            match id.kind() {
+                MetricKind::Counter => {
+                    let cell = &other.counters[id.index()];
+                    if cell.touched {
+                        self.counter_add(name, cell.value);
+                    }
+                }
+                MetricKind::Gauge => {
+                    let cell = &other.gauges[id.index()];
+                    if cell.set {
+                        self.gauge_set(name, cell.value);
+                    }
+                }
+                MetricKind::Histogram => {
+                    let h = &other.hists[id.index()];
+                    if h.count() > 0 {
+                        if let Some(my_id) = self.resolve(name, MetricKind::Histogram) {
+                            self.hists[my_id.index()].merge(h);
+                        }
+                    }
+                }
+                MetricKind::Series => {
+                    let s = &other.series[id.index()];
+                    if !s.is_empty() {
+                        if let Some(my_id) = self.resolve(name, MetricKind::Series) {
+                            self.series[my_id.index()].merge(s);
+                        }
+                    }
+                }
+            }
+        }
+        for name in &other.dynamic {
+            self.dynamic.insert(name.clone());
+        }
+        self.spans.merge(&other.spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_only_iterate_once_touched() {
+        let mut r = Registry::new();
+        assert_eq!(r.counters().count(), 0, "pre-registered but untouched");
+        r.counter_add("net.messages", 2);
+        r.counter_add("updates.sent", 0);
+        let got: Vec<(String, u64)> = r.counters().map(|(n, v)| (n.to_string(), v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("net.messages".to_string(), 2),
+                ("updates.sent".to_string(), 0)
+            ]
+        );
+        assert_eq!(r.counter("net.messages"), 2);
+        assert_eq!(r.counter("fault.crashes"), 0);
+    }
+
+    #[test]
+    fn family_names_register_without_being_dynamic() {
+        let mut r = Registry::new();
+        r.counter_add_suffixed("net.bytes.", "token", 64);
+        r.series_push("queue.s3", 10, 2.0);
+        assert_eq!(r.counter("net.bytes.token"), 64);
+        assert_eq!(r.dynamic_names().count(), 0);
+        r.counter_add("totally.unknown", 1);
+        let dynamic: Vec<&str> = r.dynamic_names().collect();
+        assert_eq!(dynamic, vec!["totally.unknown"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut r = Registry::new();
+        r.register("net.messages", MetricKind::Counter);
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected_without_corruption() {
+        let mut r = Registry::new();
+        r.series_push("metric", 5, 0.5);
+        // `metric` is a series; a counter write against it must not land.
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.counter_add("metric", 1)));
+        if cfg!(debug_assertions) {
+            assert!(res.is_err(), "debug builds assert on kind mismatch");
+        } else {
+            assert_eq!(r.counter("metric"), 0);
+        }
+        assert_eq!(r.series("metric"), &[(5, 0.5)]);
+    }
+
+    #[test]
+    fn merge_combines_every_kind() {
+        let mut a = Registry::new();
+        a.counter_add("net.messages", 1);
+        a.observe("agg.staleness", 2.0);
+        a.series_push("metric", 30, 0.3);
+        let mut b = Registry::new();
+        b.counter_add("net.messages", 2);
+        b.gauge_set("sync.token_holder", 1.0);
+        b.observe("agg.staleness", 8.0);
+        b.series_push("metric", 10, 0.1);
+        b.span_enter(0, "client.round", 0);
+        b.span_exit(0, "client.round", 7);
+        a.merge(&b);
+        assert_eq!(a.counter("net.messages"), 3);
+        assert_eq!(a.gauge("sync.token_holder"), Some(1.0));
+        assert_eq!(a.histogram("agg.staleness").unwrap().count(), 2);
+        assert_eq!(a.series("metric"), &[(10, 0.1), (30, 0.3)]);
+        let (_, _, stat) = a.spans().stats().next().unwrap();
+        assert_eq!(stat.total_us, 7);
+    }
+}

@@ -1,0 +1,282 @@
+//! Run reports: a deterministic JSON document and a human-readable table
+//! summarising one run's registry — final counters and gauges, histogram
+//! quantiles, span time breakdown per node.
+//!
+//! Both renderers are pure functions of the registry (plus the run's end
+//! time), iterate every collection in name order, and format floats with
+//! Rust's shortest-roundtrip `Display` — so the same seed produces a
+//! bit-identical report, which the golden-report test pins.
+
+use std::fmt::Write as _;
+
+use crate::registry::Registry;
+
+/// Formats `v` as a JSON value: shortest-roundtrip decimal for finite
+/// floats (Rust's `Display` never emits scientific notation), `null` for
+/// NaN and infinities (which JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes `s` for use inside a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_entries(out: &mut String, entries: Vec<String>) {
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(e);
+    }
+}
+
+/// Renders the registry as a deterministic, pretty-enough JSON document.
+///
+/// Shape: `{schema, end_us, counters{}, gauges{}, histograms{name:
+/// {count,sum,min,max,mean,p50,p95,p99}}, series{name: {len, first_us,
+/// last_us, last}}, spans[{node,name,entered,completed,total_us}],
+/// unbalanced_exits}`. Untouched metrics are omitted; every map is in
+/// name order.
+pub fn render_json(reg: &Registry, end_us: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"spyker.run_report.v1\",");
+    let _ = writeln!(out, "  \"end_us\": {end_us},");
+
+    out.push_str("  \"counters\": {");
+    push_entries(
+        &mut out,
+        reg.counters()
+            .map(|(name, v)| format!("\n    {}: {v}", json_str(name)))
+            .collect(),
+    );
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"gauges\": {");
+    push_entries(
+        &mut out,
+        reg.gauges()
+            .map(|(name, v)| format!("\n    {}: {}", json_str(name), json_f64(v)))
+            .collect(),
+    );
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"histograms\": {");
+    push_entries(
+        &mut out,
+        reg.histograms()
+            .map(|(name, h)| {
+                let opt = |v: Option<f64>| v.map_or("null".to_string(), json_f64);
+                format!(
+                    "\n    {}: {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    json_str(name),
+                    h.count(),
+                    json_f64(h.sum()),
+                    opt(h.min()),
+                    opt(h.max()),
+                    opt(h.mean()),
+                    opt(h.quantile(0.50)),
+                    opt(h.quantile(0.95)),
+                    opt(h.quantile(0.99)),
+                )
+            })
+            .collect(),
+    );
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"series\": {");
+    push_entries(
+        &mut out,
+        reg.series_iter()
+            .map(|(name, s)| {
+                let samples = s.samples();
+                let (first_us, _) = samples[0];
+                let (last_us, last) = samples[samples.len() - 1];
+                format!(
+                    "\n    {}: {{\"len\": {}, \"first_us\": {first_us}, \
+                     \"last_us\": {last_us}, \"last\": {}}}",
+                    json_str(name),
+                    samples.len(),
+                    json_f64(last),
+                )
+            })
+            .collect(),
+    );
+    out.push_str("\n  },\n");
+
+    out.push_str("  \"spans\": [");
+    push_entries(
+        &mut out,
+        reg.spans()
+            .stats()
+            .map(|(node, name, stat)| {
+                format!(
+                    "\n    {{\"node\": {node}, \"name\": {}, \"entered\": {}, \
+                     \"completed\": {}, \"total_us\": {}}}",
+                    json_str(name),
+                    stat.entered,
+                    stat.completed,
+                    stat.total_us,
+                )
+            })
+            .collect(),
+    );
+    out.push_str("\n  ],\n");
+
+    let _ = writeln!(
+        out,
+        "  \"unbalanced_exits\": {}",
+        reg.spans().unbalanced_exits()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the registry as a human-readable report table, one section per
+/// metric kind plus a span time breakdown per node.
+pub fn render_table(reg: &Registry, end_us: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run report (virtual end time: {end_us} us)");
+
+    let counters: Vec<_> = reg.counters().collect();
+    if !counters.is_empty() {
+        out.push_str("\ncounters\n");
+        let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+
+    let gauges: Vec<_> = reg.gauges().collect();
+    if !gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        let width = gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, v) in gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+
+    let hists: Vec<_> = reg.histograms().collect();
+    if !hists.is_empty() {
+        out.push_str("\nhistograms (count / mean / p50 / p95 / p99 / max)\n");
+        for (name, h) in hists {
+            let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
+            let _ = writeln!(
+                out,
+                "  {name}  {} / {} / {} / {} / {} / {}",
+                h.count(),
+                fmt(h.mean()),
+                fmt(h.quantile(0.50)),
+                fmt(h.quantile(0.95)),
+                fmt(h.quantile(0.99)),
+                fmt(h.max()),
+            );
+        }
+    }
+
+    let series: Vec<_> = reg.series_iter().collect();
+    if !series.is_empty() {
+        out.push_str("\nseries (samples / last value)\n");
+        for (name, s) in series {
+            let samples = s.samples();
+            let last = samples[samples.len() - 1].1;
+            let _ = writeln!(out, "  {name}  {} / {last}", samples.len());
+        }
+    }
+
+    let spans: Vec<_> = reg.spans().stats().collect();
+    if !spans.is_empty() {
+        out.push_str("\nspans per node (entered / completed / total us)\n");
+        for (node, name, stat) in spans {
+            let _ = writeln!(
+                out,
+                "  n{node} {name}  {} / {} / {}",
+                stat.entered, stat.completed, stat.total_us
+            );
+        }
+        let unbalanced = reg.spans().unbalanced_exits();
+        if unbalanced > 0 {
+            let _ = writeln!(out, "  !! unbalanced exits: {unbalanced}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("updates.sent", 12);
+        r.counter_add("net.messages", 30);
+        r.gauge_set("sync.token_holder", 1.0);
+        for v in [0.5, 1.0, 2.0] {
+            r.observe("agg.staleness", v);
+        }
+        r.series_push("metric", 1_000, 0.25);
+        r.series_push("metric", 2_000, 0.5);
+        r.span_enter(0, "client.round", 100);
+        r.span_exit(0, "client.round", 400);
+        r
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let r = sample_registry();
+        let a = render_json(&r, 2_000);
+        let b = render_json(&r, 2_000);
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"spyker.run_report.v1\""));
+        // Name order: net.messages before updates.sent.
+        let net = a.find("net.messages").unwrap();
+        let sent = a.find("updates.sent").unwrap();
+        assert!(net < sent);
+        assert!(a.contains("\"p95\""));
+        assert!(a.contains("\"unbalanced_exits\": 0"));
+    }
+
+    #[test]
+    fn json_encodes_nonfinite_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn table_mentions_every_section() {
+        let r = sample_registry();
+        let t = render_table(&r, 2_000);
+        for needle in [
+            "counters",
+            "gauges",
+            "histograms",
+            "series",
+            "spans per node",
+        ] {
+            assert!(t.contains(needle), "missing section {needle}:\n{t}");
+        }
+        assert!(t.contains("n0 client.round  1 / 1 / 300"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Virtual-time tracing spans.
+//!
+//! A span marks a named activity on one node — a client training round, a
+//! server aggregation, a token exchange, a fault outage — between an
+//! `enter` and an `exit` stamped with simulation virtual time. The store
+//! always keeps per-`(node, span)` aggregates (entries, completions, total
+//! duration); with the `trace` cargo feature it additionally retains the
+//! raw event stream for golden trace dumps.
+//!
+//! Same-name spans nest: only the outermost enter/exit pair contributes
+//! duration. An exit with no matching enter is never allowed to drive the
+//! depth negative — it is counted in [`SpanStore::unbalanced_exits`]
+//! instead, which the simtest metrics-consistency oracle pins to zero.
+
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of one `(node, span)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Outermost span entries observed.
+    pub entered: u64,
+    /// Outermost span exits observed.
+    pub completed: u64,
+    /// Total virtual microseconds across completed outermost spans.
+    pub total_us: u64,
+}
+
+/// One raw span event (retained only with the `trace` feature).
+#[cfg(feature = "trace")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Virtual time of the event in microseconds.
+    pub at_us: u64,
+    /// Node the span runs on.
+    pub node: u32,
+    /// `true` for enter, `false` for exit.
+    pub enter: bool,
+    /// Index into [`SpanStore::names`].
+    pub name_id: u16,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    start_us: u64,
+    depth: u32,
+}
+
+/// Collects span enter/exit events per node, keyed by interned span name.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStore {
+    names: Vec<&'static str>,
+    ids: BTreeMap<&'static str, u16>,
+    open: BTreeMap<(u32, u16), OpenSpan>,
+    stats: BTreeMap<(u32, u16), SpanStat>,
+    unbalanced_exits: u64,
+    #[cfg(feature = "trace")]
+    events: Vec<SpanEvent>,
+}
+
+impl SpanStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, name: &'static str) -> u16 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u16::try_from(self.names.len()).expect("too many span names");
+        self.names.push(name);
+        self.ids.insert(name, id);
+        id
+    }
+
+    /// Registered span names, in interning order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Enters span `name` on `node` at virtual time `at_us`.
+    pub fn enter(&mut self, node: u32, name: &'static str, at_us: u64) {
+        let id = self.intern(name);
+        let open = self.open.entry((node, id)).or_insert(OpenSpan {
+            start_us: at_us,
+            depth: 0,
+        });
+        if open.depth == 0 {
+            open.start_us = at_us;
+            self.stats.entry((node, id)).or_default().entered += 1;
+        }
+        open.depth += 1;
+        #[cfg(feature = "trace")]
+        self.events.push(SpanEvent {
+            at_us,
+            node,
+            enter: true,
+            name_id: id,
+        });
+    }
+
+    /// Exits span `name` on `node` at virtual time `at_us`. An exit
+    /// without a matching enter only bumps the unbalanced-exit count.
+    pub fn exit(&mut self, node: u32, name: &'static str, at_us: u64) {
+        let id = self.intern(name);
+        #[cfg(feature = "trace")]
+        self.events.push(SpanEvent {
+            at_us,
+            node,
+            enter: false,
+            name_id: id,
+        });
+        let Some(open) = self.open.get_mut(&(node, id)) else {
+            self.unbalanced_exits += 1;
+            return;
+        };
+        open.depth -= 1;
+        if open.depth == 0 {
+            let start = open.start_us;
+            self.open.remove(&(node, id));
+            let stat = self.stats.entry((node, id)).or_default();
+            stat.completed += 1;
+            stat.total_us += at_us.saturating_sub(start);
+        }
+    }
+
+    /// Current nesting depth of span `name` on `node` (0 when closed).
+    pub fn open_depth(&self, node: u32, name: &str) -> u32 {
+        let Some(&id) = self.ids.get(name) else {
+            return 0;
+        };
+        self.open.get(&(node, id)).map_or(0, |o| o.depth)
+    }
+
+    /// Exits observed with no span open. Always zero under balanced
+    /// instrumentation; the simtest oracle asserts it stays zero.
+    pub fn unbalanced_exits(&self) -> u64 {
+        self.unbalanced_exits
+    }
+
+    /// Aggregate stats per `(node, span name)`, in `(node, intern)` order.
+    pub fn stats(&self) -> impl Iterator<Item = (u32, &'static str, &SpanStat)> {
+        self.stats
+            .iter()
+            .map(|(&(node, id), stat)| (node, self.names[id as usize], stat))
+    }
+
+    /// Total entered count across all spans (cheap emptiness probe).
+    pub fn total_entered(&self) -> u64 {
+        self.stats.values().map(|s| s.entered).sum()
+    }
+
+    /// Folds another store into this one. Open spans merge by summing
+    /// depths and keeping the earlier start (collisions only arise when
+    /// two collectors traced the same node, which the transports never
+    /// do).
+    pub fn merge(&mut self, other: &SpanStore) {
+        for (&(node, id), stat) in &other.stats {
+            let my_id = self.intern(other.names[id as usize]);
+            let mine = self.stats.entry((node, my_id)).or_default();
+            mine.entered += stat.entered;
+            mine.completed += stat.completed;
+            mine.total_us += stat.total_us;
+        }
+        for (&(node, id), open) in &other.open {
+            let my_id = self.intern(other.names[id as usize]);
+            let mine = self.open.entry((node, my_id)).or_insert(OpenSpan {
+                start_us: open.start_us,
+                depth: 0,
+            });
+            mine.start_us = mine.start_us.min(open.start_us);
+            mine.depth += open.depth;
+        }
+        self.unbalanced_exits += other.unbalanced_exits;
+        #[cfg(feature = "trace")]
+        {
+            for ev in &other.events {
+                let name_id = self.intern(other.names[ev.name_id as usize]);
+                self.events.push(SpanEvent { name_id, ..*ev });
+            }
+            self.events.sort_by_key(|e| (e.at_us, e.node, !e.enter));
+        }
+    }
+
+    /// The raw event stream, in record order.
+    #[cfg(feature = "trace")]
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Renders the raw event stream as one line per event:
+    /// `<at_us> n<node> enter|exit <name>`.
+    #[cfg(feature = "trace")]
+    pub fn render_trace(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for ev in &self.events {
+            let verb = if ev.enter { "enter" } else { "exit" };
+            writeln!(
+                out,
+                "{} n{} {verb} {}",
+                ev.at_us, ev.node, self.names[ev.name_id as usize]
+            )
+            .expect("writing to String");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_accumulate_per_node_and_span() {
+        let mut s = SpanStore::new();
+        s.enter(0, "client.round", 100);
+        s.exit(0, "client.round", 250);
+        s.enter(0, "client.round", 300);
+        s.exit(0, "client.round", 450);
+        s.enter(1, "client.round", 0);
+        let stats: Vec<_> = s.stats().collect();
+        assert_eq!(stats.len(), 2);
+        let (node, name, stat) = stats[0];
+        assert_eq!((node, name), (0, "client.round"));
+        assert_eq!(stat.entered, 2);
+        assert_eq!(stat.completed, 2);
+        assert_eq!(stat.total_us, 300);
+        assert_eq!(s.open_depth(1, "client.round"), 1);
+        assert_eq!(s.unbalanced_exits(), 0);
+    }
+
+    #[test]
+    fn nested_same_name_spans_count_the_outermost_only() {
+        let mut s = SpanStore::new();
+        s.enter(3, "node.down", 10);
+        s.enter(3, "node.down", 20); // double crash: nested outage
+        s.exit(3, "node.down", 50);
+        assert_eq!(s.open_depth(3, "node.down"), 1);
+        s.exit(3, "node.down", 70);
+        let (_, _, stat) = s.stats().next().unwrap();
+        assert_eq!(stat.entered, 1);
+        assert_eq!(stat.completed, 1);
+        assert_eq!(stat.total_us, 60);
+    }
+
+    #[test]
+    fn unmatched_exit_is_counted_not_underflowed() {
+        let mut s = SpanStore::new();
+        s.exit(0, "server.exchange", 5);
+        assert_eq!(s.unbalanced_exits(), 1);
+        assert_eq!(s.open_depth(0, "server.exchange"), 0);
+    }
+
+    #[test]
+    fn merge_sums_stats_across_stores() {
+        let mut a = SpanStore::new();
+        a.enter(0, "x", 0);
+        a.exit(0, "x", 10);
+        let mut b = SpanStore::new();
+        b.enter(1, "y", 0);
+        b.enter(1, "x", 5);
+        b.exit(1, "x", 9);
+        a.merge(&b);
+        let stats: Vec<_> = a.stats().collect();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(a.open_depth(1, "y"), 1);
+        assert_eq!(a.total_entered(), 3);
+    }
+}

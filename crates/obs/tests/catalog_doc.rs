@@ -1,0 +1,40 @@
+//! Keeps the metric catalog and its documentation in lockstep: every name
+//! declared in `obs::catalog` must have a row in the DESIGN.md §12.1
+//! table, and the table must contain nothing else (a stale or extra row
+//! fails here, not in a reader's head).
+
+use spyker_obs::catalog::{CATALOG, FAMILIES};
+
+#[test]
+fn design_doc_table_matches_the_catalog() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let doc = std::fs::read_to_string(path).expect("read DESIGN.md");
+    let section = doc
+        .split("### 12.1 Metric catalog")
+        .nth(1)
+        .expect("DESIGN.md lacks the §12.1 metric catalog");
+    let section = section.split("\n## ").next().unwrap();
+
+    let rows: Vec<&str> = section.lines().filter(|l| l.starts_with("| `")).collect();
+    for entry in CATALOG {
+        assert!(
+            rows.iter()
+                .any(|r| r.starts_with(&format!("| `{}` |", entry.name))),
+            "catalog entry `{}` has no row in DESIGN.md §12.1",
+            entry.name
+        );
+    }
+    for family in FAMILIES {
+        assert!(
+            rows.iter()
+                .any(|r| r.starts_with(&format!("| `{}*` |", family.prefix))),
+            "family `{}*` has no row in DESIGN.md §12.1",
+            family.prefix
+        );
+    }
+    assert_eq!(
+        rows.len(),
+        CATALOG.len() + FAMILIES.len(),
+        "DESIGN.md §12.1 has rows for names the catalog no longer declares"
+    );
+}

@@ -1,0 +1,183 @@
+//! Property tests for the observability primitives: histogram bucket
+//! structure, count conservation, merge algebra and quantile bounds, plus
+//! time-series ordering under out-of-order stamps.
+
+use proptest::prelude::*;
+use spyker_obs::{Histogram, TimeSeries, NUM_BUCKETS};
+
+/// Observations spanning the whole bucket range plus the sentinels
+/// (zero, negatives, sub-range magnitudes): the selector picks the case,
+/// mantissa and exponent shape the finite magnitudes.
+fn obs_value() -> impl Strategy<Value = f64> {
+    (0u8..10, -45i32..45i32, 1.0f64..2.0f64).prop_map(|(sel, e, m)| match sel {
+        0 => 0.0,
+        1 => -m,
+        2 => m * 1e-5,
+        _ => m * 2f64.powi(e),
+    })
+}
+
+proptest! {
+    /// Bucket boundaries are monotonically non-decreasing and adjacent:
+    /// bucket i's upper bound is bucket i+1's lower bound.
+    #[test]
+    fn bucket_bounds_are_monotone_and_adjacent(i in 0usize..NUM_BUCKETS - 1) {
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo < hi, "bucket {i}: [{lo}, {hi})");
+        let (next_lo, _) = Histogram::bucket_bounds(i + 1);
+        prop_assert_eq!(hi, next_lo, "gap between buckets {} and {}", i, i + 1);
+    }
+
+    /// Every finite value lands in a bucket whose bounds contain it.
+    #[test]
+    fn bucketing_respects_bounds(v in obs_value()) {
+        let b = Histogram::bucket_of(v);
+        prop_assert!(b < NUM_BUCKETS);
+        let (lo, hi) = Histogram::bucket_bounds(b);
+        prop_assert!(v >= lo && v < hi, "{v} not in bucket {b} = [{lo}, {hi})");
+    }
+
+    /// The total count equals the number of observations and equals the sum
+    /// over buckets (no observation lost or double-counted).
+    #[test]
+    fn count_is_conserved(values in prop::collection::vec(obs_value(), 0..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+    }
+
+    /// Merge is commutative: a∪b and b∪a agree exactly on buckets, count,
+    /// min and max, and bit-exactly on the sum (IEEE addition of two
+    /// numbers is commutative).
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(obs_value(), 0..50),
+        ys in prop::collection::vec(obs_value(), 0..50),
+    ) {
+        let mut a = Histogram::new();
+        for &v in &xs { a.observe(v); }
+        let mut b = Histogram::new();
+        for &v in &ys { b.observe(v); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+    }
+
+    /// Merge is associative on everything except the floating-point sum,
+    /// which is only approximately associative.
+    #[test]
+    fn merge_is_associative_up_to_float_sums(
+        xs in prop::collection::vec(obs_value(), 0..40),
+        ys in prop::collection::vec(obs_value(), 0..40),
+        zs in prop::collection::vec(obs_value(), 0..40),
+    ) {
+        let build = |vals: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vals { h.observe(v); }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        let tol = 1e-9 * (1.0 + left.sum().abs());
+        prop_assert!((left.sum() - right.sum()).abs() <= tol);
+    }
+
+    /// Any reported quantile lies within [min, max], and quantiles are
+    /// monotone in q.
+    #[test]
+    fn quantiles_are_bounded_and_monotone(
+        values in prop::collection::vec(obs_value(), 1..100),
+        qs in prop::collection::vec(0.0f64..=1.0, 2..6),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values { h.observe(v); }
+        let (Some(min), Some(max)) = (h.min(), h.max()) else {
+            // No finite observation (can't happen with obs_value, but the
+            // contract is None): quantile must agree.
+            prop_assert!(h.quantile(0.5).is_none());
+            return Ok(());
+        };
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(f64::total_cmp);
+        let quants: Vec<f64> = sorted_qs
+            .iter()
+            .map(|&q| h.quantile(q).expect("non-empty"))
+            .collect();
+        for &v in &quants {
+            prop_assert!(v >= min && v <= max, "quantile {v} outside [{min}, {max}]");
+        }
+        for pair in quants.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {pair:?}");
+        }
+    }
+
+    /// The p-quantile never underestimates the true p-quantile sample, and
+    /// overestimates by at most one sub-bucket width (25% relative) for
+    /// in-range positive samples.
+    #[test]
+    fn quantile_brackets_the_true_sample(
+        values in prop::collection::vec(0.01f64..1e6, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values { h.observe(v); }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q).expect("non-empty");
+        prop_assert!(est >= truth, "estimate {est} below true sample {truth}");
+        prop_assert!(est <= truth * 1.25 + 1e-12, "estimate {est} above 1.25x {truth}");
+    }
+
+    /// A time series stays sorted whatever order stamps arrive in, keeps
+    /// every sample, and counts exactly the pushes that arrived below the
+    /// then-latest stamp.
+    #[test]
+    fn series_stays_sorted_under_out_of_order_stamps(
+        stamps in prop::collection::vec(0u64..1_000, 0..100),
+    ) {
+        let mut s = TimeSeries::new();
+        let mut expected_ooo = 0u64;
+        let mut latest: Option<u64> = None;
+        for (i, &t) in stamps.iter().enumerate() {
+            if latest.is_some_and(|l| t < l) {
+                expected_ooo += 1;
+            }
+            latest = Some(latest.map_or(t, |l| l.max(t)));
+            s.push(t, i as f64);
+        }
+        prop_assert_eq!(s.len(), stamps.len());
+        prop_assert_eq!(s.out_of_order(), expected_ooo);
+        for pair in s.samples().windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "series out of order: {pair:?}");
+        }
+        // Equal stamps preserve arrival order (stable insertion): the
+        // values at any stamp appear in increasing push index.
+        for pair in s.samples().windows(2) {
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "unstable at stamp {}", pair[0].0);
+            }
+        }
+    }
+}

@@ -149,7 +149,7 @@ impl<M: WireSize> Core<M> {
                 if msg.corrupt(&attack, &mut || frng.gen_range(0.0..1.0)) {
                     self.metrics.add_counter("fault.byzantine", 1);
                     self.metrics
-                        .add_counter(&format!("fault.byzantine.{}", attack.label()), 1);
+                        .add_counter_suffixed("fault.byzantine.", attack.label(), 1);
                 }
             }
         }
@@ -157,13 +157,13 @@ impl<M: WireSize> Core<M> {
         let kind = msg.kind();
         self.metrics.add_counter("net.bytes", bytes as u64);
         self.metrics
-            .add_counter(&format!("net.bytes.{kind}"), bytes as u64);
+            .add_counter_suffixed("net.bytes.", kind, bytes as u64);
         self.metrics.add_counter("net.messages", 1);
         if self.faults.has_message_faults() {
             if let Some(cause) = self.fault_drop_cause(at, from, to) {
                 self.metrics.add_counter("fault.dropped", 1);
                 self.metrics
-                    .add_counter(&format!("fault.dropped.{cause}"), 1);
+                    .add_counter_suffixed("fault.dropped.", cause, 1);
                 return;
             }
         }
@@ -223,6 +223,30 @@ impl<M: WireSize> Env<M> for EnvHandle<'_, M> {
 
     fn add_counter(&mut self, name: &str, delta: u64) {
         self.core.metrics.add_counter(name, delta);
+    }
+
+    fn add_counter_suffixed(&mut self, prefix: &str, suffix: &str, delta: u64) {
+        self.core
+            .metrics
+            .add_counter_suffixed(prefix, suffix, delta);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.core.metrics.observe(name, value);
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        self.core.metrics.gauge_set(name, value);
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        let now = self.now();
+        self.core.metrics.span_enter(self.me as u32, name, now);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        let now = self.now();
+        self.core.metrics.span_exit(self.me as u32, name, now);
     }
 }
 
@@ -624,6 +648,9 @@ impl<M: WireSize> Simulation<M> {
                     self.core.down[event.node] = true;
                     self.core.avail[event.node] = event.time;
                     self.core.metrics.add_counter("fault.crashes", 1);
+                    self.core
+                        .metrics
+                        .span_enter(event.node as u32, "node.down", event.time);
                     self.events_processed += 1;
                     if self.fire_tap(tap, event.node, TapKind::Crash).is_break() {
                         return self.report();
@@ -633,6 +660,9 @@ impl<M: WireSize> Simulation<M> {
                 EventBody::Restart => {
                     self.core.down[event.node] = false;
                     self.core.metrics.add_counter("fault.restarts", 1);
+                    self.core
+                        .metrics
+                        .span_exit(event.node as u32, "node.down", event.time);
                     let mut env = EnvHandle {
                         core: &mut self.core,
                         me: event.node,

@@ -86,6 +86,36 @@ pub trait Env<M> {
 
     /// Adds `delta` to the named metric counter.
     fn add_counter(&mut self, name: &str, delta: u64);
+
+    /// Adds `delta` to the counter named `prefix + suffix` (the transports
+    /// build the name allocation-free). Defaults to a no-op so bare test
+    /// environments need not implement the observability surface.
+    fn add_counter_suffixed(&mut self, prefix: &str, suffix: &str, delta: u64) {
+        let _ = (prefix, suffix, delta);
+    }
+
+    /// Records `value` into the named histogram. Defaults to a no-op.
+    fn observe(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Sets the named gauge to `value` (last write wins). Defaults to a
+    /// no-op.
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Enters the named tracing span on this node at the current effective
+    /// time. Defaults to a no-op.
+    fn span_enter(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Exits the named tracing span on this node at the current effective
+    /// time. Defaults to a no-op.
+    fn span_exit(&mut self, name: &'static str) {
+        let _ = name;
+    }
 }
 
 /// A protocol actor: one client or one server.

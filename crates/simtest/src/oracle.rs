@@ -17,6 +17,7 @@
 //! | `age-monotonicity`    | peer age knowledge only moves forward                |
 //! | `age-conservation`    | no age exceeds the updates actually processed        |
 //! | `counter-consistency` | metric counters equal the per-actor ledgers          |
+//! | `metrics-consistency` | spans stay enter/exit balanced; counters are monotone|
 //! | `exchange-ledger`     | the `cnt`/`did_broadcast` ledger stays coherent      |
 //! | `model-hull`          | honest models stay inside the targets' hull          |
 //! | `liveness`            | a clean run processes updates and stays finite       |
@@ -111,6 +112,9 @@ pub fn default_suite() -> Vec<Box<dyn Oracle>> {
         Box::new(AgeMonotonicityOracle { last: None }),
         Box::new(AgeConservationOracle),
         Box::new(CounterConsistencyOracle),
+        Box::new(MetricsConsistencyOracle {
+            last_counters: std::collections::BTreeMap::new(),
+        }),
         Box::new(ExchangeLedgerOracle),
         Box::new(ModelHullOracle),
         Box::new(LivenessOracle),
@@ -397,6 +401,60 @@ impl Oracle for CounterConsistencyOracle {
     }
 }
 
+/// The observability layer's own books stay coherent: tracing spans remain
+/// enter/exit balanced on every node (no span completes more often than it
+/// was entered, and no exit ever arrives with no span open), and every
+/// metric counter is monotone non-decreasing over the run — a counter that
+/// shrinks means some code path wrote the registry directly instead of
+/// going through the accumulate-only API.
+struct MetricsConsistencyOracle {
+    last_counters: std::collections::BTreeMap<String, u64>,
+}
+
+impl Oracle for MetricsConsistencyOracle {
+    fn name(&self) -> &'static str {
+        "metrics-consistency"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let spans = ctx.metrics.spans();
+        if spans.unbalanced_exits() > 0 {
+            return Err(format!(
+                "{} span exits arrived with no matching span open",
+                spans.unbalanced_exits()
+            ));
+        }
+        for (node, name, stat) in spans.stats() {
+            if stat.completed > stat.entered {
+                return Err(format!(
+                    "span {name} on node {node} completed {} times but was only \
+                     entered {} times",
+                    stat.completed, stat.entered
+                ));
+            }
+        }
+        for (name, value) in ctx.metrics.registry().counters() {
+            match self.last_counters.get(name).copied() {
+                Some(last) if value < last => {
+                    return Err(format!("counter {name} decreased: {last} -> {value}"));
+                }
+                Some(last) if value > last => {
+                    *self.last_counters.get_mut(name).expect("just probed") = value;
+                }
+                Some(_) => {}
+                None => {
+                    self.last_counters.insert(name.to_string(), value);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        self.check(ctx)
+    }
+}
+
 /// The exchange ledger stays coherent: a synchronising server holds the
 /// token and has broadcast under its bid, a held bid never exceeds the
 /// highest bid seen, and no exchange collects more models than there are
@@ -528,5 +586,65 @@ impl Oracle for LivenessOracle {
             return Err("a clean full-horizon run processed zero updates".to_string());
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(metrics: &Metrics) -> OracleCtx<'_> {
+        OracleCtx {
+            time: SimTime::ZERO,
+            servers: Vec::new(),
+            metrics,
+            n_clients: 0,
+            event: None,
+            clean: true,
+            byzantine_free: true,
+            targets: &[],
+            budget_exhausted: false,
+        }
+    }
+
+    fn metrics_oracle() -> MetricsConsistencyOracle {
+        MetricsConsistencyOracle {
+            last_counters: std::collections::BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn metrics_oracle_accepts_balanced_activity() {
+        let mut m = Metrics::new();
+        let mut o = metrics_oracle();
+        m.span_enter(1, "client.round", SimTime::ZERO);
+        m.add_counter("updates.sent", 1);
+        o.check(&ctx(&m)).unwrap();
+        m.span_exit(1, "client.round", SimTime::from_micros(10));
+        m.add_counter("updates.sent", 1);
+        o.check(&ctx(&m)).unwrap();
+        o.at_end(&ctx(&m)).unwrap();
+    }
+
+    #[test]
+    fn metrics_oracle_flags_an_unbalanced_span_exit() {
+        let mut m = Metrics::new();
+        m.span_exit(0, "server.exchange", SimTime::ZERO);
+        let err = metrics_oracle().check(&ctx(&m)).unwrap_err();
+        assert!(err.contains("no matching span open"), "{err}");
+    }
+
+    #[test]
+    fn metrics_oracle_flags_a_decreasing_counter() {
+        // Two *independent* collectors stand in for an impossible rewind of
+        // one counter (the accumulate-only API cannot produce it directly).
+        let mut o = metrics_oracle();
+        let mut a = Metrics::new();
+        a.add_counter("updates.sent", 5);
+        o.check(&ctx(&a)).unwrap();
+        let mut b = Metrics::new();
+        b.add_counter("updates.sent", 3);
+        let err = o.check(&ctx(&b)).unwrap_err();
+        assert!(err.contains("decreased"), "{err}");
     }
 }

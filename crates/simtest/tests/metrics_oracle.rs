@@ -1,0 +1,92 @@
+//! Pinned scenarios for the `metrics-consistency` oracle: fault schedules
+//! that stress the span instrumentation hardest — crash/restart (the
+//! `node.down` span and the forced `server.exchange` close on rejoin) and
+//! Byzantine corruption under message loss (rejection counters racing the
+//! aggregate span) — must run clean under the full oracle suite, checked
+//! after every event.
+
+use spyker_simtest::{run_scenario, RunOutcome, SimScenario};
+
+/// One mid-run server crash with a rejoin plus one crash that never
+/// restarts: the restarting server must close its open exchange span, and
+/// the never-restarting one legitimately ends the run with `node.down`
+/// entered but not completed (entered ≥ completed, never the reverse).
+const CRASH_RESTART: &str = "(
+    seed: 5021,
+    n_servers: 3,
+    n_clients: 6,
+    dim: 3,
+    horizon_us: 12000000,
+    uniform_latency_ms: Some(20),
+    jitter_ms: 3,
+    h_inter: 2.0,
+    h_intra: 8.0,
+    gossip_backoff: 1,
+    recovery: true,
+    aggregation: Mean,
+    max_delta_norm: None,
+    train_delay_ms: [80, 120, 160, 200, 240, 280],
+    targets: [-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
+    faults: (
+        loss_prob: 0.0,
+        link_loss: [],
+        drops: [],
+        partitions: [],
+        crashes: [(node: 0, at_us: 3000000, restart_us: Some(6000000)), (node: 2, at_us: 8000000, restart_us: None)],
+        byzantine: [],
+    ),
+    inject: None,
+)
+";
+
+/// Byzantine clients under probabilistic loss: every aggregate span must
+/// close on the rejection path too, and the `agg.rejected.*` /
+/// `fault.byzantine.*` counters must stay monotone while updates are
+/// corrupted and dropped mid-flight.
+const BYZANTINE_LOSS: &str = "(
+    seed: 5022,
+    n_servers: 2,
+    n_clients: 5,
+    dim: 4,
+    horizon_us: 10000000,
+    uniform_latency_ms: Some(15),
+    jitter_ms: 2,
+    h_inter: 1.5,
+    h_intra: 6.0,
+    gossip_backoff: 1,
+    recovery: true,
+    aggregation: Mean,
+    max_delta_norm: Some(10.0),
+    train_delay_ms: [90, 130, 170, 210, 250],
+    targets: [-0.8, -0.3, 0.0, 0.4, 0.9],
+    faults: (
+        loss_prob: 0.08,
+        link_loss: [],
+        drops: [],
+        partitions: [],
+        crashes: [],
+        byzantine: [(node: 3, attack: SignFlip), (node: 4, attack: NanInject(prob: 0.5))],
+    ),
+    inject: None,
+)
+";
+
+fn assert_clean(ron: &str, what: &str) {
+    let sc = SimScenario::from_ron(ron).unwrap();
+    match run_scenario(&sc, 200_000) {
+        RunOutcome::Clean(stats) => {
+            assert!(stats.updates_processed > 0, "{what}: no progress");
+        }
+        RunOutcome::Violated(v) => panic!("{what} violated an oracle: {v}"),
+    }
+}
+
+#[test]
+fn crash_restart_keeps_metrics_and_spans_consistent() {
+    assert_clean(CRASH_RESTART, "crash/restart scenario");
+}
+
+#[test]
+fn byzantine_loss_keeps_metrics_and_spans_consistent() {
+    assert_clean(BYZANTINE_LOSS, "byzantine+loss scenario");
+}

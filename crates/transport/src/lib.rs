@@ -222,14 +222,14 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
                 if msg.corrupt(&attack, &mut || splitmix_unit(rng)) {
                     self.metrics.add_counter("fault.byzantine", 1);
                     self.metrics
-                        .add_counter(&format!("fault.byzantine.{}", attack.label()), 1);
+                        .add_counter_suffixed("fault.byzantine.", attack.label(), 1);
                 }
             }
         }
         let bytes = msg.wire_size();
         self.metrics.add_counter("net.bytes", bytes as u64);
         self.metrics
-            .add_counter(&format!("net.bytes.{}", msg.kind()), bytes as u64);
+            .add_counter_suffixed("net.bytes.", msg.kind(), bytes as u64);
         self.metrics.add_counter("net.messages", 1);
         // The message is on the wire; faults may now eat it (same counter
         // semantics as the simulator: sent bytes are counted, delivery is
@@ -239,7 +239,7 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
             if let Some(cause) = self.fault_drop_cause(at, to) {
                 self.metrics.add_counter("fault.dropped", 1);
                 self.metrics
-                    .add_counter(&format!("fault.dropped.{cause}"), 1);
+                    .add_counter_suffixed("fault.dropped.", cause, 1);
                 return;
             }
         }
@@ -275,6 +275,28 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
 
     fn add_counter(&mut self, name: &str, delta: u64) {
         self.metrics.add_counter(name, delta);
+    }
+
+    fn add_counter_suffixed(&mut self, prefix: &str, suffix: &str, delta: u64) {
+        self.metrics.add_counter_suffixed(prefix, suffix, delta);
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn gauge_set(&mut self, name: &str, value: f64) {
+        self.metrics.gauge_set(name, value);
+    }
+
+    fn span_enter(&mut self, name: &'static str) {
+        let now = self.now();
+        self.metrics.span_enter(self.me as u32, name, now);
+    }
+
+    fn span_exit(&mut self, name: &'static str) {
+        let now = self.now();
+        self.metrics.span_exit(self.me as u32, name, now);
     }
 }
 

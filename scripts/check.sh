@@ -11,6 +11,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # validation gate + robust aggregation pipeline; see DESIGN.md §8).
 cargo test -q --release --test byzantine
 
+# Observability layer (see DESIGN.md §12): typed-registry unit tests,
+# histogram/series property tests, and the catalog↔DESIGN.md sync gate —
+# then the golden run-report and span-trace pins (byte-identical reports
+# across builds) and the metric-catalog registration gate.
+cargo test -q --release -p spyker-obs
+cargo test -q --release --test golden_report --test metric_catalog
+
 # Criterion benches must at least compile; the smoke runner then enforces
 # the GEMM regression gate (blocked ≥ 3× naive on 128×128, see DESIGN.md
 # §10) and refreshes BENCH_tensor.json at the repo root.

@@ -163,6 +163,13 @@ fn cmd_run(args: &Args) {
         result.metrics.counter("updates.processed"),
         result.metrics.counter("net.bytes") as f64 / 1e6,
     );
+    let name = format!("run_{}_{:?}_s{}", args.alg.name(), args.task, args.seed);
+    let path = spyker_repro::experiments::report::write_run_report(
+        &name,
+        &result.metrics,
+        result.end_time,
+    );
+    println!("run report written to {}", path.display());
 }
 
 fn cmd_compare(args: &Args) {

@@ -9,12 +9,14 @@
 //! * [`spyker_models`] / [`spyker_tensor`] / [`spyker_data`] — training stack
 //! * [`spyker_transport`] — threaded deployment of the same actors
 //! * [`spyker_experiments`] — table/figure reproduction harness
+//! * [`spyker_obs`] — typed metrics registry, tracing spans, run reports
 
 pub use spyker_baselines as baselines;
 pub use spyker_core as core;
 pub use spyker_data as data;
 pub use spyker_experiments as experiments;
 pub use spyker_models as models;
+pub use spyker_obs as obs;
 pub use spyker_simnet as simnet;
 pub use spyker_tensor as tensor;
 pub use spyker_transport as transport;

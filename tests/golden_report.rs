@@ -1,0 +1,121 @@
+//! Golden run-report determinism test.
+//!
+//! The same pinned 2-server/6-client deployment as `golden_trace.rs`,
+//! rendered through the `spyker-obs` run-report emitter instead of the raw
+//! counter dump: the JSON document (counters, gauges, histogram summaries,
+//! span aggregates) and — with the `trace` feature the root dev-dependency
+//! turns on — the raw span event stream of a shorter 2-second run. Both are
+//! byte-compared against committed golden files, so a change to report
+//! formatting, span placement, or virtual-time stamping is a visible diff,
+//! not a silent drift.
+//!
+//! Regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+
+use std::path::PathBuf;
+
+use spyker_repro::simnet::SimTime;
+use spyker_simtest::SimScenario;
+
+/// The pinned deployment — field for field the scenario of
+/// `golden_trace.rs`, except for the caller-chosen horizon.
+fn golden_scenario(horizon: SimTime) -> SimScenario {
+    SimScenario {
+        seed: 7,
+        n_servers: 2,
+        n_clients: 6,
+        dim: 3,
+        horizon,
+        uniform_latency_ms: None,
+        jitter_ms: 5,
+        h_inter: 2.0,
+        h_intra: 10.0,
+        gossip_backoff: 1,
+        recovery: true,
+        aggregation: spyker_repro::core::agg::AggregationStrategy::Mean,
+        max_delta_norm: None,
+        train_delay_ms: vec![100, 150, 200, 250, 300, 350],
+        targets: vec![-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
+        faults: spyker_repro::simnet::FaultPlan::none(),
+        inject: None,
+    }
+}
+
+/// Runs the 10-second scenario and renders its JSON run report.
+fn render_report() -> String {
+    let sc = golden_scenario(SimTime::from_secs(10));
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    spyker_repro::obs::report::render_json(sim.metrics().registry(), report.end_time.as_micros())
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Byte-compares `actual` against the committed golden file `name`, or
+/// rewrites the file when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        eprintln!("golden file regenerated at {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_report`",
+            path.display()
+        )
+    });
+    assert!(
+        actual == golden,
+        "output diverged from {name}.\n\
+         If this change is intentional, regenerate with\n\
+         `UPDATE_GOLDEN=1 cargo test --test golden_report` and commit the diff.\n\
+         --- golden ---\n{golden}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn fixed_seed_report_matches_the_committed_golden_file() {
+    assert_matches_golden("report_2s6c.json", &render_report());
+}
+
+#[test]
+fn report_is_bit_identical_across_two_runs() {
+    // The acceptance bar for the report emitter: two same-seed runs must
+    // produce byte-identical documents (no iteration-order, float-format
+    // or timestamp nondeterminism).
+    assert_eq!(render_report(), render_report());
+}
+
+#[test]
+fn report_table_renders_every_section() {
+    let sc = golden_scenario(SimTime::from_secs(10));
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    let table = spyker_repro::obs::report::render_table(
+        sim.metrics().registry(),
+        report.end_time.as_micros(),
+    );
+    for needle in ["counters", "histograms", "spans per node", "client.round"] {
+        assert!(table.contains(needle), "table lacks `{needle}`:\n{table}");
+    }
+}
+
+#[test]
+fn fixed_seed_span_trace_matches_the_committed_golden_file() {
+    // `render_trace` exists because the root dev-dependency enables the
+    // `trace` feature of spyker-obs for every test build; the sweep binary
+    // (`cargo run -p spyker-simtest`) stays trace-free.
+    // A shorter 2-second run keeps the event-stream dump reviewable while
+    // still covering client rounds, aggregations and a token exchange.
+    let sc = golden_scenario(SimTime::from_secs(2));
+    let mut sim = sc.build();
+    sim.run(sc.horizon);
+    assert_matches_golden("spans_2s6c.txt", &sim.metrics().spans().render_trace());
+}

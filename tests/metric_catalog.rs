@@ -1,0 +1,123 @@
+//! Every metric name the simulator and the protocol emit must be declared
+//! in the `spyker-obs` catalog (or match a declared family). A fault-rich
+//! run exercises the `sync.*`, `agg.*`, `fault.*`, `token.*` and `net.*`
+//! emission sites; any typo'd name would auto-register as *dynamic* and
+//! fail here instead of silently growing a parallel counter.
+
+use spyker_repro::obs::catalog;
+use spyker_repro::simnet::{ByzantineAttack, FaultPlan, Region, SimTime};
+use spyker_simtest::SimScenario;
+
+/// A deployment that drives crashes, restarts, a partition, probabilistic
+/// loss and all four Byzantine attacks through the full Spyker protocol
+/// (recovery on, so the token watchdog and exchange timeout paths run).
+fn faulty_scenario() -> SimScenario {
+    let faults = FaultPlan::none()
+        .with_loss(0.08)
+        .partition(
+            Region::Hongkong,
+            Region::Paris,
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+        )
+        .crash(0, SimTime::from_secs(3), Some(SimTime::from_secs(5)))
+        .crash(4, SimTime::from_secs(6), Some(SimTime::from_secs(7)))
+        .byzantine(3, ByzantineAttack::SignFlip)
+        .byzantine(5, ByzantineAttack::Scale { factor: 50.0 })
+        .byzantine(6, ByzantineAttack::GaussianNoise { sigma: 10.0 })
+        .byzantine(7, ByzantineAttack::NanInject { prob: 0.5 });
+    SimScenario {
+        seed: 11,
+        n_servers: 3,
+        n_clients: 6,
+        dim: 3,
+        horizon: SimTime::from_secs(12),
+        uniform_latency_ms: None,
+        jitter_ms: 2,
+        h_inter: 1.0,
+        h_intra: 3.0,
+        gossip_backoff: 1,
+        recovery: true,
+        aggregation: spyker_repro::core::agg::AggregationStrategy::Mean,
+        max_delta_norm: Some(10.0),
+        train_delay_ms: vec![60, 90, 120, 150, 180, 210],
+        targets: vec![-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
+        faults,
+        inject: None,
+    }
+}
+
+#[test]
+fn every_emitted_metric_name_is_catalogued() {
+    let sc = faulty_scenario();
+    let mut sim = sc.build();
+    sim.run(sc.horizon);
+    let registry = sim.metrics().registry();
+
+    let dynamic: Vec<&str> = registry.dynamic_names().collect();
+    assert!(
+        dynamic.is_empty(),
+        "metrics emitted without a catalog entry (typo'd name or missing \
+         declaration in crates/obs/src/catalog.rs): {dynamic:?}"
+    );
+
+    let mut touched = 0usize;
+    for (name, _) in registry.counters() {
+        assert!(
+            catalog::lookup(name).is_some() || catalog::family_for(name).is_some(),
+            "counter `{name}` missing from the catalog"
+        );
+        touched += 1;
+    }
+    assert!(
+        touched > 10,
+        "fault scenario touched only {touched} counters"
+    );
+
+    // The run must actually have exercised the interesting name spaces —
+    // otherwise this test would pass vacuously.
+    for prefix in ["agg.", "fault.", "net.", "updates."] {
+        assert!(
+            registry
+                .counters()
+                .any(|(name, _)| name.starts_with(prefix)),
+            "no `{prefix}*` counter touched; the scenario no longer covers it"
+        );
+    }
+    assert!(
+        registry
+            .histogram("agg.staleness")
+            .is_some_and(|h| h.count() > 0),
+        "agg.staleness histogram never observed"
+    );
+    assert_eq!(
+        registry.gauge("sync.token_holder").map(f64::fract),
+        Some(0.0),
+        "sync.token_holder gauge unset or not a server index"
+    );
+}
+
+#[test]
+fn catalogued_names_are_unique_and_disjoint_from_families() {
+    // Strictly-sorted catalog == no duplicate registration (Registry::new
+    // would panic otherwise, but assert it where the policy lives).
+    for pair in catalog::CATALOG.windows(2) {
+        assert!(
+            pair[0].name < pair[1].name,
+            "catalog out of order or duplicate: {}",
+            pair[1].name
+        );
+    }
+    // A family prefix must not swallow an explicitly catalogued name with
+    // different typing: every exact entry wins over its family, so the
+    // kinds must agree wherever both could match.
+    for entry in catalog::CATALOG {
+        if let Some(family) = catalog::family_for(entry.name) {
+            assert_eq!(
+                entry.kind, family.kind,
+                "`{}` is typed differently from its family `{}`",
+                entry.name, family.prefix
+            );
+        }
+    }
+}
