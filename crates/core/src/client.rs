@@ -81,7 +81,9 @@ impl Node<FlMsg> for FlClient {
             lr,
         } = msg
         else {
-            debug_assert!(false, "client received non-model message");
+            // Reachable from network bytes on the TCP transport: count
+            // and drop rather than assert (DESIGN.md §13).
+            env.add_counter("net.unexpected", 1);
             return;
         };
         debug_assert_eq!(from, self.server, "model from unexpected server");

@@ -195,7 +195,7 @@ impl KCenters {
             })
             .collect();
         let mut i = (0..dists.len())
-            .min_by(|&a, &b| dists[a].partial_cmp(&dists[b]).expect("finite distance"))
+            .min_by(|&a, &b| dists[a].total_cmp(&dists[b]))
             .expect("at least one center");
         let second = dists
             .iter()
@@ -213,7 +213,7 @@ impl KCenters {
                     .map(|(c, init)| delta_norm(c, init))
                     .collect();
                 let j = (0..norms.len())
-                    .min_by(|&a, &b| norms[a].partial_cmp(&norms[b]).expect("finite norm"))
+                    .min_by(|&a, &b| norms[a].total_cmp(&norms[b]))
                     .expect("at least one center");
                 if norms[j] < VIRGIN_FRAC * peer_norm {
                     i = j;
@@ -296,11 +296,18 @@ impl Node<FlMsg> for ClusteredFlClient {
             lr,
         } = msg
         else {
-            debug_assert!(false, "clustered client received {msg:?}");
+            // Reachable from network bytes on the TCP transport: count
+            // and drop rather than assert (DESIGN.md §13).
+            env.add_counter("net.unexpected", 1);
             return;
         };
         debug_assert_eq!(from, self.server, "centers from unexpected server");
-        debug_assert!(!centers.is_empty(), "no centers offered");
+        if centers.is_empty() {
+            // An empty offer would panic `train_best`; a decoded frame
+            // can carry one, so reject it like any malformed message.
+            env.add_counter("net.unexpected", 1);
+            return;
+        }
         env.span_enter("client.round");
         let choice = self.trainer.train_best(&mut centers, lr, self.epochs);
         self.last_choice = Some(choice);
@@ -448,10 +455,17 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 ..
             } => {
                 let Some(&k) = self.client_local_idx.get(&from) else {
-                    debug_assert!(false, "update from unknown client {from}");
+                    // Reachable from network bytes on the TCP transport:
+                    // count and drop rather than assert (DESIGN.md §13).
+                    env.add_counter("net.unexpected", 1);
                     return;
                 };
-                debug_assert!(center < self.centers.k(), "bad center index");
+                if center >= self.centers.k() {
+                    // A decoded frame can carry any index; indexing the
+                    // center arrays with it unchecked would panic.
+                    env.add_counter("net.unexpected", 1);
+                    return;
+                }
                 env.span_enter("server.aggregate");
                 env.busy(self.cfg.agg_cost);
                 // Validation gate (see `crate::agg`): a poisoned update must
@@ -517,7 +531,7 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                     env.add_counter("cluster.merge_deferred", 1);
                 }
             }
-            other => debug_assert!(false, "unexpected message {other:?}"),
+            _ => env.add_counter("net.unexpected", 1),
         }
     }
 
@@ -588,8 +602,7 @@ impl ClusterTrainer for MeanTargetClusterTrainer {
             .min_by(|&a, &b| {
                 candidates[a]
                     .l2_distance(&target)
-                    .partial_cmp(&candidates[b].l2_distance(&target))
-                    .expect("finite distances")
+                    .total_cmp(&candidates[b].l2_distance(&target))
             })
             .expect("non-empty");
         let lr = lr.clamp(0.0, 1.0);

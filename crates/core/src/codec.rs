@@ -11,6 +11,14 @@
 //! declaration order; parameter vectors are a `u32` length followed by
 //! `f32` little-endian values.
 //!
+//! For stream transports (TCP), [`frame_into`] prefixes a frame with its
+//! `u32` little-endian length and [`FrameAccumulator`] reassembles frames
+//! from arbitrarily-chunked reads. Decoding is hardened against hostile
+//! input: every length field is validated against the remaining bytes
+//! before any allocation, frames longer than [`MAX_FRAME_LEN`] are
+//! rejected, and trailing garbage after a complete message is an error —
+//! no code path reachable from network bytes panics.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +51,13 @@ const TAG_CLUSTER_MODEL: u8 = 6;
 const TAG_CENTERS_TO_CLIENT: u8 = 7;
 const TAG_CLUSTER_UPDATE: u8 = 8;
 
+/// Hard upper bound on the length of a single frame (64 MiB).
+///
+/// A length prefix above this cap is treated as a protocol violation
+/// rather than an allocation request: a peer must never be able to make
+/// the receiver reserve unbounded memory with four cheap bytes.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
@@ -50,6 +65,15 @@ pub enum DecodeError {
     Truncated,
     /// The first byte is not a known message tag.
     UnknownTag(u8),
+    /// A length prefix exceeds the configured maximum frame length.
+    Oversize {
+        /// Length claimed by the frame header.
+        len: u64,
+        /// Maximum length the decoder accepts.
+        max: u64,
+    },
+    /// The frame decoded to a complete message with bytes left over.
+    TrailingBytes(usize),
 }
 
 impl fmt::Display for DecodeError {
@@ -57,6 +81,12 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "frame truncated"),
             DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::Oversize { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after complete message")
+            }
         }
     }
 }
@@ -66,10 +96,35 @@ impl std::error::Error for DecodeError {}
 /// Encodes a message into a standalone frame.
 pub fn encode(msg: &FlMsg) -> Bytes {
     let mut buf = BytesMut::with_capacity(frame_capacity(msg));
+    encode_body(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a message into a caller-owned buffer, appending to it.
+///
+/// This is the allocation-free path for the TCP transport: the buffer is
+/// rented from a [`Scratch`](spyker_tensor::Scratch)-style pool and reused
+/// across sends, so steady-state encoding performs no heap allocation.
+pub fn encode_into(msg: &FlMsg, out: &mut Vec<u8>) {
+    out.reserve(frame_capacity(msg));
+    encode_body(msg, out);
+}
+
+/// Appends `[u32 LE length][frame]` to `out` — the stream framing consumed
+/// by [`FrameAccumulator`] on the receiving side.
+pub fn frame_into(msg: &FlMsg, out: &mut Vec<u8>) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    encode_body(msg, out);
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn encode_body<B: BufMut>(msg: &FlMsg, buf: &mut B) {
     match msg {
         FlMsg::ModelToClient { params, age, lr } => {
             buf.put_u8(TAG_MODEL_TO_CLIENT);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_f64_le(*age);
             buf.put_f32_le(*lr);
         }
@@ -79,7 +134,7 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             num_samples,
         } => {
             buf.put_u8(TAG_CLIENT_UPDATE);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_f64_le(*age);
             buf.put_u64_le(*num_samples as u64);
         }
@@ -90,7 +145,7 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             server_idx,
         } => {
             buf.put_u8(TAG_SERVER_MODEL);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_f64_le(*age);
             buf.put_u64_le(*bid);
             buf.put_u32_le(*server_idx as u32);
@@ -114,7 +169,7 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             weight,
         } => {
             buf.put_u8(TAG_HIER_MODEL);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_u64_le(*round);
             buf.put_f64_le(*weight);
         }
@@ -125,7 +180,7 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             server_idx,
         } => {
             buf.put_u8(TAG_CLUSTER_MODEL);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_f64_le(*age);
             buf.put_u32_le(*center as u32);
             buf.put_u32_le(*server_idx as u32);
@@ -134,7 +189,7 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             buf.put_u8(TAG_CENTERS_TO_CLIENT);
             buf.put_u32_le(centers.len() as u32);
             for c in centers {
-                put_params(&mut buf, c);
+                put_params(buf, c);
             }
             for &a in ages {
                 buf.put_f64_le(a);
@@ -148,94 +203,104 @@ pub fn encode(msg: &FlMsg) -> Bytes {
             num_samples,
         } => {
             buf.put_u8(TAG_CLUSTER_UPDATE);
-            put_params(&mut buf, params);
+            put_params(buf, params);
             buf.put_f64_le(*age);
             buf.put_u32_le(*center as u32);
             buf.put_u64_le(*num_samples as u64);
         }
     }
-    buf.freeze()
 }
 
 /// Decodes one frame produced by [`encode`].
 ///
+/// The frame must contain exactly one message: short input yields
+/// [`DecodeError::Truncated`], an unrecognised tag byte yields
+/// [`DecodeError::UnknownTag`], and bytes left over after a complete
+/// message yield [`DecodeError::TrailingBytes`].
+///
 /// # Errors
 ///
-/// Returns [`DecodeError::Truncated`] if the buffer is too short and
-/// [`DecodeError::UnknownTag`] for an unrecognised tag byte.
+/// Returns a [`DecodeError`] as described above; never panics, whatever
+/// the input bytes.
 pub fn decode(frame: &Bytes) -> Result<FlMsg, DecodeError> {
     let mut buf = frame.clone();
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
     let tag = buf.get_u8();
-    match tag {
+    let msg = match tag {
         TAG_MODEL_TO_CLIENT => {
             let params = get_params(&mut buf)?;
             let age = get_f64(&mut buf)?;
             let lr = get_f32(&mut buf)?;
-            Ok(FlMsg::ModelToClient { params, age, lr })
+            FlMsg::ModelToClient { params, age, lr }
         }
         TAG_CLIENT_UPDATE => {
             let params = get_params(&mut buf)?;
             let age = get_f64(&mut buf)?;
             let num_samples = get_u64(&mut buf)? as usize;
-            Ok(FlMsg::ClientUpdate {
+            FlMsg::ClientUpdate {
                 params,
                 age,
                 num_samples,
-            })
+            }
         }
         TAG_SERVER_MODEL => {
             let params = get_params(&mut buf)?;
             let age = get_f64(&mut buf)?;
             let bid = get_u64(&mut buf)?;
             let server_idx = get_u32(&mut buf)? as usize;
-            Ok(FlMsg::ServerModel {
+            FlMsg::ServerModel {
                 params,
                 age,
                 bid,
                 server_idx,
-            })
+            }
         }
         TAG_AGE_GOSSIP => {
             let age = get_f64(&mut buf)?;
             let server_idx = get_u32(&mut buf)? as usize;
-            Ok(FlMsg::AgeGossip { age, server_idx })
+            FlMsg::AgeGossip { age, server_idx }
         }
         TAG_TOKEN_PASS => {
             let bid = get_u64(&mut buf)?;
             let n = get_u32(&mut buf)? as usize;
-            if buf.remaining() < n * 8 {
+            if buf.remaining() < n.saturating_mul(8) {
                 return Err(DecodeError::Truncated);
             }
             let ages = (0..n).map(|_| buf.get_f64_le()).collect();
-            Ok(FlMsg::TokenPass(Token { bid, ages }))
+            FlMsg::TokenPass(Token { bid, ages })
         }
         TAG_HIER_MODEL => {
             let params = get_params(&mut buf)?;
             let round = get_u64(&mut buf)?;
             let weight = get_f64(&mut buf)?;
-            Ok(FlMsg::HierModel {
+            FlMsg::HierModel {
                 params,
                 round,
                 weight,
-            })
+            }
         }
         TAG_CLUSTER_MODEL => {
             let params = get_params(&mut buf)?;
             let age = get_f64(&mut buf)?;
             let center = get_u32(&mut buf)? as usize;
             let server_idx = get_u32(&mut buf)? as usize;
-            Ok(FlMsg::ClusterModel {
+            FlMsg::ClusterModel {
                 params,
                 age,
                 center,
                 server_idx,
-            })
+            }
         }
         TAG_CENTERS_TO_CLIENT => {
             let k = get_u32(&mut buf)? as usize;
+            // Each centre costs at least a 4-byte length plus an 8-byte
+            // age; checking before `with_capacity` keeps a hostile `k`
+            // from reserving gigabytes off a five-byte frame.
+            if buf.remaining() < k.saturating_mul(12) {
+                return Err(DecodeError::Truncated);
+            }
             let mut centers = Vec::with_capacity(k);
             for _ in 0..k {
                 centers.push(get_params(&mut buf)?);
@@ -245,21 +310,106 @@ pub fn decode(frame: &Bytes) -> Result<FlMsg, DecodeError> {
                 ages.push(get_f64(&mut buf)?);
             }
             let lr = get_f32(&mut buf)?;
-            Ok(FlMsg::CentersToClient { centers, ages, lr })
+            FlMsg::CentersToClient { centers, ages, lr }
         }
         TAG_CLUSTER_UPDATE => {
             let params = get_params(&mut buf)?;
             let age = get_f64(&mut buf)?;
             let center = get_u32(&mut buf)? as usize;
             let num_samples = get_u64(&mut buf)? as usize;
-            Ok(FlMsg::ClusterUpdate {
+            FlMsg::ClusterUpdate {
                 params,
                 age,
                 center,
                 num_samples,
-            })
+            }
         }
-        other => Err(DecodeError::UnknownTag(other)),
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    if buf.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(buf.remaining()));
+    }
+    Ok(msg)
+}
+
+/// Reassembles length-prefixed frames from arbitrarily-chunked stream
+/// reads.
+///
+/// Feed raw bytes as they arrive with [`feed`](Self::feed), then drain
+/// complete frames with [`next_frame`](Self::next_frame). The accumulator
+/// never trusts a length prefix beyond its configured cap, so a malicious
+/// peer cannot force an unbounded buffer.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: usize,
+}
+
+impl FrameAccumulator {
+    /// Creates an accumulator that rejects frames longer than `max_frame`.
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends freshly-read bytes to the internal buffer.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered bytes not yet returned as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame payload, if one has fully arrived.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Oversize`] when a length prefix exceeds the
+    /// cap; the stream is desynchronised at that point and the connection
+    /// should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, DecodeError> {
+        if self.buffered() < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > self.max_frame {
+            return Err(DecodeError::Oversize {
+                len: len as u64,
+                max: self.max_frame as u64,
+            });
+        }
+        if self.buffered() < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let frame = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        self.compact();
+        Ok(Some(frame))
+    }
+
+    /// Reclaims consumed prefix space once it grows past a threshold (or
+    /// for free when the buffer is fully drained).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
     }
 }
 
@@ -268,7 +418,7 @@ fn frame_capacity(msg: &FlMsg) -> usize {
     msg.wire_size() + 16
 }
 
-fn put_params(buf: &mut BytesMut, params: &ParamVec) {
+fn put_params<B: BufMut>(buf: &mut B, params: &ParamVec) {
     buf.put_u32_le(params.len() as u32);
     for &v in params.as_slice() {
         buf.put_f32_le(v);
@@ -277,7 +427,7 @@ fn put_params(buf: &mut BytesMut, params: &ParamVec) {
 
 fn get_params(buf: &mut Bytes) -> Result<ParamVec, DecodeError> {
     let n = get_u32(buf)? as usize;
-    if buf.remaining() < n * 4 {
+    if buf.remaining() < n.saturating_mul(4) {
         return Err(DecodeError::Truncated);
     }
     let data = (0..n).map(|_| buf.get_f32_le()).collect();
@@ -384,6 +534,15 @@ mod tests {
     }
 
     #[test]
+    fn encode_into_matches_encode() {
+        for msg in sample_messages() {
+            let mut out = Vec::new();
+            encode_into(&msg, &mut out);
+            assert_eq!(out.as_slice(), encode(&msg).as_ref());
+        }
+    }
+
+    #[test]
     fn encoded_size_tracks_wire_size() {
         for msg in sample_messages() {
             let frame = encode(&msg);
@@ -403,12 +562,36 @@ mod tests {
             for cut in 0..frame.len() {
                 let partial = frame.slice(0..cut);
                 match decode(&partial) {
-                    Err(DecodeError::Truncated) | Err(DecodeError::UnknownTag(_)) => {}
-                    Ok(_) if cut == frame.len() => {}
+                    Err(_) => {}
                     Ok(m) => panic!("decoded {m:?} from a {cut}-byte prefix"),
                 }
             }
         }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for msg in sample_messages() {
+            let mut padded = encode(&msg).as_ref().to_vec();
+            padded.push(0);
+            assert_eq!(
+                decode(&Bytes::from(padded)).unwrap_err(),
+                DecodeError::TrailingBytes(1)
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // CentersToClient claiming u32::MAX centres off a tiny frame must
+        // fail fast instead of reserving memory for 4 billion entries.
+        let mut frame = vec![TAG_CENTERS_TO_CLIENT];
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]);
+        assert_eq!(
+            decode(&Bytes::from(frame)).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 
     #[test]
@@ -420,5 +603,40 @@ mod tests {
     #[test]
     fn empty_frame_is_truncated() {
         assert_eq!(decode(&Bytes::new()).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn accumulator_reassembles_byte_by_byte() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            frame_into(msg, &mut stream);
+        }
+        let mut acc = FrameAccumulator::new(MAX_FRAME_LEN);
+        let mut out = Vec::new();
+        for &b in &stream {
+            acc.feed(&[b]);
+            while let Some(frame) = acc.next_frame().expect("well-formed stream") {
+                out.push(decode(&Bytes::from(frame)).expect("decode"));
+            }
+        }
+        assert_eq!(out.len(), msgs.len());
+        for (a, b) in out.iter().zip(&msgs) {
+            assert_eq!(encode(a), encode(b));
+        }
+        assert_eq!(acc.buffered(), 0);
+    }
+
+    #[test]
+    fn accumulator_rejects_oversize_length() {
+        let mut acc = FrameAccumulator::new(1024);
+        acc.feed(&(2048u32).to_le_bytes());
+        assert!(matches!(
+            acc.next_frame(),
+            Err(DecodeError::Oversize {
+                len: 2048,
+                max: 1024
+            })
+        ));
     }
 }

@@ -277,7 +277,9 @@ impl SpykerServer {
         update_age: f64,
     ) {
         let Some(&k) = self.client_local_idx.get(&from) else {
-            debug_assert!(false, "update from unknown client {from}");
+            // Reachable from network bytes on the TCP transport: count
+            // and drop rather than assert (DESIGN.md §13).
+            env.add_counter("net.unexpected", 1);
             return;
         };
         env.span_enter("server.aggregate");
@@ -681,7 +683,7 @@ impl Node<FlMsg> for SpykerServer {
                 bid,
                 server_idx,
             } => self.on_server_model(env, server_idx, params, age, bid),
-            other => debug_assert!(false, "unexpected message {other:?}"),
+            _ => env.add_counter("net.unexpected", 1),
         }
     }
 

@@ -125,7 +125,9 @@ impl SyncSpykerServer {
         update_age: f64,
     ) {
         let Some(&k) = self.client_local_idx.get(&from) else {
-            debug_assert!(false, "update from unknown client {from}");
+            // Reachable from network bytes on the TCP transport: count
+            // and drop rather than assert (DESIGN.md §13).
+            env.add_counter("net.unexpected", 1);
             return;
         };
         env.span_enter("server.aggregate");
@@ -260,7 +262,7 @@ impl Node<FlMsg> for SyncSpykerServer {
                     self.try_complete_round(env);
                 }
             }
-            other => debug_assert!(false, "unexpected message {other:?}"),
+            _ => env.add_counter("net.unexpected", 1),
         }
     }
 

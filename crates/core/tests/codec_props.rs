@@ -1,0 +1,197 @@
+//! Adversarial property tests for the wire codec (see DESIGN.md §13).
+//!
+//! Three families of properties:
+//!
+//! 1. **Round-trip through a byte stream**: random messages, framed and
+//!    split at arbitrary chunk boundaries, reassemble and decode to the
+//!    same messages.
+//! 2. **Canonical form**: whenever `decode` accepts bytes, re-encoding
+//!    reproduces them exactly — there are no "don't care" bytes a peer
+//!    could smuggle data in.
+//! 3. **Hostile input**: random garbage, truncated prefixes, single-byte
+//!    corruption and oversize length prefixes return typed errors; no
+//!    input panics or triggers large speculative allocations.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use spyker_core::codec::{
+    decode, encode, frame_into, DecodeError, FrameAccumulator, MAX_FRAME_LEN,
+};
+use spyker_core::msg::FlMsg;
+use spyker_core::params::ParamVec;
+use spyker_core::token::Token;
+
+fn params(max_len: usize) -> impl Strategy<Value = ParamVec> {
+    prop::collection::vec(-1e6f32..1e6, 0..max_len).prop_map(ParamVec::from_vec)
+}
+
+/// One random message of any protocol kind.
+fn message() -> impl Strategy<Value = FlMsg> {
+    (
+        0u8..9,
+        params(16),
+        (0.0f64..1e6, 0.0f32..1.0, 0u64..(1 << 40)),
+        prop::collection::vec(0.0f64..1e4, 0..5),
+    )
+        .prop_map(|(kind, p, (age, lr, big), ages)| build_message(kind, p, age, lr, big, ages))
+}
+
+fn build_message(kind: u8, p: ParamVec, age: f64, lr: f32, big: u64, ages: Vec<f64>) -> FlMsg {
+    let small = (big % 16) as usize;
+    match kind {
+        0 => FlMsg::ModelToClient { params: p, age, lr },
+        1 => FlMsg::ClientUpdate {
+            params: p,
+            age,
+            num_samples: (big % 10_000) as usize,
+        },
+        2 => FlMsg::ServerModel {
+            params: p,
+            age,
+            bid: big,
+            server_idx: small,
+        },
+        3 => FlMsg::AgeGossip {
+            age,
+            server_idx: small,
+        },
+        4 => FlMsg::TokenPass(Token { bid: big, ages }),
+        5 => FlMsg::HierModel {
+            params: p,
+            round: big,
+            weight: age,
+        },
+        6 => FlMsg::ClusterModel {
+            params: p,
+            age,
+            center: small,
+            server_idx: small / 2,
+        },
+        7 => {
+            let centers = ages.iter().map(|_| p.clone()).collect();
+            FlMsg::CentersToClient { centers, ages, lr }
+        }
+        _ => FlMsg::ClusterUpdate {
+            params: p,
+            age,
+            center: small,
+            num_samples: (big % 1000) as usize,
+        },
+    }
+}
+
+/// Deterministic chunk-size sequence so each case exercises a different
+/// segmentation of the same stream.
+fn next_chunk(state: &mut u64) -> usize {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    1 + ((*state >> 33) % 7) as usize
+}
+
+proptest! {
+    /// Random valid messages survive encode → frame → split at arbitrary
+    /// boundaries → reassemble → decode.
+    #[test]
+    fn messages_survive_chunked_framing(
+        msgs in prop::collection::vec(message(), 1..6),
+        split_seed in 0u64..u64::MAX,
+    ) {
+        let mut stream = Vec::new();
+        for msg in &msgs {
+            frame_into(msg, &mut stream);
+        }
+        let mut acc = FrameAccumulator::new(MAX_FRAME_LEN);
+        let mut state = split_seed;
+        let mut decoded = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let take = next_chunk(&mut state).min(stream.len() - at);
+            acc.feed(&stream[at..at + take]);
+            at += take;
+            while let Some(frame) = acc.next_frame().expect("well-formed stream") {
+                decoded.push(decode(&Bytes::from(frame)).expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(decoded.len(), msgs.len());
+        for (got, want) in decoded.iter().zip(&msgs) {
+            prop_assert_eq!(encode(got), encode(want));
+        }
+        prop_assert_eq!(acc.buffered(), 0);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with an error,
+    /// never a panic and never a bogus message.
+    #[test]
+    fn truncated_prefixes_error(msg in message(), cut_seed in 0u64..u64::MAX) {
+        let frame = encode(&msg);
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        prop_assert!(decode(&frame.slice(0..cut)).is_err());
+    }
+
+    /// Random garbage either errors or decodes to a message whose
+    /// canonical re-encoding is byte-identical to the input — `decode`
+    /// accepts nothing it cannot reproduce.
+    #[test]
+    fn garbage_decodes_to_error_or_canonical_form(
+        bytes in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        let input = Bytes::from(bytes);
+        if let Ok(msg) = decode(&input) {
+            prop_assert_eq!(encode(&msg), input);
+        }
+    }
+
+    /// Flipping a single byte of a valid frame never panics, and any
+    /// still-accepted result re-encodes to exactly the corrupted bytes.
+    #[test]
+    fn single_byte_corruption_is_contained(
+        msg in message(),
+        pos_seed in 0u64..u64::MAX,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode(&msg).as_ref().to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= flip;
+        let corrupted = Bytes::from(bytes);
+        if let Ok(m) = decode(&corrupted) {
+            prop_assert_eq!(encode(&m), corrupted);
+        }
+    }
+
+    /// Garbage fed to the accumulator never panics: frames pop out while
+    /// length prefixes stay within the cap, and an oversize prefix is the
+    /// only (typed) failure.
+    #[test]
+    fn accumulator_handles_garbage(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let mut acc = FrameAccumulator::new(1024);
+        acc.feed(&bytes);
+        loop {
+            match acc.next_frame() {
+                Ok(Some(frame)) => {
+                    prop_assert!(frame.len() <= 1024);
+                    let _ = decode(&Bytes::from(frame));
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    prop_assert!(matches!(e, DecodeError::Oversize { .. }));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A length prefix above the cap is rejected before any payload
+    /// bytes arrive.
+    #[test]
+    fn oversize_prefix_rejected(extra in 1u64..u64::from(u32::MAX) - 4096) {
+        let cap = 4096usize;
+        let len = (cap as u64 + extra) as u32;
+        let mut acc = FrameAccumulator::new(cap);
+        acc.feed(&len.to_le_bytes());
+        prop_assert!(matches!(
+            acc.next_frame(),
+            Err(DecodeError::Oversize { .. })
+        ));
+    }
+}

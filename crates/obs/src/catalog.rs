@@ -174,6 +174,20 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "messages hit by the sign-flip attack",
     },
     CatalogEntry {
+        name: "fault.conn.drop",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport tcp",
+        help: "connection drops (fault window opened or TCP peer lost)",
+    },
+    CatalogEntry {
+        name: "fault.conn.restore",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport tcp",
+        help: "connection restorations (fault window closed or TCP peer back)",
+    },
+    CatalogEntry {
         name: "fault.crashes",
         kind: Counter,
         unit: Unit::Count,
@@ -193,6 +207,13 @@ pub const CATALOG: &[CatalogEntry] = &[
         unit: Unit::Count,
         site: "simnet des, transport",
         help: "messages eaten by the fault plan (all causes)",
+    },
+    CatalogEntry {
+        name: "fault.dropped.conn",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet des, transport",
+        help: "messages dropped on a severed connection",
     },
     CatalogEntry {
         name: "fault.dropped.loss",
@@ -258,11 +279,81 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "bytes of server-server traffic",
     },
     CatalogEntry {
+        name: "net.conn.accepted",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp acceptor",
+        help: "inbound TCP connections accepted after a valid hello",
+    },
+    CatalogEntry {
+        name: "net.conn.dialed",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp dialer",
+        help: "outbound TCP connections established",
+    },
+    CatalogEntry {
+        name: "net.conn.dropped",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp",
+        help: "established TCP connections severed (EOF, error, liveness)",
+    },
+    CatalogEntry {
+        name: "net.conn.retries",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp dialer",
+        help: "failed dial attempts (each followed by backoff)",
+    },
+    CatalogEntry {
+        name: "net.frames.corrupt",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp reader",
+        help: "frames rejected as malformed (bad envelope, decode error, desync)",
+    },
+    CatalogEntry {
+        name: "net.frames.recv",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp reader",
+        help: "length-delimited frames received",
+    },
+    CatalogEntry {
+        name: "net.frames.sent",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp writer",
+        help: "length-delimited frames written to a socket",
+    },
+    CatalogEntry {
+        name: "net.heartbeats",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp writer",
+        help: "pings sent on idle connections to prove liveness",
+    },
+    CatalogEntry {
         name: "net.messages",
         kind: Counter,
         unit: Unit::Count,
         site: "simnet des, transport",
         help: "messages put on the wire",
+    },
+    CatalogEntry {
+        name: "net.queue.shed",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp",
+        help: "bulk messages shed by a full bounded peer queue",
+    },
+    CatalogEntry {
+        name: "net.unexpected",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core actors",
+        help: "well-formed but protocol-unexpected messages dropped",
     },
     CatalogEntry {
         name: "queue.max",

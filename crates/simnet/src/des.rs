@@ -28,6 +28,12 @@ enum EventBody<M> {
     /// Fault injection: the node comes back with its last state and gets
     /// a [`Node::on_restart`] call.
     Restart,
+    /// Fault injection: a [`crate::fault::ConnWindow`] opens (bookkeeping
+    /// only — the drop itself is applied per-send via
+    /// [`FaultPlan::conn_down`]).
+    ConnDrop,
+    /// Fault injection: a [`crate::fault::ConnWindow`] closes.
+    ConnRestore,
 }
 
 struct Event<M> {
@@ -125,6 +131,9 @@ impl<M: WireSize> Core<M> {
                 if *f == from && *t == to && at >= *start && at < *end)
         }) {
             return Some("scripted");
+        }
+        if self.faults.conn_down(from, to, at) {
+            return Some("conn");
         }
         if self
             .faults
@@ -570,6 +579,14 @@ impl<M: WireSize> Simulation<M> {
                     self.core.push(t, crash.node, EventBody::Restart);
                 }
             }
+            for w in self.core.faults.conns.clone() {
+                assert!(
+                    w.a < self.nodes.len() && w.b < self.nodes.len(),
+                    "conn drop of unknown node"
+                );
+                self.core.push(w.start, w.a, EventBody::ConnDrop);
+                self.core.push(w.end, w.a, EventBody::ConnRestore);
+            }
         }
         let mut next_probe = if probe_interval == SimTime::MAX {
             SimTime::MAX
@@ -589,7 +606,13 @@ impl<M: WireSize> Simulation<M> {
                     Some(mut ev) => {
                         // Crash/restart take effect immediately: a crash
                         // interrupts whatever the node was busy with.
-                        if matches!(ev.body, EventBody::Crash | EventBody::Restart) {
+                        if matches!(
+                            ev.body,
+                            EventBody::Crash
+                                | EventBody::Restart
+                                | EventBody::ConnDrop
+                                | EventBody::ConnRestore
+                        ) {
                             break ev;
                         }
                         let avail = self.core.avail[ev.node];
@@ -678,6 +701,16 @@ impl<M: WireSize> Simulation<M> {
                     }
                     continue;
                 }
+                EventBody::ConnDrop => {
+                    self.core.metrics.add_counter("fault.conn.drop", 1);
+                    self.events_processed += 1;
+                    continue;
+                }
+                EventBody::ConnRestore => {
+                    self.core.metrics.add_counter("fault.conn.restore", 1);
+                    self.events_processed += 1;
+                    continue;
+                }
                 _ => {}
             }
             if self.core.down[event.node] {
@@ -705,7 +738,10 @@ impl<M: WireSize> Simulation<M> {
                     TapKind::Deliver
                 }
                 EventBody::Timer { .. } => TapKind::Timer,
-                EventBody::Crash | EventBody::Restart => unreachable!("handled above"),
+                EventBody::Crash
+                | EventBody::Restart
+                | EventBody::ConnDrop
+                | EventBody::ConnRestore => unreachable!("handled above"),
             };
             let mut env = EnvHandle {
                 core: &mut self.core,
@@ -718,7 +754,10 @@ impl<M: WireSize> Simulation<M> {
                 EventBody::Start => node.on_start(&mut env),
                 EventBody::Deliver { from, msg } => node.on_message(&mut env, from, msg),
                 EventBody::Timer { tag } => node.on_timer(&mut env, tag),
-                EventBody::Crash | EventBody::Restart => unreachable!("handled above"),
+                EventBody::Crash
+                | EventBody::Restart
+                | EventBody::ConnDrop
+                | EventBody::ConnRestore => unreachable!("handled above"),
             }
             let busy = env.busy;
             self.core.avail[event.node] = event.time + busy;

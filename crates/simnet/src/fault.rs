@@ -19,6 +19,14 @@
 //!   re-arm timers or re-announce itself.
 //! * **Churn** — [`FaultPlan::churn`] is a crash with a mandatory rejoin,
 //!   the way a mobile client leaves and returns.
+//! * **Connection drops** — a node pair can lose its (virtual) connection
+//!   for a time window ([`FaultPlan::conn_drop`]): messages between the
+//!   two nodes are dropped in both directions until the window ends, and
+//!   the boundaries are recorded as `fault.conn.drop` /
+//!   `fault.conn.restore` events. This is the deterministic twin of a TCP
+//!   disconnect + reconnect in `spyker-transport::tcp`, so the simulator
+//!   exercises the same disconnect-as-fault recovery path as a real
+//!   deployment.
 //! * **Byzantine clients** — a node can be marked adversarial
 //!   ([`FaultPlan::byzantine`]): every model update it sends is corrupted
 //!   in flight by a [`ByzantineAttack`] (sign-flip, scaling, gaussian
@@ -40,6 +48,9 @@
 //! | `fault.dropped.loss`       | … by probabilistic loss                   |
 //! | `fault.dropped.scripted`   | … by a scripted drop                      |
 //! | `fault.dropped.partition`  | … by an active partition                  |
+//! | `fault.dropped.conn`       | … by a dropped connection                 |
+//! | `fault.conn.drop`          | connection-drop windows that opened       |
+//! | `fault.conn.restore`       | connection-drop windows that healed       |
 //! | `fault.discarded`          | events discarded at a crashed node        |
 //! | `fault.crashes`            | crash events that took effect             |
 //! | `fault.restarts`           | restart events that took effect           |
@@ -89,6 +100,23 @@ pub struct PartitionWindow {
     /// When the partition starts (inclusive, send time).
     pub start: SimTime,
     /// When the partition heals (exclusive, send time).
+    pub end: SimTime,
+}
+
+/// A node-pair connection outage over a virtual-time window.
+///
+/// While the window is open, messages between `a` and `b` (both
+/// directions) are dropped — the way a severed TCP connection eats
+/// everything in flight until the dialer reconnects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnWindow {
+    /// One endpoint of the connection.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// When the connection drops (inclusive, send time).
+    pub start: SimTime,
+    /// When the connection is re-established (exclusive, send time).
     pub end: SimTime,
 }
 
@@ -169,6 +197,8 @@ pub struct FaultPlan {
     pub drops: Vec<ScriptedDrop>,
     /// Region-pair partitions.
     pub partitions: Vec<PartitionWindow>,
+    /// Node-pair connection outages.
+    pub conns: Vec<ConnWindow>,
     /// Node crashes (and optional restarts).
     pub crashes: Vec<CrashEvent>,
     /// Byzantine (adversarial) nodes and their attacks.
@@ -188,6 +218,7 @@ impl FaultPlan {
             && self.link_loss.is_empty()
             && self.drops.is_empty()
             && self.partitions.is_empty()
+            && self.conns.is_empty()
             && self.crashes.is_empty()
             && self.byzantine.is_empty()
     }
@@ -201,6 +232,7 @@ impl FaultPlan {
             || !self.link_loss.is_empty()
             || !self.drops.is_empty()
             || !self.partitions.is_empty()
+            || !self.conns.is_empty()
     }
 
     /// Sets the global per-message loss probability (builder style).
@@ -260,6 +292,18 @@ impl FaultPlan {
     /// `[start, end)` (builder style).
     pub fn partition(mut self, a: Region, b: Region, start: SimTime, end: SimTime) -> Self {
         self.partitions.push(PartitionWindow { a, b, start, end });
+        self
+    }
+
+    /// Drops the connection between nodes `a` and `b` (both directions)
+    /// during `[start, end)` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn conn_drop(mut self, a: NodeId, b: NodeId, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "connection must restore after it drops");
+        self.conns.push(ConnWindow { a, b, start, end });
         self
     }
 
@@ -333,6 +377,13 @@ impl FaultPlan {
             ((p.a == ra && p.b == rb) || (p.a == rb && p.b == ra)) && at >= p.start && at < p.end
         })
     }
+
+    /// `true` if the connection between nodes `x` and `y` is down at `at`.
+    pub fn conn_down(&self, x: NodeId, y: NodeId, at: SimTime) -> bool {
+        self.conns.iter().any(|c| {
+            ((c.a == x && c.b == y) || (c.a == y && c.b == x)) && at >= c.start && at < c.end
+        })
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +422,25 @@ mod tests {
         assert!(!plan.partitioned(Region::Paris, Region::Sydney, SimTime::from_millis(999)));
         assert!(!plan.partitioned(Region::Paris, Region::Sydney, SimTime::from_secs(2)));
         assert!(!plan.partitioned(Region::Paris, Region::California, at));
+    }
+
+    #[test]
+    fn conn_windows_are_symmetric_and_half_open() {
+        let plan = FaultPlan::none().conn_drop(1, 5, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert!(!plan.is_none());
+        assert!(plan.has_message_faults());
+        let at = SimTime::from_millis(1500);
+        assert!(plan.conn_down(1, 5, at));
+        assert!(plan.conn_down(5, 1, at));
+        assert!(!plan.conn_down(1, 5, SimTime::from_millis(999)));
+        assert!(!plan.conn_down(1, 5, SimTime::from_secs(2)));
+        assert!(!plan.conn_down(1, 4, at));
+    }
+
+    #[test]
+    #[should_panic(expected = "connection must restore after it drops")]
+    fn conn_restore_before_drop_is_rejected() {
+        let _ = FaultPlan::none().conn_drop(0, 1, SimTime::from_secs(2), SimTime::from_secs(2));
     }
 
     #[test]

@@ -387,7 +387,8 @@ impl Oracle for CounterConsistencyOracle {
             m.counter("fault.dropped"),
             m.counter("fault.dropped.loss")
                 + m.counter("fault.dropped.scripted")
-                + m.counter("fault.dropped.partition"),
+                + m.counter("fault.dropped.partition")
+                + m.counter("fault.dropped.conn"),
         )?;
         Self::check_eq(
             "fault.byzantine (by attack)",

@@ -17,7 +17,9 @@ use spyker_core::deploy::{even_assignment, spyker_deployment_assigned, SpykerDep
 use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_core::training::{LocalTrainer, MeanTargetTrainer};
-use spyker_simnet::fault::{ByzantineAttack, CrashEvent, PartitionWindow, ScriptedDrop};
+use spyker_simnet::fault::{
+    ByzantineAttack, ConnWindow, CrashEvent, PartitionWindow, ScriptedDrop,
+};
 use spyker_simnet::{FaultPlan, NetworkConfig, NodeId, Region, SimTime, Simulation};
 
 /// A deliberate, test-only invariant violation injected mid-run.
@@ -173,7 +175,7 @@ impl SimScenario {
             (SimTime::from_micros(start), SimTime::from_micros(end))
         };
         for _ in 0..rng.gen_range(1..=3u32) {
-            match rng.gen_range(0..5u32) {
+            match rng.gen_range(0..6u32) {
                 0 => {
                     plan.loss_prob = rng.gen_range(0.01..0.10f64);
                     servers_at_risk = true;
@@ -197,6 +199,16 @@ impl SimScenario {
                     let node = n_servers + rng.gen_range(0..n_clients);
                     let (leave, rejoin) = window(rng);
                     plan = plan.churn(node, leave, rejoin);
+                }
+                4 => {
+                    // Connection outage between two distinct nodes — the
+                    // deterministic twin of a TCP disconnect/reconnect.
+                    let total = n_servers + n_clients;
+                    let a = rng.gen_range(0..total);
+                    let b = (a + 1 + rng.gen_range(0..total - 1)) % total;
+                    let (start, end) = window(rng);
+                    plan = plan.conn_drop(a, b, start, end);
+                    servers_at_risk |= a < n_servers || b < n_servers;
                 }
                 _ => {
                     let node = n_servers + rng.gen_range(0..n_clients);
@@ -283,6 +295,7 @@ impl SimScenario {
             + self.faults.link_loss.len()
             + self.faults.drops.len()
             + self.faults.partitions.len()
+            + self.faults.conns.len()
             + self.faults.crashes.len()
             + self.faults.byzantine.len()
     }
@@ -307,6 +320,7 @@ impl SimScenario {
                 ScriptedDrop::NthOnLink { from, to, .. }
                 | ScriptedDrop::LinkWindow { from, to, .. } => *from == node || *to == node,
             })
+            || self.faults.conns.iter().any(|c| c.a == node || c.b == node)
             || self.faults.crashes.iter().any(|c| c.node == node)
             || self.faults.byzantine.iter().any(|b| b.node == node)
     }
@@ -317,6 +331,7 @@ impl SimScenario {
     pub fn faults_reference_nodes(&self) -> bool {
         !self.faults.link_loss.is_empty()
             || !self.faults.drops.is_empty()
+            || !self.faults.conns.is_empty()
             || !self.faults.crashes.is_empty()
             || !self.faults.byzantine.is_empty()
     }
@@ -411,6 +426,21 @@ impl SimScenario {
             })
             .collect();
         emit(p, &format!("        partitions: [{}],\n", parts.join(", ")));
+        let conns: Vec<String> = self
+            .faults
+            .conns
+            .iter()
+            .map(|c| {
+                format!(
+                    "(a: {}, b: {}, start_us: {}, end_us: {})",
+                    c.a,
+                    c.b,
+                    c.start.as_micros(),
+                    c.end.as_micros()
+                )
+            })
+            .collect();
+        emit(p, &format!("        conns: [{}],\n", conns.join(", ")));
         let crashes: Vec<String> = self
             .faults
             .crashes
@@ -758,6 +788,29 @@ impl<'a> Parser<'a> {
             let end = SimTime::from_micros(self.number::<u64>()?);
             self.expect(")")?;
             plan.partitions.push(PartitionWindow { a, b, start, end });
+            if !self.peek("]") {
+                self.expect(",")?;
+            }
+        }
+        self.expect("]")?;
+        self.expect(",")?;
+        self.field("conns")?;
+        self.expect("[")?;
+        while !self.peek("]") {
+            self.expect("(")?;
+            self.field("a")?;
+            let a = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("b")?;
+            let b = self.number::<usize>()?;
+            self.expect(",")?;
+            self.field("start_us")?;
+            let start = SimTime::from_micros(self.number::<u64>()?);
+            self.expect(",")?;
+            self.field("end_us")?;
+            let end = SimTime::from_micros(self.number::<u64>()?);
+            self.expect(")")?;
+            plan.conns.push(ConnWindow { a, b, start, end });
             if !self.peek("]") {
                 self.expect(",")?;
             }

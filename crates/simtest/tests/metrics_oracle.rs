@@ -32,6 +32,7 @@ const CRASH_RESTART: &str = "(
         link_loss: [],
         drops: [],
         partitions: [],
+        conns: [],
         crashes: [(node: 0, at_us: 3000000, restart_us: Some(6000000)), (node: 2, at_us: 8000000, restart_us: None)],
         byzantine: [],
     ),
@@ -64,6 +65,7 @@ const BYZANTINE_LOSS: &str = "(
         link_loss: [],
         drops: [],
         partitions: [],
+        conns: [],
         crashes: [],
         byzantine: [(node: 3, attack: SignFlip), (node: 4, attack: NanInject(prob: 0.5))],
     ),

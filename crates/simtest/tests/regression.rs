@@ -32,6 +32,7 @@ const SEED_164_SHRUNK: &str = "(
         link_loss: [],
         drops: [],
         partitions: [],
+        conns: [],
         crashes: [(node: 2, at_us: 2954843, restart_us: Some(11478800))],
         byzantine: [],
     ),

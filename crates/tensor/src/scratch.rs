@@ -17,9 +17,14 @@
 use crate::Matrix;
 
 /// A pool of reusable `f32` buffers (a "free list" arena).
+///
+/// Also pools raw byte buffers (`take_bytes` / `recycle_bytes`) so the
+/// TCP transport can stage encoded parameter frames without per-send
+/// allocation; the two pools are independent.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
     free: Vec<Vec<f32>>,
+    free_bytes: Vec<Vec<u8>>,
 }
 
 impl Scratch {
@@ -65,6 +70,32 @@ impl Scratch {
     pub fn recycle_vec(&mut self, v: Vec<f32>) {
         if v.capacity() > 0 {
             self.free.push(v);
+        }
+    }
+
+    /// Takes an empty byte buffer, reusing the largest parked one. The
+    /// caller appends into it (send-buffer staging) and recycles it when
+    /// the write completes; from the second send on no allocation happens
+    /// once capacity has converged on the largest frame seen.
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        let pick = self
+            .free_bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.capacity())
+            .map(|(i, _)| i);
+        let mut v = match pick {
+            Some(i) => self.free_bytes.swap_remove(i),
+            None => Vec::new(),
+        };
+        v.clear();
+        v
+    }
+
+    /// Returns a byte buffer to the arena for later reuse.
+    pub fn recycle_bytes(&mut self, v: Vec<u8>) {
+        if v.capacity() > 0 {
+            self.free_bytes.push(v);
         }
     }
 
@@ -118,6 +149,20 @@ mod tests {
         s.recycle_vec(got);
         let got = s.take_vec(500);
         assert_eq!(got.as_ptr(), big_ptr);
+    }
+
+    #[test]
+    fn byte_buffers_are_reused_and_come_back_empty() {
+        let mut s = Scratch::new();
+        let mut b = s.take_bytes();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let ptr = b.as_ptr();
+        let cap = b.capacity();
+        s.recycle_bytes(b);
+        let b2 = s.take_bytes();
+        assert_eq!(b2.as_ptr(), ptr);
+        assert_eq!(b2.capacity(), cap);
+        assert!(b2.is_empty());
     }
 
     #[test]

@@ -61,6 +61,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod tcp;
+
 use std::collections::{BinaryHeap, HashMap};
 use std::time::{Duration, Instant};
 
@@ -172,6 +174,9 @@ impl<M> ThreadEnv<M> {
         if scripted {
             return Some("scripted");
         }
+        if self.faults.conn_down(from, to, at) {
+            return Some("conn");
+        }
         if self
             .faults
             .partitioned(self.regions[from], self.regions[to], at)
@@ -190,7 +195,7 @@ impl<M> ThreadEnv<M> {
 /// self-contained, no RNG dependency. The thread cluster is wall-clock
 /// driven and thus not bit-reproducible anyway, so stream quality matters
 /// more than replay.
-fn splitmix_unit(state: &mut u64) -> f64 {
+pub(crate) fn splitmix_unit(state: &mut u64) -> f64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

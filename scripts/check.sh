@@ -32,3 +32,9 @@ cargo run -q --release -p spyker-bench --bin bench_smoke BENCH_tensor.json
 # prefix of the full one.
 cargo run -q --release -p spyker-simtest --bin simtest -- \
     --seeds 64 --budget-events 200k --time-cap-secs 120
+
+# Multi-process TCP soak (see DESIGN.md §13): 2 servers + 6 clients + a
+# malformed-frame attacker on localhost, one server SIGKILLed and
+# restarted mid-training. Skippable where spawning processes or binding
+# sockets is off-limits: SPYKER_SKIP_SOAK=1.
+./scripts/soak.sh

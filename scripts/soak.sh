@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Localhost soak of the multi-process TCP deployment: 2 servers + 6
+# clients + 1 malformed-frame attacker, with one server SIGKILLed and
+# restarted (--rejoin) mid-training. Passes when training kept
+# progressing, the restarted server rejoined via the recovery path, and
+# nothing panicked. Time-capped at roughly half a minute.
+#
+#   SPYKER_SKIP_SOAK=1 ./scripts/soak.sh   # skip entirely (CI opt-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${SPYKER_SKIP_SOAK:-0}" == "1" ]]; then
+    echo "soak: skipped (SPYKER_SKIP_SOAK=1)"
+    exit 0
+fi
+
+RUN_SECS=${SPYKER_SOAK_SECS:-18}
+KILL_AT=8
+RESTART_AT=3 # seconds after the kill
+CLIENTS=6
+DIM=4
+
+cargo build --release --bin spyker --offline -q
+BIN=target/release/spyker
+
+WORK=$(mktemp -d)
+export SPYKER_RESULTS_DIR="$WORK/results"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Ports derived from the PID to dodge collisions between parallel runs.
+P1=$((20000 + $$ % 20000))
+P2=$((P1 + 1))
+ADDRS="127.0.0.1:$P1,127.0.0.1:$P2"
+
+echo "soak: 2 servers + $CLIENTS clients + 1 malformed on $ADDRS for ${RUN_SECS}s"
+
+"$BIN" serve --idx 0 --addrs "$ADDRS" --clients $CLIENTS --dim $DIM \
+    --seconds "$RUN_SECS" >"$WORK/serve_0.log" 2>&1 &
+PIDS+=($!)
+"$BIN" serve --idx 1 --addrs "$ADDRS" --clients $CLIENTS --dim $DIM \
+    --seconds "$RUN_SECS" >"$WORK/serve_1.log" 2>&1 &
+VICTIM=$!
+PIDS+=("$VICTIM")
+for i in $(seq 0 $((CLIENTS - 1))); do
+    "$BIN" client --idx "$i" --addrs "$ADDRS" --clients $CLIENTS --dim $DIM \
+        --seconds "$RUN_SECS" >"$WORK/client_$i.log" 2>&1 &
+    PIDS+=($!)
+done
+"$BIN" client --idx 0 --addrs "$ADDRS" --clients $CLIENTS --malformed \
+    --seconds $((RUN_SECS - 4)) >"$WORK/malformed.log" 2>&1 &
+PIDS+=($!)
+
+sleep $KILL_AT
+echo "soak: SIGKILL server 1 (pid $VICTIM)"
+kill -9 "$VICTIM"
+sleep $RESTART_AT
+
+REMAIN=$((RUN_SECS - KILL_AT - RESTART_AT))
+echo "soak: restarting server 1 with --rejoin for ${REMAIN}s"
+"$BIN" serve --idx 1 --addrs "$ADDRS" --clients $CLIENTS --dim $DIM \
+    --seconds "$REMAIN" --rejoin --name serve_1_rejoin \
+    >"$WORK/serve_1_rejoin.log" 2>&1 &
+PIDS+=($!)
+
+wait
+
+counter() { # counter <file> <name> -> value (0 when absent)
+    grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$' || echo 0
+}
+
+fail=0
+R0="$SPYKER_RESULTS_DIR/serve_0.report.json"
+R1="$SPYKER_RESULTS_DIR/serve_1_rejoin.report.json"
+for f in "$R0" "$R1"; do
+    if [[ ! -f "$f" ]]; then
+        echo "soak: FAIL missing run report $f"
+        fail=1
+    fi
+done
+
+if [[ $fail == 0 ]]; then
+    u0=$(counter "$R0" "updates.processed")
+    u1=$(counter "$R1" "updates.processed")
+    restarts=$(counter "$R1" "server.restarts")
+    conns=$(counter "$R1" "net.conn.accepted")
+    drops0=$(( $(counter "$R0" "net.conn.dropped") + $(counter "$R0" "fault.dropped.conn") ))
+    echo "soak: survivor processed $u0 updates; rejoined server processed $u1" \
+         "(restarts=$restarts, accepted=$conns, survivor drop evidence=$drops0)"
+    [[ $u0 -gt 20 ]] || { echo "soak: FAIL survivor barely trained ($u0 updates)"; fail=1; }
+    [[ $u1 -gt 0 ]] || { echo "soak: FAIL rejoined server processed nothing"; fail=1; }
+    [[ $restarts -ge 1 ]] || { echo "soak: FAIL rejoin did not use the recovery path"; fail=1; }
+    [[ $conns -gt 0 ]] || { echo "soak: FAIL nobody reconnected to the rejoined server"; fail=1; }
+    [[ $drops0 -gt 0 ]] || { echo "soak: FAIL survivor never noticed the crash"; fail=1; }
+    corrupt=$(counter "$R0" "net.frames.corrupt")
+    [[ $corrupt -gt 0 ]] || { echo "soak: FAIL malformed frames never reached server 0"; fail=1; }
+fi
+
+if grep -l "panicked" "$WORK"/*.log >/dev/null 2>&1; then
+    echo "soak: FAIL panic in process logs:"
+    grep -n "panicked" "$WORK"/*.log || true
+    fail=1
+fi
+
+if [[ $fail != 0 ]]; then
+    echo "soak: logs kept under $WORK for inspection"
+    trap - EXIT
+    for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+    exit 1
+fi
+echo "soak: OK (kill/rejoin survived, training progressed, zero panics)"

@@ -4,12 +4,23 @@
 //! spyker run     --alg spyker --task mnist --clients 40 --servers 4 --seconds 30
 //! spyker compare --task mnist --clients 40 --servers 4 --seconds 30
 //! spyker latency
+//! spyker serve   --idx 0 --addrs 127.0.0.1:7401,127.0.0.1:7402 --clients 6 --seconds 20
+//! spyker client  --idx 3 --addrs 127.0.0.1:7401,127.0.0.1:7402 --clients 6 --seconds 20
 //! ```
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use spyker_repro::core::client::FlClient;
+use spyker_repro::core::config::{RecoveryConfig, SpykerConfig};
+use spyker_repro::core::params::ParamVec;
+use spyker_repro::core::server::SpykerServer;
+use spyker_repro::core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_repro::experiments::report::write_run_report;
 use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario, TaskKind};
 use spyker_repro::simnet::SimTime;
+use spyker_repro::transport::tcp::{run_malformed_client, run_node, TcpNodeConfig};
 
 const USAGE: &str = "\
 spyker — asynchronous multi-server federated learning (Spyker reproduction)
@@ -18,6 +29,8 @@ USAGE:
     spyker run     [OPTIONS]   run one algorithm and print its convergence
     spyker compare [OPTIONS]   run all five algorithms and print a comparison
     spyker latency             print the AWS inter-region latency matrix
+    spyker serve   [OPTIONS]   run one Spyker server as a TCP process
+    spyker client  [OPTIONS]   run one Spyker client as a TCP process
 
 OPTIONS:
     --alg <name>       fedavg | fedasync | hierfavg | spyker | sync-spyker
@@ -28,6 +41,16 @@ OPTIONS:
     --seconds <n>      virtual-time budget             (default 30)
     --seed <n>         RNG seed (runs are bit-reproducible)  (default 42)
     --target <x>       early-stop metric target (e.g. 0.9)
+
+TCP OPTIONS (serve/client; --seconds is wall-clock here):
+    --addrs <a,b,..>   comma-separated server listen addresses (required);
+                       their count is the server count
+    --idx <n>          which server (serve) or client (client) this process is
+    --dim <n>          model dimension                 (default 4)
+    --rejoin           serve only: restart-rejoin after a crash instead of a
+                       fresh start
+    --malformed        client only: send malformed frames instead of training
+    --name <s>         run-report name (default serve_<idx> / client_<idx>)
 ";
 
 /// Parsed command line.
@@ -41,6 +64,12 @@ struct Args {
     seconds: u64,
     seed: u64,
     target: Option<f64>,
+    addrs: Vec<String>,
+    idx: usize,
+    dim: usize,
+    rejoin: bool,
+    malformed: bool,
+    name: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +77,8 @@ enum Command {
     Run,
     Compare,
     Latency,
+    Serve,
+    Client,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -60,12 +91,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seconds: 30,
         seed: 42,
         target: None,
+        addrs: Vec::new(),
+        idx: 0,
+        dim: 4,
+        rejoin: false,
+        malformed: false,
+        name: None,
     };
     let mut it = argv.iter();
     match it.next().map(String::as_str) {
         Some("run") => args.command = Command::Run,
         Some("compare") => args.command = Command::Compare,
         Some("latency") => args.command = Command::Latency,
+        Some("serve") => args.command = Command::Serve,
+        Some("client") => args.command = Command::Client,
         Some(other) => return Err(format!("unknown command '{other}'")),
         None => return Err("missing command".into()),
     }
@@ -107,11 +146,40 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--target" => {
                 args.target = Some(value()?.parse().map_err(|e| format!("--target: {e}"))?)
             }
+            "--addrs" => {
+                args.addrs = value()?.split(',').map(String::from).collect();
+            }
+            "--idx" => args.idx = value()?.parse().map_err(|e| format!("--idx: {e}"))?,
+            "--dim" => args.dim = value()?.parse().map_err(|e| format!("--dim: {e}"))?,
+            "--rejoin" => args.rejoin = true,
+            "--malformed" => args.malformed = true,
+            "--name" => args.name = Some(value()?.to_string()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.clients == 0 || args.servers == 0 {
         return Err("--clients and --servers must be positive".into());
+    }
+    if matches!(args.command, Command::Serve | Command::Client) {
+        if args.addrs.is_empty() {
+            return Err("serve/client need --addrs".into());
+        }
+        if args.dim == 0 {
+            return Err("--dim must be positive".into());
+        }
+        if args.command == Command::Serve && args.idx >= args.addrs.len() {
+            return Err(format!(
+                "--idx {} out of range for {} server addresses",
+                args.idx,
+                args.addrs.len()
+            ));
+        }
+        if args.command == Command::Client && args.idx >= args.clients {
+            return Err(format!(
+                "--idx {} out of range for {} clients",
+                args.idx, args.clients
+            ));
+        }
     }
     if args.clients > args.task.max_clients() {
         return Err(format!(
@@ -220,6 +288,106 @@ fn cmd_latency() {
     }
 }
 
+fn parse_addrs(specs: &[String]) -> Result<Vec<SocketAddr>, String> {
+    specs
+        .iter()
+        .map(|s| s.parse().map_err(|e| format!("--addrs '{s}': {e}")))
+        .collect()
+}
+
+/// One Spyker server as a real OS process: listens on its own address,
+/// dials every lower-indexed server, serves its share of the clients.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addrs = parse_addrs(&args.addrs)?;
+    let s = args.idx;
+    let num_servers = addrs.len();
+    let num_nodes = num_servers + args.clients;
+    let config = SpykerConfig::paper_defaults(args.clients, num_servers)
+        .with_thresholds(2.0, 25.0)
+        .with_recovery(RecoveryConfig::default());
+    let server_nodes: Vec<usize> = (0..num_servers).collect();
+    let clients: Vec<usize> = (0..args.clients)
+        .filter(|i| i % num_servers == s)
+        .map(|i| num_servers + i)
+        .collect();
+    let node = Box::new(SpykerServer::new(
+        s,
+        server_nodes,
+        clients,
+        ParamVec::zeros(args.dim),
+        config,
+    ));
+    let mut cfg = TcpNodeConfig::new(s, num_nodes);
+    cfg.listen = Some(addrs[s]);
+    cfg.peers = (0..s).map(|j| (j, addrs[j])).collect();
+    cfg.rejoin = args.rejoin;
+    cfg.seed = args.seed.wrapping_add(s as u64);
+    println!(
+        "server {s} on {} ({} servers, {} clients, {}s wall-clock{})",
+        addrs[s],
+        num_servers,
+        args.clients,
+        args.seconds,
+        if args.rejoin { ", rejoining" } else { "" }
+    );
+    let report = run_node(node, &cfg, Duration::from_secs(args.seconds))
+        .map_err(|e| format!("bind {}: {e}", addrs[s]))?;
+    println!(
+        "server {s} done: {} updates processed, {} conns accepted, {} conn drops",
+        report.metrics.counter("updates.processed"),
+        report.metrics.counter("net.conn.accepted"),
+        report.metrics.counter("net.conn.dropped"),
+    );
+    let name = args.name.clone().unwrap_or_else(|| format!("serve_{s}"));
+    let path = write_run_report(&name, &report.metrics, report.end);
+    println!("run report written to {}", path.display());
+    Ok(())
+}
+
+/// One Spyker client as a real OS process: dials its server (`idx` mod
+/// server count) and trains. With `--malformed` it attacks the server
+/// with garbage frames instead — the soak harness uses this to prove the
+/// server survives hostile bytes.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let addrs = parse_addrs(&args.addrs)?;
+    let num_servers = addrs.len();
+    let k = args.idx;
+    let server = k % num_servers;
+    if args.malformed {
+        let metrics = run_malformed_client(
+            addrs[server],
+            Duration::from_secs(args.seconds),
+            args.seed.wrapping_add(k as u64),
+        );
+        println!(
+            "malformed client {k} sent {} garbage frames at {}",
+            metrics.counter("net.frames.sent"),
+            addrs[server]
+        );
+        return Ok(());
+    }
+    let trainer: Box<dyn LocalTrainer> =
+        Box::new(MeanTargetTrainer::new(vec![(k % 4) as f32; args.dim], 8));
+    let node = Box::new(FlClient::new(server, trainer, 1, SimTime::from_millis(150)));
+    let mut cfg = TcpNodeConfig::new(num_servers + k, num_servers + args.clients);
+    cfg.peers = vec![(server, addrs[server])];
+    cfg.seed = args.seed.wrapping_add(1000 + k as u64);
+    println!(
+        "client {k} dialing server {server} at {} ({}s wall-clock)",
+        addrs[server], args.seconds
+    );
+    let report =
+        run_node(node, &cfg, Duration::from_secs(args.seconds)).map_err(|e| e.to_string())?;
+    println!(
+        "client {k} done: {} updates sent",
+        report.metrics.counter("updates.sent")
+    );
+    let name = args.name.clone().unwrap_or_else(|| format!("client_{k}"));
+    let path = write_run_report(&name, &report.metrics, report.end);
+    println!("run report written to {}", path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
@@ -228,12 +396,29 @@ fn main() -> ExitCode {
     }
     match parse_args(&argv) {
         Ok(args) => {
-            match args.command {
-                Command::Run => cmd_run(&args),
-                Command::Compare => cmd_compare(&args),
-                Command::Latency => cmd_latency(),
+            let outcome = match args.command {
+                Command::Run => {
+                    cmd_run(&args);
+                    Ok(())
+                }
+                Command::Compare => {
+                    cmd_compare(&args);
+                    Ok(())
+                }
+                Command::Latency => {
+                    cmd_latency();
+                    Ok(())
+                }
+                Command::Serve => cmd_serve(&args),
+                Command::Client => cmd_client(&args),
+            };
+            match outcome {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -281,6 +466,39 @@ mod tests {
         assert!(parse_args(&argv("run --task wikitext --clients 300")).is_err());
         assert!(parse_args(&argv("run --task mnist --clients 5000")).is_err());
         assert!(parse_args(&argv("run --task wikitext --clients 250")).is_ok());
+    }
+
+    #[test]
+    fn parses_serve_and_client_commands() {
+        let args = parse_args(&argv(
+            "serve --idx 1 --addrs 127.0.0.1:7401,127.0.0.1:7402 --clients 6 --dim 3 --seconds 20 --rejoin --name s1",
+        ))
+        .unwrap();
+        assert_eq!(args.command, Command::Serve);
+        assert_eq!(args.idx, 1);
+        assert_eq!(args.addrs.len(), 2);
+        assert_eq!(args.dim, 3);
+        assert!(args.rejoin);
+        assert_eq!(args.name.as_deref(), Some("s1"));
+
+        let args = parse_args(&argv(
+            "client --idx 5 --addrs 127.0.0.1:7401 --clients 6 --malformed",
+        ))
+        .unwrap();
+        assert_eq!(args.command, Command::Client);
+        assert!(args.malformed);
+    }
+
+    #[test]
+    fn rejects_tcp_commands_with_bad_topology() {
+        // No addresses at all.
+        assert!(parse_args(&argv("serve --idx 0 --clients 4")).is_err());
+        // Server index beyond the address list.
+        assert!(parse_args(&argv("serve --idx 2 --addrs a:1,b:2 --clients 4")).is_err());
+        // Client index beyond the client count.
+        assert!(parse_args(&argv("client --idx 4 --addrs 127.0.0.1:7401 --clients 4")).is_err());
+        // Zero-dimensional models are nonsense.
+        assert!(parse_args(&argv("serve --idx 0 --addrs 127.0.0.1:7401 --dim 0")).is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@ fn faulty_scenario() -> SimScenario {
         )
         .crash(0, SimTime::from_secs(3), Some(SimTime::from_secs(5)))
         .crash(4, SimTime::from_secs(6), Some(SimTime::from_secs(7)))
+        .conn_drop(1, 4, SimTime::from_secs(5), SimTime::from_secs(6))
         .byzantine(3, ByzantineAttack::SignFlip)
         .byzantine(5, ByzantineAttack::Scale { factor: 50.0 })
         .byzantine(6, ByzantineAttack::GaussianNoise { sigma: 10.0 })

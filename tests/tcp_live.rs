@@ -1,0 +1,179 @@
+//! The protocol actors on the real TCP transport: one `run_node` per
+//! thread, localhost sockets in between. The full multi-process story
+//! (SIGKILL + restart) lives in `scripts/soak.sh`; this covers the
+//! in-process end of the same code path.
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+use std::time::Duration;
+
+use spyker_repro::core::client::FlClient;
+use spyker_repro::core::config::{RecoveryConfig, SpykerConfig};
+use spyker_repro::core::params::ParamVec;
+use spyker_repro::core::server::SpykerServer;
+use spyker_repro::core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_repro::simnet::SimTime;
+use spyker_repro::transport::tcp::{run_malformed_client, run_node, TcpNodeConfig, TcpReport};
+
+/// An ephemeral localhost address that was free a moment ago.
+fn free_addr() -> SocketAddr {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("local addr")
+}
+
+fn config(num_clients: usize, num_servers: usize) -> SpykerConfig {
+    SpykerConfig::paper_defaults(num_clients, num_servers)
+        .with_thresholds(2.0, 25.0)
+        .with_recovery(RecoveryConfig::default())
+}
+
+fn node_cfg(me: usize, num_nodes: usize) -> TcpNodeConfig {
+    let mut cfg = TcpNodeConfig::new(me, num_nodes);
+    cfg.heartbeat = Duration::from_millis(200);
+    cfg.liveness_timeout = Duration::from_secs(1);
+    cfg
+}
+
+/// Spawns servers 0..S (listening, dialing lower-indexed servers) and
+/// clients S..S+N (dialing their server) as one `run_node` thread each,
+/// runs for `secs`, and returns all reports in node-id order.
+fn run_deployment(num_servers: usize, num_clients: usize, secs: u64) -> Vec<TcpReport> {
+    let addrs: Vec<SocketAddr> = (0..num_servers).map(|_| free_addr()).collect();
+    let num_nodes = num_servers + num_clients;
+    let cfg = config(num_clients, num_servers);
+    let mut handles = Vec::new();
+    for s in 0..num_servers {
+        let server_nodes: Vec<usize> = (0..num_servers).collect();
+        let clients: Vec<usize> = (0..num_clients)
+            .filter(|i| i % num_servers == s)
+            .map(|i| num_servers + i)
+            .collect();
+        let node = Box::new(SpykerServer::new(
+            s,
+            server_nodes,
+            clients,
+            ParamVec::zeros(1),
+            cfg.clone(),
+        ));
+        let mut ncfg = node_cfg(s, num_nodes);
+        ncfg.listen = Some(addrs[s]);
+        ncfg.peers = (0..s).map(|j| (j, addrs[j])).collect();
+        handles.push(thread::spawn(move || {
+            run_node(node, &ncfg, Duration::from_secs(secs)).expect("server bind")
+        }));
+    }
+    for i in 0..num_clients {
+        let server = i % num_servers;
+        let trainer: Box<dyn LocalTrainer> =
+            Box::new(MeanTargetTrainer::new(vec![(i % 4) as f32], 8));
+        let node = Box::new(FlClient::new(server, trainer, 1, SimTime::from_millis(150)));
+        let mut ncfg = node_cfg(num_servers + i, num_nodes);
+        ncfg.peers = vec![(server, addrs[server])];
+        handles.push(thread::spawn(move || {
+            run_node(node, &ncfg, Duration::from_secs(secs)).expect("client run")
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect()
+}
+
+#[test]
+fn spyker_trains_over_tcp_sockets() {
+    let reports = run_deployment(2, 4, 6);
+    let processed: u64 = reports[..2]
+        .iter()
+        .map(|r| r.metrics.counter("updates.processed"))
+        .sum();
+    assert!(processed > 10, "too few updates over TCP: {processed}");
+    for (s, report) in reports[..2].iter().enumerate() {
+        assert!(
+            report.metrics.counter("net.conn.accepted") > 0,
+            "server {s} accepted no connections"
+        );
+        let server = report
+            .node
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .expect("server");
+        let v = server.params().as_slice()[0];
+        assert!(v > 0.0 && v < 3.0, "server {s} model off at {v}");
+    }
+    for (c, report) in reports[2..].iter().enumerate() {
+        assert!(
+            report.metrics.counter("net.conn.dialed") > 0,
+            "client {c} never connected"
+        );
+        assert!(report.metrics.counter("net.bytes") > 0);
+    }
+}
+
+#[test]
+fn malformed_frames_do_not_panic_the_server() {
+    let addr = free_addr();
+    let cfg = config(2, 1);
+    let node = Box::new(SpykerServer::new(
+        0,
+        vec![0],
+        vec![1, 2],
+        ParamVec::zeros(1),
+        cfg,
+    ));
+    let mut ncfg = node_cfg(0, 3);
+    ncfg.listen = Some(addr);
+    let server =
+        thread::spawn(move || run_node(node, &ncfg, Duration::from_secs(4)).expect("server bind"));
+    let mut clients = Vec::new();
+    for i in 0..2 {
+        let trainer: Box<dyn LocalTrainer> = Box::new(MeanTargetTrainer::new(vec![1.0], 8));
+        let node = Box::new(FlClient::new(0, trainer, 1, SimTime::from_millis(150)));
+        let mut ccfg = node_cfg(1 + i, 3);
+        ccfg.peers = vec![(0, addr)];
+        clients.push(thread::spawn(move || {
+            run_node(node, &ccfg, Duration::from_secs(4)).expect("client run")
+        }));
+    }
+    let attacker = thread::spawn(move || run_malformed_client(addr, Duration::from_secs(3), 99));
+    let attack = attacker.join().expect("attacker panicked");
+    assert!(
+        attack.counter("net.frames.sent") > 0,
+        "attacker sent nothing"
+    );
+    let report = server.join().expect("server panicked under attack");
+    assert!(
+        report.metrics.counter("net.frames.corrupt") > 0,
+        "server never saw the malformed frames"
+    );
+    assert!(
+        report.metrics.counter("updates.processed") > 0,
+        "training stalled under attack"
+    );
+    for c in clients {
+        c.join().expect("client panicked");
+    }
+}
+
+#[test]
+fn dialing_a_dead_peer_retries_with_backoff() {
+    // Nothing listens on this address; the dialer must keep retrying
+    // (bounded by backoff) rather than erroring out or spinning.
+    let addr = free_addr();
+    let trainer: Box<dyn LocalTrainer> = Box::new(MeanTargetTrainer::new(vec![1.0], 8));
+    let node = Box::new(FlClient::new(0, trainer, 1, SimTime::from_millis(50)));
+    let mut ncfg = node_cfg(1, 2);
+    ncfg.peers = vec![(0, addr)];
+    let report = run_node(node, &ncfg, Duration::from_millis(1500)).expect("client run");
+    let retries = report.metrics.counter("net.conn.retries");
+    assert!(retries >= 2, "expected repeated redials, got {retries}");
+    assert!(
+        report.metrics.counter("net.conn.dialed") == 0,
+        "nothing should have connected"
+    );
+    // Messages to the dead peer degrade into counted drops, not errors.
+    assert!(
+        report.metrics.counter("fault.dropped.conn") <= report.metrics.counter("fault.dropped")
+    );
+}
