@@ -1,0 +1,473 @@
+//! The metrics-driven autoscaler for the elastic server ring.
+//!
+//! The [`Autoscaler`] is a small control-loop actor that shares the
+//! deployment with the protocol nodes but takes no part in the protocol
+//! itself. Every `interval` it reads the observability gauges the servers
+//! publish — `membership.ring_size` and the per-slot client-load family
+//! `scale.load.s*` — computes a *pressure* ratio (observed clients per
+//! server over the configured target), and nudges the ring:
+//!
+//! * pressure above `high_water` for `patience` consecutive ticks sends
+//!   [`crate::msg::FlMsg::ScaleUp`] to the next standby server, which joins
+//!   via the sponsor (`membership::join_bid` protocol);
+//! * pressure below `low_water` for `patience` consecutive ticks sends
+//!   [`crate::msg::FlMsg::ScaleDown`] to the most recently activated
+//!   server, which drains out via the voluntary-leave protocol.
+//!
+//! A `cooldown` after every action and the `patience` window give the ring
+//! time to re-converge before the controller acts again (hysteresis); the
+//! base fleet (`min_servers`, plus every server the autoscaler did not
+//! itself activate) is never scaled down.
+//!
+//! Pressure is *observed* pressure: under the DES the environment exposes
+//! the simulation-wide metrics, while distributed transports can only see
+//! gauges of the node the actor runs on ([`Env::gauge`]). When the gauges
+//! are unobservable the autoscaler holds (counter `scale.holds`) rather
+//! than act blind.
+
+use std::any::Any;
+
+use spyker_simnet::{Env, Node, NodeId, SimTime};
+
+use crate::msg::FlMsg;
+
+/// Highest ring slot whose `scale.load.s{slot}` gauge the autoscaler
+/// probes. Slots are append-only (a retired slot is never reused), so a
+/// deployment that churns through more than this many joins stops being
+/// fully observed — far beyond any realistic elastic fleet.
+const MAX_PROBED_SLOTS: usize = 64;
+
+/// Control-loop parameters of the [`Autoscaler`].
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalerConfig {
+    /// Tick period of the control loop.
+    pub interval: SimTime,
+    /// Desired clients per live server; pressure 1.0 means exactly on
+    /// target.
+    pub target_ratio: f64,
+    /// Grow when pressure stays above this (e.g. 1.25 = 25% over target).
+    pub high_water: f64,
+    /// Shrink when pressure stays below this (e.g. 0.5 = half the target).
+    pub low_water: f64,
+    /// Consecutive breaching ticks required before acting.
+    pub patience: u32,
+    /// Hold-off after every scaling action.
+    pub cooldown: SimTime,
+    /// Never shrink the ring below this many live servers.
+    pub min_servers: usize,
+}
+
+impl AutoscalerConfig {
+    /// Conservative defaults: tick every second, target 8 clients per
+    /// server, act after 3 breaching ticks, 5 s cooldown, keep >= 2
+    /// servers.
+    pub fn defaults() -> Self {
+        Self {
+            interval: SimTime::from_secs(1),
+            target_ratio: 8.0,
+            high_water: 1.25,
+            low_water: 0.5,
+            patience: 3,
+            cooldown: SimTime::from_secs(5),
+            min_servers: 2,
+        }
+    }
+}
+
+/// The autoscaler actor. See the module docs for the control loop.
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    /// Live server the next join request is routed through.
+    sponsor: NodeId,
+    /// Standby servers in activation order. `pool[..next_up]` have been
+    /// activated (scale-down pops from that end, last-activated first);
+    /// `pool[next_up..]` are still standby.
+    pool: Vec<NodeId>,
+    next_up: usize,
+    /// Consecutive ticks above `high_water` / below `low_water`.
+    over: u32,
+    under: u32,
+    cooldown_until: SimTime,
+    ticks: u64,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler that routes joins through `sponsor` (a server
+    /// expected to stay live) and activates `standby_pool` in order.
+    pub fn new(cfg: AutoscalerConfig, sponsor: NodeId, standby_pool: Vec<NodeId>) -> Self {
+        Self {
+            cfg,
+            sponsor,
+            pool: standby_pool,
+            next_up: 0,
+            over: 0,
+            under: 0,
+            cooldown_until: SimTime::ZERO,
+            ticks: 0,
+        }
+    }
+
+    /// Marks the first `n` pool entries as already activated (builder
+    /// style) — for resuming control of a deployment whose extra servers
+    /// were already scaled in, and for driving scale-down in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the pool size.
+    pub fn with_preactivated(mut self, n: usize) -> Self {
+        assert!(n <= self.pool.len(), "preactivated beyond pool");
+        self.next_up = n;
+        self
+    }
+
+    /// Control-loop ticks executed (observable in tests).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Servers currently activated from the pool.
+    pub fn activated(&self) -> usize {
+        self.next_up
+    }
+
+    fn tick(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.ticks += 1;
+        let now = env.now();
+        // Observed pressure: total re-homed-aware client load over the
+        // live fleet's target capacity.
+        let Some(ring_size) = env.gauge("membership.ring_size") else {
+            env.add_counter("scale.holds", 1);
+            return;
+        };
+        if ring_size < 1.0 {
+            env.add_counter("scale.holds", 1);
+            return;
+        }
+        let mut clients = 0.0;
+        for slot in 0..MAX_PROBED_SLOTS {
+            if let Some(v) = env.gauge(&format!("scale.load.s{slot}")) {
+                clients += v;
+            }
+        }
+        let pressure = clients / (ring_size * self.cfg.target_ratio);
+        env.gauge_set("scale.pressure", pressure);
+        if now < self.cooldown_until {
+            env.add_counter("scale.holds", 1);
+        } else if pressure > self.cfg.high_water {
+            self.under = 0;
+            self.over += 1;
+            if self.over >= self.cfg.patience {
+                self.over = 0;
+                if self.next_up < self.pool.len() {
+                    let target = self.pool[self.next_up];
+                    self.next_up += 1;
+                    env.add_counter("scale.up", 1);
+                    env.send(
+                        target,
+                        FlMsg::ScaleUp {
+                            sponsor: self.sponsor,
+                        },
+                    );
+                    self.cooldown_until = now + self.cfg.cooldown;
+                } else {
+                    // Pool exhausted: nothing to activate.
+                    env.add_counter("scale.holds", 1);
+                }
+            }
+        } else if pressure < self.cfg.low_water {
+            self.over = 0;
+            self.under += 1;
+            if self.under >= self.cfg.patience {
+                self.under = 0;
+                if self.next_up > 0 && ring_size as usize > self.cfg.min_servers {
+                    self.next_up -= 1;
+                    let victim = self.pool[self.next_up];
+                    env.add_counter("scale.down", 1);
+                    env.send(victim, FlMsg::ScaleDown);
+                    self.cooldown_until = now + self.cfg.cooldown;
+                } else {
+                    // Only the base fleet is left (or the floor is hit).
+                    env.add_counter("scale.holds", 1);
+                }
+            }
+        } else {
+            self.over = 0;
+            self.under = 0;
+        }
+    }
+}
+
+impl Node<FlMsg> for Autoscaler {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        env.set_timer(self.cfg.interval, 0);
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, _from: NodeId, _msg: FlMsg) {
+        // The autoscaler only talks, it never listens.
+        env.add_counter("net.unexpected", 1);
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, _tag: u64) {
+        self.tick(env);
+        env.set_timer(self.cfg.interval, 0);
+    }
+
+    fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
+        // Timers died with the crash; the control loop state survives.
+        env.set_timer(self.cfg.interval, 0);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{FailoverConfig, FlClient};
+    use crate::config::SpykerConfig;
+    use crate::membership::MembershipConfig;
+    use crate::params::ParamVec;
+    use crate::server::SpykerServer;
+    use crate::training::MeanTargetTrainer;
+    use spyker_simnet::{NetworkConfig, Region, Simulation};
+
+    fn cfg(clients: usize, servers: usize) -> SpykerConfig {
+        SpykerConfig::paper_defaults(clients, servers)
+            .with_thresholds(3.0, 20.0)
+            .with_membership(MembershipConfig::default())
+    }
+
+    fn client(server: NodeId, all_servers: &[NodeId], t: f32) -> FlClient {
+        FlClient::new(
+            server,
+            Box::new(MeanTargetTrainer::new(vec![t, t], 10)),
+            1,
+            SimTime::from_millis(150),
+        )
+        .with_failover(FailoverConfig {
+            candidates: all_servers.to_vec(),
+            timeout: SimTime::from_secs(4),
+        })
+    }
+
+    fn server_ref(sim: &Simulation<FlMsg>, id: usize) -> &SpykerServer {
+        sim.node(id)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .unwrap()
+    }
+
+    #[test]
+    fn autoscaler_holds_when_pressure_is_unobservable() {
+        // No servers → no membership gauges → every tick must hold.
+        let mut sim = Simulation::new(NetworkConfig::aws(), 1);
+        sim.add_node(
+            Box::new(Autoscaler::new(AutoscalerConfig::defaults(), 0, vec![1])),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(10));
+        assert!(sim.metrics().counter("scale.holds") >= 9);
+        assert_eq!(sim.metrics().counter("scale.up"), 0);
+        assert_eq!(sim.metrics().counter("scale.down"), 0);
+    }
+
+    #[test]
+    fn autoscaler_grows_the_ring_under_client_pressure() {
+        // 2 servers x 3 clients at a target of 2 clients/server: pressure
+        // 6 / (2*2) = 1.5 > 1.25 → grow; at 3 servers 6 / (3*2) = 1.0 sits
+        // inside the band → stable.
+        let mut sim = Simulation::new(NetworkConfig::aws(), 11);
+        let c = cfg(6, 2);
+        let servers = vec![0usize, 1];
+        sim.add_node(
+            Box::new(SpykerServer::new(
+                0,
+                servers.clone(),
+                vec![3, 4, 5],
+                ParamVec::zeros(2),
+                c.clone(),
+            )),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(SpykerServer::new(
+                1,
+                servers.clone(),
+                vec![6, 7, 8],
+                ParamVec::zeros(2),
+                c.clone(),
+            )),
+            Region::Sydney,
+        );
+        // Node 2: standby, activated only by the autoscaler.
+        sim.add_node(
+            Box::new(SpykerServer::standby(
+                Region::California,
+                ParamVec::zeros(2),
+                c.clone(),
+                None,
+                None,
+            )),
+            Region::California,
+        );
+        let all = [0, 1, 2];
+        for i in 0..6 {
+            let home = if i < 3 { 0 } else { 1 };
+            sim.add_node(
+                Box::new(client(home, &all, i as f32 * 0.5)),
+                if i < 3 { Region::Paris } else { Region::Sydney },
+            );
+        }
+        let asc_cfg = AutoscalerConfig {
+            interval: SimTime::from_secs(1),
+            target_ratio: 2.0,
+            high_water: 1.25,
+            low_water: 0.4,
+            patience: 2,
+            cooldown: SimTime::from_secs(5),
+            min_servers: 2,
+        };
+        sim.add_node(
+            Box::new(Autoscaler::new(asc_cfg, 0, vec![2])),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(30));
+        assert_eq!(sim.metrics().counter("scale.up"), 1);
+        assert_eq!(sim.metrics().counter("membership.joins"), 1);
+        let joiner = server_ref(&sim, 2);
+        assert!(joiner.is_ring_member(), "standby server never joined");
+        assert_eq!(joiner.membership_phase(), "live");
+        assert_eq!(joiner.ring_epoch(), 1);
+        for id in 0..2 {
+            assert_eq!(server_ref(&sim, id).ring_epoch(), 1, "server {id} stale");
+        }
+        assert_eq!(sim.metrics().gauge("membership.ring_size"), Some(3.0));
+        assert!(sim.metrics().gauge("scale.pressure").is_some());
+        // Training kept making progress across the membership change.
+        assert!(sim.metrics().counter("updates.processed") > 20);
+        assert_eq!(sim.metrics().counter("scale.down"), 0);
+    }
+
+    #[test]
+    fn autoscaler_drains_an_activated_server_when_idle() {
+        // 3 live servers, 2 clients, target 4/server: pressure 2/12 ≈ 0.17
+        // < 0.25 → shrink. Server 2 is marked as previously activated; the
+        // base fleet (0, 1) is never touched.
+        let mut sim = Simulation::new(NetworkConfig::aws(), 5);
+        let c = cfg(2, 3);
+        let servers = vec![0usize, 1, 2];
+        for idx in 0..3 {
+            let clients = match idx {
+                0 => vec![3],
+                1 => vec![4],
+                _ => Vec::new(),
+            };
+            sim.add_node(
+                Box::new(SpykerServer::new(
+                    idx,
+                    servers.clone(),
+                    clients,
+                    ParamVec::zeros(2),
+                    c.clone(),
+                )),
+                [Region::Paris, Region::Sydney, Region::California][idx],
+            );
+        }
+        let all = [0, 1, 2];
+        sim.add_node(Box::new(client(0, &all, 1.0)), Region::Paris);
+        sim.add_node(Box::new(client(1, &all, 2.0)), Region::Sydney);
+        let asc_cfg = AutoscalerConfig {
+            interval: SimTime::from_secs(1),
+            target_ratio: 4.0,
+            high_water: 1.25,
+            low_water: 0.25,
+            patience: 2,
+            cooldown: SimTime::from_secs(5),
+            min_servers: 2,
+        };
+        sim.add_node(
+            Box::new(Autoscaler::new(asc_cfg, 0, vec![2]).with_preactivated(1)),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(30));
+        assert_eq!(sim.metrics().counter("scale.down"), 1);
+        assert_eq!(sim.metrics().counter("membership.leaves"), 1);
+        let leaver = server_ref(&sim, 2);
+        assert!(!leaver.is_ring_member(), "server 2 still on the ring");
+        assert_eq!(leaver.membership_phase(), "departed");
+        for id in 0..2 {
+            let s = server_ref(&sim, id);
+            assert_eq!(s.ring_epoch(), 1, "server {id} missed the epoch");
+            assert!(s.is_ring_member());
+        }
+        assert_eq!(sim.metrics().gauge("membership.ring_size"), Some(2.0));
+        // The survivors keep exchanging and clients keep training.
+        assert!(sim.metrics().counter("updates.processed") > 10);
+        // Never below the floor: no second shrink.
+        assert_eq!(sim.metrics().counter("scale.up"), 0);
+    }
+
+    #[test]
+    fn autoscaler_respects_patience_and_cooldown() {
+        // Pressure permanently high but the pool has one entry: exactly one
+        // scale-up, then holds — never a panic, never a repeat.
+        let env_probe = |secs: u64, patience: u32| {
+            let mut sim = Simulation::new(NetworkConfig::aws(), 7);
+            let c = cfg(4, 2);
+            let servers = vec![0usize, 1];
+            sim.add_node(
+                Box::new(SpykerServer::new(
+                    0,
+                    servers.clone(),
+                    vec![2, 3],
+                    ParamVec::zeros(2),
+                    c.clone(),
+                )),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(SpykerServer::new(
+                    1,
+                    servers.clone(),
+                    vec![4, 5],
+                    ParamVec::zeros(2),
+                    c.clone(),
+                )),
+                Region::Sydney,
+            );
+            let all = [0, 1];
+            for i in 0..4 {
+                let home = if i < 2 { 0 } else { 1 };
+                sim.add_node(Box::new(client(home, &all, i as f32)), Region::Paris);
+            }
+            let asc_cfg = AutoscalerConfig {
+                interval: SimTime::from_secs(1),
+                target_ratio: 0.5, // 4 clients / (2*0.5) = 4.0 — far over
+                high_water: 1.25,
+                low_water: 0.25,
+                patience,
+                cooldown: SimTime::from_secs(5),
+                min_servers: 2,
+            };
+            // Empty pool: the autoscaler wants to grow but cannot.
+            sim.add_node(
+                Box::new(Autoscaler::new(asc_cfg, 0, Vec::new())),
+                Region::Paris,
+            );
+            sim.run(SimTime::from_secs(secs));
+            (
+                sim.metrics().counter("scale.up"),
+                sim.metrics().counter("scale.holds"),
+            )
+        };
+        let (ups, holds) = env_probe(12, 3);
+        assert_eq!(ups, 0, "nothing to activate");
+        assert!(holds >= 3, "pool-dry ticks must count as holds");
+    }
+}

@@ -7,6 +7,24 @@ use spyker_simnet::{Env, Node, NodeId, SimTime};
 use crate::msg::FlMsg;
 use crate::training::LocalTrainer;
 
+/// Opt-in client-side failover (the elastic-membership extension's answer
+/// to a *crashed* server — a voluntary leaver re-homes its clients itself
+/// via [`FlMsg::Rehome`]).
+///
+/// A client with failover runs a liveness timer: hearing nothing from its
+/// server for a full `timeout`, it advances to the next candidate server
+/// and announces itself with a [`FlMsg::ClientHello`]. Strictly opt-in —
+/// without it the client arms no timers and behaves byte-identically to
+/// the fixed-topology implementation.
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// Servers to try, in order (wrapping); the client's current server
+    /// need not be listed.
+    pub candidates: Vec<NodeId>,
+    /// Silence threshold before re-homing to the next candidate.
+    pub timeout: SimTime,
+}
+
 /// A federated client.
 ///
 /// The client is purely reactive: whenever it receives a model from its
@@ -24,6 +42,13 @@ pub struct FlClient {
     epochs: usize,
     train_delay: SimTime,
     updates_sent: u64,
+    failover: Option<FailoverConfig>,
+    /// Anything heard from the server since the last liveness check?
+    heard: bool,
+    /// Next candidate to try on failover (index into the candidate list).
+    next_candidate: usize,
+    /// Times this client re-homed itself (failovers + `Rehome` orders).
+    rehomed: u64,
 }
 
 impl FlClient {
@@ -49,7 +74,25 @@ impl FlClient {
             epochs,
             train_delay,
             updates_sent: 0,
+            failover: None,
+            heard: false,
+            next_candidate: 0,
+            rehomed: 0,
         }
+    }
+
+    /// Enables client-side failover (builder style). See [`FailoverConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failover.candidates` is empty.
+    pub fn with_failover(mut self, failover: FailoverConfig) -> Self {
+        assert!(
+            !failover.candidates.is_empty(),
+            "failover needs at least one candidate server"
+        );
+        self.failover = Some(failover);
+        self
     }
 
     /// Number of updates this client has sent (paper Fig. 10's per-client
@@ -67,14 +110,47 @@ impl FlClient {
     pub fn train_delay(&self) -> SimTime {
         self.train_delay
     }
+
+    /// Times this client re-homed itself (silence failovers plus `Rehome`
+    /// orders from a departing server).
+    pub fn rehomed(&self) -> u64 {
+        self.rehomed
+    }
+
+    /// Moves to `server` and announces itself there.
+    fn rehome_to(&mut self, env: &mut dyn Env<FlMsg>, server: NodeId) {
+        self.server = server;
+        self.rehomed += 1;
+        // Skip the new home in future failover rotations.
+        if let Some(f) = &self.failover {
+            if let Some(pos) = f.candidates.iter().position(|&c| c == server) {
+                self.next_candidate = (pos + 1) % f.candidates.len();
+            }
+        }
+        env.send(server, FlMsg::ClientHello);
+    }
 }
 
 impl Node<FlMsg> for FlClient {
-    fn on_start(&mut self, _env: &mut dyn Env<FlMsg>) {
-        // Clients wait for their server to send the initial model.
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        // Clients wait for their server to send the initial model. With
+        // failover they also guard that wait with the liveness timer.
+        if let Some(f) = &self.failover {
+            env.set_timer(f.timeout, 0);
+        }
     }
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        if let FlMsg::Rehome { server } = msg {
+            // Our server is leaving the ring and hands us to a survivor.
+            if self.failover.is_some() {
+                env.add_counter("membership.client_rehomes", 1);
+                self.rehome_to(env, server);
+            } else {
+                env.add_counter("net.unexpected", 1);
+            }
+            return;
+        }
         let FlMsg::ModelToClient {
             mut params,
             age,
@@ -86,7 +162,13 @@ impl Node<FlMsg> for FlClient {
             env.add_counter("net.unexpected", 1);
             return;
         };
-        debug_assert_eq!(from, self.server, "model from unexpected server");
+        // With failover a late reply from a previous home is still a fresh
+        // model worth training on — the update goes to the *current* home.
+        if self.failover.is_some() {
+            self.heard = true;
+        } else {
+            debug_assert_eq!(from, self.server, "model from unexpected server");
+        }
         // Local training: real gradient computation plus the emulated
         // heterogeneous training delay in virtual time.
         env.span_enter("client.round");
@@ -103,6 +185,28 @@ impl Node<FlMsg> for FlClient {
             },
         );
         env.span_exit("client.round");
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, _tag: u64) {
+        // Liveness check: a full period of silence means the server is
+        // gone (crashed, partitioned, or departed without re-homing us) —
+        // advance to the next candidate and knock.
+        let Some(f) = self.failover.clone() else {
+            return;
+        };
+        if !self.heard {
+            let next = f.candidates[self.next_candidate % f.candidates.len()];
+            self.next_candidate = (self.next_candidate + 1) % f.candidates.len();
+            if next != self.server {
+                env.add_counter("membership.client_failovers", 1);
+                self.rehome_to(env, next);
+            } else {
+                // Sole candidate is the current server: just knock again.
+                env.send(next, FlMsg::ClientHello);
+            }
+        }
+        self.heard = false;
+        env.set_timer(f.timeout, 0);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -32,6 +32,7 @@ use spyker_simnet::{Env, Node, NodeId, SimTime};
 
 use crate::config::SpykerConfig;
 use crate::decay::UpdateCounts;
+use crate::membership::RingView;
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
 use crate::staleness::{blended_age, server_agg_weight};
@@ -339,7 +340,12 @@ impl Node<FlMsg> for ClusteredFlClient {
 /// A Spyker server maintaining `K` model centers (the clustering
 /// extension).
 pub struct ClusteredSpykerServer {
-    server_nodes: Vec<NodeId>,
+    /// Epoch-versioned view of the server ring. The clustering extension
+    /// runs on a fixed fleet today, but every peer-slot lookup routes
+    /// through this view with a *liveness* guard (not just a bounds
+    /// guard), so a decoded frame naming a retired or never-spliced slot
+    /// is counted and dropped instead of trusted.
+    ring: RingView,
     me_idx: usize,
     clients: Vec<NodeId>,
     client_local_idx: HashMap<NodeId, usize>,
@@ -387,7 +393,7 @@ impl ClusteredSpykerServer {
             offer_centers: inits.clone(),
             offer_ages: vec![0.0; inits.len()],
             centers: KCenters::new(inits),
-            server_nodes,
+            ring: RingView::fixed(&server_nodes),
             me_idx,
             client_local_idx,
             counts,
@@ -415,11 +421,12 @@ impl ClusteredSpykerServer {
     }
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.server_nodes[self.me_idx];
-        self.server_nodes
+        let me = self.me_idx;
+        self.ring
+            .members
             .iter()
-            .copied()
-            .filter(move |&id| id != me)
+            .filter(move |m| m.slot != me)
+            .map(|m| m.node)
     }
 
     fn centers_msg(&self, lr: f32) -> FlMsg {
@@ -511,8 +518,16 @@ impl Node<FlMsg> for ClusteredSpykerServer {
                 params,
                 age,
                 center,
-                ..
+                server_idx,
             } => {
+                // Liveness guard: the sender slot must be live in the
+                // current ring view. A bounds check alone would accept a
+                // frame stamped with a retired slot after a membership
+                // change (or any slot a hostile frame invents).
+                if !self.ring.is_live_slot(server_idx) {
+                    env.add_counter("membership.stale_slot", 1);
+                    return;
+                }
                 // Unlike the token exchange, nothing waits on this merge:
                 // a non-finite peer center can be dropped outright.
                 if self.cfg.validation.reject_nonfinite && !(age.is_finite() && params.is_finite())
@@ -539,7 +554,7 @@ impl Node<FlMsg> for ClusteredSpykerServer {
         debug_assert_eq!(tag, SYNC_TIMER);
         self.refresh_offer();
         let me = self.me_idx;
-        if self.server_nodes.len() > 1 {
+        if self.ring.len() > 1 {
             for peer in self.peers().collect::<Vec<_>>() {
                 for (c, center) in self.centers.centers().iter().enumerate() {
                     env.send(

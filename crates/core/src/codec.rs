@@ -37,6 +37,9 @@ use std::fmt;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use spyker_simnet::Region;
+
+use crate::membership::{RingMember, RingView};
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
 use crate::token::Token;
@@ -50,6 +53,14 @@ const TAG_HIER_MODEL: u8 = 5;
 const TAG_CLUSTER_MODEL: u8 = 6;
 const TAG_CENTERS_TO_CLIENT: u8 = 7;
 const TAG_CLUSTER_UPDATE: u8 = 8;
+const TAG_JOIN_REQUEST: u8 = 9;
+const TAG_JOIN_ACCEPT: u8 = 10;
+const TAG_RING_UPDATE: u8 = 11;
+const TAG_REHOME: u8 = 12;
+const TAG_CLIENT_HELLO: u8 = 13;
+const TAG_REDIRECTED_UPDATE: u8 = 14;
+const TAG_SCALE_UP: u8 = 15;
+const TAG_SCALE_DOWN: u8 = 16;
 
 /// Hard upper bound on the length of a single frame (64 MiB).
 ///
@@ -208,6 +219,58 @@ fn encode_body<B: BufMut>(msg: &FlMsg, buf: &mut B) {
             buf.put_u32_le(*center as u32);
             buf.put_u64_le(*num_samples as u64);
         }
+        FlMsg::JoinRequest { region } => {
+            buf.put_u8(TAG_JOIN_REQUEST);
+            buf.put_u32_le(*region as u32);
+        }
+        FlMsg::JoinAccept {
+            ring,
+            params,
+            age,
+            ages,
+            bid_floor,
+        } => {
+            buf.put_u8(TAG_JOIN_ACCEPT);
+            put_ring(buf, ring);
+            put_params(buf, params);
+            buf.put_f64_le(*age);
+            buf.put_u32_le(ages.len() as u32);
+            for &a in ages {
+                buf.put_f64_le(a);
+            }
+            buf.put_u64_le(*bid_floor);
+        }
+        FlMsg::RingUpdate { ring, bid_floor } => {
+            buf.put_u8(TAG_RING_UPDATE);
+            put_ring(buf, ring);
+            buf.put_u64_le(*bid_floor);
+        }
+        FlMsg::Rehome { server } => {
+            buf.put_u8(TAG_REHOME);
+            buf.put_u32_le(*server as u32);
+        }
+        FlMsg::ClientHello => {
+            buf.put_u8(TAG_CLIENT_HELLO);
+        }
+        FlMsg::RedirectedUpdate {
+            client,
+            params,
+            age,
+            num_samples,
+        } => {
+            buf.put_u8(TAG_REDIRECTED_UPDATE);
+            buf.put_u32_le(*client as u32);
+            put_params(buf, params);
+            buf.put_f64_le(*age);
+            buf.put_u64_le(*num_samples as u64);
+        }
+        FlMsg::ScaleUp { sponsor } => {
+            buf.put_u8(TAG_SCALE_UP);
+            buf.put_u32_le(*sponsor as u32);
+        }
+        FlMsg::ScaleDown => {
+            buf.put_u8(TAG_SCALE_DOWN);
+        }
     }
 }
 
@@ -324,6 +387,55 @@ pub fn decode(frame: &Bytes) -> Result<FlMsg, DecodeError> {
                 num_samples,
             }
         }
+        TAG_JOIN_REQUEST => {
+            let region = get_u32(&mut buf)? as usize;
+            FlMsg::JoinRequest { region }
+        }
+        TAG_JOIN_ACCEPT => {
+            let ring = get_ring(&mut buf)?;
+            let params = get_params(&mut buf)?;
+            let age = get_f64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            if buf.remaining() < n.saturating_mul(8) {
+                return Err(DecodeError::Truncated);
+            }
+            let ages = (0..n).map(|_| buf.get_f64_le()).collect();
+            let bid_floor = get_u64(&mut buf)?;
+            FlMsg::JoinAccept {
+                ring,
+                params,
+                age,
+                ages,
+                bid_floor,
+            }
+        }
+        TAG_RING_UPDATE => {
+            let ring = get_ring(&mut buf)?;
+            let bid_floor = get_u64(&mut buf)?;
+            FlMsg::RingUpdate { ring, bid_floor }
+        }
+        TAG_REHOME => {
+            let server = get_u32(&mut buf)? as usize;
+            FlMsg::Rehome { server }
+        }
+        TAG_CLIENT_HELLO => FlMsg::ClientHello,
+        TAG_REDIRECTED_UPDATE => {
+            let client = get_u32(&mut buf)? as usize;
+            let params = get_params(&mut buf)?;
+            let age = get_f64(&mut buf)?;
+            let num_samples = get_u64(&mut buf)? as usize;
+            FlMsg::RedirectedUpdate {
+                client,
+                params,
+                age,
+                num_samples,
+            }
+        }
+        TAG_SCALE_UP => {
+            let sponsor = get_u32(&mut buf)? as usize;
+            FlMsg::ScaleUp { sponsor }
+        }
+        TAG_SCALE_DOWN => FlMsg::ScaleDown,
         other => return Err(DecodeError::UnknownTag(other)),
     };
     if buf.remaining() > 0 {
@@ -416,6 +528,44 @@ impl FrameAccumulator {
 fn frame_capacity(msg: &FlMsg) -> usize {
     use spyker_simnet::WireSize;
     msg.wire_size() + 16
+}
+
+fn put_ring<B: BufMut>(buf: &mut B, ring: &RingView) {
+    buf.put_u64_le(ring.epoch);
+    buf.put_u64_le(ring.slots as u64);
+    buf.put_u32_le(ring.members.len() as u32);
+    for m in &ring.members {
+        buf.put_u32_le(m.slot as u32);
+        buf.put_u32_le(m.node as u32);
+        buf.put_u8(m.region.index() as u8);
+    }
+}
+
+fn get_ring(buf: &mut Bytes) -> Result<RingView, DecodeError> {
+    let epoch = get_u64(buf)?;
+    let slots = get_u64(buf)? as usize;
+    let n = get_u32(buf)? as usize;
+    // Each member costs 9 bytes; validate before allocating.
+    if buf.remaining() < n.saturating_mul(9) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut members = Vec::with_capacity(n);
+    for _ in 0..n {
+        let slot = buf.get_u32_le() as usize;
+        let node = buf.get_u32_le() as usize;
+        let r = buf.get_u8();
+        // A region byte outside the enum is an unknown discriminant, the
+        // same class of violation as an unknown message tag.
+        let region = *Region::ALL
+            .get(r as usize)
+            .ok_or(DecodeError::UnknownTag(r))?;
+        members.push(RingMember { slot, node, region });
+    }
+    Ok(RingView {
+        epoch,
+        members,
+        slots,
+    })
 }
 
 fn put_params<B: BufMut>(buf: &mut B, params: &ParamVec) {
@@ -515,6 +665,28 @@ mod tests {
                 center: 1,
                 num_samples: 33,
             },
+            FlMsg::JoinRequest { region: 2 },
+            FlMsg::JoinAccept {
+                ring: RingView::fixed(&[0, 1]).splice(5, Region::Sydney),
+                params: ParamVec::from_vec(vec![1.0, -1.0]),
+                age: 9.5,
+                ages: vec![9.5, 3.0, 0.0],
+                bid_floor: 17,
+            },
+            FlMsg::RingUpdate {
+                ring: RingView::fixed(&[0, 1, 2]).unsplice(1),
+                bid_floor: 21,
+            },
+            FlMsg::Rehome { server: 4 },
+            FlMsg::ClientHello,
+            FlMsg::RedirectedUpdate {
+                client: 8,
+                params: ParamVec::from_vec(vec![0.25; 5]),
+                age: 6.0,
+                num_samples: 12,
+            },
+            FlMsg::ScaleUp { sponsor: 0 },
+            FlMsg::ScaleDown,
         ]
     }
 
@@ -591,6 +763,31 @@ mod tests {
         assert_eq!(
             decode(&Bytes::from(frame)).unwrap_err(),
             DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn hostile_ring_member_count_and_region_are_rejected() {
+        // A RingUpdate claiming u32::MAX members off a short frame.
+        let mut frame = vec![TAG_RING_UPDATE];
+        frame.extend_from_slice(&0u64.to_le_bytes()); // epoch
+        frame.extend_from_slice(&3u64.to_le_bytes()); // slots
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&Bytes::from(frame)).unwrap_err(),
+            DecodeError::Truncated
+        );
+        // A valid-length member with a region byte outside the enum.
+        let mut ring = RingView::fixed(&[0, 1]);
+        ring.members[1].region = Region::California;
+        let mut frame = encode(&FlMsg::RingUpdate { ring, bid_floor: 1 })
+            .as_ref()
+            .to_vec();
+        let region_at = frame.len() - 8 - 1; // last member's region byte
+        frame[region_at] = 200;
+        assert_eq!(
+            decode(&Bytes::from(frame)).unwrap_err(),
+            DecodeError::UnknownTag(200)
         );
     }
 

@@ -4,6 +4,7 @@ use spyker_simnet::SimTime;
 
 use crate::agg::{AggregationStrategy, ValidationConfig};
 use crate::decay::DecayConfig;
+use crate::membership::MembershipConfig;
 use crate::staleness::ClientStaleness;
 
 /// Fault-recovery tunables for the self-healing token protocol.
@@ -117,6 +118,11 @@ pub struct SpykerConfig {
     /// a check that cannot fire on an honest run, so default behaviour
     /// stays byte-identical to the paper-exact implementation.
     pub validation: ValidationConfig,
+    /// Elastic ring membership (server join/leave, client re-homing,
+    /// crash eviction). `None` — the default — pins the ring at its
+    /// startup shape and keeps runs byte-identical to the fixed-ring
+    /// implementation. See [`crate::membership`] and DESIGN.md §14.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl SpykerConfig {
@@ -144,6 +150,7 @@ impl SpykerConfig {
             recovery: None,
             aggregation: AggregationStrategy::Mean,
             validation: ValidationConfig::default(),
+            membership: None,
         }
     }
 
@@ -207,6 +214,13 @@ impl SpykerConfig {
     /// Sets the update validation gate (builder style). See [`crate::agg`].
     pub fn with_validation(mut self, validation: ValidationConfig) -> Self {
         self.validation = validation;
+        self
+    }
+
+    /// Enables elastic ring membership (builder style). See
+    /// [`crate::membership`].
+    pub fn with_membership(mut self, membership: MembershipConfig) -> Self {
+        self.membership = Some(membership);
         self
     }
 }

@@ -116,6 +116,14 @@ impl UpdateCounts {
         }
     }
 
+    /// Registers one more client (appended at the next local index, count
+    /// zero) — used when a server adopts a re-homed client at runtime.
+    /// Existing counts and the running total are untouched; the mean simply
+    /// gains a denominator.
+    pub fn add_client(&mut self) {
+        self.counts.push(0);
+    }
+
     /// Total updates processed by this server.
     pub fn total(&self) -> u64 {
         self.total
@@ -178,6 +186,18 @@ mod tests {
     fn scaled_preserves_relative_decay() {
         let cfg = DecayConfig::scaled(0.05);
         assert!((cfg.beta / cfg.eta_init - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_client_extends_counts_without_touching_totals() {
+        let mut u = UpdateCounts::new(2);
+        u.record(0);
+        u.record(0);
+        u.add_client();
+        assert_eq!(u.counts(), &[2, 0, 0]);
+        assert_eq!(u.total(), 2);
+        assert!((u.mean() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(u.record(2), 1);
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! regions, clients split (evenly or per an explicit assignment) among the
 //! servers and co-located with them.
 
-use spyker_simnet::{NetworkConfig, Region, SimTime, Simulation};
+use spyker_simnet::{NetworkConfig, NodeId, Region, SimTime, Simulation};
 
-use crate::client::FlClient;
+use crate::autoscale::{Autoscaler, AutoscalerConfig};
+use crate::client::{FailoverConfig, FlClient};
 use crate::config::SpykerConfig;
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
@@ -169,6 +170,128 @@ pub fn sync_spyker_deployment(
     sim
 }
 
+/// Elastic extras layered on top of a [`SpykerDeploymentSpec`]: standby
+/// servers, scheduled voluntary leaves, client failover, and the
+/// autoscaler. Requires `config.membership` to be enabled.
+pub struct ElasticSpec {
+    /// One standby server per entry, placed in that region, appended to
+    /// the node space after the clients.
+    pub standby_regions: Vec<Region>,
+    /// Per-standby timed join (`Some(t)` splices in at `t`; `None` waits
+    /// for the autoscaler). Same length as `standby_regions`.
+    pub join_after: Vec<Option<SimTime>>,
+    /// Scheduled voluntary leaves: `(server_idx, at)` for base servers.
+    pub leave_at: Vec<(usize, SimTime)>,
+    /// Client liveness timeout (crash failover). Candidates are every
+    /// base and standby server, in id order.
+    pub failover_timeout: SimTime,
+    /// Deploy an [`Autoscaler`] (as the last node) with this config,
+    /// sponsoring through server 0 and activating the standbys in order.
+    pub autoscaler: Option<AutoscalerConfig>,
+}
+
+/// Node-id map of an elastic deployment (see
+/// [`elastic_spyker_deployment`]).
+pub struct ElasticDeployment {
+    /// The ready-to-run simulation.
+    pub sim: Simulation<FlMsg>,
+    /// Ids of the standby servers, in `standby_regions` order.
+    pub standby_ids: Vec<NodeId>,
+    /// Id of the autoscaler node, when one was requested.
+    pub autoscaler_id: Option<NodeId>,
+}
+
+/// Builds an elastic Spyker deployment: base servers on ids
+/// `0..num_servers`, clients next, standby servers after them, the
+/// autoscaler (if any) last. Every client gets failover candidates
+/// covering all base and standby servers.
+///
+/// # Panics
+///
+/// Panics if the spec is inconsistent, membership is not enabled, or the
+/// elastic spec's lengths/indices do not line up.
+pub fn elastic_spyker_deployment(
+    net: NetworkConfig,
+    seed: u64,
+    spec: SpykerDeploymentSpec,
+    elastic: ElasticSpec,
+) -> ElasticDeployment {
+    assert!(
+        spec.config.membership.is_some(),
+        "elastic deployment needs membership enabled"
+    );
+    assert_eq!(
+        elastic.standby_regions.len(),
+        elastic.join_after.len(),
+        "one join_after per standby"
+    );
+    assert!(
+        elastic.leave_at.iter().all(|&(s, _)| s < spec.num_servers),
+        "leave_at references unknown server"
+    );
+    let assignment = even_assignment(spec.trainers.len(), spec.num_servers);
+    spec.validate(&assignment);
+    let n = spec.num_servers;
+    let num_clients = spec.trainers.len();
+    let mut sim = Simulation::new(net, seed);
+    let server_nodes: Vec<usize> = (0..n).collect();
+    let standby_ids: Vec<NodeId> = (0..elastic.standby_regions.len())
+        .map(|k| n + num_clients + k)
+        .collect();
+    let clients_of = clients_of_servers(&assignment, n);
+    for (i, clients) in clients_of.iter().enumerate() {
+        let mut server = SpykerServer::new(
+            i,
+            server_nodes.clone(),
+            clients.clone(),
+            spec.init_params.clone(),
+            spec.config.clone(),
+        );
+        if let Some(&(_, at)) = elastic.leave_at.iter().find(|&&(s, _)| s == i) {
+            server = server.with_leave_at(at);
+        }
+        sim.add_node(Box::new(server), server_region(i));
+    }
+    let mut candidates: Vec<NodeId> = server_nodes.clone();
+    candidates.extend(&standby_ids);
+    for (i, trainer) in spec.trainers.into_iter().enumerate() {
+        let home = assignment[i];
+        let client = FlClient::new(
+            home,
+            trainer,
+            spec.config.client_epochs,
+            spec.train_delay[i],
+        )
+        .with_failover(FailoverConfig {
+            candidates: candidates.clone(),
+            timeout: elastic.failover_timeout,
+        });
+        sim.add_node(Box::new(client), server_region(home));
+    }
+    for (k, &region) in elastic.standby_regions.iter().enumerate() {
+        let standby = SpykerServer::standby(
+            region,
+            spec.init_params.clone(),
+            spec.config.clone(),
+            Some(0),
+            elastic.join_after[k],
+        );
+        let id = sim.add_node(Box::new(standby), region);
+        debug_assert_eq!(id, standby_ids[k]);
+    }
+    let autoscaler_id = elastic.autoscaler.map(|cfg| {
+        sim.add_node(
+            Box::new(Autoscaler::new(cfg, 0, standby_ids.clone())),
+            server_region(0),
+        )
+    });
+    ElasticDeployment {
+        sim,
+        standby_ids,
+        autoscaler_id,
+    }
+}
+
 /// Adds the client actors for a deployment whose servers are already in the
 /// simulation (servers must occupy ids `0..num_servers`). Client `i` is
 /// attached to server `assignment[i]` and placed in that server's region.
@@ -266,6 +389,70 @@ mod tests {
         let s0 = sim.node(0).as_any().downcast_ref::<SpykerServer>().unwrap();
         let s1 = sim.node(1).as_any().downcast_ref::<SpykerServer>().unwrap();
         assert!(s0.processed_updates() > s1.processed_updates());
+    }
+
+    #[test]
+    fn elastic_deployment_joins_leaves_and_keeps_training() {
+        // 2 base servers, 6 clients, 1 standby joining at t=2, server 1
+        // leaving at t=8: two membership epochs in one run.
+        let mut spec = toy_spec(6, 2);
+        spec.config = SpykerConfig::paper_defaults(6, 2)
+            .with_thresholds(2.0, 50.0)
+            .with_recovery(crate::config::RecoveryConfig::default())
+            .with_membership(crate::membership::MembershipConfig::default());
+        let elastic = ElasticSpec {
+            standby_regions: vec![Region::California],
+            join_after: vec![Some(SimTime::from_secs(2))],
+            leave_at: vec![(1, SimTime::from_secs(8))],
+            failover_timeout: SimTime::from_secs(4),
+            autoscaler: None,
+        };
+        let mut dep = elastic_spyker_deployment(NetworkConfig::aws(), 5, spec, elastic);
+        assert_eq!(dep.standby_ids, vec![8]);
+        dep.sim.run(SimTime::from_secs(30));
+        let m = dep.sim.metrics();
+        assert_eq!(m.counter("membership.joins"), 1);
+        assert_eq!(m.counter("membership.leaves"), 1);
+        assert_eq!(m.gauge("membership.ring_size"), Some(2.0));
+        // Epoch 2: one join + one leave.
+        let joiner = dep
+            .sim
+            .node(8)
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .unwrap();
+        assert_eq!(joiner.ring_epoch(), 2);
+        assert!(joiner.is_ring_member());
+        assert!(m.counter("membership.client_rehomes") >= 1);
+        assert!(m.counter("updates.processed") > 20);
+        for id in [0usize, 8] {
+            let s = dep
+                .sim
+                .node(id)
+                .as_any()
+                .downcast_ref::<SpykerServer>()
+                .unwrap();
+            assert_eq!(s.tokens_regenerated(), 0, "server {id} lost the token");
+        }
+    }
+
+    #[test]
+    fn elastic_deployment_with_autoscaler_places_it_last() {
+        let mut spec = toy_spec(4, 2);
+        spec.config = SpykerConfig::paper_defaults(4, 2)
+            .with_thresholds(2.0, 50.0)
+            .with_membership(crate::membership::MembershipConfig::default());
+        let elastic = ElasticSpec {
+            standby_regions: vec![Region::Paris, Region::Sydney],
+            join_after: vec![None, None],
+            leave_at: Vec::new(),
+            failover_timeout: SimTime::from_secs(4),
+            autoscaler: Some(AutoscalerConfig::defaults()),
+        };
+        let dep = elastic_spyker_deployment(NetworkConfig::aws(), 5, spec, elastic);
+        assert_eq!(dep.standby_ids, vec![6, 7]);
+        assert_eq!(dep.autoscaler_id, Some(8));
+        assert_eq!(dep.sim.num_nodes(), 9);
     }
 
     #[test]

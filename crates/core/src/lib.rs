@@ -55,12 +55,14 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod autoscale;
 pub mod client;
 pub mod cluster;
 pub mod codec;
 pub mod config;
 pub mod decay;
 pub mod deploy;
+pub mod membership;
 pub mod msg;
 pub mod params;
 pub mod server;
@@ -70,9 +72,11 @@ pub mod token;
 pub mod training;
 
 pub use agg::{AggregationStrategy, RejectReason, RobustAggregator, ValidationConfig};
-pub use client::FlClient;
+pub use autoscale::{Autoscaler, AutoscalerConfig};
+pub use client::{FailoverConfig, FlClient};
 pub use cluster::{ClusterTrainer, ClusteredFlClient, ClusteredSpykerServer, KCenters};
 pub use config::SpykerConfig;
+pub use membership::{MembershipConfig, RingMember, RingView};
 pub use msg::FlMsg;
 pub use params::ParamVec;
 pub use server::SpykerServer;

@@ -5,8 +5,9 @@
 //! ([`spyker_simnet::WireSize::kind`] labels client–server vs server–server
 //! traffic, the split paper Fig. 12 reports).
 
-use spyker_simnet::{ByzantineAttack, WireSize};
+use spyker_simnet::{ByzantineAttack, NodeId, WireSize};
 
+use crate::membership::RingView;
 use crate::params::ParamVec;
 use crate::token::Token;
 
@@ -97,6 +98,64 @@ pub enum FlMsg {
         /// weighting).
         weight: f64,
     },
+    /// Standby server → live server (membership): splice me into the ring.
+    JoinRequest {
+        /// `Region::ALL` index of the joiner (for nearest-server
+        /// re-homing decisions later).
+        region: usize,
+    },
+    /// Sponsor → joiner (membership): bootstrap transfer. Carries the
+    /// sponsor's model, age knowledge, the spliced ring and the dominating
+    /// bid floor the new shape takes over under.
+    JoinAccept {
+        /// The ring with the joiner spliced in.
+        ring: RingView,
+        /// The sponsor's current model (the joiner starts from it).
+        params: ParamVec,
+        /// The sponsor's model age.
+        age: f64,
+        /// The sponsor's per-slot age knowledge.
+        ages: Vec<f64>,
+        /// Minimum bid any token must carry under the new ring shape.
+        bid_floor: u64,
+    },
+    /// Server → server (membership): a new ring epoch to adopt.
+    RingUpdate {
+        /// The new ring view.
+        ring: RingView,
+        /// Minimum bid any token must carry under the new ring shape.
+        bid_floor: u64,
+    },
+    /// Server → client (membership): report to `server` from now on — sent
+    /// by a draining server to each of its clients.
+    Rehome {
+        /// Node id of the adopting server.
+        server: NodeId,
+    },
+    /// Client → server (membership): adopt me. Sent by a client after a
+    /// re-home or a liveness failover; the server registers the client and
+    /// replies with the current model.
+    ClientHello,
+    /// Draining server → adopting server (membership): an in-flight client
+    /// update redirected so it is not lost during the handoff.
+    RedirectedUpdate {
+        /// Node id of the originating client.
+        client: NodeId,
+        /// The trained parameters.
+        params: ParamVec,
+        /// Age of the model the update was computed from.
+        age: f64,
+        /// Number of local data points.
+        num_samples: usize,
+    },
+    /// Autoscaler → standby server (membership): activate by joining via
+    /// `sponsor`.
+    ScaleUp {
+        /// Live server to send the join request to.
+        sponsor: NodeId,
+    },
+    /// Autoscaler → live server (membership): drain and leave the ring.
+    ScaleDown,
 }
 
 impl FlMsg {
@@ -108,8 +167,34 @@ impl FlMsg {
                 | FlMsg::ClientUpdate { .. }
                 | FlMsg::CentersToClient { .. }
                 | FlMsg::ClusterUpdate { .. }
+                | FlMsg::Rehome { .. }
+                | FlMsg::ClientHello
         )
     }
+
+    /// `true` for the small protocol-control messages (token, gossip,
+    /// membership signalling) that transports must not shed under
+    /// backpressure — losing one can wedge the ring, while a bulk model
+    /// transfer is re-sent by the protocol anyway.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            FlMsg::AgeGossip { .. }
+                | FlMsg::TokenPass(_)
+                | FlMsg::JoinRequest { .. }
+                | FlMsg::RingUpdate { .. }
+                | FlMsg::Rehome { .. }
+                | FlMsg::ClientHello
+                | FlMsg::ScaleUp { .. }
+                | FlMsg::ScaleDown
+        )
+    }
+}
+
+/// Serialized size of a [`RingView`] (epoch + slots + member count +
+/// per-member slot/node/region — mirrors the codec's `put_ring` layout).
+fn ring_wire_size(ring: &RingView) -> usize {
+    20 + 9 * ring.members.len()
 }
 
 impl WireSize for FlMsg {
@@ -126,6 +211,16 @@ impl WireSize for FlMsg {
             FlMsg::AgeGossip { .. } => 16,
             FlMsg::TokenPass(token) => token.wire_size(),
             FlMsg::HierModel { params, .. } => params.wire_size() + 16,
+            FlMsg::JoinRequest { .. } => 8,
+            FlMsg::JoinAccept {
+                ring, params, ages, ..
+            } => ring_wire_size(ring) + params.wire_size() + 8 * ages.len() + 16,
+            FlMsg::RingUpdate { ring, .. } => ring_wire_size(ring) + 8,
+            FlMsg::Rehome { .. } => 8,
+            FlMsg::ClientHello => 4,
+            FlMsg::RedirectedUpdate { params, .. } => params.wire_size() + 24,
+            FlMsg::ScaleUp { .. } => 8,
+            FlMsg::ScaleDown => 4,
         }
     }
 
@@ -134,12 +229,20 @@ impl WireSize for FlMsg {
             FlMsg::ModelToClient { .. }
             | FlMsg::ClientUpdate { .. }
             | FlMsg::CentersToClient { .. }
-            | FlMsg::ClusterUpdate { .. } => "client-server",
+            | FlMsg::ClusterUpdate { .. }
+            | FlMsg::Rehome { .. }
+            | FlMsg::ClientHello => "client-server",
             FlMsg::ServerModel { .. }
             | FlMsg::ClusterModel { .. }
             | FlMsg::AgeGossip { .. }
             | FlMsg::TokenPass(_) => "server-server",
             FlMsg::HierModel { .. } => "server-server",
+            FlMsg::JoinRequest { .. }
+            | FlMsg::JoinAccept { .. }
+            | FlMsg::RingUpdate { .. }
+            | FlMsg::RedirectedUpdate { .. }
+            | FlMsg::ScaleUp { .. }
+            | FlMsg::ScaleDown => "server-server",
         }
     }
 
@@ -239,6 +342,35 @@ mod tests {
             num_samples: 10,
         };
         assert!(client.is_client_server());
+    }
+
+    #[test]
+    fn membership_messages_classify_and_size() {
+        use crate::membership::RingView;
+        let ring = RingView::fixed(&[0, 1, 2]);
+        let accept = FlMsg::JoinAccept {
+            ring: ring.clone(),
+            params: ParamVec::zeros(100),
+            age: 1.0,
+            ages: vec![0.0; 3],
+            bid_floor: 7,
+        };
+        assert_eq!(accept.kind(), "server-server");
+        assert!(accept.wire_size() > 400, "bootstrap carries the model");
+        assert!(!accept.is_control(), "model transfer is bulk traffic");
+        let update = FlMsg::RingUpdate { ring, bid_floor: 7 };
+        assert!(update.is_control());
+        assert!(update.wire_size() < 100);
+        assert!(FlMsg::Rehome { server: 3 }.is_client_server());
+        assert!(FlMsg::ClientHello.is_client_server());
+        assert!(FlMsg::ScaleDown.is_control());
+        assert!(FlMsg::TokenPass(Token::initial(2)).is_control());
+        assert!(!FlMsg::ModelToClient {
+            params: ParamVec::zeros(1),
+            age: 0.0,
+            lr: 0.1
+        }
+        .is_control());
     }
 
     #[test]

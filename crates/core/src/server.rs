@@ -3,14 +3,15 @@
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
-use spyker_simnet::{Env, Node, NodeId};
+use spyker_simnet::{Env, Node, NodeId, Region, SimTime};
 
 use crate::agg::{validate_update, RobustBuffer};
 use crate::config::SpykerConfig;
 use crate::decay::UpdateCounts;
+use crate::membership::{join_bid, RingView};
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
-use crate::staleness::{blended_age, server_agg_weight};
+use crate::staleness::{blended_age, live_age_spread, server_agg_weight};
 use crate::token::Token;
 
 /// Timer tags encode their kind in the top 8 bits so one `on_timer`
@@ -22,6 +23,27 @@ const TAG_PAYLOAD_MASK: u64 = (1 << TAG_KIND_SHIFT) - 1;
 const KIND_TOKEN_WATCHDOG: u64 = 1;
 const KIND_EXCHANGE_TIMEOUT: u64 = 2;
 const KIND_CLIENT_WATCHDOG: u64 = 3;
+const KIND_JOIN_RETRY: u64 = 4;
+const KIND_LEAVE: u64 = 5;
+const KIND_DRAIN: u64 = 6;
+
+/// Where a server stands in the membership lifecycle (DESIGN.md §14).
+/// Servers of a fixed-ring deployment are born [`Phase::Live`] and never
+/// move; the other phases exist only with `SpykerConfig::membership`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Built but not on the ring: waits for a join trigger (timer or
+    /// `ScaleUp`), then bootstraps from a sponsor via `JoinRequest` /
+    /// `JoinAccept`.
+    Standby,
+    /// A full ring member.
+    Live,
+    /// Voluntarily left the ring; still forwards in-flight client updates
+    /// to the adopting server until the drain timer fires.
+    Draining,
+    /// Fully departed; drops everything (counted, not processed).
+    Departed,
+}
 
 fn tag(kind: u64, payload: u64) -> u64 {
     debug_assert!(payload <= TAG_PAYLOAD_MASK, "tag payload overflows");
@@ -35,9 +57,11 @@ fn tag(kind: u64, payload: u64) -> u64 {
 /// asynchronous exchange of server models. See the module-level pseudocode
 /// mapping in `DESIGN.md` §2.
 pub struct SpykerServer {
+    /// This server's ring *slot* (stable index into every age vector).
+    /// `usize::MAX` while standby — a slot is only assigned on join.
     server_idx: usize,
-    server_nodes: Vec<NodeId>,
-    ring_next: NodeId,
+    /// Current view of the ring (epoch-versioned; see [`RingView`]).
+    ring: RingView,
     clients: Vec<NodeId>,
     client_local_idx: HashMap<NodeId, usize>,
 
@@ -83,6 +107,36 @@ pub struct SpykerServer {
     flush_buf: ParamVec,
     /// Updates (client and peer) rejected by the validation gate.
     rejected_updates: u64,
+
+    // --- Elastic membership state (inert without `cfg.membership`) ---
+    /// Lifecycle phase; fixed-ring servers are born `Live` and never move.
+    phase: Phase,
+    /// This server's region, for nearest-survivor client re-homing and for
+    /// advertising itself in a `JoinRequest`.
+    my_region: Region,
+    /// Who a standby server asks to join (set at build time or by
+    /// `ScaleUp`).
+    sponsor: Option<NodeId>,
+    /// Delay before a standby server's first `JoinRequest`; `None` means
+    /// it waits for a `ScaleUp` from the autoscaler.
+    join_after: Option<SimTime>,
+    /// When set, this server voluntarily leaves the ring at that time.
+    leave_at: Option<SimTime>,
+    /// Lowest synchronisation id valid under the current ring epoch: any
+    /// token passing through this server is lifted to at least this bid,
+    /// so copies predating a membership change are dominated everywhere.
+    ring_bid_floor: u64,
+    /// Slots that answered each exchange bid we drove (holder-side record
+    /// for crash-eviction miss counting).
+    answered: HashMap<u64, Vec<usize>>,
+    /// Consecutive exchange misses per live slot; reset by any sign of
+    /// life, eviction at `MembershipConfig::evict_after_misses`.
+    peer_misses: HashMap<usize, u32>,
+    /// Where a draining server redirects in-flight client traffic.
+    drain_target: Option<NodeId>,
+    /// Whether the client watchdog timer chain is running (it must be
+    /// started at most once; client adoption may start it late).
+    client_watch_armed: bool,
 }
 
 impl SpykerServer {
@@ -106,7 +160,8 @@ impl SpykerServer {
         assert!(!server_nodes.is_empty(), "need at least one server");
         assert!(server_idx < server_nodes.len(), "server_idx out of range");
         let n = server_nodes.len();
-        let ring_next = server_nodes[(server_idx + 1) % n];
+        let ring = RingView::fixed(&server_nodes);
+        let my_region = ring.members[server_idx].region;
         let client_local_idx = clients.iter().enumerate().map(|(k, &id)| (id, k)).collect();
         let counts = UpdateCounts::new(clients.len());
         let client_lr = vec![cfg.decay.eta_init; clients.len()];
@@ -117,11 +172,10 @@ impl SpykerServer {
         Self {
             client_lr,
             server_idx,
-            ring_next,
+            ring,
             client_local_idx,
             token,
             ages: vec![0.0; n],
-            server_nodes,
             clients,
             params: init_params,
             age: 0.0,
@@ -143,7 +197,99 @@ impl SpykerServer {
             robust,
             flush_buf: ParamVec::zeros(0),
             rejected_updates: 0,
+            phase: Phase::Live,
+            my_region,
+            sponsor: None,
+            join_after: None,
+            leave_at: None,
+            ring_bid_floor: 0,
+            answered: HashMap::new(),
+            peer_misses: HashMap::new(),
+            drain_target: None,
+            client_watch_armed: false,
         }
+    }
+
+    /// Creates a *standby* server: built and reachable on the transport but
+    /// not on the ring. It bootstraps model, ages and ring view from a live
+    /// sponsor when its join triggers — after `join_after`, or on a
+    /// [`FlMsg::ScaleUp`] from the autoscaler when `join_after` is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.membership` is enabled (a fixed ring has no way
+    /// to ever admit this server).
+    pub fn standby(
+        region: Region,
+        init_params: ParamVec,
+        cfg: SpykerConfig,
+        sponsor: Option<NodeId>,
+        join_after: Option<SimTime>,
+    ) -> Self {
+        assert!(
+            cfg.membership.is_some(),
+            "standby servers need membership enabled"
+        );
+        let robust = RobustBuffer::from_strategy(cfg.aggregation);
+        Self {
+            client_lr: Vec::new(),
+            server_idx: usize::MAX,
+            ring: RingView {
+                epoch: 0,
+                members: Vec::new(),
+                slots: 0,
+            },
+            client_local_idx: HashMap::new(),
+            token: None,
+            ages: Vec::new(),
+            clients: Vec::new(),
+            params: init_params,
+            age: 0.0,
+            age_prev: 0.0,
+            cfg,
+            counts: UpdateCounts::new(0),
+            did_broadcast: HashSet::new(),
+            cnt: HashMap::new(),
+            ongoing_synchro: false,
+            processed_updates: 0,
+            last_gossip_at: 0,
+            syncs_triggered: 0,
+            server_aggs: 0,
+            highest_bid_seen: 0,
+            bid_at_last_watchdog: 0,
+            client_watch: Vec::new(),
+            tokens_regenerated: 0,
+            degraded_syncs: 0,
+            robust,
+            flush_buf: ParamVec::zeros(0),
+            rejected_updates: 0,
+            phase: Phase::Standby,
+            my_region: region,
+            sponsor,
+            join_after,
+            leave_at: None,
+            ring_bid_floor: 0,
+            answered: HashMap::new(),
+            peer_misses: HashMap::new(),
+            drain_target: None,
+            client_watch_armed: false,
+        }
+    }
+
+    /// Schedules a voluntary leave at `at` (builder style): the server
+    /// hands off the token, re-homes its clients to the nearest survivor,
+    /// drains in-flight updates, and departs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.membership` is enabled.
+    pub fn with_leave_at(mut self, at: SimTime) -> Self {
+        assert!(
+            self.cfg.membership.is_some(),
+            "voluntary leave needs membership enabled"
+        );
+        self.leave_at = Some(at);
+        self
     }
 
     /// This server's current model.
@@ -198,9 +344,43 @@ impl SpykerServer {
         self.counts.counts()
     }
 
-    /// This server's index in the ring (its position in `server_nodes`).
+    /// This server's ring slot (its stable index into every age vector).
+    /// `usize::MAX` while standby — a slot is only assigned on join.
     pub fn server_idx(&self) -> usize {
         self.server_idx
+    }
+
+    /// Current view of the server ring (epoch-versioned membership
+    /// snapshot; fixed deployments stay at epoch 0 forever).
+    pub fn ring(&self) -> &RingView {
+        &self.ring
+    }
+
+    /// Epoch of this server's current ring view. Monotone non-decreasing —
+    /// the epoch-monotonicity invariant checked by `spyker-simtest`.
+    pub fn ring_epoch(&self) -> u64 {
+        self.ring.epoch
+    }
+
+    /// Membership lifecycle phase, for oracles and reports.
+    pub fn membership_phase(&self) -> &'static str {
+        match self.phase {
+            Phase::Standby => "standby",
+            Phase::Live => "live",
+            Phase::Draining => "draining",
+            Phase::Departed => "departed",
+        }
+    }
+
+    /// `true` while this server is a live ring member (always, on a fixed
+    /// ring).
+    pub fn is_ring_member(&self) -> bool {
+        self.phase == Phase::Live
+    }
+
+    /// Number of clients currently homed on this server.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
     }
 
     /// The bid of the token this server currently holds, if any.
@@ -260,27 +440,56 @@ impl SpykerServer {
         self.highest_bid_seen = self.highest_bid_seen.max(bid);
     }
 
+    /// Node ids of every *other* live ring member, in token order.
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.server_nodes[self.server_idx];
-        self.server_nodes
+        let me = self.server_idx;
+        self.ring
+            .members
             .iter()
-            .copied()
-            .filter(move |&id| id != me)
+            .filter(move |m| m.slot != me)
+            .map(|m| m.node)
+    }
+
+    /// Position of this server in the current member list (equals
+    /// `server_idx` on a fixed ring; used for watchdog staggering).
+    fn ring_position(&self) -> usize {
+        self.ring
+            .members
+            .iter()
+            .position(|m| m.slot == self.server_idx)
+            .unwrap_or(self.server_idx)
     }
 
     /// Alg. 1 `Aggregation`: integrate one client update.
+    ///
+    /// `reply` controls whether the fresh model is sent back to the
+    /// client. A directly-received update always replies (l. 19); a
+    /// [`FlMsg::RedirectedUpdate`] from a draining peer must *not* — the
+    /// client is simultaneously being welcomed via its `ClientHello`, and
+    /// answering both would fork its round loop into two parallel
+    /// always-in-flight update streams.
     fn on_client_update(
         &mut self,
         env: &mut dyn Env<FlMsg>,
         from: NodeId,
         update: ParamVec,
         update_age: f64,
+        reply: bool,
     ) {
-        let Some(&k) = self.client_local_idx.get(&from) else {
-            // Reachable from network bytes on the TCP transport: count
-            // and drop rather than assert (DESIGN.md §13).
-            env.add_counter("net.unexpected", 1);
-            return;
+        let k = match self.client_local_idx.get(&from) {
+            Some(&k) => k,
+            // With elastic membership a re-homed client's first contact
+            // may be the update itself (its ClientHello can be lost):
+            // adopt on first touch.
+            None if self.cfg.membership.is_some() && self.phase == Phase::Live => {
+                self.adopt_client(env, from)
+            }
+            None => {
+                // Reachable from network bytes on the TCP transport: count
+                // and drop rather than assert (DESIGN.md §13).
+                env.add_counter("net.unexpected", 1);
+                return;
+            }
         };
         env.span_enter("server.aggregate");
         env.busy(self.cfg.agg_cost);
@@ -299,14 +508,16 @@ impl SpykerServer {
             self.rejected_updates += 1;
             env.add_counter("agg.rejected", 1);
             env.add_counter(reason.counter(), 1);
-            env.send(
-                from,
-                FlMsg::ModelToClient {
-                    params: self.params.clone(),
-                    age: self.age,
-                    lr: self.client_lr[k],
-                },
-            );
+            if reply {
+                env.send(
+                    from,
+                    FlMsg::ModelToClient {
+                        params: self.params.clone(),
+                        age: self.age,
+                        lr: self.client_lr[k],
+                    },
+                );
+            }
             env.span_exit("server.aggregate");
             return;
         }
@@ -358,31 +569,33 @@ impl SpykerServer {
         env.add_counter("updates.processed", 1);
         // l. 19: return the fresh model immediately (the client never
         // waits on server-server synchronisation).
-        env.send(
-            from,
-            FlMsg::ModelToClient {
-                params: self.params.clone(),
-                age: self.age,
-                lr,
-            },
-        );
+        if reply {
+            env.send(
+                from,
+                FlMsg::ModelToClient {
+                    params: self.params.clone(),
+                    age: self.age,
+                    lr,
+                },
+            );
+        }
         // l. 20.
         self.check_synchronization(env);
         env.span_exit("server.aggregate");
     }
 
-    /// Would `checkSynchronization` fire right now (Alg. 2 l. 22)?
+    /// Would `checkSynchronization` fire right now (Alg. 2 l. 22)? The
+    /// drift term only ranges over *live* slots: a departed server's frozen
+    /// age entry must not keep the ring re-synchronising forever.
     fn sync_wanted(&self) -> bool {
-        let max = self.ages.iter().cloned().fold(f64::MIN, f64::max);
-        let min = self.ages.iter().cloned().fold(f64::MAX, f64::min);
-        let drift = max - min >= self.cfg.h_inter;
+        let drift = live_age_spread(&self.ages, self.ring.live_slots()) >= self.cfg.h_inter;
         let aged = self.age - self.age_prev >= self.cfg.h_intra;
         drift || aged
     }
 
     /// Alg. 2 `checkSynchronization`.
     fn check_synchronization(&mut self, env: &mut dyn Env<FlMsg>) {
-        if self.server_nodes.len() < 2 {
+        if self.ring.len() < 2 {
             return; // a single server has no one to synchronise with
         }
         if !self.sync_wanted() {
@@ -441,9 +654,32 @@ impl SpykerServer {
         }
     }
 
+    /// Liveness + bounds guard on slot-indexed state: out-of-range slots
+    /// come only from hostile bytes (`net.unexpected`); in-range dead slots
+    /// are messages from a departed epoch still in flight
+    /// (`membership.stale_slot`). Returns `true` when the slot is safe to
+    /// touch.
+    fn slot_is_current(&self, env: &mut dyn Env<FlMsg>, slot: usize) -> bool {
+        if slot >= self.ages.len() {
+            env.add_counter("net.unexpected", 1);
+            return false;
+        }
+        if self.cfg.membership.is_some() && !self.ring.is_live_slot(slot) {
+            env.add_counter("membership.stale_slot", 1);
+            return false;
+        }
+        true
+    }
+
     /// Alg. 2 `RcvAge`.
     fn on_age_gossip(&mut self, env: &mut dyn Env<FlMsg>, server_idx: usize, age: f64) {
+        if !self.slot_is_current(env, server_idx) {
+            return;
+        }
         self.ages[server_idx] = self.ages[server_idx].max(age);
+        if self.cfg.membership.is_some() {
+            self.peer_misses.remove(&server_idx);
+        }
         self.check_synchronization(env);
     }
 
@@ -463,6 +699,16 @@ impl SpykerServer {
         }
         // l. 17: stamp a fresh bid for the exchange this holder may trigger.
         token.bid += 1;
+        // Membership: a token crossing into our ring epoch is lifted over
+        // the epoch's bid floor (and grown to its slot space), so every
+        // copy still circulating under the old shape is dominated. The
+        // floor only rises through *held* tokens — raising
+        // `highest_bid_seen` on mere epoch adoption would make every
+        // member stale-drop the one live token.
+        if token.bid < self.ring_bid_floor {
+            token.bid = self.ring_bid_floor;
+        }
+        token.extend_to(self.ring.slots);
         self.highest_bid_seen = self.highest_bid_seen.max(token.bid);
         // A token accepted while an exchange is still open (possible only
         // with recovery, when a regenerated token overtakes the one that
@@ -490,8 +736,19 @@ impl SpykerServer {
         peer_age: f64,
         bid: u64,
     ) {
+        if !self.slot_is_current(env, peer_idx) {
+            return;
+        }
         self.highest_bid_seen = self.highest_bid_seen.max(bid);
         self.ages[peer_idx] = self.ages[peer_idx].max(peer_age);
+        if self.cfg.membership.is_some() {
+            self.peer_misses.remove(&peer_idx);
+            // Holder-side exchange record for crash eviction.
+            let slots = self.answered.entry(bid).or_default();
+            if !slots.contains(&peer_idx) {
+                slots.push(peer_idx);
+            }
+        }
         // l. 32–35: echo our model once per synchronisation id.
         if !self.did_broadcast.contains(&bid) {
             self.did_broadcast.insert(bid);
@@ -537,7 +794,8 @@ impl SpykerServer {
             if token.bid == bid {
                 let seen = self.cnt.entry(bid).or_insert(0);
                 *seen += 1;
-                if *seen == self.server_nodes.len() {
+                // `>=`, not `==`: the ring may have shrunk mid-exchange.
+                if *seen >= self.ring.len() {
                     self.forward_token(env);
                 }
             }
@@ -558,8 +816,18 @@ impl SpykerServer {
             self.ongoing_synchro = false;
             return;
         };
+        if self.cfg.membership.is_some() {
+            self.answered.remove(&token.bid);
+        }
         token.ages = self.ages.clone();
-        env.send(self.ring_next, FlMsg::TokenPass(token));
+        let next = self.ring.next_after(env.me()).map(|m| m.node);
+        match next {
+            Some(next) => env.send(next, FlMsg::TokenPass(token)),
+            // The ring shrank to just us: nowhere to forward, keep holding
+            // (a one-ring never synchronises, so the token just waits for
+            // the next join).
+            None => self.token = Some(token),
+        }
         if self.ongoing_synchro {
             env.span_exit("server.exchange");
         }
@@ -572,11 +840,13 @@ impl SpykerServer {
         let Some(rec) = self.cfg.recovery else {
             return;
         };
-        if self.server_nodes.len() > 1 {
-            let stagger = rec.token_timeout * (self.server_idx as u64 + 1);
+        if self.ring.len() > 1 {
+            let stagger = rec.token_timeout * (self.ring_position() as u64 + 1);
             env.set_timer(stagger, tag(KIND_TOKEN_WATCHDOG, 0));
         }
-        if !self.clients.is_empty() {
+        // Recomputed, not just set: a crash killed any previous chain.
+        self.client_watch_armed = !self.clients.is_empty();
+        if self.client_watch_armed {
             env.set_timer(rec.client_timeout, tag(KIND_CLIENT_WATCHDOG, 0));
         }
     }
@@ -590,6 +860,10 @@ impl SpykerServer {
         let Some(rec) = self.cfg.recovery else {
             return;
         };
+        // A server that left the ring stops guarding its token.
+        if self.phase != Phase::Live {
+            return;
+        }
         let stalled = self.highest_bid_seen == self.bid_at_last_watchdog;
         self.bid_at_last_watchdog = self.highest_bid_seen;
         // Regenerate only when the ring is silent AND this server actually
@@ -597,7 +871,7 @@ impl SpykerServer {
         // legitimately produces no bid traffic, and regenerating then
         // would breed one idle token per server.
         if stalled && self.token.is_none() && self.sync_wanted() {
-            let bid = self.highest_bid_seen + self.server_nodes.len() as u64;
+            let bid = self.highest_bid_seen.max(self.ring_bid_floor) + self.ring.len() as u64;
             self.highest_bid_seen = bid;
             self.token = Some(Token {
                 bid,
@@ -607,7 +881,7 @@ impl SpykerServer {
             env.add_counter("token.regenerated", 1);
             self.check_synchronization(env);
         }
-        let stagger = rec.token_timeout * (self.server_idx as u64 + 1);
+        let stagger = rec.token_timeout * (self.ring_position() as u64 + 1);
         env.set_timer(stagger, tag(KIND_TOKEN_WATCHDOG, 0));
     }
 
@@ -617,10 +891,385 @@ impl SpykerServer {
         let still_waiting =
             self.ongoing_synchro && self.token.as_ref().is_some_and(|t| t.bid == bid);
         if still_waiting {
+            // Crash eviction: every live slot that did not answer this
+            // exchange takes a miss; enough consecutive misses and the
+            // holder unsplices it (the existing recovery path — degraded
+            // forward + watchdogs — carries the ring meanwhile).
+            if self.cfg.membership.is_some() {
+                let answered = self.answered.remove(&bid).unwrap_or_default();
+                let missing: Vec<usize> = self
+                    .ring
+                    .live_slots()
+                    .filter(|&s| s != self.server_idx && !answered.contains(&s))
+                    .collect();
+                for slot in missing {
+                    self.note_exchange_miss(env, slot);
+                }
+            }
             self.degraded_syncs += 1;
             env.add_counter("sync.degraded", 1);
             self.forward_token(env);
         }
+    }
+
+    /// One more consecutive exchange miss for `slot`; evict at the
+    /// configured budget.
+    fn note_exchange_miss(&mut self, env: &mut dyn Env<FlMsg>, slot: usize) {
+        let Some(mcfg) = self.cfg.membership else {
+            return;
+        };
+        let misses = self.peer_misses.entry(slot).or_insert(0);
+        *misses += 1;
+        if *misses >= mcfg.evict_after_misses {
+            self.peer_misses.remove(&slot);
+            self.evict_slot(env, slot);
+        }
+    }
+
+    /// Crash-departs `slot`: unsplice it, adopt the shrunk ring, and tell
+    /// everyone — including the evicted node, which (if merely partitioned,
+    /// not dead) stands down and re-joins through a survivor.
+    fn evict_slot(&mut self, env: &mut dyn Env<FlMsg>, slot: usize) {
+        let Some(member) = self.ring.member_of_slot(slot) else {
+            return;
+        };
+        let evicted = member.node;
+        let floor = join_bid(self.highest_bid_seen, self.ring.len());
+        let ring = self.ring.unsplice(slot);
+        env.add_counter("membership.evictions", 1);
+        self.adopt_ring(env, ring, floor);
+        let update = FlMsg::RingUpdate {
+            ring: self.ring.clone(),
+            bid_floor: self.ring_bid_floor,
+        };
+        for peer in self.peers().collect::<Vec<_>>() {
+            env.send(peer, update.clone());
+        }
+        env.send(evicted, update);
+    }
+
+    /// Installs a newer ring epoch. Grows local age knowledge to the new
+    /// slot space, lifts the bid floor, and re-stamps a *held* token over
+    /// it. A holder mid-exchange closes that exchange first: both the
+    /// completion check and the exchange timeout compare against the held
+    /// bid, which the re-stamp changes — leaving it open would wedge the
+    /// holder (the PR 4 seed-164 lesson).
+    fn adopt_ring(&mut self, env: &mut dyn Env<FlMsg>, ring: RingView, bid_floor: u64) {
+        if ring.epoch <= self.ring.epoch {
+            return; // stale or duplicate update
+        }
+        self.ring = ring;
+        self.ring_bid_floor = self.ring_bid_floor.max(bid_floor);
+        if self.ages.len() < self.ring.slots {
+            self.ages.resize(self.ring.slots, 0.0);
+        }
+        if self.token.is_some() {
+            if self.ongoing_synchro {
+                self.ongoing_synchro = false;
+                env.span_exit("server.exchange");
+                env.add_counter("sync.superseded", 1);
+            }
+            if let Some(t) = &mut self.token {
+                t.extend_to(self.ring.slots);
+                if t.bid < self.ring_bid_floor {
+                    t.bid = self.ring_bid_floor;
+                }
+                self.highest_bid_seen = self.highest_bid_seen.max(t.bid);
+            }
+        }
+        env.gauge_set("membership.epoch", self.ring.epoch as f64);
+        env.gauge_set("membership.ring_size", self.ring.len() as f64);
+        self.check_synchronization(env);
+    }
+
+    /// A live member sponsors a join: splice the requester onto a fresh
+    /// slot, fan the new epoch out to the members, and bootstrap the joiner
+    /// from our live state. Idempotent — a retried request re-sends the
+    /// current view.
+    fn on_join_request(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, region: usize) {
+        if self.cfg.membership.is_none() || self.phase != Phase::Live {
+            env.add_counter("net.unexpected", 1);
+            return;
+        }
+        let region = *Region::ALL.get(region).unwrap_or(&Region::ALL[0]);
+        if self.ring.member_of_node(from).is_none() {
+            env.span_enter("membership.join");
+            let floor = join_bid(self.highest_bid_seen, self.ring.len());
+            let ring = self.ring.splice(from, region);
+            env.add_counter("membership.joins", 1);
+            let update = FlMsg::RingUpdate {
+                ring: ring.clone(),
+                bid_floor: floor,
+            };
+            for m in &ring.members {
+                if m.node != from && m.slot != self.server_idx {
+                    env.send(m.node, update.clone());
+                }
+            }
+            // Bootstrap *before* adopting: adoption may immediately
+            // trigger an exchange over the new epoch, and the joiner
+            // should be live by the time it sees one.
+            let mut ages = self.ages.clone();
+            ages.resize(ring.slots.max(ages.len()), 0.0);
+            env.send(
+                from,
+                FlMsg::JoinAccept {
+                    ring: ring.clone(),
+                    params: self.params.clone(),
+                    age: self.age,
+                    ages,
+                    bid_floor: self.ring_bid_floor.max(floor),
+                },
+            );
+            self.adopt_ring(env, ring, floor);
+            env.span_exit("membership.join");
+        } else {
+            env.send(
+                from,
+                FlMsg::JoinAccept {
+                    ring: self.ring.clone(),
+                    params: self.params.clone(),
+                    age: self.age,
+                    ages: self.ages.clone(),
+                    bid_floor: self.ring_bid_floor,
+                },
+            );
+        }
+    }
+
+    /// The joiner goes live: install the sponsor's model, ages and ring,
+    /// take the assigned slot, and announce our age so exchanges include
+    /// us.
+    fn on_join_accept(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        ring: RingView,
+        params: ParamVec,
+        age: f64,
+        mut ages: Vec<f64>,
+        bid_floor: u64,
+    ) {
+        let Some(member) = ring.member_of_node(env.me()) else {
+            env.add_counter("net.unexpected", 1);
+            return;
+        };
+        let slot = member.slot;
+        self.server_idx = slot;
+        self.phase = Phase::Live;
+        self.params = params;
+        self.age = age;
+        self.age_prev = age;
+        if ages.len() < ring.slots {
+            ages.resize(ring.slots, 0.0);
+        }
+        // Our model *is* the sponsor's model, so our slot starts at its age.
+        ages[slot] = age;
+        self.ages = ages;
+        self.ring = ring;
+        self.ring_bid_floor = self.ring_bid_floor.max(bid_floor);
+        // Any token below the floor predates our epoch: refuse it outright
+        // (with recovery) — `on_token`'s floor re-stamp covers the rest.
+        self.highest_bid_seen = self.highest_bid_seen.max(bid_floor);
+        env.gauge_set("membership.epoch", self.ring.epoch as f64);
+        env.gauge_set("membership.ring_size", self.ring.len() as f64);
+        env.gauge_set(&format!("scale.load.s{slot}"), 0.0);
+        self.arm_watchdogs(env);
+        let announce_age = self.age;
+        for peer in self.peers().collect::<Vec<_>>() {
+            env.send(
+                peer,
+                FlMsg::AgeGossip {
+                    age: announce_age,
+                    server_idx: slot,
+                },
+            );
+        }
+    }
+
+    /// A ring update from a sponsor, a leaver, or an evictor. A live server
+    /// finding itself *excluded* from the newer epoch was evicted (e.g. a
+    /// partition outlived the miss budget): it stands down and re-joins.
+    fn on_ring_update(&mut self, env: &mut dyn Env<FlMsg>, ring: RingView, bid_floor: u64) {
+        if ring.epoch <= self.ring.epoch {
+            env.add_counter("membership.late", 1);
+            return;
+        }
+        let me = env.me();
+        if ring.member_of_node(me).is_none() {
+            self.stand_down(env, ring, bid_floor);
+            return;
+        }
+        self.adopt_ring(env, ring, bid_floor);
+    }
+
+    /// Evicted while alive: shed clients toward the nearest survivor, drop
+    /// any (by-construction stale) token, and go standby to re-join.
+    fn stand_down(&mut self, env: &mut dyn Env<FlMsg>, ring: RingView, bid_floor: u64) {
+        let Some(mcfg) = self.cfg.membership else {
+            return;
+        };
+        env.add_counter("membership.stand_downs", 1);
+        if self.ongoing_synchro {
+            self.ongoing_synchro = false;
+            env.span_exit("server.exchange");
+        }
+        self.token = None;
+        if let Some(target) = ring.nearest_to(self.my_region, env.me()).map(|m| m.node) {
+            for k in 0..self.clients.len() {
+                env.send(self.clients[k], FlMsg::Rehome { server: target });
+            }
+        }
+        if self.server_idx != usize::MAX {
+            env.gauge_set(&format!("scale.load.s{}", self.server_idx), 0.0);
+        }
+        self.clients.clear();
+        self.client_local_idx.clear();
+        self.client_lr.clear();
+        self.client_watch.clear();
+        self.counts = UpdateCounts::new(0);
+        self.phase = Phase::Standby;
+        self.sponsor = ring.members.first().map(|m| m.node);
+        self.server_idx = usize::MAX;
+        self.ring = ring;
+        self.ring_bid_floor = self.ring_bid_floor.max(bid_floor);
+        self.highest_bid_seen = self.highest_bid_seen.max(bid_floor);
+        env.set_timer(mcfg.client_failover_timeout, tag(KIND_JOIN_RETRY, 0));
+    }
+
+    /// Voluntary leave: hand the token to our ring successor re-stamped
+    /// over the new epoch's floor, re-home every client to the nearest
+    /// survivor, broadcast the shrunk ring, and drain.
+    fn begin_leave(&mut self, env: &mut dyn Env<FlMsg>) {
+        let Some(mcfg) = self.cfg.membership else {
+            return;
+        };
+        if self.phase != Phase::Live || self.ring.len() < 2 {
+            return; // not a member, or the last server must stay
+        }
+        env.span_enter("membership.leave");
+        env.add_counter("membership.leaves", 1);
+        let me = env.me();
+        let succ = self.ring.next_after(me).map(|m| m.node);
+        let floor = join_bid(self.highest_bid_seen, self.ring.len());
+        let ring = self.ring.unsplice(self.server_idx);
+        if self.ongoing_synchro {
+            self.ongoing_synchro = false;
+            env.span_exit("server.exchange");
+            env.add_counter("sync.superseded", 1);
+        }
+        if let Some(mut token) = self.token.take() {
+            token.ages = self.ages.clone();
+            token.bid = token.bid.max(floor);
+            self.highest_bid_seen = self.highest_bid_seen.max(token.bid);
+            if let Some(succ) = succ {
+                env.send(succ, FlMsg::TokenPass(token));
+            }
+        }
+        let target = ring
+            .nearest_to(self.my_region, me)
+            .map(|m| m.node)
+            .expect("a ring of >= 2 leaves a survivor");
+        for k in 0..self.clients.len() {
+            env.send(self.clients[k], FlMsg::Rehome { server: target });
+        }
+        let update = FlMsg::RingUpdate {
+            ring: ring.clone(),
+            bid_floor: floor,
+        };
+        for m in &ring.members {
+            env.send(m.node, update.clone());
+        }
+        env.gauge_set(&format!("scale.load.s{}", self.server_idx), 0.0);
+        // The clients are gone (re-homed): drop their state so a later
+        // recommission starts clean.
+        self.clients.clear();
+        self.client_local_idx.clear();
+        self.client_lr.clear();
+        self.client_watch.clear();
+        self.counts = UpdateCounts::new(0);
+        self.client_watch_armed = false;
+        self.phase = Phase::Draining;
+        self.drain_target = Some(target);
+        self.ring = ring;
+        self.ring_bid_floor = self.ring_bid_floor.max(floor);
+        env.gauge_set("membership.epoch", self.ring.epoch as f64);
+        env.set_timer(mcfg.drain_timeout, tag(KIND_DRAIN, 0));
+        env.span_exit("membership.leave");
+    }
+
+    /// Registers a walk-in client (re-homed from a leaver or failed over
+    /// from a crashed server) and returns its local index.
+    fn adopt_client(&mut self, env: &mut dyn Env<FlMsg>, id: NodeId) -> usize {
+        if let Some(&k) = self.client_local_idx.get(&id) {
+            return k;
+        }
+        let k = self.clients.len();
+        self.clients.push(id);
+        self.client_local_idx.insert(id, k);
+        self.client_lr.push(self.cfg.decay.eta_init);
+        self.client_watch.push(0);
+        self.counts.add_client();
+        env.add_counter("membership.adoptions", 1);
+        env.gauge_set(
+            &format!("scale.load.s{}", self.server_idx),
+            self.clients.len() as f64,
+        );
+        if !self.client_watch_armed {
+            if let Some(rec) = self.cfg.recovery {
+                env.set_timer(rec.client_timeout, tag(KIND_CLIENT_WATCHDOG, 0));
+                self.client_watch_armed = true;
+            }
+        }
+        k
+    }
+
+    /// A re-homed client's first contact: adopt it and hand it the model.
+    fn on_client_hello(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId) {
+        let k = self.adopt_client(env, from);
+        env.send(
+            from,
+            FlMsg::ModelToClient {
+                params: self.params.clone(),
+                age: self.age,
+                lr: self.client_lr[k],
+            },
+        );
+    }
+
+    /// Standby: the autoscaler picked us — ask the sponsor to splice us in.
+    fn on_scale_up(&mut self, env: &mut dyn Env<FlMsg>, sponsor: NodeId) {
+        let Some(mcfg) = self.cfg.membership else {
+            return;
+        };
+        self.sponsor = Some(sponsor);
+        env.send(
+            sponsor,
+            FlMsg::JoinRequest {
+                region: self.my_region.index(),
+            },
+        );
+        env.set_timer(mcfg.client_failover_timeout, tag(KIND_JOIN_RETRY, 0));
+    }
+
+    /// Join-retry tick: still standby means the request or the accept was
+    /// lost — ask again (the sponsor side is idempotent).
+    fn on_join_retry(&mut self, env: &mut dyn Env<FlMsg>) {
+        if self.phase != Phase::Standby {
+            return;
+        }
+        let Some(mcfg) = self.cfg.membership else {
+            return;
+        };
+        let Some(sponsor) = self.sponsor else {
+            return;
+        };
+        env.send(
+            sponsor,
+            FlMsg::JoinRequest {
+                region: self.my_region.index(),
+            },
+        );
+        env.set_timer(mcfg.client_failover_timeout, tag(KIND_JOIN_RETRY, 0));
     }
 
     /// Client watchdog: any client silent since the last check gets the
@@ -653,6 +1302,12 @@ impl SpykerServer {
 
 impl Node<FlMsg> for SpykerServer {
     fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        if self.phase == Phase::Standby {
+            if let Some(at) = self.join_after {
+                env.set_timer(at, tag(KIND_JOIN_RETRY, 0));
+            }
+            return;
+        }
         // Kick every client off with the initial model.
         let lr = self.cfg.decay.eta_init;
         for k in 0..self.clients.len() {
@@ -666,12 +1321,111 @@ impl Node<FlMsg> for SpykerServer {
             );
         }
         self.arm_watchdogs(env);
+        if self.cfg.membership.is_some() {
+            env.gauge_set("membership.epoch", self.ring.epoch as f64);
+            env.gauge_set("membership.ring_size", self.ring.len() as f64);
+            env.gauge_set(
+                &format!("scale.load.s{}", self.server_idx),
+                self.clients.len() as f64,
+            );
+            if let Some(at) = self.leave_at {
+                env.set_timer(at, tag(KIND_LEAVE, 0));
+            }
+        }
     }
 
     fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        // Phase routing (inert without membership: fixed-ring servers are
+        // permanently `Live` and fall straight through).
+        match self.phase {
+            Phase::Live => {}
+            Phase::Standby => {
+                match msg {
+                    FlMsg::JoinAccept {
+                        ring,
+                        params,
+                        age,
+                        ages,
+                        bid_floor,
+                    } => self.on_join_accept(env, ring, params, age, ages, bid_floor),
+                    FlMsg::ScaleUp { sponsor } => self.on_scale_up(env, sponsor),
+                    FlMsg::RingUpdate { ring, bid_floor } => {
+                        // Keep the view of whom to ask fresh while waiting.
+                        if ring.epoch > self.ring.epoch {
+                            self.sponsor = ring.members.first().map(|m| m.node);
+                            self.ring = ring;
+                            self.ring_bid_floor = self.ring_bid_floor.max(bid_floor);
+                        }
+                    }
+                    _ => env.add_counter("membership.late", 1),
+                }
+                return;
+            }
+            Phase::Draining => {
+                match msg {
+                    FlMsg::ClientUpdate {
+                        params,
+                        age,
+                        num_samples,
+                    } => {
+                        // In-flight update that raced our leave: redirect
+                        // it to the adopting server.
+                        if let Some(target) = self.drain_target {
+                            env.add_counter("membership.redirected", 1);
+                            env.send(
+                                target,
+                                FlMsg::RedirectedUpdate {
+                                    client: from,
+                                    params,
+                                    age,
+                                    num_samples,
+                                },
+                            );
+                        }
+                    }
+                    FlMsg::TokenPass(mut token) => {
+                        // A pass that raced our leave: relay it onto the
+                        // ring, lifted over the floor like any member
+                        // would.
+                        token.bid = token.bid.max(self.ring_bid_floor);
+                        token.extend_to(self.ring.slots);
+                        if let Some(m) = self.ring.members.first() {
+                            env.send(m.node, FlMsg::TokenPass(token));
+                        }
+                    }
+                    FlMsg::ClientHello => {
+                        if let Some(target) = self.drain_target {
+                            env.send(from, FlMsg::Rehome { server: target });
+                        }
+                    }
+                    FlMsg::RingUpdate { ring, bid_floor } => {
+                        if ring.epoch > self.ring.epoch {
+                            self.ring = ring;
+                            self.ring_bid_floor = self.ring_bid_floor.max(bid_floor);
+                        }
+                    }
+                    _ => env.add_counter("membership.late", 1),
+                }
+                return;
+            }
+            Phase::Departed => {
+                if let FlMsg::ScaleUp { sponsor } = msg {
+                    // Recommission: a drained server may be scaled back
+                    // in. Its old slot is retired forever; it re-joins
+                    // the ring like a fresh node.
+                    self.phase = Phase::Standby;
+                    self.server_idx = usize::MAX;
+                    self.drain_target = None;
+                    self.on_scale_up(env, sponsor);
+                } else {
+                    env.add_counter("membership.late", 1);
+                }
+                return;
+            }
+        }
         match msg {
             FlMsg::ClientUpdate { params, age, .. } => {
-                self.on_client_update(env, from, params, age);
+                self.on_client_update(env, from, params, age, true);
             }
             FlMsg::AgeGossip { age, server_idx } => {
                 self.on_age_gossip(env, server_idx, age);
@@ -683,6 +1437,29 @@ impl Node<FlMsg> for SpykerServer {
                 bid,
                 server_idx,
             } => self.on_server_model(env, server_idx, params, age, bid),
+            FlMsg::JoinRequest { region } if self.cfg.membership.is_some() => {
+                self.on_join_request(env, from, region);
+            }
+            FlMsg::RingUpdate { ring, bid_floor } if self.cfg.membership.is_some() => {
+                self.on_ring_update(env, ring, bid_floor);
+            }
+            FlMsg::ClientHello if self.cfg.membership.is_some() => {
+                self.on_client_hello(env, from);
+            }
+            FlMsg::RedirectedUpdate {
+                client,
+                params,
+                age,
+                ..
+            } if self.cfg.membership.is_some() => {
+                self.adopt_client(env, client);
+                self.on_client_update(env, client, params, age, false);
+            }
+            FlMsg::ScaleDown if self.cfg.membership.is_some() => self.begin_leave(env),
+            // Already live: a duplicate accept or a misdirected scale-up.
+            FlMsg::JoinAccept { .. } | FlMsg::ScaleUp { .. } if self.cfg.membership.is_some() => {
+                env.add_counter("membership.late", 1);
+            }
             _ => env.add_counter("net.unexpected", 1),
         }
     }
@@ -694,17 +1471,41 @@ impl Node<FlMsg> for SpykerServer {
                 self.on_exchange_timeout(env, tag & TAG_PAYLOAD_MASK);
             }
             KIND_CLIENT_WATCHDOG => self.on_client_watchdog(env),
+            KIND_JOIN_RETRY => self.on_join_retry(env),
+            KIND_LEAVE => self.begin_leave(env),
+            KIND_DRAIN => {
+                if self.phase == Phase::Draining {
+                    self.phase = Phase::Departed;
+                }
+            }
             _ => debug_assert!(false, "unexpected timer tag {tag:#x}"),
         }
     }
 
     fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
         // The node keeps its model and ages but every armed timer fired
-        // into the void while it was down: re-arm the watchdogs and poke
-        // the clients (whatever was in flight to or from them is lost).
-        // A pre-crash exchange can no longer complete the normal way — the
-        // peers' models were discarded with the inbox — so close it and
-        // let the token watchdogs recover the ring.
+        // into the void while it was down: re-arm what the phase needs.
+        match self.phase {
+            Phase::Standby => {
+                if let Some(mcfg) = self.cfg.membership {
+                    env.set_timer(mcfg.client_failover_timeout, tag(KIND_JOIN_RETRY, 0));
+                }
+                return;
+            }
+            Phase::Draining => {
+                if let Some(mcfg) = self.cfg.membership {
+                    env.set_timer(mcfg.drain_timeout, tag(KIND_DRAIN, 0));
+                }
+                return;
+            }
+            Phase::Departed => return,
+            Phase::Live => {}
+        }
+        // Re-arm the watchdogs and poke the clients (whatever was in
+        // flight to or from them is lost). A pre-crash exchange can no
+        // longer complete the normal way — the peers' models were
+        // discarded with the inbox — so close it and let the token
+        // watchdogs recover the ring.
         if self.ongoing_synchro {
             env.span_exit("server.exchange");
         }
@@ -712,7 +1513,7 @@ impl Node<FlMsg> for SpykerServer {
         // If we still hold the token, re-stamp it: peers already broadcast
         // under its old bid and would ignore a re-triggered exchange.
         if self.token.is_some() {
-            let bid = self.highest_bid_seen + self.server_nodes.len() as u64;
+            let bid = self.highest_bid_seen.max(self.ring_bid_floor) + self.ring.len() as u64;
             self.highest_bid_seen = bid;
             if let Some(t) = &mut self.token {
                 t.bid = bid;
@@ -1331,5 +2132,214 @@ mod tests {
         // Fast client's next lr must be decayed to the floor by now.
         let lr = srv.cfg.decay.decay(counts[0], srv.counts.mean());
         assert!(lr < 0.01, "expected decayed lr, got {lr}");
+    }
+
+    // ---- elastic membership -------------------------------------------
+
+    use crate::client::FailoverConfig;
+    use crate::membership::MembershipConfig;
+
+    fn elastic_cfg() -> SpykerConfig {
+        SpykerConfig::paper_defaults(4, 2)
+            .with_thresholds(2.0, 10.0)
+            .with_recovery(RecoveryConfig::default())
+            .with_membership(MembershipConfig::default())
+    }
+
+    fn failover_client(server: NodeId, candidates: &[NodeId], t: f32) -> FlClient {
+        FlClient::new(
+            server,
+            Box::new(MeanTargetTrainer::new(vec![t, t], 10)),
+            1,
+            SimTime::from_millis(150),
+        )
+        .with_failover(FailoverConfig {
+            candidates: candidates.to_vec(),
+            timeout: SimTime::from_secs(4),
+        })
+    }
+
+    /// Two live servers + one standby that joins on a timer; nodes 3..7
+    /// are clients. Returns the simulation (unrun).
+    fn build_elastic_sim(cfg: SpykerConfig, join_after: Option<SimTime>) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 17);
+        let server_nodes = vec![0usize, 1];
+        sim.add_node(
+            Box::new(SpykerServer::new(
+                0,
+                server_nodes.clone(),
+                vec![3, 4],
+                ParamVec::zeros(2),
+                cfg.clone(),
+            )),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(SpykerServer::new(
+                1,
+                server_nodes,
+                vec![5, 6],
+                ParamVec::zeros(2),
+                cfg.clone(),
+            )),
+            Region::Sydney,
+        );
+        sim.add_node(
+            Box::new(SpykerServer::standby(
+                Region::California,
+                ParamVec::zeros(2),
+                cfg,
+                Some(0),
+                join_after,
+            )),
+            Region::California,
+        );
+        let all = [0usize, 1, 2];
+        for i in 0..4 {
+            let home = if i < 2 { 0 } else { 1 };
+            let region = if i < 2 { Region::Paris } else { Region::Sydney };
+            sim.add_node(
+                Box::new(failover_client(home, &all, i as f32 * 0.5)),
+                region,
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn timed_join_splices_standby_server_into_the_ring() {
+        let mut sim = build_elastic_sim(elastic_cfg(), Some(SimTime::from_secs(2)));
+        sim.run(SimTime::from_secs(30));
+        assert_eq!(sim.metrics().counter("membership.joins"), 1);
+        let joiner = server(&sim, 2);
+        assert!(joiner.is_ring_member());
+        assert_eq!(joiner.membership_phase(), "live");
+        for id in 0..3 {
+            assert_eq!(server(&sim, id).ring_epoch(), 1, "server {id} stale epoch");
+        }
+        assert_eq!(sim.metrics().gauge("membership.ring_size"), Some(3.0));
+        // Synchronisation keeps running over the grown ring: the joiner
+        // participates in exchanges (its age advances via peers or its
+        // token turns come around).
+        assert!(
+            sim.metrics().counter("syncs.triggered") > 0,
+            "token stopped circulating after the join"
+        );
+        // Exactly one token in flight: no regeneration was needed.
+        for id in 0..3 {
+            assert_eq!(server(&sim, id).tokens_regenerated(), 0);
+        }
+        assert!(sim.metrics().counter("updates.processed") > 20);
+    }
+
+    #[test]
+    fn voluntary_leave_hands_off_token_and_rehomes_clients() {
+        // Three live servers; server 2 (clients 5, 6) leaves at t=6 s.
+        let cfg = elastic_cfg();
+        let mut sim = Simulation::new(NetworkConfig::aws(), 23);
+        let server_nodes = vec![0usize, 1, 2];
+        let homes = [vec![3, 4], vec![5], vec![6]];
+        let regions = [Region::Paris, Region::Sydney, Region::California];
+        for idx in 0..3 {
+            let s = SpykerServer::new(
+                idx,
+                server_nodes.clone(),
+                homes[idx].clone(),
+                ParamVec::zeros(2),
+                cfg.clone(),
+            );
+            let s = if idx == 2 {
+                s.with_leave_at(SimTime::from_secs(6))
+            } else {
+                s
+            };
+            sim.add_node(Box::new(s), regions[idx]);
+        }
+        let all = [0usize, 1, 2];
+        for i in 0..4 {
+            let home = [0, 0, 1, 2][i];
+            sim.add_node(
+                Box::new(failover_client(home, &all, i as f32 * 0.5)),
+                regions[home],
+            );
+        }
+        sim.run(SimTime::from_secs(30));
+        assert_eq!(sim.metrics().counter("membership.leaves"), 1);
+        let leaver = server(&sim, 2);
+        assert!(!leaver.is_ring_member());
+        assert_eq!(leaver.membership_phase(), "departed");
+        assert_eq!(leaver.num_clients(), 0, "leaver kept client state");
+        for id in 0..2 {
+            assert_eq!(server(&sim, id).ring_epoch(), 1);
+        }
+        // Client 6 was re-homed to a survivor and adopted there.
+        assert!(sim.metrics().counter("membership.client_rehomes") >= 1);
+        assert!(sim.metrics().counter("membership.adoptions") >= 1);
+        let orphan = sim.node(6).as_any().downcast_ref::<FlClient>().unwrap();
+        assert!(orphan.server() < 2, "client 6 still points at the leaver");
+        assert!(orphan.rehomed() >= 1);
+        // The handoff preserved the token: no watchdog regeneration.
+        for id in 0..2 {
+            assert_eq!(
+                server(&sim, id).tokens_regenerated(),
+                0,
+                "token was lost in the leave handoff"
+            );
+        }
+        assert!(sim.metrics().counter("syncs.triggered") > 0);
+        assert_eq!(sim.metrics().gauge("membership.ring_size"), Some(2.0));
+    }
+
+    #[test]
+    fn crashed_server_is_evicted_and_clients_fail_over() {
+        // Three live servers; server 2 crashes for good at t=5 s. The
+        // exchange-miss budget evicts it; its client fails over on the
+        // liveness timer.
+        let cfg = elastic_cfg();
+        let mut sim = Simulation::new(NetworkConfig::aws(), 29);
+        let server_nodes = vec![0usize, 1, 2];
+        let homes = [vec![3, 4], vec![5], vec![6]];
+        let regions = [Region::Paris, Region::Sydney, Region::California];
+        for idx in 0..3 {
+            sim.add_node(
+                Box::new(SpykerServer::new(
+                    idx,
+                    server_nodes.clone(),
+                    homes[idx].clone(),
+                    ParamVec::zeros(2),
+                    cfg.clone(),
+                )),
+                regions[idx],
+            );
+        }
+        let all = [0usize, 1, 2];
+        for i in 0..4 {
+            let home = [0, 0, 1, 2][i];
+            sim.add_node(
+                Box::new(failover_client(home, &all, i as f32 * 0.5)),
+                regions[home],
+            );
+        }
+        sim = sim.with_faults(FaultPlan::none().crash(2, SimTime::from_secs(5), None));
+        sim.run(SimTime::from_secs(60));
+        assert_eq!(
+            sim.metrics().counter("membership.evictions"),
+            1,
+            "crashed server never evicted"
+        );
+        for id in 0..2 {
+            let s = server(&sim, id);
+            assert_eq!(s.ring_epoch(), 1, "server {id} missed the eviction epoch");
+            assert!(s.is_ring_member());
+        }
+        // The orphaned client noticed the silence and re-homed itself.
+        let orphan = sim.node(6).as_any().downcast_ref::<FlClient>().unwrap();
+        assert!(orphan.server() < 2, "client 6 still points at the corpse");
+        assert!(sim.metrics().counter("membership.client_failovers") >= 1);
+        assert!(sim.metrics().counter("membership.adoptions") >= 1);
+        // The ring of two keeps synchronising after the eviction.
+        assert_eq!(sim.metrics().gauge("membership.ring_size"), Some(2.0));
+        assert!(sim.metrics().counter("syncs.triggered") > 0);
+        assert!(sim.metrics().counter("updates.processed") > 20);
     }
 }

@@ -98,6 +98,32 @@ pub fn blended_age(eta_a: f32, weight: f32, age_i: f64, age_j: f64) -> f64 {
     (1.0 - c) * age_i + c * age_j
 }
 
+/// The inter-server age drift `max − min` over the *live* slots of an age
+/// vector (Alg. 2 l. 22's trigger quantity, restricted to ring members).
+///
+/// On a fixed ring every slot is live and this is the plain spread of
+/// `ages`; with elastic membership a departed server's frozen age entry
+/// must stop counting toward the drift, or the ring would re-synchronise
+/// forever chasing a slot nobody occupies. Out-of-range slots are skipped;
+/// fewer than one live in-range slot yields `0.0`.
+pub fn live_age_spread(ages: &[f64], live: impl Iterator<Item = usize>) -> f64 {
+    let mut max = f64::MIN;
+    let mut min = f64::MAX;
+    let mut seen = false;
+    for slot in live {
+        if let Some(&a) = ages.get(slot) {
+            max = max.max(a);
+            min = min.min(a);
+            seen = true;
+        }
+    }
+    if seen {
+        max - min
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +212,18 @@ mod tests {
         let w = server_agg_weight(1.5, 0.0, 10.0);
         assert!(w.is_finite());
         assert!(w > 0.5);
+    }
+
+    #[test]
+    fn live_age_spread_ignores_dead_and_out_of_range_slots() {
+        let ages = [10.0, 500.0, 13.0];
+        // All slots live: plain spread.
+        assert_eq!(live_age_spread(&ages, 0..3), 490.0);
+        // Slot 1 departed: its frozen age stops driving the drift.
+        assert_eq!(live_age_spread(&ages, [0usize, 2].into_iter()), 3.0);
+        // Out-of-range slots are skipped, an empty live set is zero drift.
+        assert_eq!(live_age_spread(&ages, [0usize, 9].into_iter()), 0.0);
+        assert_eq!(live_age_spread(&ages, std::iter::empty()), 0.0);
     }
 
     #[test]

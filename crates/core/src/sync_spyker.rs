@@ -16,6 +16,7 @@ use spyker_simnet::{Env, Node, NodeId, SimTime};
 
 use crate::config::SpykerConfig;
 use crate::decay::UpdateCounts;
+use crate::membership::RingView;
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
 
@@ -24,7 +25,11 @@ const ROUND_TIMER: u64 = 1;
 /// One Sync-Spyker server.
 pub struct SyncSpykerServer {
     server_idx: usize,
-    server_nodes: Vec<NodeId>,
+    /// Epoch-versioned view of the server fleet. The synchronous barrier
+    /// waits on the *live members* of this view, and peer-model frames
+    /// are admitted per-slot through a liveness guard rather than trusted
+    /// by raw index.
+    ring: RingView,
     clients: Vec<NodeId>,
     client_local_idx: HashMap<NodeId, usize>,
 
@@ -72,7 +77,7 @@ impl SyncSpykerServer {
         Self {
             client_lr,
             server_idx,
-            server_nodes,
+            ring: RingView::fixed(&server_nodes),
             client_local_idx,
             counts,
             params: init_params,
@@ -110,11 +115,12 @@ impl SyncSpykerServer {
     }
 
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let me = self.server_nodes[self.server_idx];
-        self.server_nodes
+        let me = self.server_idx;
+        self.ring
+            .members
             .iter()
-            .copied()
-            .filter(move |&id| id != me)
+            .filter(move |m| m.slot != me)
+            .map(|m| m.node)
     }
 
     fn process_client_update(
@@ -185,7 +191,7 @@ impl SyncSpykerServer {
     }
 
     fn try_complete_round(&mut self, env: &mut dyn Env<FlMsg>) {
-        let n = self.server_nodes.len();
+        let n = self.ring.len();
         let Some(models) = self.incoming.get(&self.round) else {
             return;
         };
@@ -234,7 +240,7 @@ impl Node<FlMsg> for SyncSpykerServer {
                 },
             );
         }
-        if self.server_nodes.len() > 1 {
+        if self.ring.len() > 1 {
             env.set_timer(self.sync_period, ROUND_TIMER);
         }
     }
@@ -254,6 +260,14 @@ impl Node<FlMsg> for SyncSpykerServer {
                 bid,
                 server_idx,
             } => {
+                // Liveness guard: only models from live slots of the
+                // current ring view may fill the barrier. A raw-index
+                // insert would let a frame with an invented slot complete
+                // (and corrupt) the round early.
+                if !self.ring.is_live_slot(server_idx) {
+                    env.add_counter("membership.stale_slot", 1);
+                    return;
+                }
                 self.incoming
                     .entry(bid)
                     .or_default()

@@ -47,6 +47,16 @@ impl Token {
     pub fn wire_size(&self) -> usize {
         8 + 8 * self.ages.len()
     }
+
+    /// Grows the age vector with zeros to cover `slots` entries — called
+    /// when a held token crosses into a larger ring epoch (a fresh slot's
+    /// model has age 0 until its first gossip). Never shrinks: retired
+    /// slots keep their last known age.
+    pub fn extend_to(&mut self, slots: usize) {
+        if slots > self.ages.len() {
+            self.ages.resize(slots, 0.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +83,18 @@ mod tests {
     #[test]
     fn wire_size_scales_with_servers() {
         assert_eq!(Token::initial(4).wire_size(), 40);
+    }
+
+    #[test]
+    fn extend_to_grows_with_zeros_and_never_shrinks() {
+        let mut t = Token {
+            bid: 2,
+            ages: vec![4.0, 6.0],
+        };
+        t.extend_to(4);
+        assert_eq!(t.ages, vec![4.0, 6.0, 0.0, 0.0]);
+        t.extend_to(1);
+        assert_eq!(t.ages.len(), 4, "must not shrink");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Property-based tests for the elastic-membership laws (DESIGN.md §14):
+//! the splice/unsplice inverse pair on [`RingView`] and the token-bid
+//! dominance of [`join_bid`].
+
+use proptest::prelude::*;
+use spyker_core::membership::{join_bid, RingView};
+use spyker_simnet::Region;
+
+/// A ring that has already lived through some churn: start from a fixed
+/// ring of `n` servers, then replay `ops` as alternating joins (fresh node
+/// ids from 100 up) and leaves (of a pseudo-randomly chosen live slot).
+/// Keeps at least one member live so every op is legal.
+fn churned_ring(n: usize, ops: &[(u8, usize, u8)]) -> RingView {
+    let nodes: Vec<usize> = (0..n).collect();
+    let mut ring = RingView::fixed(&nodes);
+    let mut next_node = 100;
+    for &(join, pick, region) in ops {
+        if join == 1 {
+            ring = ring.splice(next_node, Region::ALL[region as usize % 4]);
+            next_node += 1;
+        } else if ring.len() > 1 {
+            let slots: Vec<usize> = ring.live_slots().collect();
+            ring = ring.unsplice(slots[pick % slots.len()]);
+        }
+    }
+    ring
+}
+
+fn ops() -> impl Strategy<Value = Vec<(u8, usize, u8)>> {
+    prop::collection::vec((0u8..2, 0usize..16, 0u8..4), 0..8)
+}
+
+proptest! {
+    /// splice ∘ unsplice of the fresh slot is the identity on the member
+    /// list, bumps the epoch by exactly two, and keeps the extra slot
+    /// allocated (slots are append-only, never reused) — from *any*
+    /// churned starting ring, not just the epoch-0 layout.
+    #[test]
+    fn splice_unsplice_is_identity_up_to_epoch(
+        n in 1usize..6,
+        ops in ops(),
+        region in 0u8..4,
+    ) {
+        let r = churned_ring(n, &ops);
+        let joiner = 9999;
+        let grown = r.splice(joiner, Region::ALL[region as usize]);
+        prop_assert_eq!(grown.epoch, r.epoch + 1);
+        prop_assert_eq!(grown.slots, r.slots + 1);
+        prop_assert_eq!(grown.len(), r.len() + 1);
+        // The joiner takes the freshest slot and sits last in token order.
+        let m = grown.member_of_node(joiner).unwrap();
+        prop_assert_eq!(m.slot, r.slots);
+        prop_assert_eq!(grown.members.last().unwrap().node, joiner);
+
+        let back = grown.unsplice(r.slots);
+        prop_assert_eq!(&back.members, &r.members);
+        prop_assert_eq!(back.epoch, r.epoch + 2);
+        prop_assert_eq!(back.slots, r.slots + 1, "slot stays allocated");
+    }
+
+    /// Unsplicing any live slot removes exactly that member and leaves
+    /// everyone else's slot untouched — so every surviving age-vector
+    /// index keeps meaning the same server.
+    #[test]
+    fn unsplice_removes_exactly_one_member(
+        n in 1usize..6,
+        ops in ops(),
+        pick in 0usize..16,
+    ) {
+        let r = churned_ring(n, &ops);
+        let slots: Vec<usize> = r.live_slots().collect();
+        let victim = slots[pick % slots.len()];
+        let smaller = r.unsplice(victim);
+        prop_assert_eq!(smaller.len(), r.len() - 1);
+        prop_assert!(!smaller.is_live_slot(victim));
+        for m in &smaller.members {
+            prop_assert_eq!(r.member_of_slot(m.slot), Some(m));
+        }
+    }
+
+    /// `join_bid` dominance: a token at bid `b` gains one per hop, so any
+    /// copy still in flight when the new ring takes over is at most
+    /// `b + ring_len` (a full lap; a regenerated token starts exactly
+    /// there). The join bid must strictly exceed that, and must itself be
+    /// monotone in what the proposer has seen.
+    #[test]
+    fn join_bid_dominates_any_in_flight_token(
+        highest in 0u64..u64::MAX / 2,
+        ring_len in 0usize..64,
+        lap in 0usize..64,
+    ) {
+        let bid = join_bid(highest, ring_len);
+        let in_flight = highest + lap.min(ring_len) as u64;
+        prop_assert!(bid > in_flight, "join bid {bid} does not dominate a \
+                      token at {in_flight}");
+        // Monotone: seeing a higher bid can only push the takeover higher.
+        prop_assert!(join_bid(highest + 1, ring_len) > bid);
+    }
+}

@@ -251,6 +251,90 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "fault-injected node restarts",
     },
     CatalogEntry {
+        name: "membership.adoptions",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server adopt_client",
+        help: "walk-in clients adopted (re-homed, failed over, redirected)",
+    },
+    CatalogEntry {
+        name: "membership.client_failovers",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core client on_timer",
+        help: "clients that re-homed themselves after server silence",
+    },
+    CatalogEntry {
+        name: "membership.client_rehomes",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core client on_message",
+        help: "Rehome orders from departing servers followed by clients",
+    },
+    CatalogEntry {
+        name: "membership.epoch",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "core server membership",
+        help: "highest ring epoch adopted by any server",
+    },
+    CatalogEntry {
+        name: "membership.evictions",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server note_exchange_miss",
+        help: "unresponsive servers evicted after the exchange-miss budget",
+    },
+    CatalogEntry {
+        name: "membership.joins",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server on_join_request",
+        help: "servers spliced into the ring by a sponsor",
+    },
+    CatalogEntry {
+        name: "membership.late",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server phase routing",
+        help: "messages dropped as stale for the receiver's membership phase",
+    },
+    CatalogEntry {
+        name: "membership.leaves",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server begin_leave",
+        help: "voluntary leaves (token handoff + client re-homing + drain)",
+    },
+    CatalogEntry {
+        name: "membership.redirected",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server draining",
+        help: "in-flight client updates redirected by a draining server",
+    },
+    CatalogEntry {
+        name: "membership.ring_size",
+        kind: Gauge,
+        unit: Unit::Count,
+        site: "core server membership",
+        help: "live servers on the ring in the current epoch",
+    },
+    CatalogEntry {
+        name: "membership.stale_slot",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker/cluster",
+        help: "frames naming a retired or never-spliced ring slot, dropped",
+    },
+    CatalogEntry {
+        name: "membership.stand_downs",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server stand_down",
+        help: "live servers that found themselves evicted and went standby",
+    },
+    CatalogEntry {
         name: "metric",
         kind: Series,
         unit: Unit::Value,
@@ -298,6 +382,13 @@ pub const CATALOG: &[CatalogEntry] = &[
         unit: Unit::Count,
         site: "transport tcp",
         help: "established TCP connections severed (EOF, error, liveness)",
+    },
+    CatalogEntry {
+        name: "net.conn.ondemand",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "transport tcp",
+        help: "dialers started lazily for peers that did not exist at startup",
     },
     CatalogEntry {
         name: "net.conn.retries",
@@ -368,6 +459,34 @@ pub const CATALOG: &[CatalogEntry] = &[
         unit: Unit::Count,
         site: "baselines fedavg/hierfavg",
         help: "synchronous aggregation rounds completed",
+    },
+    CatalogEntry {
+        name: "scale.down",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "obs-aware autoscaler",
+        help: "ScaleDown orders sent to drain the last-activated server",
+    },
+    CatalogEntry {
+        name: "scale.holds",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "obs-aware autoscaler",
+        help: "autoscaler ticks that held (cooldown, floor, dry pool, blind)",
+    },
+    CatalogEntry {
+        name: "scale.pressure",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "obs-aware autoscaler",
+        help: "observed clients per server over the configured target",
+    },
+    CatalogEntry {
+        name: "scale.up",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "obs-aware autoscaler",
+        help: "ScaleUp orders sent to activate a standby server",
     },
     CatalogEntry {
         name: "server.aggs",
@@ -463,6 +582,13 @@ pub const FAMILIES: &[FamilyEntry] = &[
         unit: Unit::Count,
         site: "experiments runner probe",
         help: "per-server inbox depth over time",
+    },
+    FamilyEntry {
+        prefix: "scale.load.s",
+        kind: Gauge,
+        unit: Unit::Count,
+        site: "core server membership",
+        help: "clients currently homed at the server holding each ring slot",
     },
 ];
 

@@ -248,6 +248,10 @@ impl<M: WireSize> Env<M> for EnvHandle<'_, M> {
         self.core.metrics.gauge_set(name, value);
     }
 
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.core.metrics.gauge(name)
+    }
+
     fn span_enter(&mut self, name: &'static str) {
         let now = self.now();
         self.core.metrics.span_enter(self.me as u32, name, now);

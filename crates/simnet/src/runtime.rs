@@ -105,6 +105,17 @@ pub trait Env<M> {
         let _ = (name, value);
     }
 
+    /// Reads the named gauge back, if this environment can observe it —
+    /// the autoscaler's window into protocol pressure. The DES environment
+    /// reads the simulation-wide metrics; distributed transports can only
+    /// see gauges set on *this* node (`None` otherwise). Defaults to
+    /// `None`, so actors consuming gauges must degrade gracefully (hold,
+    /// don't panic) when pressure is unobservable.
+    fn gauge(&self, name: &str) -> Option<f64> {
+        let _ = name;
+        None
+    }
+
     /// Enters the named tracing span on this node at the current effective
     /// time. Defaults to a no-op.
     fn span_enter(&mut self, name: &'static str) {

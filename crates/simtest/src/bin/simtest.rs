@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]
-//!         [--out DIR] [--time-cap-secs N] [--replay FILE]
+//!         [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]
 //! ```
 //!
 //! Sweeps `N` seeds starting at `S`: each seed expands into a random
 //! scenario that runs under the full oracle suite. On the first violation
 //! the scenario is shrunk to a minimal reproducer, written to
 //! `--out` as `repro_<seed>.ron`, and the sweep aborts with exit code 1.
-//! `--replay FILE` runs one reproducer instead of sweeping.
+//! `--replay FILE` runs one reproducer instead of sweeping. `--churn`
+//! expands each seed with scheduled server joins/leaves on top of its
+//! usual faults, stressing the dynamic-membership protocol.
 //!
 //! `--time-cap-secs` bounds wall-clock time (for CI): the sweep stops
 //! early — cleanly, reporting how many seeds it covered — when the cap is
@@ -29,12 +31,13 @@ struct Opts {
     out: PathBuf,
     time_cap_secs: Option<u64>,
     replay: Option<PathBuf>,
+    churn: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]\n\
-         \x20              [--out DIR] [--time-cap-secs N] [--replay FILE]"
+         \x20              [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]"
     );
     std::process::exit(2)
 }
@@ -56,6 +59,7 @@ fn parse_opts() -> Opts {
         out: PathBuf::from("target/simtest"),
         time_cap_secs: None,
         replay: None,
+        churn: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +75,7 @@ fn parse_opts() -> Opts {
                 opts.time_cap_secs = Some(parse_count(&value()).unwrap_or_else(|| usage()))
             }
             "--replay" => opts.replay = Some(PathBuf::from(value())),
+            "--churn" => opts.churn = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -123,16 +128,22 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
         }
-        let sc = SimScenario::generate(seed);
+        let sc = if opts.churn {
+            SimScenario::generate_churn(seed)
+        } else {
+            SimScenario::generate(seed)
+        };
         match run_scenario(&sc, opts.budget_events) {
             RunOutcome::Clean(stats) => {
                 swept += 1;
                 println!(
-                    "seed {seed}: clean ({} servers, {} clients, {} faults, {} events, \
-                     fingerprint {:016x})",
+                    "seed {seed}: clean ({} servers, {} clients, {} faults, {} joins, \
+                     {} leaves, {} events, fingerprint {:016x})",
                     sc.n_servers,
                     sc.n_clients,
                     sc.fault_count(),
+                    sc.joins.len(),
+                    sc.leaves.len(),
                     stats.events,
                     stats.fingerprint
                 );

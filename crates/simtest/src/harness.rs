@@ -98,6 +98,9 @@ struct OracleTap<'a> {
     /// Set by `on_deliver` when the in-flight message is a `TokenPass`;
     /// consumed by the matching `after_event`.
     pending_token_to: Option<NodeId>,
+    /// Node ids of every server actor (base ring + standbys), in
+    /// [`SimScenario::server_node_ids`] order.
+    server_ids: Vec<NodeId>,
 }
 
 impl<'a> OracleTap<'a> {
@@ -110,18 +113,22 @@ impl<'a> OracleTap<'a> {
             budget_exhausted: false,
             violation: None,
             pending_token_to: None,
+            server_ids: sc.server_node_ids(),
         }
     }
 }
 
-/// Downcasts the first `n_servers` nodes to [`SpykerServer`]s.
-fn servers(nodes: &[Box<dyn spyker_simnet::Node<FlMsg>>], n_servers: usize) -> Vec<&SpykerServer> {
-    nodes[..n_servers]
-        .iter()
-        .map(|n| {
-            n.as_any()
+/// Downcasts the nodes at `ids` to [`SpykerServer`]s.
+fn servers<'a>(
+    nodes: &'a [Box<dyn spyker_simnet::Node<FlMsg>>],
+    ids: &[NodeId],
+) -> Vec<&'a SpykerServer> {
+    ids.iter()
+        .map(|&i| {
+            nodes[i]
+                .as_any()
                 .downcast_ref::<SpykerServer>()
-                .expect("nodes 0..n_servers are SpykerServers")
+                .expect("server node ids are SpykerServers")
         })
         .collect()
 }
@@ -149,7 +156,8 @@ impl EventTap<FlMsg> for OracleTap<'_> {
             kind == TapKind::Deliver && self.pending_token_to.take() == Some(node);
         let octx = OracleCtx {
             time: ctx.time(),
-            servers: servers(ctx.nodes(), self.sc.n_servers),
+            servers: servers(ctx.nodes(), &self.server_ids),
+            server_nodes: self.server_ids.clone(),
             metrics: ctx.metrics(),
             n_clients: self.sc.n_clients,
             event: Some(EventInfo {
@@ -207,17 +215,20 @@ pub fn run_scenario(sc: &SimScenario, budget_events: u64) -> RunOutcome {
         return RunOutcome::Violated(v);
     }
     // End-of-run pass: the whole-run invariants (liveness, finiteness).
-    let final_servers: Vec<&SpykerServer> = (0..sc.n_servers)
-        .map(|i| {
+    let server_ids = sc.server_node_ids();
+    let final_servers: Vec<&SpykerServer> = server_ids
+        .iter()
+        .map(|&i| {
             sim.node(i)
                 .as_any()
                 .downcast_ref::<SpykerServer>()
-                .expect("nodes 0..n_servers are SpykerServers")
+                .expect("server node ids are SpykerServers")
         })
         .collect();
     let octx = OracleCtx {
         time: sim.now(),
         servers: final_servers,
+        server_nodes: server_ids,
         metrics: sim.metrics(),
         n_clients: sc.n_clients,
         event: None,
@@ -277,7 +288,7 @@ fn fingerprint(sim: &Simulation<FlMsg>, sc: &SimScenario, events: u64) -> u64 {
         h.write(name.as_bytes());
         h.write_u64(value);
     }
-    for i in 0..sc.n_servers {
+    for i in sc.server_node_ids() {
         let s = sim
             .node(i)
             .as_any()
@@ -293,6 +304,8 @@ fn fingerprint(sim: &Simulation<FlMsg>, sc: &SimScenario, events: u64) -> u64 {
         h.write_u64(s.processed_updates());
         h.write_u64(s.highest_bid_seen());
         h.write_u64(s.token_bid().unwrap_or(u64::MAX));
+        h.write_u64(s.ring_epoch());
+        h.write(s.membership_phase().as_bytes());
     }
     h.0
 }

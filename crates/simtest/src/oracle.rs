@@ -19,6 +19,7 @@
 //! | `counter-consistency` | metric counters equal the per-actor ledgers          |
 //! | `metrics-consistency` | spans stay enter/exit balanced; counters are monotone|
 //! | `exchange-ledger`     | the `cnt`/`did_broadcast` ledger stays coherent      |
+//! | `membership`          | ring epochs are monotone; phase transitions legal    |
 //! | `model-hull`          | honest models stay inside the targets' hull          |
 //! | `liveness`            | a clean run processes updates and stays finite       |
 //!
@@ -52,8 +53,13 @@ pub struct EventInfo {
 pub struct OracleCtx<'a> {
     /// Virtual time of the snapshot.
     pub time: SimTime,
-    /// The servers, in ring order (node ids `0..n_servers`).
+    /// Every server actor: the base ring (node ids `0..n_servers`) followed
+    /// by any standby/joiner servers (which live *after* the clients in the
+    /// elastic node layout).
     pub servers: Vec<&'a SpykerServer>,
+    /// Node id of each entry in `servers` — positions and node ids diverge
+    /// once standbys exist, so event attribution must go through this.
+    pub server_nodes: Vec<NodeId>,
     /// Metric counters and series collected so far.
     pub metrics: &'a Metrics,
     /// Number of clients in the deployment.
@@ -116,6 +122,7 @@ pub fn default_suite() -> Vec<Box<dyn Oracle>> {
             last_counters: std::collections::BTreeMap::new(),
         }),
         Box::new(ExchangeLedgerOracle),
+        Box::new(MembershipOracle { last: None }),
         Box::new(ModelHullOracle),
         Box::new(LivenessOracle),
     ]
@@ -167,8 +174,9 @@ impl Oracle for TokenConservationOracle {
         if let Some(prev) = &self.held {
             for (i, ((was, regen_was), (is, regen_is))) in prev.iter().zip(&now).enumerate() {
                 if *is && !*was {
-                    let caused_by_pass =
-                        ctx.event.is_some_and(|e| e.token_delivered && e.node == i);
+                    let caused_by_pass = ctx
+                        .event
+                        .is_some_and(|e| e.token_delivered && e.node == ctx.server_nodes[i]);
                     let caused_by_regen = *regen_is > *regen_was;
                     if !caused_by_pass && !caused_by_regen {
                         return Err(format!(
@@ -240,10 +248,15 @@ impl Oracle for BidMonotonicityOracle {
 
 /// A server's knowledge of *peer* ages only moves forward (entries are
 /// exclusively max-merged), and every age stays finite and non-negative.
-/// A server's own entry is exempt: the sigmoid-weighted exchange blends
-/// its live age *toward* a peer's, which may lower it.
+/// Two exemptions: a server's own slot (the sigmoid-weighted exchange
+/// blends its live age *toward* a peer's, which may lower it), and a
+/// membership transition — a join-accept replaces the whole vector with
+/// the sponsor's view and a stand-down re-keys the slot, so monotonicity
+/// only binds within one stable incarnation (detected as an unchanged
+/// slot between snapshots).
 struct AgeMonotonicityOracle {
-    last: Option<Vec<Vec<f64>>>,
+    /// Per server: `(slot, ages)` at the last check.
+    last: Option<Vec<(usize, Vec<f64>)>>,
 }
 
 impl Oracle for AgeMonotonicityOracle {
@@ -252,12 +265,12 @@ impl Oracle for AgeMonotonicityOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let now: Vec<Vec<f64>> = ctx
+        let now: Vec<(usize, Vec<f64>)> = ctx
             .servers
             .iter()
-            .map(|s| s.known_ages().to_vec())
+            .map(|s| (s.server_idx(), s.known_ages().to_vec()))
             .collect();
-        for (i, ages) in now.iter().enumerate() {
+        for (i, (_, ages)) in now.iter().enumerate() {
             for (j, &a) in ages.iter().enumerate() {
                 if !a.is_finite() || a < 0.0 {
                     return Err(format!("server {i}'s age entry for {j} is {a}"));
@@ -265,11 +278,14 @@ impl Oracle for AgeMonotonicityOracle {
             }
         }
         if let Some(prev) = &self.last {
-            for (i, (p, n)) in prev.iter().zip(&now).enumerate() {
+            for (i, ((pslot, p), (slot, n))) in prev.iter().zip(&now).enumerate() {
+                if pslot != slot {
+                    continue; // new incarnation: fresh baseline
+                }
                 for (j, (pa, na)) in p.iter().zip(n).enumerate() {
-                    if j != i && na < pa {
+                    if j != *slot && na < pa {
                         return Err(format!(
-                            "server {i}'s knowledge of server {j}'s age decreased: \
+                            "server {i}'s knowledge of slot {j}'s age decreased: \
                              {pa} -> {na}"
                         ));
                     }
@@ -499,6 +515,67 @@ impl Oracle for ExchangeLedgerOracle {
     }
 }
 
+/// Membership stays sane across ring epochs: each server's epoch is
+/// monotone non-decreasing, lifecycle phases only move along the legal
+/// edges of the state machine (`standby → live` on join, `live →
+/// draining → departed` on a voluntary leave, `live → standby` when an
+/// evicted-but-alive server stands down, `departed → standby` on
+/// recommission), and only a live member ever holds the ring token —
+/// a leaver hands its token off *before* it starts draining.
+struct MembershipOracle {
+    /// Per server: `(ring_epoch, phase)` at the last check.
+    last: Option<Vec<(u64, &'static str)>>,
+}
+
+impl MembershipOracle {
+    fn legal(from: &str, to: &str) -> bool {
+        matches!(
+            (from, to),
+            ("standby", "live")
+                | ("live", "draining")
+                | ("live", "standby")
+                | ("draining", "departed")
+                | ("departed", "standby")
+        )
+    }
+}
+
+impl Oracle for MembershipOracle {
+    fn name(&self) -> &'static str {
+        "membership"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let now: Vec<(u64, &'static str)> = ctx
+            .servers
+            .iter()
+            .map(|s| (s.ring_epoch(), s.membership_phase()))
+            .collect();
+        for (i, s) in ctx.servers.iter().enumerate() {
+            if s.membership_phase() != "live" && s.has_token() {
+                return Err(format!(
+                    "server {i} holds the token while {}",
+                    s.membership_phase()
+                ));
+            }
+        }
+        if let Some(prev) = &self.last {
+            for (i, ((pe, pp), (ne, np))) in prev.iter().zip(&now).enumerate() {
+                if ne < pe {
+                    return Err(format!("server {i}'s ring epoch decreased: {pe} -> {ne}"));
+                }
+                if pp != np && !Self::legal(pp, np) {
+                    return Err(format!(
+                        "server {i} made an illegal phase transition: {pp} -> {np}"
+                    ));
+                }
+            }
+        }
+        self.last = Some(now);
+        Ok(())
+    }
+}
+
 /// Without Byzantine clients every update is a convex pull toward some
 /// client target, and every merge (robust or not) is a convex combination
 /// — so each model coordinate stays inside the hull spanned by the zero
@@ -598,6 +675,7 @@ mod tests {
         OracleCtx {
             time: SimTime::ZERO,
             servers: Vec::new(),
+            server_nodes: Vec::new(),
             metrics,
             n_clients: 0,
             event: None,

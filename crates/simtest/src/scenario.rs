@@ -13,7 +13,11 @@ use rand::{Rng, SeedableRng};
 use spyker_core::agg::AggregationStrategy;
 use spyker_core::agg::ValidationConfig;
 use spyker_core::config::{RecoveryConfig, SpykerConfig};
-use spyker_core::deploy::{even_assignment, spyker_deployment_assigned, SpykerDeploymentSpec};
+use spyker_core::deploy::{
+    elastic_spyker_deployment, even_assignment, spyker_deployment_assigned, ElasticSpec,
+    SpykerDeploymentSpec,
+};
+use spyker_core::membership::MembershipConfig;
 use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_core::training::{LocalTrainer, MeanTargetTrainer};
@@ -79,6 +83,15 @@ pub struct SimScenario {
     pub faults: FaultPlan,
     /// Optional test-only violation injection.
     pub inject: Option<Injection>,
+    /// Scheduled membership growth: one standby server is appended to the
+    /// node space per entry (after the clients, in id order) and splices
+    /// into the ring at the given virtual time. Empty on non-elastic
+    /// scenarios — the build then routes through the fixed deployment,
+    /// byte-identical to pre-membership runs.
+    pub joins: Vec<SimTime>,
+    /// Scheduled membership shrink: base server `idx` voluntarily leaves
+    /// (token handoff, client re-homing, drain) at the given time.
+    pub leaves: Vec<(usize, SimTime)>,
 }
 
 impl SimScenario {
@@ -149,7 +162,38 @@ impl SimScenario {
             targets,
             faults,
             inject: None,
+            joins: Vec::new(),
+            leaves: Vec::new(),
         }
+    }
+
+    /// Expands `seed` into a membership-churn scenario: the plain
+    /// [`SimScenario::generate`] expansion plus scheduled server joins
+    /// (and, when the base ring can spare one, a voluntary leave), drawn
+    /// from a decorrelated RNG stream so the underlying scenario for a
+    /// given seed is unchanged.
+    ///
+    /// Recovery is forced on: the eviction path (a crashed member is
+    /// unspliced after repeated exchange misses) runs on the recovery
+    /// watchdogs, so a churn sweep without them would not exercise it.
+    pub fn generate_churn(seed: u64) -> Self {
+        let mut sc = Self::generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc2b2_ae3d_27d4_eb4f);
+        sc.recovery = true;
+        let horizon_us = sc.horizon.as_micros();
+        // Joins land in the first half so the joiner has time to serve;
+        // leaves in the third quarter so the drain completes in-horizon.
+        for _ in 0..rng.gen_range(1..=2u32) {
+            let at = rng.gen_range(horizon_us / 8..horizon_us / 2);
+            sc.joins.push(SimTime::from_micros(at));
+        }
+        sc.joins.sort();
+        if sc.n_servers >= 2 && rng.gen_bool(0.6) {
+            let idx = rng.gen_range(0..sc.n_servers);
+            let at = rng.gen_range(horizon_us / 2..3 * horizon_us / 4);
+            sc.leaves.push((idx, SimTime::from_micros(at)));
+        }
+        sc
     }
 
     /// Draws the fault schedule; returns it with the recovery decision
@@ -246,7 +290,25 @@ impl SimScenario {
         if self.recovery {
             cfg = cfg.with_recovery(RecoveryConfig::default());
         }
+        if self.elastic() {
+            cfg = cfg.with_membership(MembershipConfig::default());
+        }
         cfg
+    }
+
+    /// `true` when the scenario schedules membership churn (and the build
+    /// therefore routes through the elastic deployment).
+    pub fn elastic(&self) -> bool {
+        !self.joins.is_empty() || !self.leaves.is_empty()
+    }
+
+    /// Node ids of every server actor: the base ring `0..n_servers`, then
+    /// one standby per scheduled join (standbys sit after the clients in
+    /// the elastic node layout). The oracles watch all of them.
+    pub fn server_node_ids(&self) -> Vec<NodeId> {
+        (0..self.n_servers)
+            .chain((0..self.joins.len()).map(|k| self.n_servers + self.n_clients + k))
+            .collect()
     }
 
     /// The network model this scenario runs on.
@@ -283,6 +345,20 @@ impl SimScenario {
                 .map(|&ms| SimTime::from_millis(ms))
                 .collect(),
         };
+        if self.elastic() {
+            let elastic = ElasticSpec {
+                standby_regions: (0..self.joins.len())
+                    .map(|k| Region::ALL[(self.n_servers + k) % Region::ALL.len()])
+                    .collect(),
+                join_after: self.joins.iter().map(|&t| Some(t)).collect(),
+                leave_at: self.leaves.clone(),
+                failover_timeout: MembershipConfig::default().client_failover_timeout,
+                autoscaler: None,
+            };
+            return elastic_spyker_deployment(self.net(), self.seed, spec, elastic)
+                .sim
+                .with_faults(self.faults.clone());
+        }
         let assignment = even_assignment(self.n_clients, self.n_servers);
         spyker_deployment_assigned(self.net(), self.seed, assignment, spec)
             .with_faults(self.faults.clone())
@@ -304,8 +380,8 @@ impl SimScenario {
     /// seconds. The shrinker minimizes this; the acceptance bar is a
     /// reproducer at ≤ half the original size.
     pub fn size(&self) -> u64 {
-        (self.n_servers + self.n_clients) as u64
-            + 2 * self.fault_count() as u64
+        (self.n_servers + self.n_clients + self.joins.len()) as u64
+            + 2 * (self.fault_count() + self.joins.len() + self.leaves.len()) as u64
             + self.horizon.as_micros() / 1_000_000
     }
 
@@ -474,6 +550,18 @@ impl SimScenario {
             None => "None".to_string(),
         };
         emit(p, &format!("    inject: {inject},\n"));
+        let joins: Vec<String> = self
+            .joins
+            .iter()
+            .map(|t| t.as_micros().to_string())
+            .collect();
+        emit(p, &format!("    joins_us: [{}],\n", joins.join(", ")));
+        let leaves: Vec<String> = self
+            .leaves
+            .iter()
+            .map(|&(s, t)| format!("(server: {s}, at_us: {})", t.as_micros()))
+            .collect();
+        emit(p, &format!("    leaves: [{}],\n", leaves.join(", ")));
         emit(p, ")\n");
         s
     }
@@ -937,6 +1025,39 @@ impl<'a> Parser<'a> {
         self.field("inject")?;
         let inject = self.injection()?;
         self.expect(",")?;
+        // Membership churn came later: repro files written before it
+        // simply end here, so both fields are optional (defaulting to no
+        // churn, which reproduces the original fixed-ring run exactly).
+        let mut joins = Vec::new();
+        if self.peek("joins_us") {
+            self.field("joins_us")?;
+            joins = self
+                .num_list::<u64>()?
+                .into_iter()
+                .map(SimTime::from_micros)
+                .collect();
+            self.expect(",")?;
+        }
+        let mut leaves = Vec::new();
+        if self.peek("leaves") {
+            self.field("leaves")?;
+            self.expect("[")?;
+            while !self.peek("]") {
+                self.expect("(")?;
+                self.field("server")?;
+                let server = self.number::<usize>()?;
+                self.expect(",")?;
+                self.field("at_us")?;
+                let at = SimTime::from_micros(self.number::<u64>()?);
+                self.expect(")")?;
+                leaves.push((server, at));
+                if !self.peek("]") {
+                    self.expect(",")?;
+                }
+            }
+            self.expect("]")?;
+            self.expect(",")?;
+        }
         self.expect(")")?;
         Ok(SimScenario {
             seed,
@@ -956,6 +1077,8 @@ impl<'a> Parser<'a> {
             targets,
             faults,
             inject,
+            joins,
+            leaves,
         })
     }
 }
@@ -1021,5 +1144,64 @@ mod tests {
         let s = SimScenario::generate(3);
         let sim = s.build();
         assert_eq!(sim.num_nodes(), s.n_servers + s.n_clients);
+    }
+
+    #[test]
+    fn churn_generation_is_deterministic_and_well_formed() {
+        for seed in 0..32 {
+            let a = SimScenario::generate_churn(seed);
+            assert_eq!(a, SimScenario::generate_churn(seed));
+            assert!(a.elastic() && !a.joins.is_empty(), "seed {seed}");
+            assert!(a.recovery, "seed {seed}: churn needs recovery");
+            for t in &a.joins {
+                assert!(*t < a.horizon, "seed {seed}: join after horizon");
+            }
+            for &(idx, t) in &a.leaves {
+                assert!(idx < a.n_servers, "seed {seed}: leave of unknown server");
+                assert!(t < a.horizon, "seed {seed}: leave after horizon");
+            }
+            // The underlying scenario is the plain expansion of the seed.
+            let mut base = a.clone();
+            base.joins.clear();
+            base.leaves.clear();
+            base.recovery = SimScenario::generate(seed).recovery;
+            assert_eq!(base, SimScenario::generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ron_round_trips_churn_scenarios() {
+        for seed in 0..32 {
+            let s = SimScenario::generate_churn(seed);
+            let ron = s.to_ron();
+            let back = SimScenario::from_ron(&ron)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{ron}"));
+            assert_eq!(back, s, "seed {seed} did not round-trip\n{ron}");
+        }
+    }
+
+    #[test]
+    fn ron_without_membership_fields_still_parses() {
+        // Repro files written before membership churn end at `inject`.
+        let s = SimScenario::generate(9);
+        let legacy: String = s
+            .to_ron()
+            .lines()
+            .filter(|l| !l.contains("joins_us") && !l.contains("leaves"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(SimScenario::from_ron(&legacy).unwrap(), s);
+    }
+
+    #[test]
+    fn elastic_build_appends_standbys_after_the_clients() {
+        let s = SimScenario::generate_churn(3);
+        let sim = s.build();
+        assert_eq!(sim.num_nodes(), s.n_servers + s.n_clients + s.joins.len());
+        assert_eq!(s.server_node_ids().len(), s.n_servers + s.joins.len());
+        assert_eq!(
+            s.server_node_ids().last().copied(),
+            Some(s.n_servers + s.n_clients + s.joins.len() - 1)
+        );
     }
 }

@@ -32,6 +32,8 @@ const MOVES: &[Move] = &[
     drop_partition,
     drop_crash,
     drop_byzantine,
+    drop_leave,
+    drop_join,
     drop_client,
     drop_server,
     halve_horizon,
@@ -87,12 +89,35 @@ fn drop_byzantine(sc: &SimScenario) -> Option<SimScenario> {
     })
 }
 
+fn drop_leave(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.leaves.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.leaves.pop();
+        s
+    })
+}
+
+fn drop_join(sc: &SimScenario) -> Option<SimScenario> {
+    // The last standby server (highest node id) disappears with its join,
+    // so no other node is renumbered.
+    (!sc.joins.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.joins.pop();
+        s
+    })
+}
+
 fn drop_client(sc: &SimScenario) -> Option<SimScenario> {
     if sc.n_clients <= 1 {
         return None;
     }
     let last = sc.n_servers + sc.n_clients - 1;
     if sc.fault_references_node(last) {
+        return None;
+    }
+    // Removing a client renumbers the standbys that follow it, so it is
+    // only safe when no fault pins a standby id.
+    if (0..sc.joins.len()).any(|k| sc.fault_references_node(sc.n_servers + sc.n_clients + k)) {
         return None;
     }
     let mut s = sc.clone();
@@ -106,6 +131,10 @@ fn drop_server(sc: &SimScenario) -> Option<SimScenario> {
     if sc.n_servers <= 1 || sc.faults_reference_nodes() {
         // Removing a server renumbers every client id, so it is only safe
         // when no fault pins a node id.
+        return None;
+    }
+    if sc.leaves.iter().any(|&(s, _)| s >= sc.n_servers - 1) {
+        // A scheduled leave pins the dropped ring slot.
         return None;
     }
     if let Some(Injection::DuplicateToken { server, .. }) = &sc.inject {
@@ -183,18 +212,22 @@ mod tests {
         // hold it equal for pure simplifications like zeroing jitter),
         // otherwise the shrinker could loop forever.
         for seed in 0..64 {
-            let mut sc = SimScenario::generate(seed);
-            sc.inject = Some(Injection::DuplicateToken {
-                at: SimTime::from_secs(4),
-                server: 0,
-            });
-            for mv in MOVES {
-                if let Some(c) = mv(&sc) {
-                    assert!(
-                        c.size() <= sc.size(),
-                        "seed {seed}: a move grew the scenario"
-                    );
-                    assert_ne!(c, sc, "seed {seed}: a move was a no-op");
+            for mut sc in [
+                SimScenario::generate(seed),
+                SimScenario::generate_churn(seed),
+            ] {
+                sc.inject = Some(Injection::DuplicateToken {
+                    at: SimTime::from_secs(4),
+                    server: 0,
+                });
+                for mv in MOVES {
+                    if let Some(c) = mv(&sc) {
+                        assert!(
+                            c.size() <= sc.size(),
+                            "seed {seed}: a move grew the scenario"
+                        );
+                        assert_ne!(c, sc, "seed {seed}: a move was a no-op");
+                    }
                 }
             }
         }

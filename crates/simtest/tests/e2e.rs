@@ -39,6 +39,30 @@ fn small_sweep_is_clean() {
 }
 
 #[test]
+fn churn_run_is_bit_identical() {
+    let sc = SimScenario::generate_churn(5);
+    assert!(sc.elastic());
+    let a = stats(run_scenario(&sc, BUDGET));
+    let b = stats(run_scenario(&sc, BUDGET));
+    assert_eq!(a, b, "same churn scenario, different outcome");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert!(a.updates_processed > 0);
+}
+
+#[test]
+fn small_churn_sweep_is_clean() {
+    // A prefix of the CI churn sweep: scheduled server joins and leaves on
+    // top of each seed's usual faults, under the full oracle suite
+    // (including the membership lifecycle oracle).
+    for seed in 0..6 {
+        let sc = SimScenario::generate_churn(seed);
+        if let RunOutcome::Violated(v) = run_scenario(&sc, BUDGET) {
+            panic!("churn seed {seed} ({sc:?}) violated: {v}");
+        }
+    }
+}
+
+#[test]
 fn event_budget_stops_the_run() {
     let sc = SimScenario::generate(7);
     let s = stats(run_scenario(&sc, 50));

@@ -48,3 +48,53 @@ fn superseded_exchange_does_not_wedge_the_ring() {
         RunOutcome::Violated(v) => panic!("seed 164 regressed: {v}"),
     }
 }
+
+/// Found by `simtest --churn --seeds 32` (seed 16, shrunk): a client
+/// re-homed by a voluntary leaver was answered *twice* — once by the
+/// welcome model its `ClientHello` earned at the adopting server, and once
+/// by the reply to its in-flight update that the leaver redirected there.
+/// The client trains on every model it receives, so the double answer
+/// forked its round loop into two parallel always-in-flight update
+/// streams, violating the liveness oracle's "each client has at most one
+/// update in flight" bound. Fixed by integrating a `RedirectedUpdate`
+/// *without* replying: the adoption welcome is the client's single reply
+/// source across a re-home.
+const SEED_16_CHURN_SHRUNK: &str = "(
+    seed: 16,
+    n_servers: 2,
+    n_clients: 2,
+    dim: 6,
+    horizon_us: 13000000,
+    uniform_latency_ms: Some(57),
+    jitter_ms: 0,
+    h_inter: 3.0,
+    h_intra: 38.0,
+    gossip_backoff: 1,
+    recovery: true,
+    aggregation: Mean,
+    max_delta_norm: None,
+    train_delay_ms: [350, 75],
+    targets: [0.6986891, 0.3195666],
+    faults: (
+        loss_prob: 0.0,
+        link_loss: [],
+        drops: [],
+        partitions: [],
+        conns: [],
+        crashes: [],
+        byzantine: [],
+    ),
+    inject: None,
+    joins_us: [],
+    leaves: [(server: 1, at_us: 7362746)],
+)
+";
+
+#[test]
+fn redirected_update_does_not_fork_the_client_round_loop() {
+    let sc = SimScenario::from_ron(SEED_16_CHURN_SHRUNK).unwrap();
+    match run_scenario(&sc, 200_000) {
+        RunOutcome::Clean(stats) => assert!(stats.updates_processed > 0),
+        RunOutcome::Violated(v) => panic!("churn seed 16 regressed: {v}"),
+    }
+}

@@ -294,6 +294,13 @@ impl<M: WireSize> Env<M> for ThreadEnv<M> {
         self.metrics.gauge_set(name, value);
     }
 
+    /// Own-node gauges only: each node thread keeps private metrics until
+    /// the final merge, so an autoscaler on this transport sees just what
+    /// the local node published.
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.gauge(name)
+    }
+
     fn span_enter(&mut self, name: &'static str) {
         let now = self.now();
         self.metrics.span_enter(self.me as u32, name, now);

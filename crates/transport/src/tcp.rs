@@ -110,6 +110,12 @@ pub struct TcpNodeConfig {
     /// Peers this node dials (and keeps re-dialing): servers dial every
     /// lower-indexed server, clients dial their server.
     pub peers: Vec<(NodeId, SocketAddr)>,
+    /// Addresses of peers this node does NOT dial at startup but may need
+    /// later — elastic-membership joiners and failover candidates. The
+    /// first send to such a peer lazily starts a dialer for it
+    /// (`net.conn.ondemand`); until the connection is up, sends degrade
+    /// into counted drops exactly like a `conn.drop` fault window.
+    pub addr_book: Vec<(NodeId, SocketAddr)>,
     /// Idle interval after which a writer sends a ping.
     pub heartbeat: Duration,
     /// Silence interval after which a reader declares the peer dead. Must
@@ -141,6 +147,7 @@ impl TcpNodeConfig {
             num_nodes,
             listen: None,
             peers: Vec::new(),
+            addr_book: Vec::new(),
             heartbeat: Duration::from_millis(500),
             liveness_timeout: Duration::from_secs(2),
             backoff: BackoffConfig::default(),
@@ -669,6 +676,16 @@ struct TcpEnv {
     timers: BinaryHeap<TimerEntry>,
     timer_seq: u64,
     liveness: Duration,
+    /// Known addresses of peers not dialed at startup (elastic joiners,
+    /// failover candidates); consulted on the first send to each.
+    addr_book: HashMap<NodeId, SocketAddr>,
+    /// Peers a dialer already runs for (startup peers plus on-demand).
+    dialed: HashSet<NodeId>,
+    ctx: ConnCtx,
+    backoff: BackoffConfig,
+    seed: u64,
+    /// Dialer threads started on demand; joined at shutdown.
+    dynamic: Vec<thread::JoinHandle<()>>,
 }
 
 impl TcpEnv {
@@ -676,6 +693,28 @@ impl TcpEnv {
         self.metrics.add_counter("fault.dropped", 1);
         self.metrics
             .add_counter_suffixed("fault.dropped.", "conn", 1);
+    }
+
+    /// First send to a peer that did not exist at startup (an elastic
+    /// joiner spliced in mid-run, or a failover candidate): start a
+    /// dialer for it if the address book knows it. The triggering message
+    /// is still dropped — the connection is not up yet — and the protocol
+    /// watchdogs retry, exactly as across a `conn.drop` fault window.
+    fn dial_on_demand(&mut self, to: NodeId) {
+        if self.dialed.contains(&to) {
+            return;
+        }
+        let Some(&addr) = self.addr_book.get(&to) else {
+            return;
+        };
+        self.dialed.insert(to);
+        self.metrics.add_counter("net.conn.ondemand", 1);
+        let ctx = self.ctx.clone();
+        let backoff = self.backoff.clone();
+        let seed = self.seed ^ (to as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.dynamic.push(thread::spawn(move || {
+            dialer_loop(to, addr, &ctx, &backoff, seed)
+        }));
     }
 }
 
@@ -705,7 +744,9 @@ impl Env<FlMsg> for TcpEnv {
         let Some(q) = self.peers.get(to) else {
             // No live connection: the message is eaten exactly like a
             // `conn.drop` fault window in the simulator; the recovery
-            // watchdogs are what heals the protocol.
+            // watchdogs are what heals the protocol. If the address book
+            // knows this peer, a dialer starts now so the retry lands.
+            self.dial_on_demand(to);
             self.drop_disconnected();
             return;
         };
@@ -754,6 +795,13 @@ impl Env<FlMsg> for TcpEnv {
 
     fn gauge_set(&mut self, name: &str, value: f64) {
         self.metrics.gauge_set(name, value);
+    }
+
+    /// Own-node gauges only: a TCP process cannot observe its peers'
+    /// metrics, so an autoscaler on this transport sees just the gauges
+    /// the local node published.
+    fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.gauge(name)
     }
 
     fn span_enter(&mut self, name: &'static str) {
@@ -826,6 +874,12 @@ pub fn run_node(
         timers: BinaryHeap::new(),
         timer_seq: 0,
         liveness: cfg.liveness_timeout,
+        addr_book: cfg.addr_book.iter().copied().collect(),
+        dialed: cfg.peers.iter().map(|&(peer, _)| peer).collect(),
+        ctx: ctx.clone(),
+        backoff: cfg.backoff.clone(),
+        seed: cfg.seed,
+        dynamic: Vec::new(),
     };
     if cfg.rejoin {
         node.on_restart(&mut env);
@@ -859,6 +913,7 @@ pub fn run_node(
     }
     stop.store(true, Ordering::Relaxed);
     peers.close_all();
+    joins.append(&mut env.dynamic);
     for j in joins {
         let _ = j.join();
     }

@@ -33,6 +33,13 @@ cargo run -q --release -p spyker-bench --bin bench_smoke BENCH_tensor.json
 cargo run -q --release -p spyker-simtest --bin simtest -- \
     --seeds 64 --budget-events 200k --time-cap-secs 120
 
+# Membership-churn sweep (see DESIGN.md §14): the same oracle suite over
+# 32 scenarios with scheduled server joins and voluntary leaves layered
+# on top of each seed's usual faults — token conservation, age
+# conservation and the exchange ledger must hold across ring epochs.
+cargo run -q --release -p spyker-simtest --bin simtest -- \
+    --churn --seeds 32 --budget-events 200k --time-cap-secs 120
+
 # Multi-process TCP soak (see DESIGN.md §13): 2 servers + 6 clients + a
 # malformed-frame attacker on localhost, one server SIGKILLed and
 # restarted mid-training. Skippable where spawning processes or binding

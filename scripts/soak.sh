@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Localhost soak of the multi-process TCP deployment: 2 servers + 6
-# clients + 1 malformed-frame attacker, with one server SIGKILLed and
-# restarted (--rejoin) mid-training. Passes when training kept
-# progressing, the restarted server rejoined via the recovery path, and
-# nothing panicked. Time-capped at roughly half a minute.
+# Localhost soak of the multi-process TCP deployment, two phases:
+#
+#  1. crash/rejoin — 2 servers + 6 clients + 1 malformed-frame attacker,
+#     with one server SIGKILLed and restarted (--rejoin) mid-training.
+#  2. elastic churn — 2 servers + 4 clients with membership enabled: a
+#     third server live-joins via `--join` partway through, then one of
+#     the originals leaves voluntarily (--leave-after). Passes when the
+#     membership epoch advanced through both transitions, clients
+#     re-homed, and training kept progressing.
+#
+# Passes only with zero panics across every process log. Time-capped at
+# roughly a minute.
 #
 #   SPYKER_SKIP_SOAK=1 ./scripts/soak.sh   # skip entirely (CI opt-out)
 set -euo pipefail
@@ -71,6 +78,41 @@ PIDS+=($!)
 
 wait
 
+# ---- phase 2: elastic churn (live join + voluntary leave) -------------
+E_RUN=${SPYKER_SOAK_ELASTIC_SECS:-16}
+E_CLIENTS=4
+JOIN_AT=3
+LEAVE_AFTER=8
+P3=$((P1 + 2))
+JOIN_ADDR="127.0.0.1:$P3"
+
+echo "soak: elastic phase — 2 servers + $E_CLIENTS clients, join at ${JOIN_AT}s, leave at ${LEAVE_AFTER}s"
+
+"$BIN" serve --idx 0 --addrs "$ADDRS" --clients $E_CLIENTS --dim $DIM \
+    --elastic 1 --extra-addrs "$JOIN_ADDR" --seconds "$E_RUN" \
+    --name e_serve_0 >"$WORK/e_serve_0.log" 2>&1 &
+PIDS+=($!)
+"$BIN" serve --idx 1 --addrs "$ADDRS" --clients $E_CLIENTS --dim $DIM \
+    --elastic 1 --extra-addrs "$JOIN_ADDR" --leave-after $LEAVE_AFTER \
+    --seconds "$E_RUN" --name e_serve_1 >"$WORK/e_serve_1.log" 2>&1 &
+PIDS+=($!)
+for i in $(seq 0 $((E_CLIENTS - 1))); do
+    "$BIN" client --idx "$i" --addrs "$ADDRS" --clients $E_CLIENTS --dim $DIM \
+        --elastic 1 --extra-addrs "$JOIN_ADDR" --seconds "$E_RUN" \
+        --name "e_client_$i" >"$WORK/e_client_$i.log" 2>&1 &
+    PIDS+=($!)
+done
+
+sleep $JOIN_AT
+echo "soak: starting joiner on $JOIN_ADDR (--join)"
+"$BIN" serve --idx 0 --addrs "$ADDRS" --clients $E_CLIENTS --dim $DIM \
+    --elastic 1 --join "127.0.0.1:$P1" --listen "$JOIN_ADDR" \
+    --extra-addrs "$JOIN_ADDR" --seconds $((E_RUN - JOIN_AT)) \
+    --name e_join >"$WORK/e_join.log" 2>&1 &
+PIDS+=($!)
+
+wait
+
 counter() { # counter <file> <name> -> value (0 when absent)
     grep -o "\"$2\": [0-9]*" "$1" | head -1 | grep -o '[0-9]*$' || echo 0
 }
@@ -100,6 +142,38 @@ if [[ $fail == 0 ]]; then
     [[ $drops0 -gt 0 ]] || { echo "soak: FAIL survivor never noticed the crash"; fail=1; }
     corrupt=$(counter "$R0" "net.frames.corrupt")
     [[ $corrupt -gt 0 ]] || { echo "soak: FAIL malformed frames never reached server 0"; fail=1; }
+fi
+
+# Elastic-phase reports: the sponsor saw the join, the leaver counted its
+# own departure, the membership epoch advanced through both transitions
+# (join -> 1, leave -> 2), and at least one client re-homed.
+E0="$SPYKER_RESULTS_DIR/e_serve_0.report.json"
+E1="$SPYKER_RESULTS_DIR/e_serve_1.report.json"
+EJ="$SPYKER_RESULTS_DIR/e_join.report.json"
+for f in "$E0" "$E1" "$EJ"; do
+    if [[ ! -f "$f" ]]; then
+        echo "soak: FAIL missing elastic run report $f"
+        fail=1
+    fi
+done
+if [[ $fail == 0 ]]; then
+    joins=$(counter "$E0" "membership.joins")
+    leaves=$(counter "$E1" "membership.leaves")
+    epoch0=$(counter "$E0" "membership.epoch")
+    epochj=$(counter "$EJ" "membership.epoch")
+    eu=$(( $(counter "$E0" "updates.processed") + $(counter "$EJ" "updates.processed") ))
+    rehomes=0
+    for i in $(seq 0 $((E_CLIENTS - 1))); do
+        rehomes=$((rehomes + $(counter "$SPYKER_RESULTS_DIR/e_client_$i.report.json" "membership.client_rehomes")))
+    done
+    echo "soak: elastic joins=$joins leaves=$leaves epoch(s0)=$epoch0 epoch(joiner)=$epochj" \
+         "rehomes=$rehomes survivors processed $eu updates"
+    [[ $joins -ge 1 ]] || { echo "soak: FAIL live join never landed"; fail=1; }
+    [[ $leaves -ge 1 ]] || { echo "soak: FAIL voluntary leave never happened"; fail=1; }
+    [[ $epoch0 -ge 2 ]] || { echo "soak: FAIL server 0 membership epoch stuck at $epoch0"; fail=1; }
+    [[ $epochj -ge 2 ]] || { echo "soak: FAIL joiner membership epoch stuck at $epochj"; fail=1; }
+    [[ $rehomes -ge 1 ]] || { echo "soak: FAIL no client re-homed through the churn"; fail=1; }
+    [[ $eu -gt 20 ]] || { echo "soak: FAIL elastic phase barely trained ($eu updates)"; fail=1; }
 fi
 
 if grep -l "panicked" "$WORK"/*.log >/dev/null 2>&1; then

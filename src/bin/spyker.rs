@@ -12,14 +12,15 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use spyker_repro::core::client::FlClient;
+use spyker_repro::core::client::{FailoverConfig, FlClient};
 use spyker_repro::core::config::{RecoveryConfig, SpykerConfig};
+use spyker_repro::core::membership::MembershipConfig;
 use spyker_repro::core::params::ParamVec;
 use spyker_repro::core::server::SpykerServer;
 use spyker_repro::core::training::{LocalTrainer, MeanTargetTrainer};
 use spyker_repro::experiments::report::write_run_report;
 use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario, TaskKind};
-use spyker_repro::simnet::SimTime;
+use spyker_repro::simnet::{Region, SimTime};
 use spyker_repro::transport::tcp::{run_malformed_client, run_node, TcpNodeConfig};
 
 const USAGE: &str = "\
@@ -51,6 +52,20 @@ TCP OPTIONS (serve/client; --seconds is wall-clock here):
                        fresh start
     --malformed        client only: send malformed frames instead of training
     --name <s>         run-report name (default serve_<idx> / client_<idx>)
+
+ELASTIC OPTIONS (serve/client; enable the dynamic-membership extension):
+    --elastic <n>      reserve node ids for up to n joining servers and turn
+                       membership on; pass the same n to every process
+    --join <addr>      serve only: start as a STANDBY server and join the live
+                       ring via the server at <addr> (must be in --addrs);
+                       --idx becomes the joiner ordinal (0-based), requires
+                       --listen and --elastic > idx
+    --listen <addr>    serve only: the joiner's own listen address
+    --extra-addrs <..> comma-separated joiner listen addresses in ordinal
+                       order, so running processes can dial servers that did
+                       not exist at startup
+    --leave-after <n>  serve only: leave the ring voluntarily after n seconds
+                       (token handoff, client re-homing, drain, depart)
 ";
 
 /// Parsed command line.
@@ -70,6 +85,11 @@ struct Args {
     rejoin: bool,
     malformed: bool,
     name: Option<String>,
+    elastic: usize,
+    join: Option<String>,
+    listen: Option<String>,
+    extra_addrs: Vec<String>,
+    leave_after: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +117,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rejoin: false,
         malformed: false,
         name: None,
+        elastic: 0,
+        join: None,
+        listen: None,
+        extra_addrs: Vec::new(),
+        leave_after: None,
     };
     let mut it = argv.iter();
     match it.next().map(String::as_str) {
@@ -154,6 +179,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--rejoin" => args.rejoin = true,
             "--malformed" => args.malformed = true,
             "--name" => args.name = Some(value()?.to_string()),
+            "--elastic" => {
+                args.elastic = value()?.parse().map_err(|e| format!("--elastic: {e}"))?
+            }
+            "--join" => args.join = Some(value()?.to_string()),
+            "--listen" => args.listen = Some(value()?.to_string()),
+            "--extra-addrs" => {
+                args.extra_addrs = value()?.split(',').map(String::from).collect();
+            }
+            "--leave-after" => {
+                args.leave_after = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--leave-after: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -167,7 +207,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         if args.dim == 0 {
             return Err("--dim must be positive".into());
         }
-        if args.command == Command::Serve && args.idx >= args.addrs.len() {
+        if args.join.is_some() || args.leave_after.is_some() {
+            if args.command != Command::Serve {
+                return Err("--join/--leave-after are serve-only".into());
+            }
+            if args.elastic == 0 {
+                return Err("--join/--leave-after need --elastic".into());
+            }
+        }
+        if args.join.is_some() {
+            if args.listen.is_none() {
+                return Err("--join needs --listen (the joiner's own address)".into());
+            }
+            if args.idx >= args.elastic {
+                return Err(format!(
+                    "--idx {} (joiner ordinal) out of range for --elastic {}",
+                    args.idx, args.elastic
+                ));
+            }
+        } else if args.command == Command::Serve && args.idx >= args.addrs.len() {
             return Err(format!(
                 "--idx {} out of range for {} server addresses",
                 args.idx,
@@ -295,50 +353,116 @@ fn parse_addrs(specs: &[String]) -> Result<Vec<SocketAddr>, String> {
         .collect()
 }
 
+/// Joiner node ids start above the base servers and the clients —
+/// mirroring the simulator's elastic deployment layout, so every age slot
+/// and report stays comparable across the two transports.
+fn joiner_node_id(num_servers: usize, num_clients: usize, ordinal: usize) -> usize {
+    num_servers + num_clients + ordinal
+}
+
+/// The address book the elastic flags describe: joiner listen addresses
+/// keyed by their node ids, so a running process can dial a server that
+/// did not exist when it started.
+fn elastic_addr_book(args: &Args, num_servers: usize) -> Result<Vec<(usize, SocketAddr)>, String> {
+    parse_addrs(&args.extra_addrs).map(|extra| {
+        extra
+            .into_iter()
+            .enumerate()
+            .map(|(k, a)| (joiner_node_id(num_servers, args.clients, k), a))
+            .collect()
+    })
+}
+
 /// One Spyker server as a real OS process: listens on its own address,
 /// dials every lower-indexed server, serves its share of the clients.
+/// With `--join` it starts as a standby instead and splices itself into
+/// the live ring via the sponsor; with `--leave-after` it departs
+/// voluntarily mid-run.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addrs = parse_addrs(&args.addrs)?;
-    let s = args.idx;
     let num_servers = addrs.len();
-    let num_nodes = num_servers + args.clients;
-    let config = SpykerConfig::paper_defaults(args.clients, num_servers)
+    let num_nodes = num_servers + args.clients + args.elastic;
+    let mut config = SpykerConfig::paper_defaults(args.clients, num_servers)
         .with_thresholds(2.0, 25.0)
         .with_recovery(RecoveryConfig::default());
-    let server_nodes: Vec<usize> = (0..num_servers).collect();
-    let clients: Vec<usize> = (0..args.clients)
-        .filter(|i| i % num_servers == s)
-        .map(|i| num_servers + i)
+    if args.elastic > 0 {
+        config = config.with_membership(MembershipConfig::default());
+    }
+
+    let (me, listen_addr, node): (usize, SocketAddr, Box<dyn spyker_repro::simnet::Node<_>>) =
+        if let Some(sponsor_spec) = &args.join {
+            let sponsor_addr: SocketAddr = sponsor_spec
+                .parse()
+                .map_err(|e| format!("--join '{sponsor_spec}': {e}"))?;
+            let sponsor = addrs
+                .iter()
+                .position(|a| *a == sponsor_addr)
+                .ok_or_else(|| format!("--join {sponsor_addr} is not in --addrs"))?;
+            let listen_addr: SocketAddr = args
+                .listen
+                .as_ref()
+                .expect("validated")
+                .parse()
+                .map_err(|e| format!("--listen: {e}"))?;
+            let k = args.idx;
+            let me = joiner_node_id(num_servers, args.clients, k);
+            let node = SpykerServer::standby(
+                Region::ALL[(num_servers + k) % Region::ALL.len()],
+                ParamVec::zeros(args.dim),
+                config,
+                Some(sponsor),
+                Some(SimTime::from_millis(500)),
+            );
+            (me, listen_addr, Box::new(node))
+        } else {
+            let s = args.idx;
+            let server_nodes: Vec<usize> = (0..num_servers).collect();
+            let clients: Vec<usize> = (0..args.clients)
+                .filter(|i| i % num_servers == s)
+                .map(|i| num_servers + i)
+                .collect();
+            let node =
+                SpykerServer::new(s, server_nodes, clients, ParamVec::zeros(args.dim), config);
+            let node = match args.leave_after {
+                Some(secs) => node.with_leave_at(SimTime::from_secs(secs)),
+                None => node,
+            };
+            (s, addrs[s], Box::new(node))
+        };
+
+    let mut cfg = TcpNodeConfig::new(me, num_nodes);
+    cfg.listen = Some(listen_addr);
+    // A joiner dials every base server; a base server dials the
+    // lower-indexed ones. Joiner peers land in the address book instead
+    // and are dialed lazily, on the first send.
+    cfg.peers = if args.join.is_some() {
+        (0..num_servers).map(|j| (j, addrs[j])).collect()
+    } else {
+        (0..me).map(|j| (j, addrs[j])).collect()
+    };
+    cfg.addr_book = elastic_addr_book(args, num_servers)?
+        .into_iter()
+        .filter(|&(id, _)| id != me)
         .collect();
-    let node = Box::new(SpykerServer::new(
-        s,
-        server_nodes,
-        clients,
-        ParamVec::zeros(args.dim),
-        config,
-    ));
-    let mut cfg = TcpNodeConfig::new(s, num_nodes);
-    cfg.listen = Some(addrs[s]);
-    cfg.peers = (0..s).map(|j| (j, addrs[j])).collect();
     cfg.rejoin = args.rejoin;
-    cfg.seed = args.seed.wrapping_add(s as u64);
+    cfg.seed = args.seed.wrapping_add(me as u64);
     println!(
-        "server {s} on {} ({} servers, {} clients, {}s wall-clock{})",
-        addrs[s],
+        "server {me} on {listen_addr} ({} servers, {} clients, {}s wall-clock{}{})",
         num_servers,
         args.clients,
         args.seconds,
-        if args.rejoin { ", rejoining" } else { "" }
+        if args.rejoin { ", rejoining" } else { "" },
+        if args.join.is_some() { ", joining" } else { "" }
     );
     let report = run_node(node, &cfg, Duration::from_secs(args.seconds))
-        .map_err(|e| format!("bind {}: {e}", addrs[s]))?;
+        .map_err(|e| format!("bind {listen_addr}: {e}"))?;
     println!(
-        "server {s} done: {} updates processed, {} conns accepted, {} conn drops",
+        "server {me} done: {} updates processed, {} conns accepted, {} conn drops",
         report.metrics.counter("updates.processed"),
         report.metrics.counter("net.conn.accepted"),
         report.metrics.counter("net.conn.dropped"),
     );
-    let name = args.name.clone().unwrap_or_else(|| format!("serve_{s}"));
+    let name = args.name.clone().unwrap_or_else(|| format!("serve_{me}"));
     let path = write_run_report(&name, &report.metrics, report.end);
     println!("run report written to {}", path.display());
     Ok(())
@@ -368,9 +492,29 @@ fn cmd_client(args: &Args) -> Result<(), String> {
     }
     let trainer: Box<dyn LocalTrainer> =
         Box::new(MeanTargetTrainer::new(vec![(k % 4) as f32; args.dim], 8));
-    let node = Box::new(FlClient::new(server, trainer, 1, SimTime::from_millis(150)));
-    let mut cfg = TcpNodeConfig::new(num_servers + k, num_servers + args.clients);
+    let mut node = FlClient::new(server, trainer, 1, SimTime::from_millis(150));
+    if args.elastic > 0 {
+        // Every base server plus every joiner slot is a failover
+        // candidate: if the home server is evicted or drains away, the
+        // client re-homes to the next live one in rotation.
+        let candidates: Vec<usize> = (0..num_servers)
+            .chain((0..args.elastic).map(|j| joiner_node_id(num_servers, args.clients, j)))
+            .collect();
+        node = node.with_failover(FailoverConfig {
+            candidates,
+            timeout: MembershipConfig::default().client_failover_timeout,
+        });
+    }
+    let node = Box::new(node);
+    let mut cfg = TcpNodeConfig::new(num_servers + k, num_servers + args.clients + args.elastic);
     cfg.peers = vec![(server, addrs[server])];
+    // Other base servers and joiner addresses are dialed lazily the first
+    // time failover points the client at them.
+    cfg.addr_book = (0..num_servers)
+        .filter(|&j| j != server)
+        .map(|j| (j, addrs[j]))
+        .chain(elastic_addr_book(args, num_servers)?)
+        .collect();
     cfg.seed = args.seed.wrapping_add(1000 + k as u64);
     println!(
         "client {k} dialing server {server} at {} ({}s wall-clock)",
@@ -499,6 +643,68 @@ mod tests {
         assert!(parse_args(&argv("client --idx 4 --addrs 127.0.0.1:7401 --clients 4")).is_err());
         // Zero-dimensional models are nonsense.
         assert!(parse_args(&argv("serve --idx 0 --addrs 127.0.0.1:7401 --dim 0")).is_err());
+    }
+
+    #[test]
+    fn parses_elastic_join_and_leave_flags() {
+        let args = parse_args(&argv(
+            "serve --idx 0 --addrs 127.0.0.1:7401,127.0.0.1:7402 --clients 4 \
+             --elastic 2 --join 127.0.0.1:7401 --listen 127.0.0.1:7403 \
+             --extra-addrs 127.0.0.1:7403,127.0.0.1:7404",
+        ))
+        .unwrap();
+        assert_eq!(args.elastic, 2);
+        assert_eq!(args.join.as_deref(), Some("127.0.0.1:7401"));
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:7403"));
+        assert_eq!(args.extra_addrs.len(), 2);
+
+        let args = parse_args(&argv(
+            "serve --idx 1 --addrs a:1,b:2 --clients 4 --elastic 1 --leave-after 8",
+        ))
+        .unwrap();
+        assert_eq!(args.leave_after, Some(8));
+    }
+
+    #[test]
+    fn rejects_inconsistent_elastic_flags() {
+        // --join outside of serve.
+        assert!(parse_args(&argv(
+            "client --idx 0 --addrs a:1 --clients 4 --elastic 1 --join a:1"
+        ))
+        .is_err());
+        // --join without --elastic headroom.
+        assert!(parse_args(&argv(
+            "serve --idx 0 --addrs a:1,b:2 --join a:1 --listen c:3"
+        ))
+        .is_err());
+        // --join without the joiner's own listen address.
+        assert!(parse_args(&argv(
+            "serve --idx 0 --addrs a:1,b:2 --elastic 1 --join a:1"
+        ))
+        .is_err());
+        // Joiner ordinal beyond the elastic headroom.
+        assert!(parse_args(&argv(
+            "serve --idx 1 --addrs a:1,b:2 --elastic 1 --join a:1 --listen c:3"
+        ))
+        .is_err());
+        // --leave-after needs --elastic too (membership must be enabled).
+        assert!(parse_args(&argv("serve --idx 0 --addrs a:1,b:2 --leave-after 5")).is_err());
+    }
+
+    #[test]
+    fn joiner_ids_and_addr_book_follow_the_elastic_layout() {
+        assert_eq!(joiner_node_id(2, 4, 0), 6);
+        assert_eq!(joiner_node_id(2, 4, 1), 7);
+        let args = parse_args(&argv(
+            "serve --idx 0 --addrs 127.0.0.1:7401,127.0.0.1:7402 --clients 4 \
+             --elastic 2 --extra-addrs 127.0.0.1:7403,127.0.0.1:7404",
+        ))
+        .unwrap();
+        let book = elastic_addr_book(&args, 2).unwrap();
+        assert_eq!(book.len(), 2);
+        assert_eq!(book[0].0, 6);
+        assert_eq!(book[1].0, 7);
+        assert_eq!(book[0].1, "127.0.0.1:7403".parse().unwrap());
     }
 
     #[test]

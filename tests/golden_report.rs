@@ -41,6 +41,8 @@ fn golden_scenario(horizon: SimTime) -> SimScenario {
         targets: vec![-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
         faults: spyker_repro::simnet::FaultPlan::none(),
         inject: None,
+        joins: Vec::new(),
+        leaves: Vec::new(),
     }
 }
 

@@ -45,7 +45,19 @@ fn faulty_scenario() -> SimScenario {
         targets: vec![-1.0, -0.5, -0.1, 0.1, 0.5, 1.0],
         faults,
         inject: None,
+        joins: Vec::new(),
+        leaves: Vec::new(),
     }
+}
+
+/// The faulty scenario plus membership churn: one standby joins early and
+/// one base server leaves later, with a crash in between so the eviction
+/// watchdog also runs. Exercises the `membership.*` and `scale.*` sites.
+fn churn_scenario() -> SimScenario {
+    let mut sc = faulty_scenario();
+    sc.joins = vec![SimTime::from_secs(2)];
+    sc.leaves = vec![(1, SimTime::from_secs(8))];
+    sc
 }
 
 #[test]
@@ -95,6 +107,41 @@ fn every_emitted_metric_name_is_catalogued() {
         registry.gauge("sync.token_holder").map(f64::fract),
         Some(0.0),
         "sync.token_holder gauge unset or not a server index"
+    );
+}
+
+#[test]
+fn membership_fault_scenario_touches_catalogued_membership_metrics() {
+    let sc = churn_scenario();
+    let mut sim = sc.build();
+    sim.run(sc.horizon);
+    let registry = sim.metrics().registry();
+
+    let dynamic: Vec<&str> = registry.dynamic_names().collect();
+    assert!(
+        dynamic.is_empty(),
+        "membership metrics emitted without a catalog entry: {dynamic:?}"
+    );
+
+    // The churn must actually have driven the elastic-ring paths: a join,
+    // a voluntary leave, and the client re-homes the leave forces.
+    for name in [
+        "membership.joins",
+        "membership.leaves",
+        "membership.client_rehomes",
+    ] {
+        assert!(
+            registry.counters().any(|(n, _)| n == name),
+            "no `{name}` counter touched; the churn scenario no longer \
+             exercises it"
+        );
+    }
+    // Merged gauges are last-writer-wins across nodes, and under 8% loss a
+    // node's ring view can lag an epoch until the eviction watchdog
+    // self-heals it — so only assert the gauge exists and advanced at all.
+    assert!(
+        registry.gauge("membership.epoch").is_some_and(|e| e >= 1.0),
+        "membership.epoch gauge never advanced past the initial ring"
     );
 }
 
