@@ -1,0 +1,196 @@
+//! Cohort-batched clients for very large simulations.
+//!
+//! At 10⁵–10⁶ simulated clients, one actor (plus one training computation
+//! and one message pair) per client dominates both memory and event
+//! volume. But most clients in a scalability run are *homogeneous*: same
+//! trainer shape, same epochs, same training delay, no scripted faults.
+//! A [`CohortClient`] represents `size` such clients with one protocol
+//! actor: it trains once per received model and accounts the remaining
+//! `size - 1` members' computations as shared (the
+//! `sim.cohort.train_shared` counter) instead of re-running them.
+//!
+//! Semantics: the server replies with one model per received update and
+//! keys client state by `NodeId`, so a cohort behaves exactly like one of
+//! its members on the wire — `updates.sent`, `net.messages` and the
+//! liveness/counter-consistency oracles all stay coherent, with the
+//! cohort's logical size tracked purely in metrics. Clients that must
+//! diverge (scripted faults, byzantine behaviour, re-homing experiments)
+//! are materialized as individual [`FlClient`]s at deployment-build time
+//! and never enter a cohort.
+
+use std::any::Any;
+
+use spyker_simnet::{Env, Node, NodeId};
+
+use crate::client::FlClient;
+use crate::msg::FlMsg;
+
+/// A batch of `size` homogeneous idle clients sharing one protocol actor.
+///
+/// Wraps a plain [`FlClient`] and delegates every event to it, adding only
+/// the shared-training accounting. A `size` of 1 is byte-identical to the
+/// wrapped client apart from never touching the cohort counter.
+pub struct CohortClient {
+    inner: FlClient,
+    size: u64,
+}
+
+impl CohortClient {
+    /// Wraps `inner` as the representative of `size` identical clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(inner: FlClient, size: u64) -> Self {
+        assert!(size > 0, "a cohort represents at least one client");
+        Self { inner, size }
+    }
+
+    /// Number of logical clients this actor stands for.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// The wrapped representative client.
+    pub fn inner(&self) -> &FlClient {
+        &self.inner
+    }
+}
+
+impl Node<FlMsg> for CohortClient {
+    fn on_start(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.inner.on_start(env);
+    }
+
+    fn on_message(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId, msg: FlMsg) {
+        let shared = self.size - 1;
+        if shared > 0 && matches!(msg, FlMsg::ModelToClient { .. }) {
+            // The representative trains below; the other members' identical
+            // computations are shared, not re-run.
+            env.add_counter("sim.cohort.train_shared", shared);
+        }
+        self.inner.on_message(env, from, msg);
+    }
+
+    fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, tag: u64) {
+        self.inner.on_timer(env, tag);
+    }
+
+    fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
+        self.inner.on_restart(env);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpykerConfig;
+    use crate::deploy::{even_assignment, SpykerDeploymentSpec};
+    use crate::server::SpykerServer;
+    use crate::training::LocalTrainer;
+    use spyker_simnet::{NetworkConfig, Region, SimTime, Simulation};
+
+    use crate::params::ParamVec;
+
+    struct NullTrainer;
+    impl LocalTrainer for NullTrainer {
+        fn train(&mut self, _params: &mut ParamVec, _lr: f32, _epochs: usize) {}
+        fn num_samples(&self) -> usize {
+            10
+        }
+    }
+
+    fn cohort_sim(cohort_size: u64, n_cohorts: usize) -> Simulation<FlMsg> {
+        let mut sim = Simulation::new(NetworkConfig::aws(), 3);
+        let config = SpykerConfig::paper_defaults(n_cohorts, 1);
+        let init = ParamVec::zeros(4);
+        let clients: Vec<NodeId> = (1..=n_cohorts).collect();
+        sim.add_node(
+            Box::new(SpykerServer::new(0, vec![0], clients, init, config)),
+            Region::Paris,
+        );
+        for _ in 0..n_cohorts {
+            let client = FlClient::new(0, Box::new(NullTrainer), 1, SimTime::from_millis(5));
+            sim.add_node(
+                Box::new(CohortClient::new(client, cohort_size)),
+                Region::Paris,
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn cohorts_share_training_and_keep_update_accounting() {
+        let mut sim = cohort_sim(100, 3);
+        sim.run(SimTime::from_secs(2));
+        let m = sim.metrics();
+        let sent = m.counter("updates.sent");
+        assert!(sent > 0, "cohort representatives must train and reply");
+        // One wire update per actor per round — cohorts do not inflate
+        // message counts.
+        assert!(m.counter("net.messages") > 0);
+        // 99 of every 100 member computations are shared per model
+        // delivered to a cohort.
+        let shared = m.counter("sim.cohort.train_shared");
+        assert_eq!(shared % 99, 0);
+        assert!(shared >= 99 * sent / 2, "sharing must scale with rounds");
+    }
+
+    #[test]
+    fn size_one_cohort_is_byte_identical_to_a_plain_client() {
+        let run = |wrap: bool| {
+            let mut sim = Simulation::new(NetworkConfig::aws(), 3);
+            let config = SpykerConfig::paper_defaults(1, 1);
+            let init = ParamVec::zeros(4);
+            sim.add_node(
+                Box::new(SpykerServer::new(0, vec![0], vec![1], init, config)),
+                Region::Paris,
+            );
+            let client = FlClient::new(0, Box::new(NullTrainer), 1, SimTime::from_millis(5));
+            let node: Box<dyn spyker_simnet::Node<FlMsg>> = if wrap {
+                Box::new(CohortClient::new(client, 1))
+            } else {
+                Box::new(client)
+            };
+            sim.add_node(node, Region::Paris);
+            let report = sim.run(SimTime::from_secs(2));
+            let counters: Vec<(String, u64)> = sim
+                .metrics()
+                .counters()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
+            (report, counters)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_sized_cohorts_are_rejected() {
+        let client = FlClient::new(0, Box::new(NullTrainer), 1, SimTime::from_millis(5));
+        CohortClient::new(client, 0);
+    }
+
+    #[test]
+    fn deployment_spec_smoke_still_builds() {
+        // Guard that the pieces the scale runner composes (spec + even
+        // assignment) stay available.
+        let assignment = even_assignment(8, 2);
+        assert_eq!(assignment.len(), 8);
+        let _ = SpykerDeploymentSpec {
+            config: SpykerConfig::paper_defaults(8, 2),
+            trainers: Vec::new(),
+            num_servers: 2,
+            init_params: ParamVec::zeros(4),
+            train_delay: vec![SimTime::from_millis(5); 8],
+        };
+    }
+}

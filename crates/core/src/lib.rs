@@ -59,6 +59,7 @@ pub mod autoscale;
 pub mod client;
 pub mod cluster;
 pub mod codec;
+pub mod cohort;
 pub mod config;
 pub mod decay;
 pub mod deploy;
@@ -75,6 +76,7 @@ pub use agg::{AggregationStrategy, RejectReason, RobustAggregator, ValidationCon
 pub use autoscale::{Autoscaler, AutoscalerConfig};
 pub use client::{FailoverConfig, FlClient};
 pub use cluster::{ClusterTrainer, ClusteredFlClient, ClusteredSpykerServer, KCenters};
+pub use cohort::CohortClient;
 pub use config::SpykerConfig;
 pub use membership::{MembershipConfig, RingMember, RingView};
 pub use msg::FlMsg;

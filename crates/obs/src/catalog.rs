@@ -503,6 +503,41 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "server rejoin procedures after a crash",
     },
     CatalogEntry {
+        name: "sim.cohort.clients",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "simtest scale runner",
+        help: "logical clients represented by cohort actors in a scale run",
+    },
+    CatalogEntry {
+        name: "sim.cohort.train_shared",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core cohort client",
+        help: "training computations shared by cohort members instead of re-run",
+    },
+    CatalogEntry {
+        name: "sim.events_per_sec",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "simtest scale runner",
+        help: "wall-clock event throughput of the last completed run",
+    },
+    CatalogEntry {
+        name: "sim.flows.active",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "simnet flow-shared links",
+        help: "in-flight flows across all region trunks",
+    },
+    CatalogEntry {
+        name: "sim.peak_rss_bytes",
+        kind: Gauge,
+        unit: Unit::Bytes,
+        site: "simtest scale runner",
+        help: "peak resident set size of the process after a scale run",
+    },
+    CatalogEntry {
         name: "sync.degraded",
         kind: Counter,
         unit: Unit::Count,

@@ -181,6 +181,28 @@ impl Registry {
         }
     }
 
+    /// Resolves `name` as a counter once, returning its id for repeated
+    /// [`Registry::counter_add_id`] calls — hot emission sites cache the
+    /// id and skip the per-emission name lookup entirely. Resolving alone
+    /// does not mark the counter touched, so pre-resolving ids never
+    /// changes what golden traces and fingerprints iterate.
+    pub fn counter_id(&mut self, name: &str) -> Option<MetricId> {
+        self.resolve(name, MetricKind::Counter)
+    }
+
+    /// Adds `delta` to the counter behind a cached id (see
+    /// [`Registry::counter_id`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry for a counter.
+    pub fn counter_add_id(&mut self, id: MetricId, delta: u64) {
+        assert!(id.kind() == MetricKind::Counter, "not a counter id");
+        let cell = &mut self.counters[id.index()];
+        cell.value += delta;
+        cell.touched = true;
+    }
+
     /// Current value of counter `name` (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         match self.lookup(name) {
@@ -207,6 +229,23 @@ impl Registry {
         if let Some(id) = self.resolve(name, MetricKind::Gauge) {
             self.gauges[id.index()] = GaugeCell { value, set: true };
         }
+    }
+
+    /// Resolves `name` as a gauge once for [`Registry::gauge_set_id`]
+    /// (the gauge analogue of [`Registry::counter_id`]). Resolving does
+    /// not mark the gauge set.
+    pub fn gauge_id(&mut self, name: &str) -> Option<MetricId> {
+        self.resolve(name, MetricKind::Gauge)
+    }
+
+    /// Sets the gauge behind a cached id to `value` (last write wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this registry for a gauge.
+    pub fn gauge_set_id(&mut self, id: MetricId, value: f64) {
+        assert!(id.kind() == MetricKind::Gauge, "not a gauge id");
+        self.gauges[id.index()] = GaugeCell { value, set: true };
     }
 
     /// Current value of gauge `name`, if ever set.
@@ -387,6 +426,21 @@ mod tests {
         );
         assert_eq!(r.counter("net.messages"), 2);
         assert_eq!(r.counter("fault.crashes"), 0);
+    }
+
+    #[test]
+    fn cached_ids_add_without_lookup_and_resolving_does_not_touch() {
+        let mut r = Registry::new();
+        let id = r.counter_id("net.messages").unwrap();
+        assert_eq!(r.counters().count(), 0, "resolving must not touch");
+        r.counter_add_id(id, 3);
+        r.counter_add_id(id, 4);
+        assert_eq!(r.counter("net.messages"), 7);
+        assert_eq!(r.counters().count(), 1);
+        let gid = r.gauge_id("sync.token_holder").unwrap();
+        assert_eq!(r.gauge("sync.token_holder"), None, "resolving is not a set");
+        r.gauge_set_id(gid, 2.5);
+        assert_eq!(r.gauge("sync.token_holder"), Some(2.5));
     }
 
     #[test]

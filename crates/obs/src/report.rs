@@ -222,6 +222,20 @@ pub fn render_table(reg: &Registry, end_us: u64) -> String {
     out
 }
 
+/// Peak resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`).
+///
+/// `None` where procfs is unavailable (non-Linux) — callers treat the
+/// figure as advisory. This is a *wall-world* measurement for harnesses
+/// and benchmark runners stamping run-level gauges; nothing on the
+/// deterministic simulation path may consult it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +276,16 @@ mod tests {
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_f64(0.25), "0.25");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // Any real process has used at least a few pages and fewer
+            // than a terabyte.
+            assert!(rss > 4096, "peak RSS {rss} implausibly small");
+            assert!(rss < 1 << 40, "peak RSS {rss} implausibly large");
+        }
     }
 
     #[test]

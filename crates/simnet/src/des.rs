@@ -1,19 +1,22 @@
 //! The discrete-event simulation engine.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, VecDeque};
 use std::ops::ControlFlow;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use spyker_obs::MetricId;
 
 use crate::fault::{FaultPlan, ScriptedDrop};
 use crate::metrics::Metrics;
-use crate::net::{NetworkConfig, Region};
+use crate::net::{LinkModel, NetworkConfig, Region};
+use crate::pairmap::PairMap;
 use crate::runtime::{Env, Node, NodeId, WireSize};
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 
-enum EventBody<M> {
+pub(crate) enum EventBody<M> {
     Start,
     Deliver {
         from: NodeId,
@@ -34,17 +37,26 @@ enum EventBody<M> {
     ConnDrop,
     /// Fault injection: a [`crate::fault::ConnWindow`] closes.
     ConnRestore,
+    /// Flow-model bookkeeping (only under [`LinkModel::FlowShared`]): the
+    /// earliest in-flight flow on `trunk` is due to finish. Stale ticks
+    /// (generation mismatch after a join/leave re-plan) are ignored.
+    /// Internal: never dispatched to a node, never counted as a
+    /// processed event, never reported to taps.
+    FlowTick {
+        trunk: usize,
+        gen: u64,
+    },
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    node: NodeId,
-    body: EventBody<M>,
+pub(crate) struct Event<M> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) node: NodeId,
+    pub(crate) body: EventBody<M>,
     /// Whether this event has already been counted in the target node's
     /// arrived-but-unprocessed queue (set when deferred because the node was
     /// busy; counted only once even if deferred repeatedly).
-    queued: bool,
+    pub(crate) queued: bool,
 }
 
 impl<M> PartialEq for Event<M> {
@@ -65,12 +77,176 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// Which event-queue implementation drives the run.
+///
+/// Both produce the exact same `(time, seq)` total order — golden traces,
+/// reports and simtest fingerprints are byte-identical across the two.
+/// The wheel is the default; the heap is kept as the frozen reference for
+/// equivalence tests and as the baseline the scalability bench beats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// `BinaryHeap<Event>` — `O(log n)` push/pop reference implementation.
+    Heap,
+    /// Hierarchical timer wheel — amortized `O(1)` push/pop (see
+    /// [`crate::wheel`]).
+    Wheel,
+}
+
+enum EventQueue<M> {
+    Heap(BinaryHeap<Event<M>>),
+    Wheel(TimerWheel<M>),
+}
+
+impl<M> EventQueue<M> {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            SchedulerKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event<M>) {
+        match self {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Wheel(w) => w.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event<M>> {
+        match self {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Wheel(w) => w.pop(),
+        }
+    }
+}
+
+/// A deferred event parked in its target node's side queue, ordered by
+/// `seq` ascending (min-heap via reversed [`Ord`]).
+struct Deferred<M>(Event<M>);
+
+impl<M> PartialEq for Deferred<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl<M> Eq for Deferred<M> {}
+impl<M> PartialOrd for Deferred<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Deferred<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.seq.cmp(&self.0.seq)
+    }
+}
+
+/// One message in transmission on a trunk under [`LinkModel::FlowShared`].
+struct ActiveFlow<M> {
+    from: NodeId,
+    to: NodeId,
+    /// Remaining work in bit-microseconds: `bytes * 8 * 1_000_000`, so a
+    /// flow with the full trunk to itself drains `bandwidth_bps` units
+    /// per microsecond of virtual time. Integer math keeps re-planning
+    /// bit-reproducible.
+    remaining: u128,
+    /// Propagation latency (+ jitter) added after transmission completes.
+    latency: SimTime,
+    msg: M,
+}
+
+/// One directed region-pair trunk: its in-flight flows share
+/// `bandwidth_bps` equally (processor sharing), re-planned on every join
+/// and completion.
+struct Trunk<M> {
+    flows: Vec<ActiveFlow<M>>,
+    /// Virtual time the flow set was last settled to.
+    last: SimTime,
+    /// Bumped on every membership change; outstanding [`EventBody::FlowTick`]s
+    /// carrying an older generation are stale and ignored.
+    gen: u64,
+}
+
+impl<M> Trunk<M> {
+    fn new() -> Self {
+        Self {
+            flows: Vec::new(),
+            last: SimTime::ZERO,
+            gen: 0,
+        }
+    }
+
+    /// Drains `(now - last) * bps / n` work units from every in-flight
+    /// flow (integer floor — the next tick estimate compensates).
+    fn settle(&mut self, now: SimTime, bps: u64) {
+        let elapsed = now.as_micros().saturating_sub(self.last.as_micros());
+        self.last = now;
+        if elapsed == 0 || self.flows.is_empty() {
+            return;
+        }
+        let drain = elapsed as u128 * bps as u128 / self.flows.len() as u128;
+        for f in &mut self.flows {
+            f.remaining = f.remaining.saturating_sub(drain);
+        }
+    }
+
+    /// When the earliest in-flight flow finishes, assuming the flow set
+    /// stays as-is (any join/leave re-plans with a fresh generation).
+    fn next_tick(&self, now: SimTime, bps: u64) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        let min_rem = self.flows.iter().map(|f| f.remaining).min().unwrap_or(0);
+        let n = self.flows.len() as u128;
+        // ceil-divide, and always at least 1 µs so ticks make progress
+        // even when integer floors leave sub-µs residue.
+        let dt = ((min_rem * n).div_ceil(bps as u128)).max(1);
+        Some(now + SimTime::from_micros(dt as u64))
+    }
+}
+
+/// Message queued behind the pair's in-flight flow (one active flow per
+/// `(from, to)` pair preserves the documented per-link FIFO contract).
+struct QueuedMsg<M> {
+    remaining: u128,
+    latency: SimTime,
+    msg: M,
+}
+
+struct PairQueue<M> {
+    /// Whether a flow for this pair is currently in some trunk.
+    active: bool,
+    queue: VecDeque<QueuedMsg<M>>,
+}
+
+// Manual impl: `#[derive(Default)]` would wrongly bound `M: Default`.
+impl<M> Default for PairQueue<M> {
+    fn default() -> Self {
+        Self {
+            active: false,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// All [`LinkModel::FlowShared`] state: 16 directed region-pair trunks
+/// plus the per-node-pair FIFO queues.
+struct FlowNet<M> {
+    trunks: Vec<Trunk<M>>,
+    pairs: PairMap<PairQueue<M>>,
+    /// Total in-flight flows across all trunks (the `sim.flows.active`
+    /// gauge).
+    active: u64,
+    gauge_id: Option<MetricId>,
+}
+
 struct Core<M> {
-    queue: BinaryHeap<Event<M>>,
+    queue: EventQueue<M>,
     regions: Vec<Region>,
     avail: Vec<SimTime>,
     inbox: Vec<usize>,
-    link_free: HashMap<(NodeId, NodeId), SimTime>,
     metrics: Metrics,
     net: NetworkConfig,
     rng: StdRng,
@@ -82,9 +258,27 @@ struct Core<M> {
     fault_rng: StdRng,
     /// Which nodes are currently crashed.
     down: Vec<bool>,
+    /// Per-node side queues of deferred events (target was busy), ordered
+    /// by seq. Only the minimum-seq deferred event per node — its
+    /// *representative* — rides the global queue, so a deep backlog costs
+    /// O(log depth) per processed event instead of the old O(depth)
+    /// re-queue storm.
+    deferred: Vec<BinaryHeap<Deferred<M>>>,
+    /// `seq` of each node's in-flight representative, if any.
+    rep_seq: Vec<Option<u64>>,
+    /// Per-link FIFO release time: a message never overtakes an earlier
+    /// one on the same `(src, dst)` pair.
+    link_free: PairMap<SimTime>,
     /// Per-link send counters, maintained only while the plan contains
     /// `NthOnLink` drops.
-    link_sends: HashMap<(NodeId, NodeId), u64>,
+    link_sends: PairMap<u64>,
+    /// Flow-shared bandwidth state (only under [`LinkModel::FlowShared`]).
+    flow: Option<FlowNet<M>>,
+    /// Cached counter ids for the per-send hot path.
+    id_net_bytes: Option<MetricId>,
+    id_net_messages: Option<MetricId>,
+    /// Cached `net.bytes.<kind>` ids, keyed by the `&'static str` kind.
+    kind_ids: Vec<(&'static str, MetricId)>,
 }
 
 impl<M: WireSize> Core<M> {
@@ -115,7 +309,7 @@ impl<M: WireSize> Core<M> {
             .iter()
             .any(|d| matches!(d, ScriptedDrop::NthOnLink { from: f, to: t, .. } if *f == from && *t == to))
         {
-            let n = self.link_sends.entry((from, to)).or_insert(0);
+            let n = self.link_sends.get_or_insert_with(from, to, || 0);
             let sent = *n;
             *n += 1;
             nth_matched = self.faults.drops.iter().any(|d| {
@@ -164,10 +358,13 @@ impl<M: WireSize> Core<M> {
         }
         let bytes = msg.wire_size();
         let kind = msg.kind();
-        self.metrics.add_counter("net.bytes", bytes as u64);
-        self.metrics
-            .add_counter_suffixed("net.bytes.", kind, bytes as u64);
-        self.metrics.add_counter("net.messages", 1);
+        if let Some(id) = self.id_net_bytes {
+            self.metrics.add_counter_id(id, bytes as u64);
+        }
+        self.add_kind_bytes(kind, bytes as u64);
+        if let Some(id) = self.id_net_messages {
+            self.metrics.add_counter_id(id, 1);
+        }
         if self.faults.has_message_faults() {
             if let Some(cause) = self.fault_drop_cause(at, from, to) {
                 self.metrics.add_counter("fault.dropped", 1);
@@ -176,17 +373,201 @@ impl<M: WireSize> Core<M> {
                 return;
             }
         }
-        let mut delay = self.net.latency(self.regions[from], self.regions[to])
-            + self.net.serialization_delay(bytes);
+        let mut latency = self.net.latency(self.regions[from], self.regions[to]);
         if self.net.jitter_max > SimTime::ZERO {
-            delay += SimTime::from_micros(self.rng.gen_range(0..=self.net.jitter_max.as_micros()));
+            latency +=
+                SimTime::from_micros(self.rng.gen_range(0..=self.net.jitter_max.as_micros()));
         }
+        if self.flow.is_some() {
+            self.flow_send(at, from, to, msg, bytes, latency);
+            return;
+        }
+        let delay = latency + self.net.serialization_delay(bytes);
         // FIFO per link: a message never overtakes an earlier one on the
         // same (src, dst) pair.
-        let free = self.link_free.entry((from, to)).or_insert(SimTime::ZERO);
+        let free = self
+            .link_free
+            .get_or_insert_with(from, to, || SimTime::ZERO);
         let delivery = (at + delay).max(*free);
         *free = delivery;
         self.push(delivery, to, EventBody::Deliver { from, msg });
+    }
+
+    /// Adds to `net.bytes.<kind>` through a small per-kind id cache; kinds
+    /// are a handful of `&'static str`s, so a linear scan beats hashing.
+    fn add_kind_bytes(&mut self, kind: &'static str, delta: u64) {
+        for (k, id) in &self.kind_ids {
+            if *k == kind {
+                let id = *id;
+                self.metrics.add_counter_id(id, delta);
+                return;
+            }
+        }
+        let name = format!("net.bytes.{kind}");
+        if let Some(id) = self.metrics.counter_handle(&name) {
+            self.kind_ids.push((kind, id));
+            self.metrics.add_counter_id(id, delta);
+        }
+    }
+
+    /// Entry point for a send under [`LinkModel::FlowShared`]: either the
+    /// pair is idle and the message becomes a flow on its region trunk
+    /// right away, or it queues behind the pair's in-flight flow
+    /// (preserving the per-link FIFO contract exactly as the per-message
+    /// model does).
+    fn flow_send(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: usize,
+        latency: SimTime,
+    ) {
+        // Work units: bit-microseconds; at least 1 so zero-byte messages
+        // still traverse the trunk machinery deterministically.
+        let remaining = ((bytes as u128) * 8 * 1_000_000).max(1);
+        let flow_net = self.flow.as_mut().expect("flow_send without flow state");
+        let pq = flow_net
+            .pairs
+            .get_or_insert_with(from, to, PairQueue::default);
+        if pq.active {
+            pq.queue.push_back(QueuedMsg {
+                remaining,
+                latency,
+                msg,
+            });
+            return;
+        }
+        pq.active = true;
+        self.flow_start(
+            at,
+            ActiveFlow {
+                from,
+                to,
+                remaining,
+                latency,
+                msg,
+            },
+        );
+    }
+
+    /// Joins a flow onto its region trunk: settles the trunk to `now`,
+    /// adds the flow, and re-plans the next completion tick under a fresh
+    /// generation.
+    fn flow_start(&mut self, now: SimTime, f: ActiveFlow<M>) {
+        let bps = self.net.bandwidth_bps;
+        let trunk_idx =
+            self.regions[f.from].index() * Region::ALL.len() + self.regions[f.to].index();
+        let flow_net = self.flow.as_mut().expect("flow_start without flow state");
+        let trunk = &mut flow_net.trunks[trunk_idx];
+        trunk.settle(now, bps);
+        trunk.flows.push(f);
+        trunk.gen += 1;
+        let gen = trunk.gen;
+        let next = trunk.next_tick(now, bps);
+        flow_net.active += 1;
+        let active = flow_net.active;
+        let gauge = flow_net.gauge_id;
+        if let Some(id) = gauge {
+            self.metrics.gauge_set_id(id, active as f64);
+        }
+        if let Some(t) = next {
+            // FlowTicks target node 0 nominally but are intercepted before
+            // dispatch; the node field is never used.
+            self.push(
+                t,
+                0,
+                EventBody::FlowTick {
+                    trunk: trunk_idx,
+                    gen,
+                },
+            );
+        }
+    }
+
+    /// Handles an [`EventBody::FlowTick`]: settles the trunk, completes
+    /// every drained flow (delivery = completion + propagation latency,
+    /// clamped to per-link FIFO), promotes queued messages on the freed
+    /// pairs, and re-plans the next tick.
+    fn flow_tick(&mut self, now: SimTime, trunk_idx: usize, gen: u64) {
+        let bps = self.net.bandwidth_bps;
+        let flow_net = match self.flow.as_mut() {
+            Some(f) => f,
+            None => return,
+        };
+        let trunk = &mut flow_net.trunks[trunk_idx];
+        if gen != trunk.gen {
+            return; // stale tick from before a join/leave re-plan
+        }
+        trunk.settle(now, bps);
+        // Stable split keeps completion order (and thus seq assignment)
+        // deterministic and comprehensible: flows complete in join order.
+        let mut done = Vec::new();
+        let mut kept = Vec::new();
+        for f in trunk.flows.drain(..) {
+            if f.remaining == 0 {
+                done.push(f);
+            } else {
+                kept.push(f);
+            }
+        }
+        trunk.flows = kept;
+        trunk.gen += 1;
+        let gen = trunk.gen;
+        let next = trunk.next_tick(now, bps);
+        flow_net.active -= done.len() as u64;
+        let active = flow_net.active;
+        let gauge = flow_net.gauge_id;
+        if let Some(id) = gauge {
+            self.metrics.gauge_set_id(id, active as f64);
+        }
+        if let Some(t) = next {
+            self.push(
+                t,
+                0,
+                EventBody::FlowTick {
+                    trunk: trunk_idx,
+                    gen,
+                },
+            );
+        }
+        for f in done {
+            // Propagation jitter varies per message, so clamp to the
+            // link's previous delivery to keep the FIFO contract.
+            let free = self
+                .link_free
+                .get_or_insert_with(f.from, f.to, || SimTime::ZERO);
+            let delivery = (now + f.latency).max(*free);
+            *free = delivery;
+            self.push(
+                delivery,
+                f.to,
+                EventBody::Deliver {
+                    from: f.from,
+                    msg: f.msg,
+                },
+            );
+            // The pair is free: start its next queued message, if any.
+            let flow_net = self.flow.as_mut().expect("flow state vanished");
+            let pq = flow_net
+                .pairs
+                .get_or_insert_with(f.from, f.to, PairQueue::default);
+            if let Some(q) = pq.queue.pop_front() {
+                self.flow_start(
+                    now,
+                    ActiveFlow {
+                        from: f.from,
+                        to: f.to,
+                        remaining: q.remaining,
+                        latency: q.latency,
+                        msg: q.msg,
+                    },
+                );
+            } else {
+                pq.active = false;
+            }
+        }
     }
 }
 
@@ -425,15 +806,31 @@ impl<M: WireSize> Simulation<M> {
     /// Creates an empty simulation with the given network model and RNG seed
     /// (the seed only matters when jitter is enabled).
     pub fn new(net: NetworkConfig, seed: u64) -> Self {
+        let mut metrics = Metrics::new();
+        // Cache catalog ids for the per-send hot path. Resolving never
+        // touches a counter, so golden traces are unaffected.
+        let id_net_bytes = metrics.counter_handle("net.bytes");
+        let id_net_messages = metrics.counter_handle("net.messages");
+        let flow = match net.link_model {
+            LinkModel::PerMessage => None,
+            LinkModel::FlowShared => {
+                let n_regions = Region::ALL.len();
+                Some(FlowNet {
+                    trunks: (0..n_regions * n_regions).map(|_| Trunk::new()).collect(),
+                    pairs: PairMap::new(),
+                    active: 0,
+                    gauge_id: metrics.gauge_handle("sim.flows.active"),
+                })
+            }
+        };
         Self {
             nodes: Vec::new(),
             core: Core {
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(SchedulerKind::Wheel),
                 regions: Vec::new(),
                 avail: Vec::new(),
                 inbox: Vec::new(),
-                link_free: HashMap::new(),
-                metrics: Metrics::new(),
+                metrics,
                 net,
                 rng: StdRng::seed_from_u64(seed ^ 0x6c62_272e_07bb_0142),
                 now: SimTime::ZERO,
@@ -441,11 +838,35 @@ impl<M: WireSize> Simulation<M> {
                 faults: FaultPlan::none(),
                 fault_rng: StdRng::seed_from_u64(seed ^ 0x27d4_eb2f_1656_67c5),
                 down: Vec::new(),
-                link_sends: HashMap::new(),
+                deferred: Vec::new(),
+                rep_seq: Vec::new(),
+                link_free: PairMap::new(),
+                link_sends: PairMap::new(),
+                flow,
+                id_net_bytes,
+                id_net_messages,
+                kind_ids: Vec::new(),
             },
             started: false,
             events_processed: 0,
         }
+    }
+
+    /// Selects the event-queue implementation (builder style; default
+    /// [`SchedulerKind::Wheel`]). Both schedulers produce byte-identical
+    /// runs — the heap exists as the frozen reference for equivalence
+    /// tests and benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        assert!(
+            !self.started,
+            "scheduler must be chosen before the run starts"
+        );
+        self.core.queue = EventQueue::new(kind);
+        self
     }
 
     /// Attaches a fault-injection plan (builder style). Must be called
@@ -474,6 +895,8 @@ impl<M: WireSize> Simulation<M> {
         self.core.avail.push(SimTime::ZERO);
         self.core.inbox.push(0);
         self.core.down.push(false);
+        self.core.deferred.push(BinaryHeap::new());
+        self.core.rep_seq.push(None);
         id
     }
 
@@ -489,6 +912,11 @@ impl<M: WireSize> Simulation<M> {
     /// Panics if `id` is out of range.
     pub fn node(&self, id: NodeId) -> &dyn Node<M> {
         self.nodes[id].as_ref()
+    }
+
+    /// All nodes, indexed by id (the slice [`EventTap`]s also see).
+    pub fn nodes(&self) -> &[Box<dyn Node<M>>] {
+        &self.nodes
     }
 
     /// Mutable access to a node between run segments.
@@ -516,6 +944,12 @@ impl<M: WireSize> Simulation<M> {
     /// The metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.core.metrics
+    }
+
+    /// Mutable access to the metrics (for harnesses that stamp run-level
+    /// gauges — wall-clock throughput, peak RSS — onto the collector).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
     }
 
     /// Consumes the simulation and returns the collected metrics.
@@ -598,7 +1032,12 @@ impl<M: WireSize> Simulation<M> {
             self.core.now + probe_interval
         };
         loop {
-            // Deferral loop: requeue events whose target is still busy.
+            // Deferral loop: park events whose target is still busy. Only
+            // the minimum-seq deferred event per node (its representative)
+            // rides the global queue at the node's avail time; the rest
+            // wait in the node's seq-ordered side queue and are promoted
+            // one at a time, so a backlog of depth d costs O(log d) per
+            // processed event instead of O(d) re-queues.
             let event = loop {
                 match self.core.queue.pop() {
                     None => {
@@ -610,12 +1049,14 @@ impl<M: WireSize> Simulation<M> {
                     Some(mut ev) => {
                         // Crash/restart take effect immediately: a crash
                         // interrupts whatever the node was busy with.
+                        // FlowTicks are trunk bookkeeping, not node input.
                         if matches!(
                             ev.body,
                             EventBody::Crash
                                 | EventBody::Restart
                                 | EventBody::ConnDrop
                                 | EventBody::ConnRestore
+                                | EventBody::FlowTick { .. }
                         ) {
                             break ev;
                         }
@@ -625,8 +1066,24 @@ impl<M: WireSize> Simulation<M> {
                                 ev.queued = true;
                                 self.core.inbox[ev.node] += 1;
                             }
-                            ev.time = avail;
-                            self.core.queue.push(ev);
+                            match self.core.rep_seq[ev.node] {
+                                // A lower-seq representative is already in
+                                // flight: park in the side queue. (The old
+                                // representative entry of a node whose rep
+                                // changed is handled here too when it
+                                // eventually pops.)
+                                Some(r) if ev.seq > r => {
+                                    self.core.deferred[ev.node].push(Deferred(ev));
+                                }
+                                // No representative, this event *is* the
+                                // representative re-popping (seq == r), or
+                                // it has a smaller seq and takes over.
+                                _ => {
+                                    self.core.rep_seq[ev.node] = Some(ev.seq);
+                                    ev.time = avail;
+                                    self.core.queue.push(ev);
+                                }
+                            }
                             continue;
                         }
                         break ev;
@@ -664,9 +1121,19 @@ impl<M: WireSize> Simulation<M> {
             }
 
             self.core.now = event.time;
+            if let EventBody::FlowTick { trunk, gen } = event.body {
+                // Internal bandwidth bookkeeping: not a node event, not
+                // counted, not reported to taps.
+                self.core.flow_tick(event.time, trunk, gen);
+                continue;
+            }
             if event.queued {
                 self.core.inbox[event.node] -= 1;
             }
+            // Seqs are unique, so this identifies exactly the in-flight
+            // representative; consuming it must promote the node's next
+            // deferred event into the global queue.
+            let was_rep = self.core.rep_seq[event.node] == Some(event.seq);
             match event.body {
                 EventBody::Crash => {
                     // The node goes down mid-whatever: pending busy time is
@@ -722,6 +1189,9 @@ impl<M: WireSize> Simulation<M> {
                 // timers and even the start event evaporate.
                 self.core.metrics.add_counter("fault.discarded", 1);
                 self.events_processed += 1;
+                if was_rep {
+                    self.promote_deferred(event.node, event.time);
+                }
                 if self
                     .fire_tap(tap, event.node, TapKind::Discarded)
                     .is_break()
@@ -745,7 +1215,8 @@ impl<M: WireSize> Simulation<M> {
                 EventBody::Crash
                 | EventBody::Restart
                 | EventBody::ConnDrop
-                | EventBody::ConnRestore => unreachable!("handled above"),
+                | EventBody::ConnRestore
+                | EventBody::FlowTick { .. } => unreachable!("handled above"),
             };
             let mut env = EnvHandle {
                 core: &mut self.core,
@@ -761,14 +1232,33 @@ impl<M: WireSize> Simulation<M> {
                 EventBody::Crash
                 | EventBody::Restart
                 | EventBody::ConnDrop
-                | EventBody::ConnRestore => unreachable!("handled above"),
+                | EventBody::ConnRestore
+                | EventBody::FlowTick { .. } => unreachable!("handled above"),
             }
             let busy = env.busy;
             self.core.avail[event.node] = event.time + busy;
             self.events_processed += 1;
+            if was_rep {
+                self.promote_deferred(event.node, event.time);
+            }
             if self.fire_tap(tap, event.node, kind).is_break() {
                 return self.report();
             }
+        }
+    }
+
+    /// The node's representative deferred event was just consumed: move
+    /// the next-lowest-seq parked event (if any) into the global queue at
+    /// the node's availability time.
+    fn promote_deferred(&mut self, node: NodeId, at: SimTime) {
+        self.core.rep_seq[node] = None;
+        if let Some(Deferred(mut nxt)) = self.core.deferred[node].pop() {
+            self.core.rep_seq[node] = Some(nxt.seq);
+            // `avail` for a processed predecessor, the event's original
+            // deferral horizon (`at`) when the predecessor was discarded
+            // while the node was down.
+            nxt.time = self.core.avail[node].max(at);
+            self.core.queue.push(nxt);
         }
     }
 
@@ -1564,5 +2054,163 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert!(a[0].iter().zip([1.0, -2.0, 3.0]).any(|(v, o)| *v != o));
+    }
+
+    #[test]
+    fn heap_and_wheel_schedulers_run_byte_identically() {
+        let run = |kind: SchedulerKind| {
+            let net = NetworkConfig::uniform_all(SimTime::from_millis(1))
+                .with_jitter(SimTime::from_micros(500));
+            let mut sim = Simulation::new(net, 7).with_scheduler(kind);
+            sim.add_node(
+                Box::new(Burst {
+                    count: 20,
+                    bytes: 10_000,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Sydney,
+            );
+            let report = sim.run(SimTime::from_secs(5));
+            (report, recorder_received(&sim))
+        };
+        assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Wheel));
+    }
+
+    #[test]
+    fn flow_shared_links_split_trunk_bandwidth() {
+        // 8 Mbps trunk, two concurrent 1 MB flows on the same region pair:
+        // processor sharing finishes both at 2 s (per-message would say
+        // 1 s each).
+        let net = NetworkConfig::uniform_all(SimTime::ZERO)
+            .with_bandwidth_bps(8_000_000)
+            .with_flow_shared_links();
+        let mut sim = Simulation::new(net, 1);
+        sim.add_node(
+            Box::new(Burst {
+                count: 1,
+                bytes: 1_000_000,
+            }),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(Recorder {
+                received: Vec::new(),
+            }),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(BurstTo {
+                to: 1,
+                count: 1,
+                bytes: 1_000_000,
+            }),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(10));
+        let recv = recorder_received(&sim);
+        assert_eq!(recv.len(), 2);
+        assert_eq!(recv[0].0, SimTime::from_secs(2));
+        assert_eq!(recv[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn flow_shared_links_keep_per_pair_fifo() {
+        // Two back-to-back 1 MB messages on one pair: the second queues
+        // behind the first (one active flow per pair), so they arrive in
+        // order at 1 s and 2 s.
+        let net = NetworkConfig::uniform_all(SimTime::ZERO)
+            .with_bandwidth_bps(8_000_000)
+            .with_flow_shared_links();
+        let mut sim = Simulation::new(net, 1);
+        sim.add_node(
+            Box::new(Burst {
+                count: 2,
+                bytes: 1_000_000,
+            }),
+            Region::Paris,
+        );
+        sim.add_node(
+            Box::new(Recorder {
+                received: Vec::new(),
+            }),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(10));
+        let recv = recorder_received(&sim);
+        assert_eq!(recv.len(), 2);
+        assert_eq!(recv[0].2, 0);
+        assert_eq!(recv[0].0, SimTime::from_secs(1));
+        assert_eq!(recv[1].2, 1);
+        assert_eq!(recv[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn flow_shared_runs_are_deterministic_and_count_flows() {
+        let run = || {
+            let net = NetworkConfig::aws().with_flow_shared_links();
+            let mut sim = Simulation::new(net, 9);
+            sim.add_node(
+                Box::new(Burst {
+                    count: 10,
+                    bytes: 250_000,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::California,
+            );
+            sim.add_node(
+                Box::new(BurstTo {
+                    to: 1,
+                    count: 10,
+                    bytes: 250_000,
+                }),
+                Region::Paris,
+            );
+            let report = sim.run(SimTime::from_secs(60));
+            let gauge = sim.metrics().gauge("sim.flows.active");
+            (report, recorder_received(&sim), gauge)
+        };
+        let (report, recv, gauge) = run();
+        assert_eq!(recv.len(), 20);
+        // All flows drained by the end of the run.
+        assert_eq!(gauge, Some(0.0));
+        assert_eq!((report, recv, gauge), run());
+    }
+
+    /// Like [`Burst`] but with an explicit destination.
+    struct BurstTo {
+        to: NodeId,
+        count: u32,
+        bytes: usize,
+    }
+
+    impl Node<Msg> for BurstTo {
+        fn on_start(&mut self, env: &mut dyn Env<Msg>) {
+            for i in 0..self.count {
+                env.send(
+                    self.to,
+                    Msg {
+                        payload: i,
+                        bytes: self.bytes,
+                    },
+                );
+            }
+        }
+        fn on_message(&mut self, _env: &mut dyn Env<Msg>, _from: NodeId, _msg: Msg) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
     }
 }

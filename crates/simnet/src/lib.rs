@@ -63,12 +63,15 @@ pub mod des;
 pub mod fault;
 pub mod metrics;
 pub mod net;
+mod pairmap;
 pub mod runtime;
 pub mod time;
+mod wheel;
 
-pub use des::{EventTap, NoTap, ProbeCtx, RunReport, Simulation, TapCtx, TapKind};
+pub use des::{EventTap, NoTap, ProbeCtx, RunReport, SchedulerKind, Simulation, TapCtx, TapKind};
 pub use fault::{ByzantineAttack, ByzantineClient, FaultPlan};
 pub use metrics::Metrics;
-pub use net::{aws_latency_matrix, NetworkConfig, Region};
+pub use net::{aws_latency_matrix, LinkModel, NetworkConfig, Region};
 pub use runtime::{Env, Node, NodeId, WireSize};
+pub use spyker_obs::report::peak_rss_bytes;
 pub use time::SimTime;

@@ -6,7 +6,7 @@
 //! order), while storage, span tracing and run reports live in the
 //! `spyker-obs` crate.
 
-use spyker_obs::{Histogram, Registry, SpanStore};
+use spyker_obs::{Histogram, MetricId, Registry, SpanStore};
 
 use crate::time::SimTime;
 
@@ -42,6 +42,29 @@ impl Metrics {
     /// Current value of counter `name` (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.registry.counter(name)
+    }
+
+    /// Resolves `name` as a counter and returns its interned id for
+    /// [`Metrics::add_counter_id`] — hot emission sites (the simulator's
+    /// per-send byte accounting) cache the id once and skip the
+    /// per-emission name lookup. Resolving does not touch the counter.
+    pub fn counter_handle(&mut self, name: &str) -> Option<MetricId> {
+        self.registry.counter_id(name)
+    }
+
+    /// Adds `delta` to the counter behind a cached handle.
+    pub fn add_counter_id(&mut self, id: MetricId, delta: u64) {
+        self.registry.counter_add_id(id, delta);
+    }
+
+    /// Resolves `name` as a gauge for [`Metrics::gauge_set_id`].
+    pub fn gauge_handle(&mut self, name: &str) -> Option<MetricId> {
+        self.registry.gauge_id(name)
+    }
+
+    /// Sets the gauge behind a cached handle (last write wins).
+    pub fn gauge_set_id(&mut self, id: MetricId, value: f64) {
+        self.registry.gauge_set_id(id, value);
     }
 
     /// Appends `(time, value)` to series `name`.

@@ -83,6 +83,24 @@ pub fn aws_latency_matrix() -> [[SimTime; 4]; 4] {
     out
 }
 
+/// How link capacity is charged to traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkModel {
+    /// Every message pays its own full serialization delay
+    /// (`bytes × 8 / bandwidth_bps`) on top of propagation — the paper's
+    /// additive model and the default. Contention appears only through the
+    /// per-link FIFO order; concurrent transfers do not slow each other.
+    #[default]
+    PerMessage,
+    /// Flow-level processor sharing: each directed region pair is a trunk
+    /// of `bandwidth_bps` capacity split equally among its in-flight
+    /// flows, re-planned as flows join and leave. Congestion under heavy
+    /// fan-in is modelled instead of additive. Opt-in via
+    /// [`NetworkConfig::with_flow_shared_links`]; runs with the default
+    /// model are byte-identical to builds that predate flow support.
+    FlowShared,
+}
+
 /// Network configuration of one deployment.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -92,6 +110,9 @@ pub struct NetworkConfig {
     /// Maximum uniformly-distributed extra latency added per message
     /// (failure-injection/jitter experiments; zero in the paper setting).
     pub jitter_max: SimTime,
+    /// How bandwidth is charged (per-message serialization vs flow-level
+    /// fair sharing).
+    pub link_model: LinkModel,
 }
 
 impl NetworkConfig {
@@ -104,6 +125,7 @@ impl NetworkConfig {
             latency: aws_latency_matrix(),
             bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
             jitter_max: SimTime::ZERO,
+            link_model: LinkModel::PerMessage,
         }
     }
 
@@ -111,15 +133,25 @@ impl NetworkConfig {
     /// `latency` and intra-region latency is `latency / 100` (paper Tab. 6
     /// "No lat." setting uses the *average* latency everywhere; use
     /// [`NetworkConfig::uniform_all`] for a fully flat network).
+    ///
+    /// Integer division would silently truncate sub-100 µs inputs to a
+    /// zero intra-region delay, which breaks FIFO-sensitive scenarios; a
+    /// non-zero `latency` therefore floors the diagonal at 1 µs.
     pub fn uniform(latency: SimTime) -> Self {
+        let intra = if latency == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            (latency / 100).max(SimTime::from_micros(1))
+        };
         let mut m = [[latency; 4]; 4];
         for (i, row) in m.iter_mut().enumerate() {
-            row[i] = latency / 100;
+            row[i] = intra;
         }
         Self {
             latency: m,
             bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
             jitter_max: SimTime::ZERO,
+            link_model: LinkModel::PerMessage,
         }
     }
 
@@ -130,6 +162,7 @@ impl NetworkConfig {
             latency: [[latency; 4]; 4],
             bandwidth_bps: Self::PAPER_BANDWIDTH_BPS,
             jitter_max: SimTime::ZERO,
+            link_model: LinkModel::PerMessage,
         }
     }
 
@@ -150,6 +183,14 @@ impl NetworkConfig {
     pub fn with_bandwidth_bps(mut self, bandwidth_bps: u64) -> Self {
         assert!(bandwidth_bps > 0, "bandwidth must be positive");
         self.bandwidth_bps = bandwidth_bps;
+        self
+    }
+
+    /// Switches to [`LinkModel::FlowShared`] (builder style): region-pair
+    /// trunks of `bandwidth_bps` capacity fair-shared among concurrent
+    /// flows instead of per-message serialization delays.
+    pub fn with_flow_shared_links(mut self) -> Self {
+        self.link_model = LinkModel::FlowShared;
         self
     }
 
@@ -228,6 +269,34 @@ mod tests {
             SimTime::from_millis(50)
         );
         assert!(net.latency(Region::Paris, Region::Paris) < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn uniform_small_latencies_round_up_instead_of_truncating_to_zero() {
+        // 50 µs / 100 would integer-truncate to 0; the diagonal must stay
+        // non-zero for non-zero inputs.
+        let net = NetworkConfig::uniform(SimTime::from_micros(50));
+        assert_eq!(
+            net.latency(Region::Paris, Region::Paris),
+            SimTime::from_micros(1)
+        );
+        // Zero in, zero out.
+        let flat = NetworkConfig::uniform(SimTime::ZERO);
+        assert_eq!(flat.latency(Region::Paris, Region::Paris), SimTime::ZERO);
+        // Large values keep the exact division.
+        let big = NetworkConfig::uniform(SimTime::from_millis(50));
+        assert_eq!(
+            big.latency(Region::Paris, Region::Paris),
+            SimTime::from_micros(500)
+        );
+    }
+
+    #[test]
+    fn flow_shared_builder_flips_the_link_model() {
+        let net = NetworkConfig::aws();
+        assert_eq!(net.link_model, LinkModel::PerMessage);
+        let net = net.with_flow_shared_links();
+        assert_eq!(net.link_model, LinkModel::FlowShared);
     }
 
     #[test]

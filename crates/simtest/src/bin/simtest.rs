@@ -3,6 +3,7 @@
 //! ```text
 //! simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]
 //!         [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]
+//!         [--scale N[k|m]] [--cohort K] [--min-events-per-sec N[k|m]]
 //! ```
 //!
 //! Sweeps `N` seeds starting at `S`: each seed expands into a random
@@ -17,12 +18,17 @@
 //! early — cleanly, reporting how many seeds it covered — when the cap is
 //! reached. Determinism is per-seed, so a capped sweep checks a prefix of
 //! exactly the same runs a full sweep would.
+//!
+//! `--scale N` runs one cohort-batched scalability scenario with `N`
+//! logical clients (cohorts of `--cohort`, default 128) under the full
+//! oracle suite instead of sweeping, printing throughput and peak RSS;
+//! `--min-events-per-sec` turns the printed throughput into a CI floor.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use spyker_simtest::{run_scenario, shrink, write_repro, RunOutcome, SimScenario};
+use spyker_simtest::{run_scenario, shrink, write_repro, RunOutcome, ScaleSpec, SimScenario};
 
 struct Opts {
     seeds: u64,
@@ -32,12 +38,16 @@ struct Opts {
     time_cap_secs: Option<u64>,
     replay: Option<PathBuf>,
     churn: bool,
+    scale: Option<u64>,
+    cohort: u64,
+    min_events_per_sec: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]\n\
-         \x20              [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]"
+         \x20              [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]\n\
+         \x20              [--scale N[k|m]] [--cohort K] [--min-events-per-sec N[k|m]]"
     );
     std::process::exit(2)
 }
@@ -60,6 +70,9 @@ fn parse_opts() -> Opts {
         time_cap_secs: None,
         replay: None,
         churn: false,
+        scale: None,
+        cohort: 128,
+        min_events_per_sec: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,6 +89,11 @@ fn parse_opts() -> Opts {
             }
             "--replay" => opts.replay = Some(PathBuf::from(value())),
             "--churn" => opts.churn = true,
+            "--scale" => opts.scale = Some(parse_count(&value()).unwrap_or_else(|| usage())),
+            "--cohort" => opts.cohort = parse_count(&value()).unwrap_or_else(|| usage()),
+            "--min-events-per-sec" => {
+                opts.min_events_per_sec = Some(parse_count(&value()).unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -85,6 +103,55 @@ fn parse_opts() -> Opts {
 
 fn main() -> ExitCode {
     let opts = parse_opts();
+
+    if let Some(logical) = opts.scale {
+        let spec = ScaleSpec {
+            logical_clients: logical,
+            cohort_size: opts.cohort.max(1),
+            ..ScaleSpec::ci_smoke()
+        };
+        println!(
+            "scale run: {} logical clients in {} cohorts of ≤{} on {} servers \
+             (horizon {}, wheel scheduler, flow-shared links)",
+            spec.logical_clients,
+            spec.n_cohorts(),
+            spec.cohort_size,
+            spec.n_servers,
+            spec.horizon,
+        );
+        let stats = spyker_simtest::run_scale(&spec, opts.budget_events);
+        println!(
+            "events {}  end {}  updates {}  throughput {:.0} events/sec  peak RSS {}",
+            stats.events,
+            stats.end_time,
+            stats.updates_processed,
+            stats.events_per_sec,
+            stats.peak_rss_bytes.map_or_else(
+                || "n/a".to_string(),
+                |b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+            ),
+        );
+        if let Some(v) = &stats.violation {
+            println!("VIOLATION {v}");
+            return ExitCode::from(1);
+        }
+        if stats.updates_processed == 0 {
+            println!("FAIL: scale run processed zero updates");
+            return ExitCode::from(1);
+        }
+        if let Some(floor) = opts.min_events_per_sec {
+            if stats.events_per_sec < floor as f64 {
+                println!(
+                    "FAIL: throughput {:.0} events/sec below the {floor} floor",
+                    stats.events_per_sec
+                );
+                return ExitCode::from(1);
+            }
+            println!("ok: throughput above the {floor} events/sec floor");
+        }
+        println!("scale run oracle-green");
+        return ExitCode::SUCCESS;
+    }
 
     if let Some(path) = &opts.replay {
         let sc = match spyker_simtest::load_repro(path) {

@@ -118,21 +118,6 @@ impl<'a> OracleTap<'a> {
     }
 }
 
-/// Downcasts the nodes at `ids` to [`SpykerServer`]s.
-fn servers<'a>(
-    nodes: &'a [Box<dyn spyker_simnet::Node<FlMsg>>],
-    ids: &[NodeId],
-) -> Vec<&'a SpykerServer> {
-    ids.iter()
-        .map(|&i| {
-            nodes[i]
-                .as_any()
-                .downcast_ref::<SpykerServer>()
-                .expect("server node ids are SpykerServers")
-        })
-        .collect()
-}
-
 impl EventTap<FlMsg> for OracleTap<'_> {
     fn on_deliver(
         &mut self,
@@ -156,8 +141,8 @@ impl EventTap<FlMsg> for OracleTap<'_> {
             kind == TapKind::Deliver && self.pending_token_to.take() == Some(node);
         let octx = OracleCtx {
             time: ctx.time(),
-            servers: servers(ctx.nodes(), &self.server_ids),
-            server_nodes: self.server_ids.clone(),
+            nodes: ctx.nodes(),
+            server_nodes: &self.server_ids,
             metrics: ctx.metrics(),
             n_clients: self.sc.n_clients,
             event: Some(EventInfo {
@@ -216,19 +201,10 @@ pub fn run_scenario(sc: &SimScenario, budget_events: u64) -> RunOutcome {
     }
     // End-of-run pass: the whole-run invariants (liveness, finiteness).
     let server_ids = sc.server_node_ids();
-    let final_servers: Vec<&SpykerServer> = server_ids
-        .iter()
-        .map(|&i| {
-            sim.node(i)
-                .as_any()
-                .downcast_ref::<SpykerServer>()
-                .expect("server node ids are SpykerServers")
-        })
-        .collect();
     let octx = OracleCtx {
         time: sim.now(),
-        servers: final_servers,
-        server_nodes: server_ids,
+        nodes: sim.nodes(),
+        server_nodes: &server_ids,
         metrics: sim.metrics(),
         n_clients: sc.n_clients,
         event: None,
@@ -247,7 +223,6 @@ pub fn run_scenario(sc: &SimScenario, budget_events: u64) -> RunOutcome {
             });
         }
     }
-    drop(octx);
     RunOutcome::Clean(RunStats {
         events: tap.events,
         end_time: sim.now(),

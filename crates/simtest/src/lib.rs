@@ -33,11 +33,13 @@
 pub mod harness;
 pub mod oracle;
 pub mod repro;
+pub mod scale;
 pub mod scenario;
 pub mod shrink;
 
 pub use harness::{run_scenario, RunOutcome, RunStats, Violation};
 pub use oracle::{default_suite, Oracle, OracleCtx};
 pub use repro::{load_repro, write_repro};
+pub use scale::{build_scale, run_scale, ScaleSpec, ScaleStats};
 pub use scenario::{Injection, SimScenario};
 pub use shrink::shrink;

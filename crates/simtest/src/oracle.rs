@@ -27,8 +27,9 @@
 //! context (`clean`, `byzantine_free`) so faulty runs are not flagged for
 //! documented degraded-mode behaviour.
 
+use spyker_core::msg::FlMsg;
 use spyker_core::server::SpykerServer;
-use spyker_simnet::{Metrics, NodeId, SimTime, TapKind};
+use spyker_simnet::{Metrics, Node, NodeId, SimTime, TapKind};
 
 /// Slack for `f64` age comparisons (ages are sums of `f32`-derived
 /// weights; exact equality is still expected for the integer counters).
@@ -50,16 +51,23 @@ pub struct EventInfo {
 }
 
 /// Read-only snapshot an oracle checks.
+///
+/// Built fresh after *every* event, so it holds only borrows: at 10⁵–10⁶
+/// clients, per-event `Vec` construction (the old downcast list of server
+/// references) dominated the harness. Oracles reach servers through
+/// [`OracleCtx::server`] / [`OracleCtx::servers`], which downcast on
+/// demand — a `TypeId` compare, no allocation.
 pub struct OracleCtx<'a> {
     /// Virtual time of the snapshot.
     pub time: SimTime,
-    /// Every server actor: the base ring (node ids `0..n_servers`) followed
-    /// by any standby/joiner servers (which live *after* the clients in the
-    /// elastic node layout).
-    pub servers: Vec<&'a SpykerServer>,
-    /// Node id of each entry in `servers` — positions and node ids diverge
-    /// once standbys exist, so event attribution must go through this.
-    pub server_nodes: Vec<NodeId>,
+    /// Every node in the simulation, indexed by id.
+    pub nodes: &'a [Box<dyn Node<FlMsg>>],
+    /// Node ids of every server actor: the base ring (node ids
+    /// `0..n_servers`) followed by any standby/joiner servers (which live
+    /// *after* the clients in the elastic node layout). Positions and node
+    /// ids diverge once standbys exist, so event attribution must go
+    /// through this.
+    pub server_nodes: &'a [NodeId],
     /// Metric counters and series collected so far.
     pub metrics: &'a Metrics,
     /// Number of clients in the deployment.
@@ -80,9 +88,26 @@ pub struct OracleCtx<'a> {
     pub budget_exhausted: bool,
 }
 
-impl OracleCtx<'_> {
+impl<'a> OracleCtx<'a> {
     fn n_servers(&self) -> usize {
-        self.servers.len()
+        self.server_nodes.len()
+    }
+
+    /// The `i`-th server actor (position in [`OracleCtx::server_nodes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node at that id is not a [`SpykerServer`].
+    pub fn server(&self, i: usize) -> &'a SpykerServer {
+        self.nodes[self.server_nodes[i]]
+            .as_any()
+            .downcast_ref::<SpykerServer>()
+            .expect("server node ids are SpykerServers")
+    }
+
+    /// Every server actor, in [`OracleCtx::server_nodes`] order.
+    pub fn servers(&self) -> impl Iterator<Item = &'a SpykerServer> + '_ {
+        (0..self.server_nodes.len()).map(move |i| self.server(i))
     }
 }
 
@@ -123,7 +148,7 @@ pub fn default_suite() -> Vec<Box<dyn Oracle>> {
         }),
         Box::new(ExchangeLedgerOracle),
         Box::new(MembershipOracle { last: None }),
-        Box::new(ModelHullOracle),
+        Box::new(ModelHullOracle { hull: None }),
         Box::new(LivenessOracle),
     ]
 }
@@ -157,6 +182,7 @@ impl Oracle for VirtualClockOracle {
 /// injection sees an acquisition with no qualifying cause.
 struct TokenConservationOracle {
     /// `(has_token, tokens_regenerated)` per server at the last check.
+    /// Updated in place — no per-event snapshot allocation.
     held: Option<Vec<(bool, u64)>>,
 }
 
@@ -166,29 +192,36 @@ impl Oracle for TokenConservationOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let now: Vec<(bool, u64)> = ctx
-            .servers
-            .iter()
-            .map(|s| (s.has_token(), s.tokens_regenerated()))
-            .collect();
-        if let Some(prev) = &self.held {
-            for (i, ((was, regen_was), (is, regen_is))) in prev.iter().zip(&now).enumerate() {
-                if *is && !*was {
-                    let caused_by_pass = ctx
-                        .event
-                        .is_some_and(|e| e.token_delivered && e.node == ctx.server_nodes[i]);
-                    let caused_by_regen = *regen_is > *regen_was;
-                    if !caused_by_pass && !caused_by_regen {
-                        return Err(format!(
-                            "server {i} acquired a token (bid {:?}) without a TokenPass \
-                             delivery or a regeneration",
-                            ctx.servers[i].token_bid()
-                        ));
+        match &mut self.held {
+            Some(prev) if prev.len() == ctx.n_servers() => {
+                for (i, slot) in prev.iter_mut().enumerate() {
+                    let s = ctx.server(i);
+                    let (was, regen_was) = *slot;
+                    let (is, regen_is) = (s.has_token(), s.tokens_regenerated());
+                    if is && !was {
+                        let caused_by_pass = ctx
+                            .event
+                            .is_some_and(|e| e.token_delivered && e.node == ctx.server_nodes[i]);
+                        let caused_by_regen = regen_is > regen_was;
+                        if !caused_by_pass && !caused_by_regen {
+                            return Err(format!(
+                                "server {i} acquired a token (bid {:?}) without a TokenPass \
+                                 delivery or a regeneration",
+                                s.token_bid()
+                            ));
+                        }
                     }
+                    *slot = (is, regen_is);
                 }
             }
+            _ => {
+                self.held = Some(
+                    ctx.servers()
+                        .map(|s| (s.has_token(), s.tokens_regenerated()))
+                        .collect(),
+                );
+            }
         }
-        self.held = Some(now);
         Ok(())
     }
 }
@@ -205,15 +238,20 @@ impl Oracle for TokenUniquenessOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let holders: Vec<usize> = (0..ctx.n_servers())
-            .filter(|&i| ctx.servers[i].has_token())
-            .collect();
-        let regenerated: u64 = ctx.servers.iter().map(|s| s.tokens_regenerated()).sum();
-        if holders.len() as u64 > 1 + regenerated {
+        let mut n_holders = 0u64;
+        let mut regenerated = 0u64;
+        for s in ctx.servers() {
+            n_holders += u64::from(s.has_token());
+            regenerated += s.tokens_regenerated();
+        }
+        if n_holders > 1 + regenerated {
+            // Only build the holder list on the (terminal) failure path.
+            let holders: Vec<usize> = (0..ctx.n_servers())
+                .filter(|&i| ctx.server(i).has_token())
+                .collect();
             return Err(format!(
-                "{} servers hold a token simultaneously ({holders:?}) with only \
-                 {regenerated} regenerations",
-                holders.len()
+                "{n_holders} servers hold a token simultaneously ({holders:?}) with only \
+                 {regenerated} regenerations"
             ));
         }
         Ok(())
@@ -231,17 +269,20 @@ impl Oracle for BidMonotonicityOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let now: Vec<u64> = ctx.servers.iter().map(|s| s.highest_bid_seen()).collect();
-        if let Some(prev) = &self.last {
-            for (i, (p, n)) in prev.iter().zip(&now).enumerate() {
-                if n < p {
-                    return Err(format!(
-                        "server {i}'s highest_bid_seen decreased: {p} -> {n}"
-                    ));
+        match &mut self.last {
+            Some(prev) if prev.len() == ctx.n_servers() => {
+                for (i, p) in prev.iter_mut().enumerate() {
+                    let n = ctx.server(i).highest_bid_seen();
+                    if n < *p {
+                        return Err(format!(
+                            "server {i}'s highest_bid_seen decreased: {p} -> {n}"
+                        ));
+                    }
+                    *p = n;
                 }
             }
+            _ => self.last = Some(ctx.servers().map(|s| s.highest_bid_seen()).collect()),
         }
-        self.last = Some(now);
         Ok(())
     }
 }
@@ -255,7 +296,9 @@ impl Oracle for BidMonotonicityOracle {
 /// only binds within one stable incarnation (detected as an unchanged
 /// slot between snapshots).
 struct AgeMonotonicityOracle {
-    /// Per server: `(slot, ages)` at the last check.
+    /// Per server: `(slot, ages)` at the last check. The inner `Vec`s are
+    /// reused across events (`clear` + `extend_from_slice`), so the
+    /// steady-state check allocates nothing.
     last: Option<Vec<(usize, Vec<f64>)>>,
 }
 
@@ -265,25 +308,31 @@ impl Oracle for AgeMonotonicityOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let now: Vec<(usize, Vec<f64>)> = ctx
-            .servers
-            .iter()
-            .map(|s| (s.server_idx(), s.known_ages().to_vec()))
-            .collect();
-        for (i, (_, ages)) in now.iter().enumerate() {
+        let prev = match &mut self.last {
+            Some(prev) if prev.len() == ctx.n_servers() => prev,
+            _ => {
+                self.last = Some(
+                    ctx.servers()
+                        .map(|s| (s.server_idx(), s.known_ages().to_vec()))
+                        .collect(),
+                );
+                self.last.as_mut().expect("just set")
+            }
+        };
+        for (i, (pslot, pages)) in prev.iter_mut().enumerate() {
+            let s = ctx.server(i);
+            let slot = s.server_idx();
+            let ages = s.known_ages();
             for (j, &a) in ages.iter().enumerate() {
                 if !a.is_finite() || a < 0.0 {
                     return Err(format!("server {i}'s age entry for {j} is {a}"));
                 }
             }
-        }
-        if let Some(prev) = &self.last {
-            for (i, ((pslot, p), (slot, n))) in prev.iter().zip(&now).enumerate() {
-                if pslot != slot {
-                    continue; // new incarnation: fresh baseline
-                }
-                for (j, (pa, na)) in p.iter().zip(n).enumerate() {
-                    if j != *slot && na < pa {
+            // Same incarnation (unchanged slot): peer entries are
+            // max-merged only, so they must not have decreased.
+            if *pslot == slot {
+                for (j, (pa, na)) in pages.iter().zip(ages).enumerate() {
+                    if j != slot && na < pa {
                         return Err(format!(
                             "server {i}'s knowledge of slot {j}'s age decreased: \
                              {pa} -> {na}"
@@ -291,8 +340,10 @@ impl Oracle for AgeMonotonicityOracle {
                     }
                 }
             }
+            *pslot = slot;
+            pages.clear();
+            pages.extend_from_slice(ages);
         }
-        self.last = Some(now);
         Ok(())
     }
 }
@@ -309,7 +360,7 @@ impl Oracle for AgeConservationOracle {
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
         let bound = ctx.metrics.counter("updates.processed") as f64 + AGE_EPS;
-        for (i, s) in ctx.servers.iter().enumerate() {
+        for (i, s) in ctx.servers().enumerate() {
             if s.age() > bound {
                 return Err(format!(
                     "server {i}'s age {} exceeds the {} updates processed globally",
@@ -354,7 +405,7 @@ impl Oracle for CounterConsistencyOracle {
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
         let m = ctx.metrics;
-        let sum = |f: fn(&SpykerServer) -> u64| ctx.servers.iter().map(|s| f(s)).sum::<u64>();
+        let sum = |f: fn(&SpykerServer) -> u64| ctx.servers().map(f).sum::<u64>();
         Self::check_eq(
             "updates.processed",
             m.counter("updates.processed"),
@@ -485,7 +536,7 @@ impl Oracle for ExchangeLedgerOracle {
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
         let n = ctx.n_servers();
-        for (i, s) in ctx.servers.iter().enumerate() {
+        for (i, s) in ctx.servers().enumerate() {
             if let Some(bid) = s.token_bid() {
                 if bid > s.highest_bid_seen() {
                     return Err(format!(
@@ -546,12 +597,7 @@ impl Oracle for MembershipOracle {
     }
 
     fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        let now: Vec<(u64, &'static str)> = ctx
-            .servers
-            .iter()
-            .map(|s| (s.ring_epoch(), s.membership_phase()))
-            .collect();
-        for (i, s) in ctx.servers.iter().enumerate() {
+        for (i, s) in ctx.servers().enumerate() {
             if s.membership_phase() != "live" && s.has_token() {
                 return Err(format!(
                     "server {i} holds the token while {}",
@@ -559,19 +605,31 @@ impl Oracle for MembershipOracle {
                 ));
             }
         }
-        if let Some(prev) = &self.last {
-            for (i, ((pe, pp), (ne, np))) in prev.iter().zip(&now).enumerate() {
-                if ne < pe {
-                    return Err(format!("server {i}'s ring epoch decreased: {pe} -> {ne}"));
-                }
-                if pp != np && !Self::legal(pp, np) {
-                    return Err(format!(
-                        "server {i} made an illegal phase transition: {pp} -> {np}"
-                    ));
+        match &mut self.last {
+            Some(prev) if prev.len() == ctx.n_servers() => {
+                for (i, slot) in prev.iter_mut().enumerate() {
+                    let s = ctx.server(i);
+                    let (pe, pp) = *slot;
+                    let (ne, np) = (s.ring_epoch(), s.membership_phase());
+                    if ne < pe {
+                        return Err(format!("server {i}'s ring epoch decreased: {pe} -> {ne}"));
+                    }
+                    if pp != np && !Self::legal(pp, np) {
+                        return Err(format!(
+                            "server {i} made an illegal phase transition: {pp} -> {np}"
+                        ));
+                    }
+                    *slot = (ne, np);
                 }
             }
+            _ => {
+                self.last = Some(
+                    ctx.servers()
+                        .map(|s| (s.ring_epoch(), s.membership_phase()))
+                        .collect(),
+                );
+            }
         }
-        self.last = Some(now);
         Ok(())
     }
 }
@@ -580,7 +638,12 @@ impl Oracle for MembershipOracle {
 /// client target, and every merge (robust or not) is a convex combination
 /// — so each model coordinate stays inside the hull spanned by the zero
 /// initialisation and the client targets.
-struct ModelHullOracle;
+struct ModelHullOracle {
+    /// Cached `(lo, hi)` hull bounds: the targets are fixed for the whole
+    /// run, so folding over all of them (`O(n_clients)`) on every event is
+    /// pure waste at 10⁵+ clients.
+    hull: Option<(f32, f32)>,
+}
 
 impl Oracle for ModelHullOracle {
     fn name(&self) -> &'static str {
@@ -591,9 +654,13 @@ impl Oracle for ModelHullOracle {
         if !ctx.byzantine_free || ctx.targets.is_empty() {
             return Ok(());
         }
-        let lo = ctx.targets.iter().copied().fold(0.0f32, f32::min) - HULL_EPS;
-        let hi = ctx.targets.iter().copied().fold(0.0f32, f32::max) + HULL_EPS;
-        for (i, s) in ctx.servers.iter().enumerate() {
+        let (lo, hi) = *self.hull.get_or_insert_with(|| {
+            (
+                ctx.targets.iter().copied().fold(0.0f32, f32::min) - HULL_EPS,
+                ctx.targets.iter().copied().fold(0.0f32, f32::max) + HULL_EPS,
+            )
+        });
+        for (i, s) in ctx.servers().enumerate() {
             for (c, &v) in s.params().as_slice().iter().enumerate() {
                 if !(lo..=hi).contains(&v) {
                     return Err(format!(
@@ -623,7 +690,7 @@ impl Oracle for LivenessOracle {
     }
 
     fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
-        for (i, s) in ctx.servers.iter().enumerate() {
+        for (i, s) in ctx.servers().enumerate() {
             if !s.params().is_finite() {
                 return Err(format!("server {i} ended with a non-finite model"));
             }
@@ -674,8 +741,8 @@ mod tests {
     fn ctx(metrics: &Metrics) -> OracleCtx<'_> {
         OracleCtx {
             time: SimTime::ZERO,
-            servers: Vec::new(),
-            server_nodes: Vec::new(),
+            nodes: &[],
+            server_nodes: &[],
             metrics,
             n_clients: 0,
             event: None,

@@ -24,6 +24,12 @@ cargo test -q --release --test golden_report --test metric_catalog
 cargo bench --workspace --offline --no-run
 cargo run -q --release -p spyker-bench --bin bench_smoke BENCH_tensor.json
 
+# Scheduler scalability gate (see DESIGN.md §15): paired heap-vs-wheel
+# timer-storm runs at 1k/10k/100k nodes with a 20×-ballast pending set.
+# The timer wheel must sustain ≥ 5× the heap's events/sec at 100k;
+# refreshes BENCH_simnet.json at the repo root.
+cargo run -q --release -p spyker-bench --bin bench_simnet BENCH_simnet.json
+
 # Deterministic simulation-test sweep (see DESIGN.md §11): 64 seeded
 # random scenarios under the protocol-invariant oracles. On a violation
 # the failing scenario is shrunk and written to target/simtest/ as a
@@ -39,6 +45,20 @@ cargo run -q --release -p spyker-simtest --bin simtest -- \
 # conservation and the exchange ledger must hold across ring epochs.
 cargo run -q --release -p spyker-simtest --bin simtest -- \
     --churn --seeds 32 --budget-events 200k --time-cap-secs 120
+
+# 100k-logical-client scale smoke (see DESIGN.md §15): one cohort-batched
+# scenario under the full per-event oracle suite — wheel scheduler,
+# flow-shared links, 782 cohort actors. Must finish oracle-green, process
+# updates, and clear a 20k events/sec floor (~10× headroom below the
+# measured rate, so only a real regression trips it). Skippable on
+# machines where a release-mode throughput floor is meaningless:
+# SPYKER_SKIP_SCALE=1.
+if [[ "${SPYKER_SKIP_SCALE:-0}" != "1" ]]; then
+    cargo run -q --release -p spyker-simtest --bin simtest -- \
+        --scale 100k --cohort 128 --budget-events 10m --min-events-per-sec 20k
+else
+    echo "SPYKER_SKIP_SCALE=1 — skipping the 100k-client scale smoke"
+fi
 
 # Multi-process TCP soak (see DESIGN.md §13): 2 servers + 6 clients + a
 # malformed-frame attacker on localhost, one server SIGKILLed and
