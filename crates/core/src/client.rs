@@ -6,6 +6,7 @@ use spyker_simnet::{Env, Node, NodeId, SimTime};
 
 use crate::msg::FlMsg;
 use crate::training::LocalTrainer;
+use crate::update_codec::{param_hash, CodecConfig, UpdateEncoder};
 
 /// Opt-in client-side failover (the elastic-membership extension's answer
 /// to a *crashed* server — a voluntary leaver re-homes its clients itself
@@ -49,6 +50,8 @@ pub struct FlClient {
     next_candidate: usize,
     /// Times this client re-homed itself (failovers + `Rehome` orders).
     rehomed: u64,
+    /// Update compression; `None` sends dense `ClientUpdate`s.
+    codec: Option<UpdateEncoder>,
 }
 
 impl FlClient {
@@ -78,7 +81,27 @@ impl FlClient {
             heard: false,
             next_candidate: 0,
             rehomed: 0,
+            codec: None,
         }
+    }
+
+    /// Enables update compression (builder style). See
+    /// [`crate::update_codec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codec` fails [`CodecConfig::validate`].
+    pub fn with_update_codec(mut self, codec: CodecConfig) -> Self {
+        self.codec = Some(UpdateEncoder::new(codec));
+        self
+    }
+
+    /// The client's cumulative `(raw, encoded)` byte ledger, when a codec
+    /// is active — what its dense uploads would have cost on the wire vs
+    /// what the encoded ones did (reconciled against the `net.bytes.*`
+    /// counters by the simtest byte-accounting oracle).
+    pub fn codec_ledger(&self) -> Option<(u64, u64)> {
+        self.codec.as_ref().map(UpdateEncoder::ledger)
     }
 
     /// Enables client-side failover (builder style). See [`FailoverConfig`].
@@ -172,18 +195,61 @@ impl Node<FlMsg> for FlClient {
         // Local training: real gradient computation plus the emulated
         // heterogeneous training delay in virtual time.
         env.span_enter("client.round");
+        // Delta encoding needs the exact model the server sent, so snapshot
+        // it before training mutates the parameters in place.
+        let reference = match &self.codec {
+            Some(enc) if enc.config().delta => Some(params.clone()),
+            _ => None,
+        };
         self.trainer.train(&mut params, lr, self.epochs);
         env.busy(self.train_delay);
         self.updates_sent += 1;
         env.add_counter("updates.sent", 1);
-        env.send(
-            self.server,
-            FlMsg::ClientUpdate {
-                params,
-                age,
-                num_samples: self.trainer.num_samples(),
-            },
-        );
+        let num_samples = self.trainer.num_samples();
+        match &mut self.codec {
+            Some(enc) => {
+                // What the dense upload would have cost on the wire.
+                let raw = (params.wire_size() + 16) as u64;
+                let (ref_slice, ref_hash) = match &reference {
+                    Some(r) => (r.as_slice(), param_hash(r.as_slice())),
+                    None => (&[][..], 0),
+                };
+                let mut payload = Vec::new();
+                enc.encode(
+                    env.me() as u64,
+                    params.as_slice(),
+                    ref_slice,
+                    ref_hash,
+                    &mut payload,
+                );
+                let encoded = (payload.len() + 20) as u64;
+                enc.note_sent(raw, encoded);
+                let (total_raw, total_encoded) = enc.ledger();
+                env.add_counter("net.bytes.raw", raw);
+                env.add_counter("net.bytes.encoded", encoded);
+                env.add_counter("net.bytes.saved", raw.saturating_sub(encoded));
+                env.gauge_set(
+                    "codec.compression_ratio",
+                    total_raw as f64 / total_encoded as f64,
+                );
+                env.send(
+                    self.server,
+                    FlMsg::EncodedUpdate {
+                        payload,
+                        age,
+                        num_samples,
+                    },
+                );
+            }
+            None => env.send(
+                self.server,
+                FlMsg::ClientUpdate {
+                    params,
+                    age,
+                    num_samples,
+                },
+            ),
+        }
         env.span_exit("client.round");
     }
 

@@ -61,6 +61,7 @@ const TAG_CLIENT_HELLO: u8 = 13;
 const TAG_REDIRECTED_UPDATE: u8 = 14;
 const TAG_SCALE_UP: u8 = 15;
 const TAG_SCALE_DOWN: u8 = 16;
+const TAG_ENCODED_UPDATE: u8 = 17;
 
 /// Hard upper bound on the length of a single frame (64 MiB).
 ///
@@ -271,6 +272,17 @@ fn encode_body<B: BufMut>(msg: &FlMsg, buf: &mut B) {
         FlMsg::ScaleDown => {
             buf.put_u8(TAG_SCALE_DOWN);
         }
+        FlMsg::EncodedUpdate {
+            payload,
+            age,
+            num_samples,
+        } => {
+            buf.put_u8(TAG_ENCODED_UPDATE);
+            buf.put_u32_le(payload.len() as u32);
+            buf.put_slice(payload);
+            buf.put_f64_le(*age);
+            buf.put_u64_le(*num_samples as u64);
+        }
     }
 }
 
@@ -436,6 +448,23 @@ pub fn decode(frame: &Bytes) -> Result<FlMsg, DecodeError> {
             FlMsg::ScaleUp { sponsor }
         }
         TAG_SCALE_DOWN => FlMsg::ScaleDown,
+        TAG_ENCODED_UPDATE => {
+            let n = get_u32(&mut buf)? as usize;
+            // The payload is opaque here; the length is still validated
+            // against the remaining bytes before any allocation (the
+            // update codec re-validates the contents when decoding).
+            if buf.remaining() < n {
+                return Err(DecodeError::Truncated);
+            }
+            let payload: Vec<u8> = (0..n).map(|_| buf.get_u8()).collect();
+            let age = get_f64(&mut buf)?;
+            let num_samples = get_u64(&mut buf)? as usize;
+            FlMsg::EncodedUpdate {
+                payload,
+                age,
+                num_samples,
+            }
+        }
         other => return Err(DecodeError::UnknownTag(other)),
     };
     if buf.remaining() > 0 {
@@ -687,6 +716,11 @@ mod tests {
             },
             FlMsg::ScaleUp { sponsor: 0 },
             FlMsg::ScaleDown,
+            FlMsg::EncodedUpdate {
+                payload: vec![0x07, 2, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8],
+                age: 4.0,
+                num_samples: 25,
+            },
         ]
     }
 

@@ -6,6 +6,7 @@ use crate::agg::{AggregationStrategy, ValidationConfig};
 use crate::decay::DecayConfig;
 use crate::membership::MembershipConfig;
 use crate::staleness::ClientStaleness;
+use crate::update_codec::CodecConfig;
 
 /// Fault-recovery tunables for the self-healing token protocol.
 ///
@@ -123,6 +124,12 @@ pub struct SpykerConfig {
     /// startup shape and keeps runs byte-identical to the fixed-ring
     /// implementation. See [`crate::membership`] and DESIGN.md §14.
     pub membership: Option<MembershipConfig>,
+    /// Update compression between client and server (delta encoding,
+    /// top-k sparsification, int8/int4 quantization). `None` — the
+    /// default — sends dense [`crate::msg::FlMsg::ClientUpdate`]s and
+    /// keeps runs byte-identical to the pre-codec implementation. See
+    /// [`crate::update_codec`] and DESIGN.md §16.
+    pub codec: Option<CodecConfig>,
 }
 
 impl SpykerConfig {
@@ -151,6 +158,7 @@ impl SpykerConfig {
             aggregation: AggregationStrategy::Mean,
             validation: ValidationConfig::default(),
             membership: None,
+            codec: None,
         }
     }
 
@@ -221,6 +229,13 @@ impl SpykerConfig {
     /// [`crate::membership`].
     pub fn with_membership(mut self, membership: MembershipConfig) -> Self {
         self.membership = Some(membership);
+        self
+    }
+
+    /// Enables client-update compression (builder style). See
+    /// [`crate::update_codec`].
+    pub fn with_codec(mut self, codec: CodecConfig) -> Self {
+        self.codec = Some(codec);
         self
     }
 }

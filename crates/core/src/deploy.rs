@@ -15,6 +15,7 @@ use crate::params::ParamVec;
 use crate::server::SpykerServer;
 use crate::sync_spyker::SyncSpykerServer;
 use crate::training::LocalTrainer;
+use crate::update_codec::CodecConfig;
 
 /// Specification of a Spyker deployment.
 pub struct SpykerDeploymentSpec {
@@ -125,6 +126,7 @@ pub fn spyker_deployment_assigned(
         spec.trainers,
         &spec.train_delay,
         spec.config.client_epochs,
+        spec.config.codec,
     );
     sim
 }
@@ -166,6 +168,7 @@ pub fn sync_spyker_deployment(
         spec.trainers,
         &spec.train_delay,
         spec.config.client_epochs,
+        spec.config.codec,
     );
     sim
 }
@@ -256,7 +259,7 @@ pub fn elastic_spyker_deployment(
     candidates.extend(&standby_ids);
     for (i, trainer) in spec.trainers.into_iter().enumerate() {
         let home = assignment[i];
-        let client = FlClient::new(
+        let mut client = FlClient::new(
             home,
             trainer,
             spec.config.client_epochs,
@@ -266,6 +269,9 @@ pub fn elastic_spyker_deployment(
             candidates: candidates.clone(),
             timeout: elastic.failover_timeout,
         });
+        if let Some(codec) = spec.config.codec {
+            client = client.with_update_codec(codec);
+        }
         sim.add_node(Box::new(client), server_region(home));
     }
     for (k, &region) in elastic.standby_regions.iter().enumerate() {
@@ -305,6 +311,7 @@ pub fn add_clients(
     trainers: Vec<Box<dyn LocalTrainer>>,
     train_delay: &[SimTime],
     epochs: usize,
+    codec: Option<CodecConfig>,
 ) {
     assert_eq!(
         trainers.len(),
@@ -314,10 +321,11 @@ pub fn add_clients(
     assert_eq!(trainers.len(), train_delay.len(), "one delay per trainer");
     for (i, trainer) in trainers.into_iter().enumerate() {
         let server = assignment[i];
-        sim.add_node(
-            Box::new(FlClient::new(server, trainer, epochs, train_delay[i])),
-            server_region(server),
-        );
+        let mut client = FlClient::new(server, trainer, epochs, train_delay[i]);
+        if let Some(codec) = codec {
+            client = client.with_update_codec(codec);
+        }
+        sim.add_node(Box::new(client), server_region(server));
     }
 }
 

@@ -71,6 +71,7 @@ pub mod staleness;
 pub mod sync_spyker;
 pub mod token;
 pub mod training;
+pub mod update_codec;
 
 pub use agg::{AggregationStrategy, RejectReason, RobustAggregator, ValidationConfig};
 pub use autoscale::{Autoscaler, AutoscalerConfig};
@@ -84,3 +85,6 @@ pub use params::ParamVec;
 pub use server::SpykerServer;
 pub use sync_spyker::SyncSpykerServer;
 pub use training::{EvalReport, Evaluator, LocalTrainer, MetricKind};
+pub use update_codec::{
+    param_hash, CodecConfig, CodecError, QuantBits, Rounding, UpdateDecoder, UpdateEncoder,
+};

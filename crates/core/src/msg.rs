@@ -32,6 +32,19 @@ pub enum FlMsg {
         /// Number of local data points `d_k`.
         num_samples: usize,
     },
+    /// Client → server: a locally trained model compressed by the update
+    /// codec (`crate::update_codec`). Carries the same metadata as
+    /// [`FlMsg::ClientUpdate`]; the parameters travel as an opaque encoded
+    /// payload whose length *is* the message's wire size, so `net.bytes`
+    /// reflects the compression directly.
+    EncodedUpdate {
+        /// The codec-encoded parameter payload.
+        payload: Vec<u8>,
+        /// Age of the model this update was computed from.
+        age: f64,
+        /// Number of local data points `d_k`.
+        num_samples: usize,
+    },
     /// Server → server: a model broadcast during a synchronisation
     /// (Alg. 2 l. 25/35), tagged with the synchronisation id.
     ServerModel {
@@ -165,6 +178,7 @@ impl FlMsg {
             self,
             FlMsg::ModelToClient { .. }
                 | FlMsg::ClientUpdate { .. }
+                | FlMsg::EncodedUpdate { .. }
                 | FlMsg::CentersToClient { .. }
                 | FlMsg::ClusterUpdate { .. }
                 | FlMsg::Rehome { .. }
@@ -202,6 +216,7 @@ impl WireSize for FlMsg {
         match self {
             FlMsg::ModelToClient { params, .. } => params.wire_size() + 12,
             FlMsg::ClientUpdate { params, .. } => params.wire_size() + 16,
+            FlMsg::EncodedUpdate { payload, .. } => payload.len() + 20,
             FlMsg::ServerModel { params, .. } => params.wire_size() + 24,
             FlMsg::ClusterModel { params, .. } => params.wire_size() + 24,
             FlMsg::CentersToClient { centers, .. } => {
@@ -228,6 +243,7 @@ impl WireSize for FlMsg {
         match self {
             FlMsg::ModelToClient { .. }
             | FlMsg::ClientUpdate { .. }
+            | FlMsg::EncodedUpdate { .. }
             | FlMsg::CentersToClient { .. }
             | FlMsg::ClusterUpdate { .. }
             | FlMsg::Rehome { .. }
@@ -254,6 +270,11 @@ impl WireSize for FlMsg {
     fn corrupt(&mut self, attack: &ByzantineAttack, draw: &mut dyn FnMut() -> f64) -> bool {
         let params = match self {
             FlMsg::ClientUpdate { params, .. } | FlMsg::ClusterUpdate { params, .. } => params,
+            // Codec-compressed uploads are attacked through their encoded
+            // payload (the decoded values transform the same way).
+            FlMsg::EncodedUpdate { payload, .. } => {
+                return crate::update_codec::corrupt_payload(payload, attack, draw);
+            }
             _ => return false,
         };
         let data = params.as_mut_slice();
@@ -292,7 +313,9 @@ impl WireSize for FlMsg {
 }
 
 /// One standard-normal sample via Box–Muller from two uniform draws.
-fn standard_normal(draw: &mut dyn FnMut() -> f64) -> f32 {
+/// Shared with `crate::update_codec` so encoded-payload corruption draws
+/// from the same distribution as dense corruption.
+pub(crate) fn standard_normal(draw: &mut dyn FnMut() -> f64) -> f32 {
     let u1 = draw().max(1e-12);
     let u2 = draw();
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32

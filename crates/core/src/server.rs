@@ -1,7 +1,7 @@
 //! The Spyker server actor (Alg. 1 `Aggregation` + Alg. 2).
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use spyker_simnet::{Env, Node, NodeId, Region, SimTime};
 
@@ -13,6 +13,15 @@ use crate::msg::FlMsg;
 use crate::params::ParamVec;
 use crate::staleness::{blended_age, live_age_spread, server_agg_weight};
 use crate::token::Token;
+use crate::update_codec::{param_hash, UpdateDecoder};
+
+/// How many recently-sent models a server remembers per client for
+/// delta-reference resolution. Several models can be legitimately in
+/// flight toward one client (the round reply plus watchdog re-pokes), so
+/// one slot is not enough; beyond a few, an update referencing an older
+/// model is stale enough that re-sending the current model is the better
+/// recovery anyway (`codec.ref_miss`).
+pub(crate) const REF_HISTORY_DEPTH: usize = 4;
 
 /// Timer tags encode their kind in the top 8 bits so one `on_timer`
 /// dispatch can serve several watchdogs; the low 56 bits carry a
@@ -137,6 +146,14 @@ pub struct SpykerServer {
     /// Whether the client watchdog timer chain is running (it must be
     /// started at most once; client adoption may start it late).
     client_watch_armed: bool,
+
+    // --- Update-codec state (inert without `cfg.codec`) ---
+    /// Decoder work buffers for [`FlMsg::EncodedUpdate`] payloads.
+    decoder: UpdateDecoder,
+    /// Per-client history of recently-sent models, keyed by content hash,
+    /// for resolving delta references. Only populated when the configured
+    /// codec uses delta encoding.
+    sent_models: HashMap<NodeId, VecDeque<(u64, ParamVec)>>,
 }
 
 impl SpykerServer {
@@ -207,6 +224,8 @@ impl SpykerServer {
             peer_misses: HashMap::new(),
             drain_target: None,
             client_watch_armed: false,
+            decoder: UpdateDecoder::new(),
+            sent_models: HashMap::new(),
         }
     }
 
@@ -273,6 +292,8 @@ impl SpykerServer {
             peer_misses: HashMap::new(),
             drain_target: None,
             client_watch_armed: false,
+            decoder: UpdateDecoder::new(),
+            sent_models: HashMap::new(),
         }
     }
 
@@ -460,6 +481,120 @@ impl SpykerServer {
             .unwrap_or(self.server_idx)
     }
 
+    /// Records the model just sent to `to` in the delta-reference history
+    /// (no-op unless the configured codec uses delta encoding). Call
+    /// immediately before every `ModelToClient` send — a reference the
+    /// server forgot to record can never be resolved.
+    fn note_model_sent(&mut self, to: NodeId) {
+        if !self.cfg.codec.is_some_and(|c| c.delta) {
+            return;
+        }
+        let h = param_hash(self.params.as_slice());
+        let hist = self.sent_models.entry(to).or_default();
+        if let Some(pos) = hist.iter().position(|(hh, _)| *hh == h) {
+            // Same model re-sent (e.g. a watchdog re-poke of an unchanged
+            // model): refresh its recency instead of duplicating it.
+            let entry = hist.remove(pos).expect("position came from iter");
+            hist.push_back(entry);
+        } else {
+            hist.push_back((h, self.params.clone()));
+            if hist.len() > REF_HISTORY_DEPTH {
+                hist.pop_front();
+            }
+        }
+    }
+
+    /// Decodes an encoded client payload against the per-client reference
+    /// history. Counts the outcome; `None` means the update must be
+    /// dropped (reference miss or malformed payload).
+    fn decode_encoded(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        payload: &[u8],
+    ) -> Option<ParamVec> {
+        let mut dense = Vec::new();
+        let result = match UpdateDecoder::ref_hash(payload) {
+            Ok(maybe_hash) => {
+                let reference = match maybe_hash {
+                    None => None,
+                    Some(h) => {
+                        match self
+                            .sent_models
+                            .get(&from)
+                            .and_then(|hist| hist.iter().rev().find(|(hh, _)| *hh == h))
+                        {
+                            Some((_, p)) => Some(p),
+                            None => {
+                                // The referenced model fell out of the
+                                // history (client re-homed, or badly
+                                // stale): drop; the caller re-sends the
+                                // current model so the round loop turns.
+                                env.add_counter("codec.ref_miss", 1);
+                                return None;
+                            }
+                        }
+                    }
+                };
+                self.decoder
+                    .decode(payload, reference.map(ParamVec::as_slice), &mut dense)
+            }
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(()) => {
+                env.add_counter("codec.decoded", 1);
+                Some(ParamVec::from_vec(dense))
+            }
+            Err(_) => {
+                env.add_counter("codec.decode_error", 1);
+                None
+            }
+        }
+    }
+
+    /// Re-sends the current model to `to` (reference-miss recovery: the
+    /// protocol is purely reactive, so dropping an update without a reply
+    /// would starve the client forever).
+    fn resend_model_to(&mut self, env: &mut dyn Env<FlMsg>, to: NodeId) {
+        let lr = self
+            .client_local_idx
+            .get(&to)
+            .map(|&k| self.client_lr[k])
+            .unwrap_or(self.cfg.decay.eta_init);
+        self.note_model_sent(to);
+        env.send(
+            to,
+            FlMsg::ModelToClient {
+                params: self.params.clone(),
+                age: self.age,
+                lr,
+            },
+        );
+    }
+
+    /// One encoded client update: decode **before** the validation gate
+    /// and robust aggregation (DESIGN.md §16), then hand the dense result
+    /// to the ordinary Alg. 1 path.
+    fn on_encoded_update(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        payload: &[u8],
+        age: f64,
+    ) {
+        if self.cfg.codec.is_none() {
+            // Encoded traffic at a server without a codec is hostile or
+            // misconfigured: count and drop (DESIGN.md §13).
+            env.add_counter("net.unexpected", 1);
+            return;
+        }
+        match self.decode_encoded(env, from, payload) {
+            Some(update) => self.on_client_update(env, from, update, age, true),
+            None => self.resend_model_to(env, from),
+        }
+    }
+
     /// Alg. 1 `Aggregation`: integrate one client update.
     ///
     /// `reply` controls whether the fresh model is sent back to the
@@ -509,6 +644,7 @@ impl SpykerServer {
             env.add_counter("agg.rejected", 1);
             env.add_counter(reason.counter(), 1);
             if reply {
+                self.note_model_sent(from);
                 env.send(
                     from,
                     FlMsg::ModelToClient {
@@ -570,6 +706,7 @@ impl SpykerServer {
         // l. 19: return the fresh model immediately (the client never
         // waits on server-server synchronisation).
         if reply {
+            self.note_model_sent(from);
             env.send(
                 from,
                 FlMsg::ModelToClient {
@@ -1126,6 +1263,7 @@ impl SpykerServer {
         self.client_local_idx.clear();
         self.client_lr.clear();
         self.client_watch.clear();
+        self.sent_models.clear();
         self.counts = UpdateCounts::new(0);
         self.phase = Phase::Standby;
         self.sponsor = ring.members.first().map(|m| m.node);
@@ -1226,6 +1364,7 @@ impl SpykerServer {
     /// A re-homed client's first contact: adopt it and hand it the model.
     fn on_client_hello(&mut self, env: &mut dyn Env<FlMsg>, from: NodeId) {
         let k = self.adopt_client(env, from);
+        self.note_model_sent(from);
         env.send(
             from,
             FlMsg::ModelToClient {
@@ -1285,6 +1424,7 @@ impl SpykerServer {
             let processed = self.counts.counts()[k];
             if processed == self.client_watch[k] {
                 env.add_counter("client.repoked", 1);
+                self.note_model_sent(self.clients[k]);
                 env.send(
                     self.clients[k],
                     FlMsg::ModelToClient {
@@ -1311,6 +1451,7 @@ impl Node<FlMsg> for SpykerServer {
         // Kick every client off with the initial model.
         let lr = self.cfg.decay.eta_init;
         for k in 0..self.clients.len() {
+            self.note_model_sent(self.clients[k]);
             env.send(
                 self.clients[k],
                 FlMsg::ModelToClient {
@@ -1383,6 +1524,30 @@ impl Node<FlMsg> for SpykerServer {
                             );
                         }
                     }
+                    FlMsg::EncodedUpdate {
+                        payload,
+                        age,
+                        num_samples,
+                    } => {
+                        // Encoded in-flight update racing our leave: we
+                        // are the only server holding this client's
+                        // reference history, so decode *here* and
+                        // redirect the dense result.
+                        if let Some(target) = self.drain_target {
+                            if let Some(params) = self.decode_encoded(env, from, &payload) {
+                                env.add_counter("membership.redirected", 1);
+                                env.send(
+                                    target,
+                                    FlMsg::RedirectedUpdate {
+                                        client: from,
+                                        params,
+                                        age,
+                                        num_samples,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     FlMsg::TokenPass(mut token) => {
                         // A pass that raced our leave: relay it onto the
                         // ring, lifted over the floor like any member
@@ -1426,6 +1591,9 @@ impl Node<FlMsg> for SpykerServer {
         match msg {
             FlMsg::ClientUpdate { params, age, .. } => {
                 self.on_client_update(env, from, params, age, true);
+            }
+            FlMsg::EncodedUpdate { payload, age, .. } => {
+                self.on_encoded_update(env, from, &payload, age);
             }
             FlMsg::AgeGossip { age, server_idx } => {
                 self.on_age_gossip(env, server_idx, age);
@@ -1476,6 +1644,9 @@ impl Node<FlMsg> for SpykerServer {
             KIND_DRAIN => {
                 if self.phase == Phase::Draining {
                     self.phase = Phase::Departed;
+                    // The drain window is over: no more in-flight encoded
+                    // updates to resolve.
+                    self.sent_models.clear();
                 }
             }
             _ => debug_assert!(false, "unexpected timer tag {tag:#x}"),
@@ -1521,6 +1692,7 @@ impl Node<FlMsg> for SpykerServer {
         }
         env.add_counter("server.restarts", 1);
         for k in 0..self.clients.len() {
+            self.note_model_sent(self.clients[k]);
             env.send(
                 self.clients[k],
                 FlMsg::ModelToClient {

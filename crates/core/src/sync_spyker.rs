@@ -10,7 +10,7 @@
 //! and the reason Sync-Spyker trails Spyker in wall-clock convergence.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use spyker_simnet::{Env, Node, NodeId, SimTime};
 
@@ -19,6 +19,8 @@ use crate::decay::UpdateCounts;
 use crate::membership::RingView;
 use crate::msg::FlMsg;
 use crate::params::ParamVec;
+use crate::server::REF_HISTORY_DEPTH;
+use crate::update_codec::{param_hash, UpdateDecoder};
 
 const ROUND_TIMER: u64 = 1;
 
@@ -50,6 +52,14 @@ pub struct SyncSpykerServer {
     client_lr: Vec<f32>,
     processed_updates: u64,
     rounds_completed: u64,
+
+    /// Decoder scratch for [`FlMsg::EncodedUpdate`] payloads.
+    decoder: UpdateDecoder,
+    /// Per-client history of recently sent models, keyed by parameter
+    /// hash, for resolving delta references (mirrors
+    /// [`crate::server::SpykerServer`]; only populated when
+    /// `cfg.codec` enables delta encoding).
+    sent_models: HashMap<NodeId, VecDeque<(u64, ParamVec)>>,
 }
 
 impl SyncSpykerServer {
@@ -91,6 +101,8 @@ impl SyncSpykerServer {
             clients,
             processed_updates: 0,
             rounds_completed: 0,
+            decoder: UpdateDecoder::new(),
+            sent_models: HashMap::new(),
         }
     }
 
@@ -123,6 +135,117 @@ impl SyncSpykerServer {
             .map(|m| m.node)
     }
 
+    /// Records the model just sent to `to` in the delta-reference history
+    /// (no-op unless the configured codec uses delta encoding). Mirrors
+    /// [`crate::server::SpykerServer`]: call immediately before every
+    /// `ModelToClient` send.
+    fn note_model_sent(&mut self, to: NodeId) {
+        if !self.cfg.codec.is_some_and(|c| c.delta) {
+            return;
+        }
+        let h = param_hash(self.params.as_slice());
+        let hist = self.sent_models.entry(to).or_default();
+        if let Some(pos) = hist.iter().position(|(hh, _)| *hh == h) {
+            let entry = hist.remove(pos).expect("position came from iter");
+            hist.push_back(entry);
+        } else {
+            hist.push_back((h, self.params.clone()));
+            if hist.len() > REF_HISTORY_DEPTH {
+                hist.pop_front();
+            }
+        }
+    }
+
+    /// Decodes an encoded client payload against the per-client reference
+    /// history; `None` means the update must be dropped (reference miss or
+    /// malformed payload) and the current model re-sent.
+    fn decode_encoded(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        payload: &[u8],
+    ) -> Option<ParamVec> {
+        let mut dense = Vec::new();
+        let result = match UpdateDecoder::ref_hash(payload) {
+            Ok(maybe_hash) => {
+                let reference = match maybe_hash {
+                    None => None,
+                    Some(h) => {
+                        match self
+                            .sent_models
+                            .get(&from)
+                            .and_then(|hist| hist.iter().rev().find(|(hh, _)| *hh == h))
+                        {
+                            Some((_, p)) => Some(p),
+                            None => {
+                                env.add_counter("codec.ref_miss", 1);
+                                return None;
+                            }
+                        }
+                    }
+                };
+                self.decoder
+                    .decode(payload, reference.map(ParamVec::as_slice), &mut dense)
+            }
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(()) => {
+                env.add_counter("codec.decoded", 1);
+                Some(ParamVec::from_vec(dense))
+            }
+            Err(_) => {
+                env.add_counter("codec.decode_error", 1);
+                None
+            }
+        }
+    }
+
+    /// One encoded client update: decode at arrival (the reference history
+    /// rotates with every reply, so deferring past the exchange barrier
+    /// would race it), then buffer or process the dense result like any
+    /// [`FlMsg::ClientUpdate`].
+    fn on_encoded_update(
+        &mut self,
+        env: &mut dyn Env<FlMsg>,
+        from: NodeId,
+        payload: &[u8],
+        age: f64,
+    ) {
+        if self.cfg.codec.is_none() {
+            env.add_counter("net.unexpected", 1);
+            return;
+        }
+        match self.decode_encoded(env, from, payload) {
+            Some(update) => {
+                if self.collecting {
+                    self.buffered.push((from, update, age));
+                } else {
+                    self.process_client_update(env, from, update, age);
+                }
+            }
+            None => {
+                // Reference-miss recovery: the protocol is purely
+                // reactive, so reply with the current model to keep the
+                // client's round loop turning.
+                let lr = self
+                    .client_local_idx
+                    .get(&from)
+                    .map(|&k| self.client_lr[k])
+                    .unwrap_or(self.cfg.decay.eta_init);
+                self.note_model_sent(from);
+                env.send(
+                    from,
+                    FlMsg::ModelToClient {
+                        params: self.params.clone(),
+                        age: self.age,
+                        lr,
+                    },
+                );
+            }
+        }
+    }
+
     fn process_client_update(
         &mut self,
         env: &mut dyn Env<FlMsg>,
@@ -153,6 +276,7 @@ impl SyncSpykerServer {
         self.client_lr[k] = lr;
         self.processed_updates += 1;
         env.add_counter("updates.processed", 1);
+        self.note_model_sent(from);
         env.send(
             from,
             FlMsg::ModelToClient {
@@ -231,6 +355,7 @@ impl Node<FlMsg> for SyncSpykerServer {
         let age = self.age;
         let lr = self.cfg.decay.eta_init;
         for client in self.clients.clone() {
+            self.note_model_sent(client);
             env.send(
                 client,
                 FlMsg::ModelToClient {
@@ -253,6 +378,9 @@ impl Node<FlMsg> for SyncSpykerServer {
                 } else {
                     self.process_client_update(env, from, params, age);
                 }
+            }
+            FlMsg::EncodedUpdate { payload, age, .. } => {
+                self.on_encoded_update(env, from, &payload, age);
             }
             FlMsg::ServerModel {
                 params,

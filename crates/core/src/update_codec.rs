@@ -1,0 +1,1028 @@
+//! Pluggable lossy/lossless compression of client model updates.
+//!
+//! At 100 Mbps the dense `ClientUpdate` transfer dominates geo-distributed
+//! round time (paper Fig. 12). This module provides the communication-
+//! efficiency layer between client and server: a composable pipeline of
+//!
+//! 1. **delta encoding** — send the trained model as a difference against
+//!    the exact model the client received (identified by a 64-bit content
+//!    hash, so the server can resolve the reference even with several
+//!    models in flight);
+//! 2. **top-k sparsification** — keep only the `⌈ratio·dim⌉` largest-
+//!    magnitude coordinates, with per-client *error feedback*: the dropped
+//!    mass is carried in a residual and added to the next update, which is
+//!    what makes sparsified SGD converge;
+//! 3. **int8 / int4 quantization** — symmetric linear quantization with
+//!    nearest or stochastic rounding. Stochastic rounding draws from a
+//!    splitmix64 stream seeded by `(config seed, client node, update
+//!    index)`, so re-encoding the same update under the same run seed is
+//!    bit-identical.
+//!
+//! The encoded payload travels as [`crate::msg::FlMsg::EncodedUpdate`];
+//! its `WireSize` is the actual compressed byte count, so every existing
+//! `net.bytes` account reflects the compression with no extra plumbing.
+//! Decoding happens server-side **before** the validation gate and robust
+//! aggregation — Byzantine defenses always see dequantized values
+//! (DESIGN.md §16). Encoding stages go through a [`Scratch`] arena plus
+//! persistent index/code buffers, so the per-update hot path performs no
+//! heap allocation once the working set has converged.
+
+use spyker_simnet::ByzantineAttack;
+use spyker_tensor::{
+    dequantize_into, pack_nibbles, quantize_into, top_k_indices, unpack_nibbles, Scratch,
+};
+
+/// Hard cap on the model dimension a payload may declare — matches the
+/// wire codec's 64 MiB frame cap for dense f32 payloads, so a hostile
+/// length prefix cannot drive a huge allocation.
+pub const MAX_CODEC_DIM: usize = 16 << 20;
+
+const FLAG_DELTA: u8 = 1 << 0;
+const FLAG_TOPK: u8 = 1 << 1;
+const FLAG_QUANT: u8 = 1 << 2;
+const FLAG_Q4: u8 = 1 << 3;
+const FLAG_ALL: u8 = FLAG_DELTA | FLAG_TOPK | FLAG_QUANT | FLAG_Q4;
+
+/// Quantization width of the pipeline's final stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantBits {
+    /// 8-bit codes in `[-127, 127]`, one byte per kept coordinate.
+    Q8,
+    /// 4-bit codes in `[-7, 7]`, two coordinates per byte.
+    Q4,
+}
+
+impl QuantBits {
+    /// Largest code magnitude of this width.
+    pub fn qmax(self) -> i8 {
+        match self {
+            QuantBits::Q8 => 127,
+            QuantBits::Q4 => 7,
+        }
+    }
+}
+
+/// Rounding mode of the quantization stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounding {
+    /// Round to nearest: worst-case error `step / 2`, biased toward zero
+    /// error but not unbiased per coordinate.
+    Nearest,
+    /// Stochastic rounding: round up with probability equal to the
+    /// fractional part. Unbiased (`E[decode] = value`), worst-case error
+    /// `< step`; draws are seeded so runs stay bit-reproducible.
+    Stochastic,
+}
+
+/// Configuration of the update-compression pipeline, selected via
+/// [`crate::config::SpykerConfig::codec`]. `None` there keeps every run
+/// byte-identical to the pre-codec protocol; each stage here is also
+/// individually optional, composing as `delta → topk → quant`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecConfig {
+    /// Encode the update as a difference against the model the client
+    /// received (lossless by itself; makes top-k meaningful).
+    pub delta: bool,
+    /// Keep only the `⌈ratio·dim⌉` largest-magnitude coordinates
+    /// (`Some(ratio)` with `0 < ratio ≤ 1`).
+    pub topk: Option<f32>,
+    /// Carry the mass dropped by lossy stages in a per-client residual
+    /// added to the next update (error-feedback compression).
+    pub error_feedback: bool,
+    /// Quantize the surviving values to int8 or int4.
+    pub quant: Option<QuantBits>,
+    /// Rounding mode of the quantization stage.
+    pub rounding: Rounding,
+    /// Seed of the stochastic-rounding stream (mixed with the client node
+    /// id and a per-client update counter).
+    pub seed: u64,
+}
+
+impl CodecConfig {
+    /// The identity pipeline: nothing enabled. Useful as a parse/builder
+    /// starting point; selecting it behaves like dense updates with a
+    /// small framing overhead.
+    pub fn identity() -> Self {
+        Self {
+            delta: false,
+            topk: None,
+            error_feedback: true,
+            quant: None,
+            rounding: Rounding::Stochastic,
+            seed: 0xC0DEC,
+        }
+    }
+
+    /// The headline pipeline from the issue: `delta → topk(1%) → q8`,
+    /// stochastic rounding, error feedback on.
+    pub fn paper_pipeline() -> Self {
+        Self {
+            delta: true,
+            topk: Some(0.01),
+            ..Self::identity()
+        }
+        .with_quant(QuantBits::Q8)
+    }
+
+    /// Sets the quantization stage (builder style).
+    pub fn with_quant(mut self, bits: QuantBits) -> Self {
+        self.quant = Some(bits);
+        self
+    }
+
+    /// Sets the stochastic-rounding seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the quantizer rounding mode (builder style).
+    pub fn with_rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// `true` when some stage discards information (top-k or
+    /// quantization); delta alone is exactly invertible.
+    pub fn is_lossy(&self) -> bool {
+        self.topk.is_some() || self.quant.is_some()
+    }
+
+    /// Checks the invariants a config must satisfy.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(r) = self.topk {
+            if !(r > 0.0 && r <= 1.0) {
+                return Err(format!("topk ratio must be in (0, 1], got {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable pipeline description, e.g. `delta→topk(1%)→q8`.
+    pub fn describe(&self) -> String {
+        let mut stages = Vec::new();
+        if self.delta {
+            stages.push("delta".to_string());
+        }
+        if let Some(r) = self.topk {
+            stages.push(format!("topk({}%)", r * 100.0));
+        }
+        match self.quant {
+            Some(QuantBits::Q8) => stages.push("q8".to_string()),
+            Some(QuantBits::Q4) => stages.push("q4".to_string()),
+            None => {}
+        }
+        if stages.is_empty() {
+            return "identity".to_string();
+        }
+        stages.join("→")
+    }
+
+    /// Parses a comma-separated pipeline spec, e.g.
+    /// `delta,topk=0.01,q8,stochastic` or the shorthand `paper`.
+    /// Recognized tokens: `paper`, `delta`, `topk=<ratio>`, `q8`, `q4`,
+    /// `nearest`, `stochastic`, `ef`, `noef`, `seed=<n>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self::identity();
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok {
+                "paper" => cfg = Self::paper_pipeline(),
+                "delta" => cfg.delta = true,
+                "q8" => cfg.quant = Some(QuantBits::Q8),
+                "q4" => cfg.quant = Some(QuantBits::Q4),
+                "nearest" => cfg.rounding = Rounding::Nearest,
+                "stochastic" => cfg.rounding = Rounding::Stochastic,
+                "ef" => cfg.error_feedback = true,
+                "noef" => cfg.error_feedback = false,
+                _ => {
+                    if let Some(r) = tok.strip_prefix("topk=") {
+                        cfg.topk =
+                            Some(r.parse::<f32>().map_err(|e| format!("topk=<ratio>: {e}"))?);
+                    } else if let Some(s) = tok.strip_prefix("seed=") {
+                        cfg.seed = s.parse::<u64>().map_err(|e| format!("seed=<n>: {e}"))?;
+                    } else {
+                        return Err(format!("unknown codec token '{tok}'"));
+                    }
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// FNV-1a content hash of a parameter vector's bit pattern — how an
+/// encoded delta names its reference model on the wire.
+pub fn param_hash(params: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in params {
+        for b in p.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Why an encoded payload could not be decoded. Hostile or corrupted
+/// payloads surface here instead of panicking the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ends before its header says it should.
+    Truncated,
+    /// Unknown flag bits, an oversized declaration or trailing bytes.
+    BadHeader,
+    /// A sparse index points outside the declared dimension.
+    IndexOutOfRange,
+    /// A delta payload arrived but the reference model is unknown.
+    RefMissing,
+    /// The resolved reference has a different dimension than declared.
+    RefMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CodecError::Truncated => "payload truncated",
+            CodecError::BadHeader => "malformed codec header",
+            CodecError::IndexOutOfRange => "sparse index out of range",
+            CodecError::RefMissing => "delta reference model unknown",
+            CodecError::RefMismatch => "delta reference dimension mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parsed offsets of one encoded payload (header validated, values not
+/// yet read). Shared by [`UpdateDecoder::decode`] and
+/// [`corrupt_payload`] so the two can never disagree about the layout.
+struct Layout {
+    dim: usize,
+    delta: bool,
+    ref_hash: u64,
+    /// Offset of the `k` sparse indices; `None` for dense payloads.
+    idx: Option<(usize, usize)>,
+    /// Offset of the quantization scale.
+    scale_off: Option<usize>,
+    quant: Option<QuantBits>,
+    /// Offset of the value block (codes or f32s).
+    vals_off: usize,
+    /// Number of encoded values.
+    n: usize,
+}
+
+impl Layout {
+    fn parse(payload: &[u8]) -> Result<Self, CodecError> {
+        let get_u32 = |off: usize| -> Result<u32, CodecError> {
+            payload
+                .get(off..off + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                .ok_or(CodecError::Truncated)
+        };
+        let flags = *payload.first().ok_or(CodecError::Truncated)?;
+        if flags & !FLAG_ALL != 0 || (flags & FLAG_Q4 != 0 && flags & FLAG_QUANT == 0) {
+            return Err(CodecError::BadHeader);
+        }
+        let dim = get_u32(1)? as usize;
+        if dim > MAX_CODEC_DIM {
+            return Err(CodecError::BadHeader);
+        }
+        let mut off = 5;
+        let delta = flags & FLAG_DELTA != 0;
+        let mut ref_hash = 0;
+        if delta {
+            ref_hash = u64::from_le_bytes(
+                payload
+                    .get(off..off + 8)
+                    .ok_or(CodecError::Truncated)?
+                    .try_into()
+                    .expect("8 bytes"),
+            );
+            off += 8;
+        }
+        let (idx, n) = if flags & FLAG_TOPK != 0 {
+            let k = get_u32(off)? as usize;
+            if k > dim {
+                return Err(CodecError::BadHeader);
+            }
+            off += 4;
+            let idx = (off, k);
+            off = off.checked_add(4 * k).ok_or(CodecError::BadHeader)?;
+            (Some(idx), k)
+        } else {
+            (None, dim)
+        };
+        let quant = match (flags & FLAG_QUANT != 0, flags & FLAG_Q4 != 0) {
+            (false, _) => None,
+            (true, false) => Some(QuantBits::Q8),
+            (true, true) => Some(QuantBits::Q4),
+        };
+        let mut scale_off = None;
+        if quant.is_some() {
+            scale_off = Some(off);
+            off += 4;
+        }
+        let vals_off = off;
+        let vals_len = match quant {
+            Some(QuantBits::Q8) => n,
+            Some(QuantBits::Q4) => n.div_ceil(2),
+            None => 4 * n,
+        };
+        let total = vals_off
+            .checked_add(vals_len)
+            .ok_or(CodecError::BadHeader)?;
+        match payload.len().cmp(&total) {
+            std::cmp::Ordering::Less => return Err(CodecError::Truncated),
+            std::cmp::Ordering::Greater => return Err(CodecError::BadHeader),
+            std::cmp::Ordering::Equal => {}
+        }
+        Ok(Self {
+            dim,
+            delta,
+            ref_hash,
+            idx,
+            scale_off,
+            quant,
+            vals_off,
+            n,
+        })
+    }
+
+    fn index(&self, payload: &[u8], j: usize) -> usize {
+        let (off, _) = self.idx.expect("sparse payload");
+        let o = off + 4 * j;
+        u32::from_le_bytes(payload[o..o + 4].try_into().expect("4 bytes")) as usize
+    }
+
+    fn scale(&self, payload: &[u8]) -> f32 {
+        let o = self.scale_off.expect("quantized payload");
+        f32::from_le_bytes(payload[o..o + 4].try_into().expect("4 bytes"))
+    }
+}
+
+/// A tiny splitmix64 stream for stochastic rounding — dependency-free and
+/// bit-stable, seeded per `(config, client, update)` triple.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of resolution.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Per-client encoder state: the pipeline configuration, the
+/// error-feedback residual, and every work buffer the stages reuse.
+#[derive(Debug)]
+pub struct UpdateEncoder {
+    cfg: CodecConfig,
+    /// Error-feedback residual in the delta domain (zeros when feedback
+    /// is off or the pipeline is lossless).
+    residual: Vec<f32>,
+    scratch: Scratch,
+    idx: Vec<u32>,
+    codes: Vec<i8>,
+    packed: Vec<u8>,
+    updates: u64,
+    raw_bytes: u64,
+    encoded_bytes: u64,
+}
+
+impl UpdateEncoder {
+    /// Creates an encoder for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CodecConfig::validate`].
+    pub fn new(cfg: CodecConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid codec config: {e}");
+        }
+        Self {
+            cfg,
+            residual: Vec::new(),
+            scratch: Scratch::new(),
+            idx: Vec::new(),
+            codes: Vec::new(),
+            packed: Vec::new(),
+            updates: 0,
+            raw_bytes: 0,
+            encoded_bytes: 0,
+        }
+    }
+
+    /// The pipeline this encoder runs.
+    pub fn config(&self) -> &CodecConfig {
+        &self.cfg
+    }
+
+    /// Number of kept coordinates for a `dim`-sized model under this
+    /// pipeline (always at least 1).
+    pub fn kept(&self, dim: usize) -> usize {
+        match self.cfg.topk {
+            Some(r) => (((dim as f64) * f64::from(r)).ceil() as usize).clamp(1, dim.max(1)),
+            None => dim,
+        }
+    }
+
+    /// Encodes `update` (the trained model) against `reference` (the exact
+    /// model the client received, hashed as `ref_hash`) into `out`.
+    /// `stream` decorrelates the rounding RNG between clients — pass the
+    /// client's node id. Re-invoking with identical state and inputs
+    /// produces identical bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` has a different length than `update` while
+    /// delta encoding is on.
+    pub fn encode(
+        &mut self,
+        stream: u64,
+        update: &[f32],
+        reference: &[f32],
+        ref_hash: u64,
+        out: &mut Vec<u8>,
+    ) {
+        let cfg = self.cfg;
+        let dim = update.len();
+        if cfg.delta {
+            assert_eq!(reference.len(), dim, "delta reference dimension mismatch");
+        }
+        let feedback = cfg.error_feedback && cfg.is_lossy();
+        if feedback && self.residual.len() != dim {
+            self.residual.clear();
+            self.residual.resize(dim, 0.0);
+        }
+
+        // Stage 1: move to the delta domain and add the carried residual.
+        let mut x = self.scratch.take_vec(dim);
+        for i in 0..dim {
+            x[i] = if cfg.delta {
+                update[i] - reference[i]
+            } else {
+                update[i]
+            };
+            if feedback {
+                x[i] += self.residual[i];
+            }
+        }
+
+        // Stage 2: top-k gather.
+        let sparse = cfg.topk.is_some();
+        let n = self.kept(dim).min(dim);
+        let mut kept = self.scratch.take_vec(if sparse { n } else { 0 });
+        if sparse {
+            top_k_indices(&x, n, &mut self.idx);
+            for (slot, &i) in kept.iter_mut().zip(&self.idx) {
+                *slot = x[i as usize];
+            }
+        }
+        let values: &[f32] = if sparse { &kept } else { &x };
+
+        // Header.
+        let mut flags = 0u8;
+        if cfg.delta {
+            flags |= FLAG_DELTA;
+        }
+        if sparse {
+            flags |= FLAG_TOPK;
+        }
+        if cfg.quant.is_some() {
+            flags |= FLAG_QUANT;
+        }
+        if cfg.quant == Some(QuantBits::Q4) {
+            flags |= FLAG_Q4;
+        }
+        out.clear();
+        out.push(flags);
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+        if cfg.delta {
+            out.extend_from_slice(&ref_hash.to_le_bytes());
+        }
+        if sparse {
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+            for &i in &self.idx {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+
+        // Stage 3: quantize and emit the value block.
+        let mut deq = self.scratch.take_vec(if feedback && cfg.quant.is_some() {
+            values.len()
+        } else {
+            0
+        });
+        match cfg.quant {
+            Some(bits) => {
+                let mut rng = SplitMix::new(
+                    cfg.seed
+                        ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        ^ self.updates.wrapping_mul(0xc2b2_ae3d_27d4_eb4f),
+                );
+                let stochastic = cfg.rounding == Rounding::Stochastic;
+                let scale = quantize_into(
+                    values,
+                    bits.qmax(),
+                    stochastic,
+                    &mut || rng.next_f32(),
+                    &mut self.codes,
+                );
+                out.extend_from_slice(&scale.to_le_bytes());
+                match bits {
+                    QuantBits::Q8 => out.extend(self.codes.iter().map(|&c| c as u8)),
+                    QuantBits::Q4 => {
+                        pack_nibbles(&self.codes, &mut self.packed);
+                        out.extend_from_slice(&self.packed);
+                    }
+                }
+                if feedback {
+                    dequantize_into(&self.codes, scale, &mut deq);
+                }
+            }
+            None => {
+                for &v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+
+        // Error feedback: the residual becomes x minus what actually went
+        // on the wire (dropped coordinates keep their full value; kept
+        // coordinates keep only their quantization error).
+        if feedback {
+            let sent: &[f32] = if cfg.quant.is_some() { &deq } else { values };
+            self.residual.copy_from_slice(&x);
+            if sparse {
+                for (j, &i) in self.idx.iter().enumerate() {
+                    self.residual[i as usize] -= sent[j];
+                }
+            } else {
+                for (r, &s) in self.residual.iter_mut().zip(sent) {
+                    *r -= s;
+                }
+            }
+        }
+
+        self.updates += 1;
+        self.scratch.recycle_vec(deq);
+        self.scratch.recycle_vec(kept);
+        self.scratch.recycle_vec(x);
+    }
+
+    /// Records one sent update in the client's byte ledger: what the dense
+    /// message would have cost vs what the encoded one did.
+    pub fn note_sent(&mut self, raw: u64, encoded: u64) {
+        self.raw_bytes += raw;
+        self.encoded_bytes += encoded;
+    }
+
+    /// Cumulative `(raw, encoded)` byte totals recorded via
+    /// [`UpdateEncoder::note_sent`] — the per-client ledger the simtest
+    /// byte-accounting oracle reconciles against the global counters.
+    pub fn ledger(&self) -> (u64, u64) {
+        (self.raw_bytes, self.encoded_bytes)
+    }
+
+    /// Current error-feedback residual (test instrumentation).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+}
+
+/// Server-side decoder: stateless apart from reusable work buffers.
+#[derive(Debug, Default)]
+pub struct UpdateDecoder {
+    codes: Vec<i8>,
+    vals: Vec<f32>,
+}
+
+impl UpdateDecoder {
+    /// A decoder with empty work buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reference-model hash a payload names, `Some(hash)` for delta
+    /// payloads and `None` for self-contained ones. Validates the whole
+    /// header, so a hostile payload fails here before any allocation.
+    pub fn ref_hash(payload: &[u8]) -> Result<Option<u64>, CodecError> {
+        let lay = Layout::parse(payload)?;
+        Ok(lay.delta.then_some(lay.ref_hash))
+    }
+
+    /// Decodes `payload` into a dense parameter vector in `out`. Delta
+    /// payloads need `reference` (the model named by
+    /// [`UpdateDecoder::ref_hash`]); self-contained payloads ignore it.
+    pub fn decode(
+        &mut self,
+        payload: &[u8],
+        reference: Option<&[f32]>,
+        out: &mut Vec<f32>,
+    ) -> Result<(), CodecError> {
+        let lay = Layout::parse(payload)?;
+        out.clear();
+        if lay.delta {
+            let r = reference.ok_or(CodecError::RefMissing)?;
+            if r.len() != lay.dim {
+                return Err(CodecError::RefMismatch);
+            }
+            out.extend_from_slice(r);
+        } else {
+            out.resize(lay.dim, 0.0);
+        }
+
+        match lay.quant {
+            Some(bits) => {
+                let scale = lay.scale(payload);
+                match bits {
+                    QuantBits::Q8 => {
+                        self.codes.clear();
+                        self.codes
+                            .extend(payload[lay.vals_off..].iter().map(|&b| b as i8));
+                    }
+                    QuantBits::Q4 => {
+                        unpack_nibbles(&payload[lay.vals_off..], lay.n, &mut self.codes);
+                    }
+                }
+                dequantize_into(&self.codes, scale, &mut self.vals);
+            }
+            None => {
+                self.vals.clear();
+                self.vals.extend(
+                    payload[lay.vals_off..]
+                        .chunks_exact(4)
+                        .map(|b| f32::from_le_bytes(b.try_into().expect("4 bytes"))),
+                );
+            }
+        }
+
+        if lay.idx.is_some() {
+            for j in 0..lay.n {
+                let i = lay.index(payload, j);
+                if i >= lay.dim {
+                    return Err(CodecError::IndexOutOfRange);
+                }
+                out[i] += self.vals[j];
+            }
+        } else {
+            for (o, &v) in out.iter_mut().zip(&self.vals) {
+                *o += v;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies a Byzantine sender's attack to an encoded payload in flight,
+/// mutating it in place without changing its length (so byte accounting
+/// is unaffected). The corrupted payload stays structurally valid — the
+/// poison lives purely in the *values*, so it can only be caught after
+/// decoding (the decode-before-validate rule, DESIGN.md §16). A sign
+/// flip negates the quantized codes (decoding to an exactly negated
+/// delta); scale and noise attacks go through the scale factor; NaN
+/// injection poisons the scale since `i8` codes cannot carry a NaN.
+/// Unquantized payloads are attacked value by value like a dense update.
+/// Returns `true` if the payload was altered; unparseable payloads are
+/// left alone (they are already garbage).
+pub fn corrupt_payload(
+    payload: &mut [u8],
+    attack: &ByzantineAttack,
+    draw: &mut dyn FnMut() -> f64,
+) -> bool {
+    let Ok(lay) = Layout::parse(payload) else {
+        return false;
+    };
+    if lay.n == 0 {
+        return false;
+    }
+    if let Some(off) = lay.scale_off {
+        if let ByzantineAttack::SignFlip = attack {
+            // Negate every code: two's-complement per byte for q8, per
+            // nibble for q4. The result is a payload the encoder could
+            // have produced, decoding to the exact negation of the delta.
+            let q4 = lay.quant == Some(QuantBits::Q4);
+            for b in &mut payload[lay.vals_off..] {
+                if q4 {
+                    let lo = 16u8.wrapping_sub(*b & 0x0F) & 0x0F;
+                    let hi = 16u8.wrapping_sub(*b >> 4) & 0x0F;
+                    *b = (hi << 4) | lo;
+                } else {
+                    *b = b.wrapping_neg();
+                }
+            }
+            return true;
+        }
+        let scale = f32::from_le_bytes(payload[off..off + 4].try_into().expect("4 bytes"));
+        let new = match attack {
+            ByzantineAttack::SignFlip => unreachable!("handled above"),
+            ByzantineAttack::Scale { factor } => scale * factor,
+            ByzantineAttack::GaussianNoise { sigma } => {
+                scale + sigma * crate::msg::standard_normal(draw)
+            }
+            ByzantineAttack::NanInject { prob } => {
+                if draw() < *prob {
+                    f32::NAN
+                } else {
+                    return false;
+                }
+            }
+        };
+        payload[off..off + 4].copy_from_slice(&new.to_le_bytes());
+        return true;
+    }
+    // Unquantized values: one f32 per kept coordinate.
+    let mut hit = false;
+    for j in 0..lay.n {
+        let o = lay.vals_off + 4 * j;
+        let v = f32::from_le_bytes(payload[o..o + 4].try_into().expect("4 bytes"));
+        let new = match attack {
+            ByzantineAttack::SignFlip => -v,
+            ByzantineAttack::Scale { factor } => v * factor,
+            ByzantineAttack::GaussianNoise { sigma } => {
+                v + sigma * crate::msg::standard_normal(draw)
+            }
+            ByzantineAttack::NanInject { prob } => {
+                if draw() < *prob {
+                    f32::NAN
+                } else {
+                    continue;
+                }
+            }
+        };
+        payload[o..o + 4].copy_from_slice(&new.to_le_bytes());
+        hit = true;
+    }
+    match attack {
+        ByzantineAttack::NanInject { .. } => hit,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(dim: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..dim).map(f).collect()
+    }
+
+    #[test]
+    fn delta_only_round_trip_is_exact() {
+        let cfg = CodecConfig {
+            delta: true,
+            ..CodecConfig::identity()
+        };
+        let reference = model(32, |i| (i as f32 * 0.3).sin());
+        let update = model(32, |i| (i as f32 * 0.3).sin() + 0.25 * (i as f32).cos());
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(7, &update, &reference, param_hash(&reference), &mut payload);
+        assert_eq!(
+            UpdateDecoder::ref_hash(&payload).unwrap(),
+            Some(param_hash(&reference))
+        );
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        dec.decode(&payload, Some(&reference), &mut out).unwrap();
+        assert_eq!(out, update, "delta+dense must be the exact inverse");
+    }
+
+    #[test]
+    fn paper_pipeline_round_trip_is_bounded_and_small() {
+        let cfg = CodecConfig::paper_pipeline();
+        let dim = 1000;
+        let reference = model(dim, |i| (i as f32 * 0.1).sin());
+        let update: Vec<f32> = reference.iter().map(|v| v + 0.01).collect();
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(3, &update, &reference, param_hash(&reference), &mut payload);
+        // 1% of 1000 = 10 kept coords: header 13 + 4 + 40 idx + 4 scale + 10 codes.
+        assert_eq!(payload.len(), 13 + 4 + 40 + 4 + 10);
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        dec.decode(&payload, Some(&reference), &mut out).unwrap();
+        assert_eq!(out.len(), dim);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn same_seed_and_state_re_encode_bit_identically() {
+        let cfg = CodecConfig::paper_pipeline().with_seed(99);
+        let reference = model(64, |i| i as f32 * 0.01);
+        let update = model(64, |i| i as f32 * 0.01 + (i as f32).sin());
+        let run = || {
+            let mut enc = UpdateEncoder::new(cfg);
+            let mut payload = Vec::new();
+            enc.encode(5, &update, &reference, param_hash(&reference), &mut payload);
+            let mut second = Vec::new();
+            enc.encode(5, &update, &reference, param_hash(&reference), &mut second);
+            (payload, second)
+        };
+        let (a1, a2) = run();
+        let (b1, b2) = run();
+        assert_eq!(a1, b1, "first encode must be reproducible");
+        assert_eq!(a2, b2, "second encode must be reproducible");
+        assert_ne!(a1, a2, "the rounding stream advances per update");
+    }
+
+    #[test]
+    fn error_feedback_carries_dropped_mass() {
+        let cfg = CodecConfig {
+            delta: true,
+            topk: Some(0.25),
+            quant: None,
+            ..CodecConfig::identity()
+        };
+        let reference = vec![0.0f32; 4];
+        let update = vec![1.0f32, 0.1, 0.1, 0.1];
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(0, &update, &reference, param_hash(&reference), &mut payload);
+        // k = 1 keeps only the 1.0; the three 0.1s land in the residual.
+        assert_eq!(enc.residual(), &[0.0, 0.1, 0.1, 0.1]);
+        // The next encode adds the residual back in: coordinate 1 has now
+        // accumulated 0.2 and wins the top-1 slot over a fresh 0.15.
+        let update2 = vec![0.05f32, 0.1, 0.0, 0.0];
+        enc.encode(
+            0,
+            &update2,
+            &reference,
+            param_hash(&reference),
+            &mut payload,
+        );
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        dec.decode(&payload, Some(&reference), &mut out).unwrap();
+        assert_eq!(out, vec![0.0, 0.2, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hostile_payloads_fail_clean() {
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        assert_eq!(
+            dec.decode(&[], None, &mut out),
+            Err(CodecError::Truncated),
+            "empty"
+        );
+        // Unknown flag bit.
+        assert_eq!(
+            dec.decode(&[0x80, 1, 0, 0, 0, 0, 0, 0, 0], None, &mut out),
+            Err(CodecError::BadHeader)
+        );
+        // Oversized dimension declaration.
+        let mut huge = vec![0u8];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.decode(&huge, None, &mut out),
+            Err(CodecError::BadHeader)
+        );
+        // k > dim.
+        let mut bad = vec![FLAG_TOPK];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&3u32.to_le_bytes());
+        assert_eq!(dec.decode(&bad, None, &mut out), Err(CodecError::BadHeader));
+        // Index out of range.
+        let mut oob = vec![FLAG_TOPK];
+        oob.extend_from_slice(&2u32.to_le_bytes());
+        oob.extend_from_slice(&1u32.to_le_bytes());
+        oob.extend_from_slice(&9u32.to_le_bytes());
+        oob.extend_from_slice(&1.0f32.to_le_bytes());
+        assert_eq!(
+            dec.decode(&oob, None, &mut out),
+            Err(CodecError::IndexOutOfRange)
+        );
+        // Trailing bytes.
+        let cfg = CodecConfig::identity();
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(0, &[1.0, 2.0], &[], 0, &mut payload);
+        payload.push(0);
+        assert_eq!(
+            dec.decode(&payload, None, &mut out),
+            Err(CodecError::BadHeader)
+        );
+        // Missing reference.
+        let cfg = CodecConfig {
+            delta: true,
+            ..CodecConfig::identity()
+        };
+        let mut enc = UpdateEncoder::new(cfg);
+        enc.encode(0, &[1.0], &[0.5], 42, &mut payload);
+        assert_eq!(
+            dec.decode(&payload, None, &mut out),
+            Err(CodecError::RefMissing)
+        );
+        assert_eq!(
+            dec.decode(&payload, Some(&[0.0, 0.0]), &mut out),
+            Err(CodecError::RefMismatch)
+        );
+    }
+
+    #[test]
+    fn corruption_transforms_decoded_values() {
+        let cfg = CodecConfig::paper_pipeline().with_seed(1);
+        let reference = model(100, |_| 0.0);
+        let update = model(100, |i| if i == 7 { 2.0 } else { 0.001 });
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(0, &update, &reference, param_hash(&reference), &mut payload);
+        let clean_len = payload.len();
+
+        let mut flipped = payload.clone();
+        assert!(corrupt_payload(
+            &mut flipped,
+            &ByzantineAttack::SignFlip,
+            &mut || 0.0
+        ));
+        assert_eq!(flipped.len(), clean_len, "length must not change");
+        let mut dec = UpdateDecoder::new();
+        let (mut clean, mut poisoned) = (Vec::new(), Vec::new());
+        dec.decode(&payload, Some(&reference), &mut clean).unwrap();
+        dec.decode(&flipped, Some(&reference), &mut poisoned)
+            .unwrap();
+        for (c, p) in clean.iter().zip(&poisoned) {
+            assert_eq!(*p, -*c, "sign flip negates the decoded delta");
+        }
+
+        let mut nan = payload.clone();
+        assert!(corrupt_payload(
+            &mut nan,
+            &ByzantineAttack::NanInject { prob: 0.9 },
+            &mut || 0.0
+        ));
+        dec.decode(&nan, Some(&reference), &mut poisoned).unwrap();
+        assert!(poisoned.iter().any(|v| v.is_nan()));
+
+        // Garbage payloads are not touched.
+        let mut garbage = vec![0xff, 1, 2, 3];
+        assert!(!corrupt_payload(
+            &mut garbage,
+            &ByzantineAttack::SignFlip,
+            &mut || 0.0
+        ));
+    }
+
+    #[test]
+    fn q4_packs_two_coords_per_byte() {
+        let cfg = CodecConfig {
+            quant: Some(QuantBits::Q4),
+            ..CodecConfig::identity()
+        };
+        let update = model(16, |i| (i as f32 - 8.0) / 4.0);
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        enc.encode(0, &update, &[], 0, &mut payload);
+        // 1 flag + 4 dim + 4 scale + 8 packed bytes.
+        assert_eq!(payload.len(), 17);
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        dec.decode(&payload, None, &mut out).unwrap();
+        let step = update.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 7.0;
+        for (a, b) in update.iter().zip(&out) {
+            assert!((a - b).abs() < step + 1e-6);
+        }
+    }
+
+    #[test]
+    fn config_parse_and_describe_round_trip_the_spec() {
+        let cfg = CodecConfig::parse("delta,topk=0.01,q8,stochastic,seed=7").unwrap();
+        assert_eq!(
+            cfg,
+            CodecConfig::paper_pipeline().with_seed(7),
+            "explicit spec matches the paper preset"
+        );
+        assert_eq!(cfg.describe(), "delta→topk(1%)→q8");
+        assert_eq!(
+            CodecConfig::parse("paper").unwrap().describe(),
+            "delta→topk(1%)→q8"
+        );
+        assert_eq!(CodecConfig::parse("").unwrap().describe(), "identity");
+        assert!(CodecConfig::parse("topk=0").is_err());
+        assert!(CodecConfig::parse("warp9").is_err());
+        let noef = CodecConfig::parse("q4,nearest,noef").unwrap();
+        assert_eq!(noef.quant, Some(QuantBits::Q4));
+        assert_eq!(noef.rounding, Rounding::Nearest);
+        assert!(!noef.error_feedback);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut enc = UpdateEncoder::new(CodecConfig::identity());
+        enc.note_sent(100, 10);
+        enc.note_sent(100, 12);
+        assert_eq!(enc.ledger(), (200, 22));
+    }
+}

@@ -1,0 +1,309 @@
+//! Property tests for the update-compression codec (DESIGN.md §16).
+//!
+//! Four families of properties:
+//!
+//! 1. **Round-trip bounds**: the identity pipeline is exact; delta alone
+//!    is exact on well-conditioned values; top-k preserves the k
+//!    largest-magnitude coordinates verbatim; quantization error is
+//!    bounded by the step size (half a step for nearest rounding).
+//! 2. **Determinism**: two encoders with the same config produce
+//!    bit-identical payloads for the same (stream, state, input) — the
+//!    seeded stochastic rounding stream is reproducible.
+//! 3. **Composability**: the stacked `delta → topk → q8` pipeline decodes
+//!    to a bounded-support correction of the reference, with the exact
+//!    wire size the header layout predicts.
+//! 4. **Hostile input**: truncated prefixes are rejected with typed
+//!    errors; single-byte corruption never panics; error feedback
+//!    conserves the dropped mass exactly.
+
+use proptest::prelude::*;
+use spyker_core::update_codec::{
+    param_hash, CodecConfig, QuantBits, Rounding, UpdateDecoder, UpdateEncoder,
+};
+
+/// Arbitrary finite values, wide enough to exercise scale selection.
+fn values(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e4f32..1e4, dim..=dim)
+}
+
+/// Integer-valued f32s: subtraction and re-addition are exact for these
+/// (|a - b| < 2^21 fits the 24-bit mantissa), so delta round-trips must be
+/// bit-perfect rather than merely close.
+fn integer_values(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1_000_000i32..1_000_000, dim..=dim)
+        .prop_map(|v| v.into_iter().map(|i| i as f32).collect())
+}
+
+fn lossless_cfg() -> CodecConfig {
+    CodecConfig::identity()
+}
+
+fn delta_cfg() -> CodecConfig {
+    CodecConfig {
+        delta: true,
+        ..CodecConfig::identity()
+    }
+}
+
+fn topk_cfg(ratio: f32) -> CodecConfig {
+    CodecConfig {
+        topk: Some(ratio),
+        error_feedback: false,
+        ..CodecConfig::identity()
+    }
+}
+
+fn quant_cfg(bits: QuantBits, rounding: Rounding) -> CodecConfig {
+    CodecConfig {
+        quant: Some(bits),
+        rounding,
+        error_feedback: false,
+        ..CodecConfig::identity()
+    }
+}
+
+fn encode_once(cfg: CodecConfig, stream: u64, update: &[f32], reference: &[f32]) -> Vec<u8> {
+    let mut enc = UpdateEncoder::new(cfg);
+    let mut payload = Vec::new();
+    enc.encode(
+        stream,
+        update,
+        reference,
+        param_hash(reference),
+        &mut payload,
+    );
+    payload
+}
+
+fn decode_once(payload: &[u8], reference: Option<&[f32]>) -> Vec<f32> {
+    let mut dec = UpdateDecoder::new();
+    let mut out = Vec::new();
+    dec.decode(payload, reference, &mut out).expect("decodes");
+    out
+}
+
+proptest! {
+    /// The identity pipeline (no stages enabled) round-trips arbitrary
+    /// finite values exactly.
+    #[test]
+    fn identity_pipeline_round_trips_exactly(update in (1usize..64).prop_flat_map(values)) {
+        let payload = encode_once(lossless_cfg(), 7, &update, &[]);
+        let out = decode_once(&payload, None);
+        prop_assert_eq!(out, update);
+    }
+
+    /// Delta encoding alone is exactly invertible: on integer-valued
+    /// parameters (where f32 subtraction is exact) decode(encode(u, r), r)
+    /// reproduces `u` bit for bit.
+    #[test]
+    fn delta_round_trip_is_exact(
+        pair in (1usize..64).prop_flat_map(|d| (integer_values(d), integer_values(d))),
+    ) {
+        let (update, reference) = pair;
+        let payload = encode_once(delta_cfg(), 7, &update, &reference);
+        let out = decode_once(&payload, Some(&reference));
+        prop_assert_eq!(out, update);
+    }
+
+    /// Top-k keeps at least `k = ⌈ratio·dim⌉` coordinates verbatim, zeros
+    /// the rest, and never drops a coordinate whose magnitude exceeds a
+    /// kept one.
+    #[test]
+    fn topk_preserves_the_k_largest_magnitudes(
+        update in (2usize..64).prop_flat_map(values),
+        ratio in 0.05f32..1.0,
+    ) {
+        let cfg = topk_cfg(ratio);
+        let k = UpdateEncoder::new(cfg).kept(update.len());
+        let payload = encode_once(cfg, 7, &update, &[]);
+        let out = decode_once(&payload, None);
+        prop_assert_eq!(out.len(), update.len());
+        let mut changed = 0usize;
+        let mut min_kept = f32::INFINITY;
+        let mut max_dropped = 0.0f32;
+        for (o, u) in out.iter().zip(&update) {
+            if o == u {
+                min_kept = min_kept.min(u.abs());
+            } else {
+                prop_assert_eq!(*o, 0.0, "dropped coordinate must decode to zero");
+                changed += 1;
+                max_dropped = max_dropped.max(u.abs());
+            }
+        }
+        // At least k coordinates survive (more if dropped ones were zero
+        // already), and the kept set dominates the dropped set.
+        prop_assert!(changed <= update.len() - k);
+        prop_assert!(
+            max_dropped <= min_kept,
+            "dropped |{max_dropped}| exceeds kept |{min_kept}|"
+        );
+    }
+
+    /// Nearest-rounding q8 error is at most half a quantization step,
+    /// stochastic at most a full step (`step = max|x| / 127`).
+    #[test]
+    fn q8_error_is_bounded_by_the_step_size(
+        update in (1usize..64).prop_flat_map(values),
+        stochastic in 0u8..2,
+    ) {
+        let stochastic = stochastic == 1;
+        let rounding = if stochastic { Rounding::Stochastic } else { Rounding::Nearest };
+        let payload = encode_once(quant_cfg(QuantBits::Q8, rounding), 7, &update, &[]);
+        let out = decode_once(&payload, None);
+        let step = update.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 127.0;
+        let bound = if stochastic { step } else { step / 2.0 };
+        for (o, u) in out.iter().zip(&update) {
+            prop_assert!(
+                (o - u).abs() <= bound * (1.0 + 1e-5) + f32::EPSILON,
+                "error {} above bound {bound}", (o - u).abs()
+            );
+        }
+    }
+
+    /// Same bound for q4 with its 15-level grid (`step = max|x| / 7`).
+    #[test]
+    fn q4_error_is_bounded_by_the_step_size(update in (1usize..64).prop_flat_map(values)) {
+        let payload = encode_once(
+            quant_cfg(QuantBits::Q4, Rounding::Nearest), 7, &update, &[],
+        );
+        let out = decode_once(&payload, None);
+        let step = update.iter().fold(0.0f32, |m, v| m.max(v.abs())) / 7.0;
+        for (o, u) in out.iter().zip(&update) {
+            prop_assert!(
+                (o - u).abs() <= step / 2.0 * (1.0 + 1e-5) + f32::EPSILON,
+                "error {} above bound {}", (o - u).abs(), step / 2.0
+            );
+        }
+    }
+
+    /// Two encoders with the same config produce bit-identical payloads
+    /// for the same sequence of inputs: the stochastic rounding stream is
+    /// a pure function of (seed, stream, update counter).
+    #[test]
+    fn same_seed_re_encodings_are_bit_identical(
+        rounds in (1usize..32).prop_flat_map(|d| {
+            prop::collection::vec((values(d), values(d)), 1..4)
+        }),
+        stream in 0u64..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = CodecConfig::paper_pipeline().with_seed(seed);
+        let mut a = UpdateEncoder::new(cfg);
+        let mut b = UpdateEncoder::new(cfg);
+        for (update, reference) in &rounds {
+            let h = param_hash(reference);
+            let mut pa = Vec::new();
+            let mut pb = Vec::new();
+            a.encode(stream, update, reference, h, &mut pa);
+            b.encode(stream, update, reference, h, &mut pb);
+            prop_assert_eq!(pa, pb, "same state, same input, different bytes");
+        }
+    }
+
+    /// The stacked `delta → topk → q8` pipeline composes: the decoded
+    /// model differs from the reference on at most k coordinates, and the
+    /// payload has exactly the size the layout predicts
+    /// (1 flags + 4 dim + 8 hash + 4 k + 4k indices + 4 scale + k codes).
+    #[test]
+    fn stacked_pipeline_composes(
+        pair in (4usize..128).prop_flat_map(|d| (values(d), values(d))),
+        ratio in 0.05f32..0.5,
+    ) {
+        let (update, reference) = pair;
+        let cfg = CodecConfig {
+            delta: true,
+            topk: Some(ratio),
+            error_feedback: false,
+            rounding: Rounding::Nearest,
+            ..CodecConfig::identity()
+        }
+        .with_quant(QuantBits::Q8);
+        let k = UpdateEncoder::new(cfg).kept(update.len());
+        let payload = encode_once(cfg, 7, &update, &reference);
+        prop_assert_eq!(payload.len(), 1 + 4 + 8 + 4 + 4 * k + 4 + k);
+        let out = decode_once(&payload, Some(&reference));
+        let changed = out
+            .iter()
+            .zip(&reference)
+            .filter(|(o, r)| o != r)
+            .count();
+        prop_assert!(changed <= k, "{changed} coordinates touched, k = {k}");
+    }
+
+    /// Every strict prefix of a valid payload is rejected with a typed
+    /// error — truncation can never decode to a bogus update.
+    #[test]
+    fn truncated_payloads_are_rejected(
+        pair in (2usize..32).prop_flat_map(|d| (values(d), values(d))),
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let (update, reference) = pair;
+        let payload = encode_once(CodecConfig::paper_pipeline(), 7, &update, &reference);
+        let cut = (cut_seed % payload.len() as u64) as usize;
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        prop_assert!(UpdateDecoder::ref_hash(&payload[..cut]).is_err());
+        prop_assert!(dec.decode(&payload[..cut], Some(&reference), &mut out).is_err());
+    }
+
+    /// Flipping any single byte of a valid payload never panics — the
+    /// decoder either rejects it or produces some (garbage but bounded)
+    /// update of the declared dimension.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        pair in (2usize..32).prop_flat_map(|d| (values(d), values(d))),
+        pos_seed in 0u64..u64::MAX,
+        flip in 1u8..=255,
+    ) {
+        let (update, reference) = pair;
+        let mut payload = encode_once(CodecConfig::paper_pipeline(), 7, &update, &reference);
+        let pos = (pos_seed % payload.len() as u64) as usize;
+        payload[pos] ^= flip;
+        let mut dec = UpdateDecoder::new();
+        let mut out = Vec::new();
+        if dec.decode(&payload, Some(&reference), &mut out).is_ok() {
+            prop_assert_eq!(out.len(), update.len());
+        }
+    }
+
+    /// Error feedback conserves mass exactly for the (unquantized) top-k
+    /// stage: after each encode, `decoded_delta + residual` equals the
+    /// pre-compression vector coordinate for coordinate — nothing is ever
+    /// silently lost, only deferred.
+    #[test]
+    fn error_feedback_conserves_dropped_mass(
+        rounds in (2usize..32).prop_flat_map(|d| {
+            prop::collection::vec(values(d), 1..4)
+        }),
+        ratio in 0.05f32..0.5,
+    ) {
+        let cfg = CodecConfig {
+            topk: Some(ratio),
+            error_feedback: true,
+            ..CodecConfig::identity()
+        };
+        let mut enc = UpdateEncoder::new(cfg);
+        let mut payload = Vec::new();
+        let mut carried: Vec<f32> = vec![0.0; rounds[0].len()];
+        for update in &rounds {
+            // What the encoder should compress this round: the update plus
+            // the residual it carried in from the previous round.
+            let x: Vec<f32> = update
+                .iter()
+                .zip(&carried)
+                .map(|(u, c)| u + c)
+                .collect();
+            enc.encode(7, update, &[], 0, &mut payload);
+            let out = decode_once(&payload, None);
+            let residual = enc.residual().to_vec();
+            for i in 0..x.len() {
+                prop_assert_eq!(
+                    out[i] + residual[i],
+                    x[i],
+                    "mass not conserved at coordinate {}", i
+                );
+            }
+            carried = residual;
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Codec × bandwidth sweep: upload compression vs accuracy for the
+//! update-codec pipelines (DESIGN.md §16), on the Fig. 12 window.
+use spyker_experiments::suite::{codec_bandwidth, Scale};
+fn main() {
+    codec_bandwidth(&Scale::from_env());
+}

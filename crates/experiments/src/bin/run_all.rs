@@ -19,6 +19,7 @@ fn main() {
     suite::tab7_imbalance(&scale);
     suite::fig11_decay(&scale);
     suite::fig12_bandwidth(&scale);
+    suite::codec_bandwidth(&scale);
     if ablations {
         suite::ablate_phi(&scale);
         suite::ablate_eta_a(&scale);

@@ -24,6 +24,8 @@ pub mod runner;
 pub mod scenario;
 pub mod suite;
 
-pub use runner::{run_algorithm, Algorithm, RunOptions, RunResult, SamplePoint};
+pub use runner::{
+    default_spyker_config, run_algorithm, Algorithm, RunOptions, RunResult, SamplePoint,
+};
 pub use scenario::{Scenario, TaskKind};
 pub use suite::Scale;

@@ -540,6 +540,114 @@ pub fn fig12_bandwidth(scale: &Scale) -> Vec<(Algorithm, f64, f64, f64)> {
     rows
 }
 
+/// Codec × bandwidth sweep: Spyker dense vs Spyker uploading through
+/// update-compression pipelines (DESIGN.md §16), on the Fig. 12 window.
+///
+/// For every codec variant the client-side byte ledger gives both sides of
+/// the trade in one run: `net.bytes.raw` is what the same updates would
+/// have cost dense, `net.bytes.encoded` is what actually crossed the wire.
+/// The headline row is the paper pipeline (`delta → topk(1%) → q8`), which
+/// must clear an ≥ 8× reduction at accuracy within 1% of the dense run.
+///
+/// Returns `(variant, best_accuracy, encoded_mb, compression_ratio)`.
+pub fn codec_bandwidth(scale: &Scale) -> Vec<(String, f64, f64, f64)> {
+    use spyker_core::update_codec::{CodecConfig, QuantBits};
+
+    let scenario = Scenario::mnist(scale.clients, scale.servers, scale.seed);
+    let window = SimTime::from_secs(110).min(scale.horizon * 2);
+    let base = default_spyker_config(&scenario);
+    let variants: Vec<(String, Option<CodecConfig>)> = vec![
+        ("dense".into(), None),
+        (
+            "q8".into(),
+            Some(CodecConfig::identity().with_quant(QuantBits::Q8)),
+        ),
+        (
+            "delta+q8".into(),
+            Some(CodecConfig {
+                topk: None,
+                ..CodecConfig::paper_pipeline()
+            }),
+        ),
+        (
+            CodecConfig::paper_pipeline().describe(),
+            Some(CodecConfig::paper_pipeline()),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "variant",
+        "best accuracy",
+        "client-server MB",
+        "dense-equiv MB",
+        "encoded MB",
+        "ratio",
+    ]);
+    let mut dense_best = f64::NAN;
+    for (name, codec) in &variants {
+        let mut config = base.clone();
+        if let Some(codec) = codec {
+            config = config.with_codec(*codec);
+        }
+        let opts = RunOptions {
+            spyker_config: Some(config),
+            ..standard_opts(scale).with_max_time(window)
+        };
+        let run = run_algorithm(Algorithm::Spyker, &scenario, &opts);
+        let best = run.best_metric().unwrap_or(f64::NAN);
+        if codec.is_none() {
+            dense_best = best;
+        }
+        let mb = |c: &str| run.metrics.counter(c) as f64 / 1e6;
+        let (cs, raw, encoded) = (
+            mb("net.bytes.client-server"),
+            mb("net.bytes.raw"),
+            mb("net.bytes.encoded"),
+        );
+        let ratio = run.metrics.counter("net.bytes.raw") as f64
+            / run.metrics.counter("net.bytes.encoded").max(1) as f64;
+        table.row(&[
+            name.clone(),
+            fmt_ratio(Some(best)),
+            format!("{cs:.2}"),
+            if codec.is_some() {
+                format!("{raw:.2}")
+            } else {
+                format!("{cs:.2}")
+            },
+            if codec.is_some() {
+                format!("{encoded:.2}")
+            } else {
+                format!("{cs:.2}")
+            },
+            if codec.is_some() {
+                format!("{ratio:.1}x")
+            } else {
+                "1.0x".into()
+            },
+        ]);
+        rows.push((
+            name.clone(),
+            best,
+            if codec.is_some() { encoded } else { cs },
+            ratio,
+        ));
+    }
+    let (_, paper_best, _, paper_ratio) = rows.last().expect("paper pipeline row");
+    let verdict = format!(
+        "paper pipeline: {paper_ratio:.1}x upload reduction at accuracy \
+         {paper_best:.4} vs dense {dense_best:.4} (target: >= 8x within 1%)\n"
+    );
+    let out = format!(
+        "# Codec × bandwidth — upload compression over {window}\n{}{verdict}",
+        table.render(),
+    );
+    println!("{out}");
+    write_text(&results_dir().join("codec_bandwidth.txt"), &out);
+    rows
+}
+
 /// Ablation: sigmoid activation rate `φ` (design choice of Alg. 2).
 pub fn ablate_phi(scale: &Scale) -> Vec<(f32, Option<SimTime>, f64)> {
     ablate_config(scale, "ablate_phi", &[0.5, 1.5, 3.0, 6.0], |cfg, v| {

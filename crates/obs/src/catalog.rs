@@ -139,6 +139,34 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "cluster merges deferred to a later exchange",
     },
     CatalogEntry {
+        name: "codec.compression_ratio",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "core client encoder",
+        help: "cumulative raw-over-encoded byte ratio of the update codec",
+    },
+    CatalogEntry {
+        name: "codec.decode_error",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker on_encoded_update",
+        help: "encoded updates dropped as structurally undecodable",
+    },
+    CatalogEntry {
+        name: "codec.decoded",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker on_encoded_update",
+        help: "encoded client updates decoded ahead of the validation gate",
+    },
+    CatalogEntry {
+        name: "codec.ref_miss",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "core server/sync_spyker on_encoded_update",
+        help: "delta-coded updates decoded against a zero reference (no synced model)",
+    },
+    CatalogEntry {
         name: "fault.byzantine",
         kind: Counter,
         unit: Unit::Count,
@@ -354,6 +382,27 @@ pub const CATALOG: &[CatalogEntry] = &[
         unit: Unit::Bytes,
         site: "simnet des, transport",
         help: "bytes of client-server traffic",
+    },
+    CatalogEntry {
+        name: "net.bytes.encoded",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "core client encoder",
+        help: "bytes of codec-compressed update frames actually sent",
+    },
+    CatalogEntry {
+        name: "net.bytes.raw",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "core client encoder",
+        help: "bytes the same updates would have cost sent dense",
+    },
+    CatalogEntry {
+        name: "net.bytes.saved",
+        kind: Counter,
+        unit: Unit::Bytes,
+        site: "core client encoder",
+        help: "wire bytes saved by the update codec (raw minus encoded)",
     },
     CatalogEntry {
         name: "net.bytes.server-server",

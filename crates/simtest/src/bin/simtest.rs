@@ -3,7 +3,8 @@
 //! ```text
 //! simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]
 //!         [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]
-//!         [--scale N[k|m]] [--cohort K] [--min-events-per-sec N[k|m]]
+//!         [--codec] [--scale N[k|m]] [--cohort K]
+//!         [--min-events-per-sec N[k|m]]
 //! ```
 //!
 //! Sweeps `N` seeds starting at `S`: each seed expands into a random
@@ -12,7 +13,11 @@
 //! `--out` as `repro_<seed>.ron`, and the sweep aborts with exit code 1.
 //! `--replay FILE` runs one reproducer instead of sweeping. `--churn`
 //! expands each seed with scheduled server joins/leaves on top of its
-//! usual faults, stressing the dynamic-membership protocol.
+//! usual faults, stressing the dynamic-membership protocol. `--codec`
+//! expands each seed with a randomized update-compression pipeline (always
+//! quantizing, so the byte-accounting oracle's `encoded <= raw` invariant
+//! is meaningful); in `--scale` mode it instead runs the cohorts through
+//! the paper pipeline (`delta -> topk(1%) -> q8`).
 //!
 //! `--time-cap-secs` bounds wall-clock time (for CI): the sweep stops
 //! early — cleanly, reporting how many seeds it covered — when the cap is
@@ -38,6 +43,7 @@ struct Opts {
     time_cap_secs: Option<u64>,
     replay: Option<PathBuf>,
     churn: bool,
+    codec: bool,
     scale: Option<u64>,
     cohort: u64,
     min_events_per_sec: Option<u64>,
@@ -47,7 +53,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: simtest [--seeds N] [--start-seed S] [--budget-events N[k|m]]\n\
          \x20              [--out DIR] [--time-cap-secs N] [--replay FILE] [--churn]\n\
-         \x20              [--scale N[k|m]] [--cohort K] [--min-events-per-sec N[k|m]]"
+         \x20              [--codec] [--scale N[k|m]] [--cohort K]\n\
+         \x20              [--min-events-per-sec N[k|m]]"
     );
     std::process::exit(2)
 }
@@ -70,6 +77,7 @@ fn parse_opts() -> Opts {
         time_cap_secs: None,
         replay: None,
         churn: false,
+        codec: false,
         scale: None,
         cohort: 128,
         min_events_per_sec: None,
@@ -89,6 +97,7 @@ fn parse_opts() -> Opts {
             }
             "--replay" => opts.replay = Some(PathBuf::from(value())),
             "--churn" => opts.churn = true,
+            "--codec" => opts.codec = true,
             "--scale" => opts.scale = Some(parse_count(&value()).unwrap_or_else(|| usage())),
             "--cohort" => opts.cohort = parse_count(&value()).unwrap_or_else(|| usage()),
             "--min-events-per-sec" => {
@@ -103,21 +112,33 @@ fn parse_opts() -> Opts {
 
 fn main() -> ExitCode {
     let opts = parse_opts();
+    if opts.churn && opts.codec {
+        // A clean churn scenario legitimately misses delta references when
+        // clients re-home, which the codec oracle treats as a violation —
+        // the two sweeps stay separate.
+        eprintln!("simtest: --churn and --codec are mutually exclusive");
+        return ExitCode::from(2);
+    }
 
     if let Some(logical) = opts.scale {
         let spec = ScaleSpec {
             logical_clients: logical,
             cohort_size: opts.cohort.max(1),
+            codec: opts
+                .codec
+                .then(spyker_core::update_codec::CodecConfig::paper_pipeline),
             ..ScaleSpec::ci_smoke()
         };
         println!(
             "scale run: {} logical clients in {} cohorts of ≤{} on {} servers \
-             (horizon {}, wheel scheduler, flow-shared links)",
+             (horizon {}, wheel scheduler, flow-shared links{})",
             spec.logical_clients,
             spec.n_cohorts(),
             spec.cohort_size,
             spec.n_servers,
             spec.horizon,
+            spec.codec
+                .map_or_else(String::new, |c| format!(", codec {}", c.describe())),
         );
         let stats = spyker_simtest::run_scale(&spec, opts.budget_events);
         println!(
@@ -197,6 +218,8 @@ fn main() -> ExitCode {
         }
         let sc = if opts.churn {
             SimScenario::generate_churn(seed)
+        } else if opts.codec {
+            SimScenario::generate_codec(seed)
         } else {
             SimScenario::generate(seed)
         };

@@ -154,6 +154,7 @@ impl EventTap<FlMsg> for OracleTap<'_> {
             byzantine_free: self.sc.faults.byzantine.is_empty(),
             targets: &self.sc.targets,
             budget_exhausted: false,
+            codec: self.sc.codec,
         };
         for oracle in &mut self.oracles {
             if let Err(message) = oracle.check(&octx) {
@@ -212,6 +213,7 @@ pub fn run_scenario(sc: &SimScenario, budget_events: u64) -> RunOutcome {
         byzantine_free: sc.faults.byzantine.is_empty(),
         targets: &sc.targets,
         budget_exhausted: tap.budget_exhausted,
+        codec: sc.codec,
     };
     for oracle in &mut tap.oracles {
         if let Err(message) = oracle.at_end(&octx) {

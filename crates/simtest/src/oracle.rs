@@ -21,14 +21,18 @@
 //! | `exchange-ledger`     | the `cnt`/`did_broadcast` ledger stays coherent      |
 //! | `membership`          | ring epochs are monotone; phase transitions legal    |
 //! | `model-hull`          | honest models stay inside the targets' hull          |
+//! | `codec-bytes`         | the codec byte ledger compresses and reconciles      |
 //! | `liveness`            | a clean run processes updates and stays finite       |
 //!
 //! Oracles that only hold conditionally consult the scenario flags in the
-//! context (`clean`, `byzantine_free`) so faulty runs are not flagged for
-//! documented degraded-mode behaviour.
+//! context (`clean`, `byzantine_free`, `codec`) so faulty runs are not
+//! flagged for documented degraded-mode behaviour.
 
+use spyker_core::client::FlClient;
+use spyker_core::cohort::CohortClient;
 use spyker_core::msg::FlMsg;
 use spyker_core::server::SpykerServer;
+use spyker_core::update_codec::CodecConfig;
 use spyker_simnet::{Metrics, Node, NodeId, SimTime, TapKind};
 
 /// Slack for `f64` age comparisons (ages are sums of `f32`-derived
@@ -86,6 +90,11 @@ pub struct OracleCtx<'a> {
     /// `true` when the run stopped on the event budget rather than the
     /// horizon (relaxes end-of-run progress expectations).
     pub budget_exhausted: bool,
+    /// The update-compression pipeline the clients encode with, if any.
+    /// Enables the codec byte-ledger oracle; a lossy pipeline also
+    /// suspends the model-hull invariant (quantization error and carried
+    /// error-feedback residuals may legitimately overshoot the hull).
+    pub codec: Option<CodecConfig>,
 }
 
 impl<'a> OracleCtx<'a> {
@@ -149,6 +158,7 @@ pub fn default_suite() -> Vec<Box<dyn Oracle>> {
         Box::new(ExchangeLedgerOracle),
         Box::new(MembershipOracle { last: None }),
         Box::new(ModelHullOracle { hull: None }),
+        Box::new(CodecByteOracle),
         Box::new(LivenessOracle),
     ]
 }
@@ -654,6 +664,13 @@ impl Oracle for ModelHullOracle {
         if !ctx.byzantine_free || ctx.targets.is_empty() {
             return Ok(());
         }
+        // A lossy codec adds bounded quantization/sparsification error on
+        // top of every honest update, and error feedback re-injects the
+        // dropped mass later — both can legitimately push a coordinate a
+        // step past the hull, so the invariant only binds on dense runs.
+        if ctx.codec.is_some_and(|c| c.is_lossy()) {
+            return Ok(());
+        }
         let (lo, hi) = *self.hull.get_or_insert_with(|| {
             (
                 ctx.targets.iter().copied().fold(0.0f32, f32::min) - HULL_EPS,
@@ -669,6 +686,117 @@ impl Oracle for ModelHullOracle {
                     ));
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// The codec byte ledger stays coherent on every event: a quantizing
+/// pipeline never inflates the wire (`net.bytes.encoded ≤ net.bytes.raw`,
+/// with `net.bytes.saved` exactly the difference), no payload ever fails
+/// to parse (the simulator's Byzantine corruption is value-preserving by
+/// design — a decode error means framing broke), and the servers never
+/// decode more updates than the clients sent. At the end of the run the
+/// metric counters are reconciled against the per-client encoder ledgers
+/// — two independent recordings of the same uploads — and a clean run
+/// must have decoded traffic with zero reference misses.
+struct CodecByteOracle;
+
+impl Oracle for CodecByteOracle {
+    fn name(&self) -> &'static str {
+        "codec-bytes"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let Some(codec) = ctx.codec else {
+            return Ok(());
+        };
+        let m = ctx.metrics;
+        let raw = m.counter("net.bytes.raw");
+        let encoded = m.counter("net.bytes.encoded");
+        let saved = m.counter("net.bytes.saved");
+        // Quantization caps every kept coordinate at one byte (plus the
+        // fixed header), so at the dimensions codec scenarios run at the
+        // encoded upload is strictly below the 4-bytes-per-coordinate
+        // dense message — per message, hence also in total.
+        if codec.quant.is_some() && encoded > raw {
+            return Err(format!(
+                "a quantizing pipeline inflated the wire: {encoded} encoded bytes \
+                 vs {raw} raw"
+            ));
+        }
+        if encoded <= raw && saved != raw - encoded {
+            return Err(format!(
+                "byte ledger identity broken: saved {saved} != raw {raw} - \
+                 encoded {encoded}"
+            ));
+        }
+        if m.counter("codec.decode_error") > 0 {
+            return Err(format!(
+                "{} payloads failed to parse — in-simulation faults never \
+                 truncate frames",
+                m.counter("codec.decode_error")
+            ));
+        }
+        let decoded = m.counter("codec.decoded");
+        let missed = m.counter("codec.ref_miss");
+        let sent = m.counter("updates.sent");
+        if decoded + missed > sent {
+            return Err(format!(
+                "{decoded} decodes + {missed} reference misses exceed the \
+                 {sent} updates ever sent"
+            ));
+        }
+        Ok(())
+    }
+
+    fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        if ctx.codec.is_none() {
+            return Ok(());
+        }
+        self.check(ctx)?;
+        let m = ctx.metrics;
+        // Reconcile the run-wide counters against the per-client encoder
+        // ledgers: every byte the counters claim must be attributable to
+        // some client's encoder, and vice versa.
+        let (mut raw, mut encoded) = (0u64, 0u64);
+        for node in ctx.nodes {
+            let any = node.as_any();
+            let ledger = any
+                .downcast_ref::<FlClient>()
+                .and_then(FlClient::codec_ledger)
+                .or_else(|| {
+                    any.downcast_ref::<CohortClient>()
+                        .and_then(|c| c.inner().codec_ledger())
+                });
+            if let Some((r, e)) = ledger {
+                raw += r;
+                encoded += e;
+            }
+        }
+        if raw != m.counter("net.bytes.raw") || encoded != m.counter("net.bytes.encoded") {
+            return Err(format!(
+                "counters ({}, {}) disagree with the client encoder ledgers \
+                 ({raw}, {encoded})",
+                m.counter("net.bytes.raw"),
+                m.counter("net.bytes.encoded"),
+            ));
+        }
+        if !ctx.clean {
+            return Ok(());
+        }
+        if m.counter("codec.ref_miss") > 0 {
+            return Err(format!(
+                "a clean run missed {} delta references (history depth must \
+                 cover the in-flight window)",
+                m.counter("codec.ref_miss")
+            ));
+        }
+        if !ctx.budget_exhausted
+            && m.counter("updates.processed") > 0
+            && m.counter("codec.decoded") == 0
+        {
+            return Err("updates were processed but none arrived encoded".to_string());
         }
         Ok(())
     }
@@ -750,6 +878,7 @@ mod tests {
             byzantine_free: true,
             targets: &[],
             budget_exhausted: false,
+            codec: None,
         }
     }
 
@@ -778,6 +907,32 @@ mod tests {
         m.span_exit(0, "server.exchange", SimTime::ZERO);
         let err = metrics_oracle().check(&ctx(&m)).unwrap_err();
         assert!(err.contains("no matching span open"), "{err}");
+    }
+
+    #[test]
+    fn codec_oracle_flags_an_inflating_quantized_pipeline() {
+        let mut m = Metrics::new();
+        m.add_counter("net.bytes.raw", 100);
+        m.add_counter("net.bytes.encoded", 140);
+        let mut c = ctx(&m);
+        c.codec = Some(CodecConfig::paper_pipeline());
+        let err = CodecByteOracle.check(&c).unwrap_err();
+        assert!(err.contains("inflated the wire"), "{err}");
+        // Without a codec the same counters are nobody's business.
+        c.codec = None;
+        CodecByteOracle.check(&c).unwrap();
+    }
+
+    #[test]
+    fn codec_oracle_flags_a_broken_saved_identity() {
+        let mut m = Metrics::new();
+        m.add_counter("net.bytes.raw", 100);
+        m.add_counter("net.bytes.encoded", 40);
+        m.add_counter("net.bytes.saved", 59);
+        let mut c = ctx(&m);
+        c.codec = Some(CodecConfig::paper_pipeline());
+        let err = CodecByteOracle.check(&c).unwrap_err();
+        assert!(err.contains("ledger identity"), "{err}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_core::server::SpykerServer;
 use spyker_core::training::MeanTargetTrainer;
+use spyker_core::update_codec::CodecConfig;
 use spyker_simnet::{
     peak_rss_bytes, EventTap, NetworkConfig, NodeId, SchedulerKind, SimTime, Simulation, TapCtx,
     TapKind,
@@ -57,6 +58,9 @@ pub struct ScaleSpec {
     /// `true` routes traffic through the flow-level shared-bandwidth
     /// links instead of the per-message serialization model.
     pub flow_links: bool,
+    /// Optional update-compression pipeline every cohort encodes with
+    /// (DESIGN.md §16); enables the codec byte-ledger oracle.
+    pub codec: Option<CodecConfig>,
 }
 
 impl ScaleSpec {
@@ -72,6 +76,7 @@ impl ScaleSpec {
             horizon: SimTime::from_secs(60),
             scheduler: SchedulerKind::Wheel,
             flow_links: true,
+            codec: None,
         }
     }
 
@@ -116,6 +121,7 @@ struct ScaleTap<'a> {
     server_ids: Vec<NodeId>,
     n_clients: usize,
     targets: &'a [f32],
+    codec: Option<CodecConfig>,
 }
 
 impl EventTap<FlMsg> for ScaleTap<'_> {
@@ -154,6 +160,7 @@ impl EventTap<FlMsg> for ScaleTap<'_> {
             byzantine_free: true,
             targets: self.targets,
             budget_exhausted: false,
+            codec: self.codec,
         };
         for oracle in &mut self.oracles {
             if let Err(message) = oracle.check(&octx) {
@@ -196,7 +203,10 @@ pub fn build_scale(spec: &ScaleSpec) -> (Simulation<FlMsg>, Vec<f32>) {
     }
     let mut sim = Simulation::new(net, spec.seed).with_scheduler(spec.scheduler);
 
-    let config = SpykerConfig::paper_defaults(n_cohorts, spec.n_servers);
+    let mut config = SpykerConfig::paper_defaults(n_cohorts, spec.n_servers);
+    if let Some(codec) = spec.codec {
+        config = config.with_codec(codec);
+    }
     let init = ParamVec::zeros(spec.dim);
     let assignment = even_assignment(n_cohorts, spec.n_servers);
     let server_nodes: Vec<NodeId> = (0..spec.n_servers).collect();
@@ -218,7 +228,10 @@ pub fn build_scale(spec: &ScaleSpec) -> (Simulation<FlMsg>, Vec<f32>) {
         let size = remaining.min(spec.cohort_size);
         remaining -= size;
         let trainer = Box::new(MeanTargetTrainer::new(vec![targets[i]; spec.dim], 8));
-        let client = FlClient::new(assignment[i], trainer, config.client_epochs, delays[i]);
+        let mut client = FlClient::new(assignment[i], trainer, config.client_epochs, delays[i]);
+        if let Some(codec) = spec.codec {
+            client = client.with_update_codec(codec);
+        }
         sim.add_node(
             Box::new(CohortClient::new(client, size)),
             server_region(assignment[i]),
@@ -242,6 +255,7 @@ pub fn run_scale(spec: &ScaleSpec, budget_events: u64) -> ScaleStats {
         server_ids: (0..spec.n_servers).collect(),
         n_clients: spec.n_cohorts(),
         targets: &targets,
+        codec: spec.codec,
     };
     let wall = Instant::now();
     sim.run_with_tap(spec.horizon, &mut tap);
@@ -261,6 +275,7 @@ pub fn run_scale(spec: &ScaleSpec, budget_events: u64) -> ScaleStats {
             byzantine_free: true,
             targets: &targets,
             budget_exhausted: tap.budget_exhausted,
+            codec: spec.codec,
         };
         for oracle in &mut tap.oracles {
             if let Err(message) = oracle.at_end(&octx) {
@@ -309,6 +324,7 @@ mod tests {
             horizon: SimTime::from_secs(10),
             scheduler,
             flow_links,
+            codec: None,
         }
     }
 
@@ -331,6 +347,25 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.end_time, b.end_time);
         assert_eq!(a.updates_processed, b.updates_processed);
+    }
+
+    #[test]
+    fn coded_scale_run_is_oracle_green_and_compresses() {
+        let spec = ScaleSpec {
+            codec: Some(CodecConfig::paper_pipeline()),
+            // At the test default of dim 4 the codec's fixed header alone
+            // outweighs the dense message and the byte oracle (rightly)
+            // fires; compression needs a model worth compressing.
+            dim: 32,
+            ..small_spec(SchedulerKind::Wheel, true)
+        };
+        let stats = run_scale(&spec, 5_000_000);
+        assert!(stats.violation.is_none(), "{:?}", stats.violation);
+        // A clean coded run with processed updates implies decoded codec
+        // traffic, compressing byte ledgers, and counter↔ledger
+        // reconciliation — all enforced event by event (and at the end) by
+        // the codec-bytes oracle the run just passed.
+        assert!(stats.updates_processed > 0, "no training happened");
     }
 
     #[test]

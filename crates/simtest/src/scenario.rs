@@ -21,6 +21,7 @@ use spyker_core::membership::MembershipConfig;
 use spyker_core::msg::FlMsg;
 use spyker_core::params::ParamVec;
 use spyker_core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_core::update_codec::{CodecConfig, QuantBits, Rounding};
 use spyker_simnet::fault::{
     ByzantineAttack, ConnWindow, CrashEvent, PartitionWindow, ScriptedDrop,
 };
@@ -92,6 +93,12 @@ pub struct SimScenario {
     /// Scheduled membership shrink: base server `idx` voluntarily leaves
     /// (token handoff, client re-homing, drain) at the given time.
     pub leaves: Vec<(usize, SimTime)>,
+    /// Optional update-compression pipeline the clients encode with
+    /// (DESIGN.md §16). `None` keeps the run byte-identical to the dense
+    /// protocol; [`SimScenario::generate`] never sets it, so the plain
+    /// sweeps are unchanged — codec sweeps go through
+    /// [`SimScenario::generate_codec`].
+    pub codec: Option<CodecConfig>,
 }
 
 impl SimScenario {
@@ -164,6 +171,7 @@ impl SimScenario {
             inject: None,
             joins: Vec::new(),
             leaves: Vec::new(),
+            codec: None,
         }
     }
 
@@ -193,6 +201,53 @@ impl SimScenario {
             let at = rng.gen_range(horizon_us / 2..3 * horizon_us / 4);
             sc.leaves.push((idx, SimTime::from_micros(at)));
         }
+        sc
+    }
+
+    /// Expands `seed` into a codec scenario: the plain
+    /// [`SimScenario::generate`] expansion plus a randomized
+    /// update-compression pipeline, drawn from a decorrelated RNG stream
+    /// so the underlying scenario for a given seed is unchanged.
+    ///
+    /// Every generated pipeline quantizes (q8 or q4), so at the dimensions
+    /// drawn here (≥ 32) the encoded upload is strictly smaller than the
+    /// dense one — the byte-accounting oracle's `encoded ≤ raw` invariant
+    /// holds by construction, framing overhead included. (An identity or
+    /// delta-only pipeline would *add* bytes and is deliberately never
+    /// generated.) The model dimension is re-drawn upward because at the
+    /// base scenarios' 2–6 coordinates the fixed header dwarfs the values,
+    /// and the norm gate is disabled: its `≥ 10` floor was calibrated for
+    /// the small-dim hull, and honest deltas at dim ≈ 96 can reach it.
+    pub fn generate_codec(seed: u64) -> Self {
+        let mut sc = Self::generate(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f);
+        sc.dim = rng.gen_range(32..=96usize);
+        sc.max_delta_norm = None;
+        let topk = if rng.gen_bool(0.6) {
+            Some(rng.gen_range(0.05..=0.4f32))
+        } else {
+            None
+        };
+        sc.codec = Some(
+            CodecConfig {
+                delta: rng.gen_bool(0.5),
+                topk,
+                // Error feedback only matters when something is dropped.
+                error_feedback: topk.is_some(),
+                quant: None,
+                rounding: if rng.gen_bool(0.5) {
+                    Rounding::Stochastic
+                } else {
+                    Rounding::Nearest
+                },
+                seed: rng.gen(),
+            }
+            .with_quant(if rng.gen_bool(0.7) {
+                QuantBits::Q8
+            } else {
+                QuantBits::Q4
+            }),
+        );
         sc
     }
 
@@ -292,6 +347,9 @@ impl SimScenario {
         }
         if self.elastic() {
             cfg = cfg.with_membership(MembershipConfig::default());
+        }
+        if let Some(codec) = self.codec {
+            cfg = cfg.with_codec(codec);
         }
         cfg
     }
@@ -562,6 +620,11 @@ impl SimScenario {
             .map(|&(s, t)| format!("(server: {s}, at_us: {})", t.as_micros()))
             .collect();
         emit(p, &format!("    leaves: [{}],\n", leaves.join(", ")));
+        let codec = match &self.codec {
+            Some(c) => format!("Some(\"{}\")", codec_spec(c)),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    codec: {codec},\n"));
         emit(p, ")\n");
         s
     }
@@ -589,6 +652,34 @@ fn agg_ron(agg: &AggregationStrategy) -> String {
             format!("ClippedMean(batch: {batch}, max_norm: {max_norm:?})")
         }
     }
+}
+
+/// Serializes a codec config as the canonical pipeline spec string
+/// [`CodecConfig::parse`] accepts. Every field is emitted explicitly, so
+/// `parse(codec_spec(c)) == c` for any config.
+fn codec_spec(c: &CodecConfig) -> String {
+    let mut toks = Vec::new();
+    if c.delta {
+        toks.push("delta".to_string());
+    }
+    if let Some(r) = c.topk {
+        toks.push(format!("topk={r:?}"));
+    }
+    match c.quant {
+        Some(QuantBits::Q8) => toks.push("q8".to_string()),
+        Some(QuantBits::Q4) => toks.push("q4".to_string()),
+        None => {}
+    }
+    toks.push(
+        match c.rounding {
+            Rounding::Nearest => "nearest",
+            Rounding::Stochastic => "stochastic",
+        }
+        .to_string(),
+    );
+    toks.push(if c.error_feedback { "ef" } else { "noef" }.to_string());
+    toks.push(format!("seed={}", c.seed));
+    toks.join(",")
 }
 
 fn attack_ron(attack: &ByzantineAttack) -> String {
@@ -694,6 +785,18 @@ impl<'a> Parser<'a> {
             self.expect(")")?;
             Ok(Some(v))
         }
+    }
+
+    /// Consumes a double-quoted string literal (no escapes — the emitted
+    /// codec specs never contain quotes).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let rest = &self.text[self.pos..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        self.pos += end + 1;
+        Ok(rest[..end].to_string())
     }
 
     fn bool(&mut self) -> Result<bool, String> {
@@ -1058,6 +1161,21 @@ impl<'a> Parser<'a> {
             self.expect("]")?;
             self.expect(",")?;
         }
+        // The codec came later still: repro files written before it end at
+        // `leaves` (or earlier), defaulting to dense updates.
+        let mut codec = None;
+        if self.peek("codec") {
+            self.field("codec")?;
+            if self.peek("None") {
+                self.expect("None")?;
+            } else {
+                self.expect("Some(")?;
+                let spec = self.string()?;
+                codec = Some(CodecConfig::parse(&spec)?);
+                self.expect(")")?;
+            }
+            self.expect(",")?;
+        }
         self.expect(")")?;
         Ok(SimScenario {
             seed,
@@ -1079,6 +1197,7 @@ impl<'a> Parser<'a> {
             inject,
             joins,
             leaves,
+            codec,
         })
     }
 }
@@ -1188,6 +1307,54 @@ mod tests {
             .to_ron()
             .lines()
             .filter(|l| !l.contains("joins_us") && !l.contains("leaves"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(SimScenario::from_ron(&legacy).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_generation_is_deterministic_and_always_quantizes() {
+        for seed in 0..32 {
+            let a = SimScenario::generate_codec(seed);
+            assert_eq!(a, SimScenario::generate_codec(seed));
+            let codec = a.codec.expect("codec scenarios carry a codec");
+            // The compression guarantee the byte oracle relies on: every
+            // generated pipeline quantizes, at a dimension where the
+            // encoded payload is strictly below the dense wire size.
+            assert!(codec.quant.is_some(), "seed {seed}: no quant stage");
+            assert!(a.dim >= 32, "seed {seed}: dim {} too small", a.dim);
+            assert!(a.max_delta_norm.is_none(), "seed {seed}: gate left on");
+            if let Some(r) = codec.topk {
+                assert!(r > 0.0 && r <= 0.5, "seed {seed}: topk ratio {r}");
+            }
+            // The underlying scenario for the seed is otherwise unchanged.
+            let mut base = a.clone();
+            base.codec = None;
+            base.dim = SimScenario::generate(seed).dim;
+            base.max_delta_norm = SimScenario::generate(seed).max_delta_norm;
+            assert_eq!(base, SimScenario::generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ron_round_trips_codec_scenarios() {
+        for seed in 0..32 {
+            let s = SimScenario::generate_codec(seed);
+            let ron = s.to_ron();
+            let back = SimScenario::from_ron(&ron)
+                .unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}\n{ron}"));
+            assert_eq!(back, s, "seed {seed} did not round-trip\n{ron}");
+        }
+    }
+
+    #[test]
+    fn ron_without_codec_field_still_parses() {
+        // Repro files written before the codec end at `leaves`.
+        let s = SimScenario::generate(9);
+        let legacy: String = s
+            .to_ron()
+            .lines()
+            .filter(|l| !l.contains("codec"))
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(SimScenario::from_ron(&legacy).unwrap(), s);

@@ -63,6 +63,30 @@ fn small_churn_sweep_is_clean() {
 }
 
 #[test]
+fn codec_run_is_bit_identical() {
+    let sc = SimScenario::generate_codec(7);
+    assert!(sc.codec.is_some());
+    let a = stats(run_scenario(&sc, BUDGET));
+    let b = stats(run_scenario(&sc, BUDGET));
+    assert_eq!(a, b, "same codec scenario, different outcome");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert!(a.updates_processed > 0);
+}
+
+#[test]
+fn small_codec_sweep_is_clean() {
+    // A prefix of the CI codec sweep: randomized compression pipelines
+    // (always quantizing) on top of each seed's usual faults, under the
+    // full oracle suite including the codec byte-ledger oracle.
+    for seed in 0..6 {
+        let sc = SimScenario::generate_codec(seed);
+        if let RunOutcome::Violated(v) = run_scenario(&sc, BUDGET) {
+            panic!("codec seed {seed} ({sc:?}) violated: {v}");
+        }
+    }
+}
+
+#[test]
 fn event_budget_stops_the_run() {
     let sc = SimScenario::generate(7);
     let s = stats(run_scenario(&sc, 50));

@@ -46,16 +46,27 @@ cargo run -q --release -p spyker-simtest --bin simtest -- \
 cargo run -q --release -p spyker-simtest --bin simtest -- \
     --churn --seeds 32 --budget-events 200k --time-cap-secs 120
 
+# Codec sweep (see DESIGN.md §16): 32 scenarios with randomized
+# update-compression pipelines (quantization, top-k sparsification, delta
+# encoding) layered on each seed's usual faults. The byte-accounting
+# oracle holds `net.bytes.encoded ≤ net.bytes.raw` at every event and
+# reconciles the counters against the per-client encoder ledgers at the
+# end of each run.
+cargo run -q --release -p spyker-simtest --bin simtest -- \
+    --codec --seeds 32 --budget-events 200k --time-cap-secs 120
+
 # 100k-logical-client scale smoke (see DESIGN.md §15): one cohort-batched
 # scenario under the full per-event oracle suite — wheel scheduler,
-# flow-shared links, 782 cohort actors. Must finish oracle-green, process
-# updates, and clear a 20k events/sec floor (~10× headroom below the
-# measured rate, so only a real regression trips it). Skippable on
-# machines where a release-mode throughput floor is meaningless:
-# SPYKER_SKIP_SCALE=1.
+# flow-shared links, 782 cohort actors, clients uploading through the
+# paper codec pipeline (`delta → topk(1%) → q8`, so the codec byte oracle
+# runs at scale too). Must finish oracle-green, process updates, and clear
+# a 20k events/sec floor (~10× headroom below the measured rate, so only a
+# real regression trips it). Skippable on machines where a release-mode
+# throughput floor is meaningless: SPYKER_SKIP_SCALE=1.
 if [[ "${SPYKER_SKIP_SCALE:-0}" != "1" ]]; then
     cargo run -q --release -p spyker-simtest --bin simtest -- \
-        --scale 100k --cohort 128 --budget-events 10m --min-events-per-sec 20k
+        --scale 100k --cohort 128 --codec --budget-events 10m \
+        --min-events-per-sec 20k
 else
     echo "SPYKER_SKIP_SCALE=1 — skipping the 100k-client scale smoke"
 fi

@@ -18,6 +18,7 @@ use spyker_repro::core::membership::MembershipConfig;
 use spyker_repro::core::params::ParamVec;
 use spyker_repro::core::server::SpykerServer;
 use spyker_repro::core::training::{LocalTrainer, MeanTargetTrainer};
+use spyker_repro::core::update_codec::CodecConfig;
 use spyker_repro::experiments::report::write_run_report;
 use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, Scenario, TaskKind};
 use spyker_repro::simnet::{Region, SimTime};
@@ -42,6 +43,11 @@ OPTIONS:
     --seconds <n>      virtual-time budget             (default 30)
     --seed <n>         RNG seed (runs are bit-reproducible)  (default 42)
     --target <x>       early-stop metric target (e.g. 0.9)
+    --codec <spec>     update-compression pipeline for spyker/sync-spyker
+                       clients: 'paper' (delta,topk=0.01,q8) or a spec like
+                       'delta,topk=0.05,q4,nearest,noef,seed=7'; also applies
+                       to serve/client TCP processes (pass the same spec to
+                       every process)
 
 TCP OPTIONS (serve/client; --seconds is wall-clock here):
     --addrs <a,b,..>   comma-separated server listen addresses (required);
@@ -90,6 +96,7 @@ struct Args {
     listen: Option<String>,
     extra_addrs: Vec<String>,
     leave_after: Option<u64>,
+    codec: Option<CodecConfig>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +129,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         listen: None,
         extra_addrs: Vec::new(),
         leave_after: None,
+        codec: None,
     };
     let mut it = argv.iter();
     match it.next().map(String::as_str) {
@@ -170,6 +178,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--target" => {
                 args.target = Some(value()?.parse().map_err(|e| format!("--target: {e}"))?)
+            }
+            "--codec" => {
+                args.codec =
+                    Some(CodecConfig::parse(value()?).map_err(|e| format!("--codec: {e}"))?)
             }
             "--addrs" => {
                 args.addrs = value()?.split(',').map(String::from).collect();
@@ -257,17 +269,24 @@ fn build_scenario(args: &Args) -> Scenario {
     }
 }
 
-fn build_opts(args: &Args) -> RunOptions {
+fn build_opts(args: &Args, scenario: &Scenario) -> RunOptions {
     let mut opts = RunOptions::standard().with_max_time(SimTime::from_secs(args.seconds));
     if let Some(t) = args.target {
         opts = opts.with_stop_at(t);
+    }
+    if let Some(codec) = args.codec {
+        // Only the Spyker variants have a codec slot; the baselines ignore
+        // the Spyker config and keep sending dense.
+        opts = opts.with_spyker_config(
+            spyker_repro::experiments::default_spyker_config(scenario).with_codec(codec),
+        );
     }
     opts
 }
 
 fn cmd_run(args: &Args) {
     let scenario = build_scenario(args);
-    let opts = build_opts(args);
+    let opts = build_opts(args, &scenario);
     println!(
         "running {} on {:?} ({} clients, {} servers, {}s budget, seed {})\n",
         args.alg, args.task, args.clients, args.servers, args.seconds, args.seed
@@ -289,6 +308,17 @@ fn cmd_run(args: &Args) {
         result.metrics.counter("updates.processed"),
         result.metrics.counter("net.bytes") as f64 / 1e6,
     );
+    if let Some(codec) = args.codec {
+        let raw = result.metrics.counter("net.bytes.raw");
+        let encoded = result.metrics.counter("net.bytes.encoded");
+        println!(
+            "codec {}: {:.2} MB dense -> {:.2} MB encoded ({:.1}x compression)",
+            codec.describe(),
+            raw as f64 / 1e6,
+            encoded as f64 / 1e6,
+            raw as f64 / encoded.max(1) as f64,
+        );
+    }
     let name = format!("run_{}_{:?}_s{}", args.alg.name(), args.task, args.seed);
     let path = spyker_repro::experiments::report::write_run_report(
         &name,
@@ -300,7 +330,7 @@ fn cmd_run(args: &Args) {
 
 fn cmd_compare(args: &Args) {
     let scenario = build_scenario(args);
-    let opts = build_opts(args);
+    let opts = build_opts(args, &scenario);
     println!(
         "comparing all algorithms on {:?} ({} clients, {} servers, {}s budget)\n",
         args.task, args.clients, args.servers, args.seconds
@@ -387,6 +417,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .with_recovery(RecoveryConfig::default());
     if args.elastic > 0 {
         config = config.with_membership(MembershipConfig::default());
+    }
+    if let Some(codec) = args.codec {
+        config = config.with_codec(codec);
     }
 
     let (me, listen_addr, node): (usize, SocketAddr, Box<dyn spyker_repro::simnet::Node<_>>) =
@@ -493,6 +526,9 @@ fn cmd_client(args: &Args) -> Result<(), String> {
     let trainer: Box<dyn LocalTrainer> =
         Box::new(MeanTargetTrainer::new(vec![(k % 4) as f32; args.dim], 8));
     let mut node = FlClient::new(server, trainer, 1, SimTime::from_millis(150));
+    if let Some(codec) = args.codec {
+        node = node.with_update_codec(codec);
+    }
     if args.elastic > 0 {
         // Every base server plus every joiner slot is a failover
         // candidate: if the home server is evicted or drains away, the

@@ -4,8 +4,11 @@
 
 use spyker_repro::core::agg::{AggregationStrategy, ValidationConfig};
 use spyker_repro::core::config::SpykerConfig;
+use spyker_repro::core::update_codec::CodecConfig;
 use spyker_repro::experiments::runner::default_spyker_config;
-use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, RunResult, Scenario};
+use spyker_repro::experiments::{
+    run_algorithm, Algorithm, RunOptions, RunResult, Scenario, TaskKind,
+};
 use spyker_repro::simnet::{ByzantineAttack, FaultPlan, SimTime};
 
 /// Paper config with the decay schedule frozen: decay-weighted aggregation
@@ -138,6 +141,109 @@ fn median_aggregation_also_converges_under_attack() {
         late_accuracy(&attacked)
     );
     assert!(attacked.metrics.counter("agg.robust.flushes") > 10);
+}
+
+#[test]
+fn sign_flip_through_the_codec_pipeline_is_still_defeated() {
+    // Same attack family, but every client update now rides the stacked
+    // `delta → topk → q8` wire format. A sign-flip on an encoded payload
+    // negates the quantized codes, so the server decodes an exactly
+    // negated delta — a *small-norm* anti-training step the norm gate
+    // cannot see, which the trimmed mean must absorb *after* decoding
+    // (decode-before-validate, DESIGN.md §16).
+    //
+    // Two deliberate calibration choices:
+    //  * IID shards: coordinate-wise trimming needs an honest majority
+    //    per coordinate. Under the l=2 non-IID partition a flipped client
+    //    is the *only* voice for its minority labels, so no coordinate
+    //    statistic can separate its poison from honest minority signal
+    //    (the dense test dodges this via the norm gate, which the coded
+    //    attack evades by construction).
+    //  * topk = 10%, not the headline 1%: robust batching degenerates
+    //    when updates are so sparse that trimming discards the few
+    //    honest movers per coordinate (see DESIGN.md §16).
+    let scenario = Scenario::build(TaskKind::MnistLike, 12, 2, 9, 0.05, None, 150.0, 7.5);
+    // Attackers spread over both servers (clients of server 0 are nodes
+    // 2..8): per-batch poison stays below the trim depth.
+    let mut plan = FaultPlan::none();
+    for id in [2usize, 3, 8] {
+        plan = plan.byzantine(id, ByzantineAttack::SignFlip);
+    }
+    let trimmed = AggregationStrategy::TrimmedMean {
+        batch: scenario.n_clients / scenario.n_servers,
+        trim_ratio: 0.34,
+    };
+    let gate = ValidationConfig {
+        max_delta_norm: Some(4.0),
+        ..ValidationConfig::default()
+    };
+    let codec = CodecConfig::parse("delta,topk=0.1,q8").expect("valid spec");
+    let defence = || {
+        base_config(&scenario)
+            .with_codec(codec)
+            .with_aggregation(trimmed)
+            .with_validation(gate)
+    };
+
+    let fault_free = run(&scenario, defence(), FaultPlan::none());
+    let defended = run(&scenario, defence(), plan.clone());
+    let undefended = run(&scenario, base_config(&scenario).with_codec(codec), plan);
+
+    let baseline = late_accuracy(&fault_free);
+    let defended_late = late_accuracy(&defended);
+    let undefended_late = late_accuracy(&undefended);
+    assert!(
+        baseline > 0.9,
+        "coded fault-free defence baseline too weak: {baseline}"
+    );
+    // The attack fired on encoded payloads, and the server really decoded
+    // them (no silent fallback to the dense path).
+    assert!(defended.metrics.counter("fault.byzantine") > 50);
+    assert!(defended.metrics.counter("codec.decoded") > 100);
+    // A code-negated payload still parses — the poison is only visible
+    // in the decoded values, which is exactly where the defence looks.
+    assert_eq!(defended.metrics.counter("codec.decode_error"), 0);
+    // Undefended, the coded sign-flip does real damage...
+    assert!(
+        undefended_late < baseline - 0.1,
+        "the coded attack was toothless: {undefended_late} vs {baseline}"
+    );
+    // ...the gated trimmed mean absorbs it.
+    assert!(
+        defended_late > baseline - 0.05,
+        "defence lost more than 5% under coded sign-flip: {defended_late} vs {baseline}"
+    );
+    assert!(defended_late > undefended_late);
+}
+
+#[test]
+fn nan_injection_in_encoded_payloads_is_caught_after_decoding() {
+    // NaN injection on an encoded update corrupts the payload's scale
+    // field: the bytes still parse, so the only place the poison can be
+    // caught is the validation gate running on the *decoded* parameters.
+    // A rejected-nonfinite count proves the decode-before-validate order.
+    let scenario = Scenario::mnist(8, 2, 21);
+    let plan = FaultPlan::none()
+        .byzantine(2, ByzantineAttack::NanInject { prob: 0.5 })
+        .byzantine(3, ByzantineAttack::NanInject { prob: 0.5 });
+    let attacked = run(
+        &scenario,
+        base_config(&scenario).with_codec(CodecConfig::paper_pipeline()),
+        plan,
+    );
+    assert!(attacked.metrics.counter("fault.byzantine") > 0);
+    // The payloads parsed fine; the gate caught the NaNs post-decode.
+    assert_eq!(attacked.metrics.counter("codec.decode_error"), 0);
+    assert!(
+        attacked.metrics.counter("agg.rejected.nonfinite") > 0,
+        "the gate never saw the decoded NaNs"
+    );
+    // The honest majority still converges; no NaN ever reached the model.
+    assert!(
+        late_accuracy(&attacked) > 0.85,
+        "honest clients failed to converge: {}",
+        late_accuracy(&attacked)
+    );
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Communication-efficiency integration tests: the update codec's effect
+//! on convergence and on the wire-byte ledger (DESIGN.md §16).
+//!
+//! Error feedback is the load-bearing piece of aggressive sparsification:
+//! with it, the mass dropped by top-k is carried into later updates and
+//! the compressed run tracks the dense baseline; without it, the dropped
+//! mass is lost forever and the run measurably lags.
+
+use spyker_repro::core::config::SpykerConfig;
+use spyker_repro::core::update_codec::CodecConfig;
+use spyker_repro::experiments::runner::default_spyker_config;
+use spyker_repro::experiments::{run_algorithm, Algorithm, RunOptions, RunResult, Scenario};
+use spyker_repro::simnet::SimTime;
+
+fn run(scenario: &Scenario, cfg: SpykerConfig, secs: u64) -> RunResult {
+    run_algorithm(
+        Algorithm::Spyker,
+        scenario,
+        &RunOptions::standard()
+            .with_max_time(SimTime::from_secs(secs))
+            .with_spyker_config(cfg),
+    )
+}
+
+/// Mean accuracy over the second half of the probe series — the converged
+/// regime.
+fn late_accuracy(run: &RunResult) -> f64 {
+    let half = &run.samples[run.samples.len() / 2..];
+    half.iter().map(|s| s.metric).sum::<f64>() / half.len() as f64
+}
+
+#[test]
+fn error_feedback_closes_the_sparsification_gap() {
+    let scenario = Scenario::mnist(12, 2, 9);
+    let base = default_spyker_config(&scenario);
+    let ef = CodecConfig::parse("delta,topk=0.02,q8,ef").expect("valid spec");
+    let noef = CodecConfig::parse("delta,topk=0.02,q8,noef").expect("valid spec");
+
+    let dense = run(&scenario, base.clone(), 40);
+    let with_ef = run(&scenario, base.clone().with_codec(ef), 40);
+    let without_ef = run(&scenario, base.with_codec(noef), 40);
+
+    let dense_late = late_accuracy(&dense);
+    let ef_late = late_accuracy(&with_ef);
+    let noef_late = late_accuracy(&without_ef);
+    assert!(dense_late > 0.9, "dense baseline too weak: {dense_late}");
+    // Both compressed runs really used the encoded path.
+    assert!(with_ef.metrics.counter("codec.decoded") > 100);
+    assert!(without_ef.metrics.counter("codec.decoded") > 100);
+    // With error feedback the 2% pipeline tracks the dense baseline...
+    assert!(
+        ef_late > dense_late - 0.02,
+        "EF run lags dense: {ef_late} vs {dense_late}"
+    );
+    // ...without it, the dropped 98% of every update is lost for good.
+    assert!(
+        noef_late < ef_late - 0.03,
+        "dropping EF should measurably hurt: {noef_late} vs {ef_late}"
+    );
+}
+
+#[test]
+fn paper_pipeline_compresses_eightfold_at_matched_accuracy() {
+    // The issue's acceptance bar: `delta → topk(1%) → q8` cuts uplink
+    // bytes by at least 8x while staying within one accuracy point of the
+    // dense run.
+    let scenario = Scenario::mnist(12, 2, 9);
+    let base = default_spyker_config(&scenario);
+
+    let dense = run(&scenario, base.clone(), 40);
+    let coded = run(
+        &scenario,
+        base.with_codec(CodecConfig::paper_pipeline()),
+        40,
+    );
+
+    let raw = coded.metrics.counter("net.bytes.raw");
+    let encoded = coded.metrics.counter("net.bytes.encoded");
+    let saved = coded.metrics.counter("net.bytes.saved");
+    assert!(raw > 0 && encoded > 0, "byte ledger never populated");
+    assert_eq!(saved, raw - encoded, "ledger identity broken");
+    let ratio = raw as f64 / encoded as f64;
+    assert!(ratio >= 8.0, "only {ratio:.1}x uplink compression");
+
+    let dense_late = late_accuracy(&dense);
+    let coded_late = late_accuracy(&coded);
+    assert!(
+        coded_late > dense_late - 0.01,
+        "compressed accuracy off by more than a point: {coded_late} vs {dense_late}"
+    );
+    // The dense run must not have produced codec traffic, and the coded
+    // run must never have hit a decode failure or reference miss on a
+    // fault-free network.
+    assert_eq!(dense.metrics.counter("codec.decoded"), 0);
+    assert_eq!(coded.metrics.counter("codec.decode_error"), 0);
+    assert_eq!(coded.metrics.counter("codec.ref_miss"), 0);
+}
+
+#[test]
+fn codec_runs_are_bit_reproducible() {
+    // Stochastic rounding draws from a seeded stream keyed by (codec seed,
+    // client id, update counter), so two identical runs must agree bit for
+    // bit on every probe sample and every counter.
+    let once = || {
+        let scenario = Scenario::mnist(8, 2, 21);
+        let cfg = default_spyker_config(&scenario).with_codec(CodecConfig::paper_pipeline());
+        run(&scenario, cfg, 15)
+    };
+    let a = once();
+    let b = once();
+    assert!(a.metrics.counter("codec.decoded") > 0);
+    assert_eq!(a.samples, b.samples, "probe series diverged between runs");
+    let counters = |r: &RunResult| -> Vec<(String, u64)> {
+        r.metrics
+            .counters()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+    assert_eq!(counters(&a), counters(&b), "metrics diverged between runs");
+}

@@ -43,12 +43,29 @@ fn golden_scenario(horizon: SimTime) -> SimScenario {
         inject: None,
         joins: Vec::new(),
         leaves: Vec::new(),
+        codec: None,
     }
 }
 
 /// Runs the 10-second scenario and renders its JSON run report.
 fn render_report() -> String {
     let sc = golden_scenario(SimTime::from_secs(10));
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    spyker_repro::obs::report::render_json(sim.metrics().registry(), report.end_time.as_micros())
+}
+
+/// The pinned deployment again, this time uploading through the paper
+/// codec pipeline (`delta → topk(1%) → q8`). The larger dim gives the
+/// codec header room to amortize, and nearest rounding keeps the pinned
+/// report independent of the stochastic-rounding draw order.
+fn render_codec_report() -> String {
+    let mut sc = golden_scenario(SimTime::from_secs(10));
+    sc.dim = 32;
+    sc.codec = Some(
+        spyker_repro::core::update_codec::CodecConfig::paper_pipeline()
+            .with_rounding(spyker_repro::core::update_codec::Rounding::Nearest),
+    );
     let mut sim = sc.build();
     let report = sim.run(sc.horizon);
     spyker_repro::obs::report::render_json(sim.metrics().registry(), report.end_time.as_micros())
@@ -85,6 +102,31 @@ fn assert_matches_golden(name: &str, actual: &str) {
 #[test]
 fn fixed_seed_report_matches_the_committed_golden_file() {
     assert_matches_golden("report_2s6c.json", &render_report());
+}
+
+#[test]
+fn fixed_seed_codec_report_matches_the_committed_golden_file() {
+    // Pins the codec-enabled observable surface: the `net.bytes.{raw,
+    // encoded,saved}` counters, the `codec.*` decode counters and the
+    // `codec.compression_ratio` gauge all appear in the report with exact
+    // values, so a change to byte accounting or codec framing is a visible
+    // golden diff.
+    let report = render_codec_report();
+    for needle in [
+        "net.bytes.raw",
+        "net.bytes.encoded",
+        "net.bytes.saved",
+        "codec.decoded",
+        "codec.compression_ratio",
+    ] {
+        assert!(report.contains(needle), "report lacks `{needle}`");
+    }
+    assert_matches_golden("report_codec_2s6c.json", &report);
+}
+
+#[test]
+fn codec_report_is_bit_identical_across_two_runs() {
+    assert_eq!(render_codec_report(), render_codec_report());
 }
 
 #[test]

@@ -47,6 +47,7 @@ fn golden_scenario() -> SimScenario {
         inject: None,
         joins: Vec::new(),
         leaves: Vec::new(),
+        codec: None,
     }
 }
 

@@ -47,6 +47,7 @@ fn faulty_scenario() -> SimScenario {
         inject: None,
         joins: Vec::new(),
         leaves: Vec::new(),
+        codec: None,
     }
 }
 
@@ -142,6 +143,43 @@ fn membership_fault_scenario_touches_catalogued_membership_metrics() {
     assert!(
         registry.gauge("membership.epoch").is_some_and(|e| e >= 1.0),
         "membership.epoch gauge never advanced past the initial ring"
+    );
+}
+
+#[test]
+fn codec_scenario_touches_catalogued_codec_metrics() {
+    let mut sc = faulty_scenario();
+    sc.codec = Some(spyker_repro::core::update_codec::CodecConfig::paper_pipeline());
+    // The gate floor was calibrated for dense updates; quantization noise
+    // re-injected through error feedback needs the headroom.
+    sc.max_delta_norm = None;
+    // At the fault scenario's tiny dim the codec header would dominate the
+    // dense frame; a model this size is what the pipeline is for.
+    sc.dim = 32;
+    let mut sim = sc.build();
+    sim.run(sc.horizon);
+    let registry = sim.metrics().registry();
+
+    let dynamic: Vec<&str> = registry.dynamic_names().collect();
+    assert!(
+        dynamic.is_empty(),
+        "codec metrics emitted without a catalog entry: {dynamic:?}"
+    );
+
+    // The run must actually have pushed updates through the codec on both
+    // ends: byte accounting client-side, decoding server-side.
+    for name in ["net.bytes.raw", "net.bytes.encoded", "codec.decoded"] {
+        assert!(
+            registry.counters().any(|(n, v)| n == name && v > 0),
+            "no `{name}` counter touched; the codec scenario no longer \
+             exercises it"
+        );
+    }
+    assert!(
+        registry
+            .gauge("codec.compression_ratio")
+            .is_some_and(|r| r > 1.0),
+        "codec.compression_ratio gauge unset or not a compression"
     );
 }
 

@@ -103,6 +103,16 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Builds a second strategy from each generated value and draws
+        /// from it (dependent generation, e.g. a length then that many
+        /// elements).
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
     }
 
     /// The strategy returned by [`Strategy::prop_map`].
@@ -115,6 +125,19 @@ pub mod strategy {
         type Value = U;
         fn sample(&self, rng: &mut TestRng) -> U {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
         }
     }
 
@@ -436,6 +459,19 @@ mod tests {
         for _ in 0..32 {
             let v = strat.sample(&mut rng);
             assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_flat_map_generates_dependent_values() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n));
+        let mut rng = TestRng::deterministic("prop_flat_map_generates_dependent_values");
+        for _ in 0..32 {
+            let v = strat.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
         }
     }
 
