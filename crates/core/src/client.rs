@@ -253,6 +253,21 @@ impl Node<FlMsg> for FlClient {
         env.span_exit("client.round");
     }
 
+    fn on_restart(&mut self, env: &mut dyn Env<FlMsg>) {
+        // A returning client — crash restart or an availability window
+        // closing — re-announces itself. Its in-flight round is gone (any
+        // model the server sent meanwhile was discarded), so without this
+        // knock the client would sit idle forever waiting for a model that
+        // already evaporated.
+        env.send(self.server, FlMsg::ClientHello);
+        if let Some(f) = &self.failover {
+            // The liveness timer chain broke while the node was away;
+            // re-arm it and let the knock's reply count as fresh evidence.
+            self.heard = false;
+            env.set_timer(f.timeout, 0);
+        }
+    }
+
     fn on_timer(&mut self, env: &mut dyn Env<FlMsg>, _tag: u64) {
         // Liveness check: a full period of silence means the server is
         // gone (crashed, partitioned, or departed without re-homing us) —

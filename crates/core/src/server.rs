@@ -1614,6 +1614,24 @@ impl Node<FlMsg> for SpykerServer {
             FlMsg::ClientHello if self.cfg.membership.is_some() => {
                 self.on_client_hello(env, from);
             }
+            FlMsg::ClientHello if self.client_local_idx.contains_key(&from) => {
+                // Without the membership extension the client set is
+                // static, so only clients this server already knows get a
+                // welcome — a returning client (restart, availability
+                // window closing) knocks to re-enter the training loop,
+                // while an unknown sender is hostile bytes on the TCP
+                // transport and stays counted below.
+                let k = self.client_local_idx[&from];
+                self.note_model_sent(from);
+                env.send(
+                    from,
+                    FlMsg::ModelToClient {
+                        params: self.params.clone(),
+                        age: self.age,
+                        lr: self.client_lr[k],
+                    },
+                );
+            }
             FlMsg::RedirectedUpdate {
                 client,
                 params,
@@ -2021,10 +2039,14 @@ mod tests {
     }
 
     #[test]
-    fn client_watchdog_revives_a_churned_client() {
+    fn churned_client_revives_in_both_recovery_configurations() {
         // Client 2 (server 0's first client) leaves at 2 s and rejoins at
-        // 6 s. Its in-flight round is lost either way; the server-side
-        // liveness probe must hand it a fresh model after it rejoins.
+        // 6 s. Its in-flight round is lost either way; on rejoin it knocks
+        // with a ClientHello, and the server welcomes a client it already
+        // knows even without the membership extension — so it works on in
+        // both configurations (the server-side watchdog just gets there
+        // first when recovery is on). Before the hello re-announce the
+        // no-recovery run froze at its pre-churn count (~13 rounds in 2 s).
         let plan = FaultPlan::none().churn(2, SimTime::from_secs(2), SimTime::from_secs(6));
         let run = |cfg: SpykerConfig| {
             let mut sim = build_faulty_sim(cfg, plan.clone());
@@ -2034,11 +2056,13 @@ mod tests {
         };
         let updates_without_recovery = run(tight_cfg());
         let updates_with_recovery = run(recovery_cfg());
-        // Without recovery the client freezes at its pre-churn count
-        // (~13 rounds in 2 s); with the watchdog it works on after 6 s.
         assert!(
-            updates_with_recovery > updates_without_recovery + 10,
-            "churned client was not revived: {updates_with_recovery} vs {updates_without_recovery}"
+            updates_without_recovery > 25,
+            "rejoined client without recovery froze at {updates_without_recovery}"
+        );
+        assert!(
+            updates_with_recovery > 25,
+            "rejoined client with recovery froze at {updates_with_recovery}"
         );
     }
 

@@ -538,6 +538,13 @@ pub const CATALOG: &[CatalogEntry] = &[
         help: "ScaleUp orders sent to activate a standby server",
     },
     CatalogEntry {
+        name: "scenario.preset",
+        kind: Gauge,
+        unit: Unit::Value,
+        site: "simtest scenario builder",
+        help: "scenario-library preset index the run was expanded from (-1 if unknown)",
+    },
+    CatalogEntry {
         name: "server.aggs",
         kind: Counter,
         unit: Unit::Count,
@@ -550,6 +557,27 @@ pub const CATALOG: &[CatalogEntry] = &[
         unit: Unit::Count,
         site: "core server/cluster on_restart",
         help: "server rejoin procedures after a crash",
+    },
+    CatalogEntry {
+        name: "sim.availability.discarded",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet DES",
+        help: "events discarded because their node was inside an offline window",
+    },
+    CatalogEntry {
+        name: "sim.availability.offline",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet DES",
+        help: "node transitions into an availability offline window",
+    },
+    CatalogEntry {
+        name: "sim.availability.online",
+        kind: Counter,
+        unit: Unit::Count,
+        site: "simnet DES",
+        help: "node transitions back online at the end of an offline window",
     },
     CatalogEntry {
         name: "sim.cohort.clients",

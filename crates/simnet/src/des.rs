@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spyker_obs::MetricId;
 
+use crate::avail::AvailabilityPlan;
 use crate::fault::{FaultPlan, ScriptedDrop};
 use crate::metrics::Metrics;
 use crate::net::{LinkModel, NetworkConfig, Region};
@@ -37,6 +38,13 @@ pub(crate) enum EventBody<M> {
     ConnDrop,
     /// Fault injection: a [`crate::fault::ConnWindow`] closes.
     ConnRestore,
+    /// Availability schedule: an [`crate::avail::AvailWindow`] opens — the
+    /// node goes offline (events are discarded until it returns).
+    Offline,
+    /// Availability schedule: an [`crate::avail::AvailWindow`] closes —
+    /// the node returns with its state intact and gets a
+    /// [`Node::on_restart`] call.
+    Online,
     /// Flow-model bookkeeping (only under [`LinkModel::FlowShared`]): the
     /// earliest in-flight flow on `trunk` is due to finish. Stale ticks
     /// (generation mismatch after a join/leave re-plan) are ignored.
@@ -258,6 +266,13 @@ struct Core<M> {
     fault_rng: StdRng,
     /// Which nodes are currently crashed.
     down: Vec<bool>,
+    /// Availability schedule (offline windows + compute tiers).
+    availability: AvailabilityPlan,
+    /// Which nodes are currently inside an offline window.
+    offline: Vec<bool>,
+    /// Per-node compute multipliers in thousandths (`1000` = neutral);
+    /// scales every [`Env::busy`] charge.
+    compute_mul: Vec<u64>,
     /// Per-node side queues of deferred events (target was busy), ordered
     /// by seq. Only the minimum-seq deferred event per node — its
     /// *representative* — rides the global queue, so a deep backlog costs
@@ -603,7 +618,16 @@ impl<M: WireSize> Env<M> for EnvHandle<'_, M> {
     }
 
     fn busy(&mut self, duration: SimTime) {
-        self.busy += duration;
+        // The node's compute tier scales every busy charge; the neutral
+        // tier takes the exact original path, so runs without compute
+        // multipliers are bit-identical to runs without the feature.
+        let mul = self.core.compute_mul[self.me];
+        if mul == 1000 {
+            self.busy += duration;
+        } else {
+            self.busy +=
+                SimTime::from_micros(((duration.as_micros() as u128 * mul as u128) / 1000) as u64);
+        }
     }
 
     fn record(&mut self, series: &str, value: f64) {
@@ -695,6 +719,13 @@ pub enum TapKind {
     Restart,
     /// The event arrived at a crashed node and was silently discarded.
     Discarded,
+    /// The node went offline (availability window opened).
+    Offline,
+    /// The node came back online ([`Node::on_restart`] ran, unless it is
+    /// also crashed).
+    Online,
+    /// The event arrived at an offline node and was silently discarded.
+    OfflineDiscarded,
 }
 
 /// Read-only view of the simulation handed to an [`EventTap`].
@@ -707,6 +738,7 @@ pub struct TapCtx<'a, M> {
     nodes: &'a [Box<dyn Node<M>>],
     inbox: &'a [usize],
     down: &'a [bool],
+    offline: &'a [bool],
     metrics: &'a Metrics,
 }
 
@@ -730,6 +762,11 @@ impl<M> TapCtx<'_, M> {
     /// `true` while `node` is crashed.
     pub fn is_down(&self, node: NodeId) -> bool {
         self.down[node]
+    }
+
+    /// `true` while `node` is inside an availability offline window.
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.offline[node]
     }
 
     /// The metrics collected so far.
@@ -838,6 +875,9 @@ impl<M: WireSize> Simulation<M> {
                 faults: FaultPlan::none(),
                 fault_rng: StdRng::seed_from_u64(seed ^ 0x27d4_eb2f_1656_67c5),
                 down: Vec::new(),
+                availability: AvailabilityPlan::none(),
+                offline: Vec::new(),
+                compute_mul: Vec::new(),
                 deferred: Vec::new(),
                 rep_seq: Vec::new(),
                 link_free: PairMap::new(),
@@ -886,6 +926,28 @@ impl<M: WireSize> Simulation<M> {
         self
     }
 
+    /// Attaches an availability schedule (builder style): offline windows
+    /// and compute-speed multipliers, distinct from fault injection. Must
+    /// be called before the first [`Simulation::run`]. The default is
+    /// [`AvailabilityPlan::none`], which is byte-identical to a simulation
+    /// without availability support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started, or if two offline
+    /// windows of the same node overlap.
+    pub fn with_availability(mut self, plan: AvailabilityPlan) -> Self {
+        assert!(
+            !self.started,
+            "availability plan must be set before the run starts"
+        );
+        if let Some(node) = plan.overlapping_node() {
+            panic!("overlapping offline windows for node {node}");
+        }
+        self.core.availability = plan;
+        self
+    }
+
     /// Adds a node in `region` and returns its id (ids are dense, in
     /// insertion order).
     pub fn add_node(&mut self, node: Box<dyn Node<M>>, region: Region) -> NodeId {
@@ -895,6 +957,8 @@ impl<M: WireSize> Simulation<M> {
         self.core.avail.push(SimTime::ZERO);
         self.core.inbox.push(0);
         self.core.down.push(false);
+        self.core.offline.push(false);
+        self.core.compute_mul.push(1000);
         self.core.deferred.push(BinaryHeap::new());
         self.core.rep_seq.push(None);
         id
@@ -1025,6 +1089,15 @@ impl<M: WireSize> Simulation<M> {
                 self.core.push(w.start, w.a, EventBody::ConnDrop);
                 self.core.push(w.end, w.a, EventBody::ConnRestore);
             }
+            for &(node, mul) in &self.core.availability.compute.clone() {
+                assert!(node < self.nodes.len(), "compute tier of unknown node");
+                self.core.compute_mul[node] = mul;
+            }
+            for w in self.core.availability.offline.clone() {
+                assert!(w.node < self.nodes.len(), "offline window of unknown node");
+                self.core.push(w.start, w.node, EventBody::Offline);
+                self.core.push(w.end, w.node, EventBody::Online);
+            }
         }
         let mut next_probe = if probe_interval == SimTime::MAX {
             SimTime::MAX
@@ -1056,12 +1129,17 @@ impl<M: WireSize> Simulation<M> {
                                 | EventBody::Restart
                                 | EventBody::ConnDrop
                                 | EventBody::ConnRestore
+                                | EventBody::Offline
+                                | EventBody::Online
                                 | EventBody::FlowTick { .. }
                         ) {
                             break ev;
                         }
                         let avail = self.core.avail[ev.node];
-                        if avail > ev.time && !self.core.down[ev.node] {
+                        if avail > ev.time
+                            && !self.core.down[ev.node]
+                            && !self.core.offline[ev.node]
+                        {
                             if !ev.queued {
                                 ev.queued = true;
                                 self.core.inbox[ev.node] += 1;
@@ -1157,15 +1235,20 @@ impl<M: WireSize> Simulation<M> {
                     self.core
                         .metrics
                         .span_exit(event.node as u32, "node.down", event.time);
-                    let mut env = EnvHandle {
-                        core: &mut self.core,
-                        me: event.node,
-                        start: event.time,
-                        busy: SimTime::ZERO,
-                    };
-                    self.nodes[event.node].on_restart(&mut env);
-                    let busy = env.busy;
-                    self.core.avail[event.node] = event.time + busy;
+                    // A node restarting inside an offline window stays
+                    // silent until the window closes (on_restart fires at
+                    // its Online transition instead).
+                    if !self.core.offline[event.node] {
+                        let mut env = EnvHandle {
+                            core: &mut self.core,
+                            me: event.node,
+                            start: event.time,
+                            busy: SimTime::ZERO,
+                        };
+                        self.nodes[event.node].on_restart(&mut env);
+                        let busy = env.busy;
+                        self.core.avail[event.node] = event.time + busy;
+                    }
                     self.events_processed += 1;
                     if self.fire_tap(tap, event.node, TapKind::Restart).is_break() {
                         return self.report();
@@ -1182,6 +1265,48 @@ impl<M: WireSize> Simulation<M> {
                     self.events_processed += 1;
                     continue;
                 }
+                EventBody::Offline => {
+                    // The node goes off the air mid-whatever: pending busy
+                    // time is void and everything delivered from now on is
+                    // discarded (below) until the window closes.
+                    self.core.offline[event.node] = true;
+                    self.core.avail[event.node] = event.time;
+                    self.core.metrics.add_counter("sim.availability.offline", 1);
+                    self.core
+                        .metrics
+                        .span_enter(event.node as u32, "node.offline", event.time);
+                    self.events_processed += 1;
+                    if self.fire_tap(tap, event.node, TapKind::Offline).is_break() {
+                        return self.report();
+                    }
+                    continue;
+                }
+                EventBody::Online => {
+                    self.core.offline[event.node] = false;
+                    self.core.metrics.add_counter("sim.availability.online", 1);
+                    self.core
+                        .metrics
+                        .span_exit(event.node as u32, "node.offline", event.time);
+                    // A node that also crashed while offline stays silent
+                    // until its Restart; otherwise it returns with state
+                    // intact and re-announces itself via on_restart.
+                    if !self.core.down[event.node] {
+                        let mut env = EnvHandle {
+                            core: &mut self.core,
+                            me: event.node,
+                            start: event.time,
+                            busy: SimTime::ZERO,
+                        };
+                        self.nodes[event.node].on_restart(&mut env);
+                        let busy = env.busy;
+                        self.core.avail[event.node] = event.time + busy;
+                    }
+                    self.events_processed += 1;
+                    if self.fire_tap(tap, event.node, TapKind::Online).is_break() {
+                        return self.report();
+                    }
+                    continue;
+                }
                 _ => {}
             }
             if self.core.down[event.node] {
@@ -1194,6 +1319,25 @@ impl<M: WireSize> Simulation<M> {
                 }
                 if self
                     .fire_tap(tap, event.node, TapKind::Discarded)
+                    .is_break()
+                {
+                    return self.report();
+                }
+                continue;
+            }
+            if self.core.offline[event.node] {
+                // Offline nodes neither train nor transmit: deliveries,
+                // timers and even the start event evaporate, under the
+                // availability namespace rather than the fault one.
+                self.core
+                    .metrics
+                    .add_counter("sim.availability.discarded", 1);
+                self.events_processed += 1;
+                if was_rep {
+                    self.promote_deferred(event.node, event.time);
+                }
+                if self
+                    .fire_tap(tap, event.node, TapKind::OfflineDiscarded)
                     .is_break()
                 {
                     return self.report();
@@ -1216,6 +1360,8 @@ impl<M: WireSize> Simulation<M> {
                 | EventBody::Restart
                 | EventBody::ConnDrop
                 | EventBody::ConnRestore
+                | EventBody::Offline
+                | EventBody::Online
                 | EventBody::FlowTick { .. } => unreachable!("handled above"),
             };
             let mut env = EnvHandle {
@@ -1233,6 +1379,8 @@ impl<M: WireSize> Simulation<M> {
                 | EventBody::Restart
                 | EventBody::ConnDrop
                 | EventBody::ConnRestore
+                | EventBody::Offline
+                | EventBody::Online
                 | EventBody::FlowTick { .. } => unreachable!("handled above"),
             }
             let busy = env.busy;
@@ -1273,6 +1421,7 @@ impl<M: WireSize> Simulation<M> {
             nodes: &self.nodes,
             inbox: &self.core.inbox,
             down: &self.core.down,
+            offline: &self.core.offline,
             metrics: &self.core.metrics,
         }
     }
@@ -1908,6 +2057,186 @@ mod tests {
             (recorder_received(&sim), report.events_processed)
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn offline_window_discards_inbox_and_online_hook_runs() {
+        struct Reviver {
+            restarts: u32,
+        }
+        impl Node<Msg> for Reviver {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn on_restart(&mut self, env: &mut dyn Env<Msg>) {
+                self.restarts += 1;
+                env.send(
+                    0,
+                    Msg {
+                        payload: 99,
+                        bytes: 0,
+                    },
+                );
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Node 0 sends to node 1 at t=0 (delivered ~10 ms, inside node 1's
+        // offline window) — discarded under the availability namespace, not
+        // the fault one. At 50 ms the window closes and node 1 pings back.
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(10)), 1)
+            .with_availability(AvailabilityPlan::none().offline_window(
+                1,
+                SimTime::from_millis(1),
+                SimTime::from_millis(50),
+            ));
+        sim.add_node(Box::new(Burst { count: 1, bytes: 0 }), Region::Paris);
+        sim.add_node(Box::new(Reviver { restarts: 0 }), Region::Paris);
+        sim.run(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("sim.availability.offline"), 1);
+        assert_eq!(sim.metrics().counter("sim.availability.online"), 1);
+        assert_eq!(sim.metrics().counter("sim.availability.discarded"), 1);
+        assert_eq!(sim.metrics().counter("fault.discarded"), 0);
+        assert_eq!(sim.metrics().counter("fault.crashes"), 0);
+        let reviver = sim.node(1).as_any().downcast_ref::<Reviver>().unwrap();
+        assert_eq!(reviver.restarts, 1);
+        assert_eq!(sim.metrics().counter("net.messages"), 2);
+    }
+
+    #[test]
+    fn empty_availability_plan_is_byte_identical_to_no_plan() {
+        let run = |with_plan: bool| {
+            let mut sim = Simulation::new(
+                NetworkConfig::uniform_all(SimTime::from_millis(5))
+                    .with_jitter(SimTime::from_millis(3)),
+                7,
+            );
+            if with_plan {
+                sim = sim.with_availability(AvailabilityPlan::none());
+            }
+            sim.add_node(
+                Box::new(Burst {
+                    count: 10,
+                    bytes: 10,
+                }),
+                Region::Paris,
+            );
+            sim.add_node(
+                Box::new(Recorder {
+                    received: Vec::new(),
+                }),
+                Region::Sydney,
+            );
+            let report = sim.run(SimTime::from_secs(1));
+            (recorder_received(&sim), report.events_processed)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn compute_multiplier_scales_busy_time() {
+        struct Slow {
+            processed_at: Vec<SimTime>,
+        }
+        impl Node<Msg> for Slow {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, env: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {
+                self.processed_at.push(env.now());
+                env.busy(SimTime::from_millis(50));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let run = |mul: Option<u64>| {
+            let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1);
+            if let Some(mul) = mul {
+                sim = sim.with_availability(AvailabilityPlan::none().compute_speed(1, mul));
+            }
+            sim.add_node(Box::new(Burst { count: 3, bytes: 0 }), Region::Paris);
+            sim.add_node(
+                Box::new(Slow {
+                    processed_at: Vec::new(),
+                }),
+                Region::Paris,
+            );
+            sim.run(SimTime::from_secs(10));
+            sim.node(1)
+                .as_any()
+                .downcast_ref::<Slow>()
+                .unwrap()
+                .processed_at
+                .clone()
+        };
+        // Half-speed tier: 50 ms of work costs 100 ms of virtual time.
+        let slow = run(Some(2000));
+        assert_eq!(slow[1], SimTime::from_millis(101));
+        assert_eq!(slow[2], SimTime::from_millis(201));
+        // Double-speed tier: 50 ms of work costs 25 ms.
+        let fast = run(Some(500));
+        assert_eq!(fast[1], SimTime::from_millis(26));
+        // The neutral tier is bit-identical to no plan at all.
+        assert_eq!(run(Some(1000)), run(None));
+    }
+
+    #[test]
+    fn restart_inside_an_offline_window_defers_the_hook_to_online() {
+        struct Reviver {
+            restarts: Vec<SimTime>,
+        }
+        impl Node<Msg> for Reviver {
+            fn on_start(&mut self, _env: &mut dyn Env<Msg>) {}
+            fn on_message(&mut self, _e: &mut dyn Env<Msg>, _f: NodeId, _m: Msg) {}
+            fn on_restart(&mut self, env: &mut dyn Env<Msg>) {
+                self.restarts.push(env.now());
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Crash at 10 ms, restart at 20 ms — but the node is offline from
+        // 5 ms to 40 ms, so the single on_restart fires at the Online
+        // transition (40 ms), not at the Restart (20 ms).
+        let mut sim = Simulation::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1)
+            .with_faults(FaultPlan::none().crash(
+                0,
+                SimTime::from_millis(10),
+                Some(SimTime::from_millis(20)),
+            ))
+            .with_availability(AvailabilityPlan::none().offline_window(
+                0,
+                SimTime::from_millis(5),
+                SimTime::from_millis(40),
+            ));
+        sim.add_node(
+            Box::new(Reviver {
+                restarts: Vec::new(),
+            }),
+            Region::Paris,
+        );
+        sim.run(SimTime::from_secs(1));
+        let reviver = sim.node(0).as_any().downcast_ref::<Reviver>().unwrap();
+        assert_eq!(reviver.restarts, vec![SimTime::from_millis(40)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping offline windows")]
+    fn overlapping_windows_for_one_node_are_rejected() {
+        let _ = Simulation::<Msg>::new(NetworkConfig::uniform_all(SimTime::from_millis(1)), 1)
+            .with_availability(
+                AvailabilityPlan::none()
+                    .offline_window(0, SimTime::ZERO, SimTime::from_secs(2))
+                    .offline_window(0, SimTime::from_secs(1), SimTime::from_secs(3)),
+            );
     }
 
     /// A message carrying a model payload that opts into Byzantine

@@ -14,6 +14,8 @@
 //! * [`net`] — regions, the AWS latency matrix, bandwidth and jitter;
 //! * [`fault`] — deterministic fault injection (message loss, partitions,
 //!   crashes, churn) driven by a seeded [`fault::FaultPlan`];
+//! * [`avail`] — client availability schedules (offline windows, compute
+//!   tiers) via an [`avail::AvailabilityPlan`], distinct from faults;
 //! * [`des::Simulation`] — the event loop with per-node busy/queue
 //!   accounting and FIFO links;
 //! * [`metrics`] — counters and time series (bytes transferred, queue
@@ -59,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod avail;
 pub mod des;
 pub mod fault;
 pub mod metrics;
@@ -68,6 +71,7 @@ pub mod runtime;
 pub mod time;
 mod wheel;
 
+pub use avail::{AvailWindow, AvailabilityPlan};
 pub use des::{EventTap, NoTap, ProbeCtx, RunReport, SchedulerKind, Simulation, TapCtx, TapKind};
 pub use fault::{ByzantineAttack, ByzantineClient, FaultPlan};
 pub use metrics::Metrics;

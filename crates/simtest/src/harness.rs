@@ -150,7 +150,9 @@ impl EventTap<FlMsg> for OracleTap<'_> {
                 kind,
                 token_delivered,
             }),
-            clean: self.sc.fault_count() == 0 && self.sc.inject.is_none(),
+            clean: self.sc.fault_count() == 0
+                && self.sc.inject.is_none()
+                && self.sc.avail_windows.is_empty(),
             byzantine_free: self.sc.faults.byzantine.is_empty(),
             targets: &self.sc.targets,
             budget_exhausted: false,
@@ -209,7 +211,7 @@ pub fn run_scenario(sc: &SimScenario, budget_events: u64) -> RunOutcome {
         metrics: sim.metrics(),
         n_clients: sc.n_clients,
         event: None,
-        clean: sc.fault_count() == 0 && sc.inject.is_none(),
+        clean: sc.fault_count() == 0 && sc.inject.is_none() && sc.avail_windows.is_empty(),
         byzantine_free: sc.faults.byzantine.is_empty(),
         targets: &sc.targets,
         budget_exhausted: tap.budget_exhausted,

@@ -32,6 +32,7 @@
 
 pub mod harness;
 pub mod oracle;
+pub mod presets;
 pub mod repro;
 pub mod scale;
 pub mod scenario;
@@ -39,6 +40,7 @@ pub mod shrink;
 
 pub use harness::{run_scenario, RunOutcome, RunStats, Violation};
 pub use oracle::{default_suite, Oracle, OracleCtx};
+pub use presets::ScenarioPreset;
 pub use repro::{load_repro, write_repro};
 pub use scale::{build_scale, run_scale, ScaleSpec, ScaleStats};
 pub use scenario::{Injection, SimScenario};

@@ -159,6 +159,7 @@ pub fn default_suite() -> Vec<Box<dyn Oracle>> {
         Box::new(MembershipOracle { last: None }),
         Box::new(ModelHullOracle { hull: None }),
         Box::new(CodecByteOracle),
+        Box::new(AvailabilityOracle::new()),
         Box::new(LivenessOracle),
     ]
 }
@@ -802,6 +803,109 @@ impl Oracle for CodecByteOracle {
     }
 }
 
+/// Availability windows are airtight: an offline node never runs a
+/// handler, transitions alternate (no double-offline, no online without a
+/// matching offline), discards only happen at nodes that are actually
+/// offline, and the `sim.availability.*` counters agree with the
+/// transition events the tap reported.
+///
+/// The oracle reconstructs the offline set purely from
+/// [`TapKind::Offline`] / [`TapKind::Online`] events, so it is an
+/// *independent* witness of the DES bookkeeping rather than a readback of
+/// it.
+pub(crate) struct AvailabilityOracle {
+    /// Nodes currently tracked offline (reconstructed from tap events).
+    offline: std::collections::BTreeSet<NodeId>,
+    /// Offline / online / discarded transitions witnessed so far.
+    tally: [u64; 3],
+}
+
+impl AvailabilityOracle {
+    pub(crate) fn new() -> Self {
+        AvailabilityOracle {
+            offline: std::collections::BTreeSet::new(),
+            tally: [0; 3],
+        }
+    }
+
+    fn check_tallies(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        for (name, want) in [
+            ("sim.availability.offline", self.tally[0]),
+            ("sim.availability.online", self.tally[1]),
+            ("sim.availability.discarded", self.tally[2]),
+        ] {
+            let got = ctx.metrics.counter(name);
+            if got != want {
+                return Err(format!(
+                    "counter {name} is {got} but the tap reported {want} such events"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Oracle for AvailabilityOracle {
+    fn name(&self) -> &'static str {
+        "availability"
+    }
+
+    fn check(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        if let Some(e) = ctx.event {
+            match e.kind {
+                TapKind::Offline => {
+                    if !self.offline.insert(e.node) {
+                        return Err(format!(
+                            "node {} went offline while already offline",
+                            e.node
+                        ));
+                    }
+                    self.tally[0] += 1;
+                }
+                TapKind::Online => {
+                    if !self.offline.remove(&e.node) {
+                        return Err(format!(
+                            "node {} came online with no matching offline transition",
+                            e.node
+                        ));
+                    }
+                    self.tally[1] += 1;
+                }
+                TapKind::OfflineDiscarded => {
+                    if !self.offline.contains(&e.node) {
+                        return Err(format!(
+                            "an event was availability-discarded at node {}, which is \
+                             not offline",
+                            e.node
+                        ));
+                    }
+                    self.tally[2] += 1;
+                }
+                TapKind::Start | TapKind::Deliver | TapKind::Timer => {
+                    if self.offline.contains(&e.node) {
+                        return Err(format!(
+                            "offline node {} ran a {:?} handler",
+                            e.node, e.kind
+                        ));
+                    }
+                }
+                // Crash faults are orthogonal to availability: a crash or
+                // restart may land inside an offline window (the DES defers
+                // the restart hook to the Online edge), and crash discards
+                // are the fault layer's business.
+                TapKind::Crash | TapKind::Restart | TapKind::Discarded => {}
+            }
+        }
+        self.check_tallies(ctx)
+    }
+
+    fn at_end(&mut self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        // Nodes may legitimately end the run offline (a window crossing the
+        // horizon), so only the books are re-checked here.
+        self.check_tallies(ctx)
+    }
+}
+
 /// End-of-run sanity for clean scenarios: the system made progress, no
 /// update was rejected (nothing dishonest ran), models and ages are
 /// consistent with the work done, and no more updates are in flight than
@@ -933,6 +1037,101 @@ mod tests {
         c.codec = Some(CodecConfig::paper_pipeline());
         let err = CodecByteOracle.check(&c).unwrap_err();
         assert!(err.contains("ledger identity"), "{err}");
+    }
+
+    fn avail_event(node: NodeId, kind: TapKind) -> EventInfo {
+        EventInfo {
+            node,
+            kind,
+            token_delivered: false,
+        }
+    }
+
+    #[test]
+    fn availability_oracle_accepts_a_legal_window() {
+        let mut m = Metrics::new();
+        let mut o = AvailabilityOracle::new();
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(3, TapKind::Deliver));
+        o.check(&c).unwrap();
+        m.add_counter("sim.availability.offline", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(3, TapKind::Offline));
+        o.check(&c).unwrap();
+        m.add_counter("sim.availability.discarded", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(3, TapKind::OfflineDiscarded));
+        o.check(&c).unwrap();
+        m.add_counter("sim.availability.online", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(3, TapKind::Online));
+        o.check(&c).unwrap();
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(3, TapKind::Timer));
+        o.check(&c).unwrap();
+        o.at_end(&ctx(&m)).unwrap();
+    }
+
+    #[test]
+    fn availability_oracle_flags_a_handler_on_an_offline_node() {
+        let mut m = Metrics::new();
+        let mut o = AvailabilityOracle::new();
+        m.add_counter("sim.availability.offline", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(5, TapKind::Offline));
+        o.check(&c).unwrap();
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(5, TapKind::Timer));
+        let err = o.check(&c).unwrap_err();
+        assert!(err.contains("offline node 5 ran a Timer handler"), "{err}");
+    }
+
+    #[test]
+    fn availability_oracle_flags_unpaired_transitions_and_bad_discards() {
+        // Online with no matching offline.
+        let mut m = Metrics::new();
+        m.add_counter("sim.availability.online", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(2, TapKind::Online));
+        let err = AvailabilityOracle::new().check(&c).unwrap_err();
+        assert!(err.contains("no matching offline"), "{err}");
+        // A discard at a node the tap never reported offline.
+        let mut m = Metrics::new();
+        m.add_counter("sim.availability.discarded", 1);
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(2, TapKind::OfflineDiscarded));
+        let err = AvailabilityOracle::new().check(&c).unwrap_err();
+        assert!(err.contains("not offline"), "{err}");
+        // Double offline.
+        let mut m = Metrics::new();
+        m.add_counter("sim.availability.offline", 2);
+        let mut o = AvailabilityOracle::new();
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(2, TapKind::Offline));
+        // First transition trips the tally check (counter says 2, tap saw 1)
+        // only after the state update, so feed matching counters instead.
+        let mut m1 = Metrics::new();
+        m1.add_counter("sim.availability.offline", 1);
+        c.metrics = &m1;
+        o.check(&c).unwrap();
+        let mut c = ctx(&m);
+        c.event = Some(avail_event(2, TapKind::Offline));
+        let err = o.check(&c).unwrap_err();
+        assert!(err.contains("already offline"), "{err}");
+    }
+
+    #[test]
+    fn availability_oracle_flags_counter_drift() {
+        let m = Metrics::new();
+        let mut o = AvailabilityOracle::new();
+        o.check(&ctx(&m)).unwrap();
+        let mut m = Metrics::new();
+        m.add_counter("sim.availability.offline", 1);
+        let err = o.at_end(&ctx(&m)).unwrap_err();
+        assert!(
+            err.contains("sim.availability.offline is 1 but the tap reported 0"),
+            "{err}"
+        );
     }
 
     #[test]

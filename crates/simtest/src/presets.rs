@@ -1,0 +1,422 @@
+//! The scenario library: named workload presets over [`SimScenario`].
+//!
+//! Uniform-random scenario draws explore the protocol's state space, but
+//! they never concentrate probability mass on the *structured* workloads
+//! real federated-learning populations exhibit: strong diurnal
+//! availability cycles (Papaya's production observation), device speed
+//! tiers (paper Tab. 3), flash crowds, correlated regional outages, and
+//! bandwidth collapses that inflate update staleness. A
+//! [`ScenarioPreset`] is a deterministic, seed-parameterized transform
+//! over the plain [`SimScenario::generate`] expansion that produces
+//! exactly one of those shapes — same seed, same scenario, byte for byte.
+//!
+//! Each preset also carries a *pinned* regression anchor: one committed
+//! seed whose end-state fingerprint is frozen in
+//! [`ScenarioPreset::pinned_fingerprint`] and replayed by
+//! `simtest --check-pinned` (wired into `scripts/check.sh`), so a
+//! protocol change that alters behavior under a realistic workload fails
+//! loudly instead of drifting silently. The corresponding scenario files
+//! live in `scenarios/<name>.ron`; regenerate them with
+//! `simtest --write-scenarios scenarios` after an intentional change.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spyker_simnet::{AvailWindow, Region, SimTime};
+
+use crate::scenario::SimScenario;
+
+/// A named workload shape from the scenario library (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioPreset {
+    /// Sinusoidal per-region availability waves over virtual time: each
+    /// region's clients sleep through the second half of a phase-shifted
+    /// period, like a population following the sun.
+    Diurnal,
+    /// Device speed tiers (paper Tab. 3 scaled): every client lands in a
+    /// fast/medium/slow compute tier via per-client busy-time multipliers.
+    DeviceTiers,
+    /// A scheduled mass join hitting one region: the region's clients are
+    /// offline from the start and all come online at once mid-run.
+    FlashCrowd,
+    /// A correlated regional outage: one region is partitioned from every
+    /// other region while its server crashes and restarts inside the
+    /// partition window.
+    RegionalOutage,
+    /// A bandwidth collapse at a large model dimension: serialization
+    /// delays balloon, updates queue behind the trunk, and every
+    /// delivered update arrives stale.
+    StalenessStorm,
+}
+
+impl ScenarioPreset {
+    /// Every preset, in catalog (= gauge index) order.
+    pub const ALL: [ScenarioPreset; 5] = [
+        ScenarioPreset::Diurnal,
+        ScenarioPreset::DeviceTiers,
+        ScenarioPreset::FlashCrowd,
+        ScenarioPreset::RegionalOutage,
+        ScenarioPreset::StalenessStorm,
+    ];
+
+    /// The CLI name (`simtest --preset <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioPreset::Diurnal => "diurnal",
+            ScenarioPreset::DeviceTiers => "device_tiers",
+            ScenarioPreset::FlashCrowd => "flash_crowd",
+            ScenarioPreset::RegionalOutage => "regional_outage",
+            ScenarioPreset::StalenessStorm => "staleness_storm",
+        }
+    }
+
+    /// Stable catalog index (the `scenario.preset` gauge value).
+    pub fn index(self) -> usize {
+        match self {
+            ScenarioPreset::Diurnal => 0,
+            ScenarioPreset::DeviceTiers => 1,
+            ScenarioPreset::FlashCrowd => 2,
+            ScenarioPreset::RegionalOutage => 3,
+            ScenarioPreset::StalenessStorm => 4,
+        }
+    }
+
+    /// Looks a preset up by its CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// One-line description for `--help` output and the README table.
+    pub fn description(self) -> &'static str {
+        match self {
+            ScenarioPreset::Diurnal => {
+                "sinusoidal per-region availability waves (phase-shifted day/night cycles)"
+            }
+            ScenarioPreset::DeviceTiers => {
+                "fast/medium/slow compute tiers via per-client busy-time multipliers"
+            }
+            ScenarioPreset::FlashCrowd => {
+                "one region's clients join en masse mid-run after starting offline"
+            }
+            ScenarioPreset::RegionalOutage => {
+                "one region partitioned from all others while its server crash-restarts"
+            }
+            ScenarioPreset::StalenessStorm => {
+                "bandwidth collapse at large dim - updates queue and arrive stale"
+            }
+        }
+    }
+
+    /// The committed regression-corpus seed for this preset
+    /// (`scenarios/<name>.ron` is its expansion).
+    pub fn pinned_seed(self) -> u64 {
+        match self {
+            ScenarioPreset::Diurnal => 13,
+            ScenarioPreset::DeviceTiers => 22,
+            ScenarioPreset::FlashCrowd => 23,
+            ScenarioPreset::RegionalOutage => 18,
+            ScenarioPreset::StalenessStorm => 20,
+        }
+    }
+
+    /// The golden end-state fingerprint of the pinned seed's run
+    /// ([`crate::harness::RunStats::fingerprint`]). A mismatch means
+    /// protocol behavior changed under this workload: if intentional,
+    /// refresh with `simtest --check-pinned --update-pinned` and commit
+    /// the new constants printed there.
+    pub fn pinned_fingerprint(self) -> u64 {
+        match self {
+            ScenarioPreset::Diurnal => 0xacc7_49d4_bdb1_bc04,
+            ScenarioPreset::DeviceTiers => 0x4ce0_178d_6350_6d87,
+            ScenarioPreset::FlashCrowd => 0x2f39_26a2_349e_fea6,
+            ScenarioPreset::RegionalOutage => 0x3563_9030_e646_569e,
+            ScenarioPreset::StalenessStorm => 0xf639_07d0_e4a9_bca9,
+        }
+    }
+
+    /// Expands `seed` into this preset's workload: the plain
+    /// [`SimScenario::generate`] expansion transformed by
+    /// [`ScenarioPreset::apply`].
+    pub fn generate(self, seed: u64) -> SimScenario {
+        self.apply(SimScenario::generate(seed))
+    }
+
+    /// Transforms `base` into this preset's workload shape.
+    ///
+    /// The base scenario's random faults, injections and membership churn
+    /// are cleared first — a preset owns its dynamics completely, so two
+    /// presets over the same seed differ only in the workload shape, not
+    /// in leftover random faults. Topology and protocol knobs survive.
+    /// Preset-specific draws come from a stream decorrelated both from
+    /// the scenario generator and from the other presets.
+    pub fn apply(self, base: SimScenario) -> SimScenario {
+        let mut sc = base;
+        sc.faults = spyker_simnet::FaultPlan::none();
+        sc.inject = None;
+        sc.joins.clear();
+        sc.leaves.clear();
+        sc.preset = Some(self.name().to_string());
+        let mut rng = StdRng::seed_from_u64(
+            sc.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(self.index() as u64)
+                ^ 0xd6e8_feb8_6659_fd93,
+        );
+        match self {
+            ScenarioPreset::Diurnal => apply_diurnal(&mut sc, &mut rng),
+            ScenarioPreset::DeviceTiers => apply_device_tiers(&mut sc, &mut rng),
+            ScenarioPreset::FlashCrowd => apply_flash_crowd(&mut sc, &mut rng),
+            ScenarioPreset::RegionalOutage => apply_regional_outage(&mut sc, &mut rng),
+            ScenarioPreset::StalenessStorm => apply_staleness_storm(&mut sc, &mut rng),
+        }
+        sc
+    }
+}
+
+/// Client `i`'s node id under the even (non-elastic) assignment.
+fn client_node(sc: &SimScenario, i: usize) -> usize {
+    sc.n_servers + i
+}
+
+/// Client `i`'s region index under the even assignment: client `i`
+/// reports to server `i % n_servers`, which sits in region
+/// `server % |regions|`.
+fn client_region_idx(sc: &SimScenario, i: usize) -> usize {
+    (i % sc.n_servers) % Region::ALL.len()
+}
+
+/// Diurnal waves: period `P = horizon / 2`; each region's phase is
+/// shifted by a quarter period per region index, and its clients sleep
+/// through the second half of every period (with a small per-client
+/// start jitter, so wake-ups are staggered like a real population).
+fn apply_diurnal(sc: &mut SimScenario, rng: &mut StdRng) {
+    let horizon_us = sc.horizon.as_micros();
+    let period = horizon_us / 2;
+    for i in 0..sc.n_clients {
+        let phase = client_region_idx(sc, i) as u64 * period / 4;
+        let jitter = rng.gen_range(0..period / 8);
+        let mut k = 0u64;
+        loop {
+            let start = phase + k * period + period / 2 + jitter;
+            let end = phase + (k + 1) * period;
+            if start >= horizon_us {
+                break;
+            }
+            sc.avail_windows.push(AvailWindow {
+                node: client_node(sc, i),
+                start: SimTime::from_micros(start),
+                end: SimTime::from_micros(end),
+            });
+            k += 1;
+        }
+    }
+}
+
+/// Device tiers (paper Tab. 3 scaled): ~30% fast (neutral), ~40% medium
+/// (2-2.5x busy time), ~30% slow (4-5x). At least one client is always
+/// non-neutral so the tier machinery is actually exercised.
+fn apply_device_tiers(sc: &mut SimScenario, rng: &mut StdRng) {
+    sc.compute_mul = (0..sc.n_clients)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0..=2 => 1000,
+            3..=6 => 2000 + rng.gen_range(0..=500),
+            _ => 4000 + rng.gen_range(0..=1000),
+        })
+        .collect();
+    if sc.compute_mul.iter().all(|&m| m == 1000) {
+        sc.compute_mul[0] = 2000;
+    }
+}
+
+/// Flash crowd: one region's clients are offline from t=0 and all come
+/// online at the same instant in the second quarter of the run — a mass
+/// simultaneous join against one server.
+fn apply_flash_crowd(sc: &mut SimScenario, rng: &mut StdRng) {
+    let horizon_us = sc.horizon.as_micros();
+    let target_server = rng.gen_range(0..sc.n_servers);
+    let at = rng.gen_range(horizon_us / 4..horizon_us / 2);
+    for i in 0..sc.n_clients {
+        if i % sc.n_servers == target_server {
+            sc.avail_windows.push(AvailWindow {
+                node: client_node(sc, i),
+                start: SimTime::ZERO,
+                end: SimTime::from_micros(at),
+            });
+        }
+    }
+}
+
+/// Regional outage: the target server's region is partitioned from every
+/// other region for a window, and the server itself crashes and restarts
+/// inside that window. Recovery is forced on — a silenced server must be
+/// survivable, which is exactly what the recovery protocol is for.
+fn apply_regional_outage(sc: &mut SimScenario, rng: &mut StdRng) {
+    let horizon_us = sc.horizon.as_micros();
+    let target_server = rng.gen_range(0..sc.n_servers);
+    let region = Region::ALL[target_server % Region::ALL.len()];
+    let start = rng.gen_range(horizon_us / 8..horizon_us / 3);
+    let end = rng.gen_range(start + horizon_us / 4..=2 * horizon_us / 3);
+    for &other in &Region::ALL {
+        if other != region {
+            sc.faults = sc.faults.clone().partition(
+                region,
+                other,
+                SimTime::from_micros(start),
+                SimTime::from_micros(end),
+            );
+        }
+    }
+    let crash_at = rng.gen_range(start..(start + end) / 2);
+    let restart_at = rng.gen_range((start + end) / 2..end);
+    sc.faults = sc.faults.clone().crash(
+        target_server,
+        SimTime::from_micros(crash_at),
+        Some(SimTime::from_micros(restart_at)),
+    );
+    sc.recovery = true;
+}
+
+/// Staleness storm: the model is re-drawn large and the link bandwidth
+/// collapses to dial-up rates, so every transfer pays seconds of
+/// serialization delay and updates arrive old. The delta-norm gate is
+/// disabled — it was calibrated for the small-dim target hull and honest
+/// deltas at this dimension can trip it.
+fn apply_staleness_storm(sc: &mut SimScenario, rng: &mut StdRng) {
+    sc.dim = rng.gen_range(64..=128);
+    sc.max_delta_norm = None;
+    sc.bandwidth_bps = Some(rng.gen_range(5_000..=20_000));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_round_trips_name_and_index() {
+        for (k, p) in ScenarioPreset::ALL.iter().enumerate() {
+            assert_eq!(p.index(), k);
+            assert_eq!(ScenarioPreset::from_name(p.name()), Some(*p));
+        }
+        assert_eq!(ScenarioPreset::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_preset_and_differs_across_presets() {
+        for seed in 0..8 {
+            for p in ScenarioPreset::ALL {
+                assert_eq!(p.generate(seed), p.generate(seed), "{}", p.name());
+                assert_eq!(
+                    p.generate(seed).preset.as_deref(),
+                    Some(p.name()),
+                    "preset tag missing"
+                );
+            }
+            assert_ne!(
+                ScenarioPreset::Diurnal.generate(seed),
+                ScenarioPreset::FlashCrowd.generate(seed)
+            );
+        }
+    }
+
+    #[test]
+    fn presets_clear_the_base_scenario_randomness_they_do_not_own() {
+        for seed in 0..16 {
+            for p in ScenarioPreset::ALL {
+                let sc = p.generate(seed);
+                assert!(sc.inject.is_none());
+                assert!(sc.joins.is_empty() && sc.leaves.is_empty());
+                if p != ScenarioPreset::RegionalOutage {
+                    assert_eq!(sc.fault_count(), 0, "{} seed {seed}", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_windows_are_disjoint_per_node_and_inside_the_horizon() {
+        for seed in 0..16 {
+            let sc = ScenarioPreset::Diurnal.generate(seed);
+            assert!(!sc.avail_windows.is_empty(), "seed {seed}: no waves");
+            assert_eq!(sc.availability().overlapping_node(), None, "seed {seed}");
+            for w in &sc.avail_windows {
+                assert!(w.start < w.end, "seed {seed}: empty window");
+                assert!(w.start < sc.horizon, "seed {seed}: window after horizon");
+                assert!(
+                    w.node >= sc.n_servers && w.node < sc.n_servers + sc.n_clients,
+                    "seed {seed}: window on a non-client node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn device_tiers_cover_every_client_and_are_never_all_neutral() {
+        for seed in 0..16 {
+            let sc = ScenarioPreset::DeviceTiers.generate(seed);
+            assert_eq!(sc.compute_mul.len(), sc.n_clients, "seed {seed}");
+            assert!(
+                sc.compute_mul.iter().any(|&m| m != 1000),
+                "seed {seed}: all clients neutral"
+            );
+            assert!(sc.compute_mul.iter().all(|&m| (1000..=5000).contains(&m)));
+        }
+    }
+
+    #[test]
+    fn flash_crowd_floors_exactly_one_servers_clients() {
+        for seed in 0..16 {
+            let sc = ScenarioPreset::FlashCrowd.generate(seed);
+            assert!(!sc.avail_windows.is_empty(), "seed {seed}");
+            let end = sc.avail_windows[0].end;
+            for w in &sc.avail_windows {
+                assert_eq!(w.start, SimTime::ZERO, "seed {seed}: staggered start");
+                assert_eq!(w.end, end, "seed {seed}: staggered crowd");
+                assert!(end < sc.horizon, "seed {seed}: crowd after horizon");
+            }
+            // All floored clients report to the same server.
+            let servers: Vec<usize> = sc
+                .avail_windows
+                .iter()
+                .map(|w| (w.node - sc.n_servers) % sc.n_servers)
+                .collect();
+            assert!(servers.windows(2).all(|p| p[0] == p[1]), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn regional_outage_partitions_and_crash_restarts_one_server() {
+        for seed in 0..16 {
+            let sc = ScenarioPreset::RegionalOutage.generate(seed);
+            assert_eq!(sc.faults.partitions.len(), Region::ALL.len() - 1);
+            assert_eq!(sc.faults.crashes.len(), 1, "seed {seed}");
+            let c = &sc.faults.crashes[0];
+            assert!(c.node < sc.n_servers, "seed {seed}: crashed a client");
+            assert!(c.restart.is_some(), "seed {seed}: no restart");
+            assert!(sc.recovery, "seed {seed}: outage without recovery");
+        }
+    }
+
+    #[test]
+    fn staleness_storm_collapses_bandwidth_at_large_dim() {
+        for seed in 0..16 {
+            let sc = ScenarioPreset::StalenessStorm.generate(seed);
+            let bps = sc.bandwidth_bps.expect("no bandwidth override");
+            assert!((5_000..=20_000).contains(&bps), "seed {seed}");
+            assert!(sc.dim >= 64, "seed {seed}: dim {}", sc.dim);
+            assert!(sc.max_delta_norm.is_none(), "seed {seed}: gate left on");
+        }
+    }
+
+    #[test]
+    fn ron_round_trips_every_preset() {
+        for seed in 0..8 {
+            for p in ScenarioPreset::ALL {
+                let sc = p.generate(seed);
+                let ron = sc.to_ron();
+                let back = SimScenario::from_ron(&ron).unwrap_or_else(|e| {
+                    panic!("{} seed {seed}: parse failed: {e}\n{ron}", p.name())
+                });
+                assert_eq!(back, sc, "{} seed {seed}\n{ron}", p.name());
+            }
+        }
+    }
+}

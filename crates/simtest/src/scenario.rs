@@ -25,7 +25,9 @@ use spyker_core::update_codec::{CodecConfig, QuantBits, Rounding};
 use spyker_simnet::fault::{
     ByzantineAttack, ConnWindow, CrashEvent, PartitionWindow, ScriptedDrop,
 };
-use spyker_simnet::{FaultPlan, NetworkConfig, NodeId, Region, SimTime, Simulation};
+use spyker_simnet::{
+    AvailWindow, AvailabilityPlan, FaultPlan, NetworkConfig, NodeId, Region, SimTime, Simulation,
+};
 
 /// A deliberate, test-only invariant violation injected mid-run.
 ///
@@ -99,6 +101,23 @@ pub struct SimScenario {
     /// sweeps are unchanged — codec sweeps go through
     /// [`SimScenario::generate_codec`].
     pub codec: Option<CodecConfig>,
+    /// Scheduled client availability windows (node goes offline during
+    /// `[start, end)`, distinct from crash faults — see
+    /// [`spyker_simnet::avail`]). Node ids, like the fault plan. Empty
+    /// keeps the run byte-identical to pre-availability builds.
+    pub avail_windows: Vec<AvailWindow>,
+    /// Per-client compute-speed multipliers in thousandths (`1000` =
+    /// neutral), indexed like `train_delay_ms`. Empty means every client
+    /// runs at the neutral tier (byte-identical to pre-tier builds).
+    pub compute_mul: Vec<u64>,
+    /// Overrides the network's link bandwidth in bits/second (`None`
+    /// keeps the paper default). Lower values inflate serialization
+    /// delays and thus update staleness.
+    pub bandwidth_bps: Option<u64>,
+    /// Name of the scenario-library preset this scenario was derived from
+    /// (`None` for plain random draws). Stamped onto the run as the
+    /// `scenario.preset` gauge so run reports identify the workload.
+    pub preset: Option<String>,
 }
 
 impl SimScenario {
@@ -172,6 +191,10 @@ impl SimScenario {
             joins: Vec::new(),
             leaves: Vec::new(),
             codec: None,
+            avail_windows: Vec::new(),
+            compute_mul: Vec::new(),
+            bandwidth_bps: None,
+            preset: None,
         }
     }
 
@@ -375,11 +398,29 @@ impl SimScenario {
             Some(ms) => NetworkConfig::uniform_all(SimTime::from_millis(ms)),
             None => NetworkConfig::aws(),
         };
+        let net = match self.bandwidth_bps {
+            Some(bps) => net.with_bandwidth_bps(bps),
+            None => net,
+        };
         if self.jitter_ms > 0 {
             net.with_jitter(SimTime::from_millis(self.jitter_ms))
         } else {
             net
         }
+    }
+
+    /// The availability schedule this scenario attaches: the scheduled
+    /// offline windows plus one compute-tier entry per non-neutral client
+    /// multiplier (client `i` is node `n_servers + i`).
+    pub fn availability(&self) -> AvailabilityPlan {
+        let mut plan = AvailabilityPlan::none();
+        plan.offline = self.avail_windows.clone();
+        for (i, &mul) in self.compute_mul.iter().enumerate() {
+            if mul != 1000 {
+                plan = plan.compute_speed(self.n_servers + i, mul);
+            }
+        }
+        plan
     }
 
     /// Builds the ready-to-run simulation (faults attached): servers at
@@ -403,7 +444,7 @@ impl SimScenario {
                 .map(|&ms| SimTime::from_millis(ms))
                 .collect(),
         };
-        if self.elastic() {
+        let sim = if self.elastic() {
             let elastic = ElasticSpec {
                 standby_regions: (0..self.joins.len())
                     .map(|k| Region::ALL[(self.n_servers + k) % Region::ALL.len()])
@@ -413,13 +454,29 @@ impl SimScenario {
                 failover_timeout: MembershipConfig::default().client_failover_timeout,
                 autoscaler: None,
             };
-            return elastic_spyker_deployment(self.net(), self.seed, spec, elastic)
+            elastic_spyker_deployment(self.net(), self.seed, spec, elastic)
                 .sim
-                .with_faults(self.faults.clone());
+                .with_faults(self.faults.clone())
+        } else {
+            let assignment = even_assignment(self.n_clients, self.n_servers);
+            spyker_deployment_assigned(self.net(), self.seed, assignment, spec)
+                .with_faults(self.faults.clone())
+        };
+        // Only attach the plan when it schedules or scales something, so
+        // plain scenarios stay byte-identical to pre-availability builds.
+        let plan = self.availability();
+        let mut sim = if plan.is_none() {
+            sim
+        } else {
+            sim.with_availability(plan)
+        };
+        if let Some(name) = &self.preset {
+            let idx = crate::presets::ScenarioPreset::from_name(name)
+                .map(|p| p.index() as f64)
+                .unwrap_or(-1.0);
+            sim.metrics_mut().gauge_set("scenario.preset", idx);
         }
-        let assignment = even_assignment(self.n_clients, self.n_servers);
-        spyker_deployment_assigned(self.net(), self.seed, assignment, spec)
-            .with_faults(self.faults.clone())
+        sim
     }
 
     /// Number of individual faults in the plan (each loss rule, drop,
@@ -440,6 +497,7 @@ impl SimScenario {
     pub fn size(&self) -> u64 {
         (self.n_servers + self.n_clients + self.joins.len()) as u64
             + 2 * (self.fault_count() + self.joins.len() + self.leaves.len()) as u64
+            + 2 * self.avail_windows.len() as u64
             + self.horizon.as_micros() / 1_000_000
     }
 
@@ -457,6 +515,7 @@ impl SimScenario {
             || self.faults.conns.iter().any(|c| c.a == node || c.b == node)
             || self.faults.crashes.iter().any(|c| c.node == node)
             || self.faults.byzantine.iter().any(|b| b.node == node)
+            || self.avail_windows.iter().any(|w| w.node == node)
     }
 
     /// `true` when any fault references *any* node id (shrinking the node
@@ -468,6 +527,7 @@ impl SimScenario {
             || !self.faults.conns.is_empty()
             || !self.faults.crashes.is_empty()
             || !self.faults.byzantine.is_empty()
+            || !self.avail_windows.is_empty()
     }
 
     /// Serializes the scenario as RON (round-trips through
@@ -625,6 +685,30 @@ impl SimScenario {
             None => "None".to_string(),
         };
         emit(p, &format!("    codec: {codec},\n"));
+        let avail: Vec<String> = self
+            .avail_windows
+            .iter()
+            .map(|w| {
+                format!(
+                    "(node: {}, start_us: {}, end_us: {})",
+                    w.node,
+                    w.start.as_micros(),
+                    w.end.as_micros()
+                )
+            })
+            .collect();
+        emit(p, &format!("    avail: [{}],\n", avail.join(", ")));
+        emit(p, &format!("    compute_mul: {:?},\n", self.compute_mul));
+        let bw = match self.bandwidth_bps {
+            Some(bps) => format!("Some({bps})"),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    bandwidth_bps: {bw},\n"));
+        let preset = match &self.preset {
+            Some(name) => format!("Some(\"{name}\")"),
+            None => "None".to_string(),
+        };
+        emit(p, &format!("    preset: {preset},\n"));
         emit(p, ")\n");
         s
     }
@@ -1176,6 +1260,57 @@ impl<'a> Parser<'a> {
             }
             self.expect(",")?;
         }
+        // The scenario library (availability windows, compute tiers,
+        // bandwidth override, preset tag) came later still: files written
+        // before it end at `codec` (or earlier), defaulting to the plain
+        // always-available run.
+        let mut avail_windows = Vec::new();
+        if self.peek("avail") {
+            self.field("avail")?;
+            self.expect("[")?;
+            while !self.peek("]") {
+                self.expect("(")?;
+                self.field("node")?;
+                let node = self.number::<usize>()?;
+                self.expect(",")?;
+                self.field("start_us")?;
+                let start = SimTime::from_micros(self.number::<u64>()?);
+                self.expect(",")?;
+                self.field("end_us")?;
+                let end = SimTime::from_micros(self.number::<u64>()?);
+                self.expect(")")?;
+                avail_windows.push(AvailWindow { node, start, end });
+                if !self.peek("]") {
+                    self.expect(",")?;
+                }
+            }
+            self.expect("]")?;
+            self.expect(",")?;
+        }
+        let mut compute_mul = Vec::new();
+        if self.peek("compute_mul") {
+            self.field("compute_mul")?;
+            compute_mul = self.num_list::<u64>()?;
+            self.expect(",")?;
+        }
+        let mut bandwidth_bps = None;
+        if self.peek("bandwidth_bps") {
+            self.field("bandwidth_bps")?;
+            bandwidth_bps = self.opt_u64()?;
+            self.expect(",")?;
+        }
+        let mut preset = None;
+        if self.peek("preset") {
+            self.field("preset")?;
+            if self.peek("None") {
+                self.expect("None")?;
+            } else {
+                self.expect("Some(")?;
+                preset = Some(self.string()?);
+                self.expect(")")?;
+            }
+            self.expect(",")?;
+        }
         self.expect(")")?;
         Ok(SimScenario {
             seed,
@@ -1198,6 +1333,10 @@ impl<'a> Parser<'a> {
             joins,
             leaves,
             codec,
+            avail_windows,
+            compute_mul,
+            bandwidth_bps,
+            preset,
         })
     }
 }
@@ -1307,6 +1446,24 @@ mod tests {
             .to_ron()
             .lines()
             .filter(|l| !l.contains("joins_us") && !l.contains("leaves"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(SimScenario::from_ron(&legacy).unwrap(), s);
+    }
+
+    #[test]
+    fn ron_without_availability_fields_still_parses() {
+        // Repro files written before the scenario library end at `codec`.
+        let s = SimScenario::generate(9);
+        let legacy: String = s
+            .to_ron()
+            .lines()
+            .filter(|l| {
+                !l.contains("avail")
+                    && !l.contains("compute_mul")
+                    && !l.contains("bandwidth_bps")
+                    && !l.contains("preset")
+            })
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(SimScenario::from_ron(&legacy).unwrap(), s);

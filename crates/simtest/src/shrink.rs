@@ -34,6 +34,9 @@ const MOVES: &[Move] = &[
     drop_byzantine,
     drop_leave,
     drop_join,
+    drop_avail,
+    neutralize_compute,
+    drop_bandwidth_cap,
     drop_client,
     drop_server,
     halve_horizon,
@@ -107,6 +110,30 @@ fn drop_join(sc: &SimScenario) -> Option<SimScenario> {
     })
 }
 
+fn drop_avail(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.avail_windows.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.avail_windows.pop();
+        s
+    })
+}
+
+fn neutralize_compute(sc: &SimScenario) -> Option<SimScenario> {
+    (!sc.compute_mul.is_empty()).then(|| {
+        let mut s = sc.clone();
+        s.compute_mul.clear();
+        s
+    })
+}
+
+fn drop_bandwidth_cap(sc: &SimScenario) -> Option<SimScenario> {
+    sc.bandwidth_bps.is_some().then(|| {
+        let mut s = sc.clone();
+        s.bandwidth_bps = None;
+        s
+    })
+}
+
 fn drop_client(sc: &SimScenario) -> Option<SimScenario> {
     if sc.n_clients <= 1 {
         return None;
@@ -124,6 +151,9 @@ fn drop_client(sc: &SimScenario) -> Option<SimScenario> {
     s.n_clients -= 1;
     s.train_delay_ms.pop();
     s.targets.pop();
+    if !s.compute_mul.is_empty() {
+        s.compute_mul.pop();
+    }
     Some(s)
 }
 
@@ -215,6 +245,9 @@ mod tests {
             for mut sc in [
                 SimScenario::generate(seed),
                 SimScenario::generate_churn(seed),
+                crate::presets::ScenarioPreset::Diurnal.generate(seed),
+                crate::presets::ScenarioPreset::DeviceTiers.generate(seed),
+                crate::presets::ScenarioPreset::StalenessStorm.generate(seed),
             ] {
                 sc.inject = Some(Injection::DuplicateToken {
                     at: SimTime::from_secs(4),

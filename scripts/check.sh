@@ -55,6 +55,19 @@ cargo run -q --release -p spyker-simtest --bin simtest -- \
 cargo run -q --release -p spyker-simtest --bin simtest -- \
     --codec --seeds 32 --budget-events 200k --time-cap-secs 120
 
+# Scenario-library gates (see DESIGN.md §17). First the pinned regression
+# corpus: every committed scenarios/<preset>.ron must match its generator
+# byte-for-byte and reproduce its golden end-state fingerprint — workload
+# drift in any preset is a hard failure, refreshed only deliberately via
+# `--write-scenarios` / `--update-pinned`. Then a 16-seed randomized sweep
+# per preset under the full oracle suite (availability oracle included),
+# time-capped like the other sweeps.
+cargo run -q --release -p spyker-simtest --bin simtest -- --check-pinned
+for preset in diurnal device_tiers flash_crowd regional_outage staleness_storm; do
+    cargo run -q --release -p spyker-simtest --bin simtest -- \
+        --preset "$preset" --seeds 16 --budget-events 200k --time-cap-secs 60
+done
+
 # 100k-logical-client scale smoke (see DESIGN.md §15): one cohort-batched
 # scenario under the full per-event oracle suite — wheel scheduler,
 # flow-shared links, 782 cohort actors, clients uploading through the

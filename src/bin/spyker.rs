@@ -48,6 +48,12 @@ OPTIONS:
                        'delta,topk=0.05,q4,nearest,noef,seed=7'; also applies
                        to serve/client TCP processes (pass the same spec to
                        every process)
+    --preset <name>    run only: replay a scenario-library workload preset
+                       (diurnal | device_tiers | flash_crowd |
+                       regional_outage | staleness_storm) through the
+                       simulation harness under the full oracle suite and
+                       emit its run report; --seed selects the expansion,
+                       --codec composes, --alg/--task do not apply
 
 TCP OPTIONS (serve/client; --seconds is wall-clock here):
     --addrs <a,b,..>   comma-separated server listen addresses (required);
@@ -97,6 +103,7 @@ struct Args {
     extra_addrs: Vec<String>,
     leave_after: Option<u64>,
     codec: Option<CodecConfig>,
+    preset: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +137,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         extra_addrs: Vec::new(),
         leave_after: None,
         codec: None,
+        preset: None,
     };
     let mut it = argv.iter();
     match it.next().map(String::as_str) {
@@ -183,6 +191,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.codec =
                     Some(CodecConfig::parse(value()?).map_err(|e| format!("--codec: {e}"))?)
             }
+            "--preset" => {
+                let name = value()?;
+                if spyker_simtest::ScenarioPreset::from_name(name).is_none() {
+                    let names: Vec<&str> = spyker_simtest::ScenarioPreset::ALL
+                        .iter()
+                        .map(|p| p.name())
+                        .collect();
+                    return Err(format!(
+                        "unknown preset '{name}' (catalog: {})",
+                        names.join(", ")
+                    ));
+                }
+                args.preset = Some(name.to_string());
+            }
             "--addrs" => {
                 args.addrs = value()?.split(',').map(String::from).collect();
             }
@@ -211,6 +233,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.clients == 0 || args.servers == 0 {
         return Err("--clients and --servers must be positive".into());
+    }
+    if args.preset.is_some() && args.command != Command::Run {
+        return Err("--preset only applies to `spyker run`".into());
     }
     if matches!(args.command, Command::Serve | Command::Client) {
         if args.addrs.is_empty() {
@@ -284,7 +309,52 @@ fn build_opts(args: &Args, scenario: &Scenario) -> RunOptions {
     opts
 }
 
-fn cmd_run(args: &Args) {
+/// Replays a scenario-library preset through the simulation-test harness:
+/// the workload runs under the full oracle suite first (any violation is a
+/// hard error), then once more outside the harness — bit-identical, the
+/// runs are deterministic — to render its obs run report.
+fn cmd_run_preset(args: &Args, name: &str) -> Result<(), String> {
+    let preset = spyker_simtest::ScenarioPreset::from_name(name).expect("validated in parse_args");
+    let mut sc = preset.generate(args.seed);
+    if let Some(codec) = args.codec {
+        // Same composition rule as `simtest --preset --codec`: the norm
+        // gate is calibrated for dense small-dim updates and honest
+        // quantized deltas can trip it.
+        sc.codec = Some(codec);
+        sc.max_delta_norm = None;
+    }
+    println!(
+        "running preset '{name}' — {}\n(seed {}, {} servers, {} clients, horizon {})\n",
+        preset.description(),
+        sc.seed,
+        sc.n_servers,
+        sc.n_clients,
+        sc.horizon
+    );
+    match spyker_simtest::run_scenario(&sc, 200_000) {
+        spyker_simtest::RunOutcome::Violated(v) => {
+            return Err(format!("oracle violation under preset '{name}': {v}"))
+        }
+        spyker_simtest::RunOutcome::Clean(stats) => println!(
+            "oracle-green: {} events, {} updates processed, fingerprint {:016x}",
+            stats.events, stats.updates_processed, stats.fingerprint
+        ),
+    }
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    let report_name = args
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("run_preset_{name}_s{}", args.seed));
+    let path = write_run_report(&report_name, sim.metrics(), report.end_time);
+    println!("run report written to {}", path.display());
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    if let Some(name) = &args.preset {
+        return cmd_run_preset(args, name);
+    }
     let scenario = build_scenario(args);
     let opts = build_opts(args, &scenario);
     println!(
@@ -326,6 +396,7 @@ fn cmd_run(args: &Args) {
         result.end_time,
     );
     println!("run report written to {}", path.display());
+    Ok(())
 }
 
 fn cmd_compare(args: &Args) {
@@ -577,10 +648,7 @@ fn main() -> ExitCode {
     match parse_args(&argv) {
         Ok(args) => {
             let outcome = match args.command {
-                Command::Run => {
-                    cmd_run(&args);
-                    Ok(())
-                }
+                Command::Run => cmd_run(&args),
                 Command::Compare => {
                     cmd_compare(&args);
                     Ok(())
@@ -741,6 +809,25 @@ mod tests {
         assert_eq!(book[0].0, 6);
         assert_eq!(book[1].0, 7);
         assert_eq!(book[0].1, "127.0.0.1:7403".parse().unwrap());
+    }
+
+    #[test]
+    fn parses_and_validates_the_preset_flag() {
+        let args = parse_args(&argv("run --preset diurnal --seed 11")).unwrap();
+        assert_eq!(args.preset.as_deref(), Some("diurnal"));
+        assert_eq!(args.seed, 11);
+        // --codec composes with --preset.
+        assert!(parse_args(&argv("run --preset flash_crowd --codec paper")).is_ok());
+        // Unknown presets list the catalog.
+        let err = parse_args(&argv("run --preset nonsense")).unwrap_err();
+        assert!(err.contains("unknown preset 'nonsense'"), "{err}");
+        assert!(err.contains("regional_outage"), "{err}");
+        // Presets are a run-mode concept, not a TCP one.
+        let err = parse_args(&argv(
+            "serve --idx 0 --addrs 127.0.0.1:7401 --preset diurnal",
+        ))
+        .unwrap_err();
+        assert!(err.contains("only applies to `spyker run`"), "{err}");
     }
 
     #[test]

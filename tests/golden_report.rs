@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 
 use spyker_repro::simnet::SimTime;
-use spyker_simtest::SimScenario;
+use spyker_simtest::{ScenarioPreset, SimScenario};
 
 /// The pinned deployment — field for field the scenario of
 /// `golden_trace.rs`, except for the caller-chosen horizon.
@@ -44,6 +44,10 @@ fn golden_scenario(horizon: SimTime) -> SimScenario {
         joins: Vec::new(),
         leaves: Vec::new(),
         codec: None,
+        avail_windows: Vec::new(),
+        compute_mul: Vec::new(),
+        bandwidth_bps: None,
+        preset: None,
     }
 }
 
@@ -66,6 +70,18 @@ fn render_codec_report() -> String {
         spyker_repro::core::update_codec::CodecConfig::paper_pipeline()
             .with_rounding(spyker_repro::core::update_codec::Rounding::Nearest),
     );
+    let mut sim = sc.build();
+    let report = sim.run(sc.horizon);
+    spyker_repro::obs::report::render_json(sim.metrics().registry(), report.end_time.as_micros())
+}
+
+/// The pinned deployment expanded through the `diurnal` scenario-library
+/// preset: the same 2-server/6-client topology, but every client follows a
+/// region-phased day/night availability wave. Pins the availability
+/// observable surface (`sim.availability.*`, `scenario.preset`) alongside
+/// the usual protocol counters.
+fn render_diurnal_report() -> String {
+    let sc = ScenarioPreset::Diurnal.apply(golden_scenario(SimTime::from_secs(10)));
     let mut sim = sc.build();
     let report = sim.run(sc.horizon);
     spyker_repro::obs::report::render_json(sim.metrics().registry(), report.end_time.as_micros())
@@ -127,6 +143,28 @@ fn fixed_seed_codec_report_matches_the_committed_golden_file() {
 #[test]
 fn codec_report_is_bit_identical_across_two_runs() {
     assert_eq!(render_codec_report(), render_codec_report());
+}
+
+#[test]
+fn fixed_seed_diurnal_report_matches_the_committed_golden_file() {
+    // The diurnal preset must leave a visible footprint in the report: the
+    // DES availability counters and the preset-index gauge, with exact
+    // values — so a change to window scheduling, offline-delivery policy
+    // or the preset generator itself shows up as a golden diff.
+    let report = render_diurnal_report();
+    for needle in [
+        "sim.availability.offline",
+        "sim.availability.online",
+        "scenario.preset",
+    ] {
+        assert!(report.contains(needle), "report lacks `{needle}`");
+    }
+    assert_matches_golden("report_diurnal_2s6c.json", &report);
+}
+
+#[test]
+fn diurnal_report_is_bit_identical_across_two_runs() {
+    assert_eq!(render_diurnal_report(), render_diurnal_report());
 }
 
 #[test]

@@ -48,6 +48,10 @@ fn golden_scenario() -> SimScenario {
         joins: Vec::new(),
         leaves: Vec::new(),
         codec: None,
+        avail_windows: Vec::new(),
+        compute_mul: Vec::new(),
+        bandwidth_bps: None,
+        preset: None,
     }
 }
 

@@ -28,11 +28,11 @@ fn faulty_scenario() -> SimScenario {
         .byzantine(6, ByzantineAttack::GaussianNoise { sigma: 10.0 })
         .byzantine(7, ByzantineAttack::NanInject { prob: 0.5 });
     SimScenario {
-        seed: 11,
+        seed: 12,
         n_servers: 3,
         n_clients: 6,
         dim: 3,
-        horizon: SimTime::from_secs(12),
+        horizon: SimTime::from_secs(16),
         uniform_latency_ms: None,
         jitter_ms: 2,
         h_inter: 1.0,
@@ -48,6 +48,10 @@ fn faulty_scenario() -> SimScenario {
         joins: Vec::new(),
         leaves: Vec::new(),
         codec: None,
+        avail_windows: Vec::new(),
+        compute_mul: Vec::new(),
+        bandwidth_bps: None,
+        preset: None,
     }
 }
 
@@ -180,6 +184,37 @@ fn codec_scenario_touches_catalogued_codec_metrics() {
             .gauge("codec.compression_ratio")
             .is_some_and(|r| r > 1.0),
         "codec.compression_ratio gauge unset or not a compression"
+    );
+}
+
+#[test]
+fn preset_scenario_touches_catalogued_availability_metrics() {
+    // A scenario-library preset with availability windows drives the
+    // `sim.availability.*` DES emission sites and the `scenario.preset`
+    // tag; every name must resolve against the catalog.
+    let preset = spyker_simtest::ScenarioPreset::Diurnal;
+    let sc = preset.generate(preset.pinned_seed());
+    let mut sim = sc.build();
+    sim.run(sc.horizon);
+    let registry = sim.metrics().registry();
+
+    let dynamic: Vec<&str> = registry.dynamic_names().collect();
+    assert!(
+        dynamic.is_empty(),
+        "availability metrics emitted without a catalog entry: {dynamic:?}"
+    );
+
+    for name in ["sim.availability.offline", "sim.availability.online"] {
+        assert!(
+            registry.counters().any(|(n, v)| n == name && v > 0),
+            "no `{name}` counter touched; the diurnal preset no longer \
+             exercises it"
+        );
+    }
+    assert_eq!(
+        registry.gauge("scenario.preset"),
+        Some(preset.index() as f64),
+        "scenario.preset gauge unset or wrong preset index"
     );
 }
 
